@@ -1,0 +1,44 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every benchmark module regenerates one table or figure of the paper (see the
+experiment index in DESIGN.md).  Each benchmark
+
+* runs the corresponding experiment through ``pytest-benchmark`` (so the cost
+  of regenerating the artifact is tracked), and
+* prints and persists the resulting rows/series under
+  ``benchmarks/results/<experiment>.txt`` so the reproduction can be compared
+  with the paper side by side (see EXPERIMENTS.md).
+
+Scale parameters are chosen so the full harness completes on a laptop in
+minutes; they can be raised for tighter estimates.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    """Directory where benchmark reports are persisted."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def record_report(results_dir):
+    """Return a callback that prints a report and persists it to disk."""
+
+    def _record(name: str, report: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(report + "\n", encoding="utf-8")
+        print()
+        print(report)
+        print(f"[report saved to {os.path.relpath(path)}]")
+
+    return _record

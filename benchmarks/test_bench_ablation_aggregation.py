@@ -1,0 +1,29 @@
+"""Benchmark E10 (ablation) — choice of the featurization (aggregation) function.
+
+Section III-B: the featurization function shapes the derived feature's
+distribution and therefore its MI with the target.  In the weather-like
+scenario the per-key average drives the target, so AVG preserves the signal
+and COUNT destroys it.
+"""
+
+from repro.evaluation.experiments import run_ablation_aggregation
+
+
+def test_bench_ablation_aggregation(benchmark, record_report):
+    result = benchmark.pedantic(
+        lambda: run_ablation_aggregation(
+            aggregates=("avg", "max", "mode", "count"),
+            num_keys=600,
+            readings_per_key=8,
+            sketch_size=256,
+            random_state=42,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record_report("ablation_aggregation", result.report())
+
+    by_agg = {row["aggregate"]: row for row in result.summary}
+    assert by_agg["AVG"]["full_join_mi"] > by_agg["COUNT"]["full_join_mi"]
+    assert by_agg["AVG"]["sketch_mi"] > by_agg["COUNT"]["sketch_mi"]
+    assert by_agg["COUNT"]["full_join_mi"] < 0.2

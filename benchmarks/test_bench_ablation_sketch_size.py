@@ -1,0 +1,30 @@
+"""Benchmark E11 (ablation) — estimation error vs sketch size.
+
+Regenerates the error-vs-budget trade-off behind the paper's accuracy
+discussion (Section IV-B): the RMSE of TUPSK-based MI estimates shrinks at a
+near square-root rate as the single sketch parameter n grows.
+"""
+
+from repro.evaluation.experiments import run_ablation_sketch_size
+
+
+def test_bench_ablation_sketch_size(benchmark, record_report):
+    result = benchmark.pedantic(
+        lambda: run_ablation_sketch_size(
+            sketch_sizes=(64, 128, 256, 512, 1024),
+            m=64,
+            sample_size=10_000,
+            num_datasets=6,
+            random_state=42,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record_report("ablation_sketch_size", result.report())
+
+    rmse_by_size = {row["sketch_size"]: row["rmse"] for row in result.summary}
+    sizes = sorted(rmse_by_size)
+    # Error shrinks as the sketch grows (allowing small non-monotonic noise
+    # between adjacent sizes, but the end-to-end reduction must be large).
+    assert rmse_by_size[sizes[-1]] < rmse_by_size[sizes[0]]
+    assert rmse_by_size[sizes[-1]] < 0.6 * rmse_by_size[sizes[0]]

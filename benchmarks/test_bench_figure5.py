@@ -1,0 +1,41 @@
+"""Benchmark E7 — Figure 5: effect of the sketch-join size on real data.
+
+Paper shape: sketch estimates scatter widely against full-join estimates when
+the sketch join is small (MLE over-estimates, KSG-family estimators collapse
+toward zero) and tighten around the diagonal as the minimum join size grows.
+"""
+
+from repro.evaluation.experiments import run_figure5
+
+
+def test_bench_figure5(benchmark, record_report):
+    result = benchmark.pedantic(
+        lambda: run_figure5(
+            profile="wbf",
+            method="TUPSK",
+            sketch_size=1024,
+            num_pairs=60,
+            tables_per_repository=40,
+            thresholds=(128, 256, 512, 768),
+            random_state=42,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record_report(
+        "figure5",
+        result.report(
+            columns=["join_size_gt", "estimator", "pairs", "bias", "mse", "avg_join_size"]
+        ),
+    )
+
+    assert result.rows, "expected at least some surviving pairs"
+    # MSE at the largest threshold never exceeds the MSE at the smallest one
+    # (per estimator), i.e. accuracy improves with the sketch-join size.
+    by_estimator = {}
+    for row in result.summary:
+        by_estimator.setdefault(row["estimator"], {})[row["join_size_gt"]] = row["mse"]
+    for estimator, series in by_estimator.items():
+        thresholds = sorted(series)
+        if len(thresholds) >= 2:
+            assert series[thresholds[-1]] <= series[thresholds[0]] + 1e-6, estimator

@@ -1,0 +1,21 @@
+"""Benchmark E1 — full-join estimator accuracy (Section V-B1).
+
+Paper reference values: RMSE < 0.07 and Pearson's correlation > 0.99 between
+full-join estimates and the analytic MI, for every estimator, at N = 10k.
+"""
+
+from repro.evaluation.experiments import run_fulljoin_accuracy
+
+
+def test_bench_fulljoin_accuracy(benchmark, record_report):
+    result = benchmark.pedantic(
+        lambda: run_fulljoin_accuracy(
+            datasets_per_distribution=6, sample_size=10_000, random_state=42
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record_report("fulljoin_accuracy", result.report())
+    for row in result.summary:
+        assert row["pearson"] > 0.95
+        assert row["rmse"] < 0.3

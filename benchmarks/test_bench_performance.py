@@ -1,0 +1,46 @@
+"""Benchmark E8 — Section V-D: runtime of sketch-based vs full-join estimation.
+
+Paper reference values (n=256): as N grows from 5k to 20k, the full-join time
+grows from 0.35ms to 2.1ms and full-data MI estimation from 2.2ms to 10.7ms,
+while the sketch join stays under 0.2ms and sketch MI estimation around 0.1ms.
+Absolute numbers differ in pure Python; the trend (full-join cost grows with
+N, sketch cost stays flat and is orders of magnitude smaller) is what this
+benchmark checks.
+"""
+
+from repro.evaluation.experiments import run_performance
+
+
+def test_bench_performance(benchmark, record_report):
+    result = benchmark.pedantic(
+        lambda: run_performance(
+            table_sizes=(5_000, 10_000, 20_000),
+            sketch_size=256,
+            repetitions=3,
+            random_state=42,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record_report(
+        "performance",
+        result.report(
+            columns=[
+                "table_rows",
+                "full_join_ms",
+                "full_mi_ms",
+                "sketch_join_ms",
+                "sketch_mi_ms",
+                "speedup_join",
+                "speedup_mi",
+            ]
+        ),
+    )
+
+    rows = {row["table_rows"]: row for row in result.summary}
+    assert rows[20_000]["full_join_ms"] > rows[5_000]["full_join_ms"]
+    for size, row in rows.items():
+        assert row["sketch_join_ms"] < row["full_join_ms"], size
+        assert row["sketch_mi_ms"] < row["full_mi_ms"], size
+    # Sketch-side costs do not grow with the table size (within noise).
+    assert rows[20_000]["sketch_mi_ms"] < 5.0 * max(rows[5_000]["sketch_mi_ms"], 0.01)

@@ -1,0 +1,37 @@
+"""Benchmark E6 — Table II: real-data collections (simulated), n=1024.
+
+Paper shape: on both collections TUPSK attains the strongest Spearman
+correlation with the full-join estimates and the lowest MSE, despite its
+sketch-join size being no larger than the two-level baselines'.
+
+The collections are the simulated ``nyc`` and ``wbf`` repositories (see the
+substitution note in DESIGN.md).
+"""
+
+from repro.evaluation.experiments import run_table2
+
+
+def test_bench_table2(benchmark, record_report):
+    result = benchmark.pedantic(
+        lambda: run_table2(
+            profiles=("nyc", "wbf"),
+            sketch_size=1024,
+            num_pairs=40,
+            tables_per_repository=40,
+            min_join_size=100,
+            random_state=42,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record_report(
+        "table2",
+        result.report(columns=["dataset", "sketch", "pairs", "avg_join_size", "spearman", "mse"]),
+    )
+
+    for collection in ("NYC", "WBF"):
+        rows = {row["sketch"]: row for row in result.summary if row["dataset"] == collection}
+        if not rows:
+            continue
+        assert rows["TUPSK"]["spearman"] >= rows["LV2SK"]["spearman"] - 0.05
+        assert rows["TUPSK"]["mse"] <= rows["LV2SK"]["mse"] + 0.05

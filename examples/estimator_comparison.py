@@ -1,0 +1,81 @@
+"""Comparing MI estimators on data with known ground truth.
+
+Section V of the paper stresses that different estimators have different
+biases and that comparing their raw estimates across data types is not
+meaningful.  This example makes that concrete: it draws Trinomial and CDUnif
+datasets with analytically known MI and reports, for several sample sizes,
+the estimates of every applicable estimator (MLE, Miller-Madow-corrected MLE,
+Laplace-smoothed MLE, Mixed-KSG, DC-KSG).
+
+Run with:  python examples/estimator_comparison.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    DCKSGEstimator,
+    MixedKSGEstimator,
+    MLEEstimator,
+    SmoothedMLEEstimator,
+)
+from repro.evaluation.reporting import format_table
+from repro.synthetic import generate_cdunif_dataset, generate_trinomial_dataset
+
+
+def compare_on_trinomial(sample_sizes, rng) -> list[dict]:
+    estimators = {
+        "MLE": MLEEstimator(),
+        "MLE+MM": MLEEstimator(miller_madow=True),
+        "Smoothed": SmoothedMLEEstimator(alpha=0.5),
+        "Mixed-KSG": MixedKSGEstimator(),
+        "DC-KSG": DCKSGEstimator(),
+    }
+    rows = []
+    for size in sample_sizes:
+        dataset = generate_trinomial_dataset(64, size, target_mi=1.5, random_state=rng)
+        row = {"distribution": "Trinomial(m=64)", "samples": size, "true_mi": dataset.true_mi}
+        for label, estimator in estimators.items():
+            row[label] = estimator.estimate(dataset.x.tolist(), dataset.y.tolist())
+        rows.append(row)
+    return rows
+
+
+def compare_on_cdunif(sample_sizes, rng) -> list[dict]:
+    estimators = {
+        "Mixed-KSG": MixedKSGEstimator(),
+        "DC-KSG": DCKSGEstimator(),
+    }
+    rows = []
+    for size in sample_sizes:
+        dataset = generate_cdunif_dataset(50, size, random_state=rng)
+        row = {"distribution": "CDUnif(m=50)", "samples": size, "true_mi": dataset.true_mi}
+        for label, estimator in estimators.items():
+            row[label] = estimator.estimate(dataset.x, dataset.y)
+        rows.append(row)
+    return rows
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    sample_sizes = (128, 512, 2048, 8192)
+
+    trinomial_rows = compare_on_trinomial(sample_sizes, rng)
+    cdunif_rows = compare_on_cdunif(sample_sizes, rng)
+
+    print(format_table(trinomial_rows, title="Discrete data (all estimators applicable):"))
+    print()
+    print(format_table(cdunif_rows, title="Discrete/continuous data (KSG family only):"))
+    print(
+        "\nObservations (mirroring the paper): the plug-in MLE over-estimates at "
+        "small sample sizes and converges from above; the Miller-Madow and "
+        "Laplace-smoothed variants reduce that bias; the KSG-family estimators "
+        "converge from below and are the only option once a variable is "
+        "continuous.  Raw estimates from different estimators should therefore "
+        "not be compared against each other when ranking candidate features."
+    )
+
+
+if __name__ == "__main__":
+    main()

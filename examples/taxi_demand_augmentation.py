@@ -1,0 +1,162 @@
+"""Relational data augmentation for taxi-demand prediction (paper Example 1).
+
+A data scientist wants to explain the variability of daily taxi demand.  Two
+external tables are available: hourly weather readings (joinable on the date)
+and demographic statistics per ZIP code (joinable on the ZIP code).  A third
+"distractor" table (lottery numbers by date) is joinable but carries no
+information.
+
+The script shows the full augmentation workflow:
+
+1. featurize the candidate tables (``AVG(temp)`` per date, ``population`` per
+   ZIP code, ...),
+2. rank candidate features by *sketch-estimated* MI with the target without
+   materializing any join,
+3. materialize only the winning augmentations and verify the ranking against
+   full-join MI estimates.
+
+Run with:  python examples/taxi_demand_augmentation.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import SketchIndex, Table, augment, estimate_mi
+
+
+def build_world(num_days: int = 360, num_zips: int = 40, seed: int = 3):
+    """Simulate the tables of the paper's Figure 1."""
+    rng = np.random.default_rng(seed)
+    dates = [f"2017-{1 + d // 30:02d}-{1 + d % 30:02d}" for d in range(num_days)]
+    zips = [f"{10001 + z}" for z in range(num_zips)]
+
+    daily_temp = {date: float(rng.normal(14.0, 9.0)) for date in dates}
+    daily_rain = {date: max(0.0, float(rng.gamma(1.2, 0.4) - 0.3)) for date in dates}
+    population = {zip_code: float(rng.uniform(8_000, 90_000)) for zip_code in zips}
+
+    # Demand per (date, zip): depends on rainfall, temperature and (non-
+    # monotonically) on population -- big and tiny neighbourhoods both see
+    # fewer pick-ups, as the paper's intro argues.
+    rows = []
+    for date in dates:
+        for zip_code in zips:
+            pop_factor = np.exp(-((population[zip_code] - 50_000) / 30_000) ** 2)
+            trips = (
+                40.0
+                + 140.0 * pop_factor
+                + 90.0 * daily_rain[date]
+                - 1.5 * daily_temp[date]
+                + float(rng.normal(0, 10))
+            )
+            rows.append((date, zip_code, max(0.0, trips)))
+
+    taxi = Table.from_dict(
+        {
+            "date": [row[0] for row in rows],
+            "zipcode": [row[1] for row in rows],
+            "num_trips": [row[2] for row in rows],
+        },
+        name="taxi_trips",
+    )
+
+    weather = Table.from_dict(
+        {
+            "date": [date for date in dates for _ in range(4)],
+            "temp": [daily_temp[date] + float(rng.normal(0, 1)) for date in dates for _ in range(4)],
+            "rainfall": [
+                max(0.0, daily_rain[date] + float(rng.normal(0, 0.05)))
+                for date in dates
+                for _ in range(4)
+            ],
+        },
+        name="hourly_weather",
+    )
+
+    demographics = Table.from_dict(
+        {
+            "zipcode": zips,
+            "population": [population[zip_code] for zip_code in zips],
+            "median_income": [float(rng.uniform(30_000, 150_000)) for _ in zips],
+        },
+        name="demographics",
+    )
+
+    lottery = Table.from_dict(
+        {
+            "date": dates,
+            "winning_number": [float(rng.integers(0, 10_000)) for _ in dates],
+        },
+        name="daily_lottery",
+    )
+    return taxi, weather, demographics, lottery
+
+
+def main() -> None:
+    taxi, weather, demographics, lottery = build_world()
+    print("Base table:", taxi)
+    print()
+
+    # ---------------------------------------------------------------- #
+    # Offline: index every candidate (table, key, value) combination.
+    # ---------------------------------------------------------------- #
+    index = SketchIndex(method="TUPSK", capacity=512, seed=0)
+    index.add_table(weather, key_columns=["date"])
+    index.add_table(demographics, key_columns=["zipcode"])
+    index.add_table(lottery, key_columns=["date"])
+    print(f"Indexed {len(index)} candidate augmentations "
+          f"from {len({c.profile.table_name for c in index.candidates})} tables.")
+
+    # ---------------------------------------------------------------- #
+    # Online: rank candidates for each join key of the base table.
+    # ---------------------------------------------------------------- #
+    print("\nTop candidates by sketch-estimated MI with num_trips:")
+    results = []
+    for key_column in ("date", "zipcode"):
+        results.extend(
+            index.query_columns(
+                taxi, key_column, "num_trips", top_k=5, min_join_size=32
+            )
+        )
+    results.sort(key=lambda result: result.mi_estimate, reverse=True)
+    for result in results:
+        print("  ", result.describe())
+
+    # ---------------------------------------------------------------- #
+    # Verification: materialize the joins and compare with full-join MI.
+    # ---------------------------------------------------------------- #
+    print("\nFull-join verification (only for the discovered candidates):")
+    for result in results:
+        candidate_table = {
+            "hourly_weather": weather,
+            "demographics": demographics,
+            "daily_lottery": lottery,
+        }[result.table_name]
+        feature_name = f"{result.aggregate}_{result.value_column}"
+        augmented = augment(
+            taxi,
+            candidate_table,
+            base_key=result.key_column,
+            candidate_key=result.key_column,
+            candidate_value=result.value_column,
+            agg=result.aggregate,
+            feature_name=feature_name,
+        ).drop_nulls([feature_name, "num_trips"])
+        full_mi = estimate_mi(
+            augmented.column(feature_name).values,
+            augmented.column("num_trips").values,
+        )
+        print(
+            f"  {result.table_name}.{result.value_column:<15} sketch={result.mi_estimate:6.3f}  "
+            f"full-join={full_mi:6.3f}  ({result.estimator})"
+        )
+
+    print(
+        "\nWeather and demographics features rank highest; the joinable-but-"
+        "irrelevant lottery table ranks last, which is exactly the pruning the "
+        "paper's MI-based discovery is designed to provide."
+    )
+
+
+if __name__ == "__main__":
+    main()

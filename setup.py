@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project is configured through ``pyproject.toml``; this file exists so the
+package can also be installed in environments where PEP 660 editable installs
+are unavailable (e.g. no ``wheel`` package and no network access), via
+``python setup.py develop`` or ``pip install -e . --no-build-isolation``.
+"""
+
+from setuptools import setup
+
+setup()

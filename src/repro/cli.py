@@ -1,0 +1,211 @@
+"""Command-line interface.
+
+Three subcommands cover the offline/online split of the paper's pipeline plus
+the reproduction harness:
+
+``repro sketch``
+    Build a sketch for one (key column, value column) pair of a CSV file and
+    write it to a JSON file (the offline step).
+
+``repro estimate``
+    Estimate the mutual information between two previously built sketches, or
+    directly between two CSV files (which sketches them on the fly).
+
+``repro experiment``
+    Run one of the paper's experiments at a reduced scale and print the
+    regenerated table/figure series.
+
+Examples
+--------
+.. code-block:: bash
+
+    repro sketch taxi.csv --key date --value num_trips --side base -o taxi.sketch.json
+    repro sketch weather.csv --key date --value temp --side candidate --agg avg -o weather.sketch.json
+    repro estimate --base-sketch taxi.sketch.json --candidate-sketch weather.sketch.json
+    repro experiment table1 --scale small
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Optional, Sequence
+
+from repro.exceptions import ReproError
+from repro.relational.csvio import read_csv
+from repro.sketches.base import SketchSide, build_sketch
+from repro.sketches.estimate import estimate_mi_from_sketches
+from repro.sketches.serialization import load_sketch, save_sketch
+
+__all__ = ["main", "build_parser"]
+
+#: Scale presets for the `experiment` subcommand: name -> keyword overrides.
+_EXPERIMENT_SCALES = {
+    "small": {
+        "fulljoin_accuracy": dict(datasets_per_distribution=3, sample_size=4000),
+        "figure2": dict(datasets_per_key_generation=2, sample_size=5000),
+        "figure3": dict(num_datasets=8, sample_size=5000),
+        "figure4": dict(m_values=(16, 256, 1024), datasets_per_m=2, sample_size=5000),
+        "table1": dict(datasets_per_distribution=3, sample_size=5000),
+        "table2": dict(num_pairs=12, tables_per_repository=24, sketch_size=512, min_join_size=50),
+        "figure5": dict(num_pairs=20, tables_per_repository=24, sketch_size=512),
+        "performance": dict(table_sizes=(5000, 10000), repetitions=2),
+        "ablation_coordination": dict(datasets_per_key_generation=2, sample_size=5000),
+        "ablation_aggregation": dict(num_keys=300),
+        "ablation_sketch_size": dict(sketch_sizes=(64, 256, 1024), num_datasets=3, sample_size=5000),
+    },
+    "paper": {},
+}
+
+
+def _experiment_runners() -> dict[str, Callable]:
+    from repro.evaluation import experiments
+
+    return {
+        "fulljoin_accuracy": experiments.run_fulljoin_accuracy,
+        "figure2": experiments.run_figure2,
+        "figure3": experiments.run_figure3,
+        "figure4": experiments.run_figure4,
+        "table1": experiments.run_table1,
+        "table2": experiments.run_table2,
+        "figure5": experiments.run_figure5,
+        "performance": experiments.run_performance,
+        "ablation_coordination": experiments.run_ablation_coordination,
+        "ablation_aggregation": experiments.run_ablation_aggregation,
+        "ablation_sketch_size": experiments.run_ablation_sketch_size,
+    }
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Join-free mutual information estimation between attributes across tables.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    sketch = subparsers.add_parser("sketch", help="build a sketch from a CSV file")
+    sketch.add_argument("csv", help="input CSV file (with a header row)")
+    sketch.add_argument("--key", required=True, help="join-key column name")
+    sketch.add_argument("--value", required=True, help="value column name")
+    sketch.add_argument("--side", choices=["base", "candidate"], default="base")
+    sketch.add_argument("--method", default="TUPSK", help="sketching method (default TUPSK)")
+    sketch.add_argument("--capacity", type=int, default=1024, help="sketch size n")
+    sketch.add_argument("--seed", type=int, default=0, help="hash seed")
+    sketch.add_argument("--agg", default="avg", help="featurization function (candidate side)")
+    sketch.add_argument("-o", "--output", required=True, help="output sketch JSON path")
+
+    estimate = subparsers.add_parser(
+        "estimate", help="estimate MI between two sketches or two CSV columns"
+    )
+    estimate.add_argument("--base-sketch", help="base-side sketch JSON")
+    estimate.add_argument("--candidate-sketch", help="candidate-side sketch JSON")
+    estimate.add_argument("--base-csv", help="base CSV (alternative to --base-sketch)")
+    estimate.add_argument("--candidate-csv", help="candidate CSV")
+    estimate.add_argument("--base-key", help="base join-key column (CSV mode)")
+    estimate.add_argument("--base-value", help="base target column (CSV mode)")
+    estimate.add_argument("--candidate-key", help="candidate join-key column (CSV mode)")
+    estimate.add_argument("--candidate-value", help="candidate value column (CSV mode)")
+    estimate.add_argument("--agg", default="avg", help="featurization function (CSV mode)")
+    estimate.add_argument("--capacity", type=int, default=1024)
+    estimate.add_argument("--seed", type=int, default=0)
+    estimate.add_argument("--method", default="TUPSK")
+    estimate.add_argument("--min-join-size", type=int, default=16)
+
+    experiment = subparsers.add_parser(
+        "experiment", help="run one of the paper's experiments and print its report"
+    )
+    experiment.add_argument("name", choices=sorted(_experiment_runners()))
+    experiment.add_argument("--scale", choices=sorted(_EXPERIMENT_SCALES), default="small")
+    experiment.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+def _command_sketch(args: argparse.Namespace) -> int:
+    table = read_csv(args.csv)
+    side = SketchSide.BASE if args.side == "base" else SketchSide.CANDIDATE
+    sketch = build_sketch(
+        table,
+        args.key,
+        args.value,
+        method=args.method,
+        side=side,
+        capacity=args.capacity,
+        seed=args.seed,
+        agg=args.agg,
+    )
+    save_sketch(sketch, args.output)
+    print(
+        f"wrote {sketch.method} {args.side} sketch with {len(sketch)} tuples "
+        f"({sketch.table_rows} rows, {sketch.distinct_keys} distinct keys) to {args.output}"
+    )
+    return 0
+
+
+def _sketches_from_args(args: argparse.Namespace):
+    if args.base_sketch and args.candidate_sketch:
+        return load_sketch(args.base_sketch), load_sketch(args.candidate_sketch)
+    csv_mode_fields = (
+        args.base_csv, args.candidate_csv,
+        args.base_key, args.base_value, args.candidate_key, args.candidate_value,
+    )
+    if not all(csv_mode_fields):
+        raise ReproError(
+            "estimate requires either --base-sketch/--candidate-sketch or the six "
+            "CSV-mode options (--base-csv, --base-key, --base-value, "
+            "--candidate-csv, --candidate-key, --candidate-value)"
+        )
+    base_table = read_csv(args.base_csv)
+    candidate_table = read_csv(args.candidate_csv)
+    base_sketch = build_sketch(
+        base_table, args.base_key, args.base_value,
+        method=args.method, side=SketchSide.BASE, capacity=args.capacity, seed=args.seed,
+    )
+    candidate_sketch = build_sketch(
+        candidate_table, args.candidate_key, args.candidate_value,
+        method=args.method, side=SketchSide.CANDIDATE,
+        capacity=args.capacity, seed=args.seed, agg=args.agg,
+    )
+    return base_sketch, candidate_sketch
+
+
+def _command_estimate(args: argparse.Namespace) -> int:
+    base_sketch, candidate_sketch = _sketches_from_args(args)
+    estimate = estimate_mi_from_sketches(
+        base_sketch, candidate_sketch, min_join_size=args.min_join_size
+    )
+    print(
+        f"MI estimate: {estimate.mi:.4f} nats "
+        f"(estimator={estimate.estimator}, sketch join size={estimate.join_size})"
+    )
+    return 0
+
+
+def _command_experiment(args: argparse.Namespace) -> int:
+    runners = _experiment_runners()
+    overrides = dict(_EXPERIMENT_SCALES[args.scale].get(args.name, {}))
+    overrides["random_state"] = args.seed
+    result = runners[args.name](**overrides)
+    print(result.report())
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "sketch": _command_sketch,
+        "estimate": _command_estimate,
+        "experiment": _command_experiment,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

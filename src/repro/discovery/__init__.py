@@ -1,0 +1,36 @@
+"""MI-based data discovery for relational data augmentation.
+
+This is the application layer the paper motivates (Sections I and III): given
+a base table with a prediction target, find external candidate tables that
+
+1. are *joinable* with the base table (their join-key values overlap), and
+2. carry attributes with high mutual information with the target after the
+   (never materialized) augmentation join.
+
+A :class:`SketchIndex` profiles and sketches candidate tables offline; an
+:class:`AugmentationQuery` is evaluated online against the index, producing
+ranked :class:`AugmentationResult` objects.  Ranking follows the paper's
+recommendation of keeping per-estimator rankings separate, since MI estimates
+from different estimators are not directly comparable.
+"""
+
+from repro.discovery.profile import ColumnPairProfile, profile_column_pair
+from repro.discovery.query import AugmentationQuery, AugmentationResult
+from repro.discovery.index import SketchIndex
+from repro.discovery.ranking import rank_results, top_k_per_estimator
+from repro.discovery.selection import SelectedFeature, greedy_feature_selection
+from repro.discovery.persistence import save_index, load_index
+
+__all__ = [
+    "ColumnPairProfile",
+    "profile_column_pair",
+    "AugmentationQuery",
+    "AugmentationResult",
+    "SketchIndex",
+    "rank_results",
+    "top_k_per_estimator",
+    "SelectedFeature",
+    "greedy_feature_selection",
+    "save_index",
+    "load_index",
+]

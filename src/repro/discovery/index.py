@@ -1,0 +1,230 @@
+"""Sketch index over a corpus of candidate tables.
+
+The index is the offline half of the paper's pipeline: every candidate
+(table, key column, value column, aggregate) combination is summarized by
+
+* a candidate-side MI sketch (built once, reused by every query), and
+* a KMV sketch of its distinct join-key values (used to estimate joinability
+  / containment before spending effort on MI estimation).
+
+At query time the base table is sketched once per (key, target) pair and
+joined against every indexed candidate whose estimated key containment
+passes the threshold; surviving candidates are ranked by their estimated MI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.exceptions import DiscoveryError, InsufficientSamplesError
+from repro.discovery.profile import ColumnPairProfile, profile_column_pair
+from repro.discovery.query import (
+    AugmentationQuery,
+    AugmentationResult,
+    candidate_identifier,
+    default_aggregate_for_dtype,
+)
+from repro.discovery.ranking import rank_results
+from repro.relational.aggregate import AggregateFunction, get_aggregate
+from repro.relational.table import Table
+from repro.sketches.base import Sketch, get_builder
+from repro.sketches.estimate import estimate_mi_from_sketches
+from repro.sketches.kmv import KMVSketch
+
+__all__ = ["SketchIndex", "IndexedCandidate"]
+
+
+@dataclass
+class IndexedCandidate:
+    """One candidate entry of the index: profile + sketches."""
+
+    candidate_id: str
+    profile: ColumnPairProfile
+    aggregate: str
+    sketch: Sketch
+    key_kmv: KMVSketch
+    metadata: dict[str, object] = field(default_factory=dict)
+
+
+class SketchIndex:
+    """Offline sketch index supporting MI-based augmentation queries.
+
+    Parameters
+    ----------
+    method:
+        Sketching method used for MI sketches (default the paper's TUPSK).
+    capacity:
+        Sketch size ``n`` for both MI and KMV sketches.
+    seed:
+        Shared hash seed.  All sketches in one index (and the query-side
+        sketches built at query time) must share it.
+    """
+
+    def __init__(self, method: str = "TUPSK", capacity: int = 1024, seed: int = 0):
+        self.method = method
+        self.capacity = int(capacity)
+        self.seed = int(seed)
+        self._candidates: dict[str, IndexedCandidate] = {}
+
+    # ------------------------------------------------------------------ #
+    # Offline: indexing candidates
+    # ------------------------------------------------------------------ #
+    def add_candidate(
+        self,
+        table: Table,
+        key_column: str,
+        value_column: str,
+        *,
+        agg: "str | AggregateFunction | None" = None,
+        metadata: Optional[dict[str, object]] = None,
+    ) -> IndexedCandidate:
+        """Index one (table, key column, value column) candidate.
+
+        The featurization function defaults to ``AVG`` for numeric value
+        columns and ``MODE`` for categorical ones.  Indexing the same
+        combination twice overwrites the previous entry.
+        """
+        profile = profile_column_pair(table, key_column, value_column)
+        if agg is None:
+            agg = default_aggregate_for_dtype(profile.value_dtype.is_numeric)
+        agg = get_aggregate(agg)
+        builder = get_builder(self.method, capacity=self.capacity, seed=self.seed)
+        sketch = builder.sketch_candidate(table, key_column, value_column, agg=agg)
+        key_kmv = KMVSketch.from_values(
+            table.column(key_column).non_null_values(),
+            capacity=self.capacity,
+            seed=self.seed,
+        )
+        candidate_id = candidate_identifier(
+            profile.table_name or f"table_{len(self._candidates)}",
+            key_column,
+            value_column,
+            agg.value,
+        )
+        candidate = IndexedCandidate(
+            candidate_id=candidate_id,
+            profile=profile,
+            aggregate=agg.value,
+            sketch=sketch,
+            key_kmv=key_kmv,
+            metadata=dict(metadata or {}),
+        )
+        self._candidates[candidate_id] = candidate
+        return candidate
+
+    def add_table(
+        self,
+        table: Table,
+        key_columns: Iterable[str],
+        value_columns: Optional[Iterable[str]] = None,
+    ) -> list[IndexedCandidate]:
+        """Index every (key, value) column pair of a table.
+
+        ``value_columns`` defaults to every column that is not a key column.
+        """
+        key_columns = list(key_columns)
+        if value_columns is None:
+            value_columns = [
+                name for name in table.column_names if name not in key_columns
+            ]
+        added = []
+        for key_column in key_columns:
+            for value_column in value_columns:
+                if value_column == key_column:
+                    continue
+                added.append(self.add_candidate(table, key_column, value_column))
+        return added
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._candidates)
+
+    @property
+    def candidates(self) -> list[IndexedCandidate]:
+        """All indexed candidates."""
+        return list(self._candidates.values())
+
+    def get(self, candidate_id: str) -> IndexedCandidate:
+        """Look up an indexed candidate by identifier."""
+        try:
+            return self._candidates[candidate_id]
+        except KeyError:
+            raise DiscoveryError(f"unknown candidate {candidate_id!r}") from None
+
+    # ------------------------------------------------------------------ #
+    # Online: queries
+    # ------------------------------------------------------------------ #
+    def query(self, query: AugmentationQuery) -> list[AugmentationResult]:
+        """Evaluate a relationship-discovery query against the index.
+
+        Returns candidates ranked by estimated MI (descending), truncated to
+        ``query.top_k``.  Candidates whose key containment is below
+        ``query.min_containment`` or whose sketch join is smaller than
+        ``query.min_join_size`` are skipped.
+        """
+        if len(self._candidates) == 0:
+            raise DiscoveryError("the index is empty; add candidates before querying")
+        builder = get_builder(self.method, capacity=self.capacity, seed=self.seed)
+        base_sketch = builder.sketch_base(
+            query.table, query.key_column, query.target_column
+        )
+        base_kmv = KMVSketch.from_values(
+            query.table.column(query.key_column).non_null_values(),
+            capacity=self.capacity,
+            seed=self.seed,
+        )
+        results: list[AugmentationResult] = []
+        for candidate in self._candidates.values():
+            containment = base_kmv.containment_estimate(candidate.key_kmv)
+            if containment < query.min_containment:
+                continue
+            try:
+                estimate = estimate_mi_from_sketches(
+                    base_sketch,
+                    candidate.sketch,
+                    min_join_size=query.min_join_size,
+                )
+            except InsufficientSamplesError:
+                continue
+            results.append(
+                AugmentationResult(
+                    candidate_id=candidate.candidate_id,
+                    table_name=candidate.profile.table_name,
+                    key_column=candidate.profile.key_column,
+                    value_column=candidate.profile.value_column,
+                    aggregate=candidate.aggregate,
+                    estimator=estimate.estimator,
+                    mi_estimate=estimate.mi,
+                    sketch_join_size=estimate.join_size,
+                    containment=containment,
+                    value_dtype=candidate.profile.value_dtype.value,
+                    metadata=dict(candidate.metadata),
+                )
+            )
+        ranked = rank_results(results)
+        return ranked[: query.top_k] if query.top_k else ranked
+
+    def query_columns(
+        self,
+        table: Table,
+        key_column: str,
+        target_column: str,
+        *,
+        top_k: int = 10,
+        min_containment: float = 0.0,
+        min_join_size: int = 16,
+    ) -> list[AugmentationResult]:
+        """Convenience wrapper building the :class:`AugmentationQuery` inline."""
+        return self.query(
+            AugmentationQuery(
+                table=table,
+                key_column=key_column,
+                target_column=target_column,
+                top_k=top_k,
+                min_containment=min_containment,
+                min_join_size=min_join_size,
+            )
+        )

@@ -1,0 +1,135 @@
+"""Saving and loading a :class:`~repro.discovery.index.SketchIndex`.
+
+Candidate sketches are built in an offline preprocessing stage (Section IV),
+typically on a different machine or at a different time than the queries.
+This module persists an index as a directory containing
+
+* ``index.json`` — index-level configuration (method, capacity, seed) and,
+  per candidate, its profile, aggregate, KMV key sketch and metadata;
+* ``sketches/<i>.json`` — one serialized MI sketch per candidate (the format
+  of :mod:`repro.sketches.serialization`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Union
+
+from repro.discovery.index import IndexedCandidate, SketchIndex
+from repro.discovery.profile import ColumnPairProfile
+from repro.exceptions import DiscoveryError
+from repro.relational.dtypes import DType
+from repro.sketches.kmv import KMVSketch
+from repro.sketches.serialization import load_sketch, save_sketch
+
+__all__ = ["save_index", "load_index"]
+
+_FORMAT_VERSION = 1
+PathLike = Union[str, os.PathLike]
+
+
+def _profile_to_dict(profile: ColumnPairProfile) -> dict:
+    return {
+        "table_name": profile.table_name,
+        "key_column": profile.key_column,
+        "value_column": profile.value_column,
+        "num_rows": profile.num_rows,
+        "key_distinct": profile.key_distinct,
+        "key_nulls": profile.key_nulls,
+        "value_dtype": profile.value_dtype.value,
+        "value_distinct": profile.value_distinct,
+        "value_nulls": profile.value_nulls,
+    }
+
+
+def _profile_from_dict(document: dict) -> ColumnPairProfile:
+    return ColumnPairProfile(
+        table_name=document["table_name"],
+        key_column=document["key_column"],
+        value_column=document["value_column"],
+        num_rows=int(document["num_rows"]),
+        key_distinct=int(document["key_distinct"]),
+        key_nulls=int(document["key_nulls"]),
+        value_dtype=DType(document["value_dtype"]),
+        value_distinct=int(document["value_distinct"]),
+        value_nulls=int(document["value_nulls"]),
+    )
+
+
+def _kmv_to_dict(kmv: KMVSketch) -> dict:
+    return {
+        "capacity": kmv.capacity,
+        "seed": kmv.seed,
+        "values": sorted(kmv.values, key=lambda value: str(value)),
+    }
+
+
+def _kmv_from_dict(document: dict) -> KMVSketch:
+    return KMVSketch.from_values(
+        document["values"], capacity=int(document["capacity"]), seed=int(document["seed"])
+    )
+
+
+def save_index(index: SketchIndex, directory: PathLike) -> None:
+    """Persist an index to ``directory`` (created if necessary)."""
+    root = Path(directory)
+    sketches_dir = root / "sketches"
+    sketches_dir.mkdir(parents=True, exist_ok=True)
+
+    candidates_document = []
+    for position, candidate in enumerate(index.candidates):
+        sketch_file = f"{position:06d}.json"
+        save_sketch(candidate.sketch, sketches_dir / sketch_file)
+        candidates_document.append(
+            {
+                "candidate_id": candidate.candidate_id,
+                "aggregate": candidate.aggregate,
+                "profile": _profile_to_dict(candidate.profile),
+                "key_kmv": _kmv_to_dict(candidate.key_kmv),
+                "metadata": dict(candidate.metadata),
+                "sketch_file": sketch_file,
+            }
+        )
+    document = {
+        "format_version": _FORMAT_VERSION,
+        "method": index.method,
+        "capacity": index.capacity,
+        "seed": index.seed,
+        "candidates": candidates_document,
+    }
+    (root / "index.json").write_text(json.dumps(document), encoding="utf-8")
+
+
+def load_index(directory: PathLike) -> SketchIndex:
+    """Load an index previously written by :func:`save_index`."""
+    root = Path(directory)
+    index_path = root / "index.json"
+    if not index_path.exists():
+        raise DiscoveryError(f"no index.json found under {root}")
+    try:
+        document = json.loads(index_path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise DiscoveryError(f"malformed index file: {index_path}") from exc
+    if document.get("format_version") != _FORMAT_VERSION:
+        raise DiscoveryError(
+            f"unsupported index format version {document.get('format_version')!r}"
+        )
+
+    index = SketchIndex(
+        method=document["method"],
+        capacity=int(document["capacity"]),
+        seed=int(document["seed"]),
+    )
+    for entry in document["candidates"]:
+        candidate = IndexedCandidate(
+            candidate_id=entry["candidate_id"],
+            profile=_profile_from_dict(entry["profile"]),
+            aggregate=entry["aggregate"],
+            sketch=load_sketch(root / "sketches" / entry["sketch_file"]),
+            key_kmv=_kmv_from_dict(entry["key_kmv"]),
+            metadata=dict(entry.get("metadata", {})),
+        )
+        index._candidates[candidate.candidate_id] = candidate
+    return index

@@ -1,0 +1,57 @@
+"""Column-pair profiling for the discovery index.
+
+A *column pair* is one (join-key attribute, data attribute) combination of a
+candidate table — the unit indexed by the discovery layer, mirroring the
+two-column tables the paper builds from each source table in Section V-C.
+Profiles record the statistics needed to pick an MI estimator and to report
+results without re-reading the underlying table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.relational.dtypes import DType
+from repro.relational.table import Table
+
+__all__ = ["ColumnPairProfile", "profile_column_pair"]
+
+
+@dataclass(frozen=True)
+class ColumnPairProfile:
+    """Lightweight statistics of a (key column, value column) pair."""
+
+    table_name: str
+    key_column: str
+    value_column: str
+    num_rows: int
+    key_distinct: int
+    key_nulls: int
+    value_dtype: DType
+    value_distinct: int
+    value_nulls: int
+
+    @property
+    def key_uniqueness(self) -> float:
+        """Fraction of non-null key values that are distinct (1.0 = unique key)."""
+        non_null = self.num_rows - self.key_nulls
+        if non_null <= 0:
+            return 0.0
+        return self.key_distinct / non_null
+
+
+def profile_column_pair(table: Table, key_column: str, value_column: str) -> ColumnPairProfile:
+    """Profile one (key, value) column pair of a table."""
+    keys = table.column(key_column)
+    values = table.column(value_column)
+    return ColumnPairProfile(
+        table_name=table.name,
+        key_column=key_column,
+        value_column=value_column,
+        num_rows=table.num_rows,
+        key_distinct=keys.distinct_count(),
+        key_nulls=keys.null_count(),
+        value_dtype=values.dtype,
+        value_distinct=values.distinct_count(),
+        value_nulls=values.null_count(),
+    )

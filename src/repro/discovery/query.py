@@ -1,0 +1,85 @@
+"""Query and result types of the discovery layer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.relational.aggregate import AggregateFunction
+from repro.relational.table import Table
+
+__all__ = ["AugmentationQuery", "AugmentationResult"]
+
+
+@dataclass
+class AugmentationQuery:
+    """A relationship-discovery query against a :class:`SketchIndex`.
+
+    Attributes
+    ----------
+    table:
+        The base table ``T_train``.
+    key_column:
+        Join-key column of the base table.
+    target_column:
+        Target column ``Y`` whose predictors we are looking for.
+    top_k:
+        Maximum number of results to return (per estimator group when
+        ``separate_rankings`` is used downstream).
+    min_containment:
+        Minimum estimated fraction of the base table's keys that must be
+        present in a candidate for it to be considered joinable.
+    min_join_size:
+        Minimum sketch-join size below which an MI estimate is considered
+        meaningless and the candidate is skipped (the paper uses 100 for its
+        real-data experiments).
+    """
+
+    table: Table
+    key_column: str
+    target_column: str
+    top_k: int = 10
+    min_containment: float = 0.0
+    min_join_size: int = 16
+
+
+@dataclass
+class AugmentationResult:
+    """One candidate augmentation returned by a discovery query."""
+
+    candidate_id: str
+    table_name: str
+    key_column: str
+    value_column: str
+    aggregate: str
+    estimator: str
+    mi_estimate: float
+    sketch_join_size: int
+    containment: float
+    value_dtype: str
+    metadata: dict[str, object] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        """Human-readable one-line description of the candidate."""
+        return (
+            f"{self.table_name}.{self.value_column} "
+            f"[{self.aggregate.upper()} on {self.key_column}] "
+            f"MI~{self.mi_estimate:.3f} ({self.estimator}, "
+            f"join={self.sketch_join_size}, containment={self.containment:.2f})"
+        )
+
+
+def default_aggregate_for_dtype(is_numeric: bool) -> AggregateFunction:
+    """Featurization default: AVG for numeric values, MODE for categorical ones."""
+    return AggregateFunction.AVG if is_numeric else AggregateFunction.MODE
+
+
+def candidate_identifier(
+    table_name: str,
+    key_column: str,
+    value_column: str,
+    aggregate: Optional[str] = None,
+) -> str:
+    """Stable identifier of an indexed (table, key, value, aggregate) entry."""
+    suffix = f"#{aggregate}" if aggregate else ""
+    return f"{table_name}:{key_column}->{value_column}{suffix}"

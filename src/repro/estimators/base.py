@@ -1,0 +1,148 @@
+"""Common infrastructure for MI estimators.
+
+Every estimator consumes two aligned sequences of values (one per variable)
+and returns an MI estimate in *nats*.  The helpers here normalise inputs:
+pairs with a missing value on either side are dropped (the paper discards
+NULL-producing rows from the join before estimation), categorical values are
+encoded as integer codes, and numeric values become float arrays.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from enum import Enum
+from typing import Any, Hashable, Iterable, Sequence
+
+import numpy as np
+
+from repro.exceptions import EstimationError, InsufficientSamplesError
+
+__all__ = [
+    "VariableKind",
+    "MIEstimator",
+    "prepare_pairs",
+    "encode_discrete",
+    "as_float_array",
+    "clip_non_negative",
+]
+
+
+class VariableKind(Enum):
+    """Statistical kind of a variable as seen by an estimator."""
+
+    DISCRETE = "discrete"
+    CONTINUOUS = "continuous"
+
+
+def _is_missing(value: Any) -> bool:
+    if value is None:
+        return True
+    if isinstance(value, float) and math.isnan(value):
+        return True
+    return False
+
+
+def prepare_pairs(
+    x_values: Iterable[Any],
+    y_values: Iterable[Any],
+    *,
+    min_samples: int = 2,
+) -> tuple[list[Any], list[Any]]:
+    """Align two value sequences, dropping pairs with a missing side.
+
+    Raises
+    ------
+    InsufficientSamplesError
+        If fewer than ``min_samples`` complete pairs remain.
+    EstimationError
+        If the two sequences have different lengths.
+    """
+    x_list = list(x_values)
+    y_list = list(y_values)
+    if len(x_list) != len(y_list):
+        raise EstimationError(
+            f"variables must be aligned, got {len(x_list)} and {len(y_list)} values"
+        )
+    pairs = [
+        (x, y)
+        for x, y in zip(x_list, y_list)
+        if not _is_missing(x) and not _is_missing(y)
+    ]
+    if len(pairs) < min_samples:
+        raise InsufficientSamplesError(min_samples, len(pairs), "after dropping missing pairs")
+    xs, ys = zip(*pairs)
+    return list(xs), list(ys)
+
+
+def encode_discrete(values: Sequence[Hashable]) -> np.ndarray:
+    """Encode arbitrary hashable values as dense integer codes.
+
+    MI is invariant under bijections of discrete values, so the encoding does
+    not change the estimate; it only gives k-NN based estimators a numeric
+    representation of the discrete variable.
+    """
+    codes: dict[Hashable, int] = {}
+    encoded = np.empty(len(values), dtype=np.int64)
+    for index, value in enumerate(values):
+        code = codes.setdefault(value, len(codes))
+        encoded[index] = code
+    return encoded
+
+
+def as_float_array(values: Sequence[Any], name: str = "variable") -> np.ndarray:
+    """Convert values to a 1-D float array, rejecting non-numeric entries."""
+    try:
+        array = np.asarray(values, dtype=np.float64)
+    except (TypeError, ValueError) as exc:
+        raise EstimationError(
+            f"{name} contains non-numeric values and cannot be used by a continuous estimator"
+        ) from exc
+    if array.ndim != 1:
+        array = array.reshape(len(values), -1)
+        if array.shape[1] != 1:
+            raise EstimationError(f"{name} must be one-dimensional")
+        array = array[:, 0]
+    return array
+
+
+def clip_non_negative(value: float) -> float:
+    """Clamp tiny negative estimates (sampling noise) to zero.
+
+    MI is non-negative; k-NN estimators can return slightly negative values
+    for (nearly) independent variables.  Clamping keeps downstream rankings
+    sane while not hiding genuinely wrong estimates (large negatives are not
+    produced by the implemented estimators).
+    """
+    return 0.0 if value < 0.0 else float(value)
+
+
+class MIEstimator(abc.ABC):
+    """Abstract base class for sample-based MI estimators.
+
+    Subclasses implement :meth:`_estimate` on cleaned inputs; the public
+    :meth:`estimate` handles missing-value removal and validation.  Estimates
+    are in nats.
+    """
+
+    #: Short name used in experiment reports (e.g. ``"MLE"``, ``"Mixed-KSG"``).
+    name: str = "estimator"
+
+    #: Kinds of the (X, Y) variables this estimator is designed for.
+    x_kind: VariableKind = VariableKind.DISCRETE
+    y_kind: VariableKind = VariableKind.DISCRETE
+
+    #: Minimum number of complete sample pairs required.
+    min_samples: int = 2
+
+    def estimate(self, x_values: Iterable[Any], y_values: Iterable[Any]) -> float:
+        """Estimate the mutual information I(X; Y) in nats."""
+        xs, ys = prepare_pairs(x_values, y_values, min_samples=self.min_samples)
+        return float(self._estimate(xs, ys))
+
+    @abc.abstractmethod
+    def _estimate(self, x_values: list[Any], y_values: list[Any]) -> float:
+        """Estimate MI on cleaned, aligned samples."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,51 @@
+"""Analytic bias formulas for the plug-in MI estimator.
+
+Equation 6 of the paper (following Roulston, 1999) approximates the bias of
+the maximum-likelihood MI estimator as
+
+``I(X, Y) - E[I_hat_MLE(X, Y)] ≈ (m_X + m_Y - m_XY - 1) / (2N)``
+
+where ``m_X``, ``m_Y`` and ``m_XY`` are the numbers of distinct values of
+``X``, ``Y`` and of the joint ``(X, Y)``, and ``N`` is the sample size.  The
+same quantity appears (with opposite sign) in the Miller–Madow correction.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+__all__ = ["mle_mi_bias", "miller_madow_correction"]
+
+
+def mle_mi_bias(
+    distinct_x: int, distinct_y: int, distinct_joint: int, sample_size: int
+) -> float:
+    """Analytic first-order bias of the plug-in MI estimator (Eq. 6).
+
+    A *negative* return value means the estimator over-estimates the MI on
+    average (the common case, because the joint support is under-sampled).
+    """
+    if sample_size <= 0:
+        raise ValueError("sample_size must be positive")
+    if min(distinct_x, distinct_y, distinct_joint) < 1:
+        raise ValueError("distinct counts must be at least 1")
+    return (distinct_x + distinct_y - distinct_joint - 1) / (2.0 * sample_size)
+
+
+def miller_madow_correction(
+    x_values: Sequence[Hashable], y_values: Sequence[Hashable]
+) -> float:
+    """First-order additive correction to apply to a plug-in MI estimate.
+
+    Computed from the observed supports of a sample: subtracting this value
+    from the raw plug-in MI estimate removes its first-order bias.
+    """
+    if len(x_values) != len(y_values):
+        raise ValueError("x and y must be aligned")
+    if not x_values:
+        raise ValueError("cannot compute a correction from an empty sample")
+    distinct_x = len(set(x_values))
+    distinct_y = len(set(y_values))
+    distinct_joint = len(set(zip(x_values, y_values)))
+    # The plug-in MI over-estimates by (m_XY - m_X - m_Y + 1) / (2N).
+    return (distinct_joint - distinct_x - distinct_y + 1) / (2.0 * len(x_values))

@@ -1,0 +1,77 @@
+"""Data-type driven estimator selection.
+
+Section V of the paper describes the estimator-selection policy used when
+dealing with real data:
+
+1. both columns are strings (discrete/discrete) → :class:`MLEEstimator`;
+2. both columns are numeric → :class:`MixedKSGEstimator` (it handles pure
+   continuous data as well as the discrete-continuous mixtures created by
+   left joins on repeated keys);
+3. one column is a string and the other numeric → :class:`DCKSGEstimator`
+   with the string side treated as the discrete variable.
+
+:func:`estimate_mi` is the one-call convenience wrapper: it infers column
+types when they are not supplied and dispatches accordingly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional, Sequence
+
+from repro.relational.dtypes import DType, infer_column_dtype
+from repro.estimators.base import MIEstimator, VariableKind
+from repro.estimators.dc_ksg import DCKSGEstimator
+from repro.estimators.mixed_ksg import MixedKSGEstimator
+from repro.estimators.mle import MLEEstimator
+
+__all__ = ["select_estimator", "estimator_for_kinds", "estimate_mi"]
+
+
+def select_estimator(x_dtype: DType, y_dtype: DType, *, k: int = 3) -> MIEstimator:
+    """Return the estimator prescribed by the paper for a pair of column types.
+
+    Parameters
+    ----------
+    x_dtype, y_dtype:
+        Logical types of the feature and target columns.
+    k:
+        Neighbour count for the KSG-family estimators.
+    """
+    x_categorical = not x_dtype.is_numeric
+    y_categorical = not y_dtype.is_numeric
+    if x_categorical and y_categorical:
+        return MLEEstimator()
+    if not x_categorical and not y_categorical:
+        return MixedKSGEstimator(k=k)
+    discrete_side = "x" if x_categorical else "y"
+    return DCKSGEstimator(k=k, discrete=discrete_side)
+
+
+def estimator_for_kinds(
+    x_kind: VariableKind, y_kind: VariableKind, *, k: int = 3
+) -> MIEstimator:
+    """Like :func:`select_estimator` but from statistical kinds instead of dtypes."""
+    x_dtype = DType.FLOAT if x_kind is VariableKind.CONTINUOUS else DType.STRING
+    y_dtype = DType.FLOAT if y_kind is VariableKind.CONTINUOUS else DType.STRING
+    return select_estimator(x_dtype, y_dtype, k=k)
+
+
+def estimate_mi(
+    x_values: Sequence[Any],
+    y_values: Sequence[Any],
+    *,
+    x_dtype: Optional[DType] = None,
+    y_dtype: Optional[DType] = None,
+    estimator: Optional[MIEstimator] = None,
+    k: int = 3,
+) -> float:
+    """Estimate I(X; Y) in nats from two aligned value sequences.
+
+    Types are inferred from the data when not supplied; an explicit
+    ``estimator`` bypasses the dispatch entirely.
+    """
+    if estimator is None:
+        x_dtype = x_dtype if x_dtype is not None else infer_column_dtype(x_values)
+        y_dtype = y_dtype if y_dtype is not None else infer_column_dtype(y_values)
+        estimator = select_estimator(x_dtype, y_dtype, k=k)
+    return estimator.estimate(x_values, y_values)

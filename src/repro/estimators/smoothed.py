@@ -1,0 +1,58 @@
+"""Laplace-smoothed plug-in MI estimator.
+
+The paper's conclusion points out that the plain MLE estimator has high
+recall but also a high false-discovery rate when used to flag dependent
+column pairs, and suggests smoothed estimators (Pennerath et al., 2020) as an
+alternative.  This estimator applies additive (Laplace) smoothing to the
+joint contingency table before plugging the smoothed distribution into the
+MI formula, shrinking estimates of weakly-supported cells toward
+independence.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any
+
+import numpy as np
+
+from repro.estimators.base import MIEstimator, VariableKind, clip_non_negative
+
+__all__ = ["SmoothedMLEEstimator"]
+
+
+class SmoothedMLEEstimator(MIEstimator):
+    """Additively smoothed plug-in MI estimator for discrete pairs.
+
+    Parameters
+    ----------
+    alpha:
+        Pseudo-count added to every cell of the observed joint contingency
+        table (``alpha = 1`` is classic Laplace smoothing; ``alpha = 0``
+        recovers the plain MLE estimator).
+    """
+
+    name = "Smoothed-MLE"
+    x_kind = VariableKind.DISCRETE
+    y_kind = VariableKind.DISCRETE
+    min_samples = 1
+
+    def __init__(self, alpha: float = 0.5):
+        if alpha < 0:
+            raise ValueError("alpha must be non-negative")
+        self.alpha = float(alpha)
+
+    def _estimate(self, x_values: list[Any], y_values: list[Any]) -> float:
+        x_levels = {value: index for index, value in enumerate(dict.fromkeys(x_values))}
+        y_levels = {value: index for index, value in enumerate(dict.fromkeys(y_values))}
+        joint = np.zeros((len(x_levels), len(y_levels)), dtype=np.float64)
+        for x, y in zip(x_values, y_values):
+            joint[x_levels[x], y_levels[y]] += 1.0
+        joint += self.alpha
+        joint /= joint.sum()
+        p_x = joint.sum(axis=1, keepdims=True)
+        p_y = joint.sum(axis=0, keepdims=True)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            ratio = np.where(joint > 0, joint / (p_x * p_y), 1.0)
+            terms = np.where(joint > 0, joint * np.log(ratio), 0.0)
+        return clip_non_negative(float(terms.sum()))

@@ -1,0 +1,44 @@
+"""Evaluation harness: metrics, runners and per-figure/table experiments.
+
+Each module in :mod:`repro.evaluation.experiments` regenerates one table or
+figure of the paper's Section V (see DESIGN.md for the experiment index).
+Experiments return plain data structures (lists of row dicts plus summary
+dicts) so they can be rendered as text reports, asserted on in tests, and
+timed by the benchmark harness.
+"""
+
+from repro.evaluation.metrics import (
+    mean_squared_error,
+    root_mean_squared_error,
+    mean_absolute_error,
+    mean_bias,
+    pearson_correlation,
+    spearman_correlation,
+)
+from repro.evaluation.reporting import format_table, format_kv, indent
+from repro.evaluation.runner import (
+    EstimatorSpec,
+    trinomial_estimator_specs,
+    cdunif_estimator_specs,
+    sketch_estimate_for_dataset,
+    full_join_estimate_for_dataset,
+    SketchRunRecord,
+)
+
+__all__ = [
+    "mean_squared_error",
+    "root_mean_squared_error",
+    "mean_absolute_error",
+    "mean_bias",
+    "pearson_correlation",
+    "spearman_correlation",
+    "format_table",
+    "format_kv",
+    "indent",
+    "EstimatorSpec",
+    "trinomial_estimator_specs",
+    "cdunif_estimator_specs",
+    "sketch_estimate_for_dataset",
+    "full_join_estimate_for_dataset",
+    "SketchRunRecord",
+]

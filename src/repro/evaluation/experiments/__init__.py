@@ -1,0 +1,35 @@
+"""Per-table / per-figure experiment modules.
+
+Every module regenerates one artifact of the paper's Section V (see the
+experiment index in DESIGN.md) and follows the same structure: a
+``run_<experiment>()`` function producing an :class:`ExperimentResult`, whose
+``report()`` method renders the same rows/series the paper reports.
+"""
+
+from repro.evaluation.experiments.result import ExperimentResult
+from repro.evaluation.experiments.fulljoin_accuracy import run_fulljoin_accuracy
+from repro.evaluation.experiments.figure2 import run_figure2
+from repro.evaluation.experiments.figure3 import run_figure3
+from repro.evaluation.experiments.figure4 import run_figure4
+from repro.evaluation.experiments.table1 import run_table1
+from repro.evaluation.experiments.table2 import run_table2
+from repro.evaluation.experiments.figure5 import run_figure5
+from repro.evaluation.experiments.performance import run_performance
+from repro.evaluation.experiments.ablation_coordination import run_ablation_coordination
+from repro.evaluation.experiments.ablation_aggregation import run_ablation_aggregation
+from repro.evaluation.experiments.ablation_sketch_size import run_ablation_sketch_size
+
+__all__ = [
+    "ExperimentResult",
+    "run_fulljoin_accuracy",
+    "run_figure2",
+    "run_figure3",
+    "run_figure4",
+    "run_table1",
+    "run_table2",
+    "run_figure5",
+    "run_performance",
+    "run_ablation_coordination",
+    "run_ablation_aggregation",
+    "run_ablation_sketch_size",
+]

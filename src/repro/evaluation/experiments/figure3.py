@@ -1,0 +1,136 @@
+"""E3 — Effect of distinct values on CDUnif (Figure 3).
+
+For the CDUnif distribution the MI is a deterministic, increasing function of
+the number of distinct values ``m``; with a fixed sketch size (n = 256) the
+``m/n`` ratio grows and estimation becomes harder.  The paper shows that the
+estimators break down as the true MI approaches ``log(256) - ... ≈ 4.85``
+(i.e. when m exceeds the sketch size), that LV2SK + DC-KSG collapses even
+earlier, and that TUPSK degrades more gracefully.
+
+The summary buckets the scatter by true-MI range so the breakdown region is
+visible without a plot.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.evaluation.experiments.result import ExperimentResult
+from repro.evaluation.metrics import mean_bias, mean_squared_error
+from repro.evaluation.runner import cdunif_estimator_specs, sketch_estimate_for_dataset
+from repro.synthetic.benchmark import generate_cdunif_dataset, redecompose
+from repro.synthetic.decompose import KeyGeneration
+from repro.util.rng import RandomState, ensure_rng, spawn_rng
+
+__all__ = ["run_figure3"]
+
+#: True-MI buckets used to summarize the scatter (nats).
+_MI_BUCKETS = ((0.0, 3.0), (3.0, 4.25), (4.25, 5.0), (5.0, float("inf")))
+
+
+def _bucket_label(true_mi: float) -> str:
+    for low, high in _MI_BUCKETS:
+        if low <= true_mi < high:
+            if math.isinf(high):
+                return f">={low:.2f}"
+            return f"[{low:.2f},{high:.2f})"
+    return "unknown"
+
+
+def run_figure3(
+    *,
+    sketch_size: int = 256,
+    sample_size: int = 10_000,
+    num_datasets: int = 16,
+    m_range: tuple[int, int] = (2, 1000),
+    methods: tuple[str, ...] = ("LV2SK", "TUPSK"),
+    key_generations: tuple[KeyGeneration, ...] = (
+        KeyGeneration.KEY_IND,
+        KeyGeneration.KEY_DEP,
+    ),
+    random_state: RandomState = 0,
+) -> ExperimentResult:
+    """Regenerate the series of Figure 3 (CDUnif, n=256, m swept)."""
+    rng = ensure_rng(random_state)
+    child_rngs = spawn_rng(rng, num_datasets)
+    specs = cdunif_estimator_specs()
+    # Spread m values geometrically so every MI bucket is populated.
+    m_values = np.unique(
+        np.geomspace(max(m_range[0], 2), m_range[1], num=num_datasets).astype(int)
+    )
+
+    rows: list[dict[str, object]] = []
+    for index, m in enumerate(m_values):
+        child = child_rngs[index % len(child_rngs)]
+        base_dataset = generate_cdunif_dataset(
+            int(m), sample_size, key_generation=KeyGeneration.KEY_IND, random_state=child
+        )
+        for key_generation in key_generations:
+            dataset = (
+                base_dataset
+                if key_generation is KeyGeneration.KEY_IND
+                else redecompose(base_dataset, key_generation)
+            )
+            for method in methods:
+                for spec in specs:
+                    record = sketch_estimate_for_dataset(
+                        dataset,
+                        method,
+                        capacity=sketch_size,
+                        estimator_spec=spec,
+                        random_state=child,
+                    )
+                    row = record.as_row()
+                    row["mi_bucket"] = _bucket_label(dataset.true_mi)
+                    rows.append(row)
+
+    summary: list[dict[str, object]] = []
+    for method in methods:
+        for spec in specs:
+            for key_generation in key_generations:
+                for low, high in _MI_BUCKETS:
+                    label = _bucket_label(low)
+                    subset = [
+                        row
+                        for row in rows
+                        if row["method"] == method
+                        and row["estimator"] == spec.label
+                        and row["key_generation"] == key_generation.value
+                        and row["mi_bucket"] == label
+                        and not math.isnan(row["estimate"])
+                    ]
+                    if not subset:
+                        continue
+                    estimates = [row["estimate"] for row in subset]
+                    references = [row["true_mi"] for row in subset]
+                    summary.append(
+                        {
+                            "method": method,
+                            "estimator": spec.label,
+                            "key_generation": key_generation.value,
+                            "mi_bucket": label,
+                            "datasets": len(subset),
+                            "bias": mean_bias(estimates, references),
+                            "mse": mean_squared_error(estimates, references),
+                        }
+                    )
+
+    return ExperimentResult(
+        name="figure3",
+        paper_reference="Figure 3 (CDUnif, n=256, effect of distinct values)",
+        rows=rows,
+        summary=summary,
+        parameters={
+            "sketch_size": sketch_size,
+            "sample_size": sample_size,
+            "num_datasets": num_datasets,
+            "m_range": m_range,
+        },
+        notes=(
+            "Expected shape: estimates track the true MI in the low buckets and "
+            "collapse (large negative bias) once the true MI exceeds ~4.25-4.85; "
+            "TUPSK degrades more gracefully than LV2SK."
+        ),
+    )

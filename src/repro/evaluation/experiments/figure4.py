@@ -1,0 +1,98 @@
+"""E4 — Effect of distinct values on Trinomial (Figure 4).
+
+With the sketch size fixed at n = 256, increasing the Trinomial parameter
+``m`` (the number of distinct values) increases the bias of the estimators
+that treat the data as discrete (MLE, and to a lesser extent Mixed-KSG); the
+paper's Figure 4 shows one panel per ``m`` in {16, 64, 256, 512, 1024}, with
+TUPSK sketches.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.evaluation.experiments.result import ExperimentResult
+from repro.evaluation.metrics import mean_bias, mean_squared_error
+from repro.evaluation.runner import sketch_estimate_for_dataset, trinomial_estimator_specs
+from repro.synthetic.benchmark import generate_trinomial_dataset
+from repro.synthetic.decompose import KeyGeneration
+from repro.util.rng import RandomState, ensure_rng, spawn_rng
+
+__all__ = ["run_figure4"]
+
+
+def run_figure4(
+    *,
+    m_values: tuple[int, ...] = (16, 64, 256, 512, 1024),
+    sketch_size: int = 256,
+    sample_size: int = 10_000,
+    datasets_per_m: int = 6,
+    method: str = "TUPSK",
+    key_generation: KeyGeneration = KeyGeneration.KEY_IND,
+    random_state: RandomState = 0,
+) -> ExperimentResult:
+    """Regenerate the panels of Figure 4 (Trinomial, TUPSK, n=256, m swept)."""
+    rng = ensure_rng(random_state)
+    child_rngs = spawn_rng(rng, len(m_values) * datasets_per_m)
+    specs = trinomial_estimator_specs()
+
+    rows: list[dict[str, object]] = []
+    child_index = 0
+    for m in m_values:
+        for _ in range(datasets_per_m):
+            child = child_rngs[child_index]
+            child_index += 1
+            dataset = generate_trinomial_dataset(
+                m, sample_size, key_generation=key_generation, random_state=child
+            )
+            for spec in specs:
+                record = sketch_estimate_for_dataset(
+                    dataset,
+                    method,
+                    capacity=sketch_size,
+                    estimator_spec=spec,
+                    random_state=child,
+                )
+                rows.append(record.as_row())
+
+    summary: list[dict[str, object]] = []
+    for m in m_values:
+        for spec in specs:
+            subset = [
+                row
+                for row in rows
+                if row["m"] == m
+                and row["estimator"] == spec.label
+                and not math.isnan(row["estimate"])
+            ]
+            if not subset:
+                continue
+            estimates = [row["estimate"] for row in subset]
+            references = [row["true_mi"] for row in subset]
+            summary.append(
+                {
+                    "m": m,
+                    "estimator": spec.label,
+                    "datasets": len(subset),
+                    "bias": mean_bias(estimates, references),
+                    "mse": mean_squared_error(estimates, references),
+                }
+            )
+
+    return ExperimentResult(
+        name="figure4",
+        paper_reference="Figure 4 (Trinomial, TUPSK, n=256, m in {16..1024})",
+        rows=rows,
+        summary=summary,
+        parameters={
+            "m_values": m_values,
+            "sketch_size": sketch_size,
+            "sample_size": sample_size,
+            "datasets_per_m": datasets_per_m,
+            "method": method,
+        },
+        notes=(
+            "Expected shape: the MLE bias grows with m (strong over-estimation at "
+            "m=512/1024); KSG-family estimators are less affected."
+        ),
+    )

@@ -1,0 +1,125 @@
+"""Shared helpers for the real-data-style experiments (Table II, Figure 5).
+
+For every (base, candidate) table pair drawn from a simulated repository we
+need two measurements:
+
+* the **full-join estimate** — featurize the candidate, perform the actual
+  left-outer join, drop unmatched rows and estimate MI on the materialized
+  columns (the reference the paper compares against, since the true MI of
+  real data is unknown), and
+* the **sketch estimate** — build one sketch per side and estimate MI from
+  the sketch join.
+
+Both paths use the same data-type-driven estimator selection so their
+estimates are comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.discovery.query import default_aggregate_for_dtype
+from repro.estimators.selection import select_estimator
+from repro.exceptions import EstimationError, InsufficientSamplesError
+from repro.opendata.pairs import TablePair
+from repro.relational.aggregate import AggregateFunction, output_dtype
+from repro.relational.featurize import augment
+from repro.sketches.base import get_builder
+from repro.sketches.estimate import SketchMIEstimate, estimate_mi_from_sketches
+
+__all__ = ["FullJoinMeasurement", "full_join_mi", "sketch_mi", "aggregate_for_pair"]
+
+
+@dataclass
+class FullJoinMeasurement:
+    """Reference measurement computed from the materialized join."""
+
+    mi: float
+    estimator: str
+    join_rows: int
+    aggregate: str
+
+
+def aggregate_for_pair(pair: TablePair) -> AggregateFunction:
+    """Featurization function used for a pair (AVG for numeric, MODE for strings)."""
+    candidate_values = pair.candidate.table.column(pair.candidate.value_column)
+    return default_aggregate_for_dtype(candidate_values.dtype.is_numeric)
+
+
+def full_join_mi(
+    pair: TablePair,
+    *,
+    min_join_rows: int = 8,
+    k: int = 3,
+) -> Optional[FullJoinMeasurement]:
+    """Materialize the augmentation join of a pair and estimate MI on it.
+
+    Returns ``None`` when the joined (non-null) sample is smaller than
+    ``min_join_rows`` or the estimator cannot produce an estimate.
+    """
+    agg = aggregate_for_pair(pair)
+    feature_name = f"{agg.value}_{pair.candidate.value_column}"
+    augmented = augment(
+        pair.base.table,
+        pair.candidate.table,
+        base_key=pair.base.key_column,
+        candidate_key=pair.candidate.key_column,
+        candidate_value=pair.candidate.value_column,
+        agg=agg,
+        feature_name=feature_name,
+    )
+    matched = augmented.drop_nulls([feature_name, pair.base.value_column])
+    if matched.num_rows < min_join_rows:
+        return None
+    feature_dtype = output_dtype(
+        agg, pair.candidate.table.column(pair.candidate.value_column).dtype
+    )
+    target_dtype = pair.base.table.column(pair.base.value_column).dtype
+    estimator = select_estimator(feature_dtype, target_dtype, k=k)
+    try:
+        mi = estimator.estimate(
+            matched.column(feature_name).values,
+            matched.column(pair.base.value_column).values,
+        )
+    except (EstimationError, InsufficientSamplesError):
+        return None
+    return FullJoinMeasurement(
+        mi=mi,
+        estimator=estimator.name,
+        join_rows=matched.num_rows,
+        aggregate=agg.value,
+    )
+
+
+def sketch_mi(
+    pair: TablePair,
+    method: str,
+    *,
+    capacity: int = 1024,
+    seed: int = 0,
+    min_join_size: int = 100,
+    k: int = 3,
+) -> Optional[SketchMIEstimate]:
+    """Sketch both sides of a pair and estimate MI from the sketch join.
+
+    Returns ``None`` when the sketch join is smaller than ``min_join_size``
+    (the paper's filter for meaningless estimates) or estimation fails.
+    """
+    agg = aggregate_for_pair(pair)
+    builder = get_builder(method, capacity=capacity, seed=seed)
+    base_sketch = builder.sketch_base(
+        pair.base.table, pair.base.key_column, pair.base.value_column
+    )
+    candidate_sketch = builder.sketch_candidate(
+        pair.candidate.table,
+        pair.candidate.key_column,
+        pair.candidate.value_column,
+        agg=agg,
+    )
+    try:
+        return estimate_mi_from_sketches(
+            base_sketch, candidate_sketch, k=k, min_join_size=min_join_size
+        )
+    except (EstimationError, InsufficientSamplesError):
+        return None

@@ -1,0 +1,67 @@
+"""Common result container for experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+from repro.evaluation.reporting import format_table
+
+__all__ = ["ExperimentResult"]
+
+
+@dataclass
+class ExperimentResult:
+    """Raw rows plus aggregated summary of one experiment.
+
+    Attributes
+    ----------
+    name:
+        Experiment identifier (e.g. ``"figure2"``).
+    paper_reference:
+        The table/figure of the paper this experiment regenerates.
+    rows:
+        Per-measurement records (one dict per dataset/method/estimator
+        combination) — the points of a figure.
+    summary:
+        Aggregated records (one dict per reported series or table row).
+    parameters:
+        Parameters the experiment ran with (sketch size, dataset sizes, ...).
+    notes:
+        Free-text remarks included in the report.
+    """
+
+    name: str
+    paper_reference: str
+    rows: list[dict[str, Any]] = field(default_factory=list)
+    summary: list[dict[str, Any]] = field(default_factory=list)
+    parameters: dict[str, Any] = field(default_factory=dict)
+    notes: str = ""
+
+    def report(self, *, columns: Optional[Sequence[str]] = None, precision: int = 3) -> str:
+        """Render the summary as a plain-text table with a header."""
+        header = f"== {self.name} ({self.paper_reference}) =="
+        params = ", ".join(f"{key}={value}" for key, value in self.parameters.items())
+        lines = [header]
+        if params:
+            lines.append(f"parameters: {params}")
+        lines.append(format_table(self.summary, columns, precision=precision))
+        if self.notes:
+            lines.append(self.notes)
+        return "\n".join(lines)
+
+    def summary_by(self, **filters: Any) -> list[dict[str, Any]]:
+        """Summary rows matching all the given key/value filters."""
+        return [
+            row
+            for row in self.summary
+            if all(row.get(key) == value for key, value in filters.items())
+        ]
+
+    def rows_by(self, **filters: Any) -> list[dict[str, Any]]:
+        """Raw rows matching all the given key/value filters."""
+        return [
+            row
+            for row in self.rows
+            if all(row.get(key) == value for key, value in filters.items())
+        ]

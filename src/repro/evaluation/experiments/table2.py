@@ -1,0 +1,120 @@
+"""E6 — Real-data accuracy of the sketching methods (Table II).
+
+Table II compares LV2SK, PRISK and TUPSK (n = 1024) on pairs of two-column
+tables drawn from two open-data collections, using the MI estimated on the
+full join as the reference.  Reported per (collection, sketch): the average
+sketch-join size, Spearman's rank correlation between sketch and full-join
+estimates, and the MSE.  Estimates with sketch-join size <= 100 are dropped.
+
+Since the original snapshots are unavailable offline, the collections are the
+simulated ``nyc`` and ``wbf`` repositories (see DESIGN.md, substitution #1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.evaluation.experiments.realdata import full_join_mi, sketch_mi
+from repro.evaluation.experiments.result import ExperimentResult
+from repro.evaluation.metrics import mean_squared_error, spearman_correlation
+from repro.opendata.pairs import sample_table_pairs
+from repro.opendata.repository import generate_repository
+from repro.util.rng import RandomState, ensure_rng, spawn_rng
+
+__all__ = ["run_table2", "DEFAULT_TABLE2_METHODS"]
+
+DEFAULT_TABLE2_METHODS = ("LV2SK", "PRISK", "TUPSK")
+
+
+def run_table2(
+    *,
+    profiles: tuple[str, ...] = ("nyc", "wbf"),
+    methods: tuple[str, ...] = DEFAULT_TABLE2_METHODS,
+    sketch_size: int = 1024,
+    num_pairs: int = 40,
+    tables_per_repository: int = 40,
+    min_join_size: int = 100,
+    random_state: RandomState = 0,
+) -> ExperimentResult:
+    """Regenerate Table II on the simulated repositories."""
+    rng = ensure_rng(random_state)
+    repo_rngs = spawn_rng(rng, len(profiles))
+
+    rows: list[dict[str, object]] = []
+    for profile, repo_rng in zip(profiles, repo_rngs):
+        repository = generate_repository(
+            profile, random_state=repo_rng, num_tables=tables_per_repository
+        )
+        pairs = sample_table_pairs(
+            repository, num_pairs, same_domain_only=True, random_state=repo_rng
+        )
+        for pair_index, pair in enumerate(pairs):
+            reference = full_join_mi(pair)
+            if reference is None:
+                continue
+            for method in methods:
+                estimate = sketch_mi(
+                    pair,
+                    method,
+                    capacity=sketch_size,
+                    min_join_size=min_join_size,
+                )
+                if estimate is None:
+                    continue
+                rows.append(
+                    {
+                        "collection": profile.upper(),
+                        "pair": pair_index,
+                        "method": method,
+                        "estimator": estimate.estimator,
+                        "full_join_mi": reference.mi,
+                        "sketch_mi": estimate.mi,
+                        "sketch_join_size": estimate.join_size,
+                        "full_join_rows": reference.join_rows,
+                    }
+                )
+
+    summary: list[dict[str, object]] = []
+    for profile in profiles:
+        collection = profile.upper()
+        for method in methods:
+            subset = [
+                row
+                for row in rows
+                if row["collection"] == collection and row["method"] == method
+            ]
+            if len(subset) < 2:
+                continue
+            sketch_estimates = [row["sketch_mi"] for row in subset]
+            references = [row["full_join_mi"] for row in subset]
+            summary.append(
+                {
+                    "dataset": collection,
+                    "sketch": method,
+                    "pairs": len(subset),
+                    "avg_join_size": float(
+                        np.mean([row["sketch_join_size"] for row in subset])
+                    ),
+                    "spearman": spearman_correlation(sketch_estimates, references),
+                    "mse": mean_squared_error(sketch_estimates, references),
+                }
+            )
+
+    return ExperimentResult(
+        name="table2",
+        paper_reference="Table II (real-data collections, n=1024)",
+        rows=rows,
+        summary=summary,
+        parameters={
+            "profiles": profiles,
+            "sketch_size": sketch_size,
+            "num_pairs": num_pairs,
+            "tables_per_repository": tables_per_repository,
+            "min_join_size": min_join_size,
+        },
+        notes=(
+            "Expected shape: TUPSK attains the strongest Spearman correlation and "
+            "the lowest MSE despite a somewhat smaller average join size than the "
+            "two-level methods."
+        ),
+    )

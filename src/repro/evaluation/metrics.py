@@ -1,0 +1,90 @@
+"""Accuracy metrics used by the experiments.
+
+The paper reports mean squared error (Tables I and II), root mean squared
+error and Pearson's correlation (Section V-B1), and Spearman's rank
+correlation (Table II) between estimated and reference MI values.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+from scipy import stats
+
+from repro.exceptions import EstimationError
+
+__all__ = [
+    "mean_squared_error",
+    "root_mean_squared_error",
+    "mean_absolute_error",
+    "mean_bias",
+    "pearson_correlation",
+    "spearman_correlation",
+]
+
+
+def _as_aligned_arrays(
+    estimates: Sequence[float], references: Sequence[float]
+) -> tuple[np.ndarray, np.ndarray]:
+    estimates_array = np.asarray(estimates, dtype=np.float64)
+    references_array = np.asarray(references, dtype=np.float64)
+    if estimates_array.shape != references_array.shape:
+        raise EstimationError(
+            "estimates and references must be aligned, got shapes "
+            f"{estimates_array.shape} and {references_array.shape}"
+        )
+    if estimates_array.size == 0:
+        raise EstimationError("cannot compute a metric from empty inputs")
+    return estimates_array, references_array
+
+
+def mean_squared_error(estimates: Sequence[float], references: Sequence[float]) -> float:
+    """Mean squared error between estimates and reference values."""
+    estimates_array, references_array = _as_aligned_arrays(estimates, references)
+    return float(np.mean((estimates_array - references_array) ** 2))
+
+
+def root_mean_squared_error(
+    estimates: Sequence[float], references: Sequence[float]
+) -> float:
+    """Root mean squared error between estimates and reference values."""
+    return float(np.sqrt(mean_squared_error(estimates, references)))
+
+
+def mean_absolute_error(
+    estimates: Sequence[float], references: Sequence[float]
+) -> float:
+    """Mean absolute error between estimates and reference values."""
+    estimates_array, references_array = _as_aligned_arrays(estimates, references)
+    return float(np.mean(np.abs(estimates_array - references_array)))
+
+
+def mean_bias(estimates: Sequence[float], references: Sequence[float]) -> float:
+    """Average signed error (positive = over-estimation)."""
+    estimates_array, references_array = _as_aligned_arrays(estimates, references)
+    return float(np.mean(estimates_array - references_array))
+
+
+def pearson_correlation(
+    estimates: Sequence[float], references: Sequence[float]
+) -> float:
+    """Pearson's correlation coefficient between estimates and references."""
+    estimates_array, references_array = _as_aligned_arrays(estimates, references)
+    if estimates_array.size < 2:
+        raise EstimationError("Pearson correlation requires at least two points")
+    if np.std(estimates_array) == 0.0 or np.std(references_array) == 0.0:
+        return 0.0
+    return float(stats.pearsonr(estimates_array, references_array).statistic)
+
+
+def spearman_correlation(
+    estimates: Sequence[float], references: Sequence[float]
+) -> float:
+    """Spearman's rank correlation between estimates and references."""
+    estimates_array, references_array = _as_aligned_arrays(estimates, references)
+    if estimates_array.size < 2:
+        raise EstimationError("Spearman correlation requires at least two points")
+    if np.std(estimates_array) == 0.0 or np.std(references_array) == 0.0:
+        return 0.0
+    return float(stats.spearmanr(estimates_array, references_array).statistic)

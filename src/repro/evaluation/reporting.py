@@ -1,0 +1,80 @@
+"""Plain-text rendering of experiment results.
+
+The experiments return lists of row dictionaries; these helpers render them
+as aligned monospace tables so that the benchmark harness can print the same
+rows/series the paper's tables and figures report.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional, Sequence
+
+__all__ = ["format_table", "format_kv", "indent"]
+
+
+def _format_cell(value: Any, precision: int) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, Any]],
+    columns: Optional[Sequence[str]] = None,
+    *,
+    precision: int = 3,
+    title: str = "",
+) -> str:
+    """Render rows (dicts) as an aligned plain-text table.
+
+    Parameters
+    ----------
+    rows:
+        Sequence of mappings; missing keys render as empty cells.
+    columns:
+        Column order; defaults to the keys of the first row.
+    precision:
+        Decimal places for float cells.
+    title:
+        Optional title line printed above the table.
+    """
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    columns = list(columns) if columns is not None else list(rows[0].keys())
+    rendered = [
+        [_format_cell(row.get(column, ""), precision) for column in columns]
+        for row in rows
+    ]
+    widths = [
+        max(len(str(column)), *(len(line[i]) for line in rendered))
+        for i, column in enumerate(columns)
+    ]
+    header = "  ".join(str(column).ljust(width) for column, width in zip(columns, widths))
+    separator = "  ".join("-" * width for width in widths)
+    body = "\n".join(
+        "  ".join(cell.ljust(width) for cell, width in zip(line, widths))
+        for line in rendered
+    )
+    parts = [title, header, separator, body] if title else [header, separator, body]
+    return "\n".join(part for part in parts if part)
+
+
+def format_kv(values: Mapping[str, Any], *, precision: int = 3, title: str = "") -> str:
+    """Render a flat mapping as aligned ``key: value`` lines."""
+    if not values:
+        return title or ""
+    width = max(len(str(key)) for key in values)
+    lines = [
+        f"{str(key).ljust(width)} : {_format_cell(value, precision)}"
+        for key, value in values.items()
+    ]
+    if title:
+        lines.insert(0, title)
+    return "\n".join(lines)
+
+
+def indent(text: str, prefix: str = "  ") -> str:
+    """Indent every line of ``text`` with ``prefix``."""
+    return "\n".join(prefix + line for line in text.splitlines())

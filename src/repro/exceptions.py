@@ -1,0 +1,91 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All errors raised by the library derive from :class:`ReproError` so that
+callers can catch library-specific failures with a single ``except`` clause
+while still letting programming errors (``TypeError`` from misuse of the
+Python API, ``KeyboardInterrupt``, ...) propagate.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "SchemaError",
+    "ColumnNotFoundError",
+    "TypeInferenceError",
+    "AggregationError",
+    "JoinError",
+    "SketchError",
+    "IncompatibleSketchError",
+    "EstimationError",
+    "InsufficientSamplesError",
+    "SyntheticDataError",
+    "DiscoveryError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the library."""
+
+
+class SchemaError(ReproError):
+    """A table or column was constructed with an inconsistent schema."""
+
+
+class ColumnNotFoundError(SchemaError, KeyError):
+    """A referenced column name does not exist in the table."""
+
+    def __init__(self, name: str, available: tuple[str, ...] = ()):
+        self.name = name
+        self.available = tuple(available)
+        message = f"column {name!r} not found"
+        if self.available:
+            message += f"; available columns: {', '.join(self.available)}"
+        super().__init__(message)
+
+    def __str__(self) -> str:  # KeyError.__str__ adds quotes around args[0]
+        return self.args[0]
+
+
+class TypeInferenceError(ReproError):
+    """Raw values could not be coerced into a supported column type."""
+
+
+class AggregationError(ReproError):
+    """An aggregation function could not be applied to a group of values."""
+
+
+class JoinError(ReproError):
+    """A join between two tables could not be performed."""
+
+
+class SketchError(ReproError):
+    """A sketch could not be built or combined."""
+
+
+class IncompatibleSketchError(SketchError):
+    """Two sketches cannot be joined (different methods, seeds or sides)."""
+
+
+class EstimationError(ReproError):
+    """A mutual-information or entropy estimate could not be computed."""
+
+
+class InsufficientSamplesError(EstimationError):
+    """The sample handed to an estimator is too small to be meaningful."""
+
+    def __init__(self, required: int, actual: int, context: str = ""):
+        self.required = required
+        self.actual = actual
+        suffix = f" ({context})" if context else ""
+        super().__init__(
+            f"estimator requires at least {required} samples, got {actual}{suffix}"
+        )
+
+
+class SyntheticDataError(ReproError):
+    """Synthetic data could not be generated for the requested parameters."""
+
+
+class DiscoveryError(ReproError):
+    """A data-discovery query could not be evaluated."""

@@ -1,0 +1,26 @@
+"""Hashing substrate used by the coordinated-sampling sketches.
+
+The paper (Section IV, "Approach Overview") assumes two hash functions:
+
+* ``h`` — a collision-resistant hash that maps arbitrary objects (join-key
+  values, or ``(key, occurrence)`` tuples) to 32-bit integers; the original
+  implementation uses MurmurHash3.
+* ``h_u`` — a hash mapping integers uniformly to the unit interval ``[0, 1)``;
+  the original implementation uses Fibonacci hashing.
+
+Both are implemented here from scratch so the sketching layer has no external
+dependencies and so that two sketches built independently (possibly on
+different machines) agree on every hash value given the same seed.
+"""
+
+from repro.hashing.murmur3 import murmur3_32
+from repro.hashing.fibonacci import fibonacci_hash_unit
+from repro.hashing.unit import KeyHasher, hash_key, hash_key_unit
+
+__all__ = [
+    "murmur3_32",
+    "fibonacci_hash_unit",
+    "KeyHasher",
+    "hash_key",
+    "hash_key_unit",
+]

@@ -1,0 +1,31 @@
+"""Fibonacci hashing of integers to the unit interval.
+
+Fibonacci hashing (Knuth, TAOCP vol. 3) multiplies the input by
+``2**w / phi`` (the golden ratio) modulo ``2**w``; the resulting values are
+very evenly spread over ``[0, 2**w)`` even for structured inputs, which is
+exactly what the sketches need when they rank join keys by hash value.
+The paper uses this as the uniform hash ``h_u``.
+"""
+
+from __future__ import annotations
+
+__all__ = ["fibonacci_hash_unit", "fibonacci_hash_64"]
+
+#: 2**64 / golden ratio, rounded to the nearest odd integer.
+_FIB_MULTIPLIER_64 = 0x9E3779B97F4A7C15
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+_TWO_POW_64 = float(2**64)
+
+
+def fibonacci_hash_64(value: int) -> int:
+    """Map an integer to a 64-bit integer via Fibonacci (multiplicative) hashing."""
+    return (int(value) * _FIB_MULTIPLIER_64) & _MASK64
+
+
+def fibonacci_hash_unit(value: int) -> float:
+    """Map an integer uniformly to the unit interval ``[0, 1)``.
+
+    This is the ``h_u`` function of the paper: sketches select the keys (or
+    key-occurrence tuples) whose ``h_u(h(k))`` values are smallest.
+    """
+    return fibonacci_hash_64(value) / _TWO_POW_64

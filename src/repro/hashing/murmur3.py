@@ -1,0 +1,77 @@
+"""Pure-Python implementation of 32-bit MurmurHash3 (x86 variant).
+
+MurmurHash3 is the collision-free-in-practice hash the paper uses to map
+join-key values to integers before applying Fibonacci hashing.  This
+implementation follows Austin Appleby's reference ``MurmurHash3_x86_32`` and
+matches its output bit-for-bit for byte-string inputs, which keeps sketches
+comparable with implementations in other languages.
+"""
+
+from __future__ import annotations
+
+__all__ = ["murmur3_32"]
+
+_C1 = 0xCC9E2D51
+_C2 = 0x1B873593
+_MASK32 = 0xFFFFFFFF
+
+
+def _rotl32(value: int, shift: int) -> int:
+    return ((value << shift) | (value >> (32 - shift))) & _MASK32
+
+
+def _fmix32(value: int) -> int:
+    value ^= value >> 16
+    value = (value * 0x85EBCA6B) & _MASK32
+    value ^= value >> 13
+    value = (value * 0xC2B2AE35) & _MASK32
+    value ^= value >> 16
+    return value
+
+
+def murmur3_32(data: "bytes | str | int", seed: int = 0) -> int:
+    """Compute the 32-bit MurmurHash3 of ``data`` with the given ``seed``.
+
+    ``str`` inputs are UTF-8 encoded; ``int`` inputs are encoded as their
+    8-byte little-endian two's-complement representation so that positive and
+    negative integers hash consistently.
+    """
+    if isinstance(data, str):
+        data = data.encode("utf-8")
+    elif isinstance(data, int):
+        data = (data & 0xFFFFFFFFFFFFFFFF).to_bytes(8, "little")
+    elif not isinstance(data, (bytes, bytearray)):
+        raise TypeError(f"murmur3_32 expects bytes, str or int, got {type(data).__name__}")
+
+    length = len(data)
+    num_blocks = length // 4
+    h1 = seed & _MASK32
+
+    # Body: process 4-byte blocks.
+    for block_index in range(num_blocks):
+        offset = block_index * 4
+        k1 = int.from_bytes(data[offset : offset + 4], "little")
+        k1 = (k1 * _C1) & _MASK32
+        k1 = _rotl32(k1, 15)
+        k1 = (k1 * _C2) & _MASK32
+        h1 ^= k1
+        h1 = _rotl32(h1, 13)
+        h1 = (h1 * 5 + 0xE6546B64) & _MASK32
+
+    # Tail: up to 3 remaining bytes.
+    tail = data[num_blocks * 4 :]
+    k1 = 0
+    if len(tail) >= 3:
+        k1 ^= tail[2] << 16
+    if len(tail) >= 2:
+        k1 ^= tail[1] << 8
+    if len(tail) >= 1:
+        k1 ^= tail[0]
+        k1 = (k1 * _C1) & _MASK32
+        k1 = _rotl32(k1, 15)
+        k1 = (k1 * _C2) & _MASK32
+        h1 ^= k1
+
+    # Finalization.
+    h1 ^= length
+    return _fmix32(h1)

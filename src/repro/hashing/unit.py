@@ -1,0 +1,85 @@
+"""Canonical hashing of join-key values and key-occurrence tuples.
+
+The sketching layer needs two operations:
+
+* ``hash_key(value)`` — a deterministic 32-bit integer identifier for a
+  join-key value (shared between the two tables being joined), computed with
+  MurmurHash3 on a canonical byte encoding of the value;
+* ``hash_key_unit(value)`` or ``hash_key_unit((value, occurrence))`` — the
+  position of a key (or of the *j*-th occurrence of a key, for TUPSK) on the
+  unit interval, computed by composing Fibonacci hashing with the integer
+  identifier.
+
+:class:`KeyHasher` bundles both with a seed so different experiments can use
+independent hash functions while two sketches meant to be joined share one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Hashable
+
+from repro.hashing.fibonacci import fibonacci_hash_unit
+from repro.hashing.murmur3 import murmur3_32
+
+__all__ = ["KeyHasher", "hash_key", "hash_key_unit", "canonical_bytes"]
+
+
+def canonical_bytes(value: Any) -> bytes:
+    """Encode a join-key value (or tuple of values) as canonical bytes.
+
+    The encoding is type-tagged so that, e.g., the integer ``1`` and the
+    string ``"1"`` do not collide, and tuples (used for TUPSK's
+    ``(key, occurrence)`` sampling frame) encode their parts recursively.
+    """
+    if value is None:
+        return b"n:"
+    if isinstance(value, bool):
+        return b"b:1" if value else b"b:0"
+    if isinstance(value, int):
+        return b"i:" + str(value).encode("ascii")
+    if isinstance(value, float):
+        if value.is_integer():
+            # Make 3.0 and 3 hash identically: real data frequently mixes the
+            # two representations of the same key value.
+            return b"i:" + str(int(value)).encode("ascii")
+        return b"f:" + repr(value).encode("ascii")
+    if isinstance(value, str):
+        return b"s:" + value.encode("utf-8")
+    if isinstance(value, (tuple, list)):
+        parts = b"|".join(canonical_bytes(part) for part in value)
+        return b"t:" + parts
+    return b"o:" + repr(value).encode("utf-8")
+
+
+def hash_key(value: Any, seed: int = 0) -> int:
+    """32-bit integer identifier of a join-key value (the paper's ``h``)."""
+    return murmur3_32(canonical_bytes(value), seed=seed)
+
+
+def hash_key_unit(value: Any, seed: int = 0) -> float:
+    """Position of a join-key value on the unit interval (``h_u(h(value))``)."""
+    return fibonacci_hash_unit(hash_key(value, seed=seed))
+
+
+@dataclass(frozen=True)
+class KeyHasher:
+    """A seeded pair of hash functions shared by coordinated sketches.
+
+    Two sketches can only be joined if they were built with the same seed;
+    the sketch data model stores the seed so this is checked at join time.
+    """
+
+    seed: int = 0
+
+    def key_id(self, value: Hashable) -> int:
+        """Integer identifier ``h(value)`` stored inside sketches."""
+        return hash_key(value, seed=self.seed)
+
+    def unit(self, value: Hashable) -> float:
+        """Uniform position ``h_u(h(value))`` used to rank keys."""
+        return hash_key_unit(value, seed=self.seed)
+
+    def tuple_unit(self, value: Hashable, occurrence: int) -> float:
+        """Uniform position of the ``(value, occurrence)`` tuple (TUPSK frame)."""
+        return hash_key_unit((value, occurrence), seed=self.seed)

@@ -1,0 +1,61 @@
+"""Simulated open-data repositories.
+
+Section V-C of the paper evaluates the sketches on snapshots of two real
+open-data portals (NYC Open Data and the World Bank Finances collection)
+harvested through the Socrata API in 2019.  Those snapshots are not
+redistributable and cannot be downloaded in this offline environment, so this
+package provides the documented substitution (see DESIGN.md): a deterministic
+*repository simulator* that produces corpora of two-column tables
+``T_A[K_A, A]`` with
+
+* string join keys drawn from realistic domains (dates, ZIP codes, country
+  and agency codes, category vocabularies),
+* Zipf-skewed key frequency distributions (repeated join keys),
+* value columns of mixed types (strings and numbers),
+* *planted* cross-table dependencies of varying strength through shared
+  latent variables attached to the key domains.
+
+The real-data experiments compare sketch estimates against full-join
+estimates (not against a ground truth), so a simulated corpus with a similar
+diversity of overlaps, skew, types and dependence strengths exercises the
+same code paths and supports the same comparisons.
+"""
+
+from repro.opendata.domains import (
+    KeyDomain,
+    zipcode_domain,
+    date_domain,
+    country_code_domain,
+    agency_code_domain,
+    category_domain,
+    zipf_weights,
+)
+from repro.opendata.repository import (
+    RepositoryProfile,
+    TwoColumnTable,
+    OpenDataRepository,
+    generate_repository,
+    NYC_PROFILE,
+    WBF_PROFILE,
+    profile_by_name,
+)
+from repro.opendata.pairs import TablePair, sample_table_pairs
+
+__all__ = [
+    "KeyDomain",
+    "zipcode_domain",
+    "date_domain",
+    "country_code_domain",
+    "agency_code_domain",
+    "category_domain",
+    "zipf_weights",
+    "RepositoryProfile",
+    "TwoColumnTable",
+    "OpenDataRepository",
+    "generate_repository",
+    "NYC_PROFILE",
+    "WBF_PROFILE",
+    "profile_by_name",
+    "TablePair",
+    "sample_table_pairs",
+]

@@ -1,0 +1,96 @@
+"""Join-key domains for the simulated open-data repositories.
+
+Open-data tables are typically joinable on a handful of recurring key kinds:
+geographies (ZIP codes, boroughs), time (dates), administrative codes
+(countries, agencies) and controlled vocabularies (categories).  Each
+generator below produces a :class:`KeyDomain` — a named list of distinct
+string keys — from which the repository simulator draws table key columns
+with configurable skew.
+"""
+
+from __future__ import annotations
+
+import itertools
+import string
+from dataclasses import dataclass
+from datetime import date, timedelta
+
+import numpy as np
+
+from repro.util.rng import RandomState, ensure_rng
+
+__all__ = [
+    "KeyDomain",
+    "zipcode_domain",
+    "date_domain",
+    "country_code_domain",
+    "agency_code_domain",
+    "category_domain",
+    "zipf_weights",
+]
+
+
+@dataclass(frozen=True)
+class KeyDomain:
+    """A named universe of distinct string join-key values."""
+
+    name: str
+    values: tuple[str, ...]
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def subset(self, size: int, random_state: RandomState = None) -> tuple[str, ...]:
+        """A uniform random subset of the domain (without replacement)."""
+        rng = ensure_rng(random_state)
+        size = min(size, len(self.values))
+        indices = rng.choice(len(self.values), size=size, replace=False)
+        return tuple(self.values[int(i)] for i in indices)
+
+
+def zipcode_domain(size: int = 250, start: int = 10001) -> KeyDomain:
+    """US-style 5-digit ZIP codes (``"10001"``, ``"10002"``, ...)."""
+    values = tuple(f"{start + offset:05d}" for offset in range(size))
+    return KeyDomain("zipcode", values)
+
+
+def date_domain(size: int = 365, start: date = date(2019, 1, 1)) -> KeyDomain:
+    """ISO dates starting at ``start`` (``"2019-01-01"``, ...)."""
+    values = tuple((start + timedelta(days=offset)).isoformat() for offset in range(size))
+    return KeyDomain("date", values)
+
+
+def country_code_domain(size: int = 200) -> KeyDomain:
+    """Synthetic 3-letter country/ISO-style codes (``"AAA"``, ``"AAB"``, ...)."""
+    letters = string.ascii_uppercase
+    codes = ("".join(combo) for combo in itertools.product(letters, repeat=3))
+    values = tuple(itertools.islice(codes, size))
+    return KeyDomain("country", values)
+
+
+def agency_code_domain(size: int = 120, prefix: str = "AG") -> KeyDomain:
+    """Agency/department codes (``"AG-001"``, ``"AG-002"``, ...)."""
+    values = tuple(f"{prefix}-{index:03d}" for index in range(1, size + 1))
+    return KeyDomain("agency", values)
+
+
+def category_domain(size: int = 60, prefix: str = "category") -> KeyDomain:
+    """Controlled-vocabulary category labels (``"category_01"``, ...)."""
+    values = tuple(f"{prefix}_{index:02d}" for index in range(1, size + 1))
+    return KeyDomain("category", values)
+
+
+def zipf_weights(size: int, exponent: float = 1.0) -> np.ndarray:
+    """Normalized Zipf weights ``w_i ∝ 1 / i^exponent`` over ``size`` items.
+
+    ``exponent = 0`` degenerates to uniform weights; larger exponents skew
+    the key-frequency distribution more heavily (a common property of real
+    join keys such as boroughs or agencies).
+    """
+    if size < 1:
+        raise ValueError("size must be a positive integer")
+    if exponent < 0:
+        raise ValueError("exponent must be non-negative")
+    ranks = np.arange(1, size + 1, dtype=np.float64)
+    weights = ranks**-exponent
+    return weights / weights.sum()

@@ -1,0 +1,104 @@
+"""Sampling of base/candidate table pairs from a simulated repository.
+
+Section V-C draws a uniform sample of pairwise combinations of the
+repository's two-column tables and uses each pair as ``(T_train, T_aug)``.
+Most uniformly drawn pairs in a real repository do not share join-key
+values; those pairs are filtered out later by the minimum sketch-join-size
+threshold.  :func:`sample_table_pairs` supports both behaviours: fully
+uniform pairs (faithful, mostly empty joins) and same-domain pairs (the
+subset that survives the filter, which is what the accuracy experiments
+measure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.exceptions import SyntheticDataError
+from repro.opendata.repository import OpenDataRepository, TwoColumnTable
+from repro.util.rng import RandomState, ensure_rng
+
+__all__ = ["TablePair", "sample_table_pairs"]
+
+
+@dataclass
+class TablePair:
+    """A (base, candidate) pair of two-column tables drawn from a repository."""
+
+    base: TwoColumnTable
+    candidate: TwoColumnTable
+
+    @property
+    def shares_domain(self) -> bool:
+        """Whether both tables are keyed on the same domain (hence joinable)."""
+        return self.base.domain_name == self.candidate.domain_name
+
+    def describe(self) -> dict[str, object]:
+        """Small dict used in experiment reports."""
+        return {
+            "base": self.base.name,
+            "candidate": self.candidate.name,
+            "domain": self.base.domain_name if self.shares_domain else "mixed",
+            "base_rows": self.base.num_rows,
+            "candidate_rows": self.candidate.num_rows,
+            "base_value_kind": self.base.value_kind,
+            "candidate_value_kind": self.candidate.value_kind,
+        }
+
+
+def sample_table_pairs(
+    repository: OpenDataRepository,
+    count: int,
+    *,
+    same_domain_only: bool = True,
+    random_state: RandomState = None,
+) -> list[TablePair]:
+    """Draw ``count`` (base, candidate) table pairs from a repository.
+
+    Parameters
+    ----------
+    repository:
+        The simulated repository to draw from.
+    count:
+        Number of pairs to return.
+    same_domain_only:
+        Restrict to pairs keyed on the same domain (the pairs that can
+        actually join).  Set to ``False`` for a fully uniform sample of all
+        pairwise combinations, as in the paper's corpus statistics.
+    random_state:
+        Seed or generator.
+    """
+    if count < 1:
+        raise SyntheticDataError("count must be a positive integer")
+    if len(repository.tables) < 2:
+        raise SyntheticDataError("repository must contain at least two tables")
+    rng = ensure_rng(random_state)
+    pairs: list[TablePair] = []
+    max_attempts = count * 50
+    attempts = 0
+    while len(pairs) < count and attempts < max_attempts:
+        attempts += 1
+        first, second = rng.choice(len(repository.tables), size=2, replace=False)
+        pair = TablePair(
+            base=repository.tables[int(first)],
+            candidate=repository.tables[int(second)],
+        )
+        if same_domain_only and not pair.shares_domain:
+            continue
+        pairs.append(pair)
+    if len(pairs) < count:
+        raise SyntheticDataError(
+            f"could only sample {len(pairs)} of {count} requested pairs "
+            f"(same_domain_only={same_domain_only})"
+        )
+    return pairs
+
+
+def iter_all_pairs(repository: OpenDataRepository) -> Iterator[TablePair]:
+    """Iterate over every ordered pair of distinct tables in the repository."""
+    for base_index, base in enumerate(repository.tables):
+        for candidate_index, candidate in enumerate(repository.tables):
+            if base_index == candidate_index:
+                continue
+            yield TablePair(base=base, candidate=candidate)

@@ -1,0 +1,306 @@
+"""Generator of simulated open-data repositories.
+
+A repository is a collection of two-column tables ``T_A[key, value]`` built
+the same way the paper prepares its real-data experiments (Section V-C): for
+each source table, every (join-key attribute, data attribute) pair becomes a
+two-column table whose key is a string and whose value is a string or a
+number.  Cross-table statistical dependence is *planted* through latent
+variables attached to the join-key domains: tables that derive their value
+column from the same latent variable (with different strengths) end up with
+a non-trivial MI after joining on their shared keys, while tables with
+dependence close to zero are effectively independent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import SyntheticDataError
+from repro.opendata.domains import (
+    KeyDomain,
+    agency_code_domain,
+    category_domain,
+    country_code_domain,
+    date_domain,
+    zipcode_domain,
+    zipf_weights,
+)
+from repro.relational.column import Column
+from repro.relational.dtypes import DType
+from repro.relational.table import Table
+from repro.util.rng import RandomState, ensure_rng
+
+__all__ = [
+    "RepositoryProfile",
+    "TwoColumnTable",
+    "OpenDataRepository",
+    "generate_repository",
+    "NYC_PROFILE",
+    "WBF_PROFILE",
+    "profile_by_name",
+]
+
+_DOMAIN_FACTORIES = {
+    "zipcode": zipcode_domain,
+    "date": date_domain,
+    "country": country_code_domain,
+    "agency": agency_code_domain,
+    "category": category_domain,
+}
+
+
+@dataclass(frozen=True)
+class RepositoryProfile:
+    """Shape parameters of a simulated repository.
+
+    Attributes
+    ----------
+    name:
+        Profile name (``"nyc"`` / ``"wbf"`` mimic the two collections used in
+        the paper, at laptop scale).
+    num_tables:
+        Number of two-column tables to generate.
+    domain_sizes:
+        Mapping from key-domain kind to the number of distinct keys.
+    rows_range:
+        Inclusive range of table sizes (rows are sampled per table).
+    key_skew_range:
+        Range of the Zipf exponent of the key-frequency distribution
+        (0 = uniform keys, larger = heavier repetition of popular keys).
+    dependence_range:
+        Range of the latent-dependence strength of value columns.
+    numeric_fraction:
+        Fraction of tables whose value column is numeric (the rest are
+        categorical strings).
+    unique_key_fraction:
+        Fraction of tables whose key column is (nearly) unique, i.e. one row
+        per key, like reference/dimension tables.
+    categorical_levels:
+        Number of levels used when a value column is categorical.
+    coverage_range:
+        Range of the fraction of the key domain each table actually uses;
+        partial coverage produces pairs with partial key overlap, as in real
+        repositories where tables cover different time windows or regions.
+    """
+
+    name: str
+    num_tables: int
+    domain_sizes: dict[str, int]
+    rows_range: tuple[int, int] = (200, 2000)
+    key_skew_range: tuple[float, float] = (0.0, 1.1)
+    dependence_range: tuple[float, float] = (0.0, 1.0)
+    numeric_fraction: float = 0.6
+    unique_key_fraction: float = 0.3
+    categorical_levels: int = 12
+    coverage_range: tuple[float, float] = (0.35, 1.0)
+
+
+#: Laptop-scale stand-in for the NYC Open Data snapshot used in the paper.
+NYC_PROFILE = RepositoryProfile(
+    name="nyc",
+    num_tables=80,
+    domain_sizes={"zipcode": 280, "date": 365, "agency": 120, "category": 60},
+    rows_range=(200, 3000),
+    key_skew_range=(0.2, 1.2),
+    numeric_fraction=0.55,
+    unique_key_fraction=0.25,
+)
+
+#: Laptop-scale stand-in for the World Bank Finances snapshot used in the paper.
+WBF_PROFILE = RepositoryProfile(
+    name="wbf",
+    num_tables=60,
+    domain_sizes={"country": 200, "date": 240, "agency": 150},
+    rows_range=(500, 4000),
+    key_skew_range=(0.0, 0.8),
+    numeric_fraction=0.7,
+    unique_key_fraction=0.35,
+)
+
+
+def profile_by_name(name: str) -> RepositoryProfile:
+    """Return one of the built-in repository profiles (``"nyc"`` or ``"wbf"``)."""
+    profiles = {"nyc": NYC_PROFILE, "wbf": WBF_PROFILE}
+    try:
+        return profiles[name.strip().lower()]
+    except KeyError:
+        raise SyntheticDataError(
+            f"unknown repository profile {name!r}; available: {', '.join(sorted(profiles))}"
+        ) from None
+
+
+@dataclass
+class TwoColumnTable:
+    """A two-column table ``[key, value]`` of a simulated repository."""
+
+    table: Table
+    domain_name: str
+    value_kind: str  # "numeric" or "string"
+    dependence: float
+    key_skew: float
+    key_column: str = "key"
+    value_column: str = "value"
+
+    @property
+    def name(self) -> str:
+        """Name of the underlying table."""
+        return self.table.name
+
+    @property
+    def num_rows(self) -> int:
+        """Number of rows of the underlying table."""
+        return self.table.num_rows
+
+
+@dataclass
+class OpenDataRepository:
+    """A simulated open-data repository: a named collection of two-column tables."""
+
+    name: str
+    profile: RepositoryProfile
+    tables: list[TwoColumnTable]
+    domains: dict[str, KeyDomain] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.tables)
+
+    def tables_for_domain(self, domain_name: str) -> list[TwoColumnTable]:
+        """All tables keyed on the given domain."""
+        return [table for table in self.tables if table.domain_name == domain_name]
+
+
+def _sample_keys(
+    domain: KeyDomain,
+    rows: int,
+    skew: float,
+    unique: bool,
+    coverage: float,
+    rng: np.random.Generator,
+) -> list[str]:
+    # Each table only covers part of the key domain (different time windows,
+    # regions, agencies, ...), so random pairs overlap only partially.
+    covered_size = max(2, int(round(coverage * len(domain))))
+    covered = list(domain.subset(covered_size, rng))
+    if unique:
+        size = min(rows, len(covered))
+        indices = rng.choice(len(covered), size=size, replace=False)
+        return [covered[int(i)] for i in indices]
+    weights = zipf_weights(len(covered), exponent=skew)
+    # Randomize which keys are the popular ones for this table.
+    permutation = rng.permutation(len(covered))
+    indices = rng.choice(len(covered), size=rows, replace=True, p=weights)
+    return [covered[int(permutation[int(i)])] for i in indices]
+
+
+def _numeric_values(
+    keys: list[str],
+    latent: dict[str, float],
+    dependence: float,
+    rng: np.random.Generator,
+) -> list[float]:
+    scale = float(rng.uniform(0.5, 50.0))
+    offset = float(rng.uniform(-100.0, 100.0))
+    noise_scale = float(np.sqrt(max(1.0 - dependence**2, 0.0)))
+    values = []
+    for key in keys:
+        signal = dependence * latent[key]
+        noise = noise_scale * rng.normal()
+        values.append(offset + scale * (signal + noise))
+    return values
+
+
+def _categorical_values(
+    keys: list[str],
+    latent: dict[str, float],
+    dependence: float,
+    levels: int,
+    rng: np.random.Generator,
+) -> list[str]:
+    noise_scale = float(np.sqrt(max(1.0 - dependence**2, 0.0)))
+    scores = np.array(
+        [dependence * latent[key] + noise_scale * rng.normal() for key in keys]
+    )
+    # Bucket scores into `levels` quantile bins; each bin is a category label.
+    edges = np.quantile(scores, np.linspace(0.0, 1.0, levels + 1)[1:-1]) if len(scores) > 1 else []
+    codes = np.digitize(scores, edges) if len(scores) > 1 else np.zeros(len(scores), dtype=int)
+    return [f"level_{int(code):02d}" for code in codes]
+
+
+def generate_repository(
+    profile: "str | RepositoryProfile" = "nyc",
+    *,
+    random_state: RandomState = None,
+    num_tables: Optional[int] = None,
+) -> OpenDataRepository:
+    """Generate a simulated open-data repository.
+
+    Parameters
+    ----------
+    profile:
+        A :class:`RepositoryProfile` or the name of a built-in profile
+        (``"nyc"`` or ``"wbf"``).
+    random_state:
+        Seed or generator; the whole repository is reproducible from it.
+    num_tables:
+        Optional override of the profile's table count (useful to keep unit
+        tests fast while benches use the full profile).
+    """
+    if isinstance(profile, str):
+        profile = profile_by_name(profile)
+    rng = ensure_rng(random_state)
+
+    domains: dict[str, KeyDomain] = {}
+    latents: dict[str, dict[str, float]] = {}
+    for kind, size in profile.domain_sizes.items():
+        factory = _DOMAIN_FACTORIES.get(kind)
+        if factory is None:
+            raise SyntheticDataError(f"unknown key-domain kind {kind!r}")
+        domain = factory(size)
+        domains[kind] = domain
+        latents[kind] = {key: float(rng.normal()) for key in domain.values}
+
+    table_count = num_tables if num_tables is not None else profile.num_tables
+    domain_names = list(domains)
+    tables: list[TwoColumnTable] = []
+    for index in range(table_count):
+        domain_name = domain_names[int(rng.integers(0, len(domain_names)))]
+        domain = domains[domain_name]
+        latent = latents[domain_name]
+        rows = int(rng.integers(profile.rows_range[0], profile.rows_range[1] + 1))
+        skew = float(rng.uniform(*profile.key_skew_range))
+        unique = bool(rng.random() < profile.unique_key_fraction)
+        dependence = float(rng.uniform(*profile.dependence_range))
+        numeric = bool(rng.random() < profile.numeric_fraction)
+        coverage = float(rng.uniform(*profile.coverage_range))
+
+        keys = _sample_keys(domain, rows, skew, unique, coverage, rng)
+        if numeric:
+            values = _numeric_values(keys, latent, dependence, rng)
+            value_kind = "numeric"
+        else:
+            values = _categorical_values(
+                keys, latent, dependence, profile.categorical_levels, rng
+            )
+            value_kind = "string"
+
+        table = Table(
+            # Join keys are always strings (ZIP codes, dates, codes), even when
+            # they look numeric -- mirroring how the paper treats such values.
+            [Column("key", keys, dtype=DType.STRING), Column("value", values)],
+            name=f"{profile.name}_table_{index:04d}_{domain_name}",
+        )
+        tables.append(
+            TwoColumnTable(
+                table=table,
+                domain_name=domain_name,
+                value_kind=value_kind,
+                dependence=dependence,
+                key_skew=skew,
+            )
+        )
+    return OpenDataRepository(
+        name=profile.name, profile=profile, tables=tables, domains=domains
+    )

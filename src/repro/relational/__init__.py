@@ -1,0 +1,44 @@
+"""Relational substrate: typed columns, tables, joins and featurization.
+
+This package implements the minimal relational machinery the paper relies on:
+
+* typed columns with inference from raw (string) values,
+* in-memory tables with selection / projection / group-by,
+* inner and left-outer equi-joins,
+* the join-aggregation *featurization* query of Section III-B that turns a
+  many-to-many candidate table into a many-to-one augmentation table,
+* CSV reading and writing so examples can work with files on disk.
+"""
+
+from repro.relational.dtypes import DType, infer_dtype, infer_column_dtype, coerce_value
+from repro.relational.column import Column
+from repro.relational.table import Table
+from repro.relational.aggregate import (
+    AggregateFunction,
+    get_aggregate,
+    available_aggregates,
+    group_by_aggregate,
+)
+from repro.relational.join import inner_join, left_outer_join, join_cardinality
+from repro.relational.featurize import featurize, augment
+from repro.relational.csvio import read_csv, write_csv
+
+__all__ = [
+    "DType",
+    "infer_dtype",
+    "infer_column_dtype",
+    "coerce_value",
+    "Column",
+    "Table",
+    "AggregateFunction",
+    "get_aggregate",
+    "available_aggregates",
+    "group_by_aggregate",
+    "inner_join",
+    "left_outer_join",
+    "join_cardinality",
+    "featurize",
+    "augment",
+    "read_csv",
+    "write_csv",
+]

@@ -1,0 +1,162 @@
+"""Aggregation functions and group-by aggregation.
+
+Section III-B of the paper defines a *featurization function* ``AGG`` that
+collapses the set of values sharing a join key in a candidate table into a
+single feature value, e.g. hourly temperatures averaged per day.  This module
+implements the standard aggregates (``AVG``, ``SUM``, ``COUNT``, ``MIN``,
+``MAX``, ``MODE``, ``FIRST``, ``MEDIAN``) and a group-by driver used both by
+the featurization query and by the sketch builders (which aggregate the
+candidate side without materializing the intermediate table).
+"""
+
+from __future__ import annotations
+
+import enum
+import statistics
+from collections import Counter
+from typing import Any, Callable, Hashable, Iterable, Mapping, Sequence
+
+from repro.exceptions import AggregationError
+from repro.relational.dtypes import DType
+
+__all__ = [
+    "AggregateFunction",
+    "get_aggregate",
+    "available_aggregates",
+    "aggregate_values",
+    "group_by_aggregate",
+    "output_dtype",
+]
+
+
+class AggregateFunction(enum.Enum):
+    """Supported featurization (aggregation) functions."""
+
+    AVG = "avg"
+    SUM = "sum"
+    COUNT = "count"
+    MIN = "min"
+    MAX = "max"
+    MODE = "mode"
+    FIRST = "first"
+    MEDIAN = "median"
+
+    def __call__(self, values: Sequence[Any]) -> Any:
+        return aggregate_values(values, self)
+
+
+_NUMERIC_ONLY = {
+    AggregateFunction.AVG,
+    AggregateFunction.SUM,
+    AggregateFunction.MEDIAN,
+}
+
+
+def available_aggregates() -> tuple[AggregateFunction, ...]:
+    """All aggregation functions supported by the library."""
+    return tuple(AggregateFunction)
+
+
+def get_aggregate(name: "str | AggregateFunction") -> AggregateFunction:
+    """Resolve an aggregation function from a name or enum member.
+
+    Accepts case-insensitive names such as ``"avg"`` or ``"AVG"``.
+    """
+    if isinstance(name, AggregateFunction):
+        return name
+    if not isinstance(name, str):
+        raise AggregationError(f"invalid aggregate specification: {name!r}")
+    try:
+        return AggregateFunction(name.strip().lower())
+    except ValueError as exc:
+        valid = ", ".join(member.value for member in AggregateFunction)
+        raise AggregationError(
+            f"unknown aggregate {name!r}; valid choices: {valid}"
+        ) from exc
+
+
+def _non_null(values: Sequence[Any]) -> list[Any]:
+    return [value for value in values if value is not None]
+
+
+def aggregate_values(values: Sequence[Any], agg: "str | AggregateFunction") -> Any:
+    """Apply aggregation function ``agg`` to a group of raw values.
+
+    Missing entries are ignored except for ``COUNT``, which counts non-missing
+    values (an all-missing group therefore has ``COUNT`` 0).  An all-missing
+    group yields ``None`` for every other aggregate.
+    """
+    agg = get_aggregate(agg)
+    present = _non_null(values)
+    if agg is AggregateFunction.COUNT:
+        return len(present)
+    if not present:
+        return None
+    if agg in _NUMERIC_ONLY and any(isinstance(value, str) for value in present):
+        raise AggregationError(
+            f"aggregate {agg.value.upper()} requires numeric values, got strings"
+        )
+    if agg is AggregateFunction.AVG:
+        return float(sum(present)) / len(present)
+    if agg is AggregateFunction.SUM:
+        return sum(present)
+    if agg is AggregateFunction.MIN:
+        return min(present)
+    if agg is AggregateFunction.MAX:
+        return max(present)
+    if agg is AggregateFunction.MEDIAN:
+        return float(statistics.median(present))
+    if agg is AggregateFunction.MODE:
+        # Deterministic mode: most frequent value, ties broken by first
+        # appearance order to keep results reproducible.
+        counts = Counter(present)
+        best_count = max(counts.values())
+        for value in present:
+            if counts[value] == best_count:
+                return value
+    if agg is AggregateFunction.FIRST:
+        return present[0]
+    raise AggregationError(f"unhandled aggregate: {agg!r}")  # pragma: no cover
+
+
+def output_dtype(agg: "str | AggregateFunction", input_dtype: DType) -> DType:
+    """Logical dtype of the featurized column produced by ``agg``.
+
+    As discussed in Section III-B, ``COUNT`` always produces a discrete
+    numeric output regardless of the input type, ``AVG``/``MEDIAN`` produce
+    floats, and order/frequency based aggregates preserve the input type.
+    """
+    agg = get_aggregate(agg)
+    if agg is AggregateFunction.COUNT:
+        return DType.INT
+    if agg in (AggregateFunction.AVG, AggregateFunction.MEDIAN):
+        return DType.FLOAT
+    if agg is AggregateFunction.SUM:
+        return DType.FLOAT if input_dtype is DType.FLOAT else DType.INT
+    return input_dtype
+
+
+def group_by_aggregate(
+    keys: Sequence[Hashable],
+    values: Sequence[Any],
+    agg: "str | AggregateFunction",
+) -> dict[Hashable, Any]:
+    """Group ``values`` by ``keys`` and aggregate each group.
+
+    Rows whose key is missing (``None``) are dropped, mirroring the paper's
+    problem statement which discards NULL join keys.
+
+    Returns a mapping from each distinct key to its aggregated value, with
+    keys in first-appearance order (Python dicts preserve insertion order).
+    """
+    if len(keys) != len(values):
+        raise AggregationError(
+            f"keys and values must align, got {len(keys)} and {len(values)}"
+        )
+    groups: dict[Hashable, list[Any]] = {}
+    for key, value in zip(keys, values):
+        if key is None:
+            continue
+        groups.setdefault(key, []).append(value)
+    agg = get_aggregate(agg)
+    return {key: aggregate_values(group, agg) for key, group in groups.items()}

@@ -1,0 +1,159 @@
+"""Typed, named column of values.
+
+A :class:`Column` is an immutable-by-convention sequence of Python values
+(``None`` for missing entries) together with a name and a logical
+:class:`~repro.relational.dtypes.DType`.  Columns are the unit the sketching
+and estimation layers operate on: a sketch stores (hashed-key, column-value)
+pairs, and MI estimators consume pairs of aligned columns.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Iterable, Iterator, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import SchemaError
+from repro.relational.dtypes import DType, coerce_value, infer_column_dtype
+
+__all__ = ["Column"]
+
+
+class Column:
+    """A named, typed column of values.
+
+    Parameters
+    ----------
+    name:
+        Column name (non-empty string).
+    values:
+        Iterable of raw values.  Values are coerced to the column dtype;
+        missing entries become ``None``.
+    dtype:
+        Logical type of the column.  When omitted it is inferred from the
+        values with :func:`~repro.relational.dtypes.infer_column_dtype`.
+    """
+
+    __slots__ = ("_name", "_dtype", "_values")
+
+    def __init__(self, name: str, values: Iterable[Any], dtype: Optional[DType] = None):
+        if not isinstance(name, str) or not name:
+            raise SchemaError("column name must be a non-empty string")
+        raw = list(values)
+        if dtype is None:
+            dtype = infer_column_dtype(raw)
+        self._name = name
+        self._dtype = dtype
+        self._values = [coerce_value(value, dtype) for value in raw]
+
+    # ------------------------------------------------------------------ #
+    # Basic protocol
+    # ------------------------------------------------------------------ #
+    @property
+    def name(self) -> str:
+        """Column name."""
+        return self._name
+
+    @property
+    def dtype(self) -> DType:
+        """Logical data type."""
+        return self._dtype
+
+    @property
+    def values(self) -> list[Any]:
+        """The column values as a list (``None`` marks missing entries)."""
+        return list(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._values)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return self._from_values(self._values[index])
+        if isinstance(index, (list, np.ndarray)):
+            return self._from_values([self._values[i] for i in index])
+        return self._values[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Column):
+            return NotImplemented
+        return (
+            self._name == other._name
+            and self._dtype == other._dtype
+            and self._values == other._values
+        )
+
+    def __repr__(self) -> str:
+        preview = ", ".join(repr(v) for v in self._values[:5])
+        if len(self._values) > 5:
+            preview += ", ..."
+        return f"Column({self._name!r}, dtype={self._dtype.value}, n={len(self)}, [{preview}])"
+
+    # ------------------------------------------------------------------ #
+    # Constructors / derivation
+    # ------------------------------------------------------------------ #
+    def _from_values(self, values: Sequence[Any]) -> "Column":
+        return Column(self._name, values, dtype=self._dtype)
+
+    def rename(self, new_name: str) -> "Column":
+        """Return a copy of the column under a different name."""
+        return Column(new_name, self._values, dtype=self._dtype)
+
+    def take(self, indices: Sequence[int]) -> "Column":
+        """Return a new column with the values at ``indices`` (repeats allowed)."""
+        return self._from_values([self._values[i] for i in indices])
+
+    def with_values(self, values: Iterable[Any]) -> "Column":
+        """Return a column with the same name/dtype but different values."""
+        return Column(self._name, list(values), dtype=self._dtype)
+
+    # ------------------------------------------------------------------ #
+    # Statistics and conversions
+    # ------------------------------------------------------------------ #
+    def null_count(self) -> int:
+        """Number of missing entries."""
+        return sum(1 for value in self._values if value is None)
+
+    def non_null_values(self) -> list[Any]:
+        """All values except missing entries, in order."""
+        return [value for value in self._values if value is not None]
+
+    def distinct_count(self, *, include_null: bool = False) -> int:
+        """Number of distinct values in the column."""
+        distinct = set(self._values)
+        if not include_null:
+            distinct.discard(None)
+        return len(distinct)
+
+    def value_counts(self) -> Counter:
+        """Counter of non-missing values to their frequencies."""
+        return Counter(value for value in self._values if value is not None)
+
+    def is_numeric(self) -> bool:
+        """True if the column holds INT or FLOAT values."""
+        return self._dtype.is_numeric
+
+    def is_categorical(self) -> bool:
+        """True if the column holds STRING values."""
+        return self._dtype.is_categorical
+
+    def to_numpy(self) -> np.ndarray:
+        """Convert to a numpy array.
+
+        Numeric columns become ``float64`` arrays with ``nan`` for missing
+        entries; string columns become object arrays with ``None`` preserved.
+        """
+        if self._dtype.is_numeric:
+            return np.array(
+                [np.nan if value is None else float(value) for value in self._values],
+                dtype=np.float64,
+            )
+        return np.array(self._values, dtype=object)
+
+    def head(self, count: int = 5) -> "Column":
+        """First ``count`` values as a new column."""
+        return self[: max(0, count)]

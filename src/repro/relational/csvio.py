@@ -1,0 +1,101 @@
+"""CSV reading and writing for :class:`~repro.relational.table.Table`.
+
+The examples and the open-data simulator use CSV as the on-disk exchange
+format; types are inferred on read with the same rules the discovery layer
+uses (so a column of numeric-looking strings becomes numeric, mirroring the
+type-inference step the paper performs with Tablesaw).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import os
+from typing import Iterable, Optional, Sequence, Union
+
+from repro.exceptions import SchemaError
+from repro.relational.column import Column
+from repro.relational.table import Table
+
+__all__ = ["read_csv", "write_csv"]
+
+PathOrBuffer = Union[str, os.PathLike, io.TextIOBase]
+
+
+def read_csv(
+    source: PathOrBuffer,
+    *,
+    name: str = "",
+    delimiter: str = ",",
+    columns: Optional[Sequence[str]] = None,
+) -> Table:
+    """Read a CSV file (with a header row) into a :class:`Table`.
+
+    Parameters
+    ----------
+    source:
+        File path or open text buffer.
+    name:
+        Name for the resulting table; defaults to the file's base name.
+    delimiter:
+        Field delimiter.
+    columns:
+        Optional subset of columns to keep (projection at read time).
+    """
+    if isinstance(source, (str, os.PathLike)):
+        table_name = name or os.path.splitext(os.path.basename(os.fspath(source)))[0]
+        with open(source, "r", newline="", encoding="utf-8") as handle:
+            return _read_csv_buffer(handle, table_name, delimiter, columns)
+    return _read_csv_buffer(source, name, delimiter, columns)
+
+
+def _read_csv_buffer(
+    handle: io.TextIOBase,
+    name: str,
+    delimiter: str,
+    columns: Optional[Sequence[str]],
+) -> Table:
+    reader = csv.reader(handle, delimiter=delimiter)
+    try:
+        header = next(reader)
+    except StopIteration:
+        raise SchemaError("CSV input is empty (no header row)") from None
+    header = [field.strip() for field in header]
+    data: list[list[str]] = [[] for _ in header]
+    for row in reader:
+        if not row:
+            continue
+        if len(row) != len(header):
+            raise SchemaError(
+                f"CSV row has {len(row)} fields, header has {len(header)}"
+            )
+        for slot, value in zip(data, row):
+            slot.append(value)
+    table = Table(
+        [Column(column_name, values) for column_name, values in zip(header, data)],
+        name=name,
+    )
+    if columns is not None:
+        table = table.select(columns)
+    return table
+
+
+def write_csv(table: Table, target: PathOrBuffer, *, delimiter: str = ",") -> None:
+    """Write a :class:`Table` to CSV (with a header row).
+
+    Missing values are written as empty fields.
+    """
+    if isinstance(target, (str, os.PathLike)):
+        with open(target, "w", newline="", encoding="utf-8") as handle:
+            _write_csv_buffer(table, handle, delimiter)
+        return
+    _write_csv_buffer(table, target, delimiter)
+
+
+def _write_csv_buffer(table: Table, handle: io.TextIOBase, delimiter: str) -> None:
+    writer = csv.writer(handle, delimiter=delimiter)
+    writer.writerow(table.column_names)
+    for row in table.iter_rows():
+        writer.writerow(
+            ["" if row[name] is None else row[name] for name in table.column_names]
+        )

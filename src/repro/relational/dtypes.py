@@ -1,0 +1,181 @@
+"""Column data types and lightweight type inference.
+
+The paper distinguishes *discrete* (categorical, typically string) attributes
+from *continuous* (numerical) attributes, and relies on a type-inference step
+(the original system used the Tablesaw library) to decide which MI estimator
+applies to a column pair.  This module provides the equivalent machinery:
+
+* :class:`DType` — the supported logical column types,
+* :func:`infer_dtype` — classify a single raw value,
+* :func:`infer_column_dtype` — classify a collection of raw values,
+* :func:`coerce_value` — convert a raw value to the Python representation of
+  a given :class:`DType`.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from typing import Any, Iterable, Optional
+
+from repro.exceptions import TypeInferenceError
+
+__all__ = [
+    "DType",
+    "MISSING_TOKENS",
+    "infer_dtype",
+    "infer_column_dtype",
+    "coerce_value",
+    "is_missing_value",
+]
+
+#: Raw string tokens treated as missing values during inference/coercion.
+MISSING_TOKENS = frozenset({"", "na", "n/a", "nan", "null", "none", "-", "?"})
+
+
+class DType(enum.Enum):
+    """Logical data type of a column.
+
+    ``INT`` and ``FLOAT`` are both *numerical* for estimator-selection
+    purposes; ``STRING`` is *categorical*.  ``MISSING`` is only used for a
+    column whose values are all missing.
+    """
+
+    STRING = "string"
+    INT = "int"
+    FLOAT = "float"
+    MISSING = "missing"
+
+    @property
+    def is_numeric(self) -> bool:
+        """True for types handled by continuous/mixture MI estimators."""
+        return self in (DType.INT, DType.FLOAT)
+
+    @property
+    def is_categorical(self) -> bool:
+        """True for types handled by discrete MI estimators."""
+        return self is DType.STRING
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DType.{self.name}"
+
+
+def is_missing_value(value: Any) -> bool:
+    """Return ``True`` if ``value`` represents a missing entry."""
+    if value is None:
+        return True
+    if isinstance(value, float) and math.isnan(value):
+        return True
+    if isinstance(value, str) and value.strip().lower() in MISSING_TOKENS:
+        return True
+    return False
+
+
+def _looks_like_int(text: str) -> bool:
+    text = text.strip()
+    if not text:
+        return False
+    if text[0] in "+-":
+        text = text[1:]
+    return text.isdigit()
+
+
+def _looks_like_float(text: str) -> bool:
+    try:
+        float(text)
+    except (TypeError, ValueError):
+        return False
+    return True
+
+
+def infer_dtype(value: Any) -> DType:
+    """Infer the :class:`DType` of a single raw value.
+
+    Missing values are reported as :data:`DType.MISSING`; the caller decides
+    how they combine with non-missing values (see :func:`infer_column_dtype`).
+    """
+    if is_missing_value(value):
+        return DType.MISSING
+    if isinstance(value, bool):
+        # Booleans are treated as categorical labels, not as 0/1 integers.
+        return DType.STRING
+    if isinstance(value, int):
+        return DType.INT
+    if isinstance(value, float):
+        return DType.FLOAT
+    if isinstance(value, str):
+        if _looks_like_int(value):
+            return DType.INT
+        if _looks_like_float(value):
+            return DType.FLOAT
+        return DType.STRING
+    # Fallback: numpy scalars and anything else numeric-like.
+    try:
+        as_float = float(value)
+    except (TypeError, ValueError):
+        return DType.STRING
+    if float(as_float).is_integer() and not isinstance(value, float):
+        return DType.INT
+    return DType.FLOAT
+
+
+def infer_column_dtype(values: Iterable[Any]) -> DType:
+    """Infer the :class:`DType` of a whole column of raw values.
+
+    The combination rules mirror typical dataframe semantics:
+
+    * any STRING value makes the column STRING,
+    * otherwise any FLOAT value makes the column FLOAT,
+    * otherwise any INT value makes the column INT,
+    * a column with only missing values is MISSING.
+    """
+    saw_int = saw_float = saw_string = saw_any = False
+    for value in values:
+        dtype = infer_dtype(value)
+        if dtype is DType.MISSING:
+            continue
+        saw_any = True
+        if dtype is DType.STRING:
+            saw_string = True
+            break  # STRING dominates; no need to look further
+        if dtype is DType.FLOAT:
+            saw_float = True
+        elif dtype is DType.INT:
+            saw_int = True
+    if saw_string:
+        return DType.STRING
+    if saw_float:
+        return DType.FLOAT
+    if saw_int:
+        return DType.INT
+    if saw_any:  # pragma: no cover - defensive, unreachable
+        return DType.STRING
+    return DType.MISSING
+
+
+def coerce_value(value: Any, dtype: DType) -> Optional[Any]:
+    """Convert ``value`` into the Python representation of ``dtype``.
+
+    Missing values map to ``None`` regardless of the target type.  Raises
+    :class:`TypeInferenceError` if a non-missing value cannot be represented
+    in the requested type.
+    """
+    if is_missing_value(value):
+        return None
+    if dtype is DType.STRING:
+        return value if isinstance(value, str) else str(value)
+    if dtype is DType.INT:
+        try:
+            if isinstance(value, str):
+                return int(float(value)) if not _looks_like_int(value) else int(value)
+            return int(value)
+        except (TypeError, ValueError) as exc:
+            raise TypeInferenceError(f"cannot coerce {value!r} to INT") from exc
+    if dtype is DType.FLOAT:
+        try:
+            return float(value)
+        except (TypeError, ValueError) as exc:
+            raise TypeInferenceError(f"cannot coerce {value!r} to FLOAT") from exc
+    if dtype is DType.MISSING:
+        return None
+    raise TypeInferenceError(f"unsupported dtype: {dtype!r}")  # pragma: no cover

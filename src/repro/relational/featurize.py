@@ -1,0 +1,104 @@
+"""Featurization: from a candidate table to an augmentation table and join.
+
+Section III-B of the paper defines the join-aggregation query that turns an
+arbitrary candidate table ``T_cand[K_Z, Z]`` (which may have a many-to-many
+relationship with the base table) into an augmentation table
+``T_aug[K_X, X]`` with unique keys, and then left-joins it with the base
+table ``T_train[K_Y, Y]``:
+
+.. code-block:: sql
+
+    SELECT T_train[K_Y], T_train[Y], T_aug[X]
+    FROM T_train
+    LEFT JOIN (
+        SELECT K_Z AS K_X, AGG(Z) AS X FROM T_cand GROUP BY K_Z
+    ) AS T_aug
+    ON T_train[K_Y] = T_aug[K_X];
+
+:func:`featurize` performs the inner ``GROUP BY`` and :func:`augment`
+performs the full query, returning the augmented table whose row count
+equals that of the base table.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.relational.aggregate import AggregateFunction
+from repro.relational.join import left_outer_join
+from repro.relational.table import Table
+
+__all__ = ["featurize", "augment"]
+
+
+def featurize(
+    candidate: Table,
+    key_column: str,
+    value_column: str,
+    agg: "str | AggregateFunction" = AggregateFunction.AVG,
+    *,
+    feature_name: Optional[str] = None,
+) -> Table:
+    """Derive the augmentation table ``T_aug[K_X, X]`` from a candidate table.
+
+    Groups the candidate by its join-key column and applies the featurization
+    function ``agg`` to each group's values, producing a table with unique
+    keys suitable for a many-to-one left join with the base table.
+
+    Parameters
+    ----------
+    candidate:
+        Candidate table ``T_cand`` discovered in an external source.
+    key_column:
+        Name of the join-key column ``K_Z``.
+    value_column:
+        Name of the value column ``Z`` to featurize.
+    agg:
+        Aggregation function (``"avg"``, ``"mode"``, ``"count"``, ...).
+    feature_name:
+        Name of the derived feature column; defaults to
+        ``f"{agg}_{value_column}"`` (e.g. ``avg_Temp``).
+    """
+    agg_label = agg.value if isinstance(agg, AggregateFunction) else str(agg).lower()
+    feature_name = feature_name or f"{agg_label}_{value_column}"
+    return candidate.group_by(
+        key_column,
+        value_column,
+        agg,
+        value_output=feature_name,
+    ).rename(f"{candidate.name}_aug" if candidate.name else "aug")
+
+
+def augment(
+    base: Table,
+    candidate: Table,
+    *,
+    base_key: str,
+    candidate_key: str,
+    candidate_value: str,
+    agg: "str | AggregateFunction" = AggregateFunction.AVG,
+    feature_name: Optional[str] = None,
+) -> Table:
+    """Augment ``base`` with a feature derived from ``candidate``.
+
+    Implements the full join-aggregation query of Section III-B: the
+    candidate is featurized (grouped and aggregated on its key) and then
+    left-outer-joined with the base table, so the result has exactly one row
+    per base-table row.  Rows whose key has no match in the candidate get a
+    missing feature value.
+    """
+    aug = featurize(
+        candidate,
+        candidate_key,
+        candidate_value,
+        agg,
+        feature_name=feature_name,
+    )
+    return left_outer_join(
+        base,
+        aug,
+        left_on=base_key,
+        right_on=candidate_key,
+        expect_unique_right_keys=True,
+        name=f"{base.name}_augmented" if base.name else "augmented",
+    )

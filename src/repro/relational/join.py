@@ -1,0 +1,178 @@
+"""Equi-joins between tables.
+
+The paper's problem statement (Section III-A) estimates MI over the result of
+a *left-outer* equi-join of the base table with an (aggregated) augmentation
+table, with rows whose key has no match discarded from the MI computation.
+This module provides:
+
+* :func:`inner_join` — standard hash inner join,
+* :func:`left_outer_join` — left join preserving the left table's row count,
+* :func:`join_cardinality` — size of the inner join without materializing it.
+
+Joins use hash maps keyed on the join-attribute values, so they run in
+``O(|left| + |right| + |output|)`` time.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Hashable, Optional, Sequence
+
+from repro.exceptions import JoinError
+from repro.relational.column import Column
+from repro.relational.table import Table
+
+__all__ = ["inner_join", "left_outer_join", "join_cardinality"]
+
+
+def _validate_join_inputs(left: Table, right: Table, left_on: str, right_on: str) -> None:
+    if left_on not in left:
+        raise JoinError(f"left join key {left_on!r} not in left table {left.column_names}")
+    if right_on not in right:
+        raise JoinError(f"right join key {right_on!r} not in right table {right.column_names}")
+
+
+def _build_key_index(table: Table, key: str) -> dict[Hashable, list[int]]:
+    """Map each non-missing key value to the list of row indices holding it."""
+    index: dict[Hashable, list[int]] = defaultdict(list)
+    for row_index, value in enumerate(table.column(key)):
+        if value is None:
+            continue
+        index[value].append(row_index)
+    return index
+
+
+def _disambiguate(name: str, taken: set[str], suffix: str) -> str:
+    if name not in taken:
+        return name
+    candidate = f"{name}{suffix}"
+    counter = 2
+    while candidate in taken:
+        candidate = f"{name}{suffix}{counter}"
+        counter += 1
+    return candidate
+
+
+def _assemble(
+    left: Table,
+    right: Table,
+    left_indices: Sequence[int],
+    right_indices: Sequence[Optional[int]],
+    right_on: str,
+    *,
+    keep_right_key: bool,
+    suffix: str,
+    name: str,
+) -> Table:
+    columns: list[Column] = []
+    taken: set[str] = set()
+    for column in left.columns:
+        taken.add(column.name)
+        columns.append(column.take(list(left_indices)))
+    for column in right.columns:
+        if column.name == right_on and not keep_right_key:
+            continue
+        values = [
+            column[i] if i is not None else None
+            for i in right_indices
+        ]
+        out_name = _disambiguate(column.name, taken, suffix)
+        taken.add(out_name)
+        columns.append(Column(out_name, values, dtype=column.dtype))
+    return Table(columns, name=name)
+
+
+def inner_join(
+    left: Table,
+    right: Table,
+    left_on: str,
+    right_on: Optional[str] = None,
+    *,
+    suffix: str = "_right",
+    name: str = "",
+) -> Table:
+    """Hash inner equi-join of ``left`` and ``right``.
+
+    Every matching pair of rows produces an output row, so many-to-many keys
+    multiply out.  The right join-key column is dropped from the output (it
+    duplicates the left one); other name clashes get ``suffix`` appended.
+    """
+    right_on = right_on if right_on is not None else left_on
+    _validate_join_inputs(left, right, left_on, right_on)
+    right_index = _build_key_index(right, right_on)
+    left_rows: list[int] = []
+    right_rows: list[Optional[int]] = []
+    for left_row, key in enumerate(left.column(left_on)):
+        if key is None:
+            continue
+        for right_row in right_index.get(key, ()):
+            left_rows.append(left_row)
+            right_rows.append(right_row)
+    return _assemble(
+        left, right, left_rows, right_rows, right_on,
+        keep_right_key=False, suffix=suffix,
+        name=name or f"{left.name}_join_{right.name}".strip("_"),
+    )
+
+
+def left_outer_join(
+    left: Table,
+    right: Table,
+    left_on: str,
+    right_on: Optional[str] = None,
+    *,
+    expect_unique_right_keys: bool = False,
+    suffix: str = "_right",
+    name: str = "",
+) -> Table:
+    """Left-outer equi-join preserving the left table's rows.
+
+    When a left key matches several right rows the join is many-to-many and
+    the left row is repeated once per match (the standard SQL semantics); the
+    data-augmentation pipeline avoids this by aggregating the right table
+    first (see :func:`repro.relational.featurize.featurize`).  Setting
+    ``expect_unique_right_keys=True`` turns such duplication into a
+    :class:`~repro.exceptions.JoinError`, which is the contract assumed by
+    the paper's augmentation join.
+    """
+    right_on = right_on if right_on is not None else left_on
+    _validate_join_inputs(left, right, left_on, right_on)
+    right_index = _build_key_index(right, right_on)
+    if expect_unique_right_keys:
+        duplicated = [key for key, rows in right_index.items() if len(rows) > 1]
+        if duplicated:
+            raise JoinError(
+                "right table has repeated join keys "
+                f"(e.g. {duplicated[:3]!r}); aggregate it first with featurize()"
+            )
+    left_rows: list[int] = []
+    right_rows: list[Optional[int]] = []
+    for left_row, key in enumerate(left.column(left_on)):
+        matches = right_index.get(key, ()) if key is not None else ()
+        if matches:
+            for right_row in matches:
+                left_rows.append(left_row)
+                right_rows.append(right_row)
+        else:
+            left_rows.append(left_row)
+            right_rows.append(None)
+    return _assemble(
+        left, right, left_rows, right_rows, right_on,
+        keep_right_key=False, suffix=suffix,
+        name=name or f"{left.name}_leftjoin_{right.name}".strip("_"),
+    )
+
+
+def join_cardinality(left: Table, right: Table, left_on: str, right_on: Optional[str] = None) -> int:
+    """Number of rows the inner join would produce, without materializing it."""
+    right_on = right_on if right_on is not None else left_on
+    _validate_join_inputs(left, right, left_on, right_on)
+    right_counts: dict[Hashable, int] = defaultdict(int)
+    for value in right.column(right_on):
+        if value is not None:
+            right_counts[value] += 1
+    total = 0
+    for value in left.column(left_on):
+        if value is not None:
+            total += right_counts.get(value, 0)
+    return total

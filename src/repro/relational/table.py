@@ -1,0 +1,288 @@
+"""In-memory relational table.
+
+A :class:`Table` is an ordered collection of equally long
+:class:`~repro.relational.column.Column` objects.  It provides the small set
+of relational operations the paper's pipeline needs: projection, selection,
+row sampling, group-by aggregation, sorting and conversion to/from plain
+Python structures.  Joins live in :mod:`repro.relational.join` and the
+featurization query in :mod:`repro.relational.featurize`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Hashable, Iterable, Iterator, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import ColumnNotFoundError, SchemaError
+from repro.relational.aggregate import AggregateFunction, get_aggregate, group_by_aggregate, output_dtype
+from repro.relational.column import Column
+from repro.relational.dtypes import DType
+from repro.util.rng import RandomState, ensure_rng
+
+__all__ = ["Table"]
+
+
+class Table:
+    """An ordered collection of named, typed columns of equal length.
+
+    Parameters
+    ----------
+    columns:
+        Iterable of :class:`Column` objects.  Column names must be unique and
+        all columns must have the same number of rows.
+    name:
+        Optional table name used in reprs, discovery results and error
+        messages.
+    """
+
+    __slots__ = ("_columns", "_name")
+
+    def __init__(self, columns: Iterable[Column], name: str = ""):
+        columns = list(columns)
+        if not columns:
+            raise SchemaError("a table requires at least one column")
+        names = [column.name for column in columns]
+        if len(set(names)) != len(names):
+            duplicates = sorted({n for n in names if names.count(n) > 1})
+            raise SchemaError(f"duplicate column names: {', '.join(duplicates)}")
+        lengths = {len(column) for column in columns}
+        if len(lengths) > 1:
+            raise SchemaError(
+                "all columns must have the same length, got lengths "
+                + ", ".join(f"{c.name}={len(c)}" for c in columns)
+            )
+        self._columns: dict[str, Column] = {column.name: column for column in columns}
+        self._name = name
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_dict(
+        cls,
+        data: Mapping[str, Sequence[Any]],
+        name: str = "",
+        dtypes: Optional[Mapping[str, DType]] = None,
+    ) -> "Table":
+        """Build a table from a mapping of column name to values."""
+        dtypes = dtypes or {}
+        columns = [
+            Column(column_name, values, dtype=dtypes.get(column_name))
+            for column_name, values in data.items()
+        ]
+        return cls(columns, name=name)
+
+    @classmethod
+    def from_rows(
+        cls,
+        rows: Sequence[Sequence[Any]],
+        column_names: Sequence[str],
+        name: str = "",
+    ) -> "Table":
+        """Build a table from a list of rows and a list of column names."""
+        if rows and any(len(row) != len(column_names) for row in rows):
+            raise SchemaError("every row must have one value per column")
+        transposed = list(zip(*rows)) if rows else [[] for _ in column_names]
+        columns = [
+            Column(column_name, list(values))
+            for column_name, values in zip(column_names, transposed)
+        ]
+        return cls(columns, name=name)
+
+    # ------------------------------------------------------------------ #
+    # Basic protocol
+    # ------------------------------------------------------------------ #
+    @property
+    def name(self) -> str:
+        """Table name (may be empty)."""
+        return self._name
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        """Column names in declaration order."""
+        return tuple(self._columns.keys())
+
+    @property
+    def columns(self) -> tuple[Column, ...]:
+        """Columns in declaration order."""
+        return tuple(self._columns.values())
+
+    @property
+    def num_rows(self) -> int:
+        """Number of rows."""
+        first = next(iter(self._columns.values()))
+        return len(first)
+
+    @property
+    def num_columns(self) -> int:
+        """Number of columns."""
+        return len(self._columns)
+
+    def __len__(self) -> int:
+        return self.num_rows
+
+    def __contains__(self, column_name: str) -> bool:
+        return column_name in self._columns
+
+    def __getitem__(self, column_name: str) -> Column:
+        return self.column(column_name)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Table):
+            return NotImplemented
+        return self.column_names == other.column_names and all(
+            self._columns[name] == other._columns[name] for name in self._columns
+        )
+
+    def __repr__(self) -> str:
+        schema = ", ".join(
+            f"{column.name}:{column.dtype.value}" for column in self._columns.values()
+        )
+        label = f" {self._name!r}" if self._name else ""
+        return f"Table{label}({self.num_rows} rows; {schema})"
+
+    # ------------------------------------------------------------------ #
+    # Access
+    # ------------------------------------------------------------------ #
+    def column(self, column_name: str) -> Column:
+        """Return the column named ``column_name``.
+
+        Raises :class:`ColumnNotFoundError` if it does not exist.
+        """
+        try:
+            return self._columns[column_name]
+        except KeyError:
+            raise ColumnNotFoundError(column_name, self.column_names) from None
+
+    def row(self, index: int) -> dict[str, Any]:
+        """Return row ``index`` as a ``{column_name: value}`` dict."""
+        return {name: column[index] for name, column in self._columns.items()}
+
+    def iter_rows(self) -> Iterator[dict[str, Any]]:
+        """Iterate over rows as dicts."""
+        for index in range(self.num_rows):
+            yield self.row(index)
+
+    def to_dict(self) -> dict[str, list[Any]]:
+        """Return the table as a ``{column_name: values}`` dict."""
+        return {name: column.values for name, column in self._columns.items()}
+
+    def schema(self) -> dict[str, DType]:
+        """Return a mapping from column name to logical dtype."""
+        return {name: column.dtype for name, column in self._columns.items()}
+
+    # ------------------------------------------------------------------ #
+    # Relational operations
+    # ------------------------------------------------------------------ #
+    def rename(self, new_name: str) -> "Table":
+        """Return the same table under a different name."""
+        return Table(self.columns, name=new_name)
+
+    def select(self, column_names: Sequence[str]) -> "Table":
+        """Project onto the given columns (in the given order)."""
+        return Table([self.column(name) for name in column_names], name=self._name)
+
+    def with_column(self, column: Column) -> "Table":
+        """Return a new table with ``column`` appended (or replaced if the name exists)."""
+        if len(column) != self.num_rows:
+            raise SchemaError(
+                f"new column {column.name!r} has {len(column)} rows, table has {self.num_rows}"
+            )
+        columns = [c for c in self.columns if c.name != column.name]
+        columns.append(column)
+        return Table(columns, name=self._name)
+
+    def rename_columns(self, mapping: Mapping[str, str]) -> "Table":
+        """Rename columns according to ``mapping`` (old name -> new name)."""
+        columns = [
+            column.rename(mapping.get(column.name, column.name))
+            for column in self.columns
+        ]
+        return Table(columns, name=self._name)
+
+    def take(self, indices: Sequence[int]) -> "Table":
+        """Return a new table with the rows at ``indices`` (repeats allowed)."""
+        indices = list(indices)
+        return Table(
+            [column.take(indices) for column in self.columns], name=self._name
+        )
+
+    def filter(self, predicate: Callable[[dict[str, Any]], bool]) -> "Table":
+        """Return rows for which ``predicate(row_dict)`` is true."""
+        indices = [i for i, row in enumerate(self.iter_rows()) if predicate(row)]
+        return self.take(indices)
+
+    def drop_nulls(self, column_names: Optional[Sequence[str]] = None) -> "Table":
+        """Drop rows with a missing value in any of ``column_names`` (default: all)."""
+        names = list(column_names) if column_names is not None else list(self.column_names)
+        columns = [self.column(name) for name in names]
+        indices = [
+            i
+            for i in range(self.num_rows)
+            if all(column[i] is not None for column in columns)
+        ]
+        return self.take(indices)
+
+    def head(self, count: int = 5) -> "Table":
+        """First ``count`` rows."""
+        return self.take(range(min(count, self.num_rows)))
+
+    def sample_rows(self, count: int, random_state: RandomState = None) -> "Table":
+        """Uniform random sample of ``count`` rows without replacement."""
+        rng = ensure_rng(random_state)
+        count = min(count, self.num_rows)
+        indices = rng.choice(self.num_rows, size=count, replace=False)
+        return self.take([int(i) for i in indices])
+
+    def sort_by(self, column_name: str, *, descending: bool = False) -> "Table":
+        """Sort rows by a column (missing values last)."""
+        column = self.column(column_name)
+        order = sorted(
+            range(self.num_rows),
+            key=lambda i: (column[i] is None, column[i]),
+            reverse=descending,
+        )
+        return self.take(order)
+
+    def group_by(
+        self,
+        key_column: str,
+        value_column: str,
+        agg: "str | AggregateFunction",
+        *,
+        key_output: Optional[str] = None,
+        value_output: Optional[str] = None,
+    ) -> "Table":
+        """SQL-style ``SELECT key, AGG(value) ... GROUP BY key``.
+
+        Returns a two-column table with one row per distinct key (NULL keys
+        dropped), in first-appearance order.
+        """
+        agg = get_aggregate(agg)
+        keys = self.column(key_column)
+        values = self.column(value_column)
+        aggregated = group_by_aggregate(keys.values, values.values, agg)
+        key_output = key_output or key_column
+        value_output = value_output or value_column
+        out_dtype = output_dtype(agg, values.dtype)
+        return Table(
+            [
+                Column(key_output, list(aggregated.keys()), dtype=keys.dtype),
+                Column(value_output, list(aggregated.values()), dtype=out_dtype),
+            ],
+            name=self._name,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Conversions / stats
+    # ------------------------------------------------------------------ #
+    def to_numpy(self, column_names: Optional[Sequence[str]] = None) -> np.ndarray:
+        """Stack numeric columns into a 2-D float array (rows x columns)."""
+        names = list(column_names) if column_names is not None else list(self.column_names)
+        arrays = [self.column(name).to_numpy() for name in names]
+        return np.column_stack(arrays)
+
+    def key_frequencies(self, column_name: str) -> dict[Hashable, int]:
+        """Frequency of each non-missing value in a column (used by sketches)."""
+        return dict(self.column(column_name).value_counts())

@@ -1,0 +1,82 @@
+"""Sketches for join-free mutual-information estimation.
+
+This package implements the paper's primary contribution (Section IV): small,
+fixed-size sketches built independently per table that, when joined on hashed
+keys, recover a useful sample of the (never materialized) left join between a
+base table and an aggregated candidate table.  The recovered sample is handed
+to a standard MI estimator.
+
+Sketching methods:
+
+* :class:`TupleSketchBuilder` (**TUPSK**) — the proposed tuple-based
+  coordinated sampling: uniform inclusion probability per row, robust to
+  join-key skew and key/target dependence.
+* :class:`TwoLevelSketchBuilder` (**LV2SK**) — two-level sampling baseline:
+  minwise key-level coordination plus per-key Bernoulli thinning.
+* :class:`PrioritySketchBuilder` (**PRISK**) — LV2SK with frequency-weighted
+  (priority) sampling in the first level.
+* :class:`IndependentSketchBuilder` (**INDSK**) — independent uniform row
+  sampling, the no-coordination baseline.
+* :class:`CorrelationSketchBuilder` (**CSK**) — a straightforward extension
+  of Correlation Sketches (Santos et al., 2021) that keeps the first value
+  seen per key.
+"""
+
+from repro.sketches.base import (
+    Sketch,
+    SketchBuilder,
+    SketchSide,
+    build_sketch,
+    get_builder,
+    available_methods,
+)
+from repro.sketches.sampling import (
+    reservoir_sample,
+    bernoulli_sample,
+    priority_sample,
+    uniform_sample_without_replacement,
+)
+from repro.sketches.kmv import KMVSketch
+from repro.sketches.tupsk import TupleSketchBuilder
+from repro.sketches.lv2sk import TwoLevelSketchBuilder
+from repro.sketches.prisk import PrioritySketchBuilder
+from repro.sketches.indsk import IndependentSketchBuilder
+from repro.sketches.csk import CorrelationSketchBuilder
+from repro.sketches.join import SketchJoinResult, join_sketches
+from repro.sketches.estimate import SketchMIEstimate, estimate_mi_from_sketches
+from repro.sketches.serialization import (
+    save_sketch,
+    load_sketch,
+    sketch_to_dict,
+    sketch_from_dict,
+)
+from repro.sketches.streaming import StreamingBaseSketcher, StreamingCandidateSketcher
+
+__all__ = [
+    "Sketch",
+    "SketchBuilder",
+    "SketchSide",
+    "build_sketch",
+    "get_builder",
+    "available_methods",
+    "reservoir_sample",
+    "bernoulli_sample",
+    "priority_sample",
+    "uniform_sample_without_replacement",
+    "KMVSketch",
+    "TupleSketchBuilder",
+    "TwoLevelSketchBuilder",
+    "PrioritySketchBuilder",
+    "IndependentSketchBuilder",
+    "CorrelationSketchBuilder",
+    "SketchJoinResult",
+    "join_sketches",
+    "SketchMIEstimate",
+    "estimate_mi_from_sketches",
+    "save_sketch",
+    "load_sketch",
+    "sketch_to_dict",
+    "sketch_from_dict",
+    "StreamingBaseSketcher",
+    "StreamingCandidateSketcher",
+]

@@ -1,0 +1,322 @@
+"""Sketch data model and builder interface.
+
+A :class:`Sketch` summarizes one (join-key column, value column) pair of a
+table as a bounded set of ``(hashed key, value)`` tuples, exactly as in
+Section IV of the paper ("the sketch S_X is composed of a set of tuples
+⟨h(k), x_k⟩").  Sketches come in two flavours:
+
+* the **base** (left / ``T_train``) side, where repeated join keys must be
+  *sampled* so the sketch reflects the key-frequency distribution of the
+  table, and
+* the **candidate** (right / ``T_cand``) side, where repeated join keys are
+  *aggregated* with a featurization function so the sketch represents the
+  (never materialized) augmentation table ``T_aug``.
+
+Concrete builders implement the two corresponding methods; they differ only
+in the strategy used to select which tuples enter the sketch.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Optional, Sequence
+
+from repro.exceptions import SketchError
+from repro.hashing.unit import KeyHasher
+from repro.relational.aggregate import AggregateFunction, get_aggregate, group_by_aggregate, output_dtype
+from repro.relational.dtypes import DType, infer_column_dtype
+from repro.relational.table import Table
+
+__all__ = [
+    "SketchSide",
+    "Sketch",
+    "SketchBuilder",
+    "get_builder",
+    "build_sketch",
+    "available_methods",
+]
+
+
+class SketchSide:
+    """Which side of the augmentation join a sketch summarizes."""
+
+    BASE = "base"
+    CANDIDATE = "candidate"
+
+
+@dataclass
+class Sketch:
+    """A bounded sample of ``(hashed key, value)`` tuples for one column pair.
+
+    Attributes
+    ----------
+    method:
+        Name of the sketching method that built this sketch (e.g. ``"TUPSK"``).
+    side:
+        ``SketchSide.BASE`` or ``SketchSide.CANDIDATE``.
+    seed:
+        Hash seed; only sketches with equal seeds can be joined.
+    capacity:
+        The single size parameter ``n`` of the method.
+    key_ids:
+        Hashed join-key values ``h(k)`` of the retained tuples.
+    values:
+        Retained column values aligned with ``key_ids``.
+    value_dtype:
+        Logical type of the value column (after aggregation, for the
+        candidate side) — drives estimator selection downstream.
+    table_rows:
+        Number of rows of the sketched table.
+    distinct_keys:
+        Number of distinct non-missing join-key values in the sketched table.
+    key_column / value_column:
+        Column names, for provenance.
+    table_name:
+        Name of the sketched table, for provenance.
+    aggregate:
+        Name of the featurization function used (candidate side only).
+    """
+
+    method: str
+    side: str
+    seed: int
+    capacity: int
+    key_ids: list[int]
+    values: list[Any]
+    value_dtype: DType
+    table_rows: int
+    distinct_keys: int
+    key_column: str = ""
+    value_column: str = ""
+    table_name: str = ""
+    aggregate: Optional[str] = None
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if len(self.key_ids) != len(self.values):
+            raise SketchError("key_ids and values must be aligned")
+
+    def __len__(self) -> int:
+        return len(self.key_ids)
+
+    @property
+    def storage_size(self) -> int:
+        """Number of stored tuples (the quantity bounded by the method)."""
+        return len(self.key_ids)
+
+    def key_id_set(self) -> set[int]:
+        """Distinct hashed keys present in the sketch."""
+        return set(self.key_ids)
+
+    def items(self) -> list[tuple[int, Any]]:
+        """The stored ``(hashed key, value)`` tuples."""
+        return list(zip(self.key_ids, self.values))
+
+    def summary(self) -> dict[str, Any]:
+        """Small dict used by experiment reports and the discovery index."""
+        return {
+            "method": self.method,
+            "side": self.side,
+            "size": len(self),
+            "capacity": self.capacity,
+            "table": self.table_name,
+            "key_column": self.key_column,
+            "value_column": self.value_column,
+            "value_dtype": self.value_dtype.value,
+            "aggregate": self.aggregate,
+        }
+
+
+class SketchBuilder(abc.ABC):
+    """Base class for sketching methods.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum sketch size ``n`` (the method's single parameter).
+    seed:
+        Hash seed shared by all sketches that are meant to be joined.
+    """
+
+    #: Method name used in registries, reports and sketch provenance.
+    method: str = "abstract"
+
+    def __init__(self, capacity: int = 256, seed: int = 0):
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self.capacity = int(capacity)
+        self.seed = int(seed)
+        self.hasher = KeyHasher(seed=self.seed)
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def sketch_base(self, table: Table, key_column: str, value_column: str) -> Sketch:
+        """Sketch the base (``T_train``) side: sample rows, keep repeated keys."""
+        keys = table.column(key_column).values
+        values = table.column(value_column).values
+        keys, values = _drop_missing_keys(keys, values)
+        if not keys:
+            raise SketchError(
+                f"cannot sketch {table.name or 'table'}: join key {key_column!r} has no values"
+            )
+        key_list, value_list = self._select_base(keys, values)
+        return Sketch(
+            method=self.method,
+            side=SketchSide.BASE,
+            seed=self.seed,
+            capacity=self.capacity,
+            key_ids=[self.hasher.key_id(key) for key in key_list],
+            values=value_list,
+            value_dtype=table.column(value_column).dtype,
+            table_rows=len(keys),
+            distinct_keys=len(set(keys)),
+            key_column=key_column,
+            value_column=value_column,
+            table_name=table.name,
+        )
+
+    def sketch_candidate(
+        self,
+        table: Table,
+        key_column: str,
+        value_column: str,
+        agg: "str | AggregateFunction" = AggregateFunction.AVG,
+    ) -> Sketch:
+        """Sketch the candidate (``T_cand``) side: aggregate repeated keys.
+
+        The aggregation is performed on the fly, so the intermediate
+        augmentation table ``T_aug`` is never materialized.
+        """
+        agg = get_aggregate(agg)
+        keys = table.column(key_column).values
+        values = table.column(value_column).values
+        keys, values = _drop_missing_keys(keys, values)
+        if not keys:
+            raise SketchError(
+                f"cannot sketch {table.name or 'table'}: join key {key_column!r} has no values"
+            )
+        aggregated = self._candidate_key_values(keys, values, agg)
+        key_list, value_list = self._select_candidate(aggregated)
+        input_dtype = table.column(value_column).dtype
+        return Sketch(
+            method=self.method,
+            side=SketchSide.CANDIDATE,
+            seed=self.seed,
+            capacity=self.capacity,
+            key_ids=[self.hasher.key_id(key) for key in key_list],
+            values=value_list,
+            value_dtype=self._candidate_value_dtype(agg, input_dtype, value_list),
+            table_rows=len(keys),
+            distinct_keys=len(set(keys)),
+            key_column=key_column,
+            value_column=value_column,
+            table_name=table.name,
+            aggregate=agg.value,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Hooks implemented by concrete methods
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def _select_base(
+        self, keys: list[Hashable], values: list[Any]
+    ) -> tuple[list[Hashable], list[Any]]:
+        """Select the (key, value) rows of the base table to retain."""
+
+    @abc.abstractmethod
+    def _select_candidate(
+        self, aggregated: dict[Hashable, Any]
+    ) -> tuple[list[Hashable], list[Any]]:
+        """Select the (key, aggregated value) entries of ``T_aug`` to retain."""
+
+    # ------------------------------------------------------------------ #
+    # Shared helpers
+    # ------------------------------------------------------------------ #
+    def _candidate_key_values(
+        self,
+        keys: list[Hashable],
+        values: list[Any],
+        agg: AggregateFunction,
+    ) -> dict[Hashable, Any]:
+        """Aggregate candidate values per key (the sketch-side ``GROUP BY``)."""
+        return group_by_aggregate(keys, values, agg)
+
+    @staticmethod
+    def _candidate_value_dtype(
+        agg: AggregateFunction, input_dtype: DType, values: Sequence[Any]
+    ) -> DType:
+        declared = output_dtype(agg, input_dtype)
+        if declared is DType.MISSING:
+            return infer_column_dtype(values)
+        return declared
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(capacity={self.capacity}, seed={self.seed})"
+
+
+def _drop_missing_keys(
+    keys: Sequence[Hashable], values: Sequence[Any]
+) -> tuple[list[Hashable], list[Any]]:
+    """Remove rows whose join key is missing (NULL keys never join)."""
+    kept_keys: list[Hashable] = []
+    kept_values: list[Any] = []
+    for key, value in zip(keys, values):
+        if key is None:
+            continue
+        kept_keys.append(key)
+        kept_values.append(value)
+    return kept_keys, kept_values
+
+
+# --------------------------------------------------------------------------- #
+# Registry
+# --------------------------------------------------------------------------- #
+_REGISTRY: dict[str, type[SketchBuilder]] = {}
+
+
+def register_builder(cls: type[SketchBuilder]) -> type[SketchBuilder]:
+    """Class decorator registering a builder under its ``method`` name."""
+    _REGISTRY[cls.method.upper()] = cls
+    return cls
+
+
+def available_methods() -> tuple[str, ...]:
+    """Names of all registered sketching methods."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_builder(method: str, capacity: int = 256, seed: int = 0) -> SketchBuilder:
+    """Instantiate a registered sketch builder by name (case-insensitive)."""
+    # Import concrete builders lazily to avoid import cycles when this module
+    # is imported directly.
+    from repro.sketches import csk, indsk, lv2sk, prisk, tupsk  # noqa: F401
+
+    try:
+        cls = _REGISTRY[method.upper()]
+    except KeyError:
+        raise SketchError(
+            f"unknown sketching method {method!r}; available: {', '.join(available_methods())}"
+        ) from None
+    return cls(capacity=capacity, seed=seed)
+
+
+def build_sketch(
+    table: Table,
+    key_column: str,
+    value_column: str,
+    *,
+    method: str = "TUPSK",
+    side: str = SketchSide.BASE,
+    capacity: int = 256,
+    seed: int = 0,
+    agg: "str | AggregateFunction" = AggregateFunction.AVG,
+) -> Sketch:
+    """One-call convenience wrapper around the builder classes."""
+    builder = get_builder(method, capacity=capacity, seed=seed)
+    if side == SketchSide.BASE:
+        return builder.sketch_base(table, key_column, value_column)
+    if side == SketchSide.CANDIDATE:
+        return builder.sketch_candidate(table, key_column, value_column, agg=agg)
+    raise SketchError(f"unknown sketch side {side!r}")

@@ -1,0 +1,66 @@
+"""CSK: straightforward extension of Correlation Sketches to MI estimation.
+
+Correlation Sketches (Santos et al., SIGMOD 2021) perform coordinated minwise
+sampling over join keys and were designed for correlation estimates on
+numeric attributes with (assumed) unique keys.  The paper evaluates a direct
+extension as a baseline: since CSK does not prescribe how to handle repeated
+join keys, the *first value seen* for a key is kept — on both the base and
+the candidate side — instead of sampling (base) or aggregating (candidate).
+
+This makes the sketch cheap but means (1) the base-side sample ignores the
+key-frequency distribution of the left table, and (2) the candidate-side
+value may differ from the featurized value ``AGG({x_k})`` the augmentation
+join would actually produce.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable
+
+from repro.relational.aggregate import AggregateFunction
+from repro.sketches.base import SketchBuilder, register_builder
+
+__all__ = ["CorrelationSketchBuilder"]
+
+
+@register_builder
+class CorrelationSketchBuilder(SketchBuilder):
+    """Correlation-Sketches-style minwise key sampling with first-value semantics."""
+
+    method = "CSK"
+
+    def _first_values(
+        self, keys: list[Hashable], values: list[Any]
+    ) -> dict[Hashable, Any]:
+        first_seen: dict[Hashable, Any] = {}
+        for key, value in zip(keys, values):
+            if key not in first_seen:
+                first_seen[key] = value
+        return first_seen
+
+    def _select_from_mapping(
+        self, mapping: dict[Hashable, Any]
+    ) -> tuple[list[Hashable], list[Any]]:
+        ranked = sorted(mapping, key=self.hasher.unit)
+        selected = ranked[: self.capacity]
+        return selected, [mapping[key] for key in selected]
+
+    def _select_base(
+        self, keys: list[Hashable], values: list[Any]
+    ) -> tuple[list[Hashable], list[Any]]:
+        return self._select_from_mapping(self._first_values(keys, values))
+
+    def _candidate_key_values(
+        self,
+        keys: list[Hashable],
+        values: list[Any],
+        agg: AggregateFunction,
+    ) -> dict[Hashable, Any]:
+        # CSK ignores the featurization function and keeps the first value
+        # associated with each key (see module docstring).
+        return self._first_values(keys, values)
+
+    def _select_candidate(
+        self, aggregated: dict[Hashable, Any]
+    ) -> tuple[list[Hashable], list[Any]]:
+        return self._select_from_mapping(aggregated)

@@ -1,0 +1,153 @@
+"""K-Minimum-Values (KMV) sketch for distinct counting and containment.
+
+The discovery layer (Section I / VI: finding *joinable* tables before ranking
+them by MI) needs cheap estimates of how many distinct join-key values two
+columns share.  A KMV sketch keeps the ``k`` smallest unit-interval hashes of
+a column's distinct values; two KMV sketches built with the same hash seed
+support estimates of distinct counts, overlap and containment (Beyer et al.,
+2007), which is how systems such as Correlation Sketches shortlist joinable
+candidates.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+from repro.exceptions import SketchError
+from repro.hashing.unit import KeyHasher
+
+__all__ = ["KMVSketch"]
+
+
+class KMVSketch:
+    """K-minimum-values sketch over a column's distinct values.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of (hash, value) pairs retained.
+    seed:
+        Hash seed; two sketches can only be compared when built with the
+        same seed.
+    """
+
+    def __init__(self, capacity: int = 256, seed: int = 0):
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self.capacity = int(capacity)
+        self.seed = int(seed)
+        self._hasher = KeyHasher(seed=seed)
+        self._entries: dict[float, Hashable] = {}
+        self._threshold = float("inf")
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def add(self, value: Hashable) -> None:
+        """Add one value to the sketch (duplicates are ignored by hashing)."""
+        if value is None:
+            return
+        unit = self._hasher.unit(value)
+        if unit in self._entries:
+            return
+        if len(self._entries) < self.capacity:
+            self._entries[unit] = value
+            if len(self._entries) == self.capacity:
+                self._threshold = max(self._entries)
+            return
+        if unit >= self._threshold:
+            return
+        self._entries.pop(self._threshold)
+        self._entries[unit] = value
+        self._threshold = max(self._entries)
+
+    def update(self, values: Iterable[Hashable]) -> "KMVSketch":
+        """Add many values; returns ``self`` for chaining."""
+        for value in values:
+            self.add(value)
+        return self
+
+    @classmethod
+    def from_values(
+        cls, values: Iterable[Hashable], capacity: int = 256, seed: int = 0
+    ) -> "KMVSketch":
+        """Build a sketch directly from an iterable of values."""
+        return cls(capacity=capacity, seed=seed).update(values)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hashes(self) -> list[float]:
+        """Retained unit hashes, sorted ascending."""
+        return sorted(self._entries)
+
+    @property
+    def values(self) -> set[Hashable]:
+        """Retained distinct values."""
+        return set(self._entries.values())
+
+    def kth_minimum(self) -> float:
+        """The largest retained hash (the sketch's distinct-count statistic)."""
+        if not self._entries:
+            raise SketchError("KMV sketch is empty")
+        return max(self._entries)
+
+    # ------------------------------------------------------------------ #
+    # Estimation
+    # ------------------------------------------------------------------ #
+    def distinct_count_estimate(self) -> float:
+        """Estimate the number of distinct values seen.
+
+        Uses the unbiased KMV estimator ``(k - 1) / kth_minimum`` when the
+        sketch is full, and the exact count otherwise.  A full sketch has, by
+        construction, seen at least ``capacity`` distinct values, so the
+        estimate is floored there (the raw estimator can dip below it for
+        unlucky hash layouts and degenerates to 0 when ``capacity`` is 1).
+        """
+        if len(self._entries) < self.capacity:
+            return float(len(self._entries))
+        raw_estimate = (self.capacity - 1) / self.kth_minimum()
+        return max(raw_estimate, float(self.capacity))
+
+    def _check_comparable(self, other: "KMVSketch") -> None:
+        if self.seed != other.seed:
+            raise SketchError("KMV sketches built with different seeds cannot be compared")
+
+    def jaccard_estimate(self, other: "KMVSketch") -> float:
+        """Estimate the Jaccard similarity of the two underlying value sets."""
+        self._check_comparable(other)
+        if not self._entries or not other._entries:
+            return 0.0
+        k = min(self.capacity, len(self._entries) + len(other._entries))
+        combined = sorted(set(self._entries) | set(other._entries))[:k]
+        if not combined:
+            return 0.0
+        shared = set(self._entries) & set(other._entries)
+        matches = sum(1 for unit in combined if unit in shared)
+        return matches / len(combined)
+
+    def overlap_estimate(self, other: "KMVSketch") -> float:
+        """Estimate the number of distinct values present in both sets."""
+        self._check_comparable(other)
+        union_estimate = self._union_distinct_estimate(other)
+        return self.jaccard_estimate(other) * union_estimate
+
+    def containment_estimate(self, other: "KMVSketch") -> float:
+        """Estimate |self ∩ other| / |self| (how much of ``self`` is joinable)."""
+        own = self.distinct_count_estimate()
+        if own == 0:
+            return 0.0
+        return min(1.0, self.overlap_estimate(other) / own)
+
+    def _union_distinct_estimate(self, other: "KMVSketch") -> float:
+        union_hashes = sorted(set(self._entries) | set(other._entries))
+        k = min(max(self.capacity, other.capacity), len(union_hashes))
+        if k == 0:
+            return 0.0
+        if len(union_hashes) < max(self.capacity, other.capacity):
+            return float(len(union_hashes))
+        return (k - 1) / union_hashes[k - 1]

@@ -1,0 +1,108 @@
+"""Sampling primitives used by the sketch builders.
+
+These are the standard building blocks referenced in Section IV of the paper:
+
+* reservoir sampling (Vitter, 1985) — fixed-size uniform sample from a stream,
+* Bernoulli sampling — independent per-item coin flips,
+* priority sampling (Duffield, Lund, Thorup, 2007) — weighted fixed-size
+  sampling used by the PRISK baseline,
+* uniform sampling without replacement — used by the independent baseline.
+
+All functions take an explicit random source so sketches remain reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, TypeVar
+
+import numpy as np
+
+from repro.util.rng import RandomState, ensure_rng
+
+__all__ = [
+    "reservoir_sample",
+    "bernoulli_sample",
+    "priority_sample",
+    "uniform_sample_without_replacement",
+]
+
+T = TypeVar("T")
+
+
+def reservoir_sample(
+    items: Iterable[T], capacity: int, random_state: RandomState = None
+) -> list[T]:
+    """Uniform sample of up to ``capacity`` items from a stream (Vitter's algorithm R).
+
+    The order of the returned items is the reservoir order, not the stream
+    order; callers that need determinism independent of ordering should sort.
+    """
+    if capacity < 0:
+        raise ValueError("capacity must be non-negative")
+    rng = ensure_rng(random_state)
+    reservoir: list[T] = []
+    for index, item in enumerate(items):
+        if index < capacity:
+            reservoir.append(item)
+            continue
+        slot = int(rng.integers(0, index + 1))
+        if slot < capacity:
+            reservoir[slot] = item
+    return reservoir
+
+
+def bernoulli_sample(
+    items: Sequence[T], rate: float, random_state: RandomState = None
+) -> list[T]:
+    """Independent Bernoulli sample: keep each item with probability ``rate``."""
+    if not 0.0 <= rate <= 1.0:
+        raise ValueError("rate must lie in [0, 1]")
+    rng = ensure_rng(random_state)
+    if rate == 1.0:
+        return list(items)
+    if rate == 0.0:
+        return []
+    keep = rng.random(len(items)) < rate
+    return [item for item, kept in zip(items, keep) if kept]
+
+
+def priority_sample(
+    items: Sequence[T],
+    weights: Sequence[float],
+    capacity: int,
+    random_state: RandomState = None,
+) -> list[T]:
+    """Priority sampling of ``capacity`` items proportional(-ish) to ``weights``.
+
+    Each item gets priority ``w_i / u_i`` with ``u_i`` uniform on (0, 1]; the
+    ``capacity`` items with the largest priorities are kept.  This is the
+    weighted first-level sampler of the PRISK baseline.
+    """
+    if len(items) != len(weights):
+        raise ValueError("items and weights must have the same length")
+    if capacity < 0:
+        raise ValueError("capacity must be non-negative")
+    if any(weight <= 0 for weight in weights):
+        raise ValueError("weights must be strictly positive")
+    if capacity >= len(items):
+        return list(items)
+    rng = ensure_rng(random_state)
+    uniforms = rng.random(len(items))
+    uniforms = np.where(uniforms == 0.0, np.finfo(np.float64).tiny, uniforms)
+    priorities = np.asarray(weights, dtype=np.float64) / uniforms
+    top = np.argpartition(-priorities, capacity - 1)[:capacity]
+    return [items[int(index)] for index in sorted(top)]
+
+
+def uniform_sample_without_replacement(
+    items: Sequence[T], capacity: int, random_state: RandomState = None
+) -> list[T]:
+    """Uniform sample of ``min(capacity, len(items))`` items without replacement."""
+    if capacity < 0:
+        raise ValueError("capacity must be non-negative")
+    rng = ensure_rng(random_state)
+    count = min(capacity, len(items))
+    if count == len(items):
+        return list(items)
+    indices = rng.choice(len(items), size=count, replace=False)
+    return [items[int(index)] for index in sorted(indices)]

@@ -1,0 +1,90 @@
+"""Serialization of sketches to and from JSON documents.
+
+Sketches are built offline and shipped to wherever discovery queries run
+(Section IV: "sketches are typically built in an offline preprocessing
+stage"), so they need a stable on-disk representation.  The format is a plain
+JSON object with a version tag; values keep their Python types (strings,
+ints, floats, ``null``), which covers every value type a sketch can store.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Union
+
+from repro.exceptions import SketchError
+from repro.relational.dtypes import DType
+from repro.sketches.base import Sketch
+
+__all__ = ["sketch_to_dict", "sketch_from_dict", "save_sketch", "load_sketch"]
+
+#: Format version written into every serialized sketch.
+FORMAT_VERSION = 1
+
+PathLike = Union[str, os.PathLike]
+
+
+def sketch_to_dict(sketch: Sketch) -> dict[str, Any]:
+    """Convert a sketch into a JSON-serializable dictionary."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "method": sketch.method,
+        "side": sketch.side,
+        "seed": sketch.seed,
+        "capacity": sketch.capacity,
+        "key_ids": list(sketch.key_ids),
+        "values": list(sketch.values),
+        "value_dtype": sketch.value_dtype.value,
+        "table_rows": sketch.table_rows,
+        "distinct_keys": sketch.distinct_keys,
+        "key_column": sketch.key_column,
+        "value_column": sketch.value_column,
+        "table_name": sketch.table_name,
+        "aggregate": sketch.aggregate,
+        "metadata": dict(sketch.metadata),
+    }
+
+
+def sketch_from_dict(document: dict[str, Any]) -> Sketch:
+    """Rebuild a sketch from a dictionary produced by :func:`sketch_to_dict`."""
+    try:
+        version = document["format_version"]
+        if version != FORMAT_VERSION:
+            raise SketchError(
+                f"unsupported sketch format version {version!r} (expected {FORMAT_VERSION})"
+            )
+        return Sketch(
+            method=document["method"],
+            side=document["side"],
+            seed=int(document["seed"]),
+            capacity=int(document["capacity"]),
+            key_ids=[int(key_id) for key_id in document["key_ids"]],
+            values=list(document["values"]),
+            value_dtype=DType(document["value_dtype"]),
+            table_rows=int(document["table_rows"]),
+            distinct_keys=int(document["distinct_keys"]),
+            key_column=document.get("key_column", ""),
+            value_column=document.get("value_column", ""),
+            table_name=document.get("table_name", ""),
+            aggregate=document.get("aggregate"),
+            metadata=dict(document.get("metadata", {})),
+        )
+    except (KeyError, ValueError, TypeError) as exc:
+        raise SketchError(f"malformed sketch document: {exc}") from exc
+
+
+def save_sketch(sketch: Sketch, path: PathLike) -> None:
+    """Write a sketch to ``path`` as a JSON document."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(sketch_to_dict(sketch), handle)
+
+
+def load_sketch(path: PathLike) -> Sketch:
+    """Read a sketch previously written by :func:`save_sketch`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        try:
+            document = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise SketchError(f"not a valid sketch file: {path}") from exc
+    return sketch_from_dict(document)

@@ -1,0 +1,55 @@
+"""TUPSK: tuple-based coordinated sampling (the paper's proposed method).
+
+Section IV-B.  Instead of ranking *keys* by hash value, TUPSK ranks *rows*:
+the ``j``-th occurrence of key ``k`` in the base table is identified by the
+derived tuple ``(k, j)`` and ranked by ``h_u(h((k, j)))``.  Because every
+derived tuple is unique, each row has the same inclusion probability
+(``n / N``), so the recovered sample of the many-to-one left join is a
+uniform sample of the join result — which is exactly what generic MI
+estimators assume.
+
+On the candidate side repeated keys are aggregated (as in every method) and
+the resulting unique keys are ranked by ``h_u(h((k, 1)))``; hashing on
+``(k, 1)`` is what provides coordination with the base-side rows having
+``j = 1``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Hashable
+
+from repro.sketches.base import SketchBuilder, register_builder
+
+__all__ = ["TupleSketchBuilder"]
+
+
+@register_builder
+class TupleSketchBuilder(SketchBuilder):
+    """The proposed tuple-based sampling sketch (TUPSK)."""
+
+    method = "TUPSK"
+
+    def _select_base(
+        self, keys: list[Hashable], values: list[Any]
+    ) -> tuple[list[Hashable], list[Any]]:
+        occurrence: dict[Hashable, int] = {}
+        # Max-heap (negated priority) of the `capacity` smallest tuple hashes.
+        heap: list[tuple[float, int]] = []
+        for row_index, key in enumerate(keys):
+            count = occurrence.get(key, 0) + 1
+            occurrence[key] = count
+            unit = self.hasher.tuple_unit(key, count)
+            if len(heap) < self.capacity:
+                heapq.heappush(heap, (-unit, row_index))
+            elif unit < -heap[0][0]:
+                heapq.heapreplace(heap, (-unit, row_index))
+        selected = sorted(row_index for _, row_index in heap)
+        return [keys[i] for i in selected], [values[i] for i in selected]
+
+    def _select_candidate(
+        self, aggregated: dict[Hashable, Any]
+    ) -> tuple[list[Hashable], list[Any]]:
+        ranked = sorted(aggregated, key=lambda key: self.hasher.tuple_unit(key, 1))
+        selected = ranked[: self.capacity]
+        return selected, [aggregated[key] for key in selected]

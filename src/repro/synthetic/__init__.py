@@ -1,0 +1,55 @@
+"""Synthetic benchmark with analytically known mutual information.
+
+Section V-A of the paper designs a data-generation process where the
+post-join target ``Y`` and feature ``X`` are drawn from analytic
+distributions (so their true MI is known in closed or open form) and then
+*decomposed* into two joinable tables.  This package implements that
+process:
+
+* :mod:`repro.synthetic.trinomial` — the ``Trinomial`` generator
+  (``Mult(m, <p1, p2>)``) with MI-targeted parameter selection and exact MI
+  via the open-form trinomial entropy;
+* :mod:`repro.synthetic.cdunif` — the ``CDUnif`` discrete/continuous
+  generator of Gao et al. (2017) with closed-form MI;
+* :mod:`repro.synthetic.decompose` — the ``KeyInd`` (one-to-one) and
+  ``KeyDep`` (many-to-one, key equal to the feature value) decompositions
+  into ``T_train`` and ``T_cand``;
+* :mod:`repro.synthetic.benchmark` — dataset bundles and suite generators
+  used by the experiment runners.
+"""
+
+from repro.synthetic.trinomial import (
+    TrinomialParameters,
+    choose_trinomial_parameters,
+    trinomial_true_mi,
+    binomial_entropy,
+    trinomial_joint_entropy,
+    sample_trinomial,
+)
+from repro.synthetic.cdunif import cdunif_true_mi, sample_cdunif
+from repro.synthetic.decompose import KeyGeneration, decompose_into_tables
+from repro.synthetic.benchmark import (
+    SyntheticDataset,
+    generate_trinomial_dataset,
+    generate_cdunif_dataset,
+    generate_dataset,
+    generate_benchmark_suite,
+)
+
+__all__ = [
+    "TrinomialParameters",
+    "choose_trinomial_parameters",
+    "trinomial_true_mi",
+    "binomial_entropy",
+    "trinomial_joint_entropy",
+    "sample_trinomial",
+    "cdunif_true_mi",
+    "sample_cdunif",
+    "KeyGeneration",
+    "decompose_into_tables",
+    "SyntheticDataset",
+    "generate_trinomial_dataset",
+    "generate_cdunif_dataset",
+    "generate_dataset",
+    "generate_benchmark_suite",
+]

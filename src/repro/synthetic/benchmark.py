@@ -1,0 +1,235 @@
+"""Synthetic dataset bundles used by the experiment runners.
+
+A :class:`SyntheticDataset` packages everything an experiment needs: the
+decomposed tables, the post-join ground-truth ``(X, Y)`` sample, the analytic
+MI, and the generation parameters.  The generator functions mirror the two
+distributions and two key-generation processes of Section V-A.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional
+
+import numpy as np
+
+from repro.exceptions import SyntheticDataError
+from repro.relational.table import Table
+from repro.synthetic.cdunif import cdunif_true_mi, sample_cdunif
+from repro.synthetic.decompose import KeyGeneration, decompose_into_tables
+from repro.synthetic.trinomial import (
+    TrinomialParameters,
+    choose_trinomial_parameters,
+    sample_trinomial,
+)
+from repro.util.rng import RandomState, ensure_rng, spawn_rng
+
+__all__ = [
+    "SyntheticDataset",
+    "generate_trinomial_dataset",
+    "generate_cdunif_dataset",
+    "generate_dataset",
+    "generate_benchmark_suite",
+    "redecompose",
+]
+
+
+@dataclass
+class SyntheticDataset:
+    """A synthetic dataset with analytically known post-join MI.
+
+    Attributes
+    ----------
+    distribution:
+        ``"trinomial"`` or ``"cdunif"``.
+    m:
+        Distribution size parameter (number of trials / distinct values).
+    true_mi:
+        Analytic MI (nats) between ``X`` and ``Y`` after the join.
+    key_generation:
+        The key decomposition used (:class:`KeyGeneration`).
+    train_table:
+        ``T_train[key, target]`` — the base table.
+    cand_table:
+        ``T_cand[key, feature]`` — the candidate table.
+    x / y:
+        The post-join feature / target values (ground-truth full join).
+    params:
+        Extra generation parameters (e.g. the trinomial ``p1``/``p2``).
+    """
+
+    distribution: str
+    m: int
+    true_mi: float
+    key_generation: KeyGeneration
+    train_table: Table
+    cand_table: Table
+    x: np.ndarray
+    y: np.ndarray
+    params: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def size(self) -> int:
+        """Number of rows of the base table (and of the full join)."""
+        return len(self.y)
+
+    def describe(self) -> dict[str, Any]:
+        """Small dict used in experiment reports."""
+        return {
+            "distribution": self.distribution,
+            "m": self.m,
+            "size": self.size,
+            "true_mi": self.true_mi,
+            "key_generation": self.key_generation.value,
+            **self.params,
+        }
+
+
+def generate_trinomial_dataset(
+    m: int,
+    size: int = 10_000,
+    *,
+    target_mi: Optional[float] = None,
+    key_generation: "str | KeyGeneration" = KeyGeneration.KEY_IND,
+    random_state: RandomState = None,
+) -> SyntheticDataset:
+    """Generate a Trinomial dataset decomposed into joinable tables."""
+    rng = ensure_rng(random_state)
+    params: TrinomialParameters = choose_trinomial_parameters(
+        m, target_mi=target_mi, random_state=rng
+    )
+    x, y = sample_trinomial(m, params.p1, params.p2, size, random_state=rng)
+    key_generation = KeyGeneration.from_name(key_generation)
+    train_table, cand_table = decompose_into_tables(x, y, key_generation)
+    return SyntheticDataset(
+        distribution="trinomial",
+        m=m,
+        true_mi=params.true_mi,
+        key_generation=key_generation,
+        train_table=train_table,
+        cand_table=cand_table,
+        x=np.asarray(x),
+        y=np.asarray(y),
+        params={"p1": params.p1, "p2": params.p2, "target_mi": params.target_mi},
+    )
+
+
+def generate_cdunif_dataset(
+    m: int,
+    size: int = 10_000,
+    *,
+    key_generation: "str | KeyGeneration" = KeyGeneration.KEY_IND,
+    random_state: RandomState = None,
+) -> SyntheticDataset:
+    """Generate a CDUnif dataset decomposed into joinable tables.
+
+    ``KeyDep`` uses the discrete component ``X`` as the join key, matching
+    the paper (KeyDep is only applicable to discrete features, and in CDUnif
+    the feature ``X`` is the discrete side).
+    """
+    rng = ensure_rng(random_state)
+    x, y = sample_cdunif(m, size, random_state=rng)
+    key_generation = KeyGeneration.from_name(key_generation)
+    train_table, cand_table = decompose_into_tables(x, y, key_generation)
+    return SyntheticDataset(
+        distribution="cdunif",
+        m=m,
+        true_mi=cdunif_true_mi(m),
+        key_generation=key_generation,
+        train_table=train_table,
+        cand_table=cand_table,
+        x=np.asarray(x),
+        y=np.asarray(y),
+        params={},
+    )
+
+
+def redecompose(
+    dataset: SyntheticDataset,
+    key_generation: "str | KeyGeneration",
+) -> SyntheticDataset:
+    """Re-decompose an existing dataset's ``(X, Y)`` sample with another key process.
+
+    Useful for *paired* comparisons of ``KeyInd`` vs ``KeyDep`` (as in
+    Figures 2 and 3): both variants share exactly the same post-join sample
+    and true MI, so any difference in sketch estimates is attributable to the
+    join-key distribution alone.
+    """
+    key_generation = KeyGeneration.from_name(key_generation)
+    train_table, cand_table = decompose_into_tables(dataset.x, dataset.y, key_generation)
+    return SyntheticDataset(
+        distribution=dataset.distribution,
+        m=dataset.m,
+        true_mi=dataset.true_mi,
+        key_generation=key_generation,
+        train_table=train_table,
+        cand_table=cand_table,
+        x=dataset.x,
+        y=dataset.y,
+        params=dict(dataset.params),
+    )
+
+
+def generate_dataset(
+    distribution: str,
+    m: int,
+    size: int = 10_000,
+    *,
+    target_mi: Optional[float] = None,
+    key_generation: "str | KeyGeneration" = KeyGeneration.KEY_IND,
+    random_state: RandomState = None,
+) -> SyntheticDataset:
+    """Generate a dataset of either distribution family by name."""
+    distribution = distribution.strip().lower()
+    if distribution == "trinomial":
+        return generate_trinomial_dataset(
+            m,
+            size,
+            target_mi=target_mi,
+            key_generation=key_generation,
+            random_state=random_state,
+        )
+    if distribution == "cdunif":
+        return generate_cdunif_dataset(
+            m, size, key_generation=key_generation, random_state=random_state
+        )
+    raise SyntheticDataError(
+        f"unknown distribution {distribution!r}; expected 'trinomial' or 'cdunif'"
+    )
+
+
+def generate_benchmark_suite(
+    distribution: str,
+    *,
+    m_values: Iterable[int],
+    datasets_per_m: int = 10,
+    size: int = 10_000,
+    key_generations: Iterable["str | KeyGeneration"] = (KeyGeneration.KEY_IND,),
+    random_state: RandomState = None,
+) -> list[SyntheticDataset]:
+    """Generate a sweep of datasets (the shape of the paper's Figures 2-4).
+
+    For the Trinomial family the target MI of each dataset is drawn uniformly
+    from ``[0, 3.5]`` (by the parameter chooser); for CDUnif the MI is a
+    deterministic function of ``m``.
+    """
+    rng = ensure_rng(random_state)
+    key_generations = [KeyGeneration.from_name(kg) for kg in key_generations]
+    m_list = list(m_values)
+    child_rngs = spawn_rng(rng, len(m_list) * datasets_per_m * len(key_generations))
+    datasets: list[SyntheticDataset] = []
+    child_index = 0
+    for m in m_list:
+        for key_generation in key_generations:
+            for _ in range(datasets_per_m):
+                datasets.append(
+                    generate_dataset(
+                        distribution,
+                        m,
+                        size,
+                        key_generation=key_generation,
+                        random_state=child_rngs[child_index],
+                    )
+                )
+                child_index += 1
+    return datasets

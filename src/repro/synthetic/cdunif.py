@@ -1,0 +1,45 @@
+"""The ``CDUnif`` discrete/continuous synthetic generator (Section V-A).
+
+Following Gao et al. (2017), ``X`` is uniform over the integers
+``{0, 1, ..., m-1}`` and, given ``X = x``, ``Y`` is uniform on the interval
+``[x, x + 2]``.  Because consecutive intervals overlap, observing ``Y`` only
+partially identifies ``X`` and the mutual information has the closed form
+
+``I(X, Y) = log(m) - (m - 1) * log(2) / m``  (nats).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import SyntheticDataError
+from repro.util.rng import RandomState, ensure_rng
+
+__all__ = ["cdunif_true_mi", "sample_cdunif"]
+
+
+def cdunif_true_mi(m: int) -> float:
+    """Closed-form MI (nats) of the CDUnif distribution with parameter ``m``."""
+    if m < 1:
+        raise ValueError("m must be a positive integer")
+    return float(np.log(m) - (m - 1) * np.log(2.0) / m)
+
+
+def sample_cdunif(
+    m: int,
+    size: int,
+    random_state: RandomState = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Draw ``size`` samples of ``(X, Y)`` from the CDUnif distribution.
+
+    Returns an integer array ``X`` (values in ``{0, ..., m-1}``) and a float
+    array ``Y`` (values in ``[X, X + 2]``).
+    """
+    if m < 1:
+        raise SyntheticDataError("m must be a positive integer")
+    if size < 1:
+        raise SyntheticDataError("size must be a positive integer")
+    rng = ensure_rng(random_state)
+    x = rng.integers(0, m, size=size, dtype=np.int64)
+    y = x + rng.uniform(0.0, 2.0, size=size)
+    return x, y

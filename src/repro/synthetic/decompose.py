@@ -1,0 +1,132 @@
+"""Decomposition of a generated ``(X, Y)`` sample into joinable tables.
+
+Section V-A: after drawing the post-join target ``Y`` and feature ``X`` from
+an analytic distribution, the pair is decomposed into a base table
+``T_train[K_Y, Y]`` and a candidate table ``T_cand[K_X, X]`` whose join
+recovers exactly the generated pairs.  Two key-generation processes are
+used:
+
+* **KeyInd** — sequential unique keys, one per row: a one-to-one
+  relationship with maximum independence between the join key and the
+  feature values.
+* **KeyDep** — the join key *is* the feature value: all rows sharing a
+  feature value share a key, a many-to-one relationship with maximal
+  dependence between key and feature (only applicable when ``X`` is
+  discrete).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import SyntheticDataError
+from repro.relational.column import Column
+from repro.relational.dtypes import DType
+from repro.relational.table import Table
+
+__all__ = ["KeyGeneration", "decompose_into_tables"]
+
+
+class KeyGeneration(enum.Enum):
+    """Join-key generation process used when decomposing ``(X, Y)`` into tables."""
+
+    KEY_IND = "KeyInd"
+    KEY_DEP = "KeyDep"
+
+    @classmethod
+    def from_name(cls, name: "str | KeyGeneration") -> "KeyGeneration":
+        """Resolve a key-generation process from its name (case-insensitive)."""
+        if isinstance(name, cls):
+            return name
+        normalized = str(name).strip().lower()
+        for member in cls:
+            if member.value.lower() == normalized or member.name.lower() == normalized:
+                return member
+        raise SyntheticDataError(f"unknown key generation process: {name!r}")
+
+
+def _default_key_formatter(value) -> object:
+    return value
+
+
+def decompose_into_tables(
+    x_values: Sequence,
+    y_values: Sequence,
+    key_generation: "str | KeyGeneration" = KeyGeneration.KEY_IND,
+    *,
+    key_formatter: Optional[Callable[[object], object]] = None,
+    x_dtype: Optional[DType] = None,
+    y_dtype: Optional[DType] = None,
+) -> tuple[Table, Table]:
+    """Decompose post-join ``(X, Y)`` pairs into ``T_train`` and ``T_cand``.
+
+    Parameters
+    ----------
+    x_values, y_values:
+        Aligned feature / target values of the (virtual) full join.
+    key_generation:
+        ``KeyInd`` (unique sequential keys) or ``KeyDep`` (key equals the
+        feature value; requires a discrete feature).
+    key_formatter:
+        Optional transformation applied to generated key values (e.g.
+        ``lambda k: f"key-{k}"`` to produce string keys like real data).
+    x_dtype, y_dtype:
+        Optional explicit column types.
+
+    Returns
+    -------
+    (train_table, cand_table):
+        ``T_train`` with columns ``key`` and ``target``; ``T_cand`` with
+        columns ``key`` and ``feature``.  The left join of the two on
+        ``key`` (after aggregating ``T_cand``) recovers exactly the input
+        pairs.
+    """
+    if len(x_values) != len(y_values):
+        raise SyntheticDataError("x_values and y_values must be aligned")
+    if len(x_values) == 0:
+        raise SyntheticDataError("cannot decompose an empty sample")
+    key_generation = KeyGeneration.from_name(key_generation)
+    formatter = key_formatter or _default_key_formatter
+
+    x_list = [_to_python_scalar(value) for value in x_values]
+    y_list = [_to_python_scalar(value) for value in y_values]
+
+    if key_generation is KeyGeneration.KEY_IND:
+        train_keys = [formatter(index) for index in range(len(y_list))]
+        cand_keys = list(train_keys)
+        cand_features = x_list
+    else:
+        if any(isinstance(value, float) and not float(value).is_integer() for value in x_list):
+            raise SyntheticDataError(
+                "KeyDep requires a discrete feature: continuous values would "
+                "produce unique join keys and degenerate to KeyInd"
+            )
+        train_keys = [formatter(value) for value in x_list]
+        cand_keys = list(train_keys)
+        cand_features = x_list
+
+    train_table = Table(
+        [
+            Column("key", train_keys),
+            Column("target", y_list, dtype=y_dtype),
+        ],
+        name="train",
+    )
+    cand_table = Table(
+        [
+            Column("key", cand_keys),
+            Column("feature", cand_features, dtype=x_dtype),
+        ],
+        name="candidate",
+    )
+    return train_table, cand_table
+
+
+def _to_python_scalar(value):
+    """Convert numpy scalars to plain Python scalars for the Table layer."""
+    if isinstance(value, np.generic):
+        return value.item()
+    return value

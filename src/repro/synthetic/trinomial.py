@@ -1,0 +1,223 @@
+"""The ``Trinomial`` synthetic data generator (Section V-A of the paper).
+
+``(X, Y)`` are the first two components of a multinomial draw
+``Mult(m, <p1, p2>)``; both are discrete, take values in ``{0, ..., m}`` and
+are negatively correlated.  Parameters are chosen so that the pair attains a
+*desired* mutual information:
+
+1. draw the target MI ``I`` (uniformly in ``[0, 3.5]`` by default) and
+   convert it to the correlation level of the approximating bivariate normal,
+   ``r = sqrt(1 - exp(-2 I))``;
+2. draw ``p1`` uniformly in ``[0.15, 0.85]``;
+3. solve the trinomial correlation identity
+   ``r = -p1 p2 / sqrt(p1 (1 - p1) p2 (1 - p2))`` for ``p2`` and retry if it
+   falls outside ``[0.15, 0.85]``.
+
+The normal approximation is used *only* to pick parameters; the exact MI of
+the resulting trinomial is computed from the open-form entropy of the
+multinomial distribution (binomial marginals plus the joint sum).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.special import gammaln
+
+from repro.exceptions import SyntheticDataError
+from repro.util.rng import RandomState, ensure_rng
+
+__all__ = [
+    "TrinomialParameters",
+    "choose_trinomial_parameters",
+    "binomial_entropy",
+    "trinomial_joint_entropy",
+    "trinomial_true_mi",
+    "sample_trinomial",
+    "mi_to_correlation",
+    "correlation_to_mi",
+]
+
+#: Range in which p1 and p2 must fall for the normal approximation to be usable.
+_P_RANGE = (0.15, 0.85)
+#: Default range of target MI values (nats), as in the paper.
+_MI_RANGE = (0.0, 3.5)
+
+
+@dataclass(frozen=True)
+class TrinomialParameters:
+    """Parameters of a Trinomial dataset and its exact mutual information."""
+
+    m: int
+    p1: float
+    p2: float
+    target_mi: float
+    true_mi: float
+
+    @property
+    def p3(self) -> float:
+        """Probability of the discarded third outcome."""
+        return 1.0 - self.p1 - self.p2
+
+
+def mi_to_correlation(mi: float) -> float:
+    """Correlation magnitude of a bivariate normal with the given MI (nats)."""
+    if mi < 0:
+        raise ValueError("mi must be non-negative")
+    return float(np.sqrt(1.0 - np.exp(-2.0 * mi)))
+
+
+def correlation_to_mi(correlation: float) -> float:
+    """MI (nats) of a bivariate normal with correlation ``correlation``."""
+    if not -1.0 < correlation < 1.0:
+        raise ValueError("correlation must lie strictly inside (-1, 1)")
+    return float(-0.5 * np.log(1.0 - correlation**2))
+
+
+def _solve_p2(correlation: float, p1: float) -> float:
+    """Solve the trinomial correlation identity for ``p2`` given ``r`` and ``p1``.
+
+    From ``r^2 = p1 p2 / ((1 - p1)(1 - p2))`` (the squared correlation of the
+    first two multinomial components):
+    ``p2 = r^2 (1 - p1) / (p1 + r^2 (1 - p1))``.
+    """
+    r_squared = correlation**2
+    return r_squared * (1.0 - p1) / (p1 + r_squared * (1.0 - p1))
+
+
+def choose_trinomial_parameters(
+    m: int,
+    *,
+    target_mi: float | None = None,
+    random_state: RandomState = None,
+    max_attempts: int = 1000,
+) -> TrinomialParameters:
+    """Choose ``(p1, p2)`` so the trinomial attains (approximately) a target MI.
+
+    Parameters
+    ----------
+    m:
+        Number of multinomial trials; also controls the number of distinct
+        values of X and Y.
+    target_mi:
+        Desired MI in nats.  Drawn uniformly from ``[0, 3.5]`` when omitted.
+    random_state:
+        Seed or generator.
+    max_attempts:
+        Number of ``p1`` draws before giving up (a draw is rejected when the
+        implied ``p2`` leaves ``[0.15, 0.85]``).
+    """
+    if m < 1:
+        raise SyntheticDataError("m must be a positive integer")
+    rng = ensure_rng(random_state)
+    if target_mi is None:
+        target_mi = float(rng.uniform(*_MI_RANGE))
+    if target_mi < 0:
+        raise SyntheticDataError("target_mi must be non-negative")
+    correlation = mi_to_correlation(target_mi)
+    low, high = _P_RANGE
+    for _ in range(max_attempts):
+        p1 = float(rng.uniform(low, high))
+        if target_mi == 0.0:
+            # Independence target: pick any valid p2; the exact MI of the
+            # trinomial is still > 0 because the components compete for
+            # trials, but it is the minimum attainable within this family.
+            p2 = float(rng.uniform(low, min(high, 0.98 - p1)))
+        else:
+            p2 = _solve_p2(correlation, p1)
+            if not low <= p2 <= high:
+                continue
+        if 1.0 - p1 - p2 <= 0.0:
+            continue
+        true_mi = trinomial_true_mi(m, p1, p2)
+        return TrinomialParameters(
+            m=m, p1=p1, p2=p2, target_mi=target_mi, true_mi=true_mi
+        )
+    raise SyntheticDataError(
+        f"could not find valid trinomial parameters for target MI {target_mi:.3f} "
+        f"after {max_attempts} attempts"
+    )
+
+
+def binomial_entropy(m: int, p: float) -> float:
+    """Exact entropy (nats) of a Binomial(m, p) distribution by summation."""
+    if not 0.0 <= p <= 1.0:
+        raise ValueError("p must lie in [0, 1]")
+    if p in (0.0, 1.0):
+        return 0.0
+    counts = np.arange(m + 1)
+    log_pmf = (
+        gammaln(m + 1)
+        - gammaln(counts + 1)
+        - gammaln(m - counts + 1)
+        + counts * np.log(p)
+        + (m - counts) * np.log1p(-p)
+    )
+    pmf = np.exp(log_pmf)
+    return float(-np.sum(pmf * log_pmf))
+
+
+def trinomial_joint_entropy(m: int, p1: float, p2: float) -> float:
+    """Exact joint entropy (nats) of the first two components of ``Mult(m, <p1, p2>)``.
+
+    Sums the open-form multinomial pmf over all ``(n1, n2)`` with
+    ``n1 + n2 <= m``; vectorized so that ``m`` up to a few thousand is fast.
+    """
+    p3 = 1.0 - p1 - p2
+    if min(p1, p2) <= 0.0 or p3 < 0.0:
+        raise ValueError("p1, p2 must be positive and p1 + p2 <= 1")
+    n1 = np.arange(m + 1).reshape(-1, 1)
+    n2 = np.arange(m + 1).reshape(1, -1)
+    n3 = m - n1 - n2
+    valid = n3 >= 0
+    # Work in logs; invalid cells are masked out.
+    with np.errstate(divide="ignore", invalid="ignore"):
+        log_pmf = (
+            gammaln(m + 1)
+            - gammaln(n1 + 1)
+            - gammaln(n2 + 1)
+            - gammaln(np.where(valid, n3, 0) + 1)
+            + n1 * np.log(p1)
+            + n2 * np.log(p2)
+            + np.where(valid, n3, 0) * (np.log(p3) if p3 > 0 else 0.0)
+        )
+    log_pmf = np.where(valid, log_pmf, -np.inf)
+    pmf = np.exp(log_pmf)
+    # Avoid 0 * (-inf) = nan: cells with zero probability contribute nothing.
+    safe_log = np.where(np.isfinite(log_pmf), log_pmf, 0.0)
+    return float(-np.sum(pmf * safe_log))
+
+
+def trinomial_true_mi(m: int, p1: float, p2: float) -> float:
+    """Exact MI (nats) between the first two components of ``Mult(m, <p1, p2>)``.
+
+    ``I(X, Y) = H(X) + H(Y) - H(X, Y)`` with binomial marginals and the
+    open-form joint entropy.
+    """
+    h_x = binomial_entropy(m, p1)
+    h_y = binomial_entropy(m, p2)
+    h_xy = trinomial_joint_entropy(m, p1, p2)
+    return max(0.0, h_x + h_y - h_xy)
+
+
+def sample_trinomial(
+    m: int,
+    p1: float,
+    p2: float,
+    size: int,
+    random_state: RandomState = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Draw ``size`` samples of ``(X, Y)`` from ``Mult(m, <p1, p2>)``.
+
+    Returns two integer arrays of shape ``(size,)`` (the third component is
+    discarded, as in the paper).
+    """
+    if size < 1:
+        raise SyntheticDataError("size must be a positive integer")
+    p3 = 1.0 - p1 - p2
+    if min(p1, p2) <= 0 or p3 < 0:
+        raise SyntheticDataError("p1, p2 must be positive and p1 + p2 <= 1")
+    rng = ensure_rng(random_state)
+    draws = rng.multinomial(m, [p1, p2, max(p3, 0.0)], size=size)
+    return draws[:, 0].astype(np.int64), draws[:, 1].astype(np.int64)

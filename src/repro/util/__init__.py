@@ -1,0 +1,19 @@
+"""Small shared utilities used across the library."""
+
+from repro.util.rng import RandomState, ensure_rng, spawn_rng
+from repro.util.validation import (
+    require,
+    require_positive,
+    require_in_range,
+    require_same_length,
+)
+
+__all__ = [
+    "RandomState",
+    "ensure_rng",
+    "spawn_rng",
+    "require",
+    "require_positive",
+    "require_in_range",
+    "require_same_length",
+]

@@ -1,0 +1,65 @@
+"""Argument-validation helpers shared across the library.
+
+These helpers keep validation one-liners at function entry points while
+producing consistent, informative error messages.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sized
+
+__all__ = [
+    "require",
+    "require_positive",
+    "require_in_range",
+    "require_same_length",
+]
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ValueError` with ``message`` unless ``condition`` holds."""
+    if not condition:
+        raise ValueError(message)
+
+
+def require_positive(value: float, name: str, *, strict: bool = True) -> None:
+    """Validate that ``value`` is positive (strictly, by default)."""
+    if strict and value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    if not strict and value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+
+
+def require_in_range(
+    value: float,
+    name: str,
+    low: float,
+    high: float,
+    *,
+    inclusive: bool = True,
+) -> None:
+    """Validate that ``value`` lies in ``[low, high]`` (or ``(low, high)``)."""
+    if inclusive:
+        if not (low <= value <= high):
+            raise ValueError(f"{name} must be in [{low}, {high}], got {value!r}")
+    else:
+        if not (low < value < high):
+            raise ValueError(f"{name} must be in ({low}, {high}), got {value!r}")
+
+
+def require_same_length(first: Sized, second: Sized, names: tuple[str, str]) -> None:
+    """Validate that two sized collections have equal length."""
+    if len(first) != len(second):
+        raise ValueError(
+            f"{names[0]} and {names[1]} must have the same length, "
+            f"got {len(first)} and {len(second)}"
+        )
+
+
+def is_missing(value: Any) -> bool:
+    """Return ``True`` for values the library treats as missing (NULL)."""
+    if value is None:
+        return True
+    if isinstance(value, float) and value != value:  # NaN check without numpy
+        return True
+    return False

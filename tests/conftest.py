@@ -1,0 +1,97 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.relational.column import Column
+from repro.relational.dtypes import DType
+from repro.relational.table import Table
+
+
+@pytest.fixture
+def rng():
+    """Deterministic random generator for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def taxi_table() -> Table:
+    """Small base table mirroring the paper's running example (daily taxi trips)."""
+    return Table.from_dict(
+        {
+            "date": [
+                "2017-01-01",
+                "2017-01-01",
+                "2017-01-02",
+                "2017-01-02",
+                "2017-01-03",
+                "2017-01-04",
+            ],
+            "zipcode": ["11201", "10011", "11201", "10011", "11201", "10011"],
+            "num_trips": [136, 112, 142, 108, 155, 99],
+        },
+        name="taxi",
+        dtypes={"zipcode": DType.STRING},
+    )
+
+
+@pytest.fixture
+def weather_table() -> Table:
+    """Candidate table with several readings per date (hourly weather)."""
+    return Table.from_dict(
+        {
+            "date": [
+                "2017-01-01",
+                "2017-01-01",
+                "2017-01-02",
+                "2017-01-02",
+                "2017-01-03",
+                "2017-01-03",
+                "2017-01-05",
+            ],
+            "temp": [44.1, 42.0, 38.5, 40.1, 36.0, 35.2, 50.3],
+            "conditions": ["rain", "rain", "snow", "snow", "clear", "clear", "clear"],
+        },
+        name="weather",
+    )
+
+
+@pytest.fixture
+def demographics_table() -> Table:
+    """Candidate table with unique keys (demographics by ZIP code)."""
+    return Table.from_dict(
+        {
+            "zipcode": ["11201", "10011", "10002"],
+            "borough": ["Brooklyn", "Manhattan", "Manhattan"],
+            "population": [53041, 50594, 76807],
+        },
+        name="demographics",
+        dtypes={"zipcode": DType.STRING},
+    )
+
+
+@pytest.fixture
+def skewed_train_table() -> Table:
+    """Base table with a heavily skewed join key (the paper's LV2SK failure example)."""
+    keys = ["a", "b", "c", "d", "e"] + ["f"] * 95
+    targets = [0, 0, 0, 0, 0] + list(range(1, 96))
+    return Table.from_dict({"key": keys, "target": targets}, name="skewed")
+
+
+def make_pair_tables(num_rows: int = 500, seed: int = 7) -> tuple[Table, Table]:
+    """Helper producing a correlated (base, candidate) pair with unique keys."""
+    generator = np.random.default_rng(seed)
+    keys = [f"k{i:05d}" for i in range(num_rows)]
+    x = generator.normal(size=num_rows)
+    y = x + 0.3 * generator.normal(size=num_rows)
+    base = Table.from_dict({"key": keys, "target": y.tolist()}, name="base")
+    cand = Table.from_dict({"key": keys, "feature": x.tolist()}, name="cand")
+    return base, cand
+
+
+@pytest.fixture
+def correlated_pair() -> tuple[Table, Table]:
+    """A correlated base/candidate table pair with unique string keys."""
+    return make_pair_tables()

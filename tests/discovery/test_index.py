@@ -1,0 +1,121 @@
+"""Tests for the sketch index and MI-based augmentation queries."""
+
+import numpy as np
+import pytest
+
+from repro.discovery.index import SketchIndex
+from repro.discovery.query import AugmentationQuery
+from repro.exceptions import DiscoveryError
+from repro.relational.table import Table
+
+
+def build_corpus(num_keys=600, seed=0):
+    """A base table plus candidates with known relevance ordering.
+
+    ``strong`` is a noisy copy of the target (high MI), ``weak`` is mostly
+    noise (low MI), ``unrelated`` uses disjoint keys (not joinable).
+    """
+    rng = np.random.default_rng(seed)
+    keys = [f"id{i:05d}" for i in range(num_keys)]
+    target = rng.normal(size=num_keys)
+    base = Table.from_dict({"key": keys, "target": target.tolist()}, name="base")
+
+    strong = Table.from_dict(
+        {"key": keys, "signal": (target + 0.2 * rng.normal(size=num_keys)).tolist()},
+        name="strong",
+    )
+    weak = Table.from_dict(
+        {"key": keys, "noise": (0.2 * target + rng.normal(size=num_keys)).tolist()},
+        name="weak",
+    )
+    unrelated = Table.from_dict(
+        {"key": [f"zz{i}" for i in range(num_keys)], "value": rng.normal(size=num_keys).tolist()},
+        name="unrelated",
+    )
+    return base, strong, weak, unrelated
+
+
+class TestIndexing:
+    def test_add_candidate_defaults(self, demographics_table):
+        index = SketchIndex(capacity=64)
+        entry = index.add_candidate(demographics_table, "zipcode", "population")
+        assert entry.aggregate == "avg"  # numeric -> AVG
+        assert len(index) == 1
+
+    def test_add_candidate_mode_for_strings(self, demographics_table):
+        index = SketchIndex(capacity=64)
+        entry = index.add_candidate(demographics_table, "zipcode", "borough")
+        assert entry.aggregate == "mode"
+
+    def test_add_table_indexes_all_value_columns(self, demographics_table):
+        index = SketchIndex(capacity=64)
+        added = index.add_table(demographics_table, key_columns=["zipcode"])
+        assert len(added) == 2  # borough and population
+        assert len(index) == 2
+
+    def test_reindexing_overwrites(self, demographics_table):
+        index = SketchIndex(capacity=64)
+        index.add_candidate(demographics_table, "zipcode", "population")
+        index.add_candidate(demographics_table, "zipcode", "population")
+        assert len(index) == 1
+
+    def test_get_unknown_candidate(self):
+        index = SketchIndex()
+        with pytest.raises(DiscoveryError):
+            index.get("nope")
+
+
+class TestQueries:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        base, strong, weak, unrelated = build_corpus()
+        index = SketchIndex(method="TUPSK", capacity=256, seed=0)
+        index.add_candidate(strong, "key", "signal")
+        index.add_candidate(weak, "key", "noise")
+        index.add_candidate(unrelated, "key", "value")
+        return base, index
+
+    def test_ranking_prefers_informative_candidate(self, corpus):
+        base, index = corpus
+        results = index.query_columns(base, "key", "target", top_k=5, min_join_size=32)
+        assert results, "expected at least one result"
+        assert results[0].table_name == "strong"
+        mi_by_table = {result.table_name: result.mi_estimate for result in results}
+        assert mi_by_table["strong"] > mi_by_table.get("weak", 0.0)
+
+    def test_unjoinable_candidate_filtered_by_containment(self, corpus):
+        base, index = corpus
+        results = index.query_columns(
+            base, "key", "target", top_k=10, min_containment=0.5, min_join_size=16
+        )
+        assert all(result.table_name != "unrelated" for result in results)
+
+    def test_min_join_size_filters_empty_joins(self, corpus):
+        base, index = corpus
+        results = index.query_columns(base, "key", "target", top_k=10, min_join_size=16)
+        assert all(result.sketch_join_size >= 16 for result in results)
+
+    def test_top_k_truncation(self, corpus):
+        base, index = corpus
+        results = index.query_columns(base, "key", "target", top_k=1, min_join_size=16)
+        assert len(results) == 1
+
+    def test_query_object_interface(self, corpus):
+        base, index = corpus
+        query = AugmentationQuery(
+            table=base, key_column="key", target_column="target", top_k=3, min_join_size=16
+        )
+        results = index.query(query)
+        assert len(results) <= 3
+
+    def test_empty_index_raises(self, corpus):
+        base, _ = corpus
+        with pytest.raises(DiscoveryError):
+            SketchIndex().query_columns(base, "key", "target")
+
+    def test_results_have_provenance(self, corpus):
+        base, index = corpus
+        result = index.query_columns(base, "key", "target", top_k=1, min_join_size=16)[0]
+        assert result.candidate_id
+        assert result.estimator in {"MLE", "Mixed-KSG", "DC-KSG"}
+        assert 0.0 <= result.containment <= 1.0

@@ -1,0 +1,81 @@
+"""Tests for SketchIndex persistence."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.discovery.index import SketchIndex
+from repro.discovery.persistence import load_index, save_index
+from repro.exceptions import DiscoveryError
+from repro.relational.table import Table
+
+
+@pytest.fixture()
+def populated_index(rng):
+    keys = [f"id{i:05d}" for i in range(500)]
+    target = rng.normal(size=500)
+    base = Table.from_dict({"key": keys, "target": target.tolist()}, name="base")
+    strong = Table.from_dict(
+        {"key": keys, "signal": (target + 0.2 * rng.normal(size=500)).tolist()},
+        name="strong",
+    )
+    categorical = Table.from_dict(
+        {"key": keys, "label": ["hot" if value > 0 else "cold" for value in target]},
+        name="labels",
+    )
+    index = SketchIndex(method="TUPSK", capacity=128, seed=4)
+    index.add_candidate(strong, "key", "signal", metadata={"source": "unit-test"})
+    index.add_candidate(categorical, "key", "label")
+    return base, index
+
+
+class TestSaveAndLoad:
+    def test_roundtrip_preserves_configuration_and_candidates(self, tmp_path, populated_index):
+        _, index = populated_index
+        save_index(index, tmp_path / "index")
+        restored = load_index(tmp_path / "index")
+        assert restored.method == index.method
+        assert restored.capacity == index.capacity
+        assert restored.seed == index.seed
+        assert len(restored) == len(index)
+        original = index.candidates[0]
+        loaded = restored.get(original.candidate_id)
+        assert loaded.aggregate == original.aggregate
+        assert loaded.metadata == original.metadata
+        assert loaded.sketch.key_ids == original.sketch.key_ids
+        assert loaded.profile.table_name == original.profile.table_name
+
+    def test_restored_index_answers_queries_identically(self, tmp_path, populated_index):
+        base, index = populated_index
+        save_index(index, tmp_path / "index")
+        restored = load_index(tmp_path / "index")
+        original_results = index.query_columns(base, "key", "target", top_k=5, min_join_size=16)
+        restored_results = restored.query_columns(base, "key", "target", top_k=5, min_join_size=16)
+        assert [r.candidate_id for r in restored_results] == [
+            r.candidate_id for r in original_results
+        ]
+        assert [r.mi_estimate for r in restored_results] == pytest.approx(
+            [r.mi_estimate for r in original_results]
+        )
+
+    def test_missing_directory_raises(self, tmp_path):
+        with pytest.raises(DiscoveryError):
+            load_index(tmp_path / "does-not-exist")
+
+    def test_malformed_index_file_raises(self, tmp_path):
+        directory = tmp_path / "broken"
+        directory.mkdir()
+        (directory / "index.json").write_text("{not json", encoding="utf-8")
+        with pytest.raises(DiscoveryError):
+            load_index(directory)
+
+    def test_unsupported_version_raises(self, tmp_path, populated_index):
+        _, index = populated_index
+        save_index(index, tmp_path / "index")
+        path = tmp_path / "index" / "index.json"
+        document = json.loads(path.read_text(encoding="utf-8"))
+        document["format_version"] = 42
+        path.write_text(json.dumps(document), encoding="utf-8")
+        with pytest.raises(DiscoveryError):
+            load_index(tmp_path / "index")

@@ -1,0 +1,34 @@
+"""Tests for column-pair profiling."""
+
+import pytest
+
+from repro.discovery.profile import profile_column_pair
+from repro.relational.dtypes import DType
+from repro.relational.table import Table
+
+
+class TestProfileColumnPair:
+    def test_basic_statistics(self, taxi_table):
+        profile = profile_column_pair(taxi_table, "zipcode", "num_trips")
+        assert profile.table_name == "taxi"
+        assert profile.num_rows == 6
+        assert profile.key_distinct == 2
+        assert profile.key_nulls == 0
+        assert profile.value_dtype is DType.INT
+        assert profile.value_distinct == 6
+
+    def test_null_counts(self):
+        table = Table.from_dict({"k": ["a", None, "b"], "v": [1.0, None, None]}, name="t")
+        profile = profile_column_pair(table, "k", "v")
+        assert profile.key_nulls == 1
+        assert profile.value_nulls == 2
+
+    def test_key_uniqueness(self, demographics_table, taxi_table):
+        unique = profile_column_pair(demographics_table, "zipcode", "population")
+        repeated = profile_column_pair(taxi_table, "zipcode", "num_trips")
+        assert unique.key_uniqueness == pytest.approx(1.0)
+        assert repeated.key_uniqueness == pytest.approx(2 / 6)
+
+    def test_key_uniqueness_all_null(self):
+        table = Table.from_dict({"k": [None, None], "v": [1, 2]}, name="t")
+        assert profile_column_pair(table, "k", "v").key_uniqueness == 0.0

@@ -1,0 +1,64 @@
+"""Tests for discovery-result ranking."""
+
+import pytest
+
+from repro.discovery.query import AugmentationResult
+from repro.discovery.ranking import rank_results, top_k_per_estimator
+
+
+def make_result(mi, estimator="MLE", join_size=100, name="t"):
+    return AugmentationResult(
+        candidate_id=f"{name}:{mi}",
+        table_name=name,
+        key_column="key",
+        value_column="value",
+        aggregate="avg",
+        estimator=estimator,
+        mi_estimate=mi,
+        sketch_join_size=join_size,
+        containment=1.0,
+        value_dtype="float",
+    )
+
+
+class TestRankResults:
+    def test_descending_by_mi(self):
+        results = [make_result(0.1), make_result(0.9), make_result(0.5)]
+        ranked = rank_results(results)
+        assert [result.mi_estimate for result in ranked] == [0.9, 0.5, 0.1]
+
+    def test_ties_broken_by_join_size(self):
+        results = [make_result(0.5, join_size=10), make_result(0.5, join_size=500)]
+        ranked = rank_results(results)
+        assert ranked[0].sketch_join_size == 500
+
+    def test_empty_input(self):
+        assert rank_results([]) == []
+
+
+class TestTopKPerEstimator:
+    def test_groups_by_estimator(self):
+        results = [
+            make_result(0.5, "MLE"),
+            make_result(4.0, "MLE"),
+            make_result(0.8, "Mixed-KSG"),
+            make_result(0.2, "Mixed-KSG"),
+        ]
+        grouped = top_k_per_estimator(results, k=1)
+        assert set(grouped) == {"MLE", "Mixed-KSG"}
+        assert grouped["MLE"][0].mi_estimate == 4.0
+        assert grouped["Mixed-KSG"][0].mi_estimate == 0.8
+
+    def test_k_truncates_each_group(self):
+        results = [make_result(mi, "MLE") for mi in (0.1, 0.2, 0.3, 0.4)]
+        grouped = top_k_per_estimator(results, k=2)
+        assert len(grouped["MLE"]) == 2
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            top_k_per_estimator([], k=0)
+
+    def test_describe_result(self):
+        text = make_result(0.7).describe()
+        assert "MI~0.700" in text
+        assert "AVG" in text

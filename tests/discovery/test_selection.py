@@ -1,0 +1,87 @@
+"""Tests for greedy MI-based feature selection."""
+
+import numpy as np
+import pytest
+
+from repro.discovery.selection import greedy_feature_selection
+from repro.exceptions import DiscoveryError
+
+
+@pytest.fixture()
+def feature_world(rng):
+    """Target driven by two complementary signals plus a redundant copy and noise."""
+    n = 3000
+    signal_a = rng.normal(size=n)
+    signal_b = rng.normal(size=n)
+    target = signal_a + signal_b + 0.2 * rng.normal(size=n)
+    features = {
+        "signal_a": signal_a.tolist(),
+        "signal_a_copy": (signal_a + 0.01 * rng.normal(size=n)).tolist(),
+        "signal_b": signal_b.tolist(),
+        "noise": rng.normal(size=n).tolist(),
+    }
+    return features, target.tolist()
+
+
+class TestGreedyFeatureSelection:
+    def test_selects_complementary_signals_before_redundant_copy(self, feature_world):
+        features, target = feature_world
+        selected = greedy_feature_selection(features, target, k=2)
+        names = [feature.name for feature in selected]
+        assert set(names) == {"signal_a", "signal_b"} or set(names) == {
+            "signal_a_copy",
+            "signal_b",
+        }
+
+    def test_noise_not_selected_before_signals(self, feature_world):
+        features, target = feature_world
+        selected = greedy_feature_selection(features, target, k=3)
+        names = [feature.name for feature in selected]
+        assert "noise" not in names[:2]
+
+    def test_first_pick_maximizes_relevance(self, feature_world):
+        """The first pick is unconditioned, so its gain equals its relevance and
+        is the maximum relevance among all candidates."""
+        features, target = feature_world
+        selected = greedy_feature_selection(features, target, k=4, min_gain=-1.0)
+        first = selected[0]
+        assert first.gain == pytest.approx(first.relevance, abs=1e-9)
+        assert all(first.relevance >= feature.relevance - 1e-9 for feature in selected)
+
+    def test_ranks_sequential(self, feature_world):
+        features, target = feature_world
+        selected = greedy_feature_selection(features, target, k=3)
+        assert [feature.rank for feature in selected] == list(range(1, len(selected) + 1))
+
+    def test_k_limits_output(self, feature_world):
+        features, target = feature_world
+        assert len(greedy_feature_selection(features, target, k=1)) == 1
+
+    def test_min_gain_stops_early(self, rng):
+        n = 2000
+        target = rng.normal(size=n).tolist()
+        features = {
+            "noise_1": rng.normal(size=n).tolist(),
+            "noise_2": rng.normal(size=n).tolist(),
+        }
+        selected = greedy_feature_selection(features, target, k=2, min_gain=0.05)
+        assert selected == []
+
+    def test_categorical_features_supported(self, rng):
+        n = 2000
+        labels = rng.integers(0, 3, size=n)
+        target = labels * 10.0 + rng.normal(size=n)
+        features = {
+            "label": [f"cat_{value}" for value in labels],
+            "noise": rng.normal(size=n).tolist(),
+        }
+        selected = greedy_feature_selection(features, target.tolist(), k=1)
+        assert selected[0].name == "label"
+
+    def test_validation(self, rng):
+        with pytest.raises(DiscoveryError):
+            greedy_feature_selection({}, [1, 2, 3])
+        with pytest.raises(DiscoveryError):
+            greedy_feature_selection({"a": [1, 2]}, [1, 2, 3])
+        with pytest.raises(ValueError):
+            greedy_feature_selection({"a": [1, 2, 3]}, [1, 2, 3], k=0)

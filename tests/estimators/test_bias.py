@@ -1,0 +1,49 @@
+"""Tests for the analytic bias formulas (Eq. 6 of the paper)."""
+
+import numpy as np
+import pytest
+
+from repro.estimators.bias import miller_madow_correction, mle_mi_bias
+from repro.estimators.mle import MLEEstimator
+
+
+class TestMleMiBias:
+    def test_formula_value(self):
+        # (m_X + m_Y - m_XY - 1) / (2N)
+        assert mle_mi_bias(10, 10, 50, 100) == pytest.approx((10 + 10 - 50 - 1) / 200)
+
+    def test_negative_for_rich_joint_support(self):
+        """More joint than marginal support -> the MLE over-estimates MI."""
+        assert mle_mi_bias(10, 10, 100, 500) < 0
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            mle_mi_bias(1, 1, 1, 0)
+        with pytest.raises(ValueError):
+            mle_mi_bias(0, 1, 1, 10)
+
+
+class TestMillerMadowCorrection:
+    def test_correction_sign_for_independent_data(self, rng):
+        x = rng.integers(0, 20, size=300).tolist()
+        y = rng.integers(0, 20, size=300).tolist()
+        # Independent data has joint support richer than marginals: correction > 0,
+        # so subtracting it reduces the (over-)estimate.
+        assert miller_madow_correction(x, y) > 0
+
+    def test_corrected_estimate_less_biased(self, rng):
+        """Subtracting the correction moves the average estimate toward 0 (truth)."""
+        raw, corrected = [], []
+        for _ in range(100):
+            x = rng.integers(0, 12, size=150).tolist()
+            y = rng.integers(0, 12, size=150).tolist()
+            estimate = MLEEstimator(clip_negative=False).estimate(x, y)
+            raw.append(estimate)
+            corrected.append(estimate - miller_madow_correction(x, y))
+        assert abs(np.mean(corrected)) < abs(np.mean(raw))
+
+    def test_aligned_inputs_required(self):
+        with pytest.raises(ValueError):
+            miller_madow_correction([1], [1, 2])
+        with pytest.raises(ValueError):
+            miller_madow_correction([], [])

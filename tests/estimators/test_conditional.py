@@ -1,0 +1,89 @@
+"""Tests for conditional mutual information and discretization."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.estimators.conditional import (
+    conditional_mutual_information,
+    discretize_equal_width,
+)
+from repro.estimators.mle import MLEEstimator
+from repro.exceptions import EstimationError
+
+
+class TestDiscretizeEqualWidth:
+    def test_number_of_bins_respected(self, rng):
+        values = rng.normal(size=1000).tolist()
+        labels = discretize_equal_width(values, bins=8)
+        assert len(set(labels)) <= 8
+
+    def test_constant_column(self):
+        assert set(discretize_equal_width([3.0, 3.0, 3.0], bins=4)) == {0}
+
+    def test_strings_passed_through(self):
+        values = ["a", "b", "a"]
+        assert discretize_equal_width(values) == values
+
+    def test_missing_values_get_sentinel(self):
+        labels = discretize_equal_width([1.0, None, 2.0], bins=4)
+        assert labels[1] == "__missing__"
+
+    def test_monotone_mapping(self, rng):
+        values = sorted(rng.normal(size=200).tolist())
+        labels = discretize_equal_width(values, bins=10)
+        assert labels == sorted(labels)
+
+    def test_invalid_bins(self):
+        with pytest.raises(ValueError):
+            discretize_equal_width([1.0], bins=0)
+
+
+class TestConditionalMutualInformation:
+    def test_without_conditioning_matches_mle(self, rng):
+        x = rng.integers(0, 4, size=500).tolist()
+        y = [(value * 3) % 4 for value in x]
+        assert conditional_mutual_information(x, y) == pytest.approx(
+            MLEEstimator().estimate(x, y), abs=1e-9
+        )
+
+    def test_conditioning_on_the_explanation_removes_dependence(self, rng):
+        """X and Y depend only through Z: I(X;Y|Z) should be ~0 while I(X;Y) > 0."""
+        z = rng.integers(0, 2, size=4000)
+        x = [int(value) for value in z]
+        y = [int(value) for value in z]
+        unconditional = conditional_mutual_information(x, y)
+        conditional = conditional_mutual_information(x, y, z.tolist())
+        assert unconditional == pytest.approx(math.log(2), abs=0.05)
+        assert conditional < 0.02
+
+    def test_conditioning_on_irrelevant_variable_keeps_mi(self, rng):
+        x = rng.integers(0, 3, size=3000).tolist()
+        y = list(x)
+        z = rng.integers(0, 2, size=3000).tolist()  # independent of both
+        conditional = conditional_mutual_information(x, y, z)
+        assert conditional == pytest.approx(math.log(3), abs=0.05)
+
+    def test_synergy_detected(self, rng):
+        """XOR: pairwise independent but conditionally fully dependent."""
+        x = rng.integers(0, 2, size=5000)
+        z = rng.integers(0, 2, size=5000)
+        y = (x ^ z).tolist()
+        assert conditional_mutual_information(x.tolist(), y) < 0.02
+        assert conditional_mutual_information(x.tolist(), y, z.tolist()) == pytest.approx(
+            math.log(2), abs=0.05
+        )
+
+    def test_non_negative(self, rng):
+        for _ in range(5):
+            x = rng.integers(0, 5, size=200).tolist()
+            y = rng.integers(0, 5, size=200).tolist()
+            z = rng.integers(0, 3, size=200).tolist()
+            assert conditional_mutual_information(x, y, z) >= 0.0
+
+    def test_misaligned_inputs(self):
+        with pytest.raises(EstimationError):
+            conditional_mutual_information([1, 2], [1])
+        with pytest.raises(EstimationError):
+            conditional_mutual_information([1, 2], [1, 2], [1])

@@ -1,0 +1,88 @@
+"""Tests for subsampling-based MI confidence intervals."""
+
+import numpy as np
+import pytest
+
+from repro.estimators.confidence import (
+    estimate_mi_with_confidence,
+    subsampled_estimates,
+)
+from repro.estimators.mle import MLEEstimator
+from repro.exceptions import InsufficientSamplesError
+from repro.synthetic.trinomial import sample_trinomial, trinomial_true_mi
+
+
+class TestSubsampledEstimates:
+    def test_shape_and_range(self, rng):
+        x = rng.integers(0, 4, size=400).tolist()
+        y = rng.integers(0, 4, size=400).tolist()
+        estimates = subsampled_estimates(
+            x, y, MLEEstimator(), subsample_size=100, replicates=10, random_state=rng
+        )
+        assert estimates.shape == (10,)
+        assert np.all(estimates >= 0.0)
+
+    def test_validation(self, rng):
+        x = rng.integers(0, 4, size=50).tolist()
+        with pytest.raises(ValueError):
+            subsampled_estimates(x, x, MLEEstimator(), subsample_size=1000)
+        with pytest.raises(ValueError):
+            subsampled_estimates(x, x, MLEEstimator(), subsample_size=10, replicates=1)
+        with pytest.raises(ValueError):
+            subsampled_estimates(x, x[:-1], MLEEstimator(), subsample_size=10)
+
+
+class TestEstimateMiWithConfidence:
+    def test_interval_contains_point_estimate(self, rng):
+        x = rng.integers(0, 5, size=600).tolist()
+        y = [(value + int(rng.integers(0, 2))) % 5 for value in x]
+        interval = estimate_mi_with_confidence(x, y, random_state=rng)
+        assert interval.lower <= interval.estimate <= interval.upper
+        assert interval.width >= 0.0
+        assert interval.sample_size == 600
+
+    def test_interval_covers_truth_on_known_distribution(self):
+        m, p1, p2 = 16, 0.3, 0.4
+        true_mi = trinomial_true_mi(m, p1, p2)
+        covered = 0
+        for seed in range(10):
+            x, y = sample_trinomial(m, p1, p2, 2500, random_state=seed)
+            interval = estimate_mi_with_confidence(
+                x.tolist(), y.tolist(), estimator=MLEEstimator(), random_state=seed
+            )
+            covered += interval.contains(true_mi)
+        assert covered >= 7  # 95% nominal coverage, allow sampling slack
+
+    def test_interval_tightens_with_more_data(self, rng):
+        m, p1, p2 = 16, 0.3, 0.4
+        x_small, y_small = sample_trinomial(m, p1, p2, 300, random_state=1)
+        x_large, y_large = sample_trinomial(m, p1, p2, 6000, random_state=1)
+        small = estimate_mi_with_confidence(
+            x_small.tolist(), y_small.tolist(), estimator=MLEEstimator(), random_state=2
+        )
+        large = estimate_mi_with_confidence(
+            x_large.tolist(), y_large.tolist(), estimator=MLEEstimator(), random_state=2
+        )
+        assert large.width < small.width
+
+    def test_estimator_autoselection(self, rng):
+        x = rng.normal(size=300)
+        y = x + rng.normal(size=300)
+        interval = estimate_mi_with_confidence(x.tolist(), y.tolist(), random_state=3)
+        assert interval.estimator == "Mixed-KSG"
+        assert interval.estimate > 0.2
+
+    def test_lower_bound_never_negative(self, rng):
+        x = rng.integers(0, 3, size=200).tolist()
+        y = rng.integers(0, 3, size=200).tolist()
+        interval = estimate_mi_with_confidence(x, y, random_state=4)
+        assert interval.lower >= 0.0
+
+    def test_validation(self, rng):
+        x = rng.integers(0, 3, size=100).tolist()
+        with pytest.raises(ValueError):
+            estimate_mi_with_confidence(x, x, confidence=1.5)
+        with pytest.raises(ValueError):
+            estimate_mi_with_confidence(x, x, subsample_fraction=0.0)
+        with pytest.raises(InsufficientSamplesError):
+            estimate_mi_with_confidence([1, 2], [1, 2])

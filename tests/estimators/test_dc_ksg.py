@@ -1,0 +1,80 @@
+"""Tests for the DC-KSG (Ross 2014) discrete/continuous estimator."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InsufficientSamplesError
+from repro.estimators.dc_ksg import DCKSGEstimator
+from repro.synthetic.cdunif import cdunif_true_mi, sample_cdunif
+
+
+class TestAccuracy:
+    def test_independent_variables_near_zero(self, rng):
+        x = rng.integers(0, 4, size=3000)
+        y = rng.normal(size=3000)
+        assert DCKSGEstimator(k=3).estimate(x, y) < 0.05
+
+    def test_well_separated_clusters_reach_label_entropy(self, rng):
+        """When the continuous value identifies the label, I = H(label) = log 3."""
+        labels = rng.integers(0, 3, size=3000)
+        y = labels * 100.0 + rng.normal(size=3000)
+        estimate = DCKSGEstimator(k=3).estimate(labels, y)
+        assert estimate == pytest.approx(math.log(3), abs=0.1)
+
+    def test_cdunif_ground_truth(self, rng):
+        m = 8
+        x, y = sample_cdunif(m, 6000, random_state=rng)
+        estimate = DCKSGEstimator(k=3).estimate(x, y)
+        assert estimate == pytest.approx(cdunif_true_mi(m), abs=0.15)
+
+    def test_partial_overlap_intermediate_mi(self, rng):
+        """Overlapping clusters should give MI strictly between 0 and H(label)."""
+        labels = rng.integers(0, 2, size=4000)
+        y = labels * 1.0 + rng.normal(size=4000)
+        estimate = DCKSGEstimator(k=3).estimate(labels, y)
+        assert 0.05 < estimate < math.log(2)
+
+
+class TestOrientation:
+    def test_discrete_side_configurable(self, rng):
+        labels = rng.integers(0, 3, size=2000)
+        y = labels * 10.0 + rng.normal(size=2000)
+        x_discrete = DCKSGEstimator(k=3, discrete="x").estimate(labels, y)
+        y_discrete = DCKSGEstimator(k=3, discrete="y").estimate(y, labels)
+        assert x_discrete == pytest.approx(y_discrete, abs=1e-9)
+
+    def test_invalid_orientation_rejected(self):
+        with pytest.raises(ValueError):
+            DCKSGEstimator(discrete="z")
+
+
+class TestDegenerateCases:
+    def test_all_singleton_labels_return_degenerate_value(self, rng):
+        labels = np.arange(100)  # every label unique
+        y = rng.normal(size=100)
+        assert DCKSGEstimator(k=3).estimate(labels, y) == 0.0
+
+    def test_all_singleton_labels_can_raise_instead(self, rng):
+        labels = np.arange(100)
+        y = rng.normal(size=100)
+        estimator = DCKSGEstimator(k=3, degenerate_value=None)
+        with pytest.raises(InsufficientSamplesError):
+            estimator.estimate(labels, y)
+
+    def test_single_label_gives_zero(self, rng):
+        labels = np.zeros(500, dtype=int)
+        y = rng.normal(size=500)
+        assert DCKSGEstimator(k=3).estimate(labels, y) == pytest.approx(0.0, abs=0.05)
+
+    def test_string_labels_supported(self, rng):
+        labels = ["hot" if value > 0 else "cold" for value in rng.normal(size=2000)]
+        y = [100.0 if label == "hot" else -100.0 for label in labels]
+        y = np.asarray(y) + rng.normal(size=2000)
+        estimate = DCKSGEstimator(k=3).estimate(labels, y)
+        assert estimate > 0.5
+
+    def test_k_must_be_positive(self):
+        with pytest.raises(ValueError):
+            DCKSGEstimator(k=0)

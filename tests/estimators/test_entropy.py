@@ -1,0 +1,119 @@
+"""Tests for the entropy estimators."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EstimationError, InsufficientSamplesError
+from repro.estimators.entropy import (
+    entropy_knn,
+    entropy_laplace,
+    entropy_mle,
+    entropy_mle_from_counts,
+    entropy_miller_madow,
+    joint_entropy_mle,
+)
+
+
+class TestEntropyMLE:
+    def test_uniform_two_outcomes(self):
+        assert entropy_mle(["a", "b"] * 50) == pytest.approx(math.log(2))
+
+    def test_uniform_k_outcomes(self):
+        values = list(range(8)) * 25
+        assert entropy_mle(values) == pytest.approx(math.log(8))
+
+    def test_constant_has_zero_entropy(self):
+        assert entropy_mle(["same"] * 100) == pytest.approx(0.0)
+
+    def test_from_counts_matches_values(self):
+        values = ["a"] * 30 + ["b"] * 10
+        assert entropy_mle(values) == pytest.approx(entropy_mle_from_counts([30, 10]))
+
+    def test_from_counts_ignores_zeros(self):
+        assert entropy_mle_from_counts([5, 0, 5]) == pytest.approx(math.log(2))
+
+    def test_empty_raises(self):
+        with pytest.raises(InsufficientSamplesError):
+            entropy_mle([])
+        with pytest.raises(EstimationError):
+            entropy_mle_from_counts([])
+
+    def test_downward_bias_on_small_samples(self, rng):
+        """The plug-in estimator underestimates the true entropy on average."""
+        true_entropy = math.log(16)
+        estimates = [
+            entropy_mle(rng.integers(0, 16, size=30).tolist()) for _ in range(200)
+        ]
+        assert np.mean(estimates) < true_entropy
+
+
+class TestMillerMadow:
+    def test_correction_is_positive(self):
+        values = ["a", "b", "c", "a"]
+        assert entropy_miller_madow(values) > entropy_mle(values)
+
+    def test_correction_magnitude(self):
+        values = ["a", "b", "c", "a"]  # K=3, N=4 -> correction = 2/8
+        assert entropy_miller_madow(values) == pytest.approx(entropy_mle(values) + 0.25)
+
+    def test_reduces_bias(self, rng):
+        true_entropy = math.log(16)
+        plain, corrected = [], []
+        for _ in range(200):
+            sample = rng.integers(0, 16, size=40).tolist()
+            plain.append(entropy_mle(sample))
+            corrected.append(entropy_miller_madow(sample))
+        assert abs(np.mean(corrected) - true_entropy) < abs(np.mean(plain) - true_entropy)
+
+
+class TestLaplaceEntropy:
+    def test_alpha_zero_matches_mle(self):
+        values = ["a", "a", "b"]
+        assert entropy_laplace(values, alpha=0.0) == pytest.approx(entropy_mle(values))
+
+    def test_smoothing_pushes_toward_uniform(self):
+        values = ["a"] * 90 + ["b"] * 10
+        assert entropy_laplace(values, alpha=50.0) > entropy_mle(values)
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            entropy_laplace(["a"], alpha=-1.0)
+
+
+class TestJointEntropy:
+    def test_independent_joint_is_sum(self):
+        x = ["a", "a", "b", "b"] * 25
+        y = ["p", "q", "p", "q"] * 25
+        assert joint_entropy_mle(x, y) == pytest.approx(entropy_mle(x) + entropy_mle(y))
+
+    def test_identical_variables_joint_equals_marginal(self):
+        x = ["a", "b", "c"] * 10
+        assert joint_entropy_mle(x, x) == pytest.approx(entropy_mle(x))
+
+    def test_misaligned_raises(self):
+        with pytest.raises(EstimationError):
+            joint_entropy_mle(["a"], ["b", "c"])
+
+
+class TestKnnEntropy:
+    def test_uniform_distribution(self, rng):
+        """Differential entropy of Uniform(0, 1) is 0."""
+        sample = rng.uniform(0.0, 1.0, size=4000)
+        assert entropy_knn(sample, k=3) == pytest.approx(0.0, abs=0.08)
+
+    def test_scaled_uniform(self, rng):
+        """Differential entropy of Uniform(0, 4) is log(4)."""
+        sample = rng.uniform(0.0, 4.0, size=4000)
+        assert entropy_knn(sample, k=3) == pytest.approx(math.log(4.0), abs=0.08)
+
+    def test_gaussian(self, rng):
+        """Differential entropy of N(0, 1) is 0.5 * log(2 * pi * e)."""
+        sample = rng.normal(0.0, 1.0, size=4000)
+        expected = 0.5 * math.log(2 * math.pi * math.e)
+        assert entropy_knn(sample, k=3) == pytest.approx(expected, abs=0.08)
+
+    def test_too_few_samples_raises(self):
+        with pytest.raises(InsufficientSamplesError):
+            entropy_knn([1.0, 2.0], k=3)

@@ -1,0 +1,88 @@
+"""Tests for the KSG estimator (continuous/continuous)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InsufficientSamplesError
+from repro.estimators.ksg import KSGEstimator, marginal_neighbor_counts
+
+
+def bivariate_normal_mi(correlation: float) -> float:
+    """Closed-form MI of a bivariate normal with the given correlation."""
+    return -0.5 * math.log(1.0 - correlation**2)
+
+
+def sample_bivariate_normal(correlation, size, rng):
+    x = rng.normal(size=size)
+    noise = rng.normal(size=size)
+    y = correlation * x + math.sqrt(1 - correlation**2) * noise
+    return x, y
+
+
+class TestMarginalNeighborCounts:
+    def test_counts_strictly_within_radius(self):
+        values = np.array([0.0, 1.0, 2.0, 10.0])
+        radii = np.array([1.5, 1.5, 1.5, 1.5])
+        counts = marginal_neighbor_counts(values, radii, strict=True)
+        assert counts.tolist() == [1, 2, 1, 0]
+
+    def test_inclusive_counts(self):
+        values = np.array([0.0, 1.0, 2.0])
+        radii = np.array([1.0, 1.0, 1.0])
+        counts = marginal_neighbor_counts(values, radii, strict=False)
+        assert counts.tolist() == [1, 2, 1]
+
+
+class TestKSGEstimator:
+    def test_independent_gaussians_near_zero(self, rng):
+        x = rng.normal(size=2000)
+        y = rng.normal(size=2000)
+        assert KSGEstimator(k=3).estimate(x, y) < 0.05
+
+    @pytest.mark.parametrize("correlation", [0.3, 0.6, 0.9])
+    def test_recovers_bivariate_normal_mi(self, rng, correlation):
+        x, y = sample_bivariate_normal(correlation, 4000, rng)
+        estimate = KSGEstimator(k=3).estimate(x, y)
+        assert estimate == pytest.approx(bivariate_normal_mi(correlation), abs=0.1)
+
+    def test_invariant_under_affine_transformations(self, rng):
+        x, y = sample_bivariate_normal(0.7, 3000, rng)
+        estimator = KSGEstimator(k=3)
+        base = estimator.estimate(x, y)
+        transformed = estimator.estimate(5.0 * x - 2.0, 0.1 * y + 40.0)
+        assert transformed == pytest.approx(base, abs=0.05)
+
+    def test_invariant_under_monotone_nonlinear_transform(self, rng):
+        """MI is invariant under homeomorphisms (here: exp of one marginal)."""
+        x, y = sample_bivariate_normal(0.8, 4000, rng)
+        estimator = KSGEstimator(k=3)
+        assert estimator.estimate(np.exp(x), y) == pytest.approx(
+            estimator.estimate(x, y), abs=0.1
+        )
+
+    def test_symmetry(self, rng):
+        x, y = sample_bivariate_normal(0.5, 1500, rng)
+        estimator = KSGEstimator(k=3)
+        assert estimator.estimate(x, y) == pytest.approx(estimator.estimate(y, x), abs=1e-9)
+
+    def test_k_must_be_positive(self):
+        with pytest.raises(ValueError):
+            KSGEstimator(k=0)
+
+    def test_too_few_samples_raises(self):
+        with pytest.raises(InsufficientSamplesError):
+            KSGEstimator(k=5).estimate([1.0, 2.0, 3.0], [1.0, 2.0, 3.0])
+
+    def test_rejects_non_numeric_input(self):
+        from repro.exceptions import EstimationError
+
+        with pytest.raises(EstimationError):
+            KSGEstimator().estimate(["a", "b", "c", "d", "e", "f"], [1, 2, 3, 4, 5, 6])
+
+    def test_larger_k_still_consistent(self, rng):
+        x, y = sample_bivariate_normal(0.6, 4000, rng)
+        assert KSGEstimator(k=10).estimate(x, y) == pytest.approx(
+            bivariate_normal_mi(0.6), abs=0.12
+        )

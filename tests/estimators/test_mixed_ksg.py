@@ -1,0 +1,64 @@
+"""Tests for the Mixed-KSG estimator (discrete-continuous mixtures)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.estimators.mixed_ksg import MixedKSGEstimator
+from repro.synthetic.cdunif import cdunif_true_mi, sample_cdunif
+
+
+class TestContinuousBehaviour:
+    def test_matches_bivariate_normal_mi(self, rng):
+        correlation = 0.7
+        x = rng.normal(size=4000)
+        y = correlation * x + math.sqrt(1 - correlation**2) * rng.normal(size=4000)
+        expected = -0.5 * math.log(1 - correlation**2)
+        assert MixedKSGEstimator(k=3).estimate(x, y) == pytest.approx(expected, abs=0.1)
+
+    def test_independent_near_zero(self, rng):
+        x = rng.normal(size=2000)
+        y = rng.normal(size=2000)
+        assert MixedKSGEstimator().estimate(x, y) < 0.05
+
+
+class TestMixtureBehaviour:
+    def test_handles_heavy_ties_without_crashing(self, rng):
+        """Repeated values (post-left-join mixtures) must not break the estimator."""
+        x = np.repeat(rng.normal(size=50), 20)  # 50 distinct values, 20 copies each
+        y = x + 0.1 * rng.normal(size=x.size)
+        estimate = MixedKSGEstimator().estimate(x, y)
+        assert np.isfinite(estimate)
+        assert estimate > 0.5
+
+    def test_identical_discrete_variables(self, rng):
+        """For X == Y discrete-uniform over 8 values, I(X,Y) = H(X) = log 8."""
+        x = rng.integers(0, 8, size=4000).astype(float)
+        estimate = MixedKSGEstimator(k=3).estimate(x, x)
+        assert estimate == pytest.approx(math.log(8), abs=0.15)
+
+    def test_cdunif_ground_truth(self, rng):
+        """The Gao et al. benchmark distribution with closed-form MI."""
+        m = 10
+        x, y = sample_cdunif(m, 5000, random_state=rng)
+        estimate = MixedKSGEstimator(k=3).estimate(x.astype(float), y)
+        assert estimate == pytest.approx(cdunif_true_mi(m), abs=0.15)
+
+    def test_string_values_fall_back_to_codes(self):
+        x = ["a", "b", "a", "b"] * 100
+        y = [1.0, 2.0, 1.0, 2.0] * 100
+        estimate = MixedKSGEstimator().estimate(x, y)
+        assert estimate == pytest.approx(math.log(2), abs=0.1)
+
+
+class TestValidation:
+    def test_k_must_be_positive(self):
+        with pytest.raises(ValueError):
+            MixedKSGEstimator(k=0)
+
+    def test_non_negative_output(self, rng):
+        for _ in range(5):
+            x = rng.normal(size=200)
+            y = rng.normal(size=200)
+            assert MixedKSGEstimator().estimate(x, y) >= 0.0

@@ -1,0 +1,90 @@
+"""Tests for the plug-in (MLE) MI estimator."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EstimationError
+from repro.estimators.mle import MLEEstimator
+
+
+class TestBasicBehaviour:
+    def test_identical_variables_equal_entropy(self):
+        values = ["a", "b", "c", "d"] * 25
+        estimator = MLEEstimator()
+        mi = estimator.estimate(values, values)
+        assert mi == pytest.approx(math.log(4))
+
+    def test_independent_variables_near_zero(self, rng):
+        x = rng.integers(0, 4, size=5000).tolist()
+        y = rng.integers(0, 4, size=5000).tolist()
+        assert MLEEstimator().estimate(x, y) < 0.02
+
+    def test_deterministic_bijection_preserves_mi(self):
+        x = ["a", "b", "c", "a", "b", "c"] * 20
+        y_mapped = [{"a": "Z", "b": "Y", "c": "X"}[value] for value in x]
+        estimator = MLEEstimator()
+        assert estimator.estimate(x, y_mapped) == pytest.approx(
+            estimator.estimate(x, x)
+        )
+
+    def test_symmetry(self, rng):
+        x = rng.integers(0, 5, size=500).tolist()
+        y = [(value + int(rng.integers(0, 2))) % 5 for value in x]
+        estimator = MLEEstimator()
+        assert estimator.estimate(x, y) == pytest.approx(estimator.estimate(y, x))
+
+    def test_non_negative(self, rng):
+        for _ in range(10):
+            x = rng.integers(0, 10, size=100).tolist()
+            y = rng.integers(0, 10, size=100).tolist()
+            assert MLEEstimator().estimate(x, y) >= 0.0
+
+    def test_missing_pairs_dropped(self):
+        x = ["a", None, "b", "a"]
+        y = [1, 2, None, 1]
+        # Only the pairs (a, 1) and (a, 1) survive -> MI of constants = 0.
+        assert MLEEstimator().estimate(x, y) == pytest.approx(0.0)
+
+    def test_misaligned_inputs_raise(self):
+        with pytest.raises(EstimationError):
+            MLEEstimator().estimate(["a"], ["b", "c"])
+
+
+class TestBiasBehaviour:
+    def test_overestimates_mi_of_independent_data_with_many_levels(self, rng):
+        """The classic MLE bias: spurious MI grows with the number of levels."""
+        estimates = []
+        for _ in range(50):
+            x = rng.integers(0, 30, size=200).tolist()
+            y = rng.integers(0, 30, size=200).tolist()
+            estimates.append(MLEEstimator().estimate(x, y))
+        assert np.mean(estimates) > 0.5  # true MI is 0
+
+    def test_miller_madow_reduces_bias(self, rng):
+        plain_estimator = MLEEstimator()
+        corrected_estimator = MLEEstimator(miller_madow=True)
+        plain, corrected = [], []
+        for _ in range(50):
+            x = rng.integers(0, 20, size=200).tolist()
+            y = rng.integers(0, 20, size=200).tolist()
+            plain.append(plain_estimator.estimate(x, y))
+            corrected.append(corrected_estimator.estimate(x, y))
+        assert np.mean(corrected) < np.mean(plain)
+
+    def test_clip_negative_default(self, rng):
+        estimator = MLEEstimator(miller_madow=True)
+        x = rng.integers(0, 3, size=2000).tolist()
+        y = rng.integers(0, 3, size=2000).tolist()
+        assert estimator.estimate(x, y) >= 0.0
+
+
+class TestAgainstAnalyticDistributions:
+    def test_recovers_trinomial_mi_on_large_samples(self):
+        from repro.synthetic.trinomial import sample_trinomial, trinomial_true_mi
+
+        m, p1, p2 = 32, 0.3, 0.4
+        x, y = sample_trinomial(m, p1, p2, 20_000, random_state=11)
+        estimate = MLEEstimator().estimate(x.tolist(), y.tolist())
+        assert estimate == pytest.approx(trinomial_true_mi(m, p1, p2), abs=0.06)

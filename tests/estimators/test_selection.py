@@ -1,0 +1,72 @@
+"""Tests for data-type driven estimator selection."""
+
+import math
+
+import pytest
+
+from repro.estimators.dc_ksg import DCKSGEstimator
+from repro.estimators.mixed_ksg import MixedKSGEstimator
+from repro.estimators.mle import MLEEstimator
+from repro.estimators.selection import estimate_mi, estimator_for_kinds, select_estimator
+from repro.estimators.base import VariableKind
+from repro.relational.dtypes import DType
+
+
+class TestSelectEstimator:
+    def test_string_string_uses_mle(self):
+        assert isinstance(select_estimator(DType.STRING, DType.STRING), MLEEstimator)
+
+    def test_numeric_numeric_uses_mixed_ksg(self):
+        assert isinstance(select_estimator(DType.FLOAT, DType.INT), MixedKSGEstimator)
+        assert isinstance(select_estimator(DType.INT, DType.INT), MixedKSGEstimator)
+
+    def test_mixed_types_use_dc_ksg_with_correct_orientation(self):
+        left_discrete = select_estimator(DType.STRING, DType.FLOAT)
+        assert isinstance(left_discrete, DCKSGEstimator)
+        assert left_discrete.discrete == "x"
+
+        right_discrete = select_estimator(DType.FLOAT, DType.STRING)
+        assert isinstance(right_discrete, DCKSGEstimator)
+        assert right_discrete.discrete == "y"
+
+    def test_k_is_forwarded(self):
+        assert select_estimator(DType.FLOAT, DType.FLOAT, k=7).k == 7
+
+    def test_missing_dtype_treated_as_categorical(self):
+        assert isinstance(select_estimator(DType.MISSING, DType.STRING), MLEEstimator)
+
+
+class TestEstimatorForKinds:
+    def test_kind_mapping(self):
+        assert isinstance(
+            estimator_for_kinds(VariableKind.DISCRETE, VariableKind.DISCRETE),
+            MLEEstimator,
+        )
+        assert isinstance(
+            estimator_for_kinds(VariableKind.CONTINUOUS, VariableKind.CONTINUOUS),
+            MixedKSGEstimator,
+        )
+
+
+class TestEstimateMi:
+    def test_infers_types_from_data(self):
+        x = ["a", "b"] * 100
+        y = ["u", "v"] * 100
+        assert estimate_mi(x, y) == pytest.approx(math.log(2), abs=0.05)
+
+    def test_explicit_estimator_bypasses_dispatch(self, rng):
+        x = rng.integers(0, 3, size=300).tolist()
+        y = x
+        value = estimate_mi(x, y, estimator=MLEEstimator())
+        assert value == pytest.approx(math.log(3), abs=0.1)
+
+    def test_explicit_dtypes_override_inference(self, rng):
+        x = rng.integers(0, 3, size=500).tolist()
+        y = rng.normal(size=500).tolist()
+        value = estimate_mi(x, y, x_dtype=DType.STRING, y_dtype=DType.FLOAT)
+        assert value == pytest.approx(0.0, abs=0.1)
+
+    def test_numeric_pair_dispatch(self, rng):
+        x = rng.normal(size=800)
+        y = x + 0.5 * rng.normal(size=800)
+        assert estimate_mi(x.tolist(), y.tolist()) > 0.3

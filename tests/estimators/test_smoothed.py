@@ -1,0 +1,47 @@
+"""Tests for the Laplace-smoothed MI estimator."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.estimators.mle import MLEEstimator
+from repro.estimators.smoothed import SmoothedMLEEstimator
+
+
+class TestSmoothedMLE:
+    def test_alpha_zero_matches_plain_mle(self, rng):
+        x = rng.integers(0, 5, size=500).tolist()
+        y = [(value * 2) % 5 for value in x]
+        plain = MLEEstimator().estimate(x, y)
+        smoothed = SmoothedMLEEstimator(alpha=0.0).estimate(x, y)
+        assert smoothed == pytest.approx(plain, abs=1e-9)
+
+    def test_smoothing_shrinks_spurious_mi(self, rng):
+        """On independent data the smoothed estimate is below the plain MLE one."""
+        plain_estimates, smoothed_estimates = [], []
+        for _ in range(30):
+            x = rng.integers(0, 15, size=150).tolist()
+            y = rng.integers(0, 15, size=150).tolist()
+            plain_estimates.append(MLEEstimator().estimate(x, y))
+            smoothed_estimates.append(SmoothedMLEEstimator(alpha=1.0).estimate(x, y))
+        assert np.mean(smoothed_estimates) < np.mean(plain_estimates)
+
+    def test_strong_dependence_survives_smoothing(self):
+        x = ["a", "b", "c", "d"] * 100
+        smoothed = SmoothedMLEEstimator(alpha=0.5).estimate(x, x)
+        assert smoothed > 0.8 * math.log(4)
+
+    def test_non_negative(self, rng):
+        x = rng.integers(0, 6, size=200).tolist()
+        y = rng.integers(0, 6, size=200).tolist()
+        assert SmoothedMLEEstimator().estimate(x, y) >= 0.0
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            SmoothedMLEEstimator(alpha=-0.1)
+
+    def test_string_values_supported(self):
+        x = ["red", "blue"] * 50
+        y = ["warm", "cold"] * 50
+        assert SmoothedMLEEstimator().estimate(x, y) > 0.4

@@ -1,0 +1,173 @@
+"""Smoke + shape tests for the per-figure/table experiments.
+
+These run every experiment at reduced scale and assert the qualitative
+properties the paper reports (who wins, where estimators break down), not
+absolute numbers.
+"""
+
+import math
+
+import pytest
+
+from repro.evaluation.experiments import (
+    run_ablation_aggregation,
+    run_ablation_coordination,
+    run_ablation_sketch_size,
+    run_figure2,
+    run_figure3,
+    run_figure4,
+    run_figure5,
+    run_fulljoin_accuracy,
+    run_performance,
+    run_table1,
+    run_table2,
+)
+
+
+pytestmark = pytest.mark.slow
+
+
+class TestFulljoinAccuracy:
+    def test_estimates_track_truth(self):
+        result = run_fulljoin_accuracy(
+            datasets_per_distribution=3, sample_size=4000, random_state=0
+        )
+        assert result.summary
+        for row in result.summary:
+            assert row["pearson"] > 0.9
+            assert row["rmse"] < 0.6
+        assert "fulljoin" in result.report()
+
+
+class TestFigure2:
+    def test_tupsk_less_sensitive_to_key_distribution_than_lv2sk(self):
+        result = run_figure2(
+            datasets_per_key_generation=3, sample_size=6000, random_state=1
+        )
+
+        def mse(method, keygen):
+            rows = result.summary_by(
+                method=method, estimator="MLE", key_generation=keygen
+            )
+            return rows[0]["mse"] if rows else float("nan")
+
+        lv2_gap = abs(mse("LV2SK", "KeyDep") - mse("LV2SK", "KeyInd"))
+        tup_gap = abs(mse("TUPSK", "KeyDep") - mse("TUPSK", "KeyInd"))
+        assert tup_gap <= lv2_gap + 0.15
+
+    def test_summary_covers_all_series(self):
+        result = run_figure2(
+            datasets_per_key_generation=2, sample_size=4000, random_state=2
+        )
+        methods = {row["method"] for row in result.summary}
+        estimators = {row["estimator"] for row in result.summary}
+        assert methods == {"LV2SK", "TUPSK"}
+        assert estimators == {"MLE", "Mixed-KSG", "DC-KSG"}
+
+
+class TestFigure3:
+    def test_breakdown_at_high_mi(self):
+        result = run_figure3(num_datasets=8, sample_size=4000, random_state=3)
+        high = [row for row in result.summary if row["mi_bucket"] == ">=5.00"]
+        low = [row for row in result.summary if row["mi_bucket"] == "[0.00,3.00)"]
+        assert high and low
+        assert min(row["bias"] for row in high) < -1.0  # collapse at high MI
+        assert all(abs(row["bias"]) < 1.0 for row in low)
+
+
+class TestFigure4:
+    def test_mle_bias_grows_with_m(self):
+        result = run_figure4(
+            m_values=(16, 512), datasets_per_m=3, sample_size=5000, random_state=4
+        )
+        small_bias = result.summary_by(m=16, estimator="MLE")[0]["bias"]
+        large_bias = result.summary_by(m=512, estimator="MLE")[0]["bias"]
+        small_mse = result.summary_by(m=16, estimator="MLE")[0]["mse"]
+        large_mse = result.summary_by(m=512, estimator="MLE")[0]["mse"]
+        assert large_bias > small_bias
+        assert large_bias > 0.0  # over-estimation at large m
+        assert large_mse > small_mse
+
+
+class TestTable1:
+    def test_shape_of_table1(self):
+        result = run_table1(
+            datasets_per_distribution=3, sample_size=4000, random_state=5
+        )
+        by_key = {(row["dataset"], row["sketch"]): row for row in result.summary}
+        for dataset in ("CDUnif", "Trinomial"):
+            tupsk = by_key[(dataset, "TUPSK")]
+            indsk = by_key[(dataset, "INDSK")]
+            assert tupsk["avg_sketch_join_size"] >= indsk["avg_sketch_join_size"]
+            assert tupsk["mse"] <= indsk["mse"] + 1e-9
+            assert tupsk["join_pct_of_n"] > 85.0
+
+
+class TestTable2AndFigure5:
+    def test_table2_summary_structure(self):
+        result = run_table2(
+            num_pairs=8,
+            tables_per_repository=18,
+            sketch_size=256,
+            min_join_size=30,
+            random_state=6,
+        )
+        assert result.summary, "expected at least one summary row"
+        for row in result.summary:
+            assert -1.0 <= row["spearman"] <= 1.0
+            assert row["mse"] >= 0.0
+            assert row["sketch"] in {"LV2SK", "PRISK", "TUPSK"}
+
+    def test_figure5_accuracy_improves_with_join_size(self):
+        result = run_figure5(
+            num_pairs=12,
+            tables_per_repository=18,
+            sketch_size=256,
+            thresholds=(32, 128),
+            random_state=7,
+        )
+        assert result.rows
+        if len(result.summary) >= 2:
+            by_threshold = {}
+            for row in result.summary:
+                by_threshold.setdefault(row["join_size_gt"], []).append(row["mse"])
+            thresholds = sorted(by_threshold)
+            if len(thresholds) == 2:
+                assert (
+                    min(by_threshold[thresholds[1]])
+                    <= max(by_threshold[thresholds[0]]) + 1e-6
+                )
+
+
+class TestPerformance:
+    def test_sketch_faster_than_full_join(self):
+        result = run_performance(
+            table_sizes=(4000, 8000), repetitions=2, random_state=8
+        )
+        for row in result.summary:
+            assert row["sketch_join_ms"] < row["full_join_ms"]
+        small, large = result.summary[0], result.summary[1]
+        assert large["full_join_ms"] > small["full_join_ms"]
+
+
+class TestAblations:
+    def test_coordination_ablation(self):
+        result = run_ablation_coordination(
+            datasets_per_key_generation=2, sample_size=4000, random_state=9
+        )
+        keyind = {row["method"]: row for row in result.summary_by(key_generation="KeyInd")}
+        assert keyind["INDSK"]["avg_join_size"] < keyind["TUPSK"]["avg_join_size"]
+
+    def test_aggregation_ablation(self):
+        result = run_ablation_aggregation(num_keys=300, random_state=10)
+        by_agg = {row["aggregate"]: row for row in result.summary}
+        assert by_agg["AVG"]["full_join_mi"] > by_agg["COUNT"]["full_join_mi"]
+        assert by_agg["AVG"]["sketch_mi"] > by_agg["COUNT"]["sketch_mi"]
+        assert by_agg["COUNT"]["full_join_mi"] < 0.2
+
+    def test_sketch_size_ablation(self):
+        result = run_ablation_sketch_size(
+            sketch_sizes=(64, 512), num_datasets=3, sample_size=6000, random_state=11
+        )
+        rmse = {row["sketch_size"]: row["rmse"] for row in result.summary}
+        assert rmse[512] < rmse[64]

@@ -1,0 +1,65 @@
+"""Tests for the evaluation metrics."""
+
+import pytest
+
+from repro.evaluation.metrics import (
+    mean_absolute_error,
+    mean_bias,
+    mean_squared_error,
+    pearson_correlation,
+    root_mean_squared_error,
+    spearman_correlation,
+)
+from repro.exceptions import EstimationError
+
+
+class TestErrorMetrics:
+    def test_mse(self):
+        assert mean_squared_error([1.0, 2.0], [1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_rmse(self):
+        assert root_mean_squared_error([0.0, 0.0], [3.0, 4.0]) == pytest.approx(
+            (12.5) ** 0.5
+        )
+
+    def test_mae(self):
+        assert mean_absolute_error([1.0, -1.0], [0.0, 0.0]) == pytest.approx(1.0)
+
+    def test_bias_sign(self):
+        assert mean_bias([2.0, 2.0], [1.0, 1.0]) == pytest.approx(1.0)
+        assert mean_bias([0.0, 0.0], [1.0, 1.0]) == pytest.approx(-1.0)
+
+    def test_perfect_estimates(self):
+        values = [0.5, 1.5, 2.5]
+        assert mean_squared_error(values, values) == 0.0
+        assert mean_bias(values, values) == 0.0
+
+    def test_misaligned_inputs(self):
+        with pytest.raises(EstimationError):
+            mean_squared_error([1.0], [1.0, 2.0])
+
+    def test_empty_inputs(self):
+        with pytest.raises(EstimationError):
+            mean_squared_error([], [])
+
+
+class TestCorrelationMetrics:
+    def test_pearson_perfect_linear(self):
+        assert pearson_correlation([1, 2, 3], [2, 4, 6]) == pytest.approx(1.0)
+
+    def test_pearson_anti_correlation(self):
+        assert pearson_correlation([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_spearman_monotone_nonlinear(self):
+        x = [1.0, 2.0, 3.0, 4.0]
+        y = [1.0, 8.0, 27.0, 64.0]
+        assert spearman_correlation(x, y) == pytest.approx(1.0)
+        assert pearson_correlation(x, y) < 1.0
+
+    def test_constant_input_returns_zero(self):
+        assert pearson_correlation([1.0, 1.0, 1.0], [1.0, 2.0, 3.0]) == 0.0
+        assert spearman_correlation([2.0, 2.0], [1.0, 3.0]) == 0.0
+
+    def test_too_few_points(self):
+        with pytest.raises(EstimationError):
+            pearson_correlation([1.0], [1.0])

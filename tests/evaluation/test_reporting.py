@@ -1,0 +1,46 @@
+"""Tests for the plain-text report rendering."""
+
+from repro.evaluation.reporting import format_kv, format_table, indent
+
+
+class TestFormatTable:
+    def test_alignment_and_header(self):
+        rows = [{"method": "TUPSK", "mse": 0.123456}, {"method": "LV2SK", "mse": 1.5}]
+        text = format_table(rows, precision=3)
+        lines = text.splitlines()
+        assert lines[0].startswith("method")
+        assert "0.123" in text
+        assert "1.500" in text
+        assert len(set(len(line) for line in lines[:3])) == 1  # aligned widths
+
+    def test_column_order_respected(self):
+        rows = [{"a": 1, "b": 2}]
+        text = format_table(rows, columns=["b", "a"])
+        header = text.splitlines()[0]
+        assert header.index("b") < header.index("a")
+
+    def test_missing_cells_render_empty(self):
+        rows = [{"a": 1}, {"a": 2, "b": 3}]
+        text = format_table(rows, columns=["a", "b"])
+        assert text  # does not raise
+
+    def test_empty_rows(self):
+        assert "(no rows)" in format_table([], title="empty")
+
+    def test_title_included(self):
+        assert format_table([{"a": 1}], title="My Table").startswith("My Table")
+
+
+class TestFormatKv:
+    def test_alignment(self):
+        text = format_kv({"short": 1, "a_longer_key": 2.5})
+        lines = text.splitlines()
+        assert lines[0].index(":") == lines[1].index(":")
+
+    def test_empty(self):
+        assert format_kv({}) == ""
+
+
+class TestIndent:
+    def test_prefixes_every_line(self):
+        assert indent("a\nb", "> ") == "> a\n> b"

@@ -1,0 +1,72 @@
+"""Tests for the shared experiment runner machinery."""
+
+import math
+
+import pytest
+
+from repro.evaluation.runner import (
+    EstimatorSpec,
+    cdunif_estimator_specs,
+    full_join_estimate_for_dataset,
+    sketch_estimate_for_dataset,
+    trinomial_estimator_specs,
+)
+from repro.estimators.mle import MLEEstimator
+from repro.synthetic.benchmark import generate_cdunif_dataset, generate_trinomial_dataset
+
+
+class TestEstimatorSpecs:
+    def test_trinomial_specs_cover_three_data_type_treatments(self):
+        labels = [spec.label for spec in trinomial_estimator_specs()]
+        assert labels == ["MLE", "Mixed-KSG", "DC-KSG"]
+        dc_spec = trinomial_estimator_specs()[2]
+        assert dc_spec.perturb_y and not dc_spec.perturb_x
+
+    def test_cdunif_specs(self):
+        labels = [spec.label for spec in cdunif_estimator_specs()]
+        assert labels == ["Mixed-KSG", "DC-KSG"]
+
+    def test_spec_estimate_applies_perturbation(self, rng):
+        spec = EstimatorSpec("MLE", MLEEstimator())
+        x = rng.integers(0, 4, size=500).tolist()
+        assert spec.estimate(x, x, random_state=rng) == pytest.approx(
+            math.log(4), abs=0.1
+        )
+
+
+class TestSketchEstimateForDataset:
+    def test_record_fields(self):
+        dataset = generate_trinomial_dataset(16, 2000, target_mi=1.0, random_state=0)
+        record = sketch_estimate_for_dataset(dataset, "TUPSK", capacity=128)
+        assert record.method == "TUPSK"
+        assert record.m == 16
+        assert record.join_size == 128
+        assert record.true_mi == dataset.true_mi
+        assert record.estimate >= 0.0
+        row = record.as_row()
+        assert row["distribution"] == "trinomial"
+        assert row["key_generation"] == "KeyInd"
+
+    def test_explicit_estimator_spec(self):
+        dataset = generate_trinomial_dataset(16, 2000, target_mi=1.0, random_state=1)
+        spec = trinomial_estimator_specs()[0]
+        record = sketch_estimate_for_dataset(
+            dataset, "LV2SK", capacity=128, estimator_spec=spec, random_state=2
+        )
+        assert record.estimator == "MLE"
+
+    def test_nan_when_join_too_small(self):
+        dataset = generate_cdunif_dataset(990, 1000, random_state=3)
+        spec = cdunif_estimator_specs()[0]
+        record = sketch_estimate_for_dataset(
+            dataset, "INDSK", capacity=16, estimator_spec=spec, min_join_size=64
+        )
+        assert math.isnan(record.estimate)
+
+
+class TestFullJoinEstimate:
+    def test_close_to_truth(self):
+        dataset = generate_trinomial_dataset(16, 10_000, target_mi=1.2, random_state=4)
+        spec = trinomial_estimator_specs()[0]
+        estimate = full_join_estimate_for_dataset(dataset, spec, random_state=5)
+        assert estimate == pytest.approx(dataset.true_mi, abs=0.1)

@@ -1,0 +1,35 @@
+"""The example scripts must run end to end and print their headline output."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+SRC_DIR = pathlib.Path(__file__).resolve().parents[2] / "src"
+
+EXPECTED_OUTPUT = {
+    "quickstart.py": "sketch-based estimate",
+    "taxi_demand_augmentation.py": "Top candidates by sketch-estimated MI",
+    "dataset_discovery.py": "Top-3 candidates per estimator",
+    "estimator_comparison.py": "Discrete data",
+    "synthetic_benchmark.py": "Trinomial(m=64), n=256",
+}
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.mark.parametrize("script", sorted(EXPECTED_OUTPUT))
+def test_example_runs(script):
+    path = EXAMPLES_DIR / script
+    assert path.exists(), f"missing example script {script}"
+    completed = subprocess.run(
+        [sys.executable, str(path)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+        env={"PYTHONPATH": str(SRC_DIR), "PATH": "/usr/bin:/bin"},
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert EXPECTED_OUTPUT[script] in completed.stdout

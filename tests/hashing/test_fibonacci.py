@@ -1,0 +1,37 @@
+"""Tests for Fibonacci hashing to the unit interval."""
+
+import numpy as np
+
+from repro.hashing.fibonacci import fibonacci_hash_64, fibonacci_hash_unit
+
+
+class TestFibonacciHash64:
+    def test_deterministic(self):
+        assert fibonacci_hash_64(42) == fibonacci_hash_64(42)
+
+    def test_64_bit_range(self):
+        for value in (0, 1, 2**31, 2**63, 2**64 - 1):
+            assert 0 <= fibonacci_hash_64(value) < 2**64
+
+    def test_sequential_inputs_spread_apart(self):
+        """Consecutive integers should land far apart (the point of Fibonacci hashing)."""
+        hashes = [fibonacci_hash_64(i) for i in range(10)]
+        gaps = [abs(a - b) for a, b in zip(hashes, hashes[1:])]
+        assert min(gaps) > 2**60
+
+
+class TestFibonacciHashUnit:
+    def test_unit_interval(self):
+        for value in range(1000):
+            unit = fibonacci_hash_unit(value)
+            assert 0.0 <= unit < 1.0
+
+    def test_roughly_uniform_over_sequential_inputs(self):
+        units = np.array([fibonacci_hash_unit(i) for i in range(10_000)])
+        assert abs(units.mean() - 0.5) < 0.02
+        # Every decile should contain a reasonable share of the values.
+        histogram, _ = np.histogram(units, bins=10, range=(0.0, 1.0))
+        assert histogram.min() > 500
+
+    def test_deterministic(self):
+        assert fibonacci_hash_unit(7) == fibonacci_hash_unit(7)

@@ -1,0 +1,64 @@
+"""Tests for the MurmurHash3 implementation (reference vectors + properties)."""
+
+import pytest
+
+from repro.hashing.murmur3 import murmur3_32
+
+
+class TestReferenceVectors:
+    """Known test vectors of MurmurHash3_x86_32 (Appleby's reference / SMHasher)."""
+
+    def test_empty_seed_zero(self):
+        assert murmur3_32(b"") == 0x00000000
+
+    def test_empty_seed_one(self):
+        assert murmur3_32(b"", seed=1) == 0x514E28B7
+
+    def test_empty_seed_all_ones(self):
+        assert murmur3_32(b"", seed=0xFFFFFFFF) == 0x81F16F39
+
+    def test_hello_world_with_seed(self):
+        assert murmur3_32(b"Hello, world!", seed=0x9747B28C) == 0x24884CBA
+
+    def test_abc(self):
+        assert murmur3_32(b"abc") == 0xB3DD93FA
+
+
+class TestInputHandling:
+    def test_str_input_equals_utf8_bytes(self):
+        assert murmur3_32("café") == murmur3_32("café".encode("utf-8"))
+
+    def test_int_input_supported(self):
+        assert isinstance(murmur3_32(12345), int)
+        assert murmur3_32(12345) == murmur3_32(12345)
+
+    def test_negative_int_supported(self):
+        assert murmur3_32(-1) != murmur3_32(1)
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(TypeError):
+            murmur3_32(3.14)
+
+    def test_deterministic(self):
+        assert murmur3_32(b"determinism") == murmur3_32(b"determinism")
+
+    def test_seed_changes_output(self):
+        assert murmur3_32(b"value", seed=0) != murmur3_32(b"value", seed=1)
+
+
+class TestOutputProperties:
+    def test_output_is_32_bit(self):
+        for data in (b"", b"a", b"ab", b"abc", b"abcd", b"abcde", bytes(100)):
+            value = murmur3_32(data)
+            assert 0 <= value <= 0xFFFFFFFF
+
+    def test_tail_lengths_all_handled(self):
+        """Inputs of every length modulo 4 exercise all tail branches."""
+        values = {murmur3_32(b"x" * length) for length in range(1, 9)}
+        assert len(values) == 8  # all distinct
+
+    def test_avalanche_on_single_bit_flip(self):
+        base = murmur3_32(b"avalanche-test")
+        flipped = murmur3_32(b"avalanche-tesu")  # last byte +1
+        differing_bits = bin(base ^ flipped).count("1")
+        assert differing_bits >= 8

@@ -1,0 +1,64 @@
+"""Tests for canonical key hashing (the composition h_u(h(k)))."""
+
+import numpy as np
+
+from repro.hashing.unit import KeyHasher, canonical_bytes, hash_key, hash_key_unit
+
+
+class TestCanonicalBytes:
+    def test_type_tagging_avoids_collisions(self):
+        assert canonical_bytes(1) != canonical_bytes("1")
+        assert canonical_bytes(None) != canonical_bytes("")
+        assert canonical_bytes(True) != canonical_bytes(1)
+
+    def test_int_and_equivalent_float_collide_on_purpose(self):
+        """3 and 3.0 represent the same join-key value in real data."""
+        assert canonical_bytes(3) == canonical_bytes(3.0)
+
+    def test_tuples_encode_recursively(self):
+        assert canonical_bytes(("a", 1)) != canonical_bytes(("a", 2))
+        assert canonical_bytes(("a", 1)) == canonical_bytes(["a", 1])
+
+    def test_deterministic(self):
+        assert canonical_bytes("key") == canonical_bytes("key")
+
+
+class TestHashKey:
+    def test_32_bit_output(self):
+        assert 0 <= hash_key("anything") <= 0xFFFFFFFF
+
+    def test_seed_sensitivity(self):
+        assert hash_key("k", seed=0) != hash_key("k", seed=1)
+
+    def test_unit_range(self):
+        for value in ["a", "b", 1, 2, ("a", 1), None]:
+            assert 0.0 <= hash_key_unit(value) < 1.0
+
+    def test_unit_uniformity_over_string_keys(self):
+        units = np.array([hash_key_unit(f"key-{i}") for i in range(5000)])
+        assert abs(units.mean() - 0.5) < 0.03
+        assert abs(np.quantile(units, 0.25) - 0.25) < 0.05
+
+
+class TestKeyHasher:
+    def test_same_seed_same_results(self):
+        first = KeyHasher(seed=3)
+        second = KeyHasher(seed=3)
+        assert first.key_id("zip-11201") == second.key_id("zip-11201")
+        assert first.unit("zip-11201") == second.unit("zip-11201")
+
+    def test_different_seed_different_order(self):
+        keys = [f"k{i}" for i in range(200)]
+        order_a = sorted(keys, key=KeyHasher(seed=0).unit)
+        order_b = sorted(keys, key=KeyHasher(seed=99).unit)
+        assert order_a != order_b
+
+    def test_tuple_unit_differs_per_occurrence(self):
+        hasher = KeyHasher()
+        units = {hasher.tuple_unit("key", occurrence) for occurrence in range(1, 50)}
+        assert len(units) == 49
+
+    def test_tuple_unit_first_occurrence_is_coordinated(self):
+        """The (k, 1) hash must be identical on both sides of a sketch join."""
+        hasher = KeyHasher(seed=5)
+        assert hasher.tuple_unit("2019-01-01", 1) == hasher.tuple_unit("2019-01-01", 1)

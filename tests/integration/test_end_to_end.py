@@ -1,0 +1,160 @@
+"""Integration tests exercising the full pipeline across modules.
+
+These tests combine the relational substrate, the sketches, the estimators
+and the discovery layer the way a downstream user (or the paper's evaluation)
+would: sketch two tables independently, join the sketches, estimate MI, and
+compare against the estimate computed on the materialized join.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    MLEEstimator,
+    SketchIndex,
+    SketchSide,
+    Table,
+    augment,
+    build_sketch,
+    estimate_mi,
+    estimate_mi_from_sketches,
+)
+from repro.evaluation.metrics import spearman_correlation
+from repro.opendata import generate_repository, sample_table_pairs
+from repro.evaluation.experiments.realdata import full_join_mi, sketch_mi
+from repro.synthetic import KeyGeneration, generate_trinomial_dataset
+from repro.synthetic.benchmark import generate_cdunif_dataset
+
+
+class TestSketchVsFullJoinOnSyntheticData:
+    def test_sketch_estimate_tracks_full_join_estimate_trinomial(self):
+        """Sketch-based MI must approximate the full-join MI (the paper's core claim)."""
+        dataset = generate_trinomial_dataset(
+            64, 10_000, target_mi=2.0, key_generation=KeyGeneration.KEY_DEP, random_state=0
+        )
+        full_estimate = MLEEstimator().estimate(dataset.x.tolist(), dataset.y.tolist())
+
+        base_sketch = build_sketch(
+            dataset.train_table, "key", "target", method="TUPSK", capacity=512, seed=1
+        )
+        cand_sketch = build_sketch(
+            dataset.cand_table, "key", "feature",
+            method="TUPSK", side=SketchSide.CANDIDATE, capacity=512, seed=1,
+        )
+        sketch_estimate = estimate_mi_from_sketches(
+            base_sketch, cand_sketch, estimator=MLEEstimator()
+        )
+        assert sketch_estimate.join_size == 512
+        assert sketch_estimate.mi == pytest.approx(full_estimate, abs=0.45)
+        assert sketch_estimate.mi == pytest.approx(dataset.true_mi, abs=0.45)
+
+    def test_sketch_estimate_tracks_truth_cdunif(self):
+        dataset = generate_cdunif_dataset(20, 10_000, random_state=1)
+        base_sketch = build_sketch(
+            dataset.train_table, "key", "target", capacity=1024, seed=2
+        )
+        cand_sketch = build_sketch(
+            dataset.cand_table, "key", "feature",
+            side=SketchSide.CANDIDATE, capacity=1024, seed=2,
+        )
+        estimate = estimate_mi_from_sketches(base_sketch, cand_sketch)
+        assert estimate.mi == pytest.approx(dataset.true_mi, abs=0.5)
+
+    def test_larger_sketches_are_more_accurate_on_average(self):
+        """Accuracy improves with the sketch size (Section IV-B accuracy discussion)."""
+        errors = {64: [], 512: []}
+        for seed in range(4):
+            dataset = generate_trinomial_dataset(
+                64, 8000, target_mi=1.5 + 0.3 * seed, random_state=seed
+            )
+            for capacity in errors:
+                base_sketch = build_sketch(
+                    dataset.train_table, "key", "target", capacity=capacity, seed=seed
+                )
+                cand_sketch = build_sketch(
+                    dataset.cand_table, "key", "feature",
+                    side=SketchSide.CANDIDATE, capacity=capacity, seed=seed,
+                )
+                estimate = estimate_mi_from_sketches(
+                    base_sketch, cand_sketch, estimator=MLEEstimator()
+                )
+                errors[capacity].append(abs(estimate.mi - dataset.true_mi))
+        assert np.mean(errors[512]) <= np.mean(errors[64])
+
+
+class TestTaxiScenario:
+    """The running example of the paper (Figure 1) executed end to end."""
+
+    @pytest.fixture()
+    def taxi_tables(self):
+        rng = np.random.default_rng(7)
+        dates = [f"2017-{1 + d // 28:02d}-{1 + d % 28:02d}" for d in range(200)]
+        daily_temp = {date: float(rng.normal(15, 8)) for date in dates}
+        # Demand depends on temperature (plus noise).
+        taxi = Table.from_dict(
+            {
+                "date": dates,
+                "num_trips": [
+                    max(0.0, 200 - 3.0 * daily_temp[date] + rng.normal(0, 8))
+                    for date in dates
+                ],
+            },
+            name="taxi",
+        )
+        weather_rows = []
+        for date in dates:
+            for hour in range(4):
+                weather_rows.append((date, daily_temp[date] + float(rng.normal(0, 1))))
+        weather = Table.from_dict(
+            {
+                "date": [row[0] for row in weather_rows],
+                "temp": [row[1] for row in weather_rows],
+            },
+            name="weather",
+        )
+        return taxi, weather
+
+    def test_augmentation_and_mi(self, taxi_tables):
+        taxi, weather = taxi_tables
+        augmented = augment(
+            taxi, weather,
+            base_key="date", candidate_key="date", candidate_value="temp", agg="avg",
+        )
+        assert augmented.num_rows == taxi.num_rows
+        full_mi = estimate_mi(
+            augmented.column("avg_temp").values, augmented.column("num_trips").values
+        )
+        assert full_mi > 0.5
+
+    def test_sketches_discover_the_weather_table(self, taxi_tables):
+        taxi, weather = taxi_tables
+        rng = np.random.default_rng(11)
+        noise_table = Table.from_dict(
+            {
+                "date": taxi.column("date").values,
+                "lottery": rng.normal(size=taxi.num_rows).tolist(),
+            },
+            name="lottery",
+        )
+        index = SketchIndex(capacity=256, seed=0)
+        index.add_candidate(weather, "date", "temp")
+        index.add_candidate(noise_table, "date", "lottery")
+        results = index.query_columns(taxi, "date", "num_trips", top_k=2, min_join_size=32)
+        assert results[0].table_name == "weather"
+
+
+class TestRepositoryPipeline:
+    def test_sketch_ranking_correlates_with_full_join_ranking(self):
+        """On a simulated repository the sketch MI ranking tracks the full-join ranking."""
+        repository = generate_repository("nyc", random_state=3, num_tables=24)
+        pairs = sample_table_pairs(repository, 12, random_state=4)
+        full_values, sketch_values = [], []
+        for pair in pairs:
+            reference = full_join_mi(pair, min_join_rows=8)
+            estimate = sketch_mi(pair, "TUPSK", capacity=512, min_join_size=30)
+            if reference is None or estimate is None:
+                continue
+            full_values.append(reference.mi)
+            sketch_values.append(estimate.mi)
+        assert len(full_values) >= 5
+        assert spearman_correlation(sketch_values, full_values) > 0.5

@@ -1,0 +1,63 @@
+"""Tests for the simulated key domains."""
+
+import numpy as np
+import pytest
+
+from repro.opendata.domains import (
+    agency_code_domain,
+    category_domain,
+    country_code_domain,
+    date_domain,
+    zipcode_domain,
+    zipf_weights,
+)
+
+
+class TestDomains:
+    def test_zipcode_format(self):
+        domain = zipcode_domain(10)
+        assert len(domain) == 10
+        assert all(len(value) == 5 and value.isdigit() for value in domain.values)
+
+    def test_date_format_and_order(self):
+        domain = date_domain(5)
+        assert domain.values[0] == "2019-01-01"
+        assert domain.values[-1] == "2019-01-05"
+
+    def test_country_codes_distinct(self):
+        domain = country_code_domain(100)
+        assert len(set(domain.values)) == 100
+        assert all(len(value) == 3 for value in domain.values)
+
+    def test_agency_and_category_prefixes(self):
+        assert agency_code_domain(3).values == ("AG-001", "AG-002", "AG-003")
+        assert category_domain(2).values == ("category_01", "category_02")
+
+    def test_subset_is_deterministic_given_seed(self):
+        domain = zipcode_domain(100)
+        assert domain.subset(10, 3) == domain.subset(10, 3)
+        assert len(domain.subset(10, 3)) == 10
+
+    def test_subset_capped_at_domain_size(self):
+        domain = category_domain(4)
+        assert len(domain.subset(100, 0)) == 4
+
+
+class TestZipfWeights:
+    def test_normalized(self):
+        weights = zipf_weights(100, 1.0)
+        assert weights.sum() == pytest.approx(1.0)
+
+    def test_uniform_when_exponent_zero(self):
+        weights = zipf_weights(10, 0.0)
+        assert np.allclose(weights, 0.1)
+
+    def test_monotone_decreasing(self):
+        weights = zipf_weights(50, 1.2)
+        assert all(a >= b for a, b in zip(weights, weights[1:]))
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0)
+        with pytest.raises(ValueError):
+            zipf_weights(10, -1.0)

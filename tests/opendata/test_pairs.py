@@ -1,0 +1,54 @@
+"""Tests for table-pair sampling from a simulated repository."""
+
+import pytest
+
+from repro.exceptions import SyntheticDataError
+from repro.opendata.pairs import iter_all_pairs, sample_table_pairs
+from repro.opendata.repository import generate_repository
+
+
+@pytest.fixture(scope="module")
+def repository():
+    return generate_repository("nyc", random_state=1, num_tables=15)
+
+
+class TestSampleTablePairs:
+    def test_count_respected(self, repository):
+        pairs = sample_table_pairs(repository, 10, random_state=0)
+        assert len(pairs) == 10
+
+    def test_same_domain_only(self, repository):
+        pairs = sample_table_pairs(repository, 10, same_domain_only=True, random_state=0)
+        assert all(pair.shares_domain for pair in pairs)
+
+    def test_mixed_domains_allowed(self, repository):
+        pairs = sample_table_pairs(
+            repository, 30, same_domain_only=False, random_state=0
+        )
+        assert any(not pair.shares_domain for pair in pairs)
+
+    def test_base_and_candidate_differ(self, repository):
+        pairs = sample_table_pairs(repository, 20, random_state=2)
+        assert all(pair.base.name != pair.candidate.name for pair in pairs)
+
+    def test_describe(self, repository):
+        pair = sample_table_pairs(repository, 1, random_state=3)[0]
+        description = pair.describe()
+        assert description["base"] == pair.base.name
+        assert description["candidate_rows"] == pair.candidate.num_rows
+
+    def test_invalid_count(self, repository):
+        with pytest.raises(SyntheticDataError):
+            sample_table_pairs(repository, 0)
+
+    def test_deterministic(self, repository):
+        first = sample_table_pairs(repository, 5, random_state=9)
+        second = sample_table_pairs(repository, 5, random_state=9)
+        assert [pair.base.name for pair in first] == [pair.base.name for pair in second]
+
+
+class TestIterAllPairs:
+    def test_count(self, repository):
+        pairs = list(iter_all_pairs(repository))
+        n = len(repository.tables)
+        assert len(pairs) == n * (n - 1)

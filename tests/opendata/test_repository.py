@@ -1,0 +1,96 @@
+"""Tests for the open-data repository simulator."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SyntheticDataError
+from repro.opendata.repository import (
+    NYC_PROFILE,
+    WBF_PROFILE,
+    generate_repository,
+    profile_by_name,
+)
+from repro.relational.dtypes import DType
+
+
+class TestProfiles:
+    def test_builtin_profiles(self):
+        assert profile_by_name("nyc") is NYC_PROFILE
+        assert profile_by_name("WBF") is WBF_PROFILE
+
+    def test_unknown_profile(self):
+        with pytest.raises(SyntheticDataError):
+            profile_by_name("chicago")
+
+
+class TestGeneration:
+    @pytest.fixture(scope="class")
+    def repository(self):
+        return generate_repository("nyc", random_state=0, num_tables=20)
+
+    def test_table_count_override(self, repository):
+        assert len(repository) == 20
+
+    def test_tables_have_key_and_value(self, repository):
+        for entry in repository.tables:
+            assert entry.table.column_names == ("key", "value")
+            assert entry.table.column("key").dtype is DType.STRING
+            # Dimension-like tables with unique keys are bounded by the covered
+            # domain size; everything else respects the profile's row range.
+            assert 2 <= entry.num_rows <= NYC_PROFILE.rows_range[1]
+
+    def test_keys_come_from_declared_domain(self, repository):
+        for entry in repository.tables[:5]:
+            domain_values = set(repository.domains[entry.domain_name].values)
+            assert set(entry.table.column("key").non_null_values()) <= domain_values
+
+    def test_value_kinds_match_dtype(self, repository):
+        for entry in repository.tables:
+            dtype = entry.table.column("value").dtype
+            if entry.value_kind == "numeric":
+                assert dtype.is_numeric
+            else:
+                assert dtype is DType.STRING
+
+    def test_both_value_kinds_present(self, repository):
+        kinds = {entry.value_kind for entry in repository.tables}
+        assert kinds == {"numeric", "string"}
+
+    def test_reproducible(self):
+        first = generate_repository("wbf", random_state=3, num_tables=5)
+        second = generate_repository("wbf", random_state=3, num_tables=5)
+        assert first.tables[0].table.column("key").values == (
+            second.tables[0].table.column("key").values
+        )
+
+    def test_tables_for_domain(self, repository):
+        domain = repository.tables[0].domain_name
+        subset = repository.tables_for_domain(domain)
+        assert subset and all(entry.domain_name == domain for entry in subset)
+
+    def test_dependence_planted(self):
+        """Tables with high dependence on the same domain share information."""
+        from repro.estimators.mixed_ksg import MixedKSGEstimator
+        from repro.relational.featurize import augment
+
+        repository = generate_repository("nyc", random_state=11, num_tables=40)
+        numeric = [
+            entry
+            for entry in repository.tables
+            if entry.value_kind == "numeric" and entry.dependence > 0.8
+        ]
+        by_domain = {}
+        for entry in numeric:
+            by_domain.setdefault(entry.domain_name, []).append(entry)
+        pair = next((tables[:2] for tables in by_domain.values() if len(tables) >= 2), None)
+        assert pair is not None, "expected at least two strongly dependent tables"
+        base, cand = pair
+        augmented = augment(
+            base.table, cand.table,
+            base_key="key", candidate_key="key", candidate_value="value",
+            agg="avg", feature_name="feature",
+        ).drop_nulls(["feature", "value"])
+        mi = MixedKSGEstimator().estimate(
+            augmented.column("feature").values, augmented.column("value").values
+        )
+        assert mi > 0.15

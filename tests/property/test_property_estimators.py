@@ -1,0 +1,104 @@
+"""Property-based tests for the MI estimators (hypothesis)."""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.estimators.entropy import entropy_mle, entropy_miller_madow, joint_entropy_mle
+from repro.estimators.mle import MLEEstimator
+from repro.estimators.mixed_ksg import MixedKSGEstimator
+from repro.estimators.smoothed import SmoothedMLEEstimator
+
+discrete_values = st.integers(min_value=0, max_value=6)
+discrete_samples = st.lists(discrete_values, min_size=10, max_size=200)
+paired_samples = st.lists(
+    st.tuples(discrete_values, discrete_values), min_size=10, max_size=200
+)
+
+
+class TestEntropyInvariants:
+    @given(discrete_samples)
+    def test_entropy_bounds(self, values):
+        entropy = entropy_mle(values)
+        assert 0.0 <= entropy <= math.log(len(set(values))) + 1e-9
+
+    @given(discrete_samples)
+    def test_miller_madow_at_least_mle(self, values):
+        assert entropy_miller_madow(values) >= entropy_mle(values)
+
+    @given(paired_samples)
+    def test_joint_entropy_bounds(self, pairs):
+        x = [pair[0] for pair in pairs]
+        y = [pair[1] for pair in pairs]
+        joint = joint_entropy_mle(x, y)
+        assert max(entropy_mle(x), entropy_mle(y)) - 1e-9 <= joint
+        assert joint <= entropy_mle(x) + entropy_mle(y) + 1e-9
+
+    @given(discrete_samples)
+    def test_entropy_invariant_under_relabeling(self, values):
+        relabeled = [value * 13 + 7 for value in values]
+        assert entropy_mle(relabeled) == entropy_mle(values)
+
+
+class TestMleMiInvariants:
+    @given(paired_samples)
+    def test_non_negative_and_bounded_by_entropies(self, pairs):
+        x = [pair[0] for pair in pairs]
+        y = [pair[1] for pair in pairs]
+        mi = MLEEstimator().estimate(x, y)
+        assert 0.0 <= mi <= min(entropy_mle(x), entropy_mle(y)) + 1e-9
+
+    @given(paired_samples)
+    def test_symmetry(self, pairs):
+        x = [pair[0] for pair in pairs]
+        y = [pair[1] for pair in pairs]
+        estimator = MLEEstimator()
+        assert abs(estimator.estimate(x, y) - estimator.estimate(y, x)) < 1e-9
+
+    @given(paired_samples)
+    def test_invariance_under_bijection_of_one_variable(self, pairs):
+        x = [pair[0] for pair in pairs]
+        y = [pair[1] for pair in pairs]
+        remapped = [{0: 5, 1: 3, 2: 0, 3: 6, 4: 1, 5: 4, 6: 2}[value] for value in y]
+        estimator = MLEEstimator()
+        assert abs(estimator.estimate(x, y) - estimator.estimate(x, remapped)) < 1e-9
+
+    @given(discrete_samples)
+    def test_self_information_equals_entropy(self, values):
+        assert MLEEstimator().estimate(values, values) == entropy_mle(values)
+
+    @given(paired_samples, st.floats(min_value=0.0, max_value=5.0))
+    def test_smoothing_never_exceeds_joint_support_entropy(self, pairs, alpha):
+        x = [pair[0] for pair in pairs]
+        y = [pair[1] for pair in pairs]
+        mi = SmoothedMLEEstimator(alpha=alpha).estimate(x, y)
+        assert 0.0 <= mi <= math.log(len(set(x)) * len(set(y))) + 1e-9
+
+
+class TestKsgFamilyInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.floats(min_value=-100, max_value=100, allow_nan=False),
+            min_size=12,
+            max_size=120,
+        ),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_mixed_ksg_non_negative_and_finite(self, x_values, seed):
+        rng = np.random.default_rng(seed)
+        y_values = rng.normal(size=len(x_values))
+        estimate = MixedKSGEstimator(k=3).estimate(x_values, y_values.tolist())
+        assert np.isfinite(estimate)
+        assert estimate >= 0.0
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    def test_mixed_ksg_symmetry(self, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=80)
+        y = x + rng.normal(size=80)
+        estimator = MixedKSGEstimator(k=3)
+        assert abs(estimator.estimate(x, y) - estimator.estimate(y, x)) < 1e-9

@@ -1,0 +1,50 @@
+"""Property-based tests for the hashing substrate."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hashing.fibonacci import fibonacci_hash_unit
+from repro.hashing.murmur3 import murmur3_32
+from repro.hashing.unit import KeyHasher, canonical_bytes, hash_key, hash_key_unit
+
+hashable_keys = st.one_of(
+    st.text(max_size=20),
+    st.integers(min_value=-(2**40), max_value=2**40),
+    st.booleans(),
+    st.none(),
+)
+
+
+class TestMurmurProperties:
+    @given(st.binary(max_size=64), st.integers(min_value=0, max_value=2**32 - 1))
+    def test_output_always_32_bit(self, data, seed):
+        assert 0 <= murmur3_32(data, seed) <= 0xFFFFFFFF
+
+    @given(st.binary(max_size=64))
+    def test_deterministic(self, data):
+        assert murmur3_32(data) == murmur3_32(data)
+
+
+class TestUnitHashProperties:
+    @given(st.integers(min_value=0, max_value=2**64 - 1))
+    def test_fibonacci_in_unit_interval(self, value):
+        assert 0.0 <= fibonacci_hash_unit(value) < 1.0
+
+    @given(hashable_keys)
+    def test_key_hash_in_unit_interval(self, key):
+        assert 0.0 <= hash_key_unit(key) < 1.0
+
+    @given(hashable_keys, hashable_keys)
+    def test_equal_keys_equal_hashes(self, first, second):
+        if first == second and type(first) is type(second):
+            assert hash_key(first) == hash_key(second)
+
+    @given(hashable_keys)
+    def test_canonical_bytes_deterministic(self, key):
+        assert canonical_bytes(key) == canonical_bytes(key)
+
+    @given(hashable_keys, st.integers(min_value=1, max_value=1000))
+    def test_tuple_unit_consistent_across_hasher_instances(self, key, occurrence):
+        assert KeyHasher(seed=3).tuple_unit(key, occurrence) == KeyHasher(seed=3).tuple_unit(
+            key, occurrence
+        )

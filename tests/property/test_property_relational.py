@@ -1,0 +1,101 @@
+"""Property-based tests for the relational substrate (hypothesis)."""
+
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relational.aggregate import aggregate_values, group_by_aggregate
+from repro.relational.column import Column
+from repro.relational.dtypes import DType, infer_column_dtype
+from repro.relational.join import inner_join, join_cardinality, left_outer_join
+from repro.relational.table import Table
+
+# Small alphabets keep joins interesting (lots of matches and repeats).
+keys = st.sampled_from(["a", "b", "c", "d", "e"])
+numbers = st.integers(min_value=-1000, max_value=1000)
+
+
+@st.composite
+def key_value_table(draw, name="t", min_rows=0, max_rows=30):
+    size = draw(st.integers(min_value=min_rows, max_value=max_rows))
+    key_values = draw(st.lists(keys, min_size=size, max_size=size))
+    values = draw(st.lists(numbers, min_size=size, max_size=size))
+    return Table.from_dict({"k": key_values, "v": values}, name=name)
+
+
+class TestColumnProperties:
+    @given(st.lists(st.one_of(numbers, st.none()), max_size=50))
+    def test_null_count_plus_non_null_equals_length(self, values):
+        column = Column("c", values)
+        assert column.null_count() + len(column.non_null_values()) == len(column)
+
+    @given(st.lists(numbers, min_size=1, max_size=50))
+    def test_distinct_count_bounds(self, values):
+        column = Column("c", values)
+        assert 1 <= column.distinct_count() <= len(values)
+
+    @given(st.lists(st.one_of(numbers, st.floats(allow_nan=False, allow_infinity=False), st.text(max_size=5)), max_size=30))
+    def test_inferred_dtype_is_stable_under_coercion(self, values):
+        """Coercing values to the inferred dtype and re-inferring gives the same dtype."""
+        dtype = infer_column_dtype(values)
+        column = Column("c", values, dtype=dtype)
+        reinferred = infer_column_dtype(column.values)
+        if reinferred is not DType.MISSING:
+            assert reinferred is dtype
+
+
+class TestAggregateProperties:
+    @given(st.lists(numbers, min_size=1, max_size=40))
+    def test_min_le_avg_le_max(self, values):
+        assert aggregate_values(values, "min") <= aggregate_values(values, "avg")
+        assert aggregate_values(values, "avg") <= aggregate_values(values, "max")
+
+    @given(st.lists(numbers, min_size=1, max_size=40))
+    def test_mode_is_an_observed_value(self, values):
+        assert aggregate_values(values, "mode") in values
+
+    @given(st.lists(keys, min_size=1, max_size=40), st.lists(numbers, min_size=1, max_size=40))
+    def test_group_counts_sum_to_non_null_rows(self, key_values, values):
+        size = min(len(key_values), len(values))
+        key_values, values = key_values[:size], values[:size]
+        grouped = group_by_aggregate(key_values, values, "count")
+        assert sum(grouped.values()) == size
+
+
+class TestJoinProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(key_value_table(name="left"), key_value_table(name="right"))
+    def test_left_join_row_count_with_unique_right_keys(self, left, right):
+        aggregated = right.group_by("k", "v", "avg") if right.num_rows else right
+        if right.num_rows == 0:
+            return
+        joined = left_outer_join(left, aggregated, "k", expect_unique_right_keys=True)
+        assert joined.num_rows == left.num_rows
+
+    @settings(max_examples=60, deadline=None)
+    @given(key_value_table(name="left"), key_value_table(name="right"))
+    def test_inner_join_size_matches_count_formula(self, left, right):
+        if left.num_rows == 0 or right.num_rows == 0:
+            return
+        joined = inner_join(left, right, "k")
+        left_counts = Counter(left.column("k").non_null_values())
+        right_counts = Counter(right.column("k").non_null_values())
+        expected = sum(left_counts[key] * right_counts.get(key, 0) for key in left_counts)
+        assert joined.num_rows == expected
+        assert join_cardinality(left, right, "k") == expected
+
+    @settings(max_examples=60, deadline=None)
+    @given(key_value_table(name="left"), key_value_table(name="right"))
+    def test_inner_join_subset_of_left_outer_join_pairs(self, left, right):
+        if left.num_rows == 0 or right.num_rows == 0:
+            return
+        inner = inner_join(left, right, "k")
+        outer = left_outer_join(left, right, "k")
+        inner_pairs = Counter(zip(inner.column("v"), inner.column("v_right")))
+        outer_pairs = Counter(
+            (v, w)
+            for v, w in zip(outer.column("v"), outer.column("v_right"))
+            if w is not None
+        )
+        assert inner_pairs == outer_pairs

@@ -1,0 +1,145 @@
+"""Property-based tests for the sketching layer (hypothesis)."""
+
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relational.table import Table
+from repro.sketches.base import SketchSide, build_sketch
+from repro.sketches.join import join_sketches
+from repro.sketches.kmv import KMVSketch
+
+METHODS = ("TUPSK", "LV2SK", "PRISK", "INDSK", "CSK")
+
+keys = st.sampled_from([f"k{i}" for i in range(12)])
+values = st.integers(min_value=-50, max_value=50)
+
+
+@st.composite
+def key_value_table(draw, name, min_rows=1, max_rows=60):
+    size = draw(st.integers(min_value=min_rows, max_value=max_rows))
+    key_list = draw(st.lists(keys, min_size=size, max_size=size))
+    value_list = draw(st.lists(values, min_size=size, max_size=size))
+    return Table.from_dict({"key": key_list, "value": value_list}, name=name)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    key_value_table("t"),
+    st.sampled_from(METHODS),
+    st.integers(min_value=1, max_value=64),
+    st.integers(min_value=0, max_value=10_000),
+)
+def test_base_sketch_size_bounds(table, method, capacity, seed):
+    """Base sketches never exceed 2n (LV2SK/PRISK) or n (all other methods)."""
+    sketch = build_sketch(
+        table, "key", "value", method=method, capacity=capacity, seed=seed
+    )
+    limit = 2 * capacity if method in ("LV2SK", "PRISK") else capacity
+    assert len(sketch) <= limit
+    assert len(sketch) <= table.num_rows
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    key_value_table("t"),
+    st.sampled_from(METHODS),
+    st.integers(min_value=1, max_value=64),
+    st.integers(min_value=0, max_value=10_000),
+)
+def test_candidate_sketch_keys_unique_and_bounded(table, method, capacity, seed):
+    sketch = build_sketch(
+        table, "key", "value",
+        method=method, side=SketchSide.CANDIDATE, capacity=capacity, seed=seed, agg="avg",
+    )
+    assert len(sketch) <= capacity
+    assert len(set(sketch.key_ids)) == len(sketch.key_ids)
+    assert len(sketch) <= table.column("key").distinct_count()
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    key_value_table("base"),
+    key_value_table("cand"),
+    st.sampled_from(METHODS),
+    st.integers(min_value=1, max_value=64),
+    st.integers(min_value=0, max_value=10_000),
+)
+def test_sketch_join_pairs_are_subset_of_true_join(base, cand, method, capacity, seed):
+    """Every (feature, target) pair recovered by the sketch join must occur in
+    the true augmentation join (with AVG featurization)."""
+    base_sketch = build_sketch(
+        base, "key", "value", method=method, capacity=capacity, seed=seed
+    )
+    cand_sketch = build_sketch(
+        cand, "key", "value",
+        method=method, side=SketchSide.CANDIDATE, capacity=capacity, seed=seed, agg="avg",
+    )
+    joined = join_sketches(base_sketch, cand_sketch)
+
+    if method == "CSK":
+        # CSK keeps first-seen values rather than sampling/aggregating, so its
+        # pairs follow different semantics; only the size bound applies.
+        assert joined.join_size <= len(base_sketch)
+        return
+
+    aggregated = {
+        key: sum(group) / len(group)
+        for key, group in _group(cand).items()
+    }
+    true_pairs = Counter(
+        (aggregated[key], target)
+        for key, target in zip(base.column("key").values, base.column("value").values)
+        if key in aggregated
+    )
+    sketch_pairs = Counter(joined.pairs())
+    for pair, count in sketch_pairs.items():
+        assert true_pairs[pair] >= count
+
+
+def _group(table):
+    groups = {}
+    for key, value in zip(table.column("key").values, table.column("value").values):
+        groups.setdefault(key, []).append(value)
+    return groups
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    key_value_table("t", min_rows=2, max_rows=80),
+    st.sampled_from(METHODS),
+    st.integers(min_value=1, max_value=32),
+    st.integers(min_value=0, max_value=10_000),
+)
+def test_sketches_are_deterministic(table, method, capacity, seed):
+    first = build_sketch(table, "key", "value", method=method, capacity=capacity, seed=seed)
+    second = build_sketch(table, "key", "value", method=method, capacity=capacity, seed=seed)
+    assert first.key_ids == second.key_ids
+    assert first.values == second.values
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(st.text(min_size=1, max_size=8), min_size=1, max_size=200),
+    st.integers(min_value=1, max_value=64),
+)
+def test_kmv_distinct_estimate_exact_when_under_capacity(values, capacity):
+    sketch = KMVSketch(capacity=capacity).update(values)
+    distinct = len(set(values))
+    assert len(sketch) == min(distinct, capacity)
+    if distinct < capacity:
+        # Exact count while the sketch is not full.
+        assert sketch.distinct_count_estimate() == distinct
+    else:
+        # A full sketch has seen at least `capacity` distinct values.
+        assert sketch.distinct_count_estimate() >= capacity
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.text(min_size=1, max_size=6), min_size=1, max_size=100))
+def test_kmv_self_similarity(values):
+    first = KMVSketch.from_values(values, capacity=64)
+    second = KMVSketch.from_values(values, capacity=64)
+    assert first.jaccard_estimate(second) == 1.0
+    assert first.containment_estimate(second) == 1.0

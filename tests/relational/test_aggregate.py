@@ -1,0 +1,130 @@
+"""Tests for aggregation functions and group-by aggregation."""
+
+import pytest
+
+from repro.exceptions import AggregationError
+from repro.relational.aggregate import (
+    AggregateFunction,
+    aggregate_values,
+    available_aggregates,
+    get_aggregate,
+    group_by_aggregate,
+    output_dtype,
+)
+from repro.relational.dtypes import DType
+
+
+class TestGetAggregate:
+    def test_by_name_case_insensitive(self):
+        assert get_aggregate("AVG") is AggregateFunction.AVG
+        assert get_aggregate("mode") is AggregateFunction.MODE
+
+    def test_by_enum_passthrough(self):
+        assert get_aggregate(AggregateFunction.SUM) is AggregateFunction.SUM
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(AggregationError):
+            get_aggregate("variance")
+
+    def test_non_string_raises(self):
+        with pytest.raises(AggregationError):
+            get_aggregate(42)
+
+    def test_available_aggregates_contains_core_functions(self):
+        names = {agg.value for agg in available_aggregates()}
+        assert {"avg", "sum", "count", "min", "max", "mode", "first", "median"} <= names
+
+
+class TestAggregateValues:
+    def test_avg(self):
+        assert aggregate_values([1, 2, 2, 5], "avg") == pytest.approx(2.5)
+
+    def test_sum(self):
+        assert aggregate_values([1, 2, 3], "sum") == 6
+
+    def test_count_counts_non_missing(self):
+        assert aggregate_values([1, None, 3], "count") == 2
+
+    def test_count_empty_group_is_zero(self):
+        assert aggregate_values([None, None], "count") == 0
+
+    def test_min_max(self):
+        assert aggregate_values([3, 1, 2], "min") == 1
+        assert aggregate_values([3, 1, 2], "max") == 3
+
+    def test_median(self):
+        assert aggregate_values([1, 5, 2], "median") == pytest.approx(2.0)
+
+    def test_mode_most_frequent(self):
+        assert aggregate_values(["a", "b", "b", "c"], "mode") == "b"
+
+    def test_mode_tie_broken_by_first_appearance(self):
+        assert aggregate_values(["x", "y", "y", "x"], "mode") == "x"
+
+    def test_first(self):
+        assert aggregate_values([None, 7, 8], "first") == 7
+
+    def test_all_missing_yields_none(self):
+        assert aggregate_values([None, None], "avg") is None
+        assert aggregate_values([], "max") is None
+
+    def test_numeric_only_aggregates_reject_strings(self):
+        with pytest.raises(AggregationError):
+            aggregate_values(["a", "b"], "avg")
+
+    def test_paper_example2_avg_mode_count(self):
+        """Example 2 of the paper: grouped values aggregated with AVG/MODE/COUNT."""
+        groups = {"a": [1], "b": [2, 2, 5], "c": [0, 3, 3]}
+        assert {k: aggregate_values(v, "avg") for k, v in groups.items()} == {
+            "a": 1,
+            "b": 3,
+            "c": 2,
+        }
+        assert {k: aggregate_values(v, "mode") for k, v in groups.items()} == {
+            "a": 1,
+            "b": 2,
+            "c": 3,
+        }
+        assert {k: aggregate_values(v, "count") for k, v in groups.items()} == {
+            "a": 1,
+            "b": 3,
+            "c": 3,
+        }
+
+    def test_enum_is_callable(self):
+        assert AggregateFunction.SUM([1, 2]) == 3
+
+
+class TestOutputDtype:
+    def test_count_is_int_regardless_of_input(self):
+        assert output_dtype("count", DType.STRING) is DType.INT
+        assert output_dtype("count", DType.FLOAT) is DType.INT
+
+    def test_avg_is_float(self):
+        assert output_dtype("avg", DType.INT) is DType.FLOAT
+
+    def test_mode_preserves_input(self):
+        assert output_dtype("mode", DType.STRING) is DType.STRING
+        assert output_dtype("mode", DType.FLOAT) is DType.FLOAT
+
+    def test_sum_promotes_int(self):
+        assert output_dtype("sum", DType.INT) is DType.INT
+        assert output_dtype("sum", DType.FLOAT) is DType.FLOAT
+
+
+class TestGroupByAggregate:
+    def test_basic_grouping(self):
+        keys = ["a", "a", "b", "c", "c", "c"]
+        values = [1, 3, 10, 2, 4, 6]
+        assert group_by_aggregate(keys, values, "avg") == {"a": 2.0, "b": 10.0, "c": 4.0}
+
+    def test_null_keys_dropped(self):
+        assert group_by_aggregate([None, "a"], [1, 2], "sum") == {"a": 2}
+
+    def test_insertion_order_preserved(self):
+        result = group_by_aggregate(["z", "a", "z"], [1, 2, 3], "count")
+        assert list(result.keys()) == ["z", "a"]
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(AggregationError):
+            group_by_aggregate(["a"], [1, 2], "sum")

@@ -1,0 +1,115 @@
+"""Tests for the Column class."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.relational.column import Column
+from repro.relational.dtypes import DType
+
+
+class TestConstruction:
+    def test_infers_dtype(self):
+        assert Column("a", [1, 2, 3]).dtype is DType.INT
+        assert Column("a", [1.5, 2.0]).dtype is DType.FLOAT
+        assert Column("a", ["x", "y"]).dtype is DType.STRING
+
+    def test_explicit_dtype_coerces_values(self):
+        column = Column("a", ["1", "2"], dtype=DType.INT)
+        assert column.values == [1, 2]
+
+    def test_missing_become_none(self):
+        column = Column("a", [1, None, "NA", 4])
+        assert column.values == [1, None, None, 4]
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Column("", [1, 2])
+
+    def test_empty_column_allowed(self):
+        column = Column("a", [])
+        assert len(column) == 0
+        assert column.dtype is DType.MISSING
+
+
+class TestAccess:
+    def test_len_and_iter(self):
+        column = Column("a", [10, 20, 30])
+        assert len(column) == 3
+        assert list(column) == [10, 20, 30]
+
+    def test_indexing(self):
+        column = Column("a", [10, 20, 30])
+        assert column[1] == 20
+
+    def test_slicing_returns_column(self):
+        column = Column("a", [10, 20, 30, 40])
+        sliced = column[1:3]
+        assert isinstance(sliced, Column)
+        assert sliced.values == [20, 30]
+
+    def test_fancy_indexing(self):
+        column = Column("a", [10, 20, 30, 40])
+        assert column[[0, 3]].values == [10, 40]
+
+    def test_equality(self):
+        assert Column("a", [1, 2]) == Column("a", [1, 2])
+        assert Column("a", [1, 2]) != Column("b", [1, 2])
+        assert Column("a", [1, 2]) != Column("a", [1, 3])
+
+
+class TestDerivation:
+    def test_rename(self):
+        column = Column("a", [1, 2]).rename("b")
+        assert column.name == "b"
+        assert column.values == [1, 2]
+
+    def test_take_with_repeats(self):
+        column = Column("a", [10, 20, 30])
+        assert column.take([2, 0, 0]).values == [30, 10, 10]
+
+    def test_with_values_keeps_dtype(self):
+        column = Column("a", [1.0, 2.0])
+        derived = column.with_values([3, 4])
+        assert derived.dtype is DType.FLOAT
+        assert derived.values == [3.0, 4.0]
+
+    def test_head(self):
+        assert Column("a", list(range(10))).head(3).values == [0, 1, 2]
+
+
+class TestStatistics:
+    def test_null_count(self):
+        assert Column("a", [1, None, 3, None]).null_count() == 2
+
+    def test_non_null_values(self):
+        assert Column("a", [1, None, 3]).non_null_values() == [1, 3]
+
+    def test_distinct_count(self):
+        column = Column("a", ["x", "y", "x", None])
+        assert column.distinct_count() == 2
+        assert column.distinct_count(include_null=True) == 3
+
+    def test_value_counts(self):
+        counts = Column("a", ["x", "y", "x"]).value_counts()
+        assert counts["x"] == 2
+        assert counts["y"] == 1
+
+    def test_is_numeric_and_categorical(self):
+        assert Column("a", [1.0]).is_numeric()
+        assert not Column("a", [1.0]).is_categorical()
+        assert Column("a", ["s"]).is_categorical()
+
+
+class TestNumpyConversion:
+    def test_numeric_to_numpy(self):
+        array = Column("a", [1, None, 3]).to_numpy()
+        assert array.dtype == np.float64
+        assert array[0] == 1.0
+        assert np.isnan(array[1])
+
+    def test_string_to_numpy(self):
+        array = Column("a", ["x", None]).to_numpy()
+        assert array.dtype == object
+        assert array[0] == "x"
+        assert array[1] is None

@@ -1,0 +1,67 @@
+"""Tests for CSV reading and writing."""
+
+import io
+
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.relational.csvio import read_csv, write_csv
+from repro.relational.dtypes import DType
+from repro.relational.table import Table
+
+
+class TestReadCsv:
+    def test_reads_and_infers_types(self):
+        buffer = io.StringIO("zip,trips,city\n11201,136,Brooklyn\n10011,112,Manhattan\n")
+        table = read_csv(buffer, name="trips")
+        assert table.name == "trips"
+        assert table.column("zip").dtype is DType.INT
+        assert table.column("trips").values == [136, 112]
+        assert table.column("city").dtype is DType.STRING
+
+    def test_empty_fields_become_missing(self):
+        buffer = io.StringIO("a,b\n1,\n,2\n")
+        table = read_csv(buffer)
+        assert table.column("a").values == [1, None]
+        assert table.column("b").values == [None, 2]
+
+    def test_projection_at_read_time(self):
+        buffer = io.StringIO("a,b,c\n1,2,3\n")
+        table = read_csv(buffer, columns=["c", "a"])
+        assert table.column_names == ("c", "a")
+
+    def test_empty_input_raises(self):
+        with pytest.raises(SchemaError):
+            read_csv(io.StringIO(""))
+
+    def test_ragged_rows_raise(self):
+        with pytest.raises(SchemaError):
+            read_csv(io.StringIO("a,b\n1\n"))
+
+    def test_custom_delimiter(self):
+        table = read_csv(io.StringIO("a;b\n1;2\n"), delimiter=";")
+        assert table.column("b").values == [2]
+
+
+class TestWriteCsv:
+    def test_roundtrip_through_file(self, tmp_path, taxi_table):
+        path = tmp_path / "taxi.csv"
+        write_csv(taxi_table, path)
+        restored = read_csv(path)
+        assert restored.column("zipcode").values == [
+            int(z) for z in taxi_table.column("zipcode").values
+        ] or restored.column("zipcode").values == taxi_table.column("zipcode").values
+        assert restored.column("num_trips").values == taxi_table.column("num_trips").values
+        assert restored.name == "taxi"
+
+    def test_missing_written_as_empty(self):
+        table = Table.from_dict({"a": [1, None], "b": ["x", "y"]})
+        buffer = io.StringIO()
+        write_csv(table, buffer)
+        assert buffer.getvalue().splitlines() == ["a,b", "1,x", ",y"]
+
+    def test_roundtrip_preserves_row_count(self, tmp_path):
+        table = Table.from_dict({"a": list(range(50)), "b": [f"v{i}" for i in range(50)]})
+        path = tmp_path / "data.csv"
+        write_csv(table, path)
+        assert read_csv(path).num_rows == 50

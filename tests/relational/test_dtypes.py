@@ -1,0 +1,118 @@
+"""Tests for column data types and type inference."""
+
+import math
+
+import pytest
+
+from repro.exceptions import TypeInferenceError
+from repro.relational.dtypes import (
+    DType,
+    coerce_value,
+    infer_column_dtype,
+    infer_dtype,
+    is_missing_value,
+)
+
+
+class TestIsMissingValue:
+    def test_none_is_missing(self):
+        assert is_missing_value(None)
+
+    def test_nan_is_missing(self):
+        assert is_missing_value(float("nan"))
+
+    def test_empty_string_is_missing(self):
+        assert is_missing_value("")
+
+    def test_common_null_tokens_are_missing(self):
+        for token in ("NA", "n/a", "NULL", "None", "-", "?", "nan"):
+            assert is_missing_value(token), token
+
+    def test_regular_values_are_not_missing(self):
+        for value in (0, 0.0, "0", "abc", "no", False):
+            assert not is_missing_value(value), value
+
+
+class TestInferDtype:
+    def test_int(self):
+        assert infer_dtype(5) is DType.INT
+
+    def test_float(self):
+        assert infer_dtype(5.5) is DType.FLOAT
+
+    def test_string(self):
+        assert infer_dtype("hello") is DType.STRING
+
+    def test_numeric_looking_string_is_int(self):
+        assert infer_dtype("42") is DType.INT
+        assert infer_dtype("-7") is DType.INT
+
+    def test_float_looking_string_is_float(self):
+        assert infer_dtype("3.14") is DType.FLOAT
+        assert infer_dtype("1e-3") is DType.FLOAT
+
+    def test_missing(self):
+        assert infer_dtype(None) is DType.MISSING
+        assert infer_dtype("") is DType.MISSING
+
+    def test_bool_is_categorical(self):
+        assert infer_dtype(True) is DType.STRING
+
+
+class TestInferColumnDtype:
+    def test_all_ints(self):
+        assert infer_column_dtype([1, 2, 3]) is DType.INT
+
+    def test_ints_and_floats_promote_to_float(self):
+        assert infer_column_dtype([1, 2.5, 3]) is DType.FLOAT
+
+    def test_any_string_dominates(self):
+        assert infer_column_dtype([1, 2.5, "x"]) is DType.STRING
+
+    def test_missing_values_are_ignored(self):
+        assert infer_column_dtype([None, 1, None, 2]) is DType.INT
+
+    def test_all_missing(self):
+        assert infer_column_dtype([None, "", None]) is DType.MISSING
+
+    def test_numeric_strings(self):
+        assert infer_column_dtype(["1", "2", "3"]) is DType.INT
+        assert infer_column_dtype(["1.5", "2"]) is DType.FLOAT
+
+
+class TestCoerceValue:
+    def test_coerce_to_string(self):
+        assert coerce_value(42, DType.STRING) == "42"
+
+    def test_coerce_to_int(self):
+        assert coerce_value("42", DType.INT) == 42
+        assert coerce_value(42.0, DType.INT) == 42
+
+    def test_coerce_to_float(self):
+        assert coerce_value("3.5", DType.FLOAT) == pytest.approx(3.5)
+
+    def test_missing_always_none(self):
+        for dtype in DType:
+            assert coerce_value(None, dtype) is None
+            assert coerce_value("NA", dtype) is None
+
+    def test_invalid_coercion_raises(self):
+        with pytest.raises(TypeInferenceError):
+            coerce_value("not-a-number", DType.FLOAT)
+        with pytest.raises(TypeInferenceError):
+            coerce_value("abc", DType.INT)
+
+    def test_nan_treated_as_missing(self):
+        assert coerce_value(math.nan, DType.FLOAT) is None
+
+
+class TestDTypeProperties:
+    def test_numeric_flags(self):
+        assert DType.INT.is_numeric
+        assert DType.FLOAT.is_numeric
+        assert not DType.STRING.is_numeric
+
+    def test_categorical_flags(self):
+        assert DType.STRING.is_categorical
+        assert not DType.INT.is_categorical
+        assert not DType.FLOAT.is_categorical

@@ -1,0 +1,95 @@
+"""Tests for the featurization (join-aggregation) query."""
+
+import pytest
+
+from repro.relational.dtypes import DType
+from repro.relational.featurize import augment, featurize
+from repro.relational.table import Table
+
+
+class TestFeaturize:
+    def test_produces_unique_keys(self, weather_table):
+        aug = featurize(weather_table, "date", "temp", "avg")
+        assert aug.num_rows == weather_table.column("date").distinct_count()
+        assert aug.column("date").distinct_count() == aug.num_rows
+
+    def test_default_feature_name(self, weather_table):
+        aug = featurize(weather_table, "date", "temp", "avg")
+        assert "avg_temp" in aug
+
+    def test_custom_feature_name(self, weather_table):
+        aug = featurize(weather_table, "date", "temp", "max", feature_name="peak")
+        assert "peak" in aug
+
+    def test_count_feature_dtype(self, weather_table):
+        aug = featurize(weather_table, "date", "conditions", "count")
+        assert aug.column("count_conditions").dtype is DType.INT
+
+    def test_paper_example2(self):
+        """Example 2 of the paper, reproduced end to end."""
+        train = Table.from_dict({"key": ["a", "a", "b", "c"], "target": [1, 1, 1, 1]})
+        cand = Table.from_dict(
+            {"key": ["a", "b", "b", "b", "c", "c", "c"], "z": [1, 2, 2, 5, 0, 3, 3]}
+        )
+        augmented_avg = augment(
+            train, cand, base_key="key", candidate_key="key",
+            candidate_value="z", agg="avg", feature_name="x",
+        )
+        assert augmented_avg.column("x").values == [1, 1, 3, 2]
+
+        augmented_mode = augment(
+            train, cand, base_key="key", candidate_key="key",
+            candidate_value="z", agg="mode", feature_name="x",
+        )
+        assert augmented_mode.column("x").values == [1, 1, 2, 3]
+
+        augmented_count = augment(
+            train, cand, base_key="key", candidate_key="key",
+            candidate_value="z", agg="count", feature_name="x",
+        )
+        assert augmented_count.column("x").values == [1, 1, 3, 3]
+
+
+class TestAugment:
+    def test_row_count_preserved(self, taxi_table, weather_table):
+        augmented = augment(
+            taxi_table,
+            weather_table,
+            base_key="date",
+            candidate_key="date",
+            candidate_value="temp",
+            agg="avg",
+        )
+        assert augmented.num_rows == taxi_table.num_rows
+
+    def test_unmatched_dates_get_missing_feature(self, taxi_table, weather_table):
+        augmented = augment(
+            taxi_table,
+            weather_table,
+            base_key="date",
+            candidate_key="date",
+            candidate_value="temp",
+            agg="avg",
+        )
+        # 2017-01-04 has no weather reading.
+        missing_rows = [
+            row for row in augmented.iter_rows() if row["date"] == "2017-01-04"
+        ]
+        assert missing_rows and all(row["avg_temp"] is None for row in missing_rows)
+
+    def test_repeated_base_keys_get_repeated_features(self, taxi_table, weather_table):
+        augmented = augment(
+            taxi_table,
+            weather_table,
+            base_key="date",
+            candidate_key="date",
+            candidate_value="temp",
+            agg="avg",
+        )
+        first_day = [
+            row["avg_temp"]
+            for row in augmented.iter_rows()
+            if row["date"] == "2017-01-01"
+        ]
+        assert len(first_day) == 2
+        assert first_day[0] == first_day[1] == pytest.approx((44.1 + 42.0) / 2)

@@ -1,0 +1,95 @@
+"""Tests for inner and left-outer equi-joins."""
+
+import pytest
+
+from repro.exceptions import JoinError
+from repro.relational.join import inner_join, join_cardinality, left_outer_join
+from repro.relational.table import Table
+
+
+class TestInnerJoin:
+    def test_one_to_one(self, taxi_table, demographics_table):
+        joined = inner_join(taxi_table, demographics_table, "zipcode")
+        assert joined.num_rows == taxi_table.num_rows  # every zipcode matches
+        assert "borough" in joined
+        assert "population" in joined
+
+    def test_non_matching_rows_dropped(self):
+        left = Table.from_dict({"k": ["a", "b"], "v": [1, 2]})
+        right = Table.from_dict({"k": ["b", "c"], "w": [10, 20]})
+        joined = inner_join(left, right, "k")
+        assert joined.num_rows == 1
+        assert joined.row(0) == {"k": "b", "v": 2, "w": 10}
+
+    def test_many_to_many_multiplies(self):
+        left = Table.from_dict({"k": ["a", "a"], "v": [1, 2]})
+        right = Table.from_dict({"k": ["a", "a", "a"], "w": [1, 2, 3]})
+        assert inner_join(left, right, "k").num_rows == 6
+
+    def test_null_keys_never_match(self):
+        left = Table.from_dict({"k": [None, "a"], "v": [1, 2]})
+        right = Table.from_dict({"k": [None, "a"], "w": [3, 4]})
+        joined = inner_join(left, right, "k")
+        assert joined.num_rows == 1
+
+    def test_name_clash_gets_suffix(self):
+        left = Table.from_dict({"k": ["a"], "v": [1]})
+        right = Table.from_dict({"k": ["a"], "v": [9]})
+        joined = inner_join(left, right, "k")
+        assert set(joined.column_names) == {"k", "v", "v_right"}
+
+    def test_missing_key_column_raises(self, taxi_table, demographics_table):
+        with pytest.raises(JoinError):
+            inner_join(taxi_table, demographics_table, "nope")
+        with pytest.raises(JoinError):
+            inner_join(taxi_table, demographics_table, "zipcode", "nope")
+
+    def test_different_key_names(self):
+        left = Table.from_dict({"zip_left": ["a"], "v": [1]})
+        right = Table.from_dict({"zip_right": ["a"], "w": [2]})
+        joined = inner_join(left, right, "zip_left", "zip_right")
+        assert joined.num_rows == 1
+
+
+class TestLeftOuterJoin:
+    def test_preserves_left_rows(self, taxi_table, weather_table):
+        aggregated = weather_table.group_by("date", "temp", "avg")
+        joined = left_outer_join(taxi_table, aggregated, "date")
+        assert joined.num_rows == taxi_table.num_rows
+
+    def test_unmatched_rows_get_none(self):
+        left = Table.from_dict({"k": ["a", "z"], "v": [1, 2]})
+        right = Table.from_dict({"k": ["a"], "w": [10]})
+        joined = left_outer_join(left, right, "k")
+        assert joined.column("w").values == [10, None]
+
+    def test_expect_unique_right_keys_raises_on_duplicates(self, taxi_table, weather_table):
+        with pytest.raises(JoinError):
+            left_outer_join(
+                taxi_table, weather_table, "date", expect_unique_right_keys=True
+            )
+
+    def test_many_to_one_matches_example1(self, taxi_table, demographics_table):
+        """The paper's Figure 1: augmenting taxi trips with demographics by ZIP."""
+        joined = left_outer_join(taxi_table, demographics_table, "zipcode")
+        assert joined.num_rows == taxi_table.num_rows
+        boroughs = joined.column("borough").values
+        assert set(boroughs) == {"Brooklyn", "Manhattan"}
+
+    def test_null_left_keys_kept_with_null_feature(self):
+        left = Table.from_dict({"k": [None, "a"], "v": [1, 2]})
+        right = Table.from_dict({"k": ["a"], "w": [10]})
+        joined = left_outer_join(left, right, "k")
+        assert joined.num_rows == 2
+        assert joined.column("w").values == [None, 10]
+
+
+class TestJoinCardinality:
+    def test_matches_inner_join_size(self, taxi_table, weather_table):
+        expected = inner_join(taxi_table, weather_table, "date").num_rows
+        assert join_cardinality(taxi_table, weather_table, "date") == expected
+
+    def test_zero_when_disjoint(self):
+        left = Table.from_dict({"k": ["a"], "v": [1]})
+        right = Table.from_dict({"k": ["b"], "w": [1]})
+        assert join_cardinality(left, right, "k") == 0

@@ -1,0 +1,161 @@
+"""Tests for the Table class."""
+
+import pytest
+
+from repro.exceptions import ColumnNotFoundError, SchemaError
+from repro.relational.column import Column
+from repro.relational.dtypes import DType
+from repro.relational.table import Table
+
+
+class TestConstruction:
+    def test_from_dict(self):
+        table = Table.from_dict({"a": [1, 2], "b": ["x", "y"]}, name="t")
+        assert table.num_rows == 2
+        assert table.num_columns == 2
+        assert table.column_names == ("a", "b")
+        assert table.name == "t"
+
+    def test_from_rows(self):
+        table = Table.from_rows([[1, "x"], [2, "y"]], ["a", "b"])
+        assert table.column("a").values == [1, 2]
+        assert table.column("b").values == ["x", "y"]
+
+    def test_from_rows_empty(self):
+        table = Table.from_rows([], ["a", "b"])
+        assert table.num_rows == 0
+
+    def test_duplicate_column_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Table([Column("a", [1]), Column("a", [2])])
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(SchemaError):
+            Table([Column("a", [1, 2]), Column("b", [1])])
+
+    def test_no_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            Table([])
+
+    def test_from_rows_bad_width_rejected(self):
+        with pytest.raises(SchemaError):
+            Table.from_rows([[1, 2], [3]], ["a", "b"])
+
+
+class TestAccess:
+    def test_column_lookup(self, taxi_table):
+        assert taxi_table.column("zipcode").values[0] == "11201"
+        assert taxi_table["num_trips"].dtype is DType.INT
+
+    def test_missing_column_raises(self, taxi_table):
+        with pytest.raises(ColumnNotFoundError) as excinfo:
+            taxi_table.column("missing")
+        assert "missing" in str(excinfo.value)
+        assert "zipcode" in str(excinfo.value)
+
+    def test_row_and_iter_rows(self, taxi_table):
+        row = taxi_table.row(0)
+        assert row == {"date": "2017-01-01", "zipcode": "11201", "num_trips": 136}
+        assert len(list(taxi_table.iter_rows())) == taxi_table.num_rows
+
+    def test_contains(self, taxi_table):
+        assert "date" in taxi_table
+        assert "nope" not in taxi_table
+
+    def test_schema(self, taxi_table):
+        schema = taxi_table.schema()
+        assert schema["date"] is DType.STRING
+        assert schema["num_trips"] is DType.INT
+
+    def test_to_dict_roundtrip(self, taxi_table):
+        rebuilt = Table.from_dict(
+            taxi_table.to_dict(), name=taxi_table.name, dtypes=taxi_table.schema()
+        )
+        assert rebuilt == taxi_table
+
+
+class TestRelationalOperations:
+    def test_select(self, taxi_table):
+        projected = taxi_table.select(["num_trips", "date"])
+        assert projected.column_names == ("num_trips", "date")
+        assert projected.num_rows == taxi_table.num_rows
+
+    def test_with_column_appends(self, taxi_table):
+        extended = taxi_table.with_column(
+            Column("flag", [1] * taxi_table.num_rows)
+        )
+        assert "flag" in extended
+        assert taxi_table.num_columns + 1 == extended.num_columns
+
+    def test_with_column_replaces_same_name(self, taxi_table):
+        replaced = taxi_table.with_column(
+            Column("num_trips", [0] * taxi_table.num_rows)
+        )
+        assert replaced.column("num_trips").values == [0] * taxi_table.num_rows
+        assert replaced.num_columns == taxi_table.num_columns
+
+    def test_with_column_length_mismatch(self, taxi_table):
+        with pytest.raises(SchemaError):
+            taxi_table.with_column(Column("bad", [1]))
+
+    def test_rename_columns(self, taxi_table):
+        renamed = taxi_table.rename_columns({"num_trips": "trips"})
+        assert "trips" in renamed
+        assert "num_trips" not in renamed
+
+    def test_take(self, taxi_table):
+        taken = taxi_table.take([0, 0, 5])
+        assert taken.num_rows == 3
+        assert taken.column("zipcode").values == ["11201", "11201", "10011"]
+
+    def test_filter(self, taxi_table):
+        brooklyn = taxi_table.filter(lambda row: row["zipcode"] == "11201")
+        assert brooklyn.num_rows == 3
+
+    def test_drop_nulls(self):
+        table = Table.from_dict({"a": [1, None, 3], "b": ["x", "y", None]})
+        assert table.drop_nulls().num_rows == 1
+        assert table.drop_nulls(["a"]).num_rows == 2
+
+    def test_head(self, taxi_table):
+        assert taxi_table.head(2).num_rows == 2
+
+    def test_sample_rows_deterministic(self, taxi_table):
+        first = taxi_table.sample_rows(3, random_state=1)
+        second = taxi_table.sample_rows(3, random_state=1)
+        assert first == second
+        assert first.num_rows == 3
+
+    def test_sort_by(self, taxi_table):
+        ordered = taxi_table.sort_by("num_trips")
+        values = ordered.column("num_trips").values
+        assert values == sorted(values)
+
+    def test_sort_by_descending(self, taxi_table):
+        ordered = taxi_table.sort_by("num_trips", descending=True)
+        values = ordered.column("num_trips").values
+        assert values == sorted(values, reverse=True)
+
+
+class TestGroupBy:
+    def test_group_by_avg(self, weather_table):
+        aggregated = weather_table.group_by("date", "temp", "avg")
+        assert aggregated.num_rows == 4
+        mapping = dict(zip(aggregated.column("date"), aggregated.column("temp")))
+        assert mapping["2017-01-01"] == pytest.approx((44.1 + 42.0) / 2)
+
+    def test_group_by_count_output_dtype(self, weather_table):
+        aggregated = weather_table.group_by(
+            "date", "conditions", "count", value_output="n"
+        )
+        assert aggregated.column("n").dtype is DType.INT
+
+    def test_group_by_drops_null_keys(self):
+        table = Table.from_dict({"k": ["a", None, "a"], "v": [1, 2, 3]})
+        aggregated = table.group_by("k", "v", "sum")
+        assert aggregated.num_rows == 1
+        assert aggregated.column("v").values == [4]
+
+    def test_key_frequencies(self, taxi_table):
+        frequencies = taxi_table.key_frequencies("zipcode")
+        assert frequencies == {"11201": 3, "10011": 3}

@@ -1,0 +1,103 @@
+"""Tests for the sketch data model, registry and build_sketch entry point."""
+
+import pytest
+
+from repro.exceptions import SketchError
+from repro.relational.dtypes import DType
+from repro.relational.table import Table
+from repro.sketches.base import Sketch, SketchSide, available_methods, build_sketch, get_builder
+
+
+class TestRegistry:
+    def test_all_paper_methods_registered(self):
+        methods = available_methods()
+        # Force registration through the factory first.
+        get_builder("TUPSK")
+        methods = available_methods()
+        for method in ("TUPSK", "LV2SK", "PRISK", "INDSK", "CSK"):
+            assert method in methods
+
+    def test_get_builder_case_insensitive(self):
+        assert get_builder("tupsk").method == "TUPSK"
+
+    def test_unknown_method_raises(self):
+        with pytest.raises(SketchError):
+            get_builder("NOPE")
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            get_builder("TUPSK", capacity=0)
+
+
+class TestSketchDataModel:
+    def test_misaligned_entries_rejected(self):
+        with pytest.raises(SketchError):
+            Sketch(
+                method="TUPSK",
+                side=SketchSide.BASE,
+                seed=0,
+                capacity=4,
+                key_ids=[1, 2],
+                values=[1],
+                value_dtype=DType.INT,
+                table_rows=2,
+                distinct_keys=2,
+            )
+
+    def test_summary_and_items(self, taxi_table):
+        sketch = build_sketch(taxi_table, "zipcode", "num_trips", capacity=8)
+        summary = sketch.summary()
+        assert summary["method"] == "TUPSK"
+        assert summary["side"] == SketchSide.BASE
+        assert summary["size"] == len(sketch)
+        assert len(sketch.items()) == len(sketch)
+        assert sketch.key_id_set() <= set(sketch.key_ids)
+
+
+class TestBuildSketch:
+    def test_base_side_default(self, taxi_table):
+        sketch = build_sketch(taxi_table, "zipcode", "num_trips", capacity=16)
+        assert sketch.side == SketchSide.BASE
+        assert sketch.table_rows == taxi_table.num_rows
+        assert sketch.distinct_keys == 2
+        assert sketch.value_dtype is DType.INT
+
+    def test_candidate_side_aggregates(self, weather_table):
+        sketch = build_sketch(
+            weather_table,
+            "date",
+            "temp",
+            side=SketchSide.CANDIDATE,
+            capacity=16,
+            agg="avg",
+        )
+        assert sketch.side == SketchSide.CANDIDATE
+        assert sketch.aggregate == "avg"
+        # One entry per distinct date.
+        assert len(sketch) == weather_table.column("date").distinct_count()
+        assert sketch.value_dtype is DType.FLOAT
+
+    def test_unknown_side_rejected(self, taxi_table):
+        with pytest.raises(SketchError):
+            build_sketch(taxi_table, "zipcode", "num_trips", side="middle")
+
+    def test_null_keys_excluded(self):
+        table = Table.from_dict({"k": ["a", None, "b"], "v": [1, 2, 3]})
+        sketch = build_sketch(table, "k", "v", capacity=10)
+        assert sketch.table_rows == 2
+        assert len(sketch) == 2
+
+    def test_all_null_keys_raise(self):
+        table = Table.from_dict({"k": [None, None], "v": [1, 2]})
+        with pytest.raises(SketchError):
+            build_sketch(table, "k", "v")
+
+    def test_every_method_respects_capacity(self, correlated_pair):
+        base, cand = correlated_pair
+        for method in ("TUPSK", "LV2SK", "PRISK", "INDSK", "CSK"):
+            base_sketch = build_sketch(base, "key", "target", method=method, capacity=64)
+            cand_sketch = build_sketch(
+                cand, "key", "feature", method=method, side=SketchSide.CANDIDATE, capacity=64
+            )
+            assert len(base_sketch) <= 2 * 64, method
+            assert len(cand_sketch) <= 64, method

@@ -1,0 +1,82 @@
+"""Tests for MI estimation on top of sketch joins."""
+
+import math
+
+import pytest
+
+from repro.exceptions import InsufficientSamplesError
+from repro.estimators.mle import MLEEstimator
+from repro.relational.table import Table
+from repro.sketches.base import SketchSide, build_sketch
+from repro.sketches.estimate import estimate_mi_from_join, estimate_mi_from_sketches
+from repro.sketches.join import join_sketches
+from repro.synthetic.benchmark import generate_trinomial_dataset
+from repro.synthetic.decompose import KeyGeneration
+
+
+def sketch_pair_from_dataset(dataset, method="TUPSK", capacity=256, seed=0):
+    base_sketch = build_sketch(
+        dataset.train_table, "key", "target",
+        method=method, side=SketchSide.BASE, capacity=capacity, seed=seed,
+    )
+    cand_sketch = build_sketch(
+        dataset.cand_table, "key", "feature",
+        method=method, side=SketchSide.CANDIDATE, capacity=capacity, seed=seed,
+    )
+    return base_sketch, cand_sketch
+
+
+class TestEstimateFromSketches:
+    def test_estimator_autoselected_from_dtypes(self):
+        base = Table.from_dict({"key": [f"k{i}" for i in range(300)],
+                                "target": ["hot", "cold"] * 150})
+        cand = Table.from_dict({"key": [f"k{i}" for i in range(300)],
+                                "feature": ["sunny", "rainy"] * 150})
+        base_sketch = build_sketch(base, "key", "target", capacity=128)
+        cand_sketch = build_sketch(
+            cand, "key", "feature", side=SketchSide.CANDIDATE, capacity=128, agg="mode"
+        )
+        estimate = estimate_mi_from_sketches(base_sketch, cand_sketch)
+        assert estimate.estimator == "MLE"
+        assert estimate.mi == pytest.approx(math.log(2), abs=0.05)
+
+    def test_explicit_estimator_used(self):
+        dataset = generate_trinomial_dataset(16, 3000, target_mi=1.0, random_state=0)
+        base_sketch, cand_sketch = sketch_pair_from_dataset(dataset)
+        estimate = estimate_mi_from_sketches(
+            base_sketch, cand_sketch, estimator=MLEEstimator()
+        )
+        assert estimate.estimator == "MLE"
+        assert estimate.join_size == 256
+
+    def test_estimate_close_to_truth_on_easy_dataset(self):
+        dataset = generate_trinomial_dataset(
+            16, 10_000, target_mi=1.5, key_generation=KeyGeneration.KEY_DEP, random_state=1
+        )
+        base_sketch, cand_sketch = sketch_pair_from_dataset(dataset, capacity=512)
+        estimate = estimate_mi_from_sketches(base_sketch, cand_sketch)
+        assert estimate.mi == pytest.approx(dataset.true_mi, abs=0.35)
+
+    def test_min_join_size_enforced(self):
+        base = Table.from_dict({"key": ["a", "b"], "target": [1.0, 2.0]})
+        cand = Table.from_dict({"key": ["x", "y"], "feature": [1.0, 2.0]})
+        base_sketch = build_sketch(base, "key", "target", capacity=8)
+        cand_sketch = build_sketch(cand, "key", "feature", side=SketchSide.CANDIDATE, capacity=8)
+        with pytest.raises(InsufficientSamplesError):
+            estimate_mi_from_sketches(base_sketch, cand_sketch, min_join_size=10)
+
+    def test_estimate_from_join_result(self):
+        dataset = generate_trinomial_dataset(16, 2000, target_mi=0.8, random_state=3)
+        base_sketch, cand_sketch = sketch_pair_from_dataset(dataset, capacity=128)
+        join_result = join_sketches(base_sketch, cand_sketch)
+        estimate = estimate_mi_from_join(join_result, estimator=MLEEstimator())
+        assert estimate.join_size == join_result.join_size
+        assert estimate.mi >= 0.0
+
+    def test_result_provenance_fields(self):
+        dataset = generate_trinomial_dataset(16, 2000, target_mi=0.8, random_state=4)
+        base_sketch, cand_sketch = sketch_pair_from_dataset(dataset, capacity=128)
+        estimate = estimate_mi_from_sketches(base_sketch, cand_sketch)
+        assert estimate.base_sketch_size == len(base_sketch)
+        assert estimate.candidate_sketch_size == len(cand_sketch)
+        assert float(estimate) == estimate.mi

@@ -1,0 +1,98 @@
+"""Tests for the sketch join."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import IncompatibleSketchError
+from repro.relational.table import Table
+from repro.sketches.base import SketchSide, build_sketch
+from repro.sketches.join import join_sketches
+
+
+def build_pair(base, cand, method="TUPSK", capacity=64, seed=0, agg="avg"):
+    base_sketch = build_sketch(
+        base, "key", "target", method=method, side=SketchSide.BASE, capacity=capacity, seed=seed
+    )
+    cand_sketch = build_sketch(
+        cand, "key", "feature", method=method, side=SketchSide.CANDIDATE,
+        capacity=capacity, seed=seed, agg=agg,
+    )
+    return base_sketch, cand_sketch
+
+
+class TestJoinSemantics:
+    def test_recovers_subset_of_true_join_pairs(self, correlated_pair):
+        """Every recovered (x, y) pair must exist in the full augmentation join."""
+        base, cand = correlated_pair
+        base_sketch, cand_sketch = build_pair(base, cand, capacity=128)
+        joined = join_sketches(base_sketch, cand_sketch)
+        true_pairs = set(
+            zip(cand.column("feature").values, base.column("target").values)
+        )
+        assert joined.join_size > 0
+        for pair in joined.pairs():
+            assert pair in true_pairs
+
+    def test_full_join_recovered_when_capacity_exceeds_table(self, correlated_pair):
+        base, cand = correlated_pair
+        base_sketch, cand_sketch = build_pair(base, cand, capacity=10_000)
+        joined = join_sketches(base_sketch, cand_sketch)
+        assert joined.join_size == base.num_rows
+
+    def test_join_size_bounded_by_sketch_sizes(self, correlated_pair):
+        base, cand = correlated_pair
+        base_sketch, cand_sketch = build_pair(base, cand, capacity=32)
+        joined = join_sketches(base_sketch, cand_sketch)
+        assert joined.join_size <= len(base_sketch)
+
+    def test_disjoint_keys_empty_join(self):
+        base = Table.from_dict({"key": ["a", "b"], "target": [1, 2]})
+        cand = Table.from_dict({"key": ["x", "y"], "feature": [3, 4]})
+        base_sketch, cand_sketch = build_pair(base, cand, capacity=8)
+        assert join_sketches(base_sketch, cand_sketch).join_size == 0
+
+    def test_repeated_base_keys_join_repeatedly(self):
+        base = Table.from_dict({"key": ["a", "a", "a", "b"], "target": [1, 2, 3, 4]})
+        cand = Table.from_dict({"key": ["a", "b"], "feature": [10.0, 20.0]})
+        base_sketch, cand_sketch = build_pair(base, cand, capacity=16)
+        joined = join_sketches(base_sketch, cand_sketch)
+        assert joined.join_size == 4
+        assert sorted(joined.x_values) == [10.0, 10.0, 10.0, 20.0]
+
+    def test_metadata_propagated(self, correlated_pair):
+        base, cand = correlated_pair
+        base_sketch, cand_sketch = build_pair(base, cand)
+        joined = join_sketches(base_sketch, cand_sketch)
+        assert joined.base_method == "TUPSK"
+        assert joined.metadata["aggregate"] == "avg"
+        assert joined.x_dtype.is_numeric
+        assert joined.y_dtype.is_numeric
+
+
+class TestCompatibilityChecks:
+    def test_different_seeds_rejected(self, correlated_pair):
+        base, cand = correlated_pair
+        base_sketch, _ = build_pair(base, cand, seed=0)
+        _, cand_sketch = build_pair(base, cand, seed=1)
+        with pytest.raises(IncompatibleSketchError):
+            join_sketches(base_sketch, cand_sketch)
+
+    def test_wrong_side_rejected(self, correlated_pair):
+        base, cand = correlated_pair
+        base_sketch, cand_sketch = build_pair(base, cand)
+        with pytest.raises(IncompatibleSketchError):
+            join_sketches(cand_sketch, base_sketch)
+
+    def test_wrong_side_allowed_when_not_strict(self, correlated_pair):
+        base, cand = correlated_pair
+        base_sketch, cand_sketch = build_pair(base, cand)
+        joined = join_sketches(cand_sketch, base_sketch, strict_sides=False)
+        assert joined.join_size > 0
+
+    def test_cross_method_join_works_with_same_seed(self, correlated_pair):
+        """Sketches of different methods share the hash, so they can still join."""
+        base, cand = correlated_pair
+        base_sketch, _ = build_pair(base, cand, method="TUPSK", capacity=64)
+        _, cand_sketch = build_pair(base, cand, method="LV2SK", capacity=64)
+        joined = join_sketches(base_sketch, cand_sketch)
+        assert joined.join_size > 0

@@ -1,0 +1,86 @@
+"""Tests for the KMV distinct-value sketch."""
+
+import pytest
+
+from repro.exceptions import SketchError
+from repro.sketches.kmv import KMVSketch
+
+
+class TestConstruction:
+    def test_size_bounded_by_capacity(self):
+        sketch = KMVSketch(capacity=16).update(f"v{i}" for i in range(1000))
+        assert len(sketch) == 16
+
+    def test_duplicates_ignored(self):
+        sketch = KMVSketch(capacity=64).update(["a", "a", "b", "b", "b"])
+        assert len(sketch) == 2
+
+    def test_none_ignored(self):
+        sketch = KMVSketch(capacity=8).update(["a", None, "b"])
+        assert len(sketch) == 2
+
+    def test_keeps_minimum_hashes(self):
+        full = KMVSketch(capacity=4).update(f"v{i}" for i in range(100))
+        all_hashes = sorted(
+            KMVSketch(capacity=1000).update(f"v{i}" for i in range(100)).hashes
+        )
+        assert full.hashes == all_hashes[:4]
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            KMVSketch(capacity=0)
+
+    def test_kth_minimum_of_empty_raises(self):
+        with pytest.raises(SketchError):
+            KMVSketch().kth_minimum()
+
+
+class TestDistinctCountEstimate:
+    def test_exact_when_not_full(self):
+        sketch = KMVSketch(capacity=100).update(f"v{i}" for i in range(30))
+        assert sketch.distinct_count_estimate() == 30
+
+    def test_approximate_when_full(self):
+        sketch = KMVSketch(capacity=256).update(f"v{i}" for i in range(5000))
+        estimate = sketch.distinct_count_estimate()
+        assert 0.7 * 5000 < estimate < 1.3 * 5000
+
+
+class TestSetComparisons:
+    def test_jaccard_of_identical_sets(self):
+        values = [f"v{i}" for i in range(500)]
+        first = KMVSketch.from_values(values, capacity=128)
+        second = KMVSketch.from_values(values, capacity=128)
+        assert first.jaccard_estimate(second) == pytest.approx(1.0)
+
+    def test_jaccard_of_disjoint_sets(self):
+        first = KMVSketch.from_values([f"a{i}" for i in range(500)], capacity=128)
+        second = KMVSketch.from_values([f"b{i}" for i in range(500)], capacity=128)
+        assert first.jaccard_estimate(second) < 0.05
+
+    def test_jaccard_of_half_overlapping_sets(self):
+        first = KMVSketch.from_values([f"v{i}" for i in range(1000)], capacity=256)
+        second = KMVSketch.from_values([f"v{i}" for i in range(500, 1500)], capacity=256)
+        assert first.jaccard_estimate(second) == pytest.approx(1 / 3, abs=0.1)
+
+    def test_containment_of_subset(self):
+        subset = KMVSketch.from_values([f"v{i}" for i in range(200)], capacity=128)
+        superset = KMVSketch.from_values([f"v{i}" for i in range(1000)], capacity=128)
+        assert subset.containment_estimate(superset) > 0.8
+
+    def test_containment_of_disjoint(self):
+        first = KMVSketch.from_values([f"a{i}" for i in range(200)], capacity=64)
+        second = KMVSketch.from_values([f"b{i}" for i in range(200)], capacity=64)
+        assert first.containment_estimate(second) < 0.1
+
+    def test_different_seeds_not_comparable(self):
+        first = KMVSketch.from_values(["a"], seed=0)
+        second = KMVSketch.from_values(["a"], seed=1)
+        with pytest.raises(SketchError):
+            first.jaccard_estimate(second)
+
+    def test_overlap_estimate_scale(self):
+        first = KMVSketch.from_values([f"v{i}" for i in range(1000)], capacity=256)
+        second = KMVSketch.from_values([f"v{i}" for i in range(500, 1500)], capacity=256)
+        overlap = first.overlap_estimate(second)
+        assert 300 < overlap < 700

@@ -1,0 +1,99 @@
+"""Tests for the LV2SK (two-level sampling) sketch."""
+
+import numpy as np
+import pytest
+
+from repro.relational.table import Table
+from repro.sketches.lv2sk import TwoLevelSketchBuilder
+
+
+def make_table(keys, values, name="t"):
+    return Table.from_dict({"key": keys, "value": values}, name=name)
+
+
+class TestBaseSide:
+    def test_size_upper_bound_2n(self):
+        """The paper proves |sketch| <= 2n for LV2SK."""
+        rng = np.random.default_rng(0)
+        keys = rng.choice([f"k{i}" for i in range(40)], size=5000).tolist()
+        table = make_table(keys, rng.normal(size=5000).tolist())
+        for capacity in (8, 32, 128):
+            sketch = TwoLevelSketchBuilder(capacity=capacity).sketch_base(
+                table, "key", "value"
+            )
+            assert len(sketch) <= 2 * capacity
+
+    def test_size_at_least_n_when_enough_keys(self):
+        """|sketch| >= n whenever the key has at least n distinct values."""
+        rng = np.random.default_rng(1)
+        keys = [f"k{i}" for i in range(3000)]
+        table = make_table(keys, rng.normal(size=3000).tolist())
+        sketch = TwoLevelSketchBuilder(capacity=256).sketch_base(table, "key", "value")
+        assert len(sketch) >= 256
+
+    def test_at_least_one_row_per_selected_key(self):
+        rng = np.random.default_rng(2)
+        keys = rng.choice([f"k{i}" for i in range(10)], size=1000).tolist()
+        table = make_table(keys, rng.normal(size=1000).tolist())
+        sketch = TwoLevelSketchBuilder(capacity=8).sketch_base(table, "key", "value")
+        # 8 distinct first-level keys requested, 10 available -> 8 selected.
+        assert len(sketch.key_id_set()) == 8
+
+    def test_per_key_quota_proportional_to_frequency(self):
+        keys = ["heavy"] * 900 + ["light"] * 100
+        values = list(range(1000))
+        table = make_table(keys, values)
+        sketch = TwoLevelSketchBuilder(capacity=100, seed=3).sketch_base(
+            table, "key", "value"
+        )
+        hasher = TwoLevelSketchBuilder(capacity=1, seed=3).hasher
+        heavy_count = sum(1 for kid in sketch.key_ids if kid == hasher.key_id("heavy"))
+        light_count = sum(1 for kid in sketch.key_ids if kid == hasher.key_id("light"))
+        assert heavy_count == 90  # floor(100 * 900/1000)
+        assert light_count == 10
+
+    def test_excluded_keys_never_sampled(self, skewed_train_table):
+        """First-level selection can exclude keys entirely (the LV2SK weakness)."""
+        sketch = TwoLevelSketchBuilder(capacity=3, seed=0).sketch_base(
+            skewed_train_table, "key", "target"
+        )
+        assert len(sketch.key_id_set()) == 3
+
+    def test_deterministic(self):
+        rng = np.random.default_rng(5)
+        keys = rng.choice([f"k{i}" for i in range(50)], size=2000).tolist()
+        table = make_table(keys, rng.normal(size=2000).tolist())
+        first = TwoLevelSketchBuilder(capacity=64, seed=11).sketch_base(table, "key", "value")
+        second = TwoLevelSketchBuilder(capacity=64, seed=11).sketch_base(table, "key", "value")
+        assert first.key_ids == second.key_ids
+        assert first.values == second.values
+
+
+class TestCandidateSide:
+    def test_capacity_respected_and_keys_unique(self):
+        rng = np.random.default_rng(7)
+        keys = rng.choice([f"k{i}" for i in range(800)], size=4000).tolist()
+        table = make_table(keys, rng.normal(size=4000).tolist())
+        sketch = TwoLevelSketchBuilder(capacity=256).sketch_candidate(
+            table, "key", "value", agg="avg"
+        )
+        assert len(sketch) == 256
+        assert len(set(sketch.key_ids)) == 256
+
+    def test_coordinated_with_base_when_keys_unique(self):
+        keys = [f"k{i}" for i in range(1000)]
+        table = make_table(keys, list(range(1000)))
+        builder = TwoLevelSketchBuilder(capacity=64, seed=2)
+        base_sketch = builder.sketch_base(table, "key", "value")
+        cand_sketch = builder.sketch_candidate(table, "key", "value", agg="first")
+        assert base_sketch.key_id_set() == cand_sketch.key_id_set()
+
+    def test_same_first_level_keys_across_tables(self):
+        """Coordination: two tables sharing keys select the same minimum-hash keys."""
+        shared_keys = [f"k{i}" for i in range(500)]
+        left = make_table(shared_keys, list(range(500)), name="left")
+        right = make_table(shared_keys, list(range(500)), name="right")
+        builder = TwoLevelSketchBuilder(capacity=50, seed=4)
+        left_sketch = builder.sketch_candidate(left, "key", "value", agg="avg")
+        right_sketch = builder.sketch_candidate(right, "key", "value", agg="avg")
+        assert left_sketch.key_id_set() == right_sketch.key_id_set()

@@ -1,0 +1,114 @@
+"""Tests for the PRISK, INDSK and CSK baseline sketches."""
+
+import numpy as np
+import pytest
+
+from repro.relational.table import Table
+from repro.sketches.csk import CorrelationSketchBuilder
+from repro.sketches.indsk import IndependentSketchBuilder
+from repro.sketches.join import join_sketches
+from repro.sketches.prisk import PrioritySketchBuilder
+
+
+def make_table(keys, values, name="t"):
+    return Table.from_dict({"key": keys, "value": values}, name=name)
+
+
+def make_skewed(num_rows=4000, num_keys=200, seed=0):
+    rng = np.random.default_rng(seed)
+    weights = 1.0 / np.arange(1, num_keys + 1)
+    weights /= weights.sum()
+    keys = rng.choice([f"k{i}" for i in range(num_keys)], size=num_rows, p=weights)
+    return make_table(keys.tolist(), rng.normal(size=num_rows).tolist())
+
+
+class TestPrioritySketch:
+    def test_capacity_bound(self):
+        table = make_skewed()
+        sketch = PrioritySketchBuilder(capacity=64).sketch_base(table, "key", "value")
+        assert len(sketch) <= 2 * 64
+
+    def test_frequent_keys_favoured(self):
+        table = make_skewed(num_rows=8000, num_keys=400, seed=1)
+        frequencies = table.key_frequencies("key")
+        heavy_keys = {key for key, count in frequencies.items() if count >= 50}
+        builder = PrioritySketchBuilder(capacity=64, seed=2)
+        sketch = builder.sketch_base(table, "key", "value")
+        selected_ids = sketch.key_id_set()
+        heavy_selected = sum(
+            1 for key in heavy_keys if builder.hasher.key_id(key) in selected_ids
+        )
+        assert heavy_selected >= len(heavy_keys) * 0.6
+
+    def test_candidate_side_matches_lv2sk_semantics(self):
+        keys = [f"k{i}" for i in range(500)]
+        table = make_table(keys, list(range(500)))
+        sketch = PrioritySketchBuilder(capacity=50).sketch_candidate(
+            table, "key", "value", agg="avg"
+        )
+        assert len(sketch) == 50
+        assert len(set(sketch.key_ids)) == 50
+
+    def test_all_keys_kept_when_few(self, taxi_table):
+        sketch = PrioritySketchBuilder(capacity=64).sketch_base(
+            taxi_table, "zipcode", "num_trips"
+        )
+        assert len(sketch.key_id_set()) == 2
+
+
+class TestIndependentSketch:
+    def test_capacity_exact_when_table_larger(self):
+        table = make_skewed()
+        sketch = IndependentSketchBuilder(capacity=128).sketch_base(table, "key", "value")
+        assert len(sketch) == 128
+
+    def test_no_coordination_small_join(self):
+        """With unique keys, independent samples rarely overlap (quadratic shrink)."""
+        keys = [f"k{i}" for i in range(5000)]
+        base = make_table(keys, list(range(5000)), name="base")
+        cand = make_table(keys, list(range(5000)), name="cand")
+        builder = IndependentSketchBuilder(capacity=256, seed=0)
+        base_sketch = builder.sketch_base(base, "key", "value")
+        cand_sketch = builder.sketch_candidate(cand, "key", "value", agg="avg")
+        joined = join_sketches(base_sketch, cand_sketch)
+        # Expected overlap is 256*256/5000 ~ 13; coordinated methods would get 256.
+        assert joined.join_size < 60
+
+    def test_deterministic_given_seed(self):
+        table = make_skewed(seed=5)
+        first = IndependentSketchBuilder(capacity=64, seed=9).sketch_base(table, "key", "value")
+        second = IndependentSketchBuilder(capacity=64, seed=9).sketch_base(table, "key", "value")
+        assert first.key_ids == second.key_ids
+
+
+class TestCorrelationSketch:
+    def test_one_entry_per_key(self):
+        table = make_skewed(num_rows=2000, num_keys=100)
+        sketch = CorrelationSketchBuilder(capacity=64).sketch_base(table, "key", "value")
+        assert len(sketch) == 64
+        assert len(set(sketch.key_ids)) == 64
+
+    def test_first_value_semantics_on_base(self):
+        table = make_table(["a", "a", "b"], [10, 20, 30])
+        builder = CorrelationSketchBuilder(capacity=8)
+        sketch = builder.sketch_base(table, "key", "value")
+        mapping = dict(zip(sketch.key_ids, sketch.values))
+        assert mapping[builder.hasher.key_id("a")] == 10  # first value seen, not 15/20
+
+    def test_first_value_semantics_on_candidate(self, weather_table):
+        builder = CorrelationSketchBuilder(capacity=8)
+        sketch = builder.sketch_candidate(weather_table, "date", "temp", agg="avg")
+        mapping = dict(zip(sketch.key_ids, sketch.values))
+        # CSK ignores the AVG featurization and keeps the first reading (44.1).
+        assert mapping[builder.hasher.key_id("2017-01-01")] == pytest.approx(44.1)
+
+    def test_coordinated_join_on_unique_keys(self):
+        keys = [f"k{i}" for i in range(3000)]
+        base = make_table(keys, list(range(3000)), name="base")
+        cand = make_table(keys, list(range(3000)), name="cand")
+        builder = CorrelationSketchBuilder(capacity=128, seed=1)
+        joined = join_sketches(
+            builder.sketch_base(base, "key", "value"),
+            builder.sketch_candidate(cand, "key", "value", agg="avg"),
+        )
+        assert joined.join_size == 128

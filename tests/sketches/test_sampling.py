@@ -1,0 +1,96 @@
+"""Tests for the sampling primitives used by the sketch builders."""
+
+import numpy as np
+import pytest
+
+from repro.sketches.sampling import (
+    bernoulli_sample,
+    priority_sample,
+    reservoir_sample,
+    uniform_sample_without_replacement,
+)
+
+
+class TestReservoirSample:
+    def test_size_bounded_by_capacity(self, rng):
+        sample = reservoir_sample(range(1000), 50, rng)
+        assert len(sample) == 50
+
+    def test_returns_everything_when_small(self, rng):
+        assert sorted(reservoir_sample(range(5), 50, rng)) == list(range(5))
+
+    def test_all_items_from_stream(self, rng):
+        sample = reservoir_sample(range(200), 20, rng)
+        assert set(sample) <= set(range(200))
+        assert len(set(sample)) == 20
+
+    def test_approximately_uniform(self):
+        counts = np.zeros(20)
+        for seed in range(2000):
+            for item in reservoir_sample(range(20), 5, seed):
+                counts[item] += 1
+        expected = 2000 * 5 / 20
+        assert np.all(np.abs(counts - expected) < 0.25 * expected)
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            reservoir_sample([1, 2], -1)
+
+
+class TestBernoulliSample:
+    def test_rate_bounds(self, rng):
+        assert bernoulli_sample([1, 2, 3], 1.0, rng) == [1, 2, 3]
+        assert bernoulli_sample([1, 2, 3], 0.0, rng) == []
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            bernoulli_sample([1], 1.5)
+
+    def test_expected_size(self, rng):
+        sizes = [len(bernoulli_sample(list(range(1000)), 0.3, rng)) for _ in range(30)]
+        assert abs(np.mean(sizes) - 300) < 30
+
+    def test_preserves_order(self, rng):
+        sample = bernoulli_sample(list(range(100)), 0.5, rng)
+        assert sample == sorted(sample)
+
+
+class TestPrioritySample:
+    def test_size_capped(self, rng):
+        items = list(range(100))
+        weights = [1.0] * 100
+        assert len(priority_sample(items, weights, 10, rng)) == 10
+
+    def test_returns_all_when_capacity_exceeds(self, rng):
+        assert priority_sample([1, 2], [1.0, 1.0], 10, rng) == [1, 2]
+
+    def test_heavier_items_selected_more_often(self):
+        heavy_selected = 0
+        for seed in range(500):
+            items = list(range(10))
+            weights = [100.0] + [1.0] * 9
+            sample = priority_sample(items, weights, 3, seed)
+            heavy_selected += 0 in sample
+        assert heavy_selected > 450
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            priority_sample([1], [1.0, 2.0], 1)
+        with pytest.raises(ValueError):
+            priority_sample([1, 2], [1.0, 0.0], 1)
+        with pytest.raises(ValueError):
+            priority_sample([1, 2], [1.0, 2.0], -1)
+
+
+class TestUniformSampleWithoutReplacement:
+    def test_no_duplicates(self, rng):
+        sample = uniform_sample_without_replacement(list(range(100)), 30, rng)
+        assert len(sample) == len(set(sample)) == 30
+
+    def test_capacity_larger_than_population(self, rng):
+        assert uniform_sample_without_replacement([1, 2, 3], 10, rng) == [1, 2, 3]
+
+    def test_deterministic_given_seed(self):
+        first = uniform_sample_without_replacement(list(range(50)), 10, 3)
+        second = uniform_sample_without_replacement(list(range(50)), 10, 3)
+        assert first == second

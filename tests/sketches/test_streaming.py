@@ -1,0 +1,99 @@
+"""Tests for streaming (one-pass) TUPSK sketch construction."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SketchError
+from repro.relational.table import Table
+from repro.sketches.estimate import estimate_mi_from_sketches
+from repro.sketches.streaming import StreamingBaseSketcher, StreamingCandidateSketcher
+from repro.sketches.tupsk import TupleSketchBuilder
+
+
+def make_table(num_rows=1500, num_keys=60, seed=0):
+    rng = np.random.default_rng(seed)
+    keys = rng.choice([f"k{i}" for i in range(num_keys)], size=num_rows).tolist()
+    values = rng.normal(size=num_rows).tolist()
+    return Table.from_dict({"key": keys, "value": values}, name="stream")
+
+
+class TestStreamingBaseSketcher:
+    def test_matches_batch_builder_exactly(self):
+        table = make_table()
+        batch = TupleSketchBuilder(capacity=128, seed=5).sketch_base(table, "key", "value")
+        streaming = StreamingBaseSketcher(capacity=128, seed=5)
+        streaming.extend(zip(table.column("key"), table.column("value")))
+        sketch = streaming.finalize(key_column="key", value_column="value")
+        assert sketch.key_ids == batch.key_ids
+        assert sketch.values == batch.values
+        assert sketch.table_rows == batch.table_rows
+        assert sketch.distinct_keys == batch.distinct_keys
+
+    def test_null_keys_skipped(self):
+        streaming = StreamingBaseSketcher(capacity=8)
+        streaming.add(None, 1.0)
+        streaming.add("a", 2.0)
+        assert streaming.rows_seen == 1
+        assert len(streaming.finalize()) == 1
+
+    def test_incremental_consumption(self):
+        """Adding rows in several chunks gives the same result as one pass."""
+        table = make_table(seed=2)
+        rows = list(zip(table.column("key"), table.column("value")))
+        one_pass = StreamingBaseSketcher(capacity=64, seed=1).extend(rows).finalize()
+        chunked = StreamingBaseSketcher(capacity=64, seed=1)
+        chunked.extend(rows[:500])
+        chunked.extend(rows[500:])
+        assert chunked.finalize().key_ids == one_pass.key_ids
+
+    def test_empty_stream_rejected(self):
+        with pytest.raises(SketchError):
+            StreamingBaseSketcher(capacity=8).finalize()
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            StreamingBaseSketcher(capacity=0)
+
+
+class TestStreamingCandidateSketcher:
+    @pytest.mark.parametrize("agg", ["avg", "sum", "count", "min", "max", "first", "mode"])
+    def test_matches_batch_builder(self, agg):
+        table = make_table(seed=3)
+        batch = TupleSketchBuilder(capacity=32, seed=9).sketch_candidate(
+            table, "key", "value", agg=agg
+        )
+        streaming = StreamingCandidateSketcher(capacity=32, seed=9, agg=agg)
+        streaming.extend(zip(table.column("key"), table.column("value")))
+        sketch = streaming.finalize(key_column="key", value_column="value")
+        assert sketch.key_ids == batch.key_ids
+        assert sketch.values == pytest.approx(batch.values)
+        assert sketch.aggregate == batch.aggregate
+        assert sketch.value_dtype is batch.value_dtype
+
+    def test_missing_values_handled_like_batch(self):
+        keys = ["a", "a", "b", "b", "c"]
+        values = [1.0, None, None, None, 5.0]
+        table = Table.from_dict({"key": keys, "value": values})
+        batch = TupleSketchBuilder(capacity=8, seed=0).sketch_candidate(
+            table, "key", "value", agg="avg"
+        )
+        streaming = StreamingCandidateSketcher(capacity=8, seed=0, agg="avg")
+        streaming.extend(zip(keys, values))
+        assert streaming.finalize().values == batch.values
+
+    def test_streaming_pair_supports_mi_estimation(self):
+        rng = np.random.default_rng(4)
+        keys = [f"k{i}" for i in range(3000)]
+        x = rng.normal(size=3000)
+        y = x + 0.3 * rng.normal(size=3000)
+        base = StreamingBaseSketcher(capacity=256, seed=2)
+        base.extend(zip(keys, y.tolist()))
+        cand = StreamingCandidateSketcher(capacity=256, seed=2, agg="avg")
+        cand.extend(zip(keys, x.tolist()))
+        estimate = estimate_mi_from_sketches(base.finalize(), cand.finalize())
+        assert estimate.join_size == 256
+        assert estimate.mi > 0.3
+
+    def test_empty_stream_rejected(self):
+        with pytest.raises(SketchError):
+            StreamingCandidateSketcher(capacity=8).finalize()

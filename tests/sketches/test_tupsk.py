@@ -1,0 +1,86 @@
+"""Tests for the TUPSK (tuple-based sampling) sketch."""
+
+import numpy as np
+import pytest
+
+from repro.relational.table import Table
+from repro.sketches.tupsk import TupleSketchBuilder
+
+
+def make_skewed_table(num_rows=2000, num_keys=20, seed=0) -> Table:
+    rng = np.random.default_rng(seed)
+    weights = np.arange(1, num_keys + 1, dtype=float)
+    weights /= weights.sum()
+    keys = rng.choice([f"k{i}" for i in range(num_keys)], size=num_rows, p=weights)
+    values = rng.normal(size=num_rows)
+    return Table.from_dict({"key": keys.tolist(), "value": values.tolist()}, name="skew")
+
+
+class TestBaseSide:
+    def test_exact_capacity_when_table_larger(self):
+        table = make_skewed_table(2000)
+        sketch = TupleSketchBuilder(capacity=256).sketch_base(table, "key", "value")
+        assert len(sketch) == 256
+
+    def test_whole_table_when_smaller_than_capacity(self, taxi_table):
+        sketch = TupleSketchBuilder(capacity=100).sketch_base(
+            taxi_table, "zipcode", "num_trips"
+        )
+        assert len(sketch) == taxi_table.num_rows
+
+    def test_deterministic_given_seed(self):
+        table = make_skewed_table(1000)
+        first = TupleSketchBuilder(capacity=64, seed=5).sketch_base(table, "key", "value")
+        second = TupleSketchBuilder(capacity=64, seed=5).sketch_base(table, "key", "value")
+        assert first.key_ids == second.key_ids
+        assert first.values == second.values
+
+    def test_key_frequencies_roughly_proportional(self):
+        """Uniform row-level inclusion => sketch key frequencies track table frequencies."""
+        table = make_skewed_table(20_000, num_keys=10, seed=3)
+        sketch = TupleSketchBuilder(capacity=2000, seed=1).sketch_base(table, "key", "value")
+        table_freq = table.key_frequencies("key")
+        hasher = TupleSketchBuilder(capacity=1, seed=1).hasher
+        sketch_freq = {}
+        for key, count in table_freq.items():
+            key_id = hasher.key_id(key)
+            sketch_freq[key] = sum(1 for kid in sketch.key_ids if kid == key_id)
+        table_total = sum(table_freq.values())
+        for key, count in table_freq.items():
+            expected = 2000 * count / table_total
+            assert abs(sketch_freq[key] - expected) < 6 * np.sqrt(expected + 1)
+
+    def test_skewed_key_not_excluded(self, skewed_train_table):
+        """The paper's motivating example: the dominant key 'f' must be sampled."""
+        sketch = TupleSketchBuilder(capacity=5, seed=0).sketch_base(
+            skewed_train_table, "key", "target"
+        )
+        hasher = TupleSketchBuilder(capacity=1, seed=0).hasher
+        assert hasher.key_id("f") in sketch.key_id_set()
+
+
+class TestCandidateSide:
+    def test_aggregation_applied(self, weather_table):
+        sketch = TupleSketchBuilder(capacity=16).sketch_candidate(
+            weather_table, "date", "temp", agg="avg"
+        )
+        mapping = dict(zip(sketch.key_ids, sketch.values))
+        hasher = TupleSketchBuilder(capacity=1).hasher
+        assert mapping[hasher.key_id("2017-01-01")] == pytest.approx((44.1 + 42.0) / 2)
+
+    def test_unique_hashed_keys(self):
+        table = make_skewed_table(3000, num_keys=500)
+        sketch = TupleSketchBuilder(capacity=256).sketch_candidate(
+            table, "key", "value", agg="avg"
+        )
+        assert len(sketch.key_ids) == len(set(sketch.key_ids)) == 256
+
+    def test_coordination_with_base_side(self):
+        """Keys selected on the candidate side coincide with base-side keys (j=1)."""
+        keys = [f"k{i}" for i in range(2000)]
+        table = Table.from_dict({"key": keys, "value": list(range(2000))})
+        builder = TupleSketchBuilder(capacity=128, seed=9)
+        base_sketch = builder.sketch_base(table, "key", "value")
+        cand_sketch = builder.sketch_candidate(table, "key", "value", agg="first")
+        # Unique keys: every row is occurrence 1, so both sides pick the same keys.
+        assert base_sketch.key_id_set() == cand_sketch.key_id_set()

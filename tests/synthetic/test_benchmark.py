@@ -1,0 +1,120 @@
+"""Tests for the synthetic dataset bundles."""
+
+import pytest
+
+from repro.exceptions import SyntheticDataError
+from repro.estimators.mle import MLEEstimator
+from repro.relational.featurize import augment
+from repro.synthetic.benchmark import (
+    generate_benchmark_suite,
+    generate_cdunif_dataset,
+    generate_dataset,
+    generate_trinomial_dataset,
+    redecompose,
+)
+from repro.synthetic.decompose import KeyGeneration
+
+
+class TestGenerateTrinomialDataset:
+    def test_basic_structure(self):
+        dataset = generate_trinomial_dataset(32, 500, target_mi=1.0, random_state=0)
+        assert dataset.distribution == "trinomial"
+        assert dataset.size == 500
+        assert dataset.train_table.num_rows == 500
+        assert dataset.true_mi > 0
+        assert set(dataset.params) >= {"p1", "p2", "target_mi"}
+
+    def test_full_join_matches_stored_sample(self):
+        dataset = generate_trinomial_dataset(
+            16, 400, target_mi=1.2, key_generation="KeyDep", random_state=1
+        )
+        augmented = augment(
+            dataset.train_table,
+            dataset.cand_table,
+            base_key="key",
+            candidate_key="key",
+            candidate_value="feature",
+            agg="avg",
+            feature_name="x",
+        )
+        assert augmented.column("x").values == pytest.approx(dataset.x.tolist())
+        assert augmented.column("target").values == pytest.approx(dataset.y.tolist())
+
+    def test_reproducible_from_seed(self):
+        first = generate_trinomial_dataset(16, 300, target_mi=1.0, random_state=7)
+        second = generate_trinomial_dataset(16, 300, target_mi=1.0, random_state=7)
+        assert first.x.tolist() == second.x.tolist()
+        assert first.true_mi == second.true_mi
+
+    def test_full_data_estimate_close_to_true_mi(self):
+        dataset = generate_trinomial_dataset(16, 20_000, target_mi=1.5, random_state=3)
+        estimate = MLEEstimator().estimate(dataset.x.tolist(), dataset.y.tolist())
+        assert estimate == pytest.approx(dataset.true_mi, abs=0.05)
+
+
+class TestGenerateCdunifDataset:
+    def test_basic_structure(self):
+        dataset = generate_cdunif_dataset(10, 400, random_state=0)
+        assert dataset.distribution == "cdunif"
+        assert dataset.m == 10
+        assert dataset.true_mi > 0
+        assert dataset.cand_table.num_rows == 400
+
+    def test_keydep_supported(self):
+        dataset = generate_cdunif_dataset(
+            10, 400, key_generation="KeyDep", random_state=1
+        )
+        assert dataset.train_table.column("key").distinct_count() <= 10
+
+
+class TestGenerateDataset:
+    def test_dispatch(self):
+        assert generate_dataset("trinomial", 16, 100, random_state=0).distribution == "trinomial"
+        assert generate_dataset("CDUnif", 16, 100, random_state=0).distribution == "cdunif"
+
+    def test_unknown_distribution(self):
+        with pytest.raises(SyntheticDataError):
+            generate_dataset("zipf", 16, 100)
+
+    def test_describe(self):
+        description = generate_dataset("cdunif", 8, 100, random_state=0).describe()
+        assert description["distribution"] == "cdunif"
+        assert description["m"] == 8
+        assert description["size"] == 100
+
+
+class TestRedecompose:
+    def test_preserves_sample_and_truth(self):
+        dataset = generate_trinomial_dataset(16, 300, target_mi=1.0, random_state=2)
+        redone = redecompose(dataset, "KeyDep")
+        assert redone.key_generation is KeyGeneration.KEY_DEP
+        assert redone.true_mi == dataset.true_mi
+        assert redone.x.tolist() == dataset.x.tolist()
+        assert redone.train_table.column("key").values == dataset.x.tolist()
+
+
+class TestBenchmarkSuite:
+    def test_suite_size_and_composition(self):
+        suite = generate_benchmark_suite(
+            "trinomial",
+            m_values=[16, 64],
+            datasets_per_m=2,
+            size=200,
+            key_generations=("KeyInd", "KeyDep"),
+            random_state=0,
+        )
+        assert len(suite) == 8
+        assert {dataset.m for dataset in suite} == {16, 64}
+        assert {dataset.key_generation for dataset in suite} == {
+            KeyGeneration.KEY_IND,
+            KeyGeneration.KEY_DEP,
+        }
+
+    def test_suite_reproducible(self):
+        first = generate_benchmark_suite(
+            "cdunif", m_values=[8], datasets_per_m=2, size=100, random_state=5
+        )
+        second = generate_benchmark_suite(
+            "cdunif", m_values=[8], datasets_per_m=2, size=100, random_state=5
+        )
+        assert first[0].x.tolist() == second[0].x.tolist()

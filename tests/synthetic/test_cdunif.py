@@ -1,0 +1,55 @@
+"""Tests for the CDUnif synthetic generator."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SyntheticDataError
+from repro.synthetic.cdunif import cdunif_true_mi, sample_cdunif
+
+
+class TestTrueMi:
+    def test_formula(self):
+        for m in (2, 10, 256, 1000):
+            expected = math.log(m) - (m - 1) * math.log(2) / m
+            assert cdunif_true_mi(m) == pytest.approx(expected)
+
+    def test_paper_range(self):
+        """The paper reports MI in [0.3, 6.2] for m in [2, 1000]."""
+        assert cdunif_true_mi(2) == pytest.approx(0.347, abs=0.01)
+        assert 6.1 < cdunif_true_mi(1000) < 6.3
+
+    def test_paper_anchor_m256(self):
+        """m = 256 corresponds to I ~ 4.85 (Section V-B4)."""
+        assert cdunif_true_mi(256) == pytest.approx(4.85, abs=0.05)
+
+    def test_monotone_in_m(self):
+        values = [cdunif_true_mi(m) for m in range(2, 200)]
+        assert all(a < b for a, b in zip(values, values[1:]))
+
+    def test_invalid_m(self):
+        with pytest.raises(ValueError):
+            cdunif_true_mi(0)
+
+
+class TestSampling:
+    def test_support(self):
+        x, y = sample_cdunif(16, 5000, random_state=0)
+        assert x.min() >= 0 and x.max() <= 15
+        assert np.all(y >= x) and np.all(y <= x + 2)
+
+    def test_x_uniform(self):
+        x, _ = sample_cdunif(8, 40_000, random_state=1)
+        counts = np.bincount(x, minlength=8)
+        assert np.all(np.abs(counts - 5000) < 350)
+
+    def test_y_continuous(self):
+        _, y = sample_cdunif(4, 5000, random_state=2)
+        assert len(np.unique(y)) == 5000
+
+    def test_invalid_parameters(self):
+        with pytest.raises(SyntheticDataError):
+            sample_cdunif(0, 10)
+        with pytest.raises(SyntheticDataError):
+            sample_cdunif(5, 0)

@@ -1,0 +1,103 @@
+"""Tests for the decomposition of (X, Y) samples into joinable tables."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SyntheticDataError
+from repro.relational.featurize import augment
+from repro.synthetic.decompose import KeyGeneration, decompose_into_tables
+
+
+def recover_join(train_table, cand_table, agg="avg"):
+    """Materialize the augmentation join and return (feature, target) columns."""
+    augmented = augment(
+        train_table,
+        cand_table,
+        base_key="key",
+        candidate_key="key",
+        candidate_value="feature",
+        agg=agg,
+        feature_name="x",
+    )
+    return augmented.column("x").values, augmented.column("target").values
+
+
+class TestKeyGenerationEnum:
+    def test_from_name(self):
+        assert KeyGeneration.from_name("KeyInd") is KeyGeneration.KEY_IND
+        assert KeyGeneration.from_name("keydep") is KeyGeneration.KEY_DEP
+        assert KeyGeneration.from_name(KeyGeneration.KEY_IND) is KeyGeneration.KEY_IND
+
+    def test_unknown_name(self):
+        with pytest.raises(SyntheticDataError):
+            KeyGeneration.from_name("KeyFoo")
+
+
+class TestKeyInd:
+    def test_one_to_one_relationship(self):
+        x = [5, 7, 5, 9]
+        y = [1.0, 2.0, 3.0, 4.0]
+        train, cand = decompose_into_tables(x, y, KeyGeneration.KEY_IND)
+        assert train.num_rows == cand.num_rows == 4
+        assert train.column("key").distinct_count() == 4
+        assert cand.column("key").distinct_count() == 4
+
+    def test_join_recovers_exact_pairs(self):
+        rng = np.random.default_rng(0)
+        x = rng.integers(0, 10, size=200).tolist()
+        y = rng.normal(size=200).tolist()
+        train, cand = decompose_into_tables(x, y, "KeyInd")
+        feature, target = recover_join(train, cand)
+        assert feature == pytest.approx(x)
+        assert target == pytest.approx(y)
+
+    def test_key_formatter(self):
+        train, cand = decompose_into_tables(
+            [1, 2], [3, 4], "KeyInd", key_formatter=lambda k: f"row-{k}"
+        )
+        assert train.column("key").values == ["row-0", "row-1"]
+        assert cand.column("key").values == ["row-0", "row-1"]
+
+
+class TestKeyDep:
+    def test_many_to_one_relationship(self):
+        x = [5, 7, 5, 9, 5]
+        y = [1.0, 2.0, 3.0, 4.0, 5.0]
+        train, cand = decompose_into_tables(x, y, KeyGeneration.KEY_DEP)
+        assert train.num_rows == 5
+        assert train.column("key").distinct_count() == 3  # distinct x values
+
+    def test_join_recovers_exact_pairs(self):
+        rng = np.random.default_rng(1)
+        x = rng.integers(0, 6, size=300).tolist()
+        y = rng.normal(size=300).tolist()
+        train, cand = decompose_into_tables(x, y, "KeyDep")
+        feature, target = recover_join(train, cand)
+        assert feature == pytest.approx(x)
+        assert target == pytest.approx(y)
+
+    def test_key_equals_feature_value(self):
+        x = [3, 4, 3]
+        train, cand = decompose_into_tables(x, [1.0, 2.0, 3.0], "KeyDep")
+        assert train.column("key").values == x
+        assert cand.column("feature").values == x
+
+    def test_continuous_feature_rejected(self):
+        with pytest.raises(SyntheticDataError):
+            decompose_into_tables([1.5, 2.7], [1.0, 2.0], "KeyDep")
+
+
+class TestValidation:
+    def test_misaligned_inputs(self):
+        with pytest.raises(SyntheticDataError):
+            decompose_into_tables([1], [1, 2], "KeyInd")
+
+    def test_empty_inputs(self):
+        with pytest.raises(SyntheticDataError):
+            decompose_into_tables([], [], "KeyInd")
+
+    def test_numpy_scalars_converted(self):
+        x = np.array([1, 2, 3])
+        y = np.array([0.5, 0.6, 0.7])
+        train, cand = decompose_into_tables(x, y, "KeyDep")
+        assert all(isinstance(value, int) for value in train.column("key").values)

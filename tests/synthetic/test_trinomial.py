@@ -1,0 +1,139 @@
+"""Tests for the Trinomial synthetic generator."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SyntheticDataError
+from repro.synthetic.trinomial import (
+    binomial_entropy,
+    choose_trinomial_parameters,
+    correlation_to_mi,
+    mi_to_correlation,
+    sample_trinomial,
+    trinomial_joint_entropy,
+    trinomial_true_mi,
+)
+
+
+class TestMiCorrelationConversion:
+    def test_roundtrip(self):
+        for mi in (0.1, 0.5, 1.0, 2.5, 3.5):
+            assert correlation_to_mi(mi_to_correlation(mi)) == pytest.approx(mi)
+
+    def test_paper_anchor_point(self):
+        """The paper notes I = 3.5 corresponds to r ~ 0.999."""
+        assert mi_to_correlation(3.5) == pytest.approx(0.999, abs=1e-3)
+
+    def test_zero_mi_zero_correlation(self):
+        assert mi_to_correlation(0.0) == 0.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            mi_to_correlation(-1.0)
+        with pytest.raises(ValueError):
+            correlation_to_mi(1.0)
+
+
+class TestBinomialEntropy:
+    def test_degenerate_probability(self):
+        assert binomial_entropy(10, 0.0) == 0.0
+        assert binomial_entropy(10, 1.0) == 0.0
+
+    def test_single_trial_is_bernoulli(self):
+        p = 0.3
+        expected = -(p * math.log(p) + (1 - p) * math.log(1 - p))
+        assert binomial_entropy(1, p) == pytest.approx(expected)
+
+    def test_matches_gaussian_approximation_for_large_m(self):
+        m, p = 2000, 0.4
+        gaussian = 0.5 * math.log(2 * math.pi * math.e * m * p * (1 - p))
+        assert binomial_entropy(m, p) == pytest.approx(gaussian, abs=0.01)
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            binomial_entropy(10, 1.5)
+
+
+class TestTrinomialEntropyAndMi:
+    def test_single_trial_joint_entropy(self):
+        """For m = 1 the joint distribution is categorical over 3 outcomes."""
+        p1, p2 = 0.2, 0.5
+        p3 = 0.3
+        expected = -(p1 * math.log(p1) + p2 * math.log(p2) + p3 * math.log(p3))
+        assert trinomial_joint_entropy(1, p1, p2) == pytest.approx(expected)
+
+    def test_true_mi_non_negative_and_bounded(self):
+        mi = trinomial_true_mi(64, 0.3, 0.4)
+        h_x = binomial_entropy(64, 0.3)
+        h_y = binomial_entropy(64, 0.4)
+        assert 0.0 <= mi <= min(h_x, h_y)
+
+    def test_mi_grows_with_competition(self):
+        """Higher p1 + p2 (less slack) means stronger negative dependence."""
+        low = trinomial_true_mi(64, 0.2, 0.2)
+        high = trinomial_true_mi(64, 0.45, 0.45)
+        assert high > low
+
+    def test_normal_approximation_agrees_for_moderate_m(self):
+        """The exact MI should be close to the bivariate-normal approximation."""
+        m, p1, p2 = 256, 0.4, 0.4
+        correlation = -p1 * p2 / math.sqrt(p1 * (1 - p1) * p2 * (1 - p2))
+        approx = correlation_to_mi(correlation)
+        assert trinomial_true_mi(m, p1, p2) == pytest.approx(approx, rel=0.15)
+
+    def test_invalid_probabilities(self):
+        with pytest.raises(ValueError):
+            trinomial_joint_entropy(10, 0.0, 0.5)
+        with pytest.raises(ValueError):
+            trinomial_joint_entropy(10, 0.7, 0.4)
+
+
+class TestParameterSelection:
+    def test_targets_are_hit_approximately(self):
+        for target in (0.5, 1.5, 2.5, 3.3):
+            params = choose_trinomial_parameters(512, target_mi=target, random_state=0)
+            assert params.true_mi == pytest.approx(target, abs=0.4)
+
+    def test_p_values_in_valid_range(self):
+        params = choose_trinomial_parameters(64, target_mi=1.0, random_state=1)
+        assert 0.15 <= params.p1 <= 0.85
+        assert 0.15 <= params.p2 <= 0.85
+        assert params.p3 > 0.0
+
+    def test_random_target_drawn_when_omitted(self):
+        params = choose_trinomial_parameters(64, random_state=2)
+        assert 0.0 <= params.target_mi <= 3.5
+
+    def test_invalid_m(self):
+        with pytest.raises(SyntheticDataError):
+            choose_trinomial_parameters(0, target_mi=1.0)
+
+    def test_negative_target_rejected(self):
+        with pytest.raises(SyntheticDataError):
+            choose_trinomial_parameters(16, target_mi=-0.5)
+
+
+class TestSampling:
+    def test_shapes_and_ranges(self):
+        x, y = sample_trinomial(32, 0.3, 0.4, 500, random_state=0)
+        assert x.shape == y.shape == (500,)
+        assert x.min() >= 0 and x.max() <= 32
+        assert ((x + y) <= 32).all()
+
+    def test_marginal_means(self):
+        m, p1, p2 = 64, 0.3, 0.4
+        x, y = sample_trinomial(m, p1, p2, 20_000, random_state=1)
+        assert np.mean(x) == pytest.approx(m * p1, rel=0.03)
+        assert np.mean(y) == pytest.approx(m * p2, rel=0.03)
+
+    def test_negative_correlation(self):
+        x, y = sample_trinomial(64, 0.45, 0.45, 20_000, random_state=2)
+        assert np.corrcoef(x, y)[0, 1] < -0.5
+
+    def test_invalid_parameters(self):
+        with pytest.raises(SyntheticDataError):
+            sample_trinomial(10, 0.6, 0.5, 10)
+        with pytest.raises(SyntheticDataError):
+            sample_trinomial(10, 0.3, 0.3, 0)

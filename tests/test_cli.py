@@ -1,0 +1,110 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.relational.csvio import write_csv
+from repro.relational.table import Table
+
+
+@pytest.fixture()
+def csv_pair(tmp_path, rng):
+    """A correlated base/candidate CSV pair on disk."""
+    keys = [f"k{i:04d}" for i in range(800)]
+    x = rng.normal(size=800)
+    y = x + 0.3 * rng.normal(size=800)
+    base = Table.from_dict({"key": keys, "target": y.tolist()}, name="base")
+    cand = Table.from_dict({"key": keys, "feature": x.tolist()}, name="cand")
+    base_path = tmp_path / "base.csv"
+    cand_path = tmp_path / "cand.csv"
+    write_csv(base, base_path)
+    write_csv(cand, cand_path)
+    return base_path, cand_path
+
+
+class TestParser:
+    def test_subcommands_registered(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["sketch", "in.csv", "--key", "k", "--value", "v", "-o", "out.json"]
+        )
+        assert args.command == "sketch"
+        assert args.method == "TUPSK"
+
+    def test_missing_subcommand_fails(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestSketchCommand:
+    def test_builds_and_saves_sketch(self, csv_pair, tmp_path, capsys):
+        base_path, _ = csv_pair
+        output = tmp_path / "base.sketch.json"
+        code = main(
+            [
+                "sketch", str(base_path),
+                "--key", "key", "--value", "target",
+                "--side", "base", "--capacity", "128",
+                "-o", str(output),
+            ]
+        )
+        assert code == 0
+        assert output.exists()
+        assert "128 tuples" in capsys.readouterr().out
+
+
+class TestEstimateCommand:
+    def test_estimate_from_sketch_files(self, csv_pair, tmp_path, capsys):
+        base_path, cand_path = csv_pair
+        base_sketch_path = tmp_path / "base.sketch.json"
+        cand_sketch_path = tmp_path / "cand.sketch.json"
+        assert main(
+            ["sketch", str(base_path), "--key", "key", "--value", "target",
+             "--side", "base", "--capacity", "256", "-o", str(base_sketch_path)]
+        ) == 0
+        assert main(
+            ["sketch", str(cand_path), "--key", "key", "--value", "feature",
+             "--side", "candidate", "--capacity", "256", "-o", str(cand_sketch_path)]
+        ) == 0
+        capsys.readouterr()
+        code = main(
+            ["estimate", "--base-sketch", str(base_sketch_path),
+             "--candidate-sketch", str(cand_sketch_path)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "MI estimate:" in out
+        mi_value = float(out.split("MI estimate:")[1].split("nats")[0])
+        assert mi_value > 0.3  # strongly dependent pair
+
+    def test_estimate_directly_from_csvs(self, csv_pair, capsys):
+        base_path, cand_path = csv_pair
+        code = main(
+            [
+                "estimate",
+                "--base-csv", str(base_path), "--base-key", "key", "--base-value", "target",
+                "--candidate-csv", str(cand_path), "--candidate-key", "key",
+                "--candidate-value", "feature", "--capacity", "256",
+            ]
+        )
+        assert code == 0
+        assert "MI estimate:" in capsys.readouterr().out
+
+    def test_missing_options_reported_as_error(self, capsys):
+        code = main(["estimate", "--base-csv", "only-this.csv"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestExperimentCommand:
+    def test_runs_small_experiment(self, capsys):
+        code = main(["experiment", "ablation_aggregation", "--scale", "small"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ablation_aggregation" in out
+        assert "AVG" in out
+
+    def test_unknown_experiment_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "figure99"])
