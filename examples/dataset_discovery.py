@@ -19,7 +19,7 @@ Run with:  python examples/dataset_discovery.py
 
 from __future__ import annotations
 
-from repro import SketchIndex, estimate_mi
+from repro import EngineConfig, SketchIndex, estimate_mi
 from repro.discovery import top_k_per_estimator
 from repro.discovery.query import AugmentationQuery
 from repro.opendata import generate_repository
@@ -40,7 +40,7 @@ def main() -> None:
     base_table = base_entry.table.rename_columns({"value": "target"})
     print(f"\nBase table: {base_entry.name} (keyed on {base_entry.domain_name})")
 
-    index = SketchIndex(method="TUPSK", capacity=1024, seed=0)
+    index = SketchIndex(EngineConfig(method="TUPSK", capacity=1024, seed=0))
     for entry in repository.tables:
         if entry.name == base_entry.name:
             continue
@@ -58,7 +58,7 @@ def main() -> None:
         min_containment=0.05,
         min_join_size=100,      # the paper's filter for meaningless estimates
     )
-    results = index.query(query)
+    results = index.query(query, max_workers=4)
     print(f"\n{len(results)} candidates survive the joinability and join-size filters.")
 
     print("\nTop-3 candidates per estimator (sketch-estimated MI):")

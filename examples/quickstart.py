@@ -1,11 +1,19 @@
 """Quickstart: estimate mutual information across two tables without joining them.
 
 The scenario is the paper's running example in miniature: a base table of
-daily taxi demand and an external table of hourly weather readings.  We build
-one sketch per table (independently -- in a real deployment the candidate
-sketch would have been built offline by a data-discovery system), join the
-sketches, and estimate the MI between the derived ``avg(temp)`` feature and
-the ``num_trips`` target.  The full-join estimate is computed as a reference.
+daily taxi demand and an external table of hourly weather readings.  One
+:class:`~repro.SketchEngine` session, configured once, builds one sketch per
+table (independently -- in a real deployment the candidate sketch would have
+been built offline by a data-discovery system) and estimates the MI between
+the derived ``avg(temp)`` feature and the ``num_trips`` target from the
+sketch join.  The full-join estimate is computed as a reference.
+
+Migration note: pre-engine code called the free functions directly --
+``build_sketch(t, k, v, side=SketchSide.BASE, capacity=n, seed=s)`` is now
+``engine.sketch_base(t, k, v)``, the candidate side is
+``engine.sketch_candidate(t, k, v, agg="avg")``, and
+``estimate_mi_from_sketches(s1, s2)`` is ``engine.estimate(s1, s2)``; the
+old functions keep working as wrappers over a default engine.
 
 Run with:  python examples/quickstart.py
 """
@@ -15,12 +23,11 @@ from __future__ import annotations
 import numpy as np
 
 from repro import (
+    EngineConfig,
     MixedKSGEstimator,
-    SketchSide,
+    SketchEngine,
     Table,
     augment,
-    build_sketch,
-    estimate_mi_from_sketches,
 )
 
 
@@ -58,21 +65,17 @@ def main() -> None:
     print(f"base table:      {taxi}")
     print(f"candidate table: {weather}")
 
+    # --- One engine session: both sides share its method/capacity/seed -----
+    engine = SketchEngine(EngineConfig(method="TUPSK", capacity=256, seed=0))
+
     # --- Sketch both sides (normally done independently / offline) ---------
-    sketch_size = 256
-    base_sketch = build_sketch(
-        taxi, "date", "num_trips", method="TUPSK", side=SketchSide.BASE,
-        capacity=sketch_size, seed=0,
-    )
-    candidate_sketch = build_sketch(
-        weather, "date", "temp", method="TUPSK", side=SketchSide.CANDIDATE,
-        capacity=sketch_size, seed=0, agg="avg",
-    )
+    base_sketch = engine.sketch_base(taxi, "date", "num_trips")
+    candidate_sketch = engine.sketch_candidate(weather, "date", "temp", agg="avg")
     print(f"\nbase sketch:      {len(base_sketch)} tuples")
     print(f"candidate sketch: {len(candidate_sketch)} tuples (AVG-aggregated per date)")
 
     # --- Estimate MI from the sketch join, never materializing the join ----
-    estimate = estimate_mi_from_sketches(base_sketch, candidate_sketch)
+    estimate = engine.estimate(base_sketch, candidate_sketch)
     print(
         f"\nsketch-based estimate: I(avg_temp; num_trips) ~ {estimate.mi:.3f} nats "
         f"({estimate.estimator}, {estimate.join_size} join samples)"

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import SketchIndex, Table, augment, estimate_mi
+from repro import EngineConfig, SketchEngine, SketchIndex, Table, augment, estimate_mi
 
 
 def build_world(num_days: int = 360, num_zips: int = 40, seed: int = 3):
@@ -99,8 +99,11 @@ def main() -> None:
 
     # ---------------------------------------------------------------- #
     # Offline: index every candidate (table, key, value) combination.
+    # One engine session owns the sketching configuration; the index is a
+    # discovery shell around it.
     # ---------------------------------------------------------------- #
-    index = SketchIndex(method="TUPSK", capacity=512, seed=0)
+    engine = SketchEngine(EngineConfig(method="TUPSK", capacity=512, seed=0))
+    index = SketchIndex(engine)
     index.add_table(weather, key_columns=["date"])
     index.add_table(demographics, key_columns=["zipcode"])
     index.add_table(lottery, key_columns=["date"])
@@ -115,7 +118,8 @@ def main() -> None:
     for key_column in ("date", "zipcode"):
         results.extend(
             index.query_columns(
-                taxi, key_column, "num_trips", top_k=5, min_join_size=32
+                taxi, key_column, "num_trips", top_k=5, min_join_size=32,
+                max_workers=4,  # per-candidate estimates run on a thread pool
             )
         )
     results.sort(key=lambda result: result.mi_estimate, reverse=True)

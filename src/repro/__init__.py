@@ -24,14 +24,40 @@ the join between them?*  It provides:
 
 Quickstart
 ----------
->>> from repro import Table, build_sketch, estimate_mi_from_sketches, SketchSide
->>> train = Table.from_dict({"zip": ["a", "a", "b", "c"], "trips": [5, 7, 1, 3]})
->>> weather = Table.from_dict({"zip": ["a", "b", "b", "c"], "temp": [20.0, 9.0, 11.0, 15.0]})
->>> s_train = build_sketch(train, "zip", "trips", side=SketchSide.BASE, capacity=128)
->>> s_cand = build_sketch(weather, "zip", "temp", side=SketchSide.CANDIDATE, capacity=128)
->>> estimate = estimate_mi_from_sketches(s_train, s_cand)
+The canonical entry point is a :class:`SketchEngine` session bound to one
+immutable :class:`EngineConfig` — every sketch the engine builds shares the
+config's method, capacity and hash seed, so the two sides are joinable by
+construction:
+
+>>> from repro import EngineConfig, SketchEngine, Table
+>>> zips = ["a", "b", "c", "d", "e", "f"]
+>>> train = Table.from_dict({"zip": zips * 2, "trips": [5, 7, 1, 3, 9, 4] * 2})
+>>> weather = Table.from_dict({"zip": zips, "temp": [20.0, 9.0, 11.0, 15.0, 2.0, 17.0]})
+>>> engine = SketchEngine(EngineConfig(method="TUPSK", capacity=128))
+>>> s_train = engine.sketch_base(train, "zip", "trips")
+>>> s_cand = engine.sketch_candidate(weather, "zip", "temp")  # AVG(temp) per zip
+>>> estimate = engine.estimate(s_train, s_cand)
 >>> estimate.mi >= 0.0
 True
+
+Batch workloads use ``engine.sketch_pairs`` (many sketches) and
+``engine.estimate_many`` (one base against many candidates), both of which
+accept ``max_workers`` for thread-pooled execution; ``SketchIndex`` builds
+its discovery index on top of an engine.
+
+Migrating from the pre-engine functions (still available as thin wrappers
+over a module-level default engine):
+
+* ``build_sketch(t, k, v, side=SketchSide.BASE)``
+  → ``engine.sketch_base(t, k, v)``
+* ``build_sketch(t, k, v, side=SketchSide.CANDIDATE, agg="avg")``
+  → ``engine.sketch_candidate(t, k, v, agg="avg")``
+* ``get_builder(method, capacity, seed)``
+  → ``SketchEngine(EngineConfig(...)).builder()``
+* ``estimate_mi_from_sketches(s1, s2)``
+  → ``engine.estimate(s1, s2)``
+* ``SketchIndex(method=..., capacity=..., seed=...)``
+  → ``SketchIndex(EngineConfig(...))``
 """
 
 from repro.exceptions import (
@@ -47,6 +73,8 @@ from repro.exceptions import (
     InsufficientSamplesError,
     SyntheticDataError,
     DiscoveryError,
+    EngineError,
+    EngineConfigError,
 )
 from repro.relational import (
     Column,
@@ -93,8 +121,17 @@ from repro.synthetic import (
     generate_cdunif_dataset,
 )
 from repro.discovery import SketchIndex, AugmentationQuery, AugmentationResult
+from repro.engine import (
+    EngineConfig,
+    SketchEngine,
+    SketchRequest,
+    BatchEstimate,
+    get_default_engine,
+    set_default_engine,
+    configure_default_engine,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -111,6 +148,8 @@ __all__ = [
     "InsufficientSamplesError",
     "SyntheticDataError",
     "DiscoveryError",
+    "EngineError",
+    "EngineConfigError",
     # relational
     "Column",
     "DType",
@@ -155,4 +194,12 @@ __all__ = [
     "SketchIndex",
     "AugmentationQuery",
     "AugmentationResult",
+    # engine
+    "EngineConfig",
+    "SketchEngine",
+    "SketchRequest",
+    "BatchEstimate",
+    "get_default_engine",
+    "set_default_engine",
+    "configure_default_engine",
 ]

@@ -1,7 +1,8 @@
 """Command-line interface.
 
-Three subcommands cover the offline/online split of the paper's pipeline plus
-the reproduction harness:
+The CLI is a thin shell over the :class:`~repro.engine.SketchEngine` session
+API.  Four subcommands cover the offline/online split of the paper's
+pipeline plus the reproduction harness:
 
 ``repro sketch``
     Build a sketch for one (key column, value column) pair of a CSV file and
@@ -11,6 +12,11 @@ the reproduction harness:
     Estimate the mutual information between two previously built sketches, or
     directly between two CSV files (which sketches them on the fly).
 
+``repro config``
+    Print the engine configuration that the given flags resolve to, as JSON.
+    The output can be fed back to ``sketch``/``estimate`` via
+    ``--engine-config`` so the offline and online halves provably agree.
+
 ``repro experiment``
     Run one of the paper's experiments at a reduced scale and print the
     regenerated table/figure series.
@@ -19,8 +25,9 @@ Examples
 --------
 .. code-block:: bash
 
-    repro sketch taxi.csv --key date --value num_trips --side base -o taxi.sketch.json
-    repro sketch weather.csv --key date --value temp --side candidate --agg avg -o weather.sketch.json
+    repro config --capacity 1024 --seed 7 > engine.json
+    repro sketch taxi.csv --key date --value num_trips --side base --engine-config engine.json -o taxi.sketch.json
+    repro sketch weather.csv --key date --value temp --side candidate --agg avg --engine-config engine.json -o weather.sketch.json
     repro estimate --base-sketch taxi.sketch.json --candidate-sketch weather.sketch.json
     repro experiment table1 --scale small
 """
@@ -28,13 +35,14 @@ Examples
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Callable, Optional, Sequence
 
-from repro.exceptions import ReproError
+from repro.engine.config import EngineConfig
+from repro.engine.session import SketchEngine
+from repro.exceptions import EngineConfigError, ReproError
 from repro.relational.csvio import read_csv
-from repro.sketches.base import SketchSide, build_sketch
-from repro.sketches.estimate import estimate_mi_from_sketches
 from repro.sketches.serialization import load_sketch, save_sketch
 
 __all__ = ["main", "build_parser"]
@@ -84,15 +92,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
+    def add_engine_options(subparser: argparse.ArgumentParser) -> None:
+        subparser.add_argument(
+            "--engine-config",
+            help="engine config JSON file (see `repro config`); flags override it",
+        )
+        subparser.add_argument("--method", help="sketching method (default TUPSK)")
+        subparser.add_argument("--capacity", type=int, help="sketch size n (default 1024)")
+        subparser.add_argument("--seed", type=int, help="hash seed (default 0)")
+
     sketch = subparsers.add_parser("sketch", help="build a sketch from a CSV file")
     sketch.add_argument("csv", help="input CSV file (with a header row)")
     sketch.add_argument("--key", required=True, help="join-key column name")
     sketch.add_argument("--value", required=True, help="value column name")
     sketch.add_argument("--side", choices=["base", "candidate"], default="base")
-    sketch.add_argument("--method", default="TUPSK", help="sketching method (default TUPSK)")
-    sketch.add_argument("--capacity", type=int, default=1024, help="sketch size n")
-    sketch.add_argument("--seed", type=int, default=0, help="hash seed")
-    sketch.add_argument("--agg", default="avg", help="featurization function (candidate side)")
+    add_engine_options(sketch)
+    sketch.add_argument(
+        "--agg",
+        help="featurization function (candidate side; default: the engine "
+        "config's aggregate for the column type)",
+    )
     sketch.add_argument("-o", "--output", required=True, help="output sketch JSON path")
 
     estimate = subparsers.add_parser(
@@ -106,11 +125,24 @@ def build_parser() -> argparse.ArgumentParser:
     estimate.add_argument("--base-value", help="base target column (CSV mode)")
     estimate.add_argument("--candidate-key", help="candidate join-key column (CSV mode)")
     estimate.add_argument("--candidate-value", help="candidate value column (CSV mode)")
-    estimate.add_argument("--agg", default="avg", help="featurization function (CSV mode)")
-    estimate.add_argument("--capacity", type=int, default=1024)
-    estimate.add_argument("--seed", type=int, default=0)
-    estimate.add_argument("--method", default="TUPSK")
-    estimate.add_argument("--min-join-size", type=int, default=16)
+    estimate.add_argument(
+        "--agg",
+        help="featurization function (CSV mode; default: the engine config's "
+        "aggregate for the column type)",
+    )
+    add_engine_options(estimate)
+    estimate.add_argument(
+        "--min-join-size",
+        type=int,
+        help="minimum sketch-join size (default: engine config's value, or 16)",
+    )
+
+    config = subparsers.add_parser(
+        "config", help="resolve and print an engine configuration as JSON"
+    )
+    add_engine_options(config)
+    config.add_argument("--estimator-k", type=int, help="KSG neighbour count")
+    config.add_argument("--min-join-size", type=int, help="minimum sketch-join size")
 
     experiment = subparsers.add_parser(
         "experiment", help="run one of the paper's experiments and print its report"
@@ -122,19 +154,43 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+#: Baseline config when no --engine-config file is given.  The library
+#: default min_join_size of 2 is too lax for ad-hoc CSV estimation, so the
+#: CLI keeps its historical floor of 16; `repro config` emits the same
+#: value, keeping the config round-trip self-consistent.
+_CLI_DEFAULT_CONFIG = EngineConfig(min_join_size=16)
+
+
+def _engine_from_args(args: argparse.Namespace) -> SketchEngine:
+    """Resolve the engine config: JSON file first, explicit flags override."""
+    if getattr(args, "engine_config", None):
+        try:
+            with open(args.engine_config, "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise EngineConfigError(
+                f"could not read engine config {args.engine_config!r}: {exc}"
+            ) from exc
+        config = EngineConfig.from_dict(document)
+    else:
+        config = _CLI_DEFAULT_CONFIG
+    overrides = {
+        name: getattr(args, name, None)
+        for name in ("method", "capacity", "seed", "estimator_k", "min_join_size")
+        if getattr(args, name, None) is not None
+    }
+    if overrides:
+        config = config.replace(**overrides)
+    return SketchEngine(config)
+
+
 def _command_sketch(args: argparse.Namespace) -> int:
     table = read_csv(args.csv)
-    side = SketchSide.BASE if args.side == "base" else SketchSide.CANDIDATE
-    sketch = build_sketch(
-        table,
-        args.key,
-        args.value,
-        method=args.method,
-        side=side,
-        capacity=args.capacity,
-        seed=args.seed,
-        agg=args.agg,
-    )
+    engine = _engine_from_args(args)
+    if args.side == "base":
+        sketch = engine.sketch_base(table, args.key, args.value)
+    else:
+        sketch = engine.sketch_candidate(table, args.key, args.value, agg=args.agg)
     save_sketch(sketch, args.output)
     print(
         f"wrote {sketch.method} {args.side} sketch with {len(sketch)} tuples "
@@ -143,7 +199,7 @@ def _command_sketch(args: argparse.Namespace) -> int:
     return 0
 
 
-def _sketches_from_args(args: argparse.Namespace):
+def _sketches_from_args(args: argparse.Namespace, engine: SketchEngine):
     if args.base_sketch and args.candidate_sketch:
         return load_sketch(args.base_sketch), load_sketch(args.candidate_sketch)
     csv_mode_fields = (
@@ -158,27 +214,29 @@ def _sketches_from_args(args: argparse.Namespace):
         )
     base_table = read_csv(args.base_csv)
     candidate_table = read_csv(args.candidate_csv)
-    base_sketch = build_sketch(
-        base_table, args.base_key, args.base_value,
-        method=args.method, side=SketchSide.BASE, capacity=args.capacity, seed=args.seed,
-    )
-    candidate_sketch = build_sketch(
-        candidate_table, args.candidate_key, args.candidate_value,
-        method=args.method, side=SketchSide.CANDIDATE,
-        capacity=args.capacity, seed=args.seed, agg=args.agg,
+    base_sketch = engine.sketch_base(base_table, args.base_key, args.base_value)
+    candidate_sketch = engine.sketch_candidate(
+        candidate_table, args.candidate_key, args.candidate_value, agg=args.agg
     )
     return base_sketch, candidate_sketch
 
 
 def _command_estimate(args: argparse.Namespace) -> int:
-    base_sketch, candidate_sketch = _sketches_from_args(args)
-    estimate = estimate_mi_from_sketches(
-        base_sketch, candidate_sketch, min_join_size=args.min_join_size
-    )
+    # Precedence is handled by _engine_from_args: explicit flags (including
+    # --min-join-size) > engine-config file > the CLI default config.
+    engine = _engine_from_args(args)
+    base_sketch, candidate_sketch = _sketches_from_args(args, engine)
+    estimate = engine.estimate(base_sketch, candidate_sketch)
     print(
         f"MI estimate: {estimate.mi:.4f} nats "
         f"(estimator={estimate.estimator}, sketch join size={estimate.join_size})"
     )
+    return 0
+
+
+def _command_config(args: argparse.Namespace) -> int:
+    engine = _engine_from_args(args)
+    print(json.dumps(engine.config.to_dict(), indent=2, sort_keys=True))
     return 0
 
 
@@ -198,6 +256,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     handlers = {
         "sketch": _command_sketch,
         "estimate": _command_estimate,
+        "config": _command_config,
         "experiment": _command_experiment,
     }
     try:

@@ -7,32 +7,43 @@ The index is the offline half of the paper's pipeline: every candidate
 * a KMV sketch of its distinct join-key values (used to estimate joinability
   / containment before spending effort on MI estimation).
 
-At query time the base table is sketched once per (key, target) pair and
-joined against every indexed candidate whose estimated key containment
-passes the threshold; surviving candidates are ranked by their estimated MI.
+At query time the base table is sketched once per (key, target) pair —
+memoized by the engine session, so repeated queries over one base table
+re-use the sketch — and estimated against every indexed candidate whose
+key containment passes the threshold, optionally on a thread pool;
+surviving candidates are ranked by their estimated MI.
+
+The index is a thin discovery-specific shell over a
+:class:`~repro.engine.SketchEngine`, which owns the sketching/estimation
+configuration.  The pre-engine ``method=/capacity=/seed=`` constructor
+keywords keep working through a deprecation shim.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
+from repro.engine.config import EngineConfig
+from repro.engine.session import SketchEngine
 from repro.exceptions import DiscoveryError, InsufficientSamplesError
 from repro.discovery.profile import ColumnPairProfile, profile_column_pair
 from repro.discovery.query import (
     AugmentationQuery,
     AugmentationResult,
     candidate_identifier,
-    default_aggregate_for_dtype,
 )
 from repro.discovery.ranking import rank_results
 from repro.relational.aggregate import AggregateFunction, get_aggregate
 from repro.relational.table import Table
-from repro.sketches.base import Sketch, get_builder
-from repro.sketches.estimate import estimate_mi_from_sketches
+from repro.sketches.base import Sketch
 from repro.sketches.kmv import KMVSketch
 
 __all__ = ["SketchIndex", "IndexedCandidate"]
+
+#: Historical SketchIndex defaults, applied by the deprecation shim.
+_LEGACY_DEFAULTS = {"method": "TUPSK", "capacity": 1024, "seed": 0}
 
 
 @dataclass
@@ -52,20 +63,112 @@ class SketchIndex:
 
     Parameters
     ----------
-    method:
-        Sketching method used for MI sketches (default the paper's TUPSK).
-    capacity:
-        Sketch size ``n`` for both MI and KMV sketches.
-    seed:
-        Shared hash seed.  All sketches in one index (and the query-side
-        sketches built at query time) must share it.
+    engine:
+        The :class:`~repro.engine.SketchEngine` session (or
+        :class:`~repro.engine.EngineConfig`) that owns the sketching and
+        estimation settings.  All sketches in one index (and the query-side
+        sketches built at query time) share its method, capacity and seed.
+    method, capacity, seed:
+        Deprecated pre-engine keywords; passing any of them builds an
+        engine from ``EngineConfig(method=..., capacity=..., seed=...)``
+        (defaults TUPSK / 1024 / 0) and emits a :class:`DeprecationWarning`.
     """
 
-    def __init__(self, method: str = "TUPSK", capacity: int = 1024, seed: int = 0):
-        self.method = method
-        self.capacity = int(capacity)
-        self.seed = int(seed)
+    def __init__(
+        self,
+        engine: "SketchEngine | EngineConfig | str | None" = None,
+        *legacy_positional: int,
+        config: Optional[EngineConfig] = None,
+        method: Optional[str] = None,
+        capacity: Optional[int] = None,
+        seed: Optional[int] = None,
+    ):
+        if isinstance(engine, str):
+            # Pre-engine signature was (method, capacity, seed), all
+            # positional; a leading string is a legacy method name, possibly
+            # followed by positional capacity and seed.
+            if len(legacy_positional) > 2:
+                raise TypeError(
+                    "SketchIndex takes at most the legacy (method, capacity, seed) "
+                    f"positional arguments, got {1 + len(legacy_positional)}"
+                )
+            if method is not None:
+                raise TypeError("SketchIndex() got multiple values for argument 'method'")
+            method, engine = engine, None
+            if legacy_positional:
+                if capacity is not None:
+                    raise TypeError(
+                        "SketchIndex() got multiple values for argument 'capacity'"
+                    )
+                capacity = legacy_positional[0]
+            if len(legacy_positional) > 1:
+                if seed is not None:
+                    raise TypeError(
+                        "SketchIndex() got multiple values for argument 'seed'"
+                    )
+                seed = legacy_positional[1]
+        elif legacy_positional:
+            raise TypeError(
+                "positional arguments beyond the first are only supported for "
+                "the legacy (method, capacity, seed) string form"
+            )
+        legacy = {
+            name: value
+            for name, value in {"method": method, "capacity": capacity, "seed": seed}.items()
+            if value is not None
+        }
+        if engine is not None and (config is not None or legacy):
+            raise DiscoveryError(
+                "pass either an engine, a config, or the deprecated "
+                "method/capacity/seed keywords — not a combination"
+            )
+        if legacy:
+            if config is not None:
+                raise DiscoveryError(
+                    "pass either config= or the deprecated method/capacity/seed "
+                    "keywords, not both"
+                )
+            warnings.warn(
+                "SketchIndex(method=..., capacity=..., seed=...) is deprecated; "
+                "pass a SketchEngine or EngineConfig instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            config = EngineConfig(**{**_LEGACY_DEFAULTS, **legacy})
+        if isinstance(engine, EngineConfig):
+            engine = SketchEngine(engine)
+        if engine is None:
+            engine = SketchEngine(config if config is not None else EngineConfig(**_LEGACY_DEFAULTS))
+        self._engine = engine
         self._candidates: dict[str, IndexedCandidate] = {}
+
+    # ------------------------------------------------------------------ #
+    # Configuration views
+    # ------------------------------------------------------------------ #
+    @property
+    def engine(self) -> SketchEngine:
+        """The engine session backing this index."""
+        return self._engine
+
+    @property
+    def config(self) -> EngineConfig:
+        """The engine configuration shared by every sketch in the index."""
+        return self._engine.config
+
+    @property
+    def method(self) -> str:
+        """Sketching method used for MI sketches."""
+        return self._engine.config.method
+
+    @property
+    def capacity(self) -> int:
+        """Sketch size ``n`` for both MI and KMV sketches."""
+        return self._engine.config.capacity
+
+    @property
+    def seed(self) -> int:
+        """Shared hash seed of every sketch in the index."""
+        return self._engine.config.seed
 
     # ------------------------------------------------------------------ #
     # Offline: indexing candidates
@@ -87,15 +190,10 @@ class SketchIndex:
         """
         profile = profile_column_pair(table, key_column, value_column)
         if agg is None:
-            agg = default_aggregate_for_dtype(profile.value_dtype.is_numeric)
+            agg = self.config.default_aggregate_for(profile.value_dtype)
         agg = get_aggregate(agg)
-        builder = get_builder(self.method, capacity=self.capacity, seed=self.seed)
-        sketch = builder.sketch_candidate(table, key_column, value_column, agg=agg)
-        key_kmv = KMVSketch.from_values(
-            table.column(key_column).non_null_values(),
-            capacity=self.capacity,
-            seed=self.seed,
-        )
+        sketch = self._engine.sketch_candidate(table, key_column, value_column, agg=agg)
+        key_kmv = self._engine.key_sketch(table, key_column)
         candidate_id = candidate_identifier(
             profile.table_name or f"table_{len(self._candidates)}",
             key_column,
@@ -157,38 +255,50 @@ class SketchIndex:
     # ------------------------------------------------------------------ #
     # Online: queries
     # ------------------------------------------------------------------ #
-    def query(self, query: AugmentationQuery) -> list[AugmentationResult]:
+    def query(
+        self,
+        query: AugmentationQuery,
+        *,
+        max_workers: Optional[int] = None,
+    ) -> list[AugmentationResult]:
         """Evaluate a relationship-discovery query against the index.
 
         Returns candidates ranked by estimated MI (descending), truncated to
         ``query.top_k``.  Candidates whose key containment is below
         ``query.min_containment`` or whose sketch join is smaller than
-        ``query.min_join_size`` are skipped.
+        ``query.min_join_size`` are skipped.  ``max_workers > 1`` runs the
+        per-candidate MI estimates on a thread pool; results are identical
+        to the sequential path.
         """
         if len(self._candidates) == 0:
             raise DiscoveryError("the index is empty; add candidates before querying")
-        builder = get_builder(self.method, capacity=self.capacity, seed=self.seed)
-        base_sketch = builder.sketch_base(
+        base_sketch = self._engine.sketch_base(
             query.table, query.key_column, query.target_column
         )
-        base_kmv = KMVSketch.from_values(
-            query.table.column(query.key_column).non_null_values(),
-            capacity=self.capacity,
-            seed=self.seed,
-        )
-        results: list[AugmentationResult] = []
+        base_kmv = self._engine.key_sketch(query.table, query.key_column)
+
+        joinable: list[tuple[IndexedCandidate, float]] = []
         for candidate in self._candidates.values():
             containment = base_kmv.containment_estimate(candidate.key_kmv)
-            if containment < query.min_containment:
-                continue
-            try:
-                estimate = estimate_mi_from_sketches(
-                    base_sketch,
-                    candidate.sketch,
-                    min_join_size=query.min_join_size,
-                )
-            except InsufficientSamplesError:
-                continue
+            if containment >= query.min_containment:
+                joinable.append((candidate, containment))
+
+        estimates = self._engine.estimate_many(
+            base_sketch,
+            [candidate.sketch for candidate, _ in joinable],
+            min_join_size=query.min_join_size,
+            max_workers=max_workers,
+            return_exceptions=True,
+        )
+        results: list[AugmentationResult] = []
+        for (candidate, containment), outcome in zip(joinable, estimates):
+            if not outcome.ok:
+                # Too small a sketch join: the candidate is skipped, exactly
+                # as in per-call estimation.  Anything else is a real error.
+                if isinstance(outcome.error, InsufficientSamplesError):
+                    continue
+                raise outcome.error
+            estimate = outcome.estimate
             results.append(
                 AugmentationResult(
                     candidate_id=candidate.candidate_id,
@@ -216,6 +326,7 @@ class SketchIndex:
         top_k: int = 10,
         min_containment: float = 0.0,
         min_join_size: int = 16,
+        max_workers: Optional[int] = None,
     ) -> list[AugmentationResult]:
         """Convenience wrapper building the :class:`AugmentationQuery` inline."""
         return self.query(
@@ -226,5 +337,6 @@ class SketchIndex:
                 top_k=top_k,
                 min_containment=min_containment,
                 min_join_size=min_join_size,
-            )
+            ),
+            max_workers=max_workers,
         )

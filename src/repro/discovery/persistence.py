@@ -18,6 +18,7 @@ from pathlib import Path
 from typing import Union
 
 from repro.discovery.index import IndexedCandidate, SketchIndex
+from repro.engine.config import EngineConfig
 from repro.discovery.profile import ColumnPairProfile
 from repro.exceptions import DiscoveryError
 from repro.relational.dtypes import DType
@@ -94,9 +95,12 @@ def save_index(index: SketchIndex, directory: PathLike) -> None:
         )
     document = {
         "format_version": _FORMAT_VERSION,
+        # method/capacity/seed are kept for readers of the original format;
+        # engine_config carries the full estimation policy.
         "method": index.method,
         "capacity": index.capacity,
         "seed": index.seed,
+        "engine_config": index.config.to_dict(),
         "candidates": candidates_document,
     }
     (root / "index.json").write_text(json.dumps(document), encoding="utf-8")
@@ -117,11 +121,15 @@ def load_index(directory: PathLike) -> SketchIndex:
             f"unsupported index format version {document.get('format_version')!r}"
         )
 
-    index = SketchIndex(
-        method=document["method"],
-        capacity=int(document["capacity"]),
-        seed=int(document["seed"]),
-    )
+    if "engine_config" in document:
+        config = EngineConfig.from_dict(document["engine_config"])
+    else:  # pre-engine index directory: only the sketch triple was stored
+        config = EngineConfig(
+            method=document["method"],
+            capacity=int(document["capacity"]),
+            seed=int(document["seed"]),
+        )
+    index = SketchIndex(config)
     for entry in document["candidates"]:
         candidate = IndexedCandidate(
             candidate_id=entry["candidate_id"],

@@ -1,0 +1,42 @@
+"""The sketch-engine session API — the canonical entry point of the library.
+
+The engine layer binds every knob the offline (sketching) and online
+(estimation) halves of the paper's pipeline must agree on into one immutable
+:class:`EngineConfig`, and exposes the whole pipeline as methods of a
+:class:`SketchEngine` session:
+
+>>> from repro.engine import EngineConfig, SketchEngine
+>>> engine = SketchEngine(EngineConfig(method="TUPSK", capacity=256, seed=0))
+>>> s_base = engine.sketch_base(train, "zip", "trips")       # doctest: +SKIP
+>>> s_cand = engine.sketch_candidate(weather, "zip", "temp") # doctest: +SKIP
+>>> engine.estimate(s_base, s_cand).mi                       # doctest: +SKIP
+
+Batch workloads go through ``sketch_pairs`` / ``estimate_many``, which accept
+``max_workers`` for thread-pooled execution and always return results in
+submission order.  The free functions :func:`repro.build_sketch` and
+:func:`repro.estimate_mi_from_sketches` are thin wrappers over the
+module-level default engine.
+"""
+
+from repro.engine.batch import BatchEstimate, SketchRequest, run_batch
+from repro.engine.config import DEFAULT_CONFIG, EngineConfig
+from repro.engine.default import (
+    configure_default_engine,
+    engine_for,
+    get_default_engine,
+    set_default_engine,
+)
+from repro.engine.session import SketchEngine
+
+__all__ = [
+    "EngineConfig",
+    "DEFAULT_CONFIG",
+    "SketchEngine",
+    "SketchRequest",
+    "BatchEstimate",
+    "run_batch",
+    "get_default_engine",
+    "set_default_engine",
+    "configure_default_engine",
+    "engine_for",
+]

@@ -1,0 +1,107 @@
+"""Request/result types and the concurrency helper for batch engine calls.
+
+Both halves of the paper's pipeline are batch workloads: the offline half
+sketches thousands of ``(table, key, value)`` combinations, the online half
+estimates MI against thousands of indexed candidates.  These small types
+give those batches an explicit shape:
+
+* :class:`SketchRequest` — one sketch to build (either side);
+* :class:`BatchEstimate` — one ``estimate_many`` outcome, which either holds
+  a :class:`~repro.sketches.estimate.SketchMIEstimate` or the exception that
+  made the candidate unusable (e.g. too small a sketch join).
+
+``run_batch`` executes a list of thunks sequentially or on a thread pool;
+results always come back in submission order, so concurrent and sequential
+runs are interchangeable.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence, TypeVar
+
+from repro.exceptions import EngineError
+from repro.relational.aggregate import AggregateFunction
+from repro.relational.table import Table
+from repro.sketches.base import SketchSide
+from repro.sketches.estimate import SketchMIEstimate
+
+__all__ = ["SketchRequest", "BatchEstimate", "run_batch"]
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class SketchRequest:
+    """One sketch to build in a :meth:`SketchEngine.sketch_pairs` batch."""
+
+    table: Table
+    key_column: str
+    value_column: str
+    side: "SketchSide | str" = SketchSide.BASE
+    agg: "str | AggregateFunction | None" = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "side", SketchSide.coerce(self.side))
+
+    @classmethod
+    def coerce(cls, spec: "SketchRequest | Sequence[Any]") -> "SketchRequest":
+        """Accept a request object or a ``(table, key, value[, side[, agg]])`` tuple."""
+        if isinstance(spec, cls):
+            return spec
+        if isinstance(spec, Sequence) and not isinstance(spec, str) and 3 <= len(spec) <= 5:
+            return cls(*spec)
+        raise EngineError(
+            "sketch request must be a SketchRequest or a "
+            "(table, key_column, value_column[, side[, agg]]) tuple"
+        )
+
+
+@dataclass
+class BatchEstimate:
+    """Outcome of one candidate in an :meth:`SketchEngine.estimate_many` batch.
+
+    Exactly one of ``estimate`` and ``error`` is set.  ``position`` is the
+    candidate's index in the submitted batch, so callers can zip results back
+    to their inputs even after filtering.
+    """
+
+    position: int
+    estimate: Optional[SketchMIEstimate] = None
+    error: Optional[Exception] = None
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """Whether the estimate was computed."""
+        return self.error is None
+
+    def unwrap(self) -> SketchMIEstimate:
+        """Return the estimate, re-raising the recorded error if there is one."""
+        if self.error is not None:
+            raise self.error
+        assert self.estimate is not None
+        return self.estimate
+
+
+def run_batch(
+    thunks: Sequence[Callable[[], T]],
+    *,
+    max_workers: Optional[int] = None,
+) -> list[T]:
+    """Run thunks sequentially (``max_workers`` in {None, 0, 1}) or on a pool.
+
+    Results are returned in submission order regardless of completion order,
+    and the first raised exception propagates (after the pool drains), so the
+    concurrent path is observationally identical to the sequential one.
+    """
+    if max_workers is not None and max_workers < 0:
+        raise EngineError(f"max_workers must be non-negative, got {max_workers}")
+    if not thunks:
+        return []
+    if max_workers is None or max_workers <= 1:
+        return [thunk() for thunk in thunks]
+    with ThreadPoolExecutor(max_workers=max_workers) as pool:
+        futures = [pool.submit(thunk) for thunk in thunks]
+        return [future.result() for future in futures]

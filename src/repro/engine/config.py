@@ -1,0 +1,178 @@
+"""Immutable, validated configuration for a :class:`~repro.engine.SketchEngine`.
+
+Every knob that must agree between the offline (sketch-building) and online
+(estimation) halves of the pipeline lives in one frozen dataclass:
+
+* the sketching method and its single size parameter ``capacity``,
+* the hash ``seed`` shared by all sketches meant to be joined,
+* the estimator policy (``estimator_k`` for the KSG family and the minimum
+  sketch-join size below which estimates are refused), and
+* the default featurization aggregates applied to candidate value columns
+  when the caller does not name one.
+
+Because the config is hashable and frozen it doubles as a cache key: the
+engine memoizes base-side sketches on ``(table identity, key, target,
+config.sketch_key)``, and serialized sketches/indexes can be checked against
+it.  ``to_dict`` / ``from_dict`` give a stable JSON representation used by
+the CLI and by index persistence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+from typing import Any, Mapping
+
+from repro.exceptions import EngineConfigError
+from repro.relational.aggregate import AggregateFunction, get_aggregate
+from repro.relational.dtypes import DType
+
+__all__ = ["EngineConfig", "DEFAULT_CONFIG"]
+
+#: Version tag written into every serialized config document.
+CONFIG_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Validated, immutable settings of one sketch-engine session.
+
+    Attributes
+    ----------
+    method:
+        Sketching method name (case-insensitive; stored upper-case).
+    capacity:
+        Sketch size ``n`` used for MI sketches and KMV key sketches.
+    seed:
+        Hash seed shared by every sketch the engine builds.
+    estimator_k:
+        Neighbour count for KSG-family estimators when auto-selecting.
+    min_join_size:
+        Default minimum sketch-join size required to attempt an estimate.
+    numeric_aggregate / categorical_aggregate:
+        Featurization defaults applied to candidate value columns when no
+        aggregate is named (the paper uses AVG / MODE).
+    """
+
+    method: str = "TUPSK"
+    capacity: int = 1024
+    seed: int = 0
+    estimator_k: int = 3
+    min_join_size: int = 2
+    numeric_aggregate: AggregateFunction = AggregateFunction.AVG
+    categorical_aggregate: AggregateFunction = AggregateFunction.MODE
+
+    def __post_init__(self) -> None:
+        # The dataclass is frozen, so normalization goes through
+        # object.__setattr__ before validation.
+        object.__setattr__(self, "method", str(self.method).upper())
+        object.__setattr__(self, "capacity", int(self.capacity))
+        object.__setattr__(self, "seed", int(self.seed))
+        object.__setattr__(self, "estimator_k", int(self.estimator_k))
+        object.__setattr__(self, "min_join_size", int(self.min_join_size))
+        object.__setattr__(
+            self, "numeric_aggregate", _coerce_aggregate(self.numeric_aggregate)
+        )
+        object.__setattr__(
+            self, "categorical_aggregate", _coerce_aggregate(self.categorical_aggregate)
+        )
+        if self.capacity < 1:
+            raise EngineConfigError(f"capacity must be at least 1, got {self.capacity}")
+        if self.estimator_k < 1:
+            raise EngineConfigError(
+                f"estimator_k must be at least 1, got {self.estimator_k}"
+            )
+        if self.min_join_size < 2:
+            raise EngineConfigError(
+                f"min_join_size must be at least 2, got {self.min_join_size}"
+            )
+        _validate_method(self.method)
+
+    # ------------------------------------------------------------------ #
+    # Derived views
+    # ------------------------------------------------------------------ #
+    @property
+    def sketch_key(self) -> tuple[str, int, int]:
+        """The triple that determines sketch content and joinability."""
+        return (self.method, self.capacity, self.seed)
+
+    def default_aggregate_for(self, dtype: "DType | bool") -> AggregateFunction:
+        """Featurization default for a value column's type.
+
+        Accepts either a :class:`DType` or the ``is_numeric`` boolean.
+        """
+        is_numeric = dtype.is_numeric if isinstance(dtype, DType) else bool(dtype)
+        return self.numeric_aggregate if is_numeric else self.categorical_aggregate
+
+    def replace(self, **overrides: Any) -> "EngineConfig":
+        """Return a new config with the given fields replaced (and re-validated)."""
+        return replace(self, **overrides)
+
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict[str, Any]:
+        """Stable JSON-serializable representation of the config."""
+        return {
+            "format_version": CONFIG_FORMAT_VERSION,
+            "method": self.method,
+            "capacity": self.capacity,
+            "seed": self.seed,
+            "estimator_k": self.estimator_k,
+            "min_join_size": self.min_join_size,
+            "numeric_aggregate": self.numeric_aggregate.value,
+            "categorical_aggregate": self.categorical_aggregate.value,
+        }
+
+    @classmethod
+    def from_dict(cls, document: Mapping[str, Any]) -> "EngineConfig":
+        """Rebuild a config from :meth:`to_dict` output.
+
+        Unknown keys are rejected so silently-dropped settings cannot hide a
+        version mismatch; the ``format_version`` key itself is optional to
+        keep hand-written documents convenient.
+        """
+        if not isinstance(document, Mapping):
+            raise EngineConfigError(
+                f"engine config document must be a mapping, got {type(document).__name__}"
+            )
+        payload = dict(document)
+        version = payload.pop("format_version", CONFIG_FORMAT_VERSION)
+        if version != CONFIG_FORMAT_VERSION:
+            raise EngineConfigError(
+                f"unsupported engine config format version {version!r} "
+                f"(expected {CONFIG_FORMAT_VERSION})"
+            )
+        known = {config_field.name for config_field in fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise EngineConfigError(
+                f"unknown engine config keys: {', '.join(unknown)}"
+            )
+        try:
+            return cls(**payload)
+        except (TypeError, ValueError) as exc:
+            raise EngineConfigError(f"malformed engine config: {exc}") from exc
+
+
+def _coerce_aggregate(value: "str | AggregateFunction") -> AggregateFunction:
+    try:
+        return get_aggregate(value)
+    except Exception as exc:  # AggregationError or TypeError from bad input
+        raise EngineConfigError(f"unknown aggregate {value!r}") from exc
+
+
+def _validate_method(method: str) -> None:
+    # Imported lazily: repro.sketches imports the concrete builder modules,
+    # which must not happen while repro.engine itself is being imported.
+    from repro.sketches.base import available_methods
+    from repro.sketches import csk, indsk, lv2sk, prisk, tupsk  # noqa: F401
+
+    if method not in available_methods():
+        raise EngineConfigError(
+            f"unknown sketching method {method!r}; "
+            f"available: {', '.join(available_methods())}"
+        )
+
+
+#: Library-wide defaults; also the config of the implicit default engine.
+DEFAULT_CONFIG = EngineConfig()

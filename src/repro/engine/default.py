@@ -1,0 +1,75 @@
+"""The module-level default engine behind the library's free functions.
+
+:func:`repro.build_sketch` and :func:`repro.estimate_mi_from_sketches`
+predate the engine API; they now delegate here.  Two lookups are provided:
+
+* :func:`get_default_engine` / :func:`set_default_engine` — the process-wide
+  default session, used when a call does not mention any sketch parameters;
+* :func:`engine_for` — a throwaway engine for a one-off configuration, used
+  by legacy calls that pass ``(method, capacity, seed)`` explicitly.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Optional, Union
+
+from repro.engine.config import EngineConfig
+from repro.engine.session import SketchEngine
+from repro.exceptions import EngineError
+
+__all__ = [
+    "get_default_engine",
+    "set_default_engine",
+    "configure_default_engine",
+    "engine_for",
+]
+
+_lock = threading.Lock()
+_default_engine: Optional[SketchEngine] = None
+
+
+def get_default_engine() -> SketchEngine:
+    """The process-wide default engine (created on first use)."""
+    global _default_engine
+    with _lock:
+        if _default_engine is None:
+            _default_engine = SketchEngine(EngineConfig())
+        return _default_engine
+
+
+def set_default_engine(
+    engine: Union[SketchEngine, EngineConfig, None],
+) -> SketchEngine:
+    """Replace the default engine (pass a config to build one, None to reset)."""
+    global _default_engine
+    if isinstance(engine, EngineConfig):
+        engine = SketchEngine(engine)
+    if engine is not None and not isinstance(engine, SketchEngine):
+        raise EngineError(
+            f"expected a SketchEngine, EngineConfig or None, got {type(engine).__name__}"
+        )
+    with _lock:
+        _default_engine = engine
+    return get_default_engine()
+
+
+def configure_default_engine(**overrides: Any) -> SketchEngine:
+    """Rebuild the default engine with config fields overridden."""
+    current = get_default_engine()
+    return set_default_engine(SketchEngine(current.config.replace(**overrides)))
+
+
+def engine_for(config: Optional[EngineConfig] = None, **overrides: Any) -> SketchEngine:
+    """A fresh engine for a one-off configuration.
+
+    Used by the legacy free functions, which are deliberately stateless:
+    they build through a throwaway session so no table or sketch outlives
+    the call.  Code that wants session memoization should construct and
+    keep a :class:`SketchEngine` itself.
+    """
+    if config is None:
+        config = EngineConfig(**overrides)
+    elif overrides:
+        config = config.replace(**overrides)
+    return SketchEngine(config)

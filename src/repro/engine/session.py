@@ -1,0 +1,347 @@
+"""The :class:`SketchEngine` session object — the library's canonical API.
+
+An engine binds one :class:`~repro.engine.config.EngineConfig` to a working
+session and exposes every pipeline operation as a method:
+
+* ``sketch_base`` / ``sketch_candidate`` — build one sketch (base-side
+  sketches are memoized per session, keyed on the table's identity, the
+  column pair and the config, because the online half re-sketches the same
+  base table for every query);
+* ``sketch_pairs`` — batch-build many sketches, optionally on a thread pool;
+* ``estimate`` — join two sketches and estimate MI under the config's
+  estimator policy, after verifying the sketches agree on seed and method;
+* ``estimate_many`` — batch-estimate one base sketch against many
+  candidates, optionally concurrently, with per-candidate error capture.
+
+The free functions :func:`repro.build_sketch` and
+:func:`repro.estimate_mi_from_sketches` are thin wrappers over a
+module-level default engine (see :mod:`repro.engine.default`).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Iterable, Optional, Sequence, Union
+
+from repro.engine.batch import BatchEstimate, SketchRequest, run_batch
+from repro.engine.config import EngineConfig
+from repro.exceptions import EngineError, IncompatibleSketchError, ReproError
+from repro.estimators.base import MIEstimator
+from repro.relational.aggregate import AggregateFunction
+from repro.relational.table import Table
+from repro.sketches.base import Sketch, SketchBuilder, SketchSide, get_builder
+from repro.sketches.estimate import SketchMIEstimate, estimate_mi_from_join
+from repro.sketches.join import join_sketches
+from repro.sketches.kmv import KMVSketch
+
+__all__ = ["SketchEngine"]
+
+#: Candidate spec accepted by :meth:`SketchEngine.estimate_many`.
+CandidateSpec = Union[Sketch, SketchRequest, Sequence[Any]]
+
+
+class SketchEngine:
+    """A configured session for building, joining and estimating over sketches.
+
+    Parameters
+    ----------
+    config:
+        The session configuration; built from ``overrides`` (on top of the
+        library defaults) when omitted.
+    cache_size:
+        Maximum number of memoized base-side sketches kept per session
+        (least-recently-used eviction; ``0`` disables memoization).
+    max_workers:
+        Session-wide default for the batch methods' ``max_workers``
+        parameter (``None`` means run batches sequentially).
+    """
+
+    def __init__(
+        self,
+        config: Optional[EngineConfig] = None,
+        *,
+        cache_size: int = 64,
+        max_workers: Optional[int] = None,
+        **overrides: Any,
+    ):
+        if config is None:
+            config = EngineConfig(**overrides)
+        elif not isinstance(config, EngineConfig):
+            raise EngineError(
+                f"config must be an EngineConfig, got {type(config).__name__}"
+            )
+        elif overrides:
+            config = config.replace(**overrides)
+        if cache_size < 0:
+            raise EngineError(f"cache_size must be non-negative, got {cache_size}")
+        self.config = config
+        self.max_workers = max_workers
+        self._cache_size = int(cache_size)
+        # key -> (table, sketch); the strong table reference pins the table's
+        # id() so the identity-based key cannot alias a recycled object.
+        self._base_cache: "OrderedDict[tuple, tuple[Table, Sketch]]" = OrderedDict()
+        self._cache_hits = 0
+        self._cache_misses = 0
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    # Sketch building
+    # ------------------------------------------------------------------ #
+    def builder(self) -> SketchBuilder:
+        """A fresh builder for the configured method (one per sketch call,
+        so stateful builders like INDSK stay deterministic per sketch)."""
+        method, capacity, seed = self.config.sketch_key
+        return get_builder(method, capacity=capacity, seed=seed)
+
+    def sketch_base(
+        self,
+        table: Table,
+        key_column: str,
+        value_column: str,
+        *,
+        use_cache: bool = True,
+    ) -> Sketch:
+        """Sketch the base (``T_train``) side of ``table``, memoized per session.
+
+        Cache hits return the *same* :class:`Sketch` object, so treat engine
+        sketches as immutable (or pass ``use_cache=False`` for a private
+        copy).  The memo also holds a strong reference to each cached table
+        for the session's lifetime; ``clear_cache`` releases them.
+        """
+        cache_key = (id(table), key_column, value_column, self.config.sketch_key)
+        if use_cache and self._cache_size:
+            with self._lock:
+                entry = self._base_cache.get(cache_key)
+                if entry is not None and entry[0] is table:
+                    self._base_cache.move_to_end(cache_key)
+                    self._cache_hits += 1
+                    return entry[1]
+                self._cache_misses += 1
+        sketch = self.builder().sketch_base(table, key_column, value_column)
+        if use_cache and self._cache_size:
+            with self._lock:
+                self._base_cache[cache_key] = (table, sketch)
+                self._base_cache.move_to_end(cache_key)
+                while len(self._base_cache) > self._cache_size:
+                    self._base_cache.popitem(last=False)
+        return sketch
+
+    def sketch_candidate(
+        self,
+        table: Table,
+        key_column: str,
+        value_column: str,
+        *,
+        agg: "str | AggregateFunction | None" = None,
+    ) -> Sketch:
+        """Sketch the candidate (``T_aug``) side of ``table``.
+
+        When ``agg`` is omitted the config's default featurization for the
+        value column's type applies (AVG for numeric, MODE for categorical,
+        unless reconfigured).
+        """
+        if agg is None:
+            agg = self.config.default_aggregate_for(table.column(value_column).dtype)
+        return self.builder().sketch_candidate(table, key_column, value_column, agg=agg)
+
+    def sketch(self, request: "SketchRequest | Sequence[Any]") -> Sketch:
+        """Build the sketch described by one :class:`SketchRequest`."""
+        request = SketchRequest.coerce(request)
+        if request.side == SketchSide.BASE:
+            return self.sketch_base(
+                request.table, request.key_column, request.value_column
+            )
+        return self.sketch_candidate(
+            request.table, request.key_column, request.value_column, agg=request.agg
+        )
+
+    def sketch_pairs(
+        self,
+        requests: Iterable["SketchRequest | Sequence[Any]"],
+        *,
+        max_workers: Optional[int] = None,
+    ) -> list[Sketch]:
+        """Build many sketches, in request order, optionally concurrently.
+
+        Each request is a :class:`SketchRequest` or a
+        ``(table, key_column, value_column[, side[, agg]])`` tuple.
+        """
+        coerced = [SketchRequest.coerce(request) for request in requests]
+        thunks = [lambda request=request: self.sketch(request) for request in coerced]
+        return run_batch(thunks, max_workers=self._workers(max_workers))
+
+    def key_sketch(self, table: Table, key_column: str) -> KMVSketch:
+        """KMV sketch of a table's distinct join-key values (joinability tests)."""
+        return KMVSketch.from_values(
+            table.column(key_column).non_null_values(),
+            capacity=self.config.capacity,
+            seed=self.config.seed,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Estimation
+    # ------------------------------------------------------------------ #
+    def check_compatible(self, base: Sketch, candidate: Sketch) -> None:
+        """Verify two sketches can be joined under one engine configuration.
+
+        Sketches built under different seeds or different sketching methods
+        are not samples of the same join and must not be combined.
+        """
+        if base.seed != candidate.seed:
+            raise IncompatibleSketchError(
+                f"sketches were built with different hash seeds "
+                f"({base.seed} vs {candidate.seed})"
+            )
+        if base.method != candidate.method:
+            raise IncompatibleSketchError(
+                f"sketches were built with different sketching methods "
+                f"({base.method} vs {candidate.method})"
+            )
+
+    def estimate(
+        self,
+        base: Sketch,
+        candidate: Sketch,
+        *,
+        estimator: Optional[MIEstimator] = None,
+        k: Optional[int] = None,
+        min_join_size: Optional[int] = None,
+    ) -> SketchMIEstimate:
+        """Join two sketches and estimate MI under the config's policy.
+
+        ``k`` and ``min_join_size`` default to the engine config; an explicit
+        ``estimator`` bypasses type-driven selection entirely.
+        """
+        self.check_compatible(base, candidate)
+        join_result = join_sketches(base, candidate)
+        return estimate_mi_from_join(
+            join_result,
+            estimator=estimator,
+            k=self.config.estimator_k if k is None else k,
+            min_join_size=(
+                self.config.min_join_size if min_join_size is None else min_join_size
+            ),
+        )
+
+    def estimate_pair(
+        self,
+        base: "SketchRequest | Sequence[Any]",
+        candidate: "SketchRequest | Sequence[Any]",
+        **estimate_options: Any,
+    ) -> SketchMIEstimate:
+        """Sketch both sides of a column pair and estimate their MI."""
+        base_request = SketchRequest.coerce(base)
+        if base_request.side != SketchSide.BASE:
+            base_request = SketchRequest(
+                base_request.table,
+                base_request.key_column,
+                base_request.value_column,
+                side=SketchSide.BASE,
+            )
+        candidate_request = SketchRequest.coerce(candidate)
+        if candidate_request.side != SketchSide.CANDIDATE:
+            candidate_request = SketchRequest(
+                candidate_request.table,
+                candidate_request.key_column,
+                candidate_request.value_column,
+                side=SketchSide.CANDIDATE,
+                agg=candidate_request.agg,
+            )
+        return self.estimate(
+            self.sketch(base_request), self.sketch(candidate_request), **estimate_options
+        )
+
+    def estimate_many(
+        self,
+        base: "Sketch | SketchRequest | Sequence[Any]",
+        candidates: Iterable[CandidateSpec],
+        *,
+        estimator: Optional[MIEstimator] = None,
+        k: Optional[int] = None,
+        min_join_size: Optional[int] = None,
+        max_workers: Optional[int] = None,
+        return_exceptions: bool = False,
+    ) -> list[BatchEstimate]:
+        """Estimate one base against many candidates, optionally concurrently.
+
+        Parameters
+        ----------
+        base:
+            A base-side sketch, or a request/tuple describing one (which is
+            built through the memoizing :meth:`sketch_base` path).
+        candidates:
+            Candidate-side sketches, or requests/tuples to sketch on the fly.
+        return_exceptions:
+            When true, a candidate whose estimate fails with a library error
+            (e.g. :class:`~repro.exceptions.InsufficientSamplesError` on a
+            too-small sketch join) yields a :class:`BatchEstimate` carrying
+            that error instead of aborting the whole batch.
+
+        Results are returned in candidate order, each carrying its batch
+        ``position``, and are identical to calling :meth:`estimate` per
+        candidate sequentially.
+        """
+        if isinstance(base, Sketch):
+            base_sketch = base
+        else:
+            base_sketch = self.sketch(SketchRequest.coerce(base))
+        if base_sketch.side != SketchSide.BASE:
+            raise EngineError(
+                f"estimate_many needs a base-side sketch on the left, "
+                f"got side={str(base_sketch.side)!r}"
+            )
+        candidate_list = list(candidates)
+
+        def one(position: int, spec: CandidateSpec) -> BatchEstimate:
+            try:
+                sketch = spec if isinstance(spec, Sketch) else self.sketch(spec)
+                estimate = self.estimate(
+                    base_sketch,
+                    sketch,
+                    estimator=estimator,
+                    k=k,
+                    min_join_size=min_join_size,
+                )
+            except ReproError as error:
+                if not return_exceptions:
+                    raise
+                return BatchEstimate(position=position, error=error)
+            return BatchEstimate(position=position, estimate=estimate)
+
+        thunks = [
+            lambda position=position, spec=spec: one(position, spec)
+            for position, spec in enumerate(candidate_list)
+        ]
+        return run_batch(thunks, max_workers=self._workers(max_workers))
+
+    # ------------------------------------------------------------------ #
+    # Session cache
+    # ------------------------------------------------------------------ #
+    def clear_cache(self) -> None:
+        """Drop all memoized base-side sketches."""
+        with self._lock:
+            self._base_cache.clear()
+
+    def cache_info(self) -> dict[str, int]:
+        """Hit/miss/size counters of the base-sketch memo."""
+        with self._lock:
+            return {
+                "hits": self._cache_hits,
+                "misses": self._cache_misses,
+                "size": len(self._base_cache),
+                "max_size": self._cache_size,
+            }
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _workers(self, max_workers: Optional[int]) -> Optional[int]:
+        return self.max_workers if max_workers is None else max_workers
+
+    def __repr__(self) -> str:
+        cfg = self.config
+        return (
+            f"SketchEngine(method={cfg.method!r}, capacity={cfg.capacity}, "
+            f"seed={cfg.seed})"
+        )

@@ -16,7 +16,7 @@ types when they are not supplied and dispatches accordingly.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Optional, Sequence
+from typing import Any, Optional, Sequence
 
 from repro.relational.dtypes import DType, infer_column_dtype
 from repro.estimators.base import MIEstimator, VariableKind

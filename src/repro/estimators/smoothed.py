@@ -11,7 +11,6 @@ independence.
 
 from __future__ import annotations
 
-from collections import Counter
 from typing import Any
 
 import numpy as np

@@ -21,6 +21,8 @@ from typing import Any, Optional, Sequence
 
 import numpy as np
 
+from repro.engine.config import EngineConfig
+from repro.engine.session import SketchEngine
 from repro.exceptions import EstimationError
 from repro.estimators.base import MIEstimator
 from repro.estimators.dc_ksg import DCKSGEstimator
@@ -28,8 +30,7 @@ from repro.estimators.mixed_ksg import MixedKSGEstimator
 from repro.estimators.mle import MLEEstimator
 from repro.estimators.perturbation import perturb_ties
 from repro.relational.aggregate import AggregateFunction
-from repro.sketches.base import get_builder
-from repro.sketches.estimate import SketchMIEstimate, estimate_mi_from_join
+from repro.sketches.estimate import estimate_mi_from_join
 from repro.sketches.join import join_sketches
 from repro.synthetic.benchmark import SyntheticDataset
 from repro.util.rng import RandomState, ensure_rng
@@ -140,11 +141,18 @@ def sketch_estimate_for_dataset(
     seed: int = 0,
     random_state: RandomState = None,
     min_join_size: int = 3,
+    engine: "SketchEngine | None" = None,
 ) -> SketchRunRecord:
-    """Build sketches for a synthetic dataset and estimate MI from their join."""
-    builder = get_builder(method, capacity=capacity, seed=seed)
-    base_sketch = builder.sketch_base(dataset.train_table, "key", "target")
-    candidate_sketch = builder.sketch_candidate(
+    """Build sketches for a synthetic dataset and estimate MI from their join.
+
+    An explicit ``engine`` overrides the ``(method, capacity, seed)`` triple
+    and shares its base-sketch memo across repeated calls; otherwise a
+    throwaway session is configured from the triple.
+    """
+    if engine is None:
+        engine = SketchEngine(EngineConfig(method=method, capacity=capacity, seed=seed))
+    base_sketch = engine.sketch_base(dataset.train_table, "key", "target")
+    candidate_sketch = engine.sketch_candidate(
         dataset.cand_table, "key", "feature", agg=agg
     )
     join_result = join_sketches(base_sketch, candidate_sketch)
@@ -171,7 +179,7 @@ def sketch_estimate_for_dataset(
         distribution=dataset.distribution,
         m=dataset.m,
         key_generation=dataset.key_generation.value,
-        method=builder.method,
+        method=engine.config.method,
         estimator=estimator_label,
         true_mi=dataset.true_mi,
         estimate=float(value),

@@ -21,6 +21,8 @@ __all__ = [
     "InsufficientSamplesError",
     "SyntheticDataError",
     "DiscoveryError",
+    "EngineError",
+    "EngineConfigError",
 ]
 
 
@@ -89,3 +91,11 @@ class SyntheticDataError(ReproError):
 
 class DiscoveryError(ReproError):
     """A data-discovery query could not be evaluated."""
+
+
+class EngineError(ReproError):
+    """A sketch-engine session operation failed."""
+
+
+class EngineConfigError(EngineError):
+    """An engine configuration is invalid or could not be deserialized."""

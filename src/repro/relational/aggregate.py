@@ -14,7 +14,7 @@ from __future__ import annotations
 import enum
 import statistics
 from collections import Counter
-from typing import Any, Callable, Hashable, Iterable, Mapping, Sequence
+from typing import Any, Hashable, Sequence
 
 from repro.exceptions import AggregationError
 from repro.relational.dtypes import DType

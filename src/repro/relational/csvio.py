@@ -11,7 +11,7 @@ from __future__ import annotations
 import csv
 import io
 import os
-from typing import Iterable, Optional, Sequence, Union
+from typing import Optional, Sequence, Union
 
 from repro.exceptions import SchemaError
 from repro.relational.column import Column

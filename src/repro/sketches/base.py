@@ -19,6 +19,7 @@ in the strategy used to select which tuples enter the sketch.
 from __future__ import annotations
 
 import abc
+import enum
 from dataclasses import dataclass, field
 from typing import Any, Hashable, Optional, Sequence
 
@@ -38,11 +39,27 @@ __all__ = [
 ]
 
 
-class SketchSide:
-    """Which side of the augmentation join a sketch summarizes."""
+class SketchSide(str, enum.Enum):
+    """Which side of the augmentation join a sketch summarizes.
+
+    Members subclass :class:`str`, so they compare equal to (and serialize
+    as) the plain strings ``"base"`` / ``"candidate"`` used by existing JSON
+    sketch files and string-passing callers.
+    """
 
     BASE = "base"
     CANDIDATE = "candidate"
+
+    def __str__(self) -> str:
+        return self.value
+
+    @classmethod
+    def coerce(cls, value: "SketchSide | str") -> "SketchSide":
+        """Normalize a side given as an enum member or plain string."""
+        try:
+            return cls(value)
+        except ValueError:
+            raise SketchError(f"unknown sketch side {value!r}") from None
 
 
 @dataclass
@@ -79,7 +96,7 @@ class Sketch:
     """
 
     method: str
-    side: str
+    side: "SketchSide | str"
     seed: int
     capacity: int
     key_ids: list[int]
@@ -94,6 +111,7 @@ class Sketch:
     metadata: dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
+        self.side = SketchSide.coerce(self.side)
         if len(self.key_ids) != len(self.values):
             raise SketchError("key_ids and values must be aligned")
 
@@ -308,15 +326,25 @@ def build_sketch(
     value_column: str,
     *,
     method: str = "TUPSK",
-    side: str = SketchSide.BASE,
+    side: "SketchSide | str" = SketchSide.BASE,
     capacity: int = 256,
     seed: int = 0,
     agg: "str | AggregateFunction" = AggregateFunction.AVG,
 ) -> Sketch:
-    """One-call convenience wrapper around the builder classes."""
-    builder = get_builder(method, capacity=capacity, seed=seed)
-    if side == SketchSide.BASE:
-        return builder.sketch_base(table, key_column, value_column)
-    if side == SketchSide.CANDIDATE:
-        return builder.sketch_candidate(table, key_column, value_column, agg=agg)
-    raise SketchError(f"unknown sketch side {side!r}")
+    """One-call convenience wrapper over the engine layer.
+
+    Delegates to a shared :class:`~repro.engine.SketchEngine` for the given
+    ``(method, capacity, seed)`` configuration; prefer using an engine
+    directly for batch work or when the same configuration is reused.
+    """
+    # Imported lazily: the engine layer builds on this module.
+    from repro.engine.default import engine_for
+
+    engine = engine_for(method=method, capacity=capacity, seed=seed)
+    side = SketchSide.coerce(side)
+    if side is SketchSide.BASE:
+        # use_cache=False keeps this wrapper stateless like the original
+        # function: a fresh sketch every call, and no table pinned in a
+        # process-global cache.
+        return engine.sketch_base(table, key_column, value_column, use_cache=False)
+    return engine.sketch_candidate(table, key_column, value_column, agg=agg)

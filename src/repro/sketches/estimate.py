@@ -9,13 +9,13 @@ caller supplies one explicitly.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Optional
+from typing import Optional
 
 from repro.exceptions import InsufficientSamplesError
 from repro.estimators.base import MIEstimator
 from repro.estimators.selection import select_estimator
 from repro.sketches.base import Sketch
-from repro.sketches.join import SketchJoinResult, join_sketches
+from repro.sketches.join import SketchJoinResult
 
 __all__ = ["SketchMIEstimate", "estimate_mi_from_sketches", "estimate_mi_from_join"]
 
@@ -67,8 +67,8 @@ def estimate_mi_from_sketches(
     candidate: Sketch,
     *,
     estimator: Optional[MIEstimator] = None,
-    k: int = 3,
-    min_join_size: int = 2,
+    k: Optional[int] = None,
+    min_join_size: Optional[int] = None,
 ) -> SketchMIEstimate:
     """Join two sketches and estimate the MI of the recovered sample.
 
@@ -82,13 +82,25 @@ def estimate_mi_from_sketches(
         Explicit MI estimator; by default one is selected from the sketched
         columns' data types following the paper's policy.
     k:
-        Neighbour count for KSG-family estimators when auto-selecting.
+        Neighbour count for KSG-family estimators when auto-selecting;
+        defaults to the default engine's ``estimator_k`` (3 unless
+        reconfigured).
     min_join_size:
         Minimum number of recovered join rows required to attempt an
         estimate; smaller joins raise
-        :class:`~repro.exceptions.InsufficientSamplesError`.
+        :class:`~repro.exceptions.InsufficientSamplesError`.  Defaults to
+        the default engine's ``min_join_size`` (2 unless reconfigured).
+
+    Notes
+    -----
+    This is a thin wrapper over the default
+    :class:`~repro.engine.SketchEngine`; sketches built under different
+    seeds or sketching methods raise
+    :class:`~repro.exceptions.IncompatibleSketchError`.
     """
-    join_result = join_sketches(base, candidate)
-    return estimate_mi_from_join(
-        join_result, estimator=estimator, k=k, min_join_size=min_join_size
+    # Imported lazily: the engine layer builds on this module.
+    from repro.engine.default import get_default_engine
+
+    return get_default_engine().estimate(
+        base, candidate, estimator=estimator, k=k, min_join_size=min_join_size
     )

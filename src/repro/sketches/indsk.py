@@ -16,7 +16,7 @@ from typing import Any, Hashable
 
 import numpy as np
 
-from repro.sketches.base import SketchBuilder, SketchSide, register_builder
+from repro.sketches.base import SketchBuilder, register_builder
 from repro.sketches.sampling import uniform_sample_without_replacement
 
 __all__ = ["IndependentSketchBuilder"]

@@ -30,7 +30,7 @@ def sketch_to_dict(sketch: Sketch) -> dict[str, Any]:
     return {
         "format_version": FORMAT_VERSION,
         "method": sketch.method,
-        "side": sketch.side,
+        "side": str(sketch.side),
         "seed": sketch.seed,
         "capacity": sketch.capacity,
         "key_ids": list(sketch.key_ids),

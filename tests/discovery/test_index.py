@@ -5,6 +5,7 @@ import pytest
 
 from repro.discovery.index import SketchIndex
 from repro.discovery.query import AugmentationQuery
+from repro.engine import EngineConfig, SketchEngine
 from repro.exceptions import DiscoveryError
 from repro.relational.table import Table
 
@@ -33,6 +34,62 @@ def build_corpus(num_keys=600, seed=0):
         name="unrelated",
     )
     return base, strong, weak, unrelated
+
+
+class TestConstruction:
+    def test_from_engine(self):
+        engine = SketchEngine(EngineConfig(method="CSK", capacity=64, seed=3))
+        index = SketchIndex(engine)
+        assert index.engine is engine
+        assert (index.method, index.capacity, index.seed) == ("CSK", 64, 3)
+
+    def test_from_config(self):
+        index = SketchIndex(EngineConfig(capacity=128, seed=9))
+        assert index.config == EngineConfig(capacity=128, seed=9)
+
+    def test_default_matches_legacy_defaults(self):
+        index = SketchIndex()
+        assert (index.method, index.capacity, index.seed) == ("TUPSK", 1024, 0)
+
+    def test_legacy_kwargs_deprecated_but_working(self):
+        with pytest.warns(DeprecationWarning):
+            index = SketchIndex(method="CSK", capacity=64, seed=3)
+        assert (index.method, index.capacity, index.seed) == ("CSK", 64, 3)
+
+    def test_legacy_positional_method_string(self):
+        with pytest.warns(DeprecationWarning):
+            index = SketchIndex("CSK")
+        assert index.method == "CSK"
+        assert index.capacity == 1024
+
+    def test_legacy_fully_positional_signature(self):
+        with pytest.warns(DeprecationWarning):
+            index = SketchIndex("CSK", 512, 7)
+        assert (index.method, index.capacity, index.seed) == ("CSK", 512, 7)
+
+    def test_positional_args_without_method_string_rejected(self):
+        engine = SketchEngine(EngineConfig())
+        with pytest.raises(TypeError):
+            SketchIndex(engine, 512)
+        with pytest.raises(TypeError):
+            SketchIndex("CSK", 512, 7, 9)
+
+    def test_positional_and_keyword_conflicts_rejected(self):
+        with pytest.raises(TypeError):
+            SketchIndex("CSK", 512, capacity=64)
+        with pytest.raises(TypeError):
+            SketchIndex("CSK", 512, 7, seed=1)
+        with pytest.raises(TypeError):
+            SketchIndex("CSK", method="TUPSK")
+
+    def test_engine_and_legacy_kwargs_conflict(self):
+        engine = SketchEngine(EngineConfig())
+        with pytest.raises(DiscoveryError):
+            SketchIndex(engine, capacity=64)
+
+    def test_config_and_legacy_kwargs_conflict(self):
+        with pytest.raises(DiscoveryError):
+            SketchIndex(config=EngineConfig(), seed=1)
 
 
 class TestIndexing:
@@ -112,6 +169,23 @@ class TestQueries:
         base, _ = corpus
         with pytest.raises(DiscoveryError):
             SketchIndex().query_columns(base, "key", "target")
+
+    def test_concurrent_query_identical_to_sequential(self, corpus):
+        base, index = corpus
+        sequential = index.query_columns(base, "key", "target", top_k=0, min_join_size=16)
+        concurrent = index.query_columns(
+            base, "key", "target", top_k=0, min_join_size=16, max_workers=4
+        )
+        assert [(r.candidate_id, r.mi_estimate) for r in sequential] == [
+            (r.candidate_id, r.mi_estimate) for r in concurrent
+        ]
+
+    def test_repeated_queries_reuse_memoized_base_sketch(self, corpus):
+        base, index = corpus
+        index.engine.clear_cache()
+        index.query_columns(base, "key", "target", top_k=1, min_join_size=16)
+        index.query_columns(base, "key", "target", top_k=2, min_join_size=16)
+        assert index.engine.cache_info()["hits"] >= 1
 
     def test_results_have_provenance(self, corpus):
         base, index = corpus

@@ -7,6 +7,7 @@ import pytest
 
 from repro.discovery.index import SketchIndex
 from repro.discovery.persistence import load_index, save_index
+from repro.engine import EngineConfig
 from repro.exceptions import DiscoveryError
 from repro.relational.table import Table
 
@@ -45,6 +46,36 @@ class TestSaveAndLoad:
         assert loaded.metadata == original.metadata
         assert loaded.sketch.key_ids == original.sketch.key_ids
         assert loaded.profile.table_name == original.profile.table_name
+
+    def test_roundtrip_preserves_full_engine_config(self, tmp_path, populated_index):
+        """Estimator policy and aggregate defaults survive, not just the triple."""
+        _, reference = populated_index
+        index = SketchIndex(
+            EngineConfig(
+                capacity=128,
+                seed=4,
+                estimator_k=7,
+                min_join_size=8,
+                numeric_aggregate="sum",
+            )
+        )
+        for candidate in reference.candidates:
+            index._candidates[candidate.candidate_id] = candidate
+        save_index(index, tmp_path / "index")
+        restored = load_index(tmp_path / "index")
+        assert restored.config == index.config
+
+    def test_loads_pre_engine_index_document(self, tmp_path, populated_index):
+        """Directories written before engine_config existed still load."""
+        _, index = populated_index
+        save_index(index, tmp_path / "index")
+        index_path = tmp_path / "index" / "index.json"
+        document = json.loads(index_path.read_text(encoding="utf-8"))
+        del document["engine_config"]
+        index_path.write_text(json.dumps(document), encoding="utf-8")
+        restored = load_index(tmp_path / "index")
+        assert (restored.method, restored.capacity, restored.seed) == ("TUPSK", 128, 4)
+        assert len(restored) == len(index)
 
     def test_restored_index_answers_queries_identically(self, tmp_path, populated_index):
         base, index = populated_index

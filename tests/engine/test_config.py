@@ -1,0 +1,113 @@
+"""Tests for the immutable engine configuration."""
+
+import dataclasses
+
+import pytest
+
+from repro.engine.config import EngineConfig
+from repro.exceptions import EngineConfigError
+from repro.relational.aggregate import AggregateFunction
+from repro.relational.dtypes import DType
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        config = EngineConfig()
+        assert config.method == "TUPSK"
+        assert config.capacity == 1024
+        assert config.seed == 0
+
+    def test_method_is_normalized_upper_case(self):
+        assert EngineConfig(method="tupsk").method == "TUPSK"
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(EngineConfigError):
+            EngineConfig(method="NOPESK")
+
+    @pytest.mark.parametrize("field,value", [
+        ("capacity", 0),
+        ("estimator_k", 0),
+        ("min_join_size", 1),
+    ])
+    def test_out_of_range_values_rejected(self, field, value):
+        with pytest.raises(EngineConfigError):
+            EngineConfig(**{field: value})
+
+    def test_aggregates_coerced_from_strings(self):
+        config = EngineConfig(numeric_aggregate="sum", categorical_aggregate="first")
+        assert config.numeric_aggregate is AggregateFunction.SUM
+        assert config.categorical_aggregate is AggregateFunction.FIRST
+
+    def test_unknown_aggregate_rejected(self):
+        with pytest.raises(EngineConfigError):
+            EngineConfig(numeric_aggregate="concat")
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            EngineConfig().capacity = 5
+
+
+class TestDerivedViews:
+    def test_sketch_key(self):
+        config = EngineConfig(method="csk", capacity=64, seed=7)
+        assert config.sketch_key == ("CSK", 64, 7)
+
+    def test_default_aggregate_for_dtype(self):
+        config = EngineConfig()
+        assert config.default_aggregate_for(DType.FLOAT) is AggregateFunction.AVG
+        assert config.default_aggregate_for(DType.STRING) is AggregateFunction.MODE
+        assert config.default_aggregate_for(True) is AggregateFunction.AVG
+        assert config.default_aggregate_for(False) is AggregateFunction.MODE
+
+    def test_replace_revalidates(self):
+        config = EngineConfig()
+        assert config.replace(capacity=32).capacity == 32
+        with pytest.raises(EngineConfigError):
+            config.replace(capacity=-1)
+
+    def test_hashable_and_equatable(self):
+        assert EngineConfig(seed=1) == EngineConfig(seed=1)
+        assert len({EngineConfig(seed=1), EngineConfig(seed=1), EngineConfig(seed=2)}) == 2
+
+
+class TestPersistence:
+    def test_round_trip_is_exact(self):
+        config = EngineConfig(
+            method="lv2sk",
+            capacity=333,
+            seed=42,
+            estimator_k=5,
+            min_join_size=8,
+            numeric_aggregate="median",
+            categorical_aggregate="first",
+        )
+        assert EngineConfig.from_dict(config.to_dict()) == config
+
+    def test_default_round_trip(self):
+        assert EngineConfig.from_dict(EngineConfig().to_dict()) == EngineConfig()
+
+    def test_to_dict_is_json_plain(self):
+        import json
+
+        json.dumps(EngineConfig().to_dict())  # must not raise
+
+    def test_from_dict_rejects_unknown_keys(self):
+        document = EngineConfig().to_dict()
+        document["sketch_method"] = "TUPSK"
+        with pytest.raises(EngineConfigError):
+            EngineConfig.from_dict(document)
+
+    def test_from_dict_rejects_wrong_version(self):
+        document = EngineConfig().to_dict()
+        document["format_version"] = 99
+        with pytest.raises(EngineConfigError):
+            EngineConfig.from_dict(document)
+
+    def test_from_dict_rejects_non_mapping(self):
+        with pytest.raises(EngineConfigError):
+            EngineConfig.from_dict(["not", "a", "mapping"])
+
+    def test_format_version_optional(self):
+        document = EngineConfig(capacity=77).to_dict()
+        del document["format_version"]
+        assert EngineConfig.from_dict(document).capacity == 77

@@ -1,0 +1,133 @@
+"""Tests for the module-level default engine and the legacy wrappers."""
+
+import numpy as np
+import pytest
+
+from repro.engine import EngineConfig, SketchEngine
+from repro.engine.default import (
+    configure_default_engine,
+    engine_for,
+    get_default_engine,
+    set_default_engine,
+)
+from repro.exceptions import EngineError, IncompatibleSketchError
+from repro.relational.table import Table
+from repro.sketches.base import SketchSide, build_sketch
+from repro.sketches.estimate import estimate_mi_from_sketches
+
+
+@pytest.fixture(autouse=True)
+def reset_default_engine():
+    yield
+    set_default_engine(None)
+
+
+@pytest.fixture()
+def pair():
+    rng = np.random.default_rng(5)
+    keys = [f"k{i:04d}" for i in range(300)]
+    x = rng.normal(size=300)
+    y = x + 0.3 * rng.normal(size=300)
+    base = Table.from_dict({"key": keys, "target": y.tolist()}, name="base")
+    cand = Table.from_dict({"key": keys, "feature": x.tolist()}, name="cand")
+    return base, cand
+
+
+class TestDefaultEngine:
+    def test_created_on_first_use(self):
+        engine = get_default_engine()
+        assert isinstance(engine, SketchEngine)
+        assert engine is get_default_engine()
+
+    def test_set_from_config(self):
+        engine = set_default_engine(EngineConfig(capacity=32))
+        assert engine.config.capacity == 32
+        assert get_default_engine() is engine
+
+    def test_set_rejects_junk(self):
+        with pytest.raises(EngineError):
+            set_default_engine("TUPSK")
+
+    def test_configure_overrides_fields(self):
+        engine = configure_default_engine(capacity=48, seed=5)
+        assert engine.config.capacity == 48
+        assert engine.config.seed == 5
+        assert get_default_engine() is engine
+
+    def test_engine_for_builds_throwaway_engines(self):
+        first = engine_for(capacity=64, seed=1)
+        second = engine_for(capacity=64, seed=1)
+        assert first is not second  # no process-global state pinned
+        assert first.config == second.config == EngineConfig(capacity=64, seed=1)
+
+    def test_engine_for_overrides_on_config(self):
+        engine = engine_for(EngineConfig(capacity=64), seed=5)
+        assert engine.config == EngineConfig(capacity=64, seed=5)
+
+
+class TestLegacyWrappers:
+    def test_build_sketch_delegates_to_shared_engine(self, pair):
+        base, _ = pair
+        sketch = build_sketch(base, "key", "target", capacity=128, seed=7)
+        assert sketch.side == SketchSide.BASE
+        assert (sketch.method, sketch.capacity, sketch.seed) == ("TUPSK", 128, 7)
+        # The wrapper stays stateless like the original function: a fresh
+        # (but deterministic) sketch per call, nothing pinned in any cache.
+        again = build_sketch(base, "key", "target", capacity=128, seed=7)
+        assert again is not sketch
+        assert again.key_ids == sketch.key_ids
+        assert again.values == sketch.values
+
+    def test_build_sketch_candidate_side_strings(self, pair):
+        _, cand = pair
+        sketch = build_sketch(
+            cand, "key", "feature", side="candidate", capacity=128, agg="max"
+        )
+        assert sketch.side == SketchSide.CANDIDATE
+        assert sketch.aggregate == "max"
+
+    def test_build_sketch_rejects_unknown_side(self, pair):
+        base, _ = pair
+        from repro.exceptions import SketchError
+
+        with pytest.raises(SketchError):
+            build_sketch(base, "key", "target", side="sideways")
+
+    def test_estimate_wrapper_matches_engine(self, pair):
+        base, cand = pair
+        engine = SketchEngine(EngineConfig(capacity=256, seed=0))
+        base_sketch = engine.sketch_base(base, "key", "target")
+        cand_sketch = engine.sketch_candidate(cand, "key", "feature")
+        assert (
+            estimate_mi_from_sketches(base_sketch, cand_sketch).mi
+            == engine.estimate(base_sketch, cand_sketch, k=3, min_join_size=2).mi
+        )
+
+    def test_estimate_wrapper_honours_configured_default_policy(self, pair):
+        """configure_default_engine's estimator policy reaches the wrapper."""
+        from repro.exceptions import InsufficientSamplesError
+
+        base, cand = pair
+        base_sketch = build_sketch(base, "key", "target", capacity=128)
+        cand_sketch = build_sketch(cand, "key", "feature", side="candidate", capacity=128)
+        configure_default_engine(min_join_size=100_000)
+        with pytest.raises(InsufficientSamplesError):
+            estimate_mi_from_sketches(base_sketch, cand_sketch)
+        # An explicit argument still overrides the configured policy.
+        assert estimate_mi_from_sketches(
+            base_sketch, cand_sketch, min_join_size=2
+        ).mi > 0.0
+
+    def test_estimate_wrapper_rejects_mixed_configs(self, pair):
+        base, cand = pair
+        base_sketch = build_sketch(base, "key", "target", capacity=128, seed=1)
+        cand_seed = build_sketch(
+            cand, "key", "feature", side="candidate", capacity=128, seed=2
+        )
+        with pytest.raises(IncompatibleSketchError):
+            estimate_mi_from_sketches(base_sketch, cand_seed)
+        cand_method = build_sketch(
+            cand, "key", "feature", side="candidate", method="CSK", capacity=128, seed=1
+        )
+        with pytest.raises(IncompatibleSketchError):
+            estimate_mi_from_sketches(base_sketch, cand_method)

@@ -1,0 +1,288 @@
+"""Tests for the SketchEngine session: sketching, batching, estimation."""
+
+import numpy as np
+import pytest
+
+from repro.engine import EngineConfig, SketchEngine, SketchRequest
+from repro.exceptions import (
+    EngineError,
+    IncompatibleSketchError,
+    InsufficientSamplesError,
+)
+from repro.relational.table import Table
+from repro.sketches.base import SketchSide
+from repro.sketches.estimate import estimate_mi_from_join
+from repro.sketches.join import join_sketches
+
+
+def make_corpus(num_keys=400, num_candidates=6, seed=11):
+    """One base table plus candidates of varying dependence on the target."""
+    rng = np.random.default_rng(seed)
+    keys = [f"k{i:05d}" for i in range(num_keys)]
+    target = rng.normal(size=num_keys)
+    base = Table.from_dict({"key": keys, "target": target.tolist()}, name="base")
+    candidates = []
+    for index in range(num_candidates):
+        mix = index / max(num_candidates - 1, 1)
+        feature = (1.0 - mix) * target + mix * rng.normal(size=num_keys)
+        candidates.append(
+            Table.from_dict(
+                {"key": keys, "feature": feature.tolist()}, name=f"cand{index}"
+            )
+        )
+    return base, candidates
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return make_corpus()
+
+
+@pytest.fixture()
+def engine():
+    return SketchEngine(EngineConfig(method="TUPSK", capacity=256, seed=0))
+
+
+class TestConstruction:
+    def test_overrides_without_config(self):
+        engine = SketchEngine(capacity=32, seed=9)
+        assert engine.config == EngineConfig(capacity=32, seed=9)
+
+    def test_overrides_on_top_of_config(self):
+        engine = SketchEngine(EngineConfig(capacity=32), seed=9)
+        assert engine.config == EngineConfig(capacity=32, seed=9)
+
+    def test_rejects_non_config(self):
+        with pytest.raises(EngineError):
+            SketchEngine({"capacity": 32})
+
+    def test_rejects_negative_cache_size(self):
+        with pytest.raises(EngineError):
+            SketchEngine(cache_size=-1)
+
+
+class TestSketching:
+    def test_sketch_base_matches_config(self, engine, corpus):
+        base, _ = corpus
+        sketch = engine.sketch_base(base, "key", "target")
+        assert sketch.side == SketchSide.BASE
+        assert (sketch.method, sketch.capacity, sketch.seed) == engine.config.sketch_key
+
+    def test_sketch_candidate_default_aggregates(self, engine, weather_table):
+        numeric = engine.sketch_candidate(weather_table, "date", "temp")
+        categorical = engine.sketch_candidate(weather_table, "date", "conditions")
+        assert numeric.aggregate == "avg"
+        assert categorical.aggregate == "mode"
+
+    def test_sketch_candidate_explicit_aggregate(self, engine, weather_table):
+        sketch = engine.sketch_candidate(weather_table, "date", "temp", agg="max")
+        assert sketch.aggregate == "max"
+
+    def test_base_sketch_memoized_per_table_identity(self, engine, corpus):
+        base, _ = corpus
+        first = engine.sketch_base(base, "key", "target")
+        second = engine.sketch_base(base, "key", "target")
+        assert first is second
+        info = engine.cache_info()
+        assert info["hits"] == 1 and info["size"] == 1
+
+    def test_equal_but_distinct_tables_not_conflated(self, engine):
+        table_a = Table.from_dict({"k": list("abcdef"), "v": range(6)}, name="t")
+        table_b = Table.from_dict({"k": list("abcdef"), "v": range(6)}, name="t")
+        sketch_a = engine.sketch_base(table_a, "k", "v")
+        sketch_b = engine.sketch_base(table_b, "k", "v")
+        assert sketch_a is not sketch_b
+        assert sketch_a.key_ids == sketch_b.key_ids  # deterministic content
+
+    def test_cache_bypass(self, corpus):
+        engine = SketchEngine(EngineConfig(capacity=64), cache_size=0)
+        base, _ = corpus
+        first = engine.sketch_base(base, "key", "target")
+        second = engine.sketch_base(base, "key", "target")
+        assert first is not second
+
+    def test_clear_cache(self, engine, corpus):
+        base, _ = corpus
+        engine.sketch_base(base, "key", "target")
+        engine.clear_cache()
+        assert engine.cache_info()["size"] == 0
+
+    def test_lru_eviction(self):
+        engine = SketchEngine(EngineConfig(capacity=8), cache_size=2)
+        tables = [
+            Table.from_dict({"k": list("abcdef"), "v": range(6)}, name=f"t{i}")
+            for i in range(3)
+        ]
+        for table in tables:
+            engine.sketch_base(table, "k", "v")
+        assert engine.cache_info()["size"] == 2
+
+
+class TestSketchPairs:
+    def test_requests_and_tuples(self, engine, corpus):
+        base, candidates = corpus
+        sketches = engine.sketch_pairs(
+            [
+                SketchRequest(base, "key", "target"),
+                (candidates[0], "key", "feature", SketchSide.CANDIDATE),
+                (candidates[1], "key", "feature", "candidate", "max"),
+            ]
+        )
+        assert [str(sketch.side) for sketch in sketches] == [
+            "base", "candidate", "candidate",
+        ]
+        assert sketches[2].aggregate == "max"
+
+    def test_concurrent_equals_sequential(self, engine, corpus):
+        base, candidates = corpus
+        requests = [(candidate, "key", "feature", "candidate") for candidate in candidates]
+        sequential = engine.sketch_pairs(requests)
+        concurrent = engine.sketch_pairs(requests, max_workers=4)
+        for left, right in zip(sequential, concurrent):
+            assert left.key_ids == right.key_ids
+            assert left.values == right.values
+
+    def test_bad_request_rejected(self, engine):
+        with pytest.raises(EngineError):
+            engine.sketch_pairs([("too", "short")])
+
+    def test_string_spec_rejected_not_splatted(self, engine):
+        """A stray string (e.g. a file path) must not be unpacked char-wise."""
+        with pytest.raises(EngineError):
+            engine.sketch_pairs(["abc"])
+
+
+class TestEstimate:
+    def test_estimate_uses_config_policy(self, corpus):
+        base, candidates = corpus
+        engine = SketchEngine(EngineConfig(capacity=256, min_join_size=2, estimator_k=3))
+        base_sketch = engine.sketch_base(base, "key", "target")
+        candidate_sketch = engine.sketch_candidate(candidates[0], "key", "feature")
+        estimate = engine.estimate(base_sketch, candidate_sketch)
+        join_result = join_sketches(base_sketch, candidate_sketch)
+        reference = estimate_mi_from_join(join_result, k=3, min_join_size=2)
+        assert estimate.mi == reference.mi
+        assert estimate.estimator == reference.estimator
+
+    def test_seed_mismatch_raises(self, corpus):
+        base, candidates = corpus
+        engine_a = SketchEngine(EngineConfig(capacity=128, seed=1))
+        engine_b = SketchEngine(EngineConfig(capacity=128, seed=2))
+        base_sketch = engine_a.sketch_base(base, "key", "target")
+        candidate_sketch = engine_b.sketch_candidate(candidates[0], "key", "feature")
+        with pytest.raises(IncompatibleSketchError):
+            engine_a.estimate(base_sketch, candidate_sketch)
+
+    def test_method_mismatch_raises(self, corpus):
+        base, candidates = corpus
+        engine_a = SketchEngine(EngineConfig(method="TUPSK", capacity=128))
+        engine_b = SketchEngine(EngineConfig(method="CSK", capacity=128))
+        base_sketch = engine_a.sketch_base(base, "key", "target")
+        candidate_sketch = engine_b.sketch_candidate(candidates[0], "key", "feature")
+        with pytest.raises(IncompatibleSketchError):
+            engine_a.estimate(base_sketch, candidate_sketch)
+
+    def test_estimate_pair_from_tuples(self, engine, corpus):
+        base, candidates = corpus
+        estimate = engine.estimate_pair(
+            (base, "key", "target"), (candidates[0], "key", "feature")
+        )
+        assert estimate.mi > 0.0
+
+    def test_min_join_size_enforced(self, engine, corpus):
+        base, candidates = corpus
+        base_sketch = engine.sketch_base(base, "key", "target")
+        candidate_sketch = engine.sketch_candidate(candidates[0], "key", "feature")
+        with pytest.raises(InsufficientSamplesError):
+            engine.estimate(base_sketch, candidate_sketch, min_join_size=10_000)
+
+
+class TestEstimateMany:
+    def test_matches_per_call_estimates(self, engine, corpus):
+        """Acceptance: batch results identical to per-call estimation."""
+        from repro.sketches.estimate import estimate_mi_from_sketches
+
+        base, candidates = corpus
+        base_sketch = engine.sketch_base(base, "key", "target")
+        candidate_sketches = [
+            engine.sketch_candidate(candidate, "key", "feature")
+            for candidate in candidates
+        ]
+        batch = engine.estimate_many(base_sketch, candidate_sketches, min_join_size=2)
+        per_call = [
+            estimate_mi_from_sketches(base_sketch, sketch, min_join_size=2)
+            for sketch in candidate_sketches
+        ]
+        assert [outcome.position for outcome in batch] == list(range(len(candidates)))
+        assert [outcome.estimate.mi for outcome in batch] == [
+            estimate.mi for estimate in per_call
+        ]
+        assert [outcome.estimate.estimator for outcome in batch] == [
+            estimate.estimator for estimate in per_call
+        ]
+
+    def test_concurrent_matches_sequential(self, engine, corpus):
+        base, candidates = corpus
+        base_sketch = engine.sketch_base(base, "key", "target")
+        candidate_sketches = [
+            engine.sketch_candidate(candidate, "key", "feature")
+            for candidate in candidates
+        ]
+        sequential = engine.estimate_many(base_sketch, candidate_sketches)
+        concurrent = engine.estimate_many(
+            base_sketch, candidate_sketches, max_workers=4
+        )
+        assert [outcome.estimate.mi for outcome in sequential] == [
+            outcome.estimate.mi for outcome in concurrent
+        ]
+        # Ranking (argsort by MI) is identical too.
+        ranking = sorted(
+            range(len(sequential)), key=lambda i: -sequential[i].estimate.mi
+        )
+        ranking_concurrent = sorted(
+            range(len(concurrent)), key=lambda i: -concurrent[i].estimate.mi
+        )
+        assert ranking == ranking_concurrent
+
+    def test_base_given_as_request_goes_through_memo(self, engine, corpus):
+        base, candidates = corpus
+        candidate_sketch = engine.sketch_candidate(candidates[0], "key", "feature")
+        engine.estimate_many((base, "key", "target"), [candidate_sketch])
+        engine.estimate_many((base, "key", "target"), [candidate_sketch])
+        assert engine.cache_info()["hits"] >= 1
+
+    def test_candidate_requests_sketched_on_the_fly(self, engine, corpus):
+        base, candidates = corpus
+        outcomes = engine.estimate_many(
+            (base, "key", "target"),
+            [(candidate, "key", "feature", "candidate") for candidate in candidates[:2]],
+        )
+        assert all(outcome.ok for outcome in outcomes)
+
+    def test_rejects_candidate_side_base(self, engine, corpus):
+        base, candidates = corpus
+        candidate_sketch = engine.sketch_candidate(candidates[0], "key", "feature")
+        with pytest.raises(EngineError):
+            engine.estimate_many(candidate_sketch, [candidate_sketch])
+
+    def test_error_capture(self, engine, corpus):
+        base, candidates = corpus
+        base_sketch = engine.sketch_base(base, "key", "target")
+        candidate_sketch = engine.sketch_candidate(candidates[0], "key", "feature")
+        outcomes = engine.estimate_many(
+            base_sketch,
+            [candidate_sketch],
+            min_join_size=10_000,
+            return_exceptions=True,
+        )
+        assert not outcomes[0].ok
+        assert isinstance(outcomes[0].error, InsufficientSamplesError)
+        with pytest.raises(InsufficientSamplesError):
+            outcomes[0].unwrap()
+
+    def test_errors_raise_without_capture(self, engine, corpus):
+        base, candidates = corpus
+        base_sketch = engine.sketch_base(base, "key", "target")
+        candidate_sketch = engine.sketch_candidate(candidates[0], "key", "feature")
+        with pytest.raises(InsufficientSamplesError):
+            engine.estimate_many(base_sketch, [candidate_sketch], min_join_size=10_000)

@@ -1,0 +1,1 @@
+"""Test package (gives duplicate basenames unique import paths)."""

@@ -29,6 +29,34 @@ class TestRegistry:
             get_builder("TUPSK", capacity=0)
 
 
+class TestSketchSide:
+    def test_is_a_real_enum(self):
+        import enum
+
+        assert issubclass(SketchSide, enum.Enum)
+        assert list(SketchSide) == [SketchSide.BASE, SketchSide.CANDIDATE]
+
+    def test_compares_with_plain_strings(self):
+        assert SketchSide.BASE == "base"
+        assert SketchSide.CANDIDATE == "candidate"
+        assert str(SketchSide.BASE) == "base"
+
+    def test_serializes_as_plain_string(self):
+        import json
+
+        assert json.dumps({"side": SketchSide.CANDIDATE}) == '{"side": "candidate"}'
+
+    def test_coerce(self):
+        assert SketchSide.coerce("base") is SketchSide.BASE
+        assert SketchSide.coerce(SketchSide.CANDIDATE) is SketchSide.CANDIDATE
+        with pytest.raises(SketchError):
+            SketchSide.coerce("sideways")
+
+    def test_sketch_normalizes_string_sides(self, taxi_table):
+        sketch = build_sketch(taxi_table, "zipcode", "num_trips", side="base", capacity=8)
+        assert sketch.side is SketchSide.BASE
+
+
 class TestSketchDataModel:
     def test_misaligned_entries_rejected(self):
         with pytest.raises(SketchError):

@@ -1,11 +1,15 @@
 """Tests for the command-line interface."""
 
+import json
+
 import numpy as np
 import pytest
 
 from repro.cli import build_parser, main
+from repro.engine import EngineConfig
 from repro.relational.csvio import write_csv
 from repro.relational.table import Table
+from repro.sketches.serialization import load_sketch
 
 
 @pytest.fixture()
@@ -30,7 +34,15 @@ class TestParser:
             ["sketch", "in.csv", "--key", "k", "--value", "v", "-o", "out.json"]
         )
         assert args.command == "sketch"
-        assert args.method == "TUPSK"
+        # Engine flags default to None: unset flags inherit from the engine
+        # config (file or library default) instead of clobbering it.
+        assert args.method is None
+        assert args.engine_config is None
+
+    def test_config_subcommand_registered(self):
+        args = build_parser().parse_args(["config", "--capacity", "64"])
+        assert args.command == "config"
+        assert args.capacity == 64
 
     def test_missing_subcommand_fails(self):
         with pytest.raises(SystemExit):
@@ -38,6 +50,23 @@ class TestParser:
 
 
 class TestSketchCommand:
+    def test_agg_defaults_from_engine_config(self, tmp_path, capsys):
+        """Without --agg, the config's per-type aggregate applies (MODE for
+        strings), instead of a hard-wired AVG."""
+        table = Table.from_dict(
+            {"key": ["a", "a", "b", "c"], "label": ["x", "x", "y", "z"]}, name="t"
+        )
+        csv_path = tmp_path / "t.csv"
+        write_csv(table, csv_path)
+        output = tmp_path / "t.sketch.json"
+        assert main(
+            ["sketch", str(csv_path), "--key", "key", "--value", "label",
+             "--side", "candidate", "-o", str(output)]
+        ) == 0
+        from repro.sketches.serialization import load_sketch as _load
+
+        assert _load(output).aggregate == "mode"
+
     def test_builds_and_saves_sketch(self, csv_pair, tmp_path, capsys):
         base_path, _ = csv_pair
         output = tmp_path / "base.sketch.json"
@@ -95,6 +124,86 @@ class TestEstimateCommand:
         code = main(["estimate", "--base-csv", "only-this.csv"])
         assert code == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestConfigCommand:
+    def test_prints_resolved_config_json(self, capsys):
+        assert main(["config", "--capacity", "512", "--seed", "9"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["capacity"] == 512
+        assert document["seed"] == 9
+        # The CLI's baseline keeps its historical join-size floor of 16.
+        assert document["min_join_size"] == 16
+        assert EngineConfig.from_dict(document) == EngineConfig(
+            capacity=512, seed=9, min_join_size=16
+        )
+
+    def test_engine_config_file_round_trip(self, csv_pair, tmp_path, capsys):
+        """`repro config` output feeds back through --engine-config."""
+        base_path, _ = csv_pair
+        assert main(["config", "--capacity", "128", "--seed", "4"]) == 0
+        config_path = tmp_path / "engine.json"
+        config_path.write_text(capsys.readouterr().out, encoding="utf-8")
+        output = tmp_path / "base.sketch.json"
+        assert main(
+            ["sketch", str(base_path), "--key", "key", "--value", "target",
+             "--side", "base", "--engine-config", str(config_path),
+             "-o", str(output)]
+        ) == 0
+        sketch = load_sketch(output)
+        assert sketch.capacity == 128
+        assert sketch.seed == 4
+
+    def test_flags_override_engine_config_file(self, tmp_path, capsys):
+        config_path = tmp_path / "engine.json"
+        config_path.write_text(
+            json.dumps(EngineConfig(capacity=128, seed=4).to_dict()), encoding="utf-8"
+        )
+        assert main(
+            ["config", "--engine-config", str(config_path), "--capacity", "2048"]
+        ) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["capacity"] == 2048  # flag wins
+        assert document["seed"] == 4  # file survives
+
+    def test_estimate_honours_config_file_min_join_size(self, csv_pair, tmp_path, capsys):
+        """A strict min_join_size in the config file is not clobbered by the
+        CLI's historical default of 16."""
+        base_path, cand_path = csv_pair
+        config_path = tmp_path / "engine.json"
+        config_path.write_text(
+            json.dumps(EngineConfig(capacity=256, min_join_size=100_000).to_dict()),
+            encoding="utf-8",
+        )
+        code = main(
+            [
+                "estimate", "--engine-config", str(config_path),
+                "--base-csv", str(base_path), "--base-key", "key", "--base-value", "target",
+                "--candidate-csv", str(cand_path), "--candidate-key", "key",
+                "--candidate-value", "feature",
+            ]
+        )
+        assert code == 2  # refused: join smaller than the config's threshold
+        assert "samples" in capsys.readouterr().err
+        # Without a config file the historical floor of 16 applies (a sketch
+        # join this size passes it).
+        # An explicit flag still wins over the file.
+        code = main(
+            [
+                "estimate", "--engine-config", str(config_path), "--min-join-size", "16",
+                "--base-csv", str(base_path), "--base-key", "key", "--base-value", "target",
+                "--candidate-csv", str(cand_path), "--candidate-key", "key",
+                "--candidate-value", "feature",
+            ]
+        )
+        assert code == 0
+
+    def test_malformed_engine_config_reported_as_error(self, tmp_path, capsys):
+        config_path = tmp_path / "engine.json"
+        config_path.write_text('{"capacity": 64, "bogus_key": 1}', encoding="utf-8")
+        code = main(["config", "--engine-config", str(config_path)])
+        assert code == 2
+        assert "bogus_key" in capsys.readouterr().err
 
 
 class TestExperimentCommand:
