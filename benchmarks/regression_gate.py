@@ -1,0 +1,214 @@
+#!/usr/bin/env python
+"""CI benchmark-regression gate.
+
+Compares the JSON reports produced by the benchmark harness (under
+``benchmarks/results/``) against committed baselines (under
+``benchmarks/results/baselines/``) and exits non-zero when a gated metric
+regresses beyond its tolerance.  Stdlib-only so CI can run it before any
+project dependency is importable.
+
+Gated metrics are chosen to be robust on shared CI runners: the primary
+gates are *ratio* metrics (parallel speedup over the serial path measured
+in the same process on the same machine), which cancel out runner speed;
+absolute throughputs are gated too, but with a loose tolerance that only
+catches order-of-magnitude regressions.
+
+Usage::
+
+    python benchmarks/regression_gate.py                  # compare
+    python benchmarks/regression_gate.py --update-baselines  # refresh
+
+Exit codes: 0 all gated metrics within tolerance, 1 regression or missing
+report/baseline/metric, 2 bad invocation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+#: Slowdown fraction tolerated by default (the CI gate's ">25%" rule).
+DEFAULT_TOLERANCE = 0.25
+
+#: Loose tolerance for absolute throughput metrics, which vary with runner
+#: hardware; this only catches catastrophic (4x-plus) regressions.
+THROUGHPUT_TOLERANCE = 0.75
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """One gated metric of one benchmark report."""
+
+    key: str  # dotted path into the report JSON, e.g. "sharded.seconds"
+    direction: str = "higher"  # "higher" or "lower" is better
+    tolerance: float = DEFAULT_TOLERANCE
+
+    def check(self, current: float, baseline: float) -> Optional[str]:
+        """A failure message when ``current`` regresses past the tolerance."""
+        if baseline <= 0:
+            return None  # degenerate baseline: nothing meaningful to gate
+        if self.direction == "higher":
+            floor = baseline * (1.0 - self.tolerance)
+            if current < floor:
+                return (
+                    f"{self.key}: {current:.4g} fell below {floor:.4g} "
+                    f"(baseline {baseline:.4g}, tolerance {self.tolerance:.0%})"
+                )
+        else:
+            ceiling = baseline * (1.0 + self.tolerance)
+            if current > ceiling:
+                return (
+                    f"{self.key}: {current:.4g} exceeded {ceiling:.4g} "
+                    f"(baseline {baseline:.4g}, tolerance {self.tolerance:.0%})"
+                )
+        return None
+
+
+#: Reports and metrics the gate enforces.
+GATED_REPORTS: dict[str, tuple[MetricSpec, ...]] = {
+    "engine_batch.json": (
+        MetricSpec("speedup", "higher"),
+        MetricSpec("sequential.pairs_per_second", "higher", THROUGHPUT_TOLERANCE),
+        MetricSpec("concurrent.pairs_per_second", "higher", THROUGHPUT_TOLERANCE),
+    ),
+    "index_build.json": (
+        MetricSpec("speedup", "higher"),
+        MetricSpec("sharded.columns_per_second", "higher", THROUGHPUT_TOLERANCE),
+    ),
+}
+
+
+def extract_metric(document: dict, dotted_key: str) -> float:
+    """Resolve a dotted key (``"sharded.seconds"``) inside a report."""
+    node = document
+    for part in dotted_key.split("."):
+        if not isinstance(node, dict) or part not in node:
+            raise KeyError(dotted_key)
+        node = node[part]
+    if not isinstance(node, (int, float)) or isinstance(node, bool):
+        raise KeyError(dotted_key)
+    return float(node)
+
+
+def load_report(path: Path) -> dict:
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ValueError(f"could not read benchmark report {path}: {exc}") from exc
+    if not isinstance(document, dict):
+        raise ValueError(f"benchmark report {path} is not a JSON object")
+    return document
+
+
+def compare_report(
+    report_name: str, results_dir: Path, baselines_dir: Path
+) -> tuple[list[str], list[str]]:
+    """Gate one report; returns (failure lines, summary lines)."""
+    failures: list[str] = []
+    summary: list[str] = []
+    result_path = results_dir / report_name
+    baseline_path = baselines_dir / report_name
+    if not result_path.exists():
+        return [f"{report_name}: no benchmark result at {result_path}"], summary
+    if not baseline_path.exists():
+        return [f"{report_name}: no committed baseline at {baseline_path}"], summary
+    try:
+        result = load_report(result_path)
+        baseline = load_report(baseline_path)
+    except ValueError as exc:
+        return [str(exc)], summary
+    for spec in GATED_REPORTS[report_name]:
+        try:
+            current_value = extract_metric(result, spec.key)
+        except KeyError:
+            failures.append(f"{report_name}: result is missing metric {spec.key!r}")
+            continue
+        try:
+            baseline_value = extract_metric(baseline, spec.key)
+        except KeyError:
+            failures.append(f"{report_name}: baseline is missing metric {spec.key!r}")
+            continue
+        message = spec.check(current_value, baseline_value)
+        status = "REGRESSION" if message else "ok"
+        summary.append(
+            f"{report_name} :: {spec.key}: {current_value:.4g} "
+            f"(baseline {baseline_value:.4g}, tolerance {spec.tolerance:.0%}) {status}"
+        )
+        if message:
+            failures.append(f"{report_name}: {message}")
+    return failures, summary
+
+
+def update_baselines(results_dir: Path, baselines_dir: Path) -> int:
+    baselines_dir.mkdir(parents=True, exist_ok=True)
+    missing = 0
+    for report_name in GATED_REPORTS:
+        source = results_dir / report_name
+        if not source.exists():
+            print(f"no result to promote for {report_name}", file=sys.stderr)
+            missing += 1
+            continue
+        shutil.copyfile(source, baselines_dir / report_name)
+        print(f"baseline updated: {baselines_dir / report_name}")
+    return 1 if missing else 0
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--results-dir",
+        default=Path(__file__).parent / "results",
+        type=Path,
+        help="directory holding fresh benchmark JSON reports",
+    )
+    parser.add_argument(
+        "--baselines-dir",
+        default=None,
+        type=Path,
+        help="directory holding committed baselines (default: <results>/baselines)",
+    )
+    parser.add_argument(
+        "--update-baselines",
+        action="store_true",
+        help="copy current results over the baselines instead of comparing",
+    )
+    args = parser.parse_args(argv)
+    results_dir = args.results_dir
+    baselines_dir = (
+        args.baselines_dir if args.baselines_dir is not None else results_dir / "baselines"
+    )
+
+    if args.update_baselines:
+        return update_baselines(results_dir, baselines_dir)
+
+    all_failures: list[str] = []
+    all_summary: list[str] = []
+    for report_name in GATED_REPORTS:
+        failures, summary = compare_report(report_name, results_dir, baselines_dir)
+        all_failures.extend(failures)
+        all_summary.extend(summary)
+
+    for line in all_summary:
+        print(line)
+    step_summary = os.environ.get("GITHUB_STEP_SUMMARY")
+    if step_summary:
+        with open(step_summary, "a", encoding="utf-8") as handle:
+            handle.write("## Benchmark regression gate\n\n```\n")
+            handle.write("\n".join(all_summary + all_failures) + "\n```\n")
+    if all_failures:
+        print()
+        for line in all_failures:
+            print(f"FAIL: {line}", file=sys.stderr)
+        return 1
+    print("benchmark gate: all metrics within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,143 @@
+"""Benchmark — sharded parallel index build vs the serial add_table loop.
+
+Index construction is the offline half of the pipeline and dominates the
+cost of onboarding a data lake.  This benchmark builds a 500-column
+synthetic lake (25 tables x 20 value columns) twice:
+
+* **serial** — the compatibility path: ``SketchIndex.add_table`` per table,
+  one candidate at a time, recomputing the key-side work per column;
+* **sharded** — the production path: :class:`~repro.discovery.builder.
+  IndexBuilder` with 4 worker processes over 8 shards, sharing the
+  key-side work per (table, key) column family.
+
+It asserts the sharded build is at least 2x faster, that every candidate
+(sketch tuples, KMV sketch, profile) is identical between the two builds,
+and that top-k query results from the two indexes match exactly.  The JSON
+report feeds the CI benchmark-regression gate.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import numpy as np
+
+from repro.discovery import SketchIndex
+from repro.engine import EngineConfig, SketchEngine
+from repro.evaluation.runner import build_lake_index
+from repro.relational.table import Table
+
+NUM_TABLES = 25
+COLUMNS_PER_TABLE = 20
+ROWS_PER_TABLE = 400
+NUM_KEYS = 300
+CAPACITY = 128
+MAX_WORKERS = 4
+NUM_SHARDS = 8
+MIN_SPEEDUP = 2.0
+
+
+def build_lake(seed: int = 11):
+    rng = np.random.default_rng(seed)
+    keys = [f"k{i:05d}" for i in range(NUM_KEYS)]
+    target = rng.normal(size=NUM_KEYS)
+    base = Table.from_dict(
+        {"key": keys, "target": target.tolist()}, name="base"
+    )
+    tables = []
+    for position in range(NUM_TABLES):
+        row_keys = [keys[i] for i in rng.integers(0, NUM_KEYS, size=ROWS_PER_TABLE)]
+        data: dict = {"key": row_keys}
+        for column in range(COLUMNS_PER_TABLE):
+            mix = rng.uniform(0.0, 1.0)
+            signal = np.array([target[int(key[1:])] for key in row_keys])
+            data[f"v{column:02d}"] = (
+                (1.0 - mix) * signal + mix * rng.normal(size=ROWS_PER_TABLE)
+            ).tolist()
+        tables.append(Table.from_dict(data, name=f"lake{position:03d}"))
+    return base, tables
+
+
+def test_bench_index_build(benchmark, results_dir):
+    config = EngineConfig(method="TUPSK", capacity=CAPACITY, seed=0)
+    base, tables = build_lake()
+    total_columns = NUM_TABLES * COLUMNS_PER_TABLE
+
+    serial_index = SketchIndex(SketchEngine(config))
+    start = time.perf_counter()
+    for table in tables:
+        serial_index.add_table(table, ["key"])
+    serial_seconds = time.perf_counter() - start
+
+    def sharded_build():
+        start = time.perf_counter()
+        index = build_lake_index(
+            tables,
+            ["key"],
+            engine=config,
+            num_shards=NUM_SHARDS,
+            max_workers=MAX_WORKERS,
+        )
+        return index, time.perf_counter() - start
+
+    sharded_index, sharded_seconds = benchmark.pedantic(
+        sharded_build, rounds=1, iterations=1
+    )
+
+    # The sharded build must be a pure speedup: same candidates, same
+    # sketches, same order, same answers.
+    assert len(serial_index) == len(sharded_index) == total_columns
+    assert [candidate.candidate_id for candidate in sharded_index.candidates] == [
+        candidate.candidate_id for candidate in serial_index.candidates
+    ]
+    serial_by_id = {
+        candidate.candidate_id: candidate for candidate in serial_index.candidates
+    }
+    for candidate in sharded_index.candidates:
+        reference = serial_by_id[candidate.candidate_id]
+        assert candidate.sketch == reference.sketch
+        assert candidate.key_kmv.hashes == reference.key_kmv.hashes
+        assert candidate.profile == reference.profile
+        assert candidate.aggregate == reference.aggregate
+
+    serial_results = serial_index.query_columns(
+        base, "key", "target", top_k=10, min_join_size=8
+    )
+    sharded_results = sharded_index.query_columns(
+        base, "key", "target", top_k=10, min_join_size=8
+    )
+    assert [(result.candidate_id, result.mi_estimate) for result in serial_results] == [
+        (result.candidate_id, result.mi_estimate) for result in sharded_results
+    ]
+
+    speedup = serial_seconds / sharded_seconds
+    report = {
+        "benchmark": "index_build",
+        "columns": total_columns,
+        "tables": NUM_TABLES,
+        "rows_per_table": ROWS_PER_TABLE,
+        "capacity": CAPACITY,
+        "serial": {
+            "seconds": serial_seconds,
+            "columns_per_second": total_columns / serial_seconds,
+        },
+        "sharded": {
+            "max_workers": MAX_WORKERS,
+            "num_shards": NUM_SHARDS,
+            "seconds": sharded_seconds,
+            "columns_per_second": total_columns / sharded_seconds,
+        },
+        "speedup": speedup,
+        "identical_queries": True,
+    }
+    path = results_dir / "index_build.json"
+    path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print()
+    print(json.dumps(report, indent=2))
+    print(f"[report saved to {path}]")
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"sharded build at {MAX_WORKERS} workers is only {speedup:.2f}x faster "
+        f"than the serial path (required: {MIN_SPEEDUP}x)"
+    )

@@ -21,6 +21,14 @@ pipeline plus the reproduction harness:
     Run one of the paper's experiments at a reduced scale and print the
     regenerated table/figure series.
 
+``repro index``
+    Build, grow and inspect a persisted discovery index over a set of CSV
+    tables.  ``index build`` runs the sharded
+    :class:`~repro.discovery.builder.IndexBuilder` (``--workers N`` worker
+    processes over ``--shards K`` shards) and writes the index with its
+    columnar sketch store; ``index add`` sketches additional tables into an
+    existing index directory; ``index info`` summarizes one.
+
 Examples
 --------
 .. code-block:: bash
@@ -29,6 +37,9 @@ Examples
     repro sketch taxi.csv --key date --value num_trips --side base --engine-config engine.json -o taxi.sketch.json
     repro sketch weather.csv --key date --value temp --side candidate --agg avg --engine-config engine.json -o weather.sketch.json
     repro estimate --base-sketch taxi.sketch.json --candidate-sketch weather.sketch.json
+    repro index build lake/*.csv --key date --output lake.index --workers 4 --shards 16
+    repro index add late_arrival.csv --index lake.index --key date
+    repro index info lake.index
     repro experiment table1 --scale small
 """
 
@@ -151,6 +162,50 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--scale", choices=sorted(_EXPERIMENT_SCALES), default="small")
     experiment.add_argument("--seed", type=int, default=0)
 
+    index = subparsers.add_parser(
+        "index", help="build, grow and inspect a persisted discovery index"
+    )
+    index_commands = index.add_subparsers(dest="index_command", required=True)
+
+    def add_table_options(subparser: argparse.ArgumentParser) -> None:
+        subparser.add_argument("csvs", nargs="+", help="candidate CSV tables")
+        subparser.add_argument("--key", required=True, help="join-key column name")
+        subparser.add_argument(
+            "--values",
+            help="comma-separated value columns (default: every non-key column)",
+        )
+        subparser.add_argument(
+            "--workers",
+            type=int,
+            help="worker processes for sketching shards (default: engine "
+            "config's build_workers)",
+        )
+
+    index_build = index_commands.add_parser(
+        "build", help="sketch CSV tables into a new index directory"
+    )
+    add_table_options(index_build)
+    index_build.add_argument(
+        "--shards",
+        type=int,
+        help="shard count for the builder (default: engine config's build_shards)",
+    )
+    add_engine_options(index_build)
+    index_build.add_argument(
+        "-o", "--output", required=True, help="output index directory"
+    )
+
+    index_add = index_commands.add_parser(
+        "add", help="sketch additional CSV tables into an existing index"
+    )
+    add_table_options(index_add)
+    index_add.add_argument("--index", required=True, help="existing index directory")
+
+    index_info = index_commands.add_parser(
+        "info", help="print a JSON summary of an index directory"
+    )
+    index_info.add_argument("index", help="index directory")
+
     return parser
 
 
@@ -240,6 +295,98 @@ def _command_config(args: argparse.Namespace) -> int:
     return 0
 
 
+def _index_tables(args: argparse.Namespace):
+    """Read the CSV tables of an ``index build`` / ``index add`` invocation.
+
+    ``read_csv`` names each table after its file, which is also the unit of
+    shard assignment in the builder.
+    """
+    value_columns = None
+    if getattr(args, "values", None):
+        value_columns = [name.strip() for name in args.values.split(",") if name.strip()]
+    return [read_csv(csv_path) for csv_path in args.csvs], value_columns
+
+
+def _register_tables(builder, tables, key_column: str, value_columns) -> None:
+    for table in tables:
+        builder.add_table(table, [key_column], value_columns)
+
+
+def _command_index_build(args: argparse.Namespace) -> int:
+    from repro.discovery.builder import IndexBuilder
+    from repro.discovery.persistence import save_index
+
+    engine = _engine_from_args(args)
+    overrides = {}
+    if args.workers is not None:
+        overrides["build_workers"] = args.workers
+    if args.shards is not None:
+        overrides["build_shards"] = args.shards
+    if overrides:
+        engine = SketchEngine(engine.config.replace(**overrides))
+    tables, value_columns = _index_tables(args)
+    builder = IndexBuilder(engine)
+    _register_tables(builder, tables, args.key, value_columns)
+    index = builder.build()
+    save_index(index, args.output)
+    print(
+        f"indexed {len(index)} candidates from {len(tables)} tables "
+        f"({builder.num_shards} shards, {builder.max_workers} workers) "
+        f"into {args.output}"
+    )
+    return 0
+
+
+def _command_index_add(args: argparse.Namespace) -> int:
+    from repro.discovery.builder import IndexBuilder
+    from repro.discovery.persistence import load_index, save_index
+
+    index = load_index(args.index)
+    before = len(index)
+    builder = IndexBuilder(index.engine, max_workers=args.workers)
+    tables, value_columns = _index_tables(args)
+    _register_tables(builder, tables, args.key, value_columns)
+    index = builder.build(into=index)
+    save_index(index, args.index)
+    print(
+        f"added {len(index) - before} candidates from {len(tables)} tables "
+        f"to {args.index} ({len(index)} total)"
+    )
+    return 0
+
+
+def _command_index_info(args: argparse.Namespace) -> int:
+    from collections import Counter
+
+    from repro.discovery.persistence import load_index
+
+    index = load_index(args.index, mmap=True)
+    tables = Counter(
+        candidate.profile.table_name for candidate in index.candidates
+    )
+    print(
+        json.dumps(
+            {
+                "candidates": len(index),
+                "tables": dict(sorted(tables.items())),
+                "engine_config": index.config.to_dict(),
+            },
+            indent=2,
+            sort_keys=True,
+        )
+    )
+    return 0
+
+
+def _command_index(args: argparse.Namespace) -> int:
+    handlers = {
+        "build": _command_index_build,
+        "add": _command_index_add,
+        "info": _command_index_info,
+    }
+    return handlers[args.index_command](args)
+
+
 def _command_experiment(args: argparse.Namespace) -> int:
     runners = _experiment_runners()
     overrides = dict(_EXPERIMENT_SCALES[args.scale].get(args.name, {}))
@@ -258,6 +405,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "estimate": _command_estimate,
         "config": _command_config,
         "experiment": _command_experiment,
+        "index": _command_index,
     }
     try:
         return handlers[args.command](args)

@@ -17,6 +17,7 @@ from different estimators are not directly comparable.
 from repro.discovery.profile import ColumnPairProfile, profile_column_pair
 from repro.discovery.query import AugmentationQuery, AugmentationResult
 from repro.discovery.index import SketchIndex
+from repro.discovery.builder import IndexBuilder, shard_for_table
 from repro.discovery.ranking import rank_results, top_k_per_estimator
 from repro.discovery.selection import SelectedFeature, greedy_feature_selection
 from repro.discovery.persistence import save_index, load_index
@@ -27,6 +28,8 @@ __all__ = [
     "AugmentationQuery",
     "AugmentationResult",
     "SketchIndex",
+    "IndexBuilder",
+    "shard_for_table",
     "rank_results",
     "top_k_per_estimator",
     "SelectedFeature",

@@ -130,7 +130,8 @@ class SketchIndex:
                 )
             warnings.warn(
                 "SketchIndex(method=..., capacity=..., seed=...) is deprecated; "
-                "pass a SketchEngine or EngineConfig instead",
+                "construct the index with SketchIndex(EngineConfig(method=..., "
+                "capacity=..., seed=...)) or pass a SketchEngine session instead",
                 DeprecationWarning,
                 stacklevel=2,
             )
@@ -209,6 +210,37 @@ class SketchIndex:
             metadata=dict(metadata or {}),
         )
         self._candidates[candidate_id] = candidate
+        return candidate
+
+    def add_prebuilt(self, candidate: IndexedCandidate) -> IndexedCandidate:
+        """Merge an already-built candidate into the index.
+
+        Entry point for the sharded :class:`~repro.discovery.builder.
+        IndexBuilder` and for index persistence: the candidate's sketches
+        were built elsewhere (a worker process, a saved store) and are
+        verified to be joinable under this index's configuration before
+        being added.  Re-adding a ``candidate_id`` overwrites the entry,
+        exactly like :meth:`add_candidate`.
+        """
+        sketch = candidate.sketch
+        expected_method, expected_capacity, expected_seed = self.config.sketch_key
+        if (
+            sketch.method != expected_method
+            or sketch.seed != expected_seed
+            or candidate.key_kmv.seed != expected_seed
+        ):
+            raise DiscoveryError(
+                f"candidate {candidate.candidate_id!r} was sketched with "
+                f"method={sketch.method!r} seed={sketch.seed} but the index "
+                f"expects method={expected_method!r} seed={expected_seed}"
+            )
+        if sketch.capacity != expected_capacity:
+            raise DiscoveryError(
+                f"candidate {candidate.candidate_id!r} was sketched with "
+                f"capacity={sketch.capacity} but the index expects "
+                f"capacity={expected_capacity}"
+            )
+        self._candidates[candidate.candidate_id] = candidate
         return candidate
 
     def add_table(

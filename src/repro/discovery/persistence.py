@@ -2,12 +2,19 @@
 
 Candidate sketches are built in an offline preprocessing stage (Section IV),
 typically on a different machine or at a different time than the queries.
-This module persists an index as a directory containing
+An index directory contains
 
-* ``index.json`` — index-level configuration (method, capacity, seed) and,
-  per candidate, its profile, aggregate, KMV key sketch and metadata;
-* ``sketches/<i>.json`` — one serialized MI sketch per candidate (the format
-  of :mod:`repro.sketches.serialization`).
+* ``index.json`` — index-level configuration (the engine config plus the
+  legacy method/capacity/seed triple) and, per candidate, its profile,
+  aggregate and metadata;
+* ``sketches.npz`` — one columnar :mod:`repro.store` file holding every
+  candidate's MI sketch *and* its KMV key sketch (format version 2, the
+  current format).
+
+Format version 1 (one ``sketches/<i>.json`` file per candidate, KMV sketches
+inlined into ``index.json``) is still read transparently, so indexes written
+before the columnar store exist keep loading; re-saving such an index
+migrates it to version 2.
 """
 
 from __future__ import annotations
@@ -20,14 +27,16 @@ from typing import Union
 from repro.discovery.index import IndexedCandidate, SketchIndex
 from repro.engine.config import EngineConfig
 from repro.discovery.profile import ColumnPairProfile
-from repro.exceptions import DiscoveryError
+from repro.exceptions import DiscoveryError, StoreError
 from repro.relational.dtypes import DType
 from repro.sketches.kmv import KMVSketch
-from repro.sketches.serialization import load_sketch, save_sketch
+from repro.sketches.serialization import load_sketch
+from repro.store import load_npz, pack_value_lists, save_npz, unpack_value_lists
 
 __all__ = ["save_index", "load_index"]
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+_STORE_FILE = "sketches.npz"
 PathLike = Union[str, os.PathLike]
 
 
@@ -59,41 +68,14 @@ def _profile_from_dict(document: dict) -> ColumnPairProfile:
     )
 
 
-def _kmv_to_dict(kmv: KMVSketch) -> dict:
-    return {
-        "capacity": kmv.capacity,
-        "seed": kmv.seed,
-        "values": sorted(kmv.values, key=lambda value: str(value)),
-    }
-
-
 def _kmv_from_dict(document: dict) -> KMVSketch:
     return KMVSketch.from_values(
         document["values"], capacity=int(document["capacity"]), seed=int(document["seed"])
     )
 
 
-def save_index(index: SketchIndex, directory: PathLike) -> None:
-    """Persist an index to ``directory`` (created if necessary)."""
-    root = Path(directory)
-    sketches_dir = root / "sketches"
-    sketches_dir.mkdir(parents=True, exist_ok=True)
-
-    candidates_document = []
-    for position, candidate in enumerate(index.candidates):
-        sketch_file = f"{position:06d}.json"
-        save_sketch(candidate.sketch, sketches_dir / sketch_file)
-        candidates_document.append(
-            {
-                "candidate_id": candidate.candidate_id,
-                "aggregate": candidate.aggregate,
-                "profile": _profile_to_dict(candidate.profile),
-                "key_kmv": _kmv_to_dict(candidate.key_kmv),
-                "metadata": dict(candidate.metadata),
-                "sketch_file": sketch_file,
-            }
-        )
-    document = {
+def _index_document(index: SketchIndex, candidates_document: list[dict]) -> dict:
+    return {
         "format_version": _FORMAT_VERSION,
         # method/capacity/seed are kept for readers of the original format;
         # engine_config carries the full estimation policy.
@@ -101,13 +83,147 @@ def save_index(index: SketchIndex, directory: PathLike) -> None:
         "capacity": index.capacity,
         "seed": index.seed,
         "engine_config": index.config.to_dict(),
+        "store_file": _STORE_FILE,
         "candidates": candidates_document,
     }
+
+
+def save_index(index: SketchIndex, directory: PathLike) -> None:
+    """Persist an index to ``directory`` (created if necessary).
+
+    Writes format version 2: candidate metadata in ``index.json`` and every
+    MI + KMV sketch packed into one columnar ``sketches.npz`` store.
+    """
+    root = Path(directory)
+    root.mkdir(parents=True, exist_ok=True)
+
+    candidates = index.candidates
+    candidates_document = []
+    kmv_entries = []
+    for candidate in candidates:
+        candidates_document.append(
+            {
+                "candidate_id": candidate.candidate_id,
+                "aggregate": candidate.aggregate,
+                "profile": _profile_to_dict(candidate.profile),
+                "metadata": dict(candidate.metadata),
+            }
+        )
+        kmv_entries.append(
+            {"capacity": candidate.key_kmv.capacity, "seed": candidate.key_kmv.seed}
+        )
+    kmv_arrays, kmv_value_entries = pack_value_lists(
+        [
+            sorted(candidate.key_kmv.values, key=lambda value: str(value))
+            for candidate in candidates
+        ],
+        "kmv_values",
+    )
+    for entry, value_entry in zip(kmv_entries, kmv_value_entries):
+        entry["values"] = value_entry
+    save_npz(
+        root / _STORE_FILE,
+        [candidate.sketch for candidate in candidates],
+        extra_arrays=kmv_arrays,
+        extra_manifest={"kmv": kmv_entries},
+    )
+    document = _index_document(index, candidates_document)
     (root / "index.json").write_text(json.dumps(document), encoding="utf-8")
 
 
-def load_index(directory: PathLike) -> SketchIndex:
-    """Load an index previously written by :func:`save_index`."""
+def _load_index_shell(document: dict) -> SketchIndex:
+    """Build an empty index carrying the stored engine configuration."""
+    if "engine_config" in document:
+        config = EngineConfig.from_dict(document["engine_config"])
+    else:  # pre-engine index document: only the sketch triple was stored
+        config = EngineConfig(
+            method=document["method"],
+            capacity=int(document["capacity"]),
+            seed=int(document["seed"]),
+        )
+    return SketchIndex(config)
+
+
+def _load_index_v1(root: Path, document: dict) -> SketchIndex:
+    """Read the legacy per-sketch-JSON layout (format version 1)."""
+    index = _load_index_shell(document)
+    for entry in document["candidates"]:
+        index.add_prebuilt(
+            IndexedCandidate(
+                candidate_id=entry["candidate_id"],
+                profile=_profile_from_dict(entry["profile"]),
+                aggregate=entry["aggregate"],
+                sketch=load_sketch(root / "sketches" / entry["sketch_file"]),
+                key_kmv=_kmv_from_dict(entry["key_kmv"]),
+                metadata=dict(entry.get("metadata", {})),
+            )
+        )
+    return index
+
+
+def _load_index_v2(root: Path, document: dict, *, mmap: bool) -> SketchIndex:
+    """Read the columnar-store layout (format version 2)."""
+    index = _load_index_shell(document)
+    store_path = root / document.get("store_file", _STORE_FILE)
+    try:
+        store = load_npz(store_path, mmap=mmap)
+    except StoreError as exc:
+        raise DiscoveryError(f"could not read index sketch store: {exc}") from exc
+    entries = document["candidates"]
+    if len(store) != len(entries):
+        raise DiscoveryError(
+            f"index lists {len(entries)} candidates but the sketch store "
+            f"holds {len(store)}"
+        )
+    kmv_entries = store.extra_manifest.get("kmv")
+    if not isinstance(kmv_entries, list) or len(kmv_entries) != len(entries):
+        raise DiscoveryError("index sketch store is missing its KMV entries")
+    try:
+        kmv_values = unpack_value_lists(
+            {name: store.array(name) for name in _KMV_ARRAYS},
+            [entry["values"] for entry in kmv_entries],
+            "kmv_values",
+        )
+    except (StoreError, KeyError, TypeError) as exc:
+        raise DiscoveryError(f"corrupted KMV entries in index store: {exc}") from exc
+    for position, entry in enumerate(entries):
+        kmv_entry = kmv_entries[position]
+        index.add_prebuilt(
+            IndexedCandidate(
+                candidate_id=entry["candidate_id"],
+                profile=_profile_from_dict(entry["profile"]),
+                aggregate=entry["aggregate"],
+                sketch=store[position],
+                key_kmv=KMVSketch.from_values(
+                    kmv_values[position],
+                    capacity=int(kmv_entry["capacity"]),
+                    seed=int(kmv_entry["seed"]),
+                ),
+                metadata=dict(entry.get("metadata", {})),
+            )
+        )
+    return index
+
+
+#: Array members of the index store that hold the packed KMV value pools.
+_KMV_ARRAYS = (
+    "kmv_values_float",
+    "kmv_values_int",
+    "kmv_values_str",
+    "kmv_values_str_offsets",
+    "kmv_values_json",
+    "kmv_values_json_offsets",
+)
+
+
+def load_index(directory: PathLike, *, mmap: bool = False) -> SketchIndex:
+    """Load an index previously written by :func:`save_index`.
+
+    Reads both the current columnar layout (format version 2) and the
+    legacy per-sketch-JSON layout (format version 1).  ``mmap=True``
+    memory-maps the columnar store's arrays instead of reading them
+    eagerly (version 2 only).
+    """
     root = Path(directory)
     index_path = root / "index.json"
     if not index_path.exists():
@@ -116,28 +232,12 @@ def load_index(directory: PathLike) -> SketchIndex:
         document = json.loads(index_path.read_text(encoding="utf-8"))
     except json.JSONDecodeError as exc:
         raise DiscoveryError(f"malformed index file: {index_path}") from exc
-    if document.get("format_version") != _FORMAT_VERSION:
-        raise DiscoveryError(
-            f"unsupported index format version {document.get('format_version')!r}"
-        )
-
-    if "engine_config" in document:
-        config = EngineConfig.from_dict(document["engine_config"])
-    else:  # pre-engine index directory: only the sketch triple was stored
-        config = EngineConfig(
-            method=document["method"],
-            capacity=int(document["capacity"]),
-            seed=int(document["seed"]),
-        )
-    index = SketchIndex(config)
-    for entry in document["candidates"]:
-        candidate = IndexedCandidate(
-            candidate_id=entry["candidate_id"],
-            profile=_profile_from_dict(entry["profile"]),
-            aggregate=entry["aggregate"],
-            sketch=load_sketch(root / "sketches" / entry["sketch_file"]),
-            key_kmv=_kmv_from_dict(entry["key_kmv"]),
-            metadata=dict(entry.get("metadata", {})),
-        )
-        index._candidates[candidate.candidate_id] = candidate
-    return index
+    version = document.get("format_version")
+    try:
+        if version == 1:
+            return _load_index_v1(root, document)
+        if version == _FORMAT_VERSION:
+            return _load_index_v2(root, document, mmap=mmap)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise DiscoveryError(f"malformed index document: {exc}") from exc
+    raise DiscoveryError(f"unsupported index format version {version!r}")

@@ -40,17 +40,31 @@ class ColumnPairProfile:
         return self.key_distinct / non_null
 
 
-def profile_column_pair(table: Table, key_column: str, value_column: str) -> ColumnPairProfile:
-    """Profile one (key, value) column pair of a table."""
-    keys = table.column(key_column)
+def profile_column_pair(
+    table: Table,
+    key_column: str,
+    value_column: str,
+    *,
+    key_stats: "tuple[int, int] | None" = None,
+) -> ColumnPairProfile:
+    """Profile one (key, value) column pair of a table.
+
+    ``key_stats`` is an optional precomputed ``(key_distinct, key_nulls)``
+    pair; when a table is profiled once per value column against the same
+    join key, computing the key-side statistics once and passing them in
+    avoids rescanning the key column for every pair.
+    """
     values = table.column(value_column)
+    if key_stats is None:
+        keys = table.column(key_column)
+        key_stats = (keys.distinct_count(), keys.null_count())
     return ColumnPairProfile(
         table_name=table.name,
         key_column=key_column,
         value_column=value_column,
         num_rows=table.num_rows,
-        key_distinct=keys.distinct_count(),
-        key_nulls=keys.null_count(),
+        key_distinct=key_stats[0],
+        key_nulls=key_stats[1],
         value_dtype=values.dtype,
         value_distinct=values.distinct_count(),
         value_nulls=values.null_count(),

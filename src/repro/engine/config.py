@@ -51,6 +51,15 @@ class EngineConfig:
     numeric_aggregate / categorical_aggregate:
         Featurization defaults applied to candidate value columns when no
         aggregate is named (the paper uses AVG / MODE).
+    build_workers:
+        Default number of worker *processes* used by the sharded index
+        builder and the engine's batch sketching (``0`` builds in-process).
+        Build parallelism does not affect sketch content, so it is excluded
+        from :attr:`sketch_key`.
+    build_shards:
+        Default shard count of the sharded index builder.  Shard assignment
+        is stable by table name, so the count only controls invalidation
+        granularity and parallelism, never the built sketches.
     """
 
     method: str = "TUPSK"
@@ -60,6 +69,8 @@ class EngineConfig:
     min_join_size: int = 2
     numeric_aggregate: AggregateFunction = AggregateFunction.AVG
     categorical_aggregate: AggregateFunction = AggregateFunction.MODE
+    build_workers: int = 0
+    build_shards: int = 8
 
     def __post_init__(self) -> None:
         # The dataclass is frozen, so normalization goes through
@@ -84,6 +95,16 @@ class EngineConfig:
         if self.min_join_size < 2:
             raise EngineConfigError(
                 f"min_join_size must be at least 2, got {self.min_join_size}"
+            )
+        object.__setattr__(self, "build_workers", int(self.build_workers))
+        object.__setattr__(self, "build_shards", int(self.build_shards))
+        if self.build_workers < 0:
+            raise EngineConfigError(
+                f"build_workers must be non-negative, got {self.build_workers}"
+            )
+        if self.build_shards < 1:
+            raise EngineConfigError(
+                f"build_shards must be at least 1, got {self.build_shards}"
             )
         _validate_method(self.method)
 
@@ -121,6 +142,8 @@ class EngineConfig:
             "min_join_size": self.min_join_size,
             "numeric_aggregate": self.numeric_aggregate.value,
             "categorical_aggregate": self.categorical_aggregate.value,
+            "build_workers": self.build_workers,
+            "build_shards": self.build_shards,
         }
 
     @classmethod

@@ -30,7 +30,7 @@ from repro.exceptions import EngineError, IncompatibleSketchError, ReproError
 from repro.estimators.base import MIEstimator
 from repro.relational.aggregate import AggregateFunction
 from repro.relational.table import Table
-from repro.sketches.base import Sketch, SketchBuilder, SketchSide, get_builder
+from repro.sketches.base import KeyGroups, Sketch, SketchBuilder, SketchSide, get_builder
 from repro.sketches.estimate import SketchMIEstimate, estimate_mi_from_join
 from repro.sketches.join import join_sketches
 from repro.sketches.kmv import KMVSketch
@@ -134,16 +134,60 @@ class SketchEngine:
         value_column: str,
         *,
         agg: "str | AggregateFunction | None" = None,
+        key_groups: Optional[KeyGroups] = None,
     ) -> Sketch:
         """Sketch the candidate (``T_aug``) side of ``table``.
 
         When ``agg`` is omitted the config's default featurization for the
         value column's type applies (AVG for numeric, MODE for categorical,
-        unless reconfigured).
+        unless reconfigured).  ``key_groups`` (a
+        :class:`~repro.sketches.base.KeyGroups` built for ``(table,
+        key_column)``) shares the key-side work across a family of value
+        columns without changing the resulting sketch.
         """
         if agg is None:
             agg = self.config.default_aggregate_for(table.column(value_column).dtype)
-        return self.builder().sketch_candidate(table, key_column, value_column, agg=agg)
+        return self.builder().sketch_candidate(
+            table, key_column, value_column, agg=agg, key_groups=key_groups
+        )
+
+    def sketch_table_candidates(
+        self,
+        table: Table,
+        key_column: str,
+        value_columns: Iterable[str],
+        *,
+        aggs: "Sequence[str | AggregateFunction | None] | None" = None,
+        key_groups: Optional[KeyGroups] = None,
+    ) -> list[Sketch]:
+        """Sketch many value columns of one table against one join key.
+
+        The key-side work (NULL-key filtering, grouping, candidate key
+        selection and hashing) is computed once and shared across the whole
+        column family via :class:`~repro.sketches.base.KeyGroups`; each
+        returned sketch is identical to a standalone
+        :meth:`sketch_candidate` call.  This is the building block the
+        sharded :class:`~repro.discovery.builder.IndexBuilder` parallelizes
+        over shards.
+        """
+        value_columns = list(value_columns)
+        if aggs is None:
+            agg_list: list = [None] * len(value_columns)
+        else:
+            agg_list = list(aggs)
+            if len(agg_list) != len(value_columns):
+                raise EngineError(
+                    f"aggs must align with value_columns, got {len(agg_list)} "
+                    f"aggregates for {len(value_columns)} columns"
+                )
+        if key_groups is None:
+            key_groups = KeyGroups(table, key_column)
+        return [
+            self.sketch_candidate(
+                table, key_column, value_column, agg=agg, key_groups=key_groups
+            )
+            for value_column, agg in zip(value_columns, agg_list)
+        ]
 
     def sketch(self, request: "SketchRequest | Sequence[Any]") -> Sketch:
         """Build the sketch described by one :class:`SketchRequest`."""
@@ -166,9 +210,44 @@ class SketchEngine:
 
         Each request is a :class:`SketchRequest` or a
         ``(table, key_column, value_column[, side[, agg]])`` tuple.
+        Candidate-side requests that share a ``(table, key_column)`` pair
+        delegate to the grouped builder fast path: the key-side work is done
+        once per pair instead of once per request, without changing any
+        sketch.  (The shared per-pair caches are idempotent, so the thread
+        pool needs no extra locking.)
         """
         coerced = [SketchRequest.coerce(request) for request in requests]
-        thunks = [lambda request=request: self.sketch(request) for request in coerced]
+        family_sizes: dict[tuple[int, str], int] = {}
+        for request in coerced:
+            if request.side == SketchSide.CANDIDATE:
+                family = (id(request.table), request.key_column)
+                family_sizes[family] = family_sizes.get(family, 0) + 1
+        key_groups_by_family: dict[tuple[int, str], KeyGroups] = {}
+        for request in coerced:
+            if request.side != SketchSide.CANDIDATE:
+                continue
+            family = (id(request.table), request.key_column)
+            if family_sizes[family] > 1 and family not in key_groups_by_family:
+                key_groups_by_family[family] = KeyGroups(
+                    request.table, request.key_column
+                )
+
+        def one(request: SketchRequest) -> Sketch:
+            if request.side == SketchSide.BASE:
+                return self.sketch_base(
+                    request.table, request.key_column, request.value_column
+                )
+            return self.sketch_candidate(
+                request.table,
+                request.key_column,
+                request.value_column,
+                agg=request.agg,
+                key_groups=key_groups_by_family.get(
+                    (id(request.table), request.key_column)
+                ),
+            )
+
+        thunks = [lambda request=request: one(request) for request in coerced]
         return run_batch(thunks, max_workers=self._workers(max_workers))
 
     def key_sketch(self, table: Table, key_column: str) -> KMVSketch:

@@ -42,6 +42,7 @@ __all__ = [
     "SketchRunRecord",
     "sketch_estimate_for_dataset",
     "full_join_estimate_for_dataset",
+    "build_lake_index",
 ]
 
 
@@ -187,6 +188,40 @@ def sketch_estimate_for_dataset(
         base_sketch_size=len(base_sketch),
         candidate_sketch_size=len(candidate_sketch),
     )
+
+
+def build_lake_index(
+    tables,
+    key_columns,
+    *,
+    engine: "SketchEngine | EngineConfig | None" = None,
+    num_shards: "int | None" = None,
+    max_workers: "int | None" = None,
+    persist_to=None,
+):
+    """Index a lake of candidate tables through the sharded builder.
+
+    The discovery-flavoured experiments and benchmarks all start from the
+    same step — sketch every (key, value) column pair of a table collection
+    into a :class:`~repro.discovery.SketchIndex` — so this helper wires them
+    onto the production path: the sharded
+    :class:`~repro.discovery.builder.IndexBuilder` (``max_workers`` worker
+    processes over ``num_shards`` shards, defaulting to the engine config's
+    ``build_workers`` / ``build_shards``) and, when ``persist_to`` is given,
+    the columnar :mod:`repro.store` index layout on disk.
+    """
+    # Imported here: repro.discovery sits above the evaluation runner's
+    # usual dependencies and is only needed by the lake experiments.
+    from repro.discovery.builder import IndexBuilder
+    from repro.discovery.persistence import save_index
+
+    builder = IndexBuilder(engine, num_shards=num_shards, max_workers=max_workers)
+    for table in tables:
+        builder.add_table(table, key_columns)
+    index = builder.build()
+    if persist_to is not None:
+        save_index(index, persist_to)
+    return index
 
 
 def full_join_estimate_for_dataset(

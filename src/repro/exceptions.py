@@ -17,6 +17,7 @@ __all__ = [
     "JoinError",
     "SketchError",
     "IncompatibleSketchError",
+    "StoreError",
     "EstimationError",
     "InsufficientSamplesError",
     "SyntheticDataError",
@@ -67,6 +68,10 @@ class SketchError(ReproError):
 
 class IncompatibleSketchError(SketchError):
     """Two sketches cannot be joined (different methods, seeds or sides)."""
+
+
+class StoreError(SketchError):
+    """A columnar sketch store file is malformed, corrupted or unsupported."""
 
 
 class EstimationError(ReproError):

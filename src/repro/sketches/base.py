@@ -33,6 +33,7 @@ __all__ = [
     "SketchSide",
     "Sketch",
     "SketchBuilder",
+    "KeyGroups",
     "get_builder",
     "build_sketch",
     "available_methods",
@@ -146,6 +147,64 @@ class Sketch:
         }
 
 
+class KeyGroups:
+    """Shared per-``(table, join-key)`` state for sketching many value columns.
+
+    Indexing a table produces one candidate sketch per value column, but all
+    of those sketches share the same join-key column.  The work that depends
+    only on the key column — dropping NULL-key rows, grouping row positions
+    by key, counting rows and distinct keys, ranking/selecting candidate
+    keys, and hashing the selected keys — is therefore identical across the
+    whole column family.  A ``KeyGroups`` computes that state once and lets
+    :meth:`SketchBuilder.sketch_candidate` reuse it, turning an
+    ``O(columns × rows)`` rebuild into ``O(rows + columns × selected_rows)``.
+
+    The fast path is *exact*: sketches built through a ``KeyGroups`` are
+    equal, tuple for tuple, to sketches built by the plain per-column path.
+    """
+
+    def __init__(self, table: Table, key_column: str):
+        self.table = table
+        self.key_column = key_column
+        rows_by_key: dict[Hashable, list[int]] = {}
+        retained = 0
+        for row, key in enumerate(table.column(key_column).values):
+            if key is None:
+                continue
+            retained += 1
+            rows_by_key.setdefault(key, []).append(row)
+        #: Retained (non-NULL-key) row positions grouped by key, with keys in
+        #: first-appearance order — the same order ``group_by_aggregate``
+        #: produces, so selection tie-breaking matches the per-column path.
+        self.rows_by_key = rows_by_key
+        self.table_rows = retained
+        self.distinct_keys = len(rows_by_key)
+        # (method, capacity, seed) -> selected candidate keys (or None when
+        # the method's selection inspects values and cannot be shared).
+        self._selection_cache: dict[tuple[str, int, int], Optional[list[Hashable]]] = {}
+        # seed -> {key: h(key)}; only selected keys are ever hashed.
+        self._key_id_cache: dict[int, dict[Hashable, int]] = {}
+
+    def candidate_selection(self, builder: "SketchBuilder") -> Optional[list[Hashable]]:
+        """The candidate keys ``builder`` would retain, cached per config."""
+        cache_key = (builder.method, builder.capacity, builder.seed)
+        if cache_key not in self._selection_cache:
+            self._selection_cache[cache_key] = builder._candidate_key_order(
+                list(self.rows_by_key)
+            )
+        return self._selection_cache[cache_key]
+
+    def key_ids(self, keys: Sequence[Hashable], hasher: KeyHasher) -> list[int]:
+        """Hashed identifiers of ``keys``, memoized across the column family."""
+        cache = self._key_id_cache.setdefault(hasher.seed, {})
+        ids = []
+        for key in keys:
+            if key not in cache:
+                cache[key] = hasher.key_id(key)
+            ids.append(cache[key])
+        return ids
+
+
 class SketchBuilder(abc.ABC):
     """Base class for sketching methods.
 
@@ -159,6 +218,15 @@ class SketchBuilder(abc.ABC):
 
     #: Method name used in registries, reports and sketch provenance.
     method: str = "abstract"
+
+    #: Opt-in flag for the shared :class:`KeyGroups` fast path, which
+    #: aggregates the *selected* keys only and therefore requires that
+    #: ``_select_candidate`` picks keys independently of the aggregated
+    #: values.  Every bundled method qualifies (key hash rank, or a seeded
+    #: uniform sample over the key set) and sets this True; the default is
+    #: False so an external :class:`SketchBuilder` subclass with
+    #: value-dependent selection safely falls back to the per-column path.
+    candidate_selection_key_only: bool = False
 
     def __init__(self, capacity: int = 256, seed: int = 0):
         if capacity < 1:
@@ -201,13 +269,24 @@ class SketchBuilder(abc.ABC):
         key_column: str,
         value_column: str,
         agg: "str | AggregateFunction" = AggregateFunction.AVG,
+        *,
+        key_groups: Optional[KeyGroups] = None,
     ) -> Sketch:
         """Sketch the candidate (``T_cand``) side: aggregate repeated keys.
 
         The aggregation is performed on the fly, so the intermediate
-        augmentation table ``T_aug`` is never materialized.
+        augmentation table ``T_aug`` is never materialized.  Passing a
+        :class:`KeyGroups` built for ``(table, key_column)`` reuses the
+        key-side work across the table's value columns; the resulting sketch
+        is identical to the one built without it.
         """
         agg = get_aggregate(agg)
+        if key_groups is not None:
+            sketch = self._sketch_candidate_grouped(
+                table, key_column, value_column, agg, key_groups
+            )
+            if sketch is not None:
+                return sketch
         keys = table.column(key_column).values
         values = table.column(value_column).values
         keys, values = _drop_missing_keys(keys, values)
@@ -234,9 +313,75 @@ class SketchBuilder(abc.ABC):
             aggregate=agg.value,
         )
 
+    def _sketch_candidate_grouped(
+        self,
+        table: Table,
+        key_column: str,
+        value_column: str,
+        agg: AggregateFunction,
+        key_groups: KeyGroups,
+    ) -> Optional[Sketch]:
+        """Candidate sketch via shared key-side state; None → use slow path."""
+        if key_groups.table is not table or key_groups.key_column != key_column:
+            raise SketchError(
+                "key_groups was built for a different table or join-key column"
+            )
+        if key_groups.table_rows == 0:
+            raise SketchError(
+                f"cannot sketch {table.name or 'table'}: join key {key_column!r} has no values"
+            )
+        selected = key_groups.candidate_selection(self)
+        if selected is None:
+            return None
+        values = table.column(value_column).values
+        # Aggregate only the rows of the selected keys, keeping each key's
+        # rows in table order (FIRST/MODE tie-breaking must not change).
+        sub_keys: list[Hashable] = []
+        sub_values: list[Any] = []
+        for key in selected:
+            for row in key_groups.rows_by_key[key]:
+                sub_keys.append(key)
+                sub_values.append(values[row])
+        aggregated = self._candidate_key_values(sub_keys, sub_values, agg)
+        value_list = [aggregated[key] for key in selected]
+        input_dtype = table.column(value_column).dtype
+        return Sketch(
+            method=self.method,
+            side=SketchSide.CANDIDATE,
+            seed=self.seed,
+            capacity=self.capacity,
+            key_ids=key_groups.key_ids(selected, self.hasher),
+            values=value_list,
+            value_dtype=self._candidate_value_dtype(agg, input_dtype, value_list),
+            table_rows=key_groups.table_rows,
+            distinct_keys=key_groups.distinct_keys,
+            key_column=key_column,
+            value_column=value_column,
+            table_name=table.name,
+            aggregate=agg.value,
+        )
+
     # ------------------------------------------------------------------ #
     # Hooks implemented by concrete methods
     # ------------------------------------------------------------------ #
+    def _candidate_key_order(
+        self, keys: Sequence[Hashable]
+    ) -> Optional[list[Hashable]]:
+        """The exact keys ``_select_candidate`` would retain, given only keys.
+
+        Used by the :class:`KeyGroups` fast path.  Methods that declare
+        ``candidate_selection_key_only`` select candidate keys independently
+        of the aggregated values (hash rank for the coordinated methods, a
+        seeded uniform sample for INDSK), so the default implementation
+        probes ``_select_candidate`` with a value-free mapping over the same
+        keys in the same order.  For every other method this returns None
+        and the caller falls back to the per-column path.
+        """
+        if not self.candidate_selection_key_only:
+            return None
+        selected, _ = self._select_candidate(dict.fromkeys(keys))
+        return selected
+
     @abc.abstractmethod
     def _select_base(
         self, keys: list[Hashable], values: list[Any]

@@ -28,6 +28,8 @@ class CorrelationSketchBuilder(SketchBuilder):
     """Correlation-Sketches-style minwise key sampling with first-value semantics."""
 
     method = "CSK"
+    # Candidate keys are ranked by h_u(h(k)): key-only selection.
+    candidate_selection_key_only = True
 
     def _first_values(
         self, keys: list[Hashable], values: list[Any]

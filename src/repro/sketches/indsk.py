@@ -27,6 +27,8 @@ class IndependentSketchBuilder(SketchBuilder):
     """Independent uniform row-sampling sketch (INDSK)."""
 
     method = "INDSK"
+    # Candidate keys are a seeded uniform sample of the key set: key-only.
+    candidate_selection_key_only = True
 
     def __init__(self, capacity: int = 256, seed: int = 0):
         super().__init__(capacity=capacity, seed=seed)

@@ -34,6 +34,9 @@ class TwoLevelSketchBuilder(SketchBuilder):
     """Two-level sampling sketch (LV2SK)."""
 
     method = "LV2SK"
+    # Candidate keys are ranked by h_u(h(k)): key-only selection (PRISK
+    # inherits this; its value-weighted sampling is base-side only).
+    candidate_selection_key_only = True
 
     def _first_level_keys(self, key_frequencies: dict[Hashable, int]) -> list[Hashable]:
         """Select the keys retained by the first sampling level.

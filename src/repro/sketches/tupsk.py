@@ -29,6 +29,8 @@ class TupleSketchBuilder(SketchBuilder):
     """The proposed tuple-based sampling sketch (TUPSK)."""
 
     method = "TUPSK"
+    # Candidate keys are ranked by h_u(h((k, 1))): key-only selection.
+    candidate_selection_key_only = True
 
     def _select_base(
         self, keys: list[Hashable], values: list[Any]

@@ -1,0 +1,84 @@
+"""``repro.store`` — compact columnar persistence for sketches.
+
+Overview
+--------
+Sketches are built in an offline preprocessing stage and shipped to wherever
+discovery queries run, so a data lake's index is dominated by *stored
+sketches*: for a million-column lake, one JSON file per sketch (the original
+format of :mod:`repro.sketches.serialization`) means a million tiny files,
+each parsed value by value.  This package replaces that with a **columnar
+sketch store**: the hashed keys and values of *all* sketches in a store are
+packed into a handful of typed NumPy arrays and written as one versioned
+``.npz`` file.
+
+File format (version 1)
+-----------------------
+A store is a single uncompressed NumPy ``.npz`` archive whose members are:
+
+``manifest``
+    UTF-8 JSON (as a ``uint8`` array) carrying the format magic
+    (``"repro-sketch-store"``), the format version, and one metadata entry
+    per sketch: method, side, seed, capacity, value dtype, provenance
+    columns, aggregate, plus the sketch's slice into the key array and into
+    its value pool.
+``key_ids``
+    One ``int64`` array with every sketch's hashed join keys, concatenated.
+``values_float`` / ``values_int``
+    ``float64`` / ``int64`` pools for sketches whose values are uniformly
+    numeric.
+``values_str`` / ``values_str_offsets``
+    A UTF-8 byte pool plus ``int64`` offsets for string-valued sketches.
+``values_json`` / ``values_json_offsets``
+    A JSON-encoded byte pool for mixed-type values (``None``, booleans,
+    arbitrary-precision integers, …).
+
+Extra array groups (for example the discovery index's KMV key sketches) can
+ride along in the same file under caller-chosen names.
+
+Usage
+-----
+>>> from repro.store import save_npz, load_npz
+>>> save_npz("lake.sketches.npz", sketches)          # doctest: +SKIP
+>>> store = load_npz("lake.sketches.npz", mmap=True) # doctest: +SKIP
+>>> store[0]                                         # doctest: +SKIP
+
+``mmap=True`` memory-maps the numeric arrays straight out of the archive
+(the members are stored uncompressed), so opening a multi-gigabyte store
+costs a few page faults instead of a full read; sketches are materialized
+lazily, one slice at a time.
+
+Round-trip guarantees
+---------------------
+``load_npz(save_npz(path, sketch))[0] == sketch`` holds exactly for every
+sketching method and both sketch sides: floats (including ``inf``/``NaN``),
+integers of any magnitude, strings and ``None`` values survive bit-for-bit
+(see the Hypothesis property tests under ``tests/store/``).  Files with a
+wrong magic, an unsupported version or truncated arrays raise
+:class:`~repro.exceptions.StoreError`.
+
+Migration
+---------
+:func:`repro.discovery.save_index` writes this format (index format
+version 2) since the sharded-builder release; :func:`repro.discovery.
+load_index` transparently reads both the new format and legacy
+(version-1) index directories with per-sketch JSON files, so old indexes
+keep loading and are migrated by a plain save.
+"""
+
+from repro.store.columnar import (
+    STORE_FORMAT_VERSION,
+    SketchStore,
+    load_npz,
+    pack_value_lists,
+    save_npz,
+    unpack_value_lists,
+)
+
+__all__ = [
+    "STORE_FORMAT_VERSION",
+    "SketchStore",
+    "save_npz",
+    "load_npz",
+    "pack_value_lists",
+    "unpack_value_lists",
+]

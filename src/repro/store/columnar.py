@@ -1,0 +1,431 @@
+"""Columnar packing of sketches into versioned ``.npz`` stores.
+
+See :mod:`repro.store` for the file-format description.  This module holds
+the packing/unpacking machinery: a typed *value pool* encoder shared by the
+sketch values and by any extra array groups (the discovery index stores its
+KMV key-sketch values through the same encoder), the :class:`SketchStore`
+lazy reader, and the ``save_npz`` / ``load_npz`` entry points with optional
+memory-mapped reads.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zipfile
+from typing import Any, Iterable, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.exceptions import StoreError
+from repro.relational.dtypes import DType
+from repro.sketches.base import Sketch
+
+__all__ = [
+    "STORE_FORMAT_VERSION",
+    "STORE_MAGIC",
+    "SketchStore",
+    "save_npz",
+    "load_npz",
+    "pack_value_lists",
+    "unpack_value_lists",
+]
+
+#: Version tag written into every store file.
+STORE_FORMAT_VERSION = 1
+
+#: Format magic distinguishing sketch stores from arbitrary ``.npz`` files.
+STORE_MAGIC = "repro-sketch-store"
+
+PathLike = Union[str, os.PathLike]
+
+_INT64_MIN = -(2**63)
+_INT64_MAX = 2**63 - 1
+
+
+def _json_default(value: Any) -> Any:
+    """Coerce numpy scalars so mixed value lists spill to the JSON pool
+    cleanly (homogeneous numpy lists already coerce via the typed pools)."""
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.bool_):
+        return bool(value)
+    raise TypeError(f"value of type {type(value).__name__} is not JSON-storable")
+
+
+# --------------------------------------------------------------------------- #
+# Typed value pools
+# --------------------------------------------------------------------------- #
+def _value_kind(values: Sequence[Any]) -> str:
+    """Pick the narrowest pool that represents ``values`` exactly.
+
+    ``bool`` is excluded from the numeric kinds (it would load back as a
+    number) and integers outside the int64 range spill to the JSON pool,
+    which preserves arbitrary precision.
+    """
+    all_float = True
+    all_int = True
+    all_str = True
+    for value in values:
+        if not (type(value) is float or isinstance(value, np.floating)):
+            all_float = False
+        if not (
+            (type(value) is int and _INT64_MIN <= value <= _INT64_MAX)
+            or isinstance(value, np.integer)
+        ):
+            all_int = False
+        if not isinstance(value, str):
+            all_str = False
+        if not (all_float or all_int or all_str):
+            return "json"
+    if all_float:
+        return "float"
+    if all_int:
+        return "int"
+    if all_str:
+        return "str"
+    return "float"  # empty list: any pool works, the slice is empty
+
+
+class _PoolWriter:
+    """Accumulates value lists into the four typed pools."""
+
+    def __init__(self) -> None:
+        self._float: list[float] = []
+        self._int: list[int] = []
+        self._str: list[str] = []
+        self._json: list[str] = []
+
+    def add(self, values: Sequence[Any]) -> dict[str, Any]:
+        """Append one value list; returns its manifest entry."""
+        kind = _value_kind(values)
+        if kind == "float":
+            pool: list = self._float
+            encoded: Sequence[Any] = [float(value) for value in values]
+        elif kind == "int":
+            pool = self._int
+            encoded = [int(value) for value in values]
+        elif kind == "str":
+            pool = self._str
+            encoded = list(values)
+        else:
+            pool = self._json
+            try:
+                encoded = [json.dumps(value, default=_json_default) for value in values]
+            except (TypeError, ValueError) as exc:
+                raise StoreError(
+                    f"sketch values are not storable: {exc}"
+                ) from exc
+        start = len(pool)
+        pool.extend(encoded)
+        return {"kind": kind, "slice": [start, len(pool)]}
+
+    def arrays(self, prefix: str) -> dict[str, np.ndarray]:
+        """The four pools as named arrays (string pools as bytes + offsets)."""
+        out = {
+            f"{prefix}_float": np.asarray(self._float, dtype=np.float64),
+            f"{prefix}_int": np.asarray(self._int, dtype=np.int64),
+        }
+        for name, strings in ((f"{prefix}_str", self._str), (f"{prefix}_json", self._json)):
+            blobs = [string.encode("utf-8") for string in strings]
+            offsets = np.zeros(len(blobs) + 1, dtype=np.int64)
+            if blobs:
+                offsets[1:] = np.cumsum([len(blob) for blob in blobs])
+            buffer = b"".join(blobs)
+            out[name] = np.frombuffer(buffer, dtype=np.uint8).copy()
+            out[f"{name}_offsets"] = offsets
+        return out
+
+
+def _decode_pool_slice(
+    arrays: Mapping[str, np.ndarray], prefix: str, entry: Mapping[str, Any]
+) -> list[Any]:
+    """Materialize one value list from its pool slice."""
+    kind = entry["kind"]
+    start, stop = entry["slice"]
+    try:
+        if kind == "float":
+            return [float(value) for value in arrays[f"{prefix}_float"][start:stop]]
+        if kind == "int":
+            return [int(value) for value in arrays[f"{prefix}_int"][start:stop]]
+        if kind in ("str", "json"):
+            name = f"{prefix}_{kind}"
+            offsets = arrays[f"{name}_offsets"]
+            buffer = arrays[name]
+            decoded = []
+            for position in range(start, stop):
+                raw = bytes(buffer[offsets[position] : offsets[position + 1]])
+                text = raw.decode("utf-8")
+                decoded.append(json.loads(text) if kind == "json" else text)
+            return decoded
+    except (KeyError, IndexError, ValueError, UnicodeDecodeError) as exc:
+        raise StoreError(f"corrupted value pool {prefix!r}: {exc}") from exc
+    raise StoreError(f"unknown value kind {kind!r}")
+
+
+def pack_value_lists(
+    value_lists: Iterable[Sequence[Any]], prefix: str
+) -> tuple[dict[str, np.ndarray], list[dict[str, Any]]]:
+    """Pack many value lists into one typed pool group named ``prefix``.
+
+    Returns the pool arrays (to merge into a store's array set) and one
+    manifest entry per list.  Used for the sketch values themselves and for
+    extra groups such as the index's KMV key-sketch values.
+    """
+    writer = _PoolWriter()
+    entries = [writer.add(values) for values in value_lists]
+    return writer.arrays(prefix), entries
+
+
+def unpack_value_lists(
+    arrays: Mapping[str, np.ndarray],
+    entries: Sequence[Mapping[str, Any]],
+    prefix: str,
+) -> list[list[Any]]:
+    """Inverse of :func:`pack_value_lists`."""
+    return [_decode_pool_slice(arrays, prefix, entry) for entry in entries]
+
+
+# --------------------------------------------------------------------------- #
+# Sketch packing
+# --------------------------------------------------------------------------- #
+def _sketch_manifest_entry(sketch: Sketch, key_slice: list[int], value_entry: dict) -> dict:
+    try:
+        metadata = json.loads(json.dumps(sketch.metadata))
+    except (TypeError, ValueError) as exc:
+        raise StoreError(f"sketch metadata is not storable: {exc}") from exc
+    return {
+        "method": sketch.method,
+        "side": str(sketch.side),
+        "seed": sketch.seed,
+        "capacity": sketch.capacity,
+        "value_dtype": sketch.value_dtype.value,
+        "table_rows": sketch.table_rows,
+        "distinct_keys": sketch.distinct_keys,
+        "key_column": sketch.key_column,
+        "value_column": sketch.value_column,
+        "table_name": sketch.table_name,
+        "aggregate": sketch.aggregate,
+        "metadata": metadata,
+        "keys": key_slice,
+        "values": value_entry,
+    }
+
+
+def _sketch_from_manifest(
+    entry: Mapping[str, Any], arrays: Mapping[str, np.ndarray]
+) -> Sketch:
+    start, stop = entry["keys"]
+    try:
+        key_ids = [int(key_id) for key_id in arrays["key_ids"][start:stop]]
+        return Sketch(
+            method=entry["method"],
+            side=entry["side"],
+            seed=int(entry["seed"]),
+            capacity=int(entry["capacity"]),
+            key_ids=key_ids,
+            values=_decode_pool_slice(arrays, "values", entry["values"]),
+            value_dtype=DType(entry["value_dtype"]),
+            table_rows=int(entry["table_rows"]),
+            distinct_keys=int(entry["distinct_keys"]),
+            key_column=entry.get("key_column", ""),
+            value_column=entry.get("value_column", ""),
+            table_name=entry.get("table_name", ""),
+            aggregate=entry.get("aggregate"),
+            metadata=dict(entry.get("metadata") or {}),
+        )
+    except (KeyError, IndexError, ValueError, TypeError) as exc:
+        raise StoreError(f"malformed sketch entry in store: {exc}") from exc
+
+
+class SketchStore:
+    """A loaded (possibly memory-mapped) columnar sketch store.
+
+    Sketches are materialized lazily: ``store[i]`` slices the shared arrays
+    and builds one :class:`~repro.sketches.base.Sketch`; with ``mmap=True``
+    the numeric arrays stay on disk until sliced.
+    """
+
+    def __init__(
+        self,
+        manifest: Mapping[str, Any],
+        arrays: Mapping[str, np.ndarray],
+    ):
+        self._manifest = manifest
+        self._arrays = arrays
+        self._entries = manifest["sketches"]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __getitem__(self, index: int) -> Sketch:
+        return _sketch_from_manifest(self._entries[index], self._arrays)
+
+    def __iter__(self):
+        for index in range(len(self)):
+            yield self[index]
+
+    def sketches(self) -> list[Sketch]:
+        """Materialize every sketch in the store, in stored order."""
+        return list(self)
+
+    @property
+    def extra_manifest(self) -> dict[str, Any]:
+        """Caller-provided manifest section (e.g. the index's KMV entries)."""
+        return self._manifest.get("extra") or {}
+
+    def array(self, name: str) -> np.ndarray:
+        """Access a stored array by name (for extra array groups)."""
+        try:
+            return self._arrays[name]
+        except KeyError:
+            raise StoreError(f"store has no array {name!r}") from None
+
+
+# --------------------------------------------------------------------------- #
+# File I/O
+# --------------------------------------------------------------------------- #
+def save_npz(
+    path: PathLike,
+    sketches: "Sketch | Sequence[Sketch]",
+    *,
+    extra_arrays: Optional[Mapping[str, np.ndarray]] = None,
+    extra_manifest: Optional[Mapping[str, Any]] = None,
+) -> PathLike:
+    """Write sketches (and optional extra array groups) as one ``.npz`` store.
+
+    Accepts a single sketch or a sequence; returns ``path`` for chaining.
+    The archive is written uncompressed so :func:`load_npz` can memory-map
+    the members.
+    """
+    if isinstance(sketches, Sketch):
+        sketches = [sketches]
+    else:
+        sketches = list(sketches)
+        for position, sketch in enumerate(sketches):
+            if not isinstance(sketch, Sketch):
+                raise StoreError(
+                    f"store entry {position} is not a Sketch, "
+                    f"got {type(sketch).__name__}"
+                )
+    key_ids: list[int] = []
+    writer = _PoolWriter()
+    entries = []
+    for sketch in sketches:
+        key_start = len(key_ids)
+        key_ids.extend(int(key_id) for key_id in sketch.key_ids)
+        value_entry = writer.add(sketch.values)
+        entries.append(
+            _sketch_manifest_entry(sketch, [key_start, len(key_ids)], value_entry)
+        )
+    manifest = {
+        "magic": STORE_MAGIC,
+        "version": STORE_FORMAT_VERSION,
+        "count": len(entries),
+        "sketches": entries,
+    }
+    if extra_manifest:
+        manifest["extra"] = json.loads(json.dumps(dict(extra_manifest)))
+    arrays: dict[str, np.ndarray] = {
+        "key_ids": np.asarray(key_ids, dtype=np.int64),
+        **writer.arrays("values"),
+    }
+    if extra_arrays:
+        for name, array in extra_arrays.items():
+            if name in arrays or name == "manifest":
+                raise StoreError(f"extra array name {name!r} collides with the store layout")
+            arrays[name] = np.asarray(array)
+    arrays["manifest"] = np.frombuffer(
+        json.dumps(manifest).encode("utf-8"), dtype=np.uint8
+    ).copy()
+    with open(path, "wb") as handle:
+        np.savez(handle, **arrays)
+    return path
+
+
+def _mmap_member(path: PathLike, info: zipfile.ZipInfo) -> Optional[np.ndarray]:
+    """Memory-map one stored ``.npy`` member of the archive, if possible."""
+    if info.compress_type != zipfile.ZIP_STORED:
+        return None
+    with open(path, "rb") as handle:
+        handle.seek(info.header_offset)
+        local_header = handle.read(30)
+        if len(local_header) < 30 or local_header[:4] != b"PK\x03\x04":
+            return None
+        name_length = int.from_bytes(local_header[26:28], "little")
+        extra_length = int.from_bytes(local_header[28:30], "little")
+        data_start = info.header_offset + 30 + name_length + extra_length
+        handle.seek(data_start)
+        try:
+            version = np.lib.format.read_magic(handle)
+            if version == (1, 0):
+                shape, fortran, dtype = np.lib.format.read_array_header_1_0(handle)
+            elif version == (2, 0):
+                shape, fortran, dtype = np.lib.format.read_array_header_2_0(handle)
+            else:
+                return None
+        except ValueError:
+            return None
+        if dtype.hasobject:
+            return None
+        return np.memmap(
+            path,
+            dtype=dtype,
+            mode="r",
+            offset=handle.tell(),
+            shape=shape,
+            order="F" if fortran else "C",
+        )
+
+
+def _read_store_arrays(path: PathLike, mmap: bool) -> dict[str, np.ndarray]:
+    if not os.path.exists(path):
+        raise StoreError(f"no sketch store at {path}")
+    try:
+        with zipfile.ZipFile(path) as archive:
+            members = archive.infolist()
+            arrays: dict[str, np.ndarray] = {}
+            for info in members:
+                name = info.filename
+                if not name.endswith(".npy"):
+                    continue
+                array_name = name[: -len(".npy")]
+                array = _mmap_member(path, info) if mmap else None
+                if array is None:
+                    with archive.open(info) as member:
+                        array = np.lib.format.read_array(member, allow_pickle=False)
+                arrays[array_name] = array
+            return arrays
+    except (zipfile.BadZipFile, OSError, ValueError) as exc:
+        raise StoreError(f"not a valid sketch store: {path} ({exc})") from exc
+
+
+def load_npz(path: PathLike, *, mmap: bool = False) -> SketchStore:
+    """Open a store written by :func:`save_npz`.
+
+    ``mmap=True`` memory-maps the numeric members instead of reading them,
+    so opening a large store is O(1) in its data size.  Raises
+    :class:`~repro.exceptions.StoreError` for missing, corrupted,
+    wrong-magic or unsupported-version files.
+    """
+    arrays = _read_store_arrays(path, mmap)
+    if "manifest" not in arrays:
+        raise StoreError(f"not a sketch store (no manifest): {path}")
+    try:
+        manifest = json.loads(bytes(np.asarray(arrays["manifest"])).decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise StoreError(f"corrupted store manifest: {path}") from exc
+    if not isinstance(manifest, dict) or manifest.get("magic") != STORE_MAGIC:
+        raise StoreError(f"not a sketch store (bad magic): {path}")
+    version = manifest.get("version")
+    if version != STORE_FORMAT_VERSION:
+        raise StoreError(
+            f"unsupported sketch store version {version!r} "
+            f"(expected {STORE_FORMAT_VERSION}): {path}"
+        )
+    entries = manifest.get("sketches")
+    if not isinstance(entries, list) or manifest.get("count") != len(entries):
+        raise StoreError(f"corrupted store manifest (sketch count mismatch): {path}")
+    return SketchStore(manifest, arrays)

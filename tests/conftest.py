@@ -5,7 +5,6 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.relational.column import Column
 from repro.relational.dtypes import DType
 from repro.relational.table import Table
 

@@ -1,0 +1,247 @@
+"""Tests for the sharded parallel IndexBuilder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.discovery import IndexBuilder, SketchIndex, shard_for_table
+from repro.discovery.index import IndexedCandidate
+from repro.engine import EngineConfig, SketchEngine
+from repro.exceptions import ColumnNotFoundError, DiscoveryError
+from repro.relational.table import Table
+
+CONFIG = EngineConfig(method="TUPSK", capacity=64, seed=5)
+
+
+@pytest.fixture
+def lake(rng):
+    keys = [f"id{i:04d}" for i in range(120)]
+    target = rng.normal(size=120)
+    base = Table.from_dict(
+        {"key": keys, "target": target.tolist()}, name="base"
+    )
+    tables = []
+    for position in range(6):
+        row_keys = [keys[i] for i in rng.integers(0, 120, size=200)]
+        tables.append(
+            Table.from_dict(
+                {
+                    "key": row_keys,
+                    "a": rng.normal(size=200).tolist(),
+                    "b": [["x", "y"][i] for i in rng.integers(0, 2, size=200)],
+                },
+                name=f"t{position}",
+            )
+        )
+    return base, tables
+
+
+def serial_index(tables) -> SketchIndex:
+    index = SketchIndex(SketchEngine(CONFIG))
+    for table in tables:
+        index.add_table(table, ["key"])
+    return index
+
+
+class TestEquivalenceWithSerialPath:
+    def assert_same_index(self, built: SketchIndex, reference: SketchIndex):
+        assert [c.candidate_id for c in built.candidates] == [
+            c.candidate_id for c in reference.candidates
+        ]
+        for candidate, expected in zip(built.candidates, reference.candidates):
+            assert candidate.sketch == expected.sketch
+            assert candidate.key_kmv.hashes == expected.key_kmv.hashes
+            assert candidate.key_kmv.values == expected.key_kmv.values
+            assert candidate.profile == expected.profile
+            assert candidate.aggregate == expected.aggregate
+
+    def test_inline_build_matches_serial(self, lake):
+        _, tables = lake
+        builder = IndexBuilder(CONFIG, num_shards=4)
+        for table in tables:
+            builder.add_table(table, ["key"])
+        self.assert_same_index(builder.build(), serial_index(tables))
+
+    def test_process_pool_build_matches_serial(self, lake):
+        _, tables = lake
+        builder = IndexBuilder(CONFIG, num_shards=4, max_workers=2)
+        for table in tables:
+            builder.add_table(table, ["key"])
+        self.assert_same_index(builder.build(), serial_index(tables))
+
+    def test_query_results_identical(self, lake):
+        base, tables = lake
+        builder = IndexBuilder(CONFIG, num_shards=3, max_workers=2)
+        for table in tables:
+            builder.add_table(table, ["key"])
+        built = builder.build()
+        reference = serial_index(tables)
+        ours = built.query_columns(base, "key", "target", top_k=5, min_join_size=4)
+        theirs = reference.query_columns(base, "key", "target", top_k=5, min_join_size=4)
+        assert [(r.candidate_id, r.mi_estimate) for r in ours] == [
+            (r.candidate_id, r.mi_estimate) for r in theirs
+        ]
+
+    def test_shard_count_does_not_change_the_index(self, lake):
+        _, tables = lake
+        indexes = []
+        for num_shards in (1, 2, 7):
+            builder = IndexBuilder(CONFIG, num_shards=num_shards)
+            for table in tables:
+                builder.add_table(table, ["key"])
+            indexes.append(builder.build())
+        self.assert_same_index(indexes[1], indexes[0])
+        self.assert_same_index(indexes[2], indexes[0])
+
+
+class TestIncrementalBuilds:
+    def test_add_table_invalidates_only_its_shard(self, lake):
+        _, tables = lake
+        builder = IndexBuilder(CONFIG, num_shards=8)
+        for table in tables[:-1]:
+            builder.add_table(table, ["key"])
+        builder.build()
+        assert builder.dirty_shards == set()
+        builder.add_table(tables[-1], ["key"])
+        assert builder.dirty_shards == {builder.shard_of(tables[-1].name)}
+        index = builder.build()
+        assert len(index) == len(serial_index(tables))
+        assert builder.dirty_shards == set()
+
+    def test_incremental_build_matches_full_rebuild(self, lake):
+        _, tables = lake
+        builder = IndexBuilder(CONFIG, num_shards=8)
+        for table in tables[:3]:
+            builder.add_table(table, ["key"])
+        builder.build()
+        for table in tables[3:]:
+            builder.add_table(table, ["key"])
+        incremental = builder.build()
+        TestEquivalenceWithSerialPath().assert_same_index(
+            incremental, serial_index(tables)
+        )
+
+    def test_remove_table_drops_its_candidates(self, lake):
+        _, tables = lake
+        builder = IndexBuilder(CONFIG, num_shards=4)
+        for table in tables:
+            builder.add_table(table, ["key"])
+        builder.build()
+        builder.remove_table(tables[0].name)
+        assert builder.dirty_shards == {builder.shard_of(tables[0].name)}
+        index = builder.build()
+        names = {candidate.profile.table_name for candidate in index.candidates}
+        assert tables[0].name not in names
+        assert len(index) == (len(tables) - 1) * 2
+
+    def test_reregistering_a_name_replaces_the_table(self, lake):
+        _, tables = lake
+        builder = IndexBuilder(CONFIG, num_shards=4)
+        builder.add_table(tables[0], ["key"])
+        builder.build()
+        replacement = Table.from_dict(
+            {
+                "key": tables[1].column("key").values,
+                "a": tables[1].column("a").values,
+            },
+            name=tables[0].name,
+        )
+        builder.add_table(replacement, ["key"])
+        index = builder.build()
+        assert len(index) == 1  # replacement has a single value column
+
+    def test_build_into_existing_index(self, lake):
+        _, tables = lake
+        builder = IndexBuilder(CONFIG, num_shards=4)
+        builder.add_table(tables[0], ["key"])
+        index = builder.build()
+        other = IndexBuilder(CONFIG, num_shards=4)
+        other.add_table(tables[1], ["key"])
+        merged = other.build(into=index)
+        assert merged is index
+        assert len(merged) == 4
+
+
+class TestRegistrationAndErrors:
+    def test_len_counts_candidate_specs(self, lake):
+        _, tables = lake
+        builder = IndexBuilder(CONFIG)
+        builder.add_table(tables[0], ["key"])
+        assert len(builder) == 2
+        builder.add_table(tables[1], ["key"], value_columns=["a"])
+        assert len(builder) == 3
+
+    def test_unnamed_tables_get_positional_names(self, rng):
+        table = Table.from_dict(
+            {"key": ["a", "b", "c"], "v": [1.0, 2.0, 3.0]}
+        )
+        builder = IndexBuilder(CONFIG)
+        name = builder.add_table(table, ["key"])
+        assert name == "table_0"
+        index = builder.build()
+        assert index.candidates[0].candidate_id.startswith("table_0:")
+
+    def test_anonymous_names_never_reused_after_removal(self):
+        """Removing an unnamed table must not let a later anonymous
+        registration collide with (and replace) a surviving one."""
+        make = lambda v: Table.from_dict({"key": ["a", "b", "c"], "v": v})
+        builder = IndexBuilder(CONFIG)
+        first = builder.add_table(make([1.0, 2.0, 3.0]), ["key"])
+        second = builder.add_table(make([4.0, 5.0, 6.0]), ["key"])
+        builder.remove_table(first)
+        third = builder.add_table(make([7.0, 8.0, 9.0]), ["key"])
+        assert len({first, second, third}) == 3
+        assert sorted(builder.table_names) == sorted([second, third])
+        assert len(builder.build()) == 2
+
+    def test_shard_assignment_is_stable(self):
+        assert shard_for_table("weather", 16) == shard_for_table("weather", 16)
+        with pytest.raises(DiscoveryError):
+            shard_for_table("weather", 0)
+
+    def test_unknown_remove_rejected(self):
+        builder = IndexBuilder(CONFIG)
+        with pytest.raises(DiscoveryError, match="unknown table"):
+            builder.remove_table("nope")
+
+    def test_missing_columns_rejected_at_registration(self, lake):
+        _, tables = lake
+        builder = IndexBuilder(CONFIG)
+        with pytest.raises(ColumnNotFoundError):
+            builder.add_table(tables[0], ["missing"])
+        with pytest.raises(ColumnNotFoundError):
+            builder.add_table(tables[0], ["key"], value_columns=["missing"])
+
+    def test_table_without_candidate_pairs_rejected(self):
+        table = Table.from_dict({"key": ["a", "b"]}, name="only-key")
+        builder = IndexBuilder(CONFIG)
+        with pytest.raises(DiscoveryError, match="no candidate"):
+            builder.add_table(table, ["key"])
+
+    def test_metadata_and_agg_apply_to_candidates(self, lake):
+        _, tables = lake
+        builder = IndexBuilder(CONFIG)
+        builder.add_table(
+            tables[0], ["key"], value_columns=["a"], agg="sum", metadata={"origin": "x"}
+        )
+        candidate = builder.build().candidates[0]
+        assert candidate.aggregate == "sum"
+        assert candidate.metadata == {"origin": "x"}
+
+    def test_add_prebuilt_rejects_mismatched_config(self, lake):
+        _, tables = lake
+        builder = IndexBuilder(CONFIG)
+        builder.add_table(tables[0], ["key"])
+        candidate: IndexedCandidate = builder.build().candidates[0]
+        other = SketchIndex(EngineConfig(method="TUPSK", capacity=64, seed=99))
+        with pytest.raises(DiscoveryError, match="seed"):
+            other.add_prebuilt(candidate)
+        smaller = SketchIndex(EngineConfig(method="TUPSK", capacity=32, seed=5))
+        with pytest.raises(DiscoveryError, match="capacity"):
+            smaller.add_prebuilt(candidate)
+
+    def test_workers_default_from_engine_config(self):
+        config = EngineConfig(build_workers=3, build_shards=5)
+        builder = IndexBuilder(config)
+        assert builder.max_workers == 3
+        assert builder.num_shards == 5

@@ -52,18 +52,26 @@ class TestConstruction:
         assert (index.method, index.capacity, index.seed) == ("TUPSK", 1024, 0)
 
     def test_legacy_kwargs_deprecated_but_working(self):
-        with pytest.warns(DeprecationWarning):
+        with pytest.warns(DeprecationWarning, match=r"EngineConfig\(method="):
             index = SketchIndex(method="CSK", capacity=64, seed=3)
         assert (index.method, index.capacity, index.seed) == ("CSK", 64, 3)
 
+    def test_deprecation_warning_names_replacement_api(self):
+        """The warning must tell callers what to use instead."""
+        with pytest.warns(DeprecationWarning) as captured:
+            SketchIndex(method="CSK", capacity=64, seed=3)
+        messages = [str(warning.message) for warning in captured]
+        assert any("SketchIndex(EngineConfig(" in message for message in messages)
+        assert any("SketchEngine" in message for message in messages)
+
     def test_legacy_positional_method_string(self):
-        with pytest.warns(DeprecationWarning):
+        with pytest.warns(DeprecationWarning, match="deprecated"):
             index = SketchIndex("CSK")
         assert index.method == "CSK"
         assert index.capacity == 1024
 
     def test_legacy_fully_positional_signature(self):
-        with pytest.warns(DeprecationWarning):
+        with pytest.warns(DeprecationWarning, match=r"EngineConfig\(method="):
             index = SketchIndex("CSK", 512, 7)
         assert (index.method, index.capacity, index.seed) == ("CSK", 512, 7)
 

@@ -2,7 +2,6 @@
 
 import json
 
-import numpy as np
 import pytest
 
 from repro.discovery.index import SketchIndex
@@ -110,3 +109,121 @@ class TestSaveAndLoad:
         path.write_text(json.dumps(document), encoding="utf-8")
         with pytest.raises(DiscoveryError):
             load_index(tmp_path / "index")
+
+
+class TestColumnarStoreLayout:
+    def test_saved_index_uses_columnar_store(self, tmp_path, populated_index):
+        """Version 2 writes one store file, not one JSON file per sketch."""
+        _, index = populated_index
+        save_index(index, tmp_path / "index")
+        assert (tmp_path / "index" / "sketches.npz").exists()
+        assert not (tmp_path / "index" / "sketches").exists()
+        document = json.loads(
+            (tmp_path / "index" / "index.json").read_text(encoding="utf-8")
+        )
+        assert document["format_version"] == 2
+
+    def test_memory_mapped_load_matches_eager_load(self, tmp_path, populated_index):
+        base, index = populated_index
+        save_index(index, tmp_path / "index")
+        eager = load_index(tmp_path / "index")
+        mapped = load_index(tmp_path / "index", mmap=True)
+        assert [c.candidate_id for c in mapped.candidates] == [
+            c.candidate_id for c in eager.candidates
+        ]
+        for left, right in zip(mapped.candidates, eager.candidates):
+            assert left.sketch == right.sketch
+            assert left.key_kmv.hashes == right.key_kmv.hashes
+
+    def test_corrupted_store_file_raises_discovery_error(
+        self, tmp_path, populated_index
+    ):
+        _, index = populated_index
+        save_index(index, tmp_path / "index")
+        (tmp_path / "index" / "sketches.npz").write_bytes(b"garbage")
+        with pytest.raises(DiscoveryError, match="sketch store"):
+            load_index(tmp_path / "index")
+
+    def test_candidate_count_mismatch_raises(self, tmp_path, populated_index):
+        _, index = populated_index
+        save_index(index, tmp_path / "index")
+        path = tmp_path / "index" / "index.json"
+        document = json.loads(path.read_text(encoding="utf-8"))
+        document["candidates"].pop()
+        path.write_text(json.dumps(document), encoding="utf-8")
+        with pytest.raises(DiscoveryError, match="candidates"):
+            load_index(tmp_path / "index")
+
+
+class TestLegacyFormatMigration:
+    def _write_v1_layout(self, index, directory):
+        """Write the pre-store (format version 1) directory layout."""
+        from repro.sketches.serialization import save_sketch
+
+        directory.mkdir(parents=True, exist_ok=True)
+        (directory / "sketches").mkdir(exist_ok=True)
+        candidates_document = []
+        for position, candidate in enumerate(index.candidates):
+            sketch_file = f"{position:06d}.json"
+            save_sketch(candidate.sketch, directory / "sketches" / sketch_file)
+            candidates_document.append(
+                {
+                    "candidate_id": candidate.candidate_id,
+                    "aggregate": candidate.aggregate,
+                    "profile": {
+                        "table_name": candidate.profile.table_name,
+                        "key_column": candidate.profile.key_column,
+                        "value_column": candidate.profile.value_column,
+                        "num_rows": candidate.profile.num_rows,
+                        "key_distinct": candidate.profile.key_distinct,
+                        "key_nulls": candidate.profile.key_nulls,
+                        "value_dtype": candidate.profile.value_dtype.value,
+                        "value_distinct": candidate.profile.value_distinct,
+                        "value_nulls": candidate.profile.value_nulls,
+                    },
+                    "key_kmv": {
+                        "capacity": candidate.key_kmv.capacity,
+                        "seed": candidate.key_kmv.seed,
+                        "values": sorted(
+                            candidate.key_kmv.values, key=lambda value: str(value)
+                        ),
+                    },
+                    "metadata": dict(candidate.metadata),
+                    "sketch_file": sketch_file,
+                }
+            )
+        document = {
+            "format_version": 1,
+            "method": index.method,
+            "capacity": index.capacity,
+            "seed": index.seed,
+            "engine_config": index.config.to_dict(),
+            "candidates": candidates_document,
+        }
+        (directory / "index.json").write_text(json.dumps(document), encoding="utf-8")
+
+    def test_v1_directory_still_loads(self, tmp_path, populated_index):
+        base, index = populated_index
+        self._write_v1_layout(index, tmp_path / "legacy")
+        restored = load_index(tmp_path / "legacy")
+        assert len(restored) == len(index)
+        original = index.candidates[0]
+        loaded = restored.get(original.candidate_id)
+        assert loaded.sketch == original.sketch
+        assert loaded.key_kmv.hashes == original.key_kmv.hashes
+
+    def test_resaving_a_v1_index_migrates_to_v2(self, tmp_path, populated_index):
+        _, index = populated_index
+        self._write_v1_layout(index, tmp_path / "legacy")
+        restored = load_index(tmp_path / "legacy")
+        save_index(restored, tmp_path / "migrated")
+        document = json.loads(
+            (tmp_path / "migrated" / "index.json").read_text(encoding="utf-8")
+        )
+        assert document["format_version"] == 2
+        migrated = load_index(tmp_path / "migrated")
+        assert [c.candidate_id for c in migrated.candidates] == [
+            c.candidate_id for c in index.candidates
+        ]
+        for left, right in zip(migrated.candidates, index.candidates):
+            assert left.sketch == right.sketch

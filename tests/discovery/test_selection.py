@@ -1,6 +1,5 @@
 """Tests for greedy MI-based feature selection."""
 
-import numpy as np
 import pytest
 
 from repro.discovery.selection import greedy_feature_selection

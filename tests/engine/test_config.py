@@ -42,6 +42,29 @@ class TestValidation:
         with pytest.raises(EngineConfigError):
             EngineConfig(numeric_aggregate="concat")
 
+    def test_build_parallelism_validated(self):
+        with pytest.raises(EngineConfigError):
+            EngineConfig(build_workers=-1)
+        with pytest.raises(EngineConfigError):
+            EngineConfig(build_shards=0)
+        config = EngineConfig(build_workers=4, build_shards=16)
+        assert (config.build_workers, config.build_shards) == (4, 16)
+
+    def test_build_parallelism_excluded_from_sketch_key(self):
+        assert (
+            EngineConfig(build_workers=4, build_shards=16).sketch_key
+            == EngineConfig().sketch_key
+        )
+
+    def test_build_parallelism_round_trips(self):
+        config = EngineConfig(build_workers=2, build_shards=3)
+        assert EngineConfig.from_dict(config.to_dict()) == config
+        # Documents written before the fields existed still load.
+        document = EngineConfig().to_dict()
+        del document["build_workers"]
+        del document["build_shards"]
+        assert EngineConfig.from_dict(document) == EngineConfig()
+
     def test_frozen(self):
         with pytest.raises(dataclasses.FrozenInstanceError):
             EngineConfig().capacity = 5

@@ -151,6 +151,58 @@ class TestSketchPairs:
         with pytest.raises(EngineError):
             engine.sketch_pairs(["abc"])
 
+    def test_shared_table_key_requests_match_standalone_sketches(self, engine, corpus):
+        """Requests sharing a (table, key) delegate to the grouped fast
+        path; the sketches must equal per-call sketch_candidate output."""
+        _, candidates = corpus
+        table = candidates[0]
+        wide = Table.from_dict(
+            {
+                "key": table.column("key").values,
+                "f1": table.column("feature").values,
+                "f2": [value * 2 for value in table.column("feature").values],
+            },
+            name="wide",
+        )
+        requests = [
+            (wide, "key", "f1", "candidate"),
+            (wide, "key", "f2", "candidate", "max"),
+            (wide, "key", "f1", "candidate", "first"),
+        ]
+        batched = engine.sketch_pairs(requests)
+        standalone = [
+            engine.sketch_candidate(wide, "key", "f1"),
+            engine.sketch_candidate(wide, "key", "f2", agg="max"),
+            engine.sketch_candidate(wide, "key", "f1", agg="first"),
+        ]
+        assert batched == standalone
+
+
+class TestSketchTableCandidates:
+    def test_matches_per_column_sketches(self, engine, corpus):
+        _, candidates = corpus
+        table = candidates[0]
+        wide = Table.from_dict(
+            {
+                "key": table.column("key").values,
+                "f1": table.column("feature").values,
+                "f2": [value + 1.0 for value in table.column("feature").values],
+            },
+            name="wide",
+        )
+        grouped = engine.sketch_table_candidates(wide, "key", ["f1", "f2"])
+        assert grouped == [
+            engine.sketch_candidate(wide, "key", "f1"),
+            engine.sketch_candidate(wide, "key", "f2"),
+        ]
+
+    def test_aggs_must_align(self, engine, corpus):
+        _, candidates = corpus
+        with pytest.raises(EngineError):
+            engine.sketch_table_candidates(
+                candidates[0], "key", ["feature"], aggs=["avg", "max"]
+            )
+
 
 class TestEstimate:
     def test_estimate_uses_config_policy(self, corpus):

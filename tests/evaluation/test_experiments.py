@@ -5,7 +5,6 @@ properties the paper reports (who wins, where estimators break down), not
 absolute numbers.
 """
 
-import math
 
 import pytest
 

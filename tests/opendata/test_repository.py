@@ -1,6 +1,5 @@
 """Tests for the open-data repository simulator."""
 
-import numpy as np
 import pytest
 
 from repro.exceptions import SyntheticDataError

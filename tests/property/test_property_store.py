@@ -1,0 +1,75 @@
+"""Property tests: ``load_npz(save_npz(sketch)) == sketch`` for every method.
+
+The columnar store must round-trip any sketch the library can build —
+every sketching method, both sides, and every value shape the pools
+distinguish (floats, int64 and arbitrary-precision integers, strings, and
+mixed values with ``None``/booleans).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relational.dtypes import DType
+from repro.sketches.base import Sketch, SketchSide, available_methods
+from repro.store import load_npz, save_npz
+
+# NaN is excluded because Sketch equality is plain ``==`` (NaN != NaN); the
+# unit tests cover NaN round-tripping via math.isnan.
+scalar_values = st.one_of(
+    st.floats(allow_nan=False),
+    st.integers(),
+    st.text(max_size=12),
+    st.booleans(),
+    st.none(),
+)
+
+# Homogeneous lists exercise the typed pools; heterogeneous ones the JSON pool.
+value_lists = st.one_of(
+    st.lists(st.floats(allow_nan=False), max_size=12),
+    st.lists(st.integers(min_value=-(2**70), max_value=2**70), max_size=12),
+    st.lists(st.text(max_size=12), max_size=12),
+    st.lists(scalar_values, max_size=12),
+)
+
+
+@st.composite
+def sketches(draw):
+    values = draw(value_lists)
+    return Sketch(
+        method=draw(st.sampled_from(available_methods())),
+        side=draw(st.sampled_from([SketchSide.BASE, SketchSide.CANDIDATE])),
+        seed=draw(st.integers(min_value=0, max_value=2**31)),
+        capacity=max(len(values), 1),
+        key_ids=[draw(st.integers(min_value=0, max_value=2**32 - 1)) for _ in values],
+        values=values,
+        value_dtype=draw(st.sampled_from(list(DType))),
+        table_rows=draw(st.integers(min_value=len(values), max_value=10**6)),
+        distinct_keys=draw(st.integers(min_value=len(values), max_value=10**6)),
+        key_column=draw(st.text(max_size=8)),
+        value_column=draw(st.text(max_size=8)),
+        table_name=draw(st.text(max_size=8)),
+        aggregate=draw(st.sampled_from([None, "avg", "mode", "first", "count"])),
+    )
+
+
+@given(sketch=sketches())
+@settings(max_examples=60, deadline=None)
+def test_single_sketch_round_trip(sketch, tmp_path_factory):
+    path = tmp_path_factory.mktemp("store") / "one.npz"
+    loaded = load_npz(save_npz(path, sketch))[0]
+    assert loaded == sketch
+    # Equality treats 1 == 1.0 == True; the pools must also preserve types.
+    assert [type(value) for value in loaded.values] == [
+        type(value) for value in sketch.values
+    ]
+
+
+@given(batch=st.lists(sketches(), max_size=5))
+@settings(max_examples=25, deadline=None)
+def test_store_round_trip_preserves_order(batch, tmp_path_factory):
+    path = tmp_path_factory.mktemp("store") / "many.npz"
+    for mmap in (False, True):
+        store = load_npz(save_npz(path, batch), mmap=mmap)
+        assert store.sketches() == batch

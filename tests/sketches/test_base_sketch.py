@@ -129,3 +129,80 @@ class TestBuildSketch:
             )
             assert len(base_sketch) <= 2 * 64, method
             assert len(cand_sketch) <= 64, method
+
+
+class TestKeyGroupsFastPath:
+    def make_table(self):
+        return Table.from_dict(
+            {
+                "key": ["a", "b", "a", None, "c", "b", "d", "e"],
+                "v": [1.0, 2.0, 3.0, 4.0, None, 6.0, 7.0, 8.0],
+            },
+            name="t",
+        )
+
+    def test_grouped_sketch_identical_for_every_method(self):
+        from repro.sketches.base import KeyGroups
+
+        table = self.make_table()
+        for method in available_methods():
+            key_groups = KeyGroups(table, "key")
+            slow = get_builder(method, 4, 2).sketch_candidate(table, "key", "v")
+            fast = get_builder(method, 4, 2).sketch_candidate(
+                table, "key", "v", key_groups=key_groups
+            )
+            assert fast == slow, method
+
+    def test_bundled_methods_opt_into_key_only_selection(self):
+        for method in available_methods():
+            assert get_builder(method).candidate_selection_key_only, method
+
+    def test_value_dependent_builder_falls_back_to_slow_path(self):
+        """A subclass without the key-only opt-in must never go through the
+        value-free selection probe, even when key_groups is supplied."""
+        from repro.sketches.base import KeyGroups
+        from repro.sketches.tupsk import TupleSketchBuilder
+
+        class ValueRankedBuilder(TupleSketchBuilder):
+            # Deliberately NOT key-only: ranks by the aggregated values, which
+            # the value-free probe would pass as None.
+            candidate_selection_key_only = False
+
+            def _select_candidate(self, aggregated):
+                ranked = sorted(
+                    aggregated, key=lambda key: (aggregated[key], str(key))
+                )[: self.capacity]
+                return ranked, [aggregated[key] for key in ranked]
+
+        table = Table.from_dict(
+            {"key": ["a", "b", "c", "d"], "v": [4.0, 3.0, 2.0, 1.0]}, name="t"
+        )
+        key_groups = KeyGroups(table, "key")
+        assert key_groups.candidate_selection(ValueRankedBuilder(2, 0)) is None
+        fast = ValueRankedBuilder(2, 0).sketch_candidate(
+            table, "key", "v", key_groups=key_groups
+        )
+        slow = ValueRankedBuilder(2, 0).sketch_candidate(table, "key", "v")
+        assert fast == slow
+        assert fast.values == [1.0, 2.0]
+
+    def test_mismatched_key_groups_rejected(self):
+        from repro.sketches.base import KeyGroups
+
+        table = self.make_table()
+        other = Table.from_dict({"key": ["x"], "v": [1.0]}, name="other")
+        key_groups = KeyGroups(other, "key")
+        with pytest.raises(SketchError, match="different table"):
+            get_builder("TUPSK").sketch_candidate(
+                table, "key", "v", key_groups=key_groups
+            )
+
+    def test_empty_key_groups_raise(self):
+        from repro.sketches.base import KeyGroups
+
+        table = Table.from_dict({"key": [None, None], "v": [1.0, 2.0]}, name="t")
+        key_groups = KeyGroups(table, "key")
+        with pytest.raises(SketchError, match="no values"):
+            get_builder("TUPSK").sketch_candidate(
+                table, "key", "v", key_groups=key_groups
+            )

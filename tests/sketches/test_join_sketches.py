@@ -1,6 +1,5 @@
 """Tests for the sketch join."""
 
-import numpy as np
 import pytest
 
 from repro.exceptions import IncompatibleSketchError

@@ -1,7 +1,6 @@
 """Tests for the LV2SK (two-level sampling) sketch."""
 
 import numpy as np
-import pytest
 
 from repro.relational.table import Table
 from repro.sketches.lv2sk import TwoLevelSketchBuilder

@@ -1,0 +1,207 @@
+"""Unit tests for the columnar sketch store (save_npz / load_npz)."""
+
+from __future__ import annotations
+
+import json
+import math
+import zipfile
+
+import numpy as np
+import pytest
+
+from repro.exceptions import StoreError
+from repro.relational.dtypes import DType
+from repro.relational.table import Table
+from repro.sketches.base import Sketch, available_methods, get_builder
+from repro.store import (
+    STORE_FORMAT_VERSION,
+    load_npz,
+    pack_value_lists,
+    save_npz,
+    unpack_value_lists,
+)
+
+
+def make_sketch(values, value_dtype=DType.FLOAT, **overrides) -> Sketch:
+    fields = dict(
+        method="TUPSK",
+        side="candidate",
+        seed=3,
+        capacity=max(len(values), 1),
+        key_ids=list(range(len(values))),
+        values=list(values),
+        value_dtype=value_dtype,
+        table_rows=len(values),
+        distinct_keys=len(values),
+        key_column="key",
+        value_column="value",
+        table_name="t",
+        aggregate="avg",
+    )
+    fields.update(overrides)
+    return Sketch(**fields)
+
+
+@pytest.fixture
+def method_sketches(rng):
+    keys = [f"k{i}" for i in rng.integers(0, 60, size=250)]
+    table = Table.from_dict(
+        {
+            "key": keys,
+            "num": rng.normal(size=250).tolist(),
+            "cat": [["hot", "cold"][i] for i in rng.integers(0, 2, size=250)],
+            "mix": [None if i % 6 == 0 else i for i in range(250)],
+        },
+        name="lake0",
+    )
+    sketches = []
+    for method in available_methods():
+        sketches.append(get_builder(method, 32, 5).sketch_base(table, "key", "num"))
+        sketches.append(
+            get_builder(method, 32, 5).sketch_candidate(table, "key", "num", agg="avg")
+        )
+        sketches.append(
+            get_builder(method, 32, 5).sketch_candidate(table, "key", "cat", agg="mode")
+        )
+        sketches.append(
+            get_builder(method, 32, 5).sketch_candidate(table, "key", "mix", agg="first")
+        )
+    return sketches
+
+
+class TestRoundTrip:
+    def test_every_method_and_side_round_trips(self, tmp_path, method_sketches):
+        path = save_npz(tmp_path / "store.npz", method_sketches)
+        store = load_npz(path)
+        assert len(store) == len(method_sketches)
+        for original, loaded in zip(method_sketches, store):
+            assert loaded == original
+
+    def test_memory_mapped_reads_round_trip(self, tmp_path, method_sketches):
+        path = save_npz(tmp_path / "store.npz", method_sketches)
+        store = load_npz(path, mmap=True)
+        assert store.sketches() == method_sketches
+
+    def test_single_sketch_form(self, tmp_path):
+        sketch = make_sketch([1.5, -2.25, 0.0])
+        assert load_npz(save_npz(tmp_path / "one.npz", sketch))[0] == sketch
+
+    def test_special_floats_survive(self, tmp_path):
+        sketch = make_sketch([float("nan"), float("inf"), float("-inf"), -0.0])
+        loaded = load_npz(save_npz(tmp_path / "f.npz", sketch))[0]
+        assert math.isnan(loaded.values[0])
+        assert loaded.values[1] == float("inf")
+        assert loaded.values[2] == float("-inf")
+        assert math.copysign(1.0, loaded.values[3]) == -1.0
+
+    def test_mixed_and_big_int_values_survive(self, tmp_path):
+        values = [None, True, False, 2**80, -(2**70), "text", 1.25]
+        sketch = make_sketch(values, value_dtype=DType.STRING, aggregate=None)
+        loaded = load_npz(save_npz(tmp_path / "m.npz", sketch))[0]
+        assert loaded.values == values
+        assert [type(value) for value in loaded.values] == [
+            type(value) for value in values
+        ]
+
+    def test_numpy_scalars_in_mixed_values_survive(self, tmp_path):
+        """np scalars mixed with None spill to the JSON pool and coerce."""
+        values = [np.int64(7), None, np.float64(1.5), np.bool_(True)]
+        sketch = make_sketch(values, value_dtype=DType.STRING, aggregate=None)
+        loaded = load_npz(save_npz(tmp_path / "np.npz", sketch))[0]
+        assert loaded.values == [7, None, 1.5, True]
+
+    def test_metadata_round_trips(self, tmp_path):
+        sketch = make_sketch([1.0], metadata={"source": "unit", "rank": 3})
+        loaded = load_npz(save_npz(tmp_path / "meta.npz", sketch))[0]
+        assert loaded.metadata == {"source": "unit", "rank": 3}
+
+    def test_empty_store_round_trips(self, tmp_path):
+        store = load_npz(save_npz(tmp_path / "empty.npz", []))
+        assert len(store) == 0
+        assert store.sketches() == []
+
+    def test_extra_arrays_and_manifest(self, tmp_path):
+        arrays, entries = pack_value_lists([[1, 2], ["a"], []], "kmv_values")
+        path = save_npz(
+            tmp_path / "x.npz",
+            [make_sketch([1.0])],
+            extra_arrays=arrays,
+            extra_manifest={"kmv": entries},
+        )
+        store = load_npz(path)
+        restored = unpack_value_lists(
+            {name: store.array(name) for name in arrays},
+            store.extra_manifest["kmv"],
+            "kmv_values",
+        )
+        assert restored == [[1, 2], ["a"], []]
+
+
+class TestErrorPaths:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(StoreError, match="no sketch store"):
+            load_npz(tmp_path / "missing.npz")
+
+    def test_garbage_file(self, tmp_path):
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"this is not a zip archive at all")
+        with pytest.raises(StoreError, match="not a valid sketch store"):
+            load_npz(path)
+
+    def test_truncated_file(self, tmp_path, method_sketches):
+        path = save_npz(tmp_path / "store.npz", method_sketches)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(StoreError):
+            load_npz(path)
+
+    def test_foreign_npz_rejected(self, tmp_path):
+        path = tmp_path / "foreign.npz"
+        np.savez(path, data=np.arange(4))
+        with pytest.raises(StoreError, match="manifest"):
+            load_npz(path)
+
+    def test_version_mismatch_names_versions(self, tmp_path):
+        path = save_npz(tmp_path / "store.npz", [make_sketch([1.0])])
+        with zipfile.ZipFile(path) as archive:
+            with archive.open("manifest.npy") as member:
+                manifest_array = np.lib.format.read_array(member)
+            others = {
+                name: archive.read(name)
+                for name in archive.namelist()
+                if name != "manifest.npy"
+            }
+        manifest = json.loads(bytes(manifest_array).decode("utf-8"))
+        manifest["version"] = STORE_FORMAT_VERSION + 41
+        new_manifest = np.frombuffer(
+            json.dumps(manifest).encode("utf-8"), dtype=np.uint8
+        )
+        with zipfile.ZipFile(path, "w") as archive:
+            for name, payload in others.items():
+                archive.writestr(name, payload)
+            import io
+
+            buffer = io.BytesIO()
+            np.lib.format.write_array(buffer, new_manifest)
+            archive.writestr("manifest.npy", buffer.getvalue())
+        with pytest.raises(StoreError, match=f"version {STORE_FORMAT_VERSION + 41}"):
+            load_npz(path)
+
+    def test_wrong_magic_rejected(self, tmp_path):
+        path = tmp_path / "store.npz"
+        manifest = np.frombuffer(
+            json.dumps({"magic": "something-else", "version": 1}).encode("utf-8"),
+            dtype=np.uint8,
+        )
+        np.savez(path, manifest=manifest)
+        with pytest.raises(StoreError, match="bad magic"):
+            load_npz(path)
+
+    def test_unstorable_metadata_rejected_at_save(self, tmp_path):
+        sketch = make_sketch([1.0], metadata={"bad": object()})
+        with pytest.raises(StoreError, match="metadata"):
+            save_npz(tmp_path / "bad.npz", sketch)
+
+    def test_non_sketch_entry_rejected(self, tmp_path):
+        with pytest.raises(StoreError, match="not a Sketch"):
+            save_npz(tmp_path / "bad.npz", [make_sketch([1.0]), "nope"])

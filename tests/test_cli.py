@@ -2,7 +2,6 @@
 
 import json
 
-import numpy as np
 import pytest
 
 from repro.cli import build_parser, main
@@ -217,3 +216,129 @@ class TestExperimentCommand:
     def test_unknown_experiment_rejected_by_parser(self):
         with pytest.raises(SystemExit):
             main(["experiment", "figure99"])
+
+
+@pytest.fixture()
+def lake_csvs(tmp_path, rng):
+    """Three small candidate tables on disk."""
+    keys = [f"k{i:03d}" for i in range(100)]
+    paths = []
+    for position in range(3):
+        table = Table.from_dict(
+            {
+                "key": [keys[i] for i in rng.integers(0, 100, size=150)],
+                "a": rng.normal(size=150).tolist(),
+                "b": rng.normal(size=150).tolist(),
+            },
+            name=f"lake{position}",
+        )
+        path = tmp_path / f"lake{position}.csv"
+        write_csv(table, path)
+        paths.append(path)
+    return paths
+
+
+class TestIndexCommand:
+    def test_build_writes_columnar_index(self, lake_csvs, tmp_path, capsys):
+        out_dir = tmp_path / "lake.index"
+        code = main(
+            [
+                "index",
+                "build",
+                *map(str, lake_csvs),
+                "--key",
+                "key",
+                "--capacity",
+                "64",
+                "--workers",
+                "2",
+                "--shards",
+                "4",
+                "-o",
+                str(out_dir),
+            ]
+        )
+        assert code == 0
+        assert "indexed 6 candidates" in capsys.readouterr().out
+        assert (out_dir / "index.json").exists()
+        assert (out_dir / "sketches.npz").exists()
+        from repro.discovery import load_index
+
+        index = load_index(out_dir)
+        assert len(index) == 6
+        assert index.config.capacity == 64
+        assert index.config.build_workers == 2
+        assert index.config.build_shards == 4
+
+    def test_add_grows_an_existing_index(self, lake_csvs, tmp_path, capsys):
+        out_dir = tmp_path / "lake.index"
+        assert (
+            main(
+                [
+                    "index",
+                    "build",
+                    str(lake_csvs[0]),
+                    str(lake_csvs[1]),
+                    "--key",
+                    "key",
+                    "-o",
+                    str(out_dir),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        code = main(
+            ["index", "add", str(lake_csvs[2]), "--index", str(out_dir), "--key", "key"]
+        )
+        assert code == 0
+        assert "added 2 candidates" in capsys.readouterr().out
+        from repro.discovery import load_index
+
+        assert len(load_index(out_dir)) == 6
+
+    def test_values_flag_restricts_columns(self, lake_csvs, tmp_path, capsys):
+        out_dir = tmp_path / "lake.index"
+        code = main(
+            [
+                "index",
+                "build",
+                str(lake_csvs[0]),
+                "--key",
+                "key",
+                "--values",
+                "a",
+                "-o",
+                str(out_dir),
+            ]
+        )
+        assert code == 0
+        assert "indexed 1 candidates" in capsys.readouterr().out
+
+    def test_info_reports_summary_json(self, lake_csvs, tmp_path, capsys):
+        out_dir = tmp_path / "lake.index"
+        main(
+            ["index", "build", *map(str, lake_csvs), "--key", "key", "-o", str(out_dir)]
+        )
+        capsys.readouterr()
+        code = main(["index", "info", str(out_dir)])
+        assert code == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["candidates"] == 6
+        assert summary["tables"] == {"lake0": 2, "lake1": 2, "lake2": 2}
+        assert summary["engine_config"]["method"] == "TUPSK"
+
+    def test_missing_key_column_reported_as_error(self, lake_csvs, tmp_path, capsys):
+        code = main(
+            [
+                "index",
+                "build",
+                str(lake_csvs[0]),
+                "--key",
+                "nope",
+                "-o",
+                str(tmp_path / "x"),
+            ]
+        )
+        assert code == 2
+        assert "nope" in capsys.readouterr().err

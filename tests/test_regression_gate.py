@@ -1,0 +1,148 @@
+"""Unit tests for the CI benchmark-regression gate script.
+
+The gate is a standalone stdlib script (``benchmarks/regression_gate.py``),
+so it is loaded here by file path.  These tests demonstrate the acceptance
+rule: a gated metric that regresses by more than its tolerance (25% for the
+speedup ratios) fails the gate with a non-zero exit code.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+GATE_PATH = Path(__file__).parent.parent / "benchmarks" / "regression_gate.py"
+
+spec = importlib.util.spec_from_file_location("regression_gate", GATE_PATH)
+gate = importlib.util.module_from_spec(spec)
+# Registered before exec: the script's dataclasses resolve their module
+# through sys.modules.
+sys.modules["regression_gate"] = gate
+spec.loader.exec_module(gate)
+
+
+def write_report(directory: Path, name: str, *, speedup: float, throughput: float):
+    directory.mkdir(parents=True, exist_ok=True)
+    if name == "engine_batch.json":
+        document = {
+            "speedup": speedup,
+            "sequential": {"pairs_per_second": throughput},
+            "concurrent": {"pairs_per_second": throughput},
+        }
+    else:
+        document = {
+            "speedup": speedup,
+            "sharded": {"columns_per_second": throughput},
+        }
+    (directory / name).write_text(json.dumps(document), encoding="utf-8")
+
+
+@pytest.fixture
+def dirs(tmp_path):
+    results = tmp_path / "results"
+    baselines = tmp_path / "baselines"
+    for name in gate.GATED_REPORTS:
+        write_report(results, name, speedup=3.0, throughput=1000.0)
+        write_report(baselines, name, speedup=3.0, throughput=1000.0)
+    return results, baselines
+
+
+def run_gate(results: Path, baselines: Path) -> int:
+    return gate.main(
+        ["--results-dir", str(results), "--baselines-dir", str(baselines)]
+    )
+
+
+class TestGateDecision:
+    def test_identical_results_pass(self, dirs):
+        results, baselines = dirs
+        assert run_gate(results, baselines) == 0
+
+    def test_improvement_passes(self, dirs):
+        results, baselines = dirs
+        write_report(results, "index_build.json", speedup=9.0, throughput=5000.0)
+        assert run_gate(results, baselines) == 0
+
+    def test_slowdown_within_tolerance_passes(self, dirs):
+        results, baselines = dirs
+        # 20% below baseline: inside the 25% tolerance.
+        write_report(results, "index_build.json", speedup=2.4, throughput=1000.0)
+        assert run_gate(results, baselines) == 0
+
+    def test_speedup_regression_beyond_25_percent_fails(self, dirs, capsys):
+        results, baselines = dirs
+        # 40% below the baseline of 3.0: the gate must fail.
+        write_report(results, "index_build.json", speedup=1.8, throughput=1000.0)
+        assert run_gate(results, baselines) == 1
+        err = capsys.readouterr().err
+        assert "FAIL" in err and "speedup" in err
+
+    def test_throughput_collapse_fails(self, dirs):
+        results, baselines = dirs
+        # Ratio fine, but throughput fell by >75%: catastrophic regression.
+        write_report(results, "index_build.json", speedup=3.0, throughput=100.0)
+        assert run_gate(results, baselines) == 1
+
+    def test_missing_result_fails(self, dirs):
+        results, baselines = dirs
+        (results / "index_build.json").unlink()
+        assert run_gate(results, baselines) == 1
+
+    def test_missing_baseline_fails(self, dirs):
+        results, baselines = dirs
+        (baselines / "engine_batch.json").unlink()
+        assert run_gate(results, baselines) == 1
+
+    def test_missing_metric_fails(self, dirs):
+        results, baselines = dirs
+        (results / "index_build.json").write_text(
+            json.dumps({"speedup": 3.0}), encoding="utf-8"
+        )
+        assert run_gate(results, baselines) == 1
+
+    def test_malformed_result_fails(self, dirs):
+        results, baselines = dirs
+        (results / "index_build.json").write_text("{broken", encoding="utf-8")
+        assert run_gate(results, baselines) == 1
+
+
+class TestMetricSpec:
+    def test_lower_is_better_direction(self):
+        spec = gate.MetricSpec("serial.seconds", "lower", 0.25)
+        assert spec.check(1.0, 1.0) is None
+        assert spec.check(1.2, 1.0) is None
+        assert spec.check(1.3, 1.0) is not None
+
+    def test_degenerate_baseline_is_ignored(self):
+        spec = gate.MetricSpec("speedup", "higher")
+        assert spec.check(0.1, 0.0) is None
+
+    def test_extract_metric_rejects_non_numeric(self):
+        with pytest.raises(KeyError):
+            gate.extract_metric({"speedup": True}, "speedup")
+        with pytest.raises(KeyError):
+            gate.extract_metric({"a": {"b": "fast"}}, "a.b")
+        assert gate.extract_metric({"a": {"b": 2.5}}, "a.b") == 2.5
+
+
+class TestUpdateBaselines:
+    def test_promotes_current_results(self, dirs, tmp_path):
+        results, _ = dirs
+        fresh = tmp_path / "fresh-baselines"
+        code = gate.main(
+            [
+                "--results-dir",
+                str(results),
+                "--baselines-dir",
+                str(fresh),
+                "--update-baselines",
+            ]
+        )
+        assert code == 0
+        for name in gate.GATED_REPORTS:
+            assert (fresh / name).exists()
+        assert run_gate(results, fresh) == 0
