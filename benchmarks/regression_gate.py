@@ -81,6 +81,14 @@ GATED_REPORTS: dict[str, tuple[MetricSpec, ...]] = {
         MetricSpec("speedup", "higher"),
         MetricSpec("sharded.columns_per_second", "higher", THROUGHPUT_TOLERANCE),
     ),
+    "serving.json": (
+        # Both primary gates are ratios (cache speedup over the cold path,
+        # collapsed fraction of duplicate queries) and so robust to runner
+        # speed; the absolute throughput only catches catastrophic drops.
+        MetricSpec("cached_speedup", "higher", THROUGHPUT_TOLERANCE),
+        MetricSpec("coalescing.collapsed_fraction", "higher"),
+        MetricSpec("throughput.qps", "higher", THROUGHPUT_TOLERANCE),
+    ),
 }
 
 

@@ -1,0 +1,269 @@
+"""Benchmark — the concurrent discovery query service under closed-loop load.
+
+The serving layer's whole point is making `AugmentationQuery` throughput and
+latency first-class concerns, so this benchmark measures them directly over
+a 100-candidate synthetic lake served from a persisted (memory-mapped)
+index:
+
+* **byte-identity** — results served over HTTP are byte-identical (same
+  IDs, scores, order, JSON serialization) to the in-process
+  ``SketchIndex.query`` path;
+* **cold vs cached** — p50/p99 latency of first-time queries vs repeats of
+  the same queries (the LRU+TTL cache must make repeats >= 5x faster at the
+  median);
+* **coalescing** — N identical queries fired concurrently must collapse
+  into one computation (>= 90% of the duplicates must not recompute);
+* **throughput** — a closed loop of client threads over a warm query pool.
+
+The JSON report feeds the CI benchmark-regression gate.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+import time
+import urllib.request
+
+import numpy as np
+
+from repro.discovery import SketchIndex, save_index
+from repro.discovery.query import AugmentationQuery
+from repro.engine import EngineConfig, SketchEngine
+from repro.relational.table import Table
+from repro.serving import DiscoveryService, ServiceConfig, result_to_dict, serve
+
+NUM_TABLES = 10
+COLUMNS_PER_TABLE = 10
+ROWS_PER_TABLE = 300
+NUM_KEYS = 300
+CAPACITY = 64
+NUM_COLD_QUERIES = 20
+COALESCE_CLIENTS = 12
+LOAD_CLIENTS = 8
+QUERIES_PER_CLIENT = 25
+MIN_CACHED_SPEEDUP = 5.0
+MIN_COLLAPSED_FRACTION = 0.9
+
+
+def build_lake(seed: int = 23):
+    """A base table with many target columns plus NUM_TABLES candidates."""
+    rng = np.random.default_rng(seed)
+    keys = [f"k{i:05d}" for i in range(NUM_KEYS)]
+    signal = rng.normal(size=NUM_KEYS)
+    base_columns: dict = {"key": keys}
+    # One target column per cold query, plus one reserved for the
+    # coalescing phase (it must be fresh when that phase runs).
+    for position in range(NUM_COLD_QUERIES + 1):
+        mix = rng.uniform(0.2, 0.8)
+        base_columns[f"t{position:02d}"] = (
+            (1.0 - mix) * signal + mix * rng.normal(size=NUM_KEYS)
+        ).tolist()
+    base = Table.from_dict(base_columns, name="base")
+    tables = []
+    for position in range(NUM_TABLES):
+        row_keys = [keys[i] for i in rng.integers(0, NUM_KEYS, size=ROWS_PER_TABLE)]
+        data: dict = {"key": row_keys}
+        aligned = np.array([signal[int(key[1:])] for key in row_keys])
+        for column in range(COLUMNS_PER_TABLE):
+            mix = rng.uniform(0.0, 1.0)
+            data[f"v{column:02d}"] = (
+                (1.0 - mix) * aligned + mix * rng.normal(size=ROWS_PER_TABLE)
+            ).tolist()
+        tables.append(Table.from_dict(data, name=f"lake{position:03d}"))
+    return base, tables
+
+
+def make_query(base, target):
+    return AugmentationQuery(
+        table=base,
+        key_column="key",
+        target_column=target,
+        top_k=10,
+        min_containment=0.0,
+        min_join_size=8,
+    )
+
+
+def percentile(latencies, q):
+    ordered = sorted(latencies)
+    rank = max(math.ceil(q * len(ordered)), 1) - 1
+    return ordered[min(rank, len(ordered) - 1)]
+
+
+def check_http_identity(service, index, base):
+    """Served top-k answers must serialize byte-identically to in-process."""
+    server = serve(service, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        for target in ("t00", "t07"):
+            query = make_query(base, target)
+            body = json.dumps(
+                {
+                    "table": {"name": "base", "columns": base.to_dict()},
+                    "key_column": "key",
+                    "target_column": target,
+                    "top_k": query.top_k,
+                    "min_containment": query.min_containment,
+                    "min_join_size": query.min_join_size,
+                }
+            ).encode("utf-8")
+            request = urllib.request.Request(
+                server.url + "/query", data=body, method="POST"
+            )
+            with urllib.request.urlopen(request, timeout=120) as response:
+                served = json.load(response)["results"]
+            in_process = [result_to_dict(result) for result in index.query(query)]
+            assert json.dumps(served, sort_keys=True) == json.dumps(
+                in_process, sort_keys=True
+            ), f"served results for {target} differ from the in-process query path"
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10)
+
+
+def test_bench_serving(benchmark, results_dir, tmp_path):
+    config = EngineConfig(method="TUPSK", capacity=CAPACITY, seed=0)
+    base, tables = build_lake()
+
+    index = SketchIndex(SketchEngine(config))
+    for table in tables:
+        index.add_table(table, ["key"])
+    index_dir = tmp_path / "lake.index"
+    save_index(index, index_dir)
+
+    service = DiscoveryService(
+        index_dir,
+        ServiceConfig(workers=4, cache_entries=512, cache_ttl_seconds=None),
+    )
+    targets = [f"t{position:02d}" for position in range(NUM_COLD_QUERIES)]
+
+    # -- byte-identity over HTTP (also warms t00/t07) -------------------- #
+    check_http_identity(service, index, base)
+    service.cache.invalidate()
+
+    # -- cold vs cached latency ------------------------------------------ #
+    cold_latencies = []
+    for target in targets:
+        started = time.perf_counter()
+        served = service.query(make_query(base, target))
+        cold_latencies.append(time.perf_counter() - started)
+        assert not served.cache_hit
+    cached_latencies = []
+    for target in targets:
+        started = time.perf_counter()
+        served = service.query(make_query(base, target))
+        cached_latencies.append(time.perf_counter() - started)
+        assert served.cache_hit
+    cold_p50 = percentile(cold_latencies, 0.50)
+    cached_p50 = percentile(cached_latencies, 0.50)
+    cached_speedup = cold_p50 / cached_p50
+
+    # -- coalescing of identical concurrent queries ---------------------- #
+    computed_before = service.metrics.counter("computed")
+    barrier = threading.Barrier(COALESCE_CLIENTS)
+    coalesce_query = make_query(base, f"t{NUM_COLD_QUERIES:02d}")  # fresh target
+    errors = []
+
+    def duplicate_client():
+        try:
+            barrier.wait()
+            service.query(coalesce_query)
+        except Exception as exc:  # pragma: no cover - surfaced via assert
+            errors.append(exc)
+
+    clients = [
+        threading.Thread(target=duplicate_client) for _ in range(COALESCE_CLIENTS)
+    ]
+    for client in clients:
+        client.start()
+    for client in clients:
+        client.join()
+    assert not errors, errors
+    computations = service.metrics.counter("computed") - computed_before
+    duplicates = COALESCE_CLIENTS - 1
+    collapsed_fraction = (COALESCE_CLIENTS - computations) / duplicates
+
+    # -- closed-loop throughput over the warm pool ----------------------- #
+    def closed_loop():
+        load_latencies = []
+        lock = threading.Lock()
+
+        def client(position):
+            local = []
+            for i in range(QUERIES_PER_CLIENT):
+                target = targets[(position + i) % len(targets)]
+                started = time.perf_counter()
+                service.query(make_query(base, target))
+                local.append(time.perf_counter() - started)
+            with lock:
+                load_latencies.extend(local)
+
+        threads = [
+            threading.Thread(target=client, args=(position,))
+            for position in range(LOAD_CLIENTS)
+        ]
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - started
+        return load_latencies, elapsed
+
+    (load_latencies, load_elapsed) = benchmark.pedantic(
+        closed_loop, rounds=1, iterations=1
+    )
+    total_queries = LOAD_CLIENTS * QUERIES_PER_CLIENT
+    stats = service.stats()
+    service.close()
+
+    report = {
+        "benchmark": "serving",
+        "candidates": NUM_TABLES * COLUMNS_PER_TABLE,
+        "capacity": CAPACITY,
+        "workers": 4,
+        "cold": {
+            "queries": len(cold_latencies),
+            "p50_seconds": cold_p50,
+            "p99_seconds": percentile(cold_latencies, 0.99),
+        },
+        "cached": {
+            "queries": len(cached_latencies),
+            "p50_seconds": cached_p50,
+            "p99_seconds": percentile(cached_latencies, 0.99),
+        },
+        "cached_speedup": cached_speedup,
+        "coalescing": {
+            "clients": COALESCE_CLIENTS,
+            "computations": computations,
+            "collapsed_fraction": collapsed_fraction,
+        },
+        "throughput": {
+            "clients": LOAD_CLIENTS,
+            "queries": total_queries,
+            "seconds": load_elapsed,
+            "qps": total_queries / load_elapsed,
+            "p50_seconds": percentile(load_latencies, 0.50),
+            "p99_seconds": percentile(load_latencies, 0.99),
+        },
+        "cache": stats["cache"],
+        "identical_http_results": True,
+    }
+    path = results_dir / "serving.json"
+    path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print()
+    print(json.dumps(report, indent=2))
+    print(f"[report saved to {path}]")
+
+    assert cached_speedup >= MIN_CACHED_SPEEDUP, (
+        f"cached p50 is only {cached_speedup:.1f}x faster than cold "
+        f"(required: {MIN_CACHED_SPEEDUP}x)"
+    )
+    assert collapsed_fraction >= MIN_COLLAPSED_FRACTION, (
+        f"only {collapsed_fraction:.0%} of duplicate concurrent queries were "
+        f"collapsed (required: {MIN_COLLAPSED_FRACTION:.0%})"
+    )

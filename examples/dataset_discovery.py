@@ -14,6 +14,10 @@ The script:
    per-estimator rankings separate), and
 5. validates the top pick by materializing its join.
 
+This is the *in-process* query path; the top-level README.md tours every
+subsystem, and examples/serving_quickstart.py serves the same queries over
+HTTP (with planning, caching and request coalescing) via `repro.serving`.
+
 Run with:  python examples/dataset_discovery.py
 """
 

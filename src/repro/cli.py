@@ -22,12 +22,19 @@ pipeline plus the reproduction harness:
     regenerated table/figure series.
 
 ``repro index``
-    Build, grow and inspect a persisted discovery index over a set of CSV
-    tables.  ``index build`` runs the sharded
+    Build, grow, inspect and query a persisted discovery index over a set
+    of CSV tables.  ``index build`` runs the sharded
     :class:`~repro.discovery.builder.IndexBuilder` (``--workers N`` worker
     processes over ``--shards K`` shards) and writes the index with its
     columnar sketch store; ``index add`` sketches additional tables into an
-    existing index directory; ``index info`` summarizes one.
+    existing index directory; ``index info`` summarizes one; ``index
+    query`` evaluates one augmentation query against one and prints the
+    ranked results as JSON.
+
+``repro serve``
+    Run the :mod:`repro.serving` HTTP query service over an index directory
+    (``POST /query``, ``GET /healthz``, ``GET /metrics``), with a query
+    thread pool, an LRU+TTL result cache and in-flight request coalescing.
 
 Examples
 --------
@@ -40,6 +47,8 @@ Examples
     repro index build lake/*.csv --key date --output lake.index --workers 4 --shards 16
     repro index add late_arrival.csv --index lake.index --key date
     repro index info lake.index
+    repro index query lake.index --csv taxi.csv --key date --target num_trips --top-k 5
+    repro serve --index lake.index --workers 8 --port 8765
     repro experiment table1 --scale small
 """
 
@@ -205,6 +214,51 @@ def build_parser() -> argparse.ArgumentParser:
         "info", help="print a JSON summary of an index directory"
     )
     index_info.add_argument("index", help="index directory")
+
+    index_query = index_commands.add_parser(
+        "query", help="evaluate an augmentation query against an index directory"
+    )
+    index_query.add_argument("index", help="index directory")
+    index_query.add_argument("--csv", required=True, help="base table CSV file")
+    index_query.add_argument("--key", required=True, help="base join-key column")
+    index_query.add_argument("--target", required=True, help="base target column")
+    index_query.add_argument("--top-k", type=int, default=10)
+    index_query.add_argument("--min-containment", type=float, default=0.0)
+    index_query.add_argument(
+        "--min-join-size", type=int, default=16,
+        help="minimum sketch-join size for a candidate to be ranked (default 16)",
+    )
+    index_query.add_argument(
+        "--workers", type=int, default=None,
+        help="thread count for the per-candidate MI estimates",
+    )
+
+    serve = subparsers.add_parser(
+        "serve", help="serve discovery queries over HTTP from an index directory"
+    )
+    serve.add_argument("--index", required=True, help="index directory to serve")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8765, help="listen port (0 binds an ephemeral port)"
+    )
+    serve.add_argument(
+        "--workers", type=int, default=4, help="query thread-pool size (default 4)"
+    )
+    serve.add_argument(
+        "--cache-entries", type=int, default=256,
+        help="result-cache capacity (0 disables caching; default 256)",
+    )
+    serve.add_argument(
+        "--cache-ttl", type=float, default=300.0,
+        help="result-cache TTL in seconds (0 disables expiry; default 300)",
+    )
+    serve.add_argument(
+        "--no-mmap", action="store_true",
+        help="read the sketch store eagerly instead of memory-mapping it",
+    )
+    serve.add_argument(
+        "--verbose", action="store_true", help="log every HTTP request to stderr"
+    )
 
     return parser
 
@@ -378,11 +432,66 @@ def _command_index_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_index_query(args: argparse.Namespace) -> int:
+    from repro.discovery.persistence import load_index
+    from repro.discovery.query import AugmentationQuery
+    from repro.serving.http import result_to_dict
+
+    index = load_index(args.index, mmap=True)
+    table = read_csv(args.csv)
+    results = index.query(
+        AugmentationQuery(
+            table=table,
+            key_column=args.key,
+            target_column=args.target,
+            top_k=args.top_k,
+            min_containment=args.min_containment,
+            min_join_size=args.min_join_size,
+        ),
+        max_workers=args.workers,
+    )
+    print(json.dumps([result_to_dict(result) for result in results], indent=2))
+    return 0
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    from repro.serving import DiscoveryService, ServiceConfig, serve
+
+    service = DiscoveryService(
+        args.index,
+        ServiceConfig(
+            workers=args.workers,
+            cache_entries=args.cache_entries,
+            cache_ttl_seconds=args.cache_ttl if args.cache_ttl > 0 else None,
+            mmap=not args.no_mmap,
+        ),
+    )
+    # Fail fast on a missing/corrupt index instead of 500-ing every query.
+    index = service.ensure_ready()
+    server = serve(service, host=args.host, port=args.port, verbose=args.verbose)
+    host, port = server.server_address[:2]
+    print(
+        f"serving {args.index} ({len(index)} candidates) "
+        f"on http://{host}:{port} — POST /query, GET /healthz, GET /metrics",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.close()
+    return 0
+
+
 def _command_index(args: argparse.Namespace) -> int:
     handlers = {
         "build": _command_index_build,
         "add": _command_index_add,
         "info": _command_index_info,
+        "query": _command_index_query,
     }
     return handlers[args.index_command](args)
 
@@ -406,10 +515,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "config": _command_config,
         "experiment": _command_experiment,
         "index": _command_index,
+        "serve": _command_serve,
     }
     try:
         return handlers[args.command](args)
     except ReproError as error:
+        # One friendly line (library errors carry their own context, e.g. a
+        # StoreError naming the corrupt file) instead of a traceback.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except OSError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
 

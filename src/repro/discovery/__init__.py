@@ -18,7 +18,7 @@ from repro.discovery.profile import ColumnPairProfile, profile_column_pair
 from repro.discovery.query import AugmentationQuery, AugmentationResult
 from repro.discovery.index import SketchIndex
 from repro.discovery.builder import IndexBuilder, shard_for_table
-from repro.discovery.ranking import rank_results, top_k_per_estimator
+from repro.discovery.ranking import rank_results, top_k_per_estimator, top_k_results
 from repro.discovery.selection import SelectedFeature, greedy_feature_selection
 from repro.discovery.persistence import save_index, load_index
 
@@ -31,6 +31,7 @@ __all__ = [
     "IndexBuilder",
     "shard_for_table",
     "rank_results",
+    "top_k_results",
     "top_k_per_estimator",
     "SelectedFeature",
     "greedy_feature_selection",

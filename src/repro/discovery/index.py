@@ -27,14 +27,13 @@ from typing import Iterable, Optional
 
 from repro.engine.config import EngineConfig
 from repro.engine.session import SketchEngine
-from repro.exceptions import DiscoveryError, InsufficientSamplesError
+from repro.exceptions import DiscoveryError
 from repro.discovery.profile import ColumnPairProfile, profile_column_pair
 from repro.discovery.query import (
     AugmentationQuery,
     AugmentationResult,
     candidate_identifier,
 )
-from repro.discovery.ranking import rank_results
 from repro.relational.aggregate import AggregateFunction, get_aggregate
 from repro.relational.table import Table
 from repro.sketches.base import Sketch
@@ -142,6 +141,7 @@ class SketchIndex:
             engine = SketchEngine(config if config is not None else EngineConfig(**_LEGACY_DEFAULTS))
         self._engine = engine
         self._candidates: dict[str, IndexedCandidate] = {}
+        self._generation = 0
 
     # ------------------------------------------------------------------ #
     # Configuration views
@@ -210,6 +210,7 @@ class SketchIndex:
             metadata=dict(metadata or {}),
         )
         self._candidates[candidate_id] = candidate
+        self._generation += 1
         return candidate
 
     def add_prebuilt(self, candidate: IndexedCandidate) -> IndexedCandidate:
@@ -241,6 +242,7 @@ class SketchIndex:
                 f"capacity={expected_capacity}"
             )
         self._candidates[candidate.candidate_id] = candidate
+        self._generation += 1
         return candidate
 
     def add_table(
@@ -273,6 +275,16 @@ class SketchIndex:
         return len(self._candidates)
 
     @property
+    def generation(self) -> int:
+        """Mutation counter: bumped on every candidate added or overwritten.
+
+        The serving layer folds this into its cache fingerprints so results
+        cached against an older state of a live index can never be served
+        after the index changes.
+        """
+        return self._generation
+
+    @property
     def candidates(self) -> list[IndexedCandidate]:
         """All indexed candidates."""
         return list(self._candidates.values())
@@ -301,53 +313,21 @@ class SketchIndex:
         ``query.min_join_size`` are skipped.  ``max_workers > 1`` runs the
         per-candidate MI estimates on a thread pool; results are identical
         to the sequential path.
+
+        The evaluation itself is delegated to the
+        :class:`~repro.serving.planner.QueryPlanner` — the same pruning and
+        ranking pipeline behind :class:`~repro.serving.service.
+        DiscoveryService` — so in-process and served answers come from one
+        implementation and cannot drift apart.
         """
         if len(self._candidates) == 0:
             raise DiscoveryError("the index is empty; add candidates before querying")
-        base_sketch = self._engine.sketch_base(
-            query.table, query.key_column, query.target_column
-        )
-        base_kmv = self._engine.key_sketch(query.table, query.key_column)
+        # Imported lazily: the serving layer builds on the discovery layer.
+        from repro.serving.planner import QueryPlanner
 
-        joinable: list[tuple[IndexedCandidate, float]] = []
-        for candidate in self._candidates.values():
-            containment = base_kmv.containment_estimate(candidate.key_kmv)
-            if containment >= query.min_containment:
-                joinable.append((candidate, containment))
-
-        estimates = self._engine.estimate_many(
-            base_sketch,
-            [candidate.sketch for candidate, _ in joinable],
-            min_join_size=query.min_join_size,
-            max_workers=max_workers,
-            return_exceptions=True,
+        return QueryPlanner(self._engine).run(
+            self._candidates.values(), query, max_workers=max_workers
         )
-        results: list[AugmentationResult] = []
-        for (candidate, containment), outcome in zip(joinable, estimates):
-            if not outcome.ok:
-                # Too small a sketch join: the candidate is skipped, exactly
-                # as in per-call estimation.  Anything else is a real error.
-                if isinstance(outcome.error, InsufficientSamplesError):
-                    continue
-                raise outcome.error
-            estimate = outcome.estimate
-            results.append(
-                AugmentationResult(
-                    candidate_id=candidate.candidate_id,
-                    table_name=candidate.profile.table_name,
-                    key_column=candidate.profile.key_column,
-                    value_column=candidate.profile.value_column,
-                    aggregate=candidate.aggregate,
-                    estimator=estimate.estimator,
-                    mi_estimate=estimate.mi,
-                    sketch_join_size=estimate.join_size,
-                    containment=containment,
-                    value_dtype=candidate.profile.value_dtype.value,
-                    metadata=dict(candidate.metadata),
-                )
-            )
-        ranked = rank_results(results)
-        return ranked[: query.top_k] if query.top_k else ranked
 
     def query_columns(
         self,

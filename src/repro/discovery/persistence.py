@@ -227,11 +227,16 @@ def load_index(directory: PathLike, *, mmap: bool = False) -> SketchIndex:
     root = Path(directory)
     index_path = root / "index.json"
     if not index_path.exists():
-        raise DiscoveryError(f"no index.json found under {root}")
+        raise DiscoveryError(
+            f"no index.json found under {root} — not an index directory "
+            "(expected one written by `save_index` / `repro index build`)"
+        )
     try:
         document = json.loads(index_path.read_text(encoding="utf-8"))
     except json.JSONDecodeError as exc:
         raise DiscoveryError(f"malformed index file: {index_path}") from exc
+    except OSError as exc:
+        raise DiscoveryError(f"could not read index file {index_path}: {exc}") from exc
     version = document.get("format_version")
     try:
         if version == 1:

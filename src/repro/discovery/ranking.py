@@ -9,21 +9,39 @@ estimator* rather than a single mixed ranking.  Both behaviours are provided.
 
 from __future__ import annotations
 
+import heapq
 from collections import defaultdict
 from typing import Sequence
 
 from repro.discovery.query import AugmentationResult
 
-__all__ = ["rank_results", "top_k_per_estimator"]
+__all__ = ["rank_results", "top_k_results", "top_k_per_estimator"]
+
+
+def _rank_key(result: AugmentationResult) -> tuple[float, int]:
+    return (result.mi_estimate, result.sketch_join_size)
 
 
 def rank_results(results: Sequence[AugmentationResult]) -> list[AugmentationResult]:
     """Sort results by MI estimate (descending), ties broken by join size."""
-    return sorted(
-        results,
-        key=lambda result: (result.mi_estimate, result.sketch_join_size),
-        reverse=True,
-    )
+    return sorted(results, key=_rank_key, reverse=True)
+
+
+def top_k_results(
+    results: Sequence[AugmentationResult], k: int
+) -> list[AugmentationResult]:
+    """The ``k`` best results under the :func:`rank_results` order.
+
+    Uses a bounded heap (``O(n log k)``) instead of a full sort, so ranking
+    cost scales with the answer size, not the candidate count.  The output —
+    including the order of remaining ties, which both paths break by input
+    position — is exactly ``rank_results(results)[:k]``; ``k <= 0`` means
+    "no truncation" (matching ``AugmentationQuery.top_k`` semantics) and
+    falls back to the full sort.
+    """
+    if k <= 0 or k >= len(results):
+        return rank_results(results)
+    return heapq.nlargest(k, results, key=_rank_key)
 
 
 def top_k_per_estimator(

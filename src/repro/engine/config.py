@@ -169,7 +169,9 @@ class EngineConfig:
         unknown = sorted(set(payload) - known)
         if unknown:
             raise EngineConfigError(
-                f"unknown engine config keys: {', '.join(unknown)}"
+                f"unknown engine config keys: {', '.join(unknown)}; "
+                f"accepted keys: {', '.join(sorted(known))} "
+                f"(plus the optional 'format_version')"
             )
         try:
             return cls(**payload)

@@ -81,8 +81,11 @@ class SketchEngine:
         # key -> (table, sketch); the strong table reference pins the table's
         # id() so the identity-based key cannot alias a recycled object.
         self._base_cache: "OrderedDict[tuple, tuple[Table, Sketch]]" = OrderedDict()
+        self._key_cache: "OrderedDict[tuple, tuple[Table, KMVSketch]]" = OrderedDict()
         self._cache_hits = 0
         self._cache_misses = 0
+        self._key_hits = 0
+        self._key_misses = 0
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
@@ -250,13 +253,38 @@ class SketchEngine:
         thunks = [lambda request=request: one(request) for request in coerced]
         return run_batch(thunks, max_workers=self._workers(max_workers))
 
-    def key_sketch(self, table: Table, key_column: str) -> KMVSketch:
-        """KMV sketch of a table's distinct join-key values (joinability tests)."""
-        return KMVSketch.from_values(
+    def key_sketch(
+        self, table: Table, key_column: str, *, use_cache: bool = True
+    ) -> KMVSketch:
+        """KMV sketch of a table's distinct join-key values (joinability tests).
+
+        Memoized per session like :meth:`sketch_base`, and for the same
+        reason: the online half rebuilds the base table's key sketch for
+        every query.  Cache hits return the *same* :class:`KMVSketch`
+        object, so treat engine key sketches as immutable (or pass
+        ``use_cache=False`` for a private copy).
+        """
+        cache_key = (id(table), key_column, self.config.capacity, self.config.seed)
+        if use_cache and self._cache_size:
+            with self._lock:
+                entry = self._key_cache.get(cache_key)
+                if entry is not None and entry[0] is table:
+                    self._key_cache.move_to_end(cache_key)
+                    self._key_hits += 1
+                    return entry[1]
+                self._key_misses += 1
+        sketch = KMVSketch.from_values(
             table.column(key_column).non_null_values(),
             capacity=self.config.capacity,
             seed=self.config.seed,
         )
+        if use_cache and self._cache_size:
+            with self._lock:
+                self._key_cache[cache_key] = (table, sketch)
+                self._key_cache.move_to_end(cache_key)
+                while len(self._key_cache) > self._cache_size:
+                    self._key_cache.popitem(last=False)
+        return sketch
 
     # ------------------------------------------------------------------ #
     # Estimation
@@ -398,18 +426,22 @@ class SketchEngine:
     # Session cache
     # ------------------------------------------------------------------ #
     def clear_cache(self) -> None:
-        """Drop all memoized base-side sketches."""
+        """Drop all memoized base-side sketches and key sketches."""
         with self._lock:
             self._base_cache.clear()
+            self._key_cache.clear()
 
     def cache_info(self) -> dict[str, int]:
-        """Hit/miss/size counters of the base-sketch memo."""
+        """Hit/miss/size counters of the base-sketch and key-sketch memos."""
         with self._lock:
             return {
                 "hits": self._cache_hits,
                 "misses": self._cache_misses,
                 "size": len(self._base_cache),
                 "max_size": self._cache_size,
+                "key_hits": self._key_hits,
+                "key_misses": self._key_misses,
+                "key_size": len(self._key_cache),
             }
 
     # ------------------------------------------------------------------ #

@@ -24,6 +24,7 @@ __all__ = [
     "DiscoveryError",
     "EngineError",
     "EngineConfigError",
+    "ServingError",
 ]
 
 
@@ -104,3 +105,7 @@ class EngineError(ReproError):
 
 class EngineConfigError(EngineError):
     """An engine configuration is invalid or could not be deserialized."""
+
+
+class ServingError(ReproError):
+    """The discovery query service was misconfigured or misused."""

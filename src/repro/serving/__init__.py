@@ -1,0 +1,50 @@
+"""The online serving layer: a concurrent discovery query service.
+
+The paper's end goal is *interactive* correlation/augmentation discovery
+over a data lake; :mod:`repro.discovery` builds the offline index, and this
+package is the online half that makes query throughput and latency
+first-class concerns:
+
+* :class:`~repro.serving.planner.QueryPlanner` — prunes the candidate set
+  (containment pre-filter, join-size floors) and ranks with a bounded
+  top-k heap, without ever changing an answer;
+* :class:`~repro.serving.cache.ResultCache` — LRU+TTL result cache keyed by
+  a stable :func:`~repro.serving.fingerprint.query_fingerprint`;
+* :class:`~repro.serving.service.DiscoveryService` — the facade owning the
+  engine + index (lazily loaded, memory-mapped), a query thread pool, the
+  cache and in-flight request coalescing;
+* :mod:`~repro.serving.http` — a stdlib ``ThreadingHTTPServer`` front end
+  (``POST /query``, ``GET /healthz``, ``GET /metrics``), wired into the CLI
+  as ``repro serve``.
+
+Quickstart::
+
+    from repro.serving import DiscoveryService, ServiceConfig, serve
+
+    service = DiscoveryService("lake.index", ServiceConfig(workers=8))
+    server = serve(service, port=8765)
+    server.serve_forever()
+"""
+
+from repro.serving.cache import ResultCache
+from repro.serving.fingerprint import query_fingerprint
+from repro.serving.metrics import LatencyHistogram, MetricsRegistry
+from repro.serving.planner import PlannedCandidate, QueryPlan, QueryPlanner
+from repro.serving.service import DiscoveryService, ServedResult, ServiceConfig
+from repro.serving.http import DiscoveryHTTPServer, result_to_dict, serve
+
+__all__ = [
+    "ResultCache",
+    "query_fingerprint",
+    "LatencyHistogram",
+    "MetricsRegistry",
+    "PlannedCandidate",
+    "QueryPlan",
+    "QueryPlanner",
+    "DiscoveryService",
+    "ServedResult",
+    "ServiceConfig",
+    "DiscoveryHTTPServer",
+    "result_to_dict",
+    "serve",
+]

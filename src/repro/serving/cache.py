@@ -1,0 +1,119 @@
+"""LRU + TTL result cache for the discovery query service.
+
+A bounded :class:`ResultCache` maps query fingerprints to result lists.
+Entries are evicted least-recently-used once ``max_entries`` is reached and
+expire ``ttl_seconds`` after insertion (a TTL of ``None`` disables expiry).
+Hit/miss/eviction/expiry counters are exposed for the ``/metrics`` endpoint
+and the serving benchmark.
+
+The cache is thread-safe; the clock is injectable so TTL behaviour is
+testable without sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from typing import Any, Callable, Optional
+
+from repro.exceptions import ServingError
+
+__all__ = ["ResultCache"]
+
+
+class ResultCache:
+    """Bounded, thread-safe LRU cache with per-entry TTL expiry.
+
+    Parameters
+    ----------
+    max_entries:
+        Maximum number of cached results (``0`` disables caching entirely:
+        every ``get`` misses and ``put`` is a no-op).
+    ttl_seconds:
+        Entry lifetime from insertion; ``None`` means entries never expire.
+    clock:
+        Monotonic time source, injectable for tests.
+    """
+
+    def __init__(
+        self,
+        max_entries: int = 256,
+        ttl_seconds: Optional[float] = 300.0,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if max_entries < 0:
+            raise ServingError(f"max_entries must be non-negative, got {max_entries}")
+        if ttl_seconds is not None and ttl_seconds <= 0:
+            raise ServingError(f"ttl_seconds must be positive, got {ttl_seconds}")
+        self._max_entries = int(max_entries)
+        self._ttl = ttl_seconds
+        self._clock = clock
+        self._entries: "OrderedDict[str, tuple[float, Any]]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._expirations = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: str, *, record: bool = True) -> Optional[Any]:
+        """The cached value for ``key``, or ``None`` on miss/expiry.
+
+        ``record=False`` makes the lookup invisible to the hit/miss
+        counters (expiry is still enforced and counted): used for re-probes
+        of one logical request, so a cold query counts as exactly one miss.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                if record:
+                    self._misses += 1
+                return None
+            inserted_at, value = entry
+            if self._ttl is not None and self._clock() - inserted_at >= self._ttl:
+                del self._entries[key]
+                self._expirations += 1
+                if record:
+                    self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            if record:
+                self._hits += 1
+            return value
+
+    def put(self, key: str, value: Any) -> None:
+        """Insert (or refresh) an entry, evicting the LRU entry when full."""
+        if self._max_entries == 0:
+            return
+        with self._lock:
+            self._entries[key] = (self._clock(), value)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self._max_entries:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def invalidate(self, key: Optional[str] = None) -> None:
+        """Drop one entry (or every entry when ``key`` is omitted)."""
+        with self._lock:
+            if key is None:
+                self._entries.clear()
+            else:
+                self._entries.pop(key, None)
+
+    def stats(self) -> dict[str, Any]:
+        """Counters and sizing of the cache, for ``/metrics`` and benchmarks."""
+        with self._lock:
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+                "expirations": self._expirations,
+                "size": len(self._entries),
+                "max_entries": self._max_entries,
+                "ttl_seconds": self._ttl,
+            }

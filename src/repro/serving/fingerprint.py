@@ -1,0 +1,79 @@
+"""Stable fingerprints of discovery queries.
+
+The serving layer keys its result cache — and coalesces concurrent duplicate
+requests — on a fingerprint that captures *everything* that determines a
+query's answer:
+
+* the engine configuration fields that affect sketch content and estimator
+  selection (``sketch_key`` plus ``estimator_k``),
+* the query parameters (``key_column``, ``target_column``, ``top_k``,
+  ``min_containment``, ``min_join_size``), and
+* the base table's key and target column *values* (other columns, and the
+  table's name, never influence the result).
+
+Two queries with equal fingerprints are guaranteed to produce identical
+result lists against one index, so serving a cached result is
+indistinguishable from recomputing it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Iterable, Optional
+
+from repro.discovery.query import AugmentationQuery
+from repro.engine.config import EngineConfig
+
+__all__ = ["query_fingerprint"]
+
+#: Record separator fed between hashed tokens so value boundaries are
+#: unambiguous ("ab" + "c" never collides with "a" + "bc").
+_SEP = b"\x1f"
+
+
+def _update_with_values(digest: "hashlib._Hash", values: Iterable[Any]) -> None:
+    """Feed a column of values into the digest, tagged by type.
+
+    ``repr`` is stable across processes for every type a
+    :class:`~repro.relational.column.Column` can hold (None, bool, int,
+    float, str), and the type tag keeps ``1`` and ``1.0`` (or ``None`` and
+    ``"None"``) distinct.
+    """
+    for value in values:
+        digest.update(type(value).__name__.encode("utf-8"))
+        digest.update(b":")
+        digest.update(repr(value).encode("utf-8"))
+        digest.update(_SEP)
+
+
+def query_fingerprint(
+    config: EngineConfig,
+    query: AugmentationQuery,
+    *,
+    index_token: Optional[str] = None,
+) -> str:
+    """SHA-256 fingerprint of an :class:`AugmentationQuery` under a config.
+
+    ``index_token`` ties the fingerprint to one index generation: a service
+    that reloads or swaps its index passes a new token so stale cached
+    results can never be served.
+    """
+    digest = hashlib.sha256()
+    header = (
+        "repro-query-fingerprint/1",
+        *config.sketch_key,
+        config.estimator_k,
+        index_token or "",
+        query.key_column,
+        query.target_column,
+        query.top_k,
+        query.min_containment,
+        query.min_join_size,
+    )
+    for part in header:
+        digest.update(repr(part).encode("utf-8"))
+        digest.update(_SEP)
+    _update_with_values(digest, query.table.column(query.key_column).values)
+    digest.update(_SEP)
+    _update_with_values(digest, query.table.column(query.target_column).values)
+    return digest.hexdigest()

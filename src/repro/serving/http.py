@@ -1,0 +1,305 @@
+"""Stdlib HTTP front end for the :class:`~repro.serving.service.DiscoveryService`.
+
+A :class:`~http.server.ThreadingHTTPServer` exposing three endpoints:
+
+``POST /query``
+    Evaluate an augmentation query.  The JSON body carries the base table
+    inline plus the query parameters::
+
+        {
+          "table": {"name": "base", "columns": {"key": [...], "target": [...]}},
+          "key_column": "key",
+          "target_column": "target",
+          "top_k": 10,                # optional, AugmentationQuery defaults
+          "min_containment": 0.0,     # optional
+          "min_join_size": 16         # optional
+        }
+
+    The response is ``{"results": [...], "cache_hit": ..., "coalesced":
+    ..., "fingerprint": ...}`` where each result is the JSON form of an
+    :class:`~repro.discovery.query.AugmentationResult` — byte-identical to
+    serializing the in-process ``SketchIndex.query`` answer.
+
+``GET /healthz``
+    Liveness: ``{"status": "ok", "index_loaded": ...}``.  Cheap by design —
+    it never forces a lazy index load.
+
+``GET /metrics``
+    JSON counters and latency histograms per endpoint, plus the service's
+    own stats (cache, coalescing, planner latencies).
+
+Client errors (bad JSON, unknown/wrong-typed fields, bad column names)
+return 400 with ``{"error": ...}``; faults in the served index (missing or
+corrupt directory, empty index) and unexpected failures return 500.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from repro.discovery.query import AugmentationQuery, AugmentationResult
+from repro.exceptions import DiscoveryError, ReproError, ServingError, StoreError
+from repro.relational.dtypes import DType
+from repro.relational.table import Table
+from repro.serving.metrics import MetricsRegistry
+from repro.serving.service import DiscoveryService, ServedResult
+
+__all__ = ["DiscoveryHTTPServer", "serve", "result_to_dict"]
+
+#: Largest accepted /query request body, a guard against unbounded reads.
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+_QUERY_FIELDS = ("key_column", "target_column")
+_OPTIONAL_QUERY_FIELDS = ("top_k", "min_containment", "min_join_size")
+
+
+def result_to_dict(result: AugmentationResult) -> dict[str, Any]:
+    """JSON form of one result (shared by the HTTP layer and the CLI)."""
+    return asdict(result)
+
+
+def _table_from_document(document: Any) -> Table:
+    if not isinstance(document, dict) or not isinstance(document.get("columns"), dict):
+        raise ServingError(
+            'the "table" field must be an object with a "columns" mapping'
+        )
+    dtypes = None
+    if document.get("dtypes") is not None:
+        try:
+            dtypes = {
+                name: DType(value) for name, value in document["dtypes"].items()
+            }
+        except (ValueError, AttributeError) as exc:
+            raise ServingError(f"unknown dtype in table document: {exc}") from exc
+    return Table.from_dict(
+        document["columns"], name=str(document.get("name", "")), dtypes=dtypes
+    )
+
+
+def parse_query_document(document: Any) -> AugmentationQuery:
+    """Build an :class:`AugmentationQuery` from a ``POST /query`` JSON body."""
+    if not isinstance(document, dict):
+        raise ServingError("the query body must be a JSON object")
+    known = {"table", *_QUERY_FIELDS, *_OPTIONAL_QUERY_FIELDS}
+    unknown = sorted(set(document) - known)
+    if unknown:
+        raise ServingError(
+            f"unknown query fields: {', '.join(unknown)}; "
+            f"accepted fields: {', '.join(sorted(known))}"
+        )
+    missing = sorted(
+        name for name in ("table", *_QUERY_FIELDS) if name not in document
+    )
+    if missing:
+        raise ServingError(f"missing query fields: {', '.join(missing)}")
+    options = {}
+    for name, kind in (
+        ("top_k", int),
+        ("min_join_size", int),
+        ("min_containment", float),
+    ):
+        if name not in document:
+            continue
+        value = document[name]
+        # bool is an int subclass; "top_k": true is a client mistake.
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ServingError(
+                f"query field {name!r} must be a number, "
+                f"got {type(value).__name__}"
+            )
+        if kind is int and value != int(value):
+            raise ServingError(f"query field {name!r} must be an integer, got {value}")
+        options[name] = kind(value)
+    try:
+        return AugmentationQuery(
+            table=_table_from_document(document["table"]),
+            key_column=str(document["key_column"]),
+            target_column=str(document["target_column"]),
+            **options,
+        )
+    except TypeError as exc:
+        raise ServingError(f"malformed query document: {exc}") from exc
+
+
+def served_result_to_document(served: ServedResult) -> dict[str, Any]:
+    return {
+        "results": [result_to_dict(result) for result in served.results],
+        "fingerprint": served.fingerprint,
+        "cache_hit": served.cache_hit,
+        "coalesced": served.coalesced,
+        "elapsed_seconds": served.elapsed_seconds,
+        "plan": served.plan_stats,
+    }
+
+
+class _DiscoveryRequestHandler(BaseHTTPRequestHandler):
+    server: "DiscoveryHTTPServer"
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------ #
+    # Routing
+    # ------------------------------------------------------------------ #
+    def do_GET(self) -> None:  # noqa: N802 (http.server naming)
+        if self.path == "/healthz":
+            self._timed("healthz", self._handle_healthz)
+        elif self.path == "/metrics":
+            self._timed("metrics", self._handle_metrics)
+        else:
+            self._send_json(404, {"error": f"no such endpoint: {self.path}"})
+
+    def do_POST(self) -> None:  # noqa: N802
+        if self.path == "/query":
+            self._timed("query", self._handle_query)
+        else:
+            # The request body is never read on this path; the connection
+            # must close or the leftover bytes desynchronize keep-alive.
+            self.close_connection = True
+            self._send_json(404, {"error": f"no such endpoint: {self.path}"})
+
+    # ------------------------------------------------------------------ #
+    # Handlers (return (status, response document); _timed sends it)
+    # ------------------------------------------------------------------ #
+    def _handle_healthz(self) -> tuple[int, dict[str, Any]]:
+        service = self.server.service
+        return 200, {
+            "status": "ok",
+            "index_loaded": service.index_loaded,
+            "workers": service.config.workers,
+        }
+
+    def _handle_metrics(self) -> tuple[int, dict[str, Any]]:
+        return 200, {
+            "http": self.server.metrics.snapshot(),
+            "service": self.server.service.stats(),
+        }
+
+    def _handle_query(self) -> tuple[int, dict[str, Any]]:
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except ValueError:
+            # Body length unknowable, so it cannot be drained: the
+            # connection must close to keep the stream in sync.
+            self.close_connection = True
+            return 400, {"error": "bad Content-Length header"}
+        if length <= 0:
+            # No declared body to drain — but a chunked body may still be on
+            # the wire (we never read it), so the connection must close.
+            self.close_connection = True
+            return 400, {"error": "a JSON request body with Content-Length is required"}
+        if length > MAX_BODY_BYTES:
+            self.close_connection = True  # refuse to drain an oversize body
+            return 413, {"error": f"request body exceeds {MAX_BODY_BYTES} bytes"}
+        raw = self.rfile.read(length)
+        try:
+            document = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            return 400, {"error": f"request body is not JSON: {exc}"}
+        try:
+            self.server.service.ensure_ready()
+        except ReproError as exc:
+            # A missing/corrupt index is a server fault, not a client error.
+            return 500, {"error": f"index unavailable: {exc}"}
+        try:
+            query = parse_query_document(document)
+        except ServingError as exc:
+            return 400, {"error": str(exc)}
+        try:
+            served = self.server.service.query(query)
+        except ServingError as exc:
+            # Past parsing, a ServingError is server state (e.g. the service
+            # is shutting down), not a malformed request.
+            return 503, {"error": str(exc)}
+        except (StoreError, DiscoveryError) as exc:
+            # Faults in the served index itself (a corrupt sketch store
+            # surfacing from a lazily-read mmap, an empty index): the client
+            # did nothing wrong, so these are 5xx.
+            return 500, {"error": f"index unavailable: {exc}"}
+        except ReproError as exc:
+            return 400, {"error": str(exc)}
+        except Exception as exc:  # pragma: no cover - defensive
+            return 500, {"error": f"internal error: {exc}"}
+        return 200, served_result_to_document(served)
+
+    # ------------------------------------------------------------------ #
+    # Plumbing
+    # ------------------------------------------------------------------ #
+    def _timed(self, endpoint: str, handler) -> None:
+        """Run a handler, record its metrics, then send the response.
+
+        Metrics are updated *before* the response bytes go out, so a client
+        that reads ``/metrics`` right after a response always sees that
+        request counted.
+        """
+        metrics = self.server.metrics
+        metrics.increment(f"{endpoint}_requests")
+        started = time.perf_counter()
+        try:
+            status, document = handler()
+        except Exception:
+            metrics.increment(f"{endpoint}_errors")
+            metrics.observe(endpoint, time.perf_counter() - started)
+            raise
+        metrics.observe(endpoint, time.perf_counter() - started)
+        if status >= 400:
+            metrics.increment(f"{endpoint}_errors")
+        self._send_json(status, document)
+
+    def _send_json(self, status: int, document: dict[str, Any]) -> None:
+        body = json.dumps(document).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if self.close_connection:
+            self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args: Any) -> None:
+        if self.server.verbose:  # quiet by default; opt in via serve(verbose=True)
+            super().log_message(format, *args)
+
+
+class DiscoveryHTTPServer(ThreadingHTTPServer):
+    """Threading HTTP server bound to one :class:`DiscoveryService`."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        service: DiscoveryService,
+        *,
+        verbose: bool = False,
+    ):
+        super().__init__(address, _DiscoveryRequestHandler)
+        self.service = service
+        self.metrics = MetricsRegistry()
+        self.verbose = verbose
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+def serve(
+    service: DiscoveryService,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    verbose: bool = False,
+) -> DiscoveryHTTPServer:
+    """Bind a :class:`DiscoveryHTTPServer`; the caller runs ``serve_forever``.
+
+    ``port=0`` binds an ephemeral port (see ``server.server_address``),
+    which is what the tests and the serving benchmark use.
+    """
+    if not isinstance(service, DiscoveryService):
+        raise ServingError(
+            f"serve() needs a DiscoveryService, got {type(service).__name__}"
+        )
+    return DiscoveryHTTPServer((host, port), service, verbose=verbose)

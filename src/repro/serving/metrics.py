@@ -1,0 +1,121 @@
+"""Counters and latency histograms for the serving layer.
+
+Stdlib-only observability: named monotonic counters plus fixed-bucket
+latency histograms with approximate quantiles, snapshotted as plain JSON for
+the ``/metrics`` endpoint.  All types are thread-safe.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from typing import Any, Optional, Sequence
+
+__all__ = ["LatencyHistogram", "MetricsRegistry", "DEFAULT_BUCKETS"]
+
+#: Default latency bucket upper bounds, in seconds (100µs .. ~100s, roughly
+#: half-decade steps); observations beyond the last bound land in +Inf.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0,
+)
+
+
+class LatencyHistogram:
+    """Fixed-bucket histogram of durations with approximate quantiles."""
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_BUCKETS):
+        bounds = tuple(sorted(float(bound) for bound in buckets))
+        if not bounds or any(bound <= 0 for bound in bounds):
+            raise ValueError("bucket bounds must be positive and non-empty")
+        self._bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)  # trailing +Inf bucket
+        self._count = 0
+        self._sum = 0.0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+        self._lock = threading.Lock()
+
+    def observe(self, seconds: float) -> None:
+        """Record one duration."""
+        seconds = float(seconds)
+        position = bisect.bisect_left(self._bounds, seconds)
+        with self._lock:
+            self._counts[position] += 1
+            self._count += 1
+            self._sum += seconds
+            self._min = seconds if self._min is None else min(self._min, seconds)
+            self._max = seconds if self._max is None else max(self._max, seconds)
+
+    def _quantile(self, q: float) -> Optional[float]:
+        """Upper bound of the bucket containing the ``q``-quantile."""
+        if self._count == 0:
+            return None
+        rank = q * self._count
+        seen = 0
+        for position, count in enumerate(self._counts):
+            seen += count
+            if seen >= rank and count:
+                if position < len(self._bounds):
+                    return self._bounds[position]
+                return self._max  # +Inf bucket: best effort
+        return self._max
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-serializable summary: count, sum, min/max, p50/p90/p99, buckets."""
+        with self._lock:
+            return {
+                "count": self._count,
+                "sum_seconds": self._sum,
+                "min_seconds": self._min,
+                "max_seconds": self._max,
+                "mean_seconds": (self._sum / self._count) if self._count else None,
+                "p50_seconds": self._quantile(0.50),
+                "p90_seconds": self._quantile(0.90),
+                "p99_seconds": self._quantile(0.99),
+                "buckets": {
+                    **{
+                        f"le_{bound:g}": count
+                        for bound, count in zip(self._bounds, self._counts)
+                    },
+                    "le_inf": self._counts[-1],
+                },
+            }
+
+
+class MetricsRegistry:
+    """Named counters and latency histograms behind one lock-free facade."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, int] = {}
+        self._histograms: dict[str, LatencyHistogram] = {}
+        self._lock = threading.Lock()
+
+    def increment(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    def counter(self, name: str) -> int:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def histogram(self, name: str) -> LatencyHistogram:
+        """The named histogram, created on first use."""
+        with self._lock:
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = self._histograms[name] = LatencyHistogram()
+            return histogram
+
+    def observe(self, name: str, seconds: float) -> None:
+        self.histogram(name).observe(seconds)
+
+    def snapshot(self) -> dict[str, Any]:
+        """All counters and histogram summaries as one JSON-able document."""
+        with self._lock:
+            counters = dict(self._counters)
+            histograms = dict(self._histograms)
+        return {
+            "counters": counters,
+            "latency": {name: hist.snapshot() for name, hist in histograms.items()},
+        }

@@ -1,0 +1,190 @@
+"""Query planning for discovery queries.
+
+The planner cheapens an :class:`~repro.discovery.query.AugmentationQuery`
+before any MI estimation is spent, without ever changing the answer:
+
+* **containment pre-filter** — candidates whose KMV key sketch overlaps the
+  base table's keys below ``min_containment`` are dropped (the joinability
+  test the index has always applied, surfaced as an explicit plan stage with
+  counters);
+* **join-size pruning** — an MI estimate on a sketch join smaller than
+  ``min_join_size`` is refused downstream anyway, so candidates that
+  *provably* cannot reach it are dropped up front.  The sketch join pairs
+  each base tuple with at most one candidate tuple, giving two sound upper
+  bounds computed without joining: ``len(base_sketch)`` (short-circuits the
+  whole query) and ``len(candidate_sketch) * max-multiplicity-of-a-base-key``
+  (per candidate, O(1) after one scan of the base sketch);
+* **bounded top-k ranking** — surviving estimates are ranked with
+  :func:`~repro.discovery.ranking.top_k_results`' bounded heap, so ranking
+  never sorts more candidates than the answer needs.
+
+Every prune only removes candidates the unplanned path would also have
+discarded, so :meth:`QueryPlanner.execute` returns results byte-identical to
+the historical ``SketchIndex.query`` implementation (same IDs, scores and
+order) — asserted by the serving benchmark.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Optional
+
+from repro.discovery.query import AugmentationQuery, AugmentationResult
+from repro.discovery.ranking import top_k_results
+from repro.engine.session import SketchEngine
+from repro.exceptions import InsufficientSamplesError
+from repro.sketches.base import Sketch
+from repro.sketches.kmv import KMVSketch
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.discovery.index import IndexedCandidate
+
+__all__ = ["QueryPlanner", "QueryPlan", "PlannedCandidate"]
+
+
+@dataclass(frozen=True)
+class PlannedCandidate:
+    """One candidate that survived planning, with its containment estimate."""
+
+    candidate: "IndexedCandidate"
+    containment: float
+
+
+@dataclass
+class QueryPlan:
+    """The pruned candidate set for one query, with planning counters."""
+
+    base_sketch: Sketch
+    base_kmv: KMVSketch
+    survivors: list[PlannedCandidate] = field(default_factory=list)
+    total_candidates: int = 0
+    pruned_containment: int = 0
+    pruned_join_floor: int = 0
+
+    @property
+    def pruned(self) -> int:
+        """Total candidates removed before MI estimation."""
+        return self.pruned_containment + self.pruned_join_floor
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "total_candidates": self.total_candidates,
+            "survivors": len(self.survivors),
+            "pruned_containment": self.pruned_containment,
+            "pruned_join_floor": self.pruned_join_floor,
+        }
+
+
+class QueryPlanner:
+    """Plans and executes discovery queries for one engine session."""
+
+    def __init__(self, engine: SketchEngine):
+        self.engine = engine
+
+    def plan(
+        self,
+        candidates: Iterable["IndexedCandidate"],
+        query: AugmentationQuery,
+        *,
+        use_cache: bool = True,
+    ) -> QueryPlan:
+        """Sketch the base side and prune the candidate set.
+
+        Both prunes are conservative: a dropped candidate would either have
+        failed the containment filter or raised
+        :class:`~repro.exceptions.InsufficientSamplesError` during
+        estimation, so execution over the survivors answers the query
+        exactly.
+
+        ``use_cache=False`` bypasses the engine's identity-keyed base-sketch
+        and key-sketch memos — the right choice when every query carries a
+        freshly-built table (the HTTP service), where those memos can never
+        hit and would only pin dead request tables in memory.
+        """
+        base_sketch = self.engine.sketch_base(
+            query.table, query.key_column, query.target_column, use_cache=use_cache
+        )
+        base_kmv = self.engine.key_sketch(
+            query.table, query.key_column, use_cache=use_cache
+        )
+        plan = QueryPlan(base_sketch=base_sketch, base_kmv=base_kmv)
+
+        candidates = list(candidates)
+        plan.total_candidates = len(candidates)
+        if len(base_sketch) < query.min_join_size:
+            # No join against this base sketch can reach the floor: every
+            # candidate would be skipped after a pointless join.
+            plan.pruned_join_floor = len(candidates)
+            return plan
+
+        # Each base tuple joins with at most one candidate tuple, so a
+        # candidate's join size is bounded by its own tuple count times the
+        # heaviest base key multiplicity.
+        max_key_multiplicity = max(
+            Counter(base_sketch.key_ids).values(), default=0
+        )
+        for candidate in candidates:
+            containment = base_kmv.containment_estimate(candidate.key_kmv)
+            if containment < query.min_containment:
+                plan.pruned_containment += 1
+                continue
+            if len(candidate.sketch) * max_key_multiplicity < query.min_join_size:
+                plan.pruned_join_floor += 1
+                continue
+            plan.survivors.append(PlannedCandidate(candidate, containment))
+        return plan
+
+    def execute(
+        self,
+        plan: QueryPlan,
+        query: AugmentationQuery,
+        *,
+        max_workers: Optional[int] = None,
+    ) -> list[AugmentationResult]:
+        """Estimate MI for the plan's survivors and rank the top-k."""
+        estimates = self.engine.estimate_many(
+            plan.base_sketch,
+            [planned.candidate.sketch for planned in plan.survivors],
+            min_join_size=query.min_join_size,
+            max_workers=max_workers,
+            return_exceptions=True,
+        )
+        results: list[AugmentationResult] = []
+        for planned, outcome in zip(plan.survivors, estimates):
+            if not outcome.ok:
+                # Too small a sketch join: the candidate is skipped, exactly
+                # as in per-call estimation.  Anything else is a real error.
+                if isinstance(outcome.error, InsufficientSamplesError):
+                    continue
+                raise outcome.error
+            candidate = planned.candidate
+            estimate = outcome.estimate
+            results.append(
+                AugmentationResult(
+                    candidate_id=candidate.candidate_id,
+                    table_name=candidate.profile.table_name,
+                    key_column=candidate.profile.key_column,
+                    value_column=candidate.profile.value_column,
+                    aggregate=candidate.aggregate,
+                    estimator=estimate.estimator,
+                    mi_estimate=estimate.mi,
+                    sketch_join_size=estimate.join_size,
+                    containment=planned.containment,
+                    value_dtype=candidate.profile.value_dtype.value,
+                    metadata=dict(candidate.metadata),
+                )
+            )
+        return top_k_results(results, query.top_k)
+
+    def run(
+        self,
+        candidates: Iterable["IndexedCandidate"],
+        query: AugmentationQuery,
+        *,
+        max_workers: Optional[int] = None,
+    ) -> list[AugmentationResult]:
+        """Plan and execute in one call (the in-process query path)."""
+        return self.execute(
+            self.plan(candidates, query), query, max_workers=max_workers
+        )

@@ -1,0 +1,318 @@
+"""The :class:`DiscoveryService` facade — the online half of the pipeline.
+
+A service owns one :class:`~repro.discovery.index.SketchIndex` (either an
+in-memory index, or an index directory loaded lazily through the columnar
+store with ``mmap=True`` so start-up cost is O(1) in the index size) and
+answers :class:`~repro.discovery.query.AugmentationQuery`s through a
+bounded thread pool.  Around every query it layers:
+
+* **planning** — the :class:`~repro.serving.planner.QueryPlanner` prunes
+  candidates before MI estimation (containment pre-filter, join-size
+  floors, bounded top-k ranking);
+* **result caching** — an LRU+TTL :class:`~repro.serving.cache.ResultCache`
+  keyed by the stable :func:`~repro.serving.fingerprint.query_fingerprint`;
+* **request coalescing** — N identical queries arriving while one is being
+  computed attach to the in-flight computation instead of triggering N
+  computations.
+
+Served results are byte-identical to calling ``SketchIndex.query`` in
+process: planning never changes an answer, and the cache key captures every
+input that could.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any, Optional, Union
+
+from repro.discovery.index import SketchIndex
+from repro.discovery.persistence import load_index
+from repro.discovery.query import AugmentationQuery, AugmentationResult
+from repro.exceptions import ServingError
+from repro.serving.cache import ResultCache
+from repro.serving.fingerprint import query_fingerprint
+from repro.serving.metrics import MetricsRegistry
+from repro.serving.planner import QueryPlanner
+
+__all__ = ["DiscoveryService", "ServiceConfig", "ServedResult"]
+
+
+def _caller_owned(results: list[AugmentationResult]) -> list[AugmentationResult]:
+    """Per-result copies of a cached answer.
+
+    Callers may freely mutate what they get back (re-sort, drop entries,
+    annotate ``metadata``) without corrupting the pristine list the cache
+    shares with every other request.
+    """
+    return [
+        replace(result, metadata=dict(result.metadata)) for result in results
+    ]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables of one :class:`DiscoveryService`.
+
+    Attributes
+    ----------
+    workers:
+        Size of the query thread pool (concurrent query computations).
+    estimate_workers:
+        Per-query thread count for candidate MI estimation (``None`` runs
+        each query's estimates sequentially; concurrency across queries
+        comes from ``workers``).
+    cache_entries / cache_ttl_seconds:
+        Result-cache bound and entry lifetime (``0`` entries disables
+        caching; ``None`` TTL disables expiry).
+    mmap:
+        Memory-map the index's columnar sketch store when loading from a
+        directory.
+    """
+
+    workers: int = 4
+    estimate_workers: Optional[int] = None
+    cache_entries: int = 256
+    cache_ttl_seconds: Optional[float] = 300.0
+    mmap: bool = True
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ServingError(f"workers must be at least 1, got {self.workers}")
+
+
+@dataclass(frozen=True)
+class ServedResult:
+    """One answered query, with serving metadata.
+
+    ``results`` is exactly what ``SketchIndex.query`` would have returned;
+    ``cache_hit``/``coalesced`` record how the answer was produced and
+    ``elapsed_seconds`` the caller-observed service time.
+    """
+
+    results: list[AugmentationResult]
+    fingerprint: str
+    cache_hit: bool = False
+    coalesced: bool = False
+    elapsed_seconds: float = 0.0
+    plan_stats: dict[str, int] = field(default_factory=dict)
+
+
+class DiscoveryService:
+    """Concurrent discovery query service over one sketch index.
+
+    Parameters
+    ----------
+    index:
+        A live :class:`SketchIndex`, or a path to an index directory written
+        by :func:`~repro.discovery.persistence.save_index`.  Directories are
+        loaded lazily on the first query (or via :meth:`ensure_ready`), with
+        the columnar store memory-mapped by default.
+    config:
+        Service tunables; defaults to :class:`ServiceConfig`'s defaults.
+    """
+
+    def __init__(
+        self,
+        index: Union[SketchIndex, str, Path],
+        config: Optional[ServiceConfig] = None,
+    ):
+        self.config = config or ServiceConfig()
+        if isinstance(index, SketchIndex):
+            self._index: Optional[SketchIndex] = index
+            self._index_dir: Optional[Path] = None
+        elif isinstance(index, (str, Path)):
+            self._index = None
+            self._index_dir = Path(index)
+        else:
+            raise ServingError(
+                f"index must be a SketchIndex or a directory path, "
+                f"got {type(index).__name__}"
+            )
+        self.cache = ResultCache(
+            max_entries=self.config.cache_entries,
+            ttl_seconds=self.config.cache_ttl_seconds,
+        )
+        self.metrics = MetricsRegistry()
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.workers, thread_name_prefix="discovery-query"
+        )
+        self._lock = threading.Lock()
+        self._load_lock = threading.Lock()
+        self._inflight: dict[str, Future] = {}
+        self._planner: Optional[QueryPlanner] = None
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # Index lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def index_loaded(self) -> bool:
+        """Whether the index is resident (lazily-loaded services start cold)."""
+        return self._index is not None
+
+    def ensure_ready(self) -> SketchIndex:
+        """Load the index if needed and return it (idempotent, thread-safe)."""
+        index = self._index
+        if index is not None:
+            return index
+        with self._load_lock:
+            if self._index is None:
+                started = time.perf_counter()
+                self._index = load_index(self._index_dir, mmap=self.config.mmap)
+                self.metrics.observe("index_load", time.perf_counter() - started)
+                self.metrics.increment("index_loads")
+            return self._index
+
+    @property
+    def _index_token(self) -> str:
+        """Cache-key component tying fingerprints to this index generation.
+
+        The index's mutation counter is part of the token, so growing or
+        overwriting candidates in a live index invalidates every previously
+        cached fingerprint instead of serving stale results.
+        """
+        index = self.ensure_ready()
+        return f"{self._index_dir or ''}#{index.generation}#{len(index)}"
+
+    def planner(self) -> QueryPlanner:
+        """The planner bound to the index's engine (created on first use)."""
+        if self._planner is None:
+            self._planner = QueryPlanner(self.ensure_ready().engine)
+        return self._planner
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def query(self, query: AugmentationQuery) -> ServedResult:
+        """Answer one query, serving from cache or coalescing when possible."""
+        started = time.perf_counter()
+        if self._closed:
+            raise ServingError("the service is closed")
+        index = self.ensure_ready()
+        fingerprint = query_fingerprint(
+            index.config, query, index_token=self._index_token
+        )
+        self.metrics.increment("queries")
+
+        cached = self.cache.get(fingerprint)
+        if cached is not None:
+            return self._cache_hit(cached, fingerprint, started)
+
+        coalesced = False
+        with self._lock:
+            future = self._inflight.get(fingerprint)
+            if future is None:
+                # Re-check the cache under the lock: the in-flight entry is
+                # removed just after its result is cached, so a request
+                # landing in that window must not recompute.  The re-probe
+                # is uncounted — one logical lookup, one hit or miss.
+                cached = self.cache.get(fingerprint, record=False)
+                if cached is None:
+                    future = self._executor.submit(self._compute, fingerprint, query)
+                    self._inflight[fingerprint] = future
+            else:
+                coalesced = True
+                self.metrics.increment("coalesced")
+        if future is None:
+            return self._cache_hit(cached, fingerprint, started)
+        self.metrics.increment("cache_misses")
+        try:
+            results, plan_stats = future.result()
+        finally:
+            with self._lock:
+                if self._inflight.get(fingerprint) is future:
+                    del self._inflight[fingerprint]
+        elapsed = time.perf_counter() - started
+        self.metrics.observe("query_coalesced" if coalesced else "query_cold", elapsed)
+        return ServedResult(
+            results=_caller_owned(results),
+            fingerprint=fingerprint,
+            coalesced=coalesced,
+            elapsed_seconds=elapsed,
+            plan_stats=plan_stats,
+        )
+
+    def _cache_hit(
+        self, results: list[AugmentationResult], fingerprint: str, started: float
+    ) -> ServedResult:
+        elapsed = time.perf_counter() - started
+        self.metrics.increment("cache_hits")
+        self.metrics.observe("query_cached", elapsed)
+        return ServedResult(
+            results=_caller_owned(results),
+            fingerprint=fingerprint,
+            cache_hit=True,
+            elapsed_seconds=elapsed,
+        )
+
+    def submit(self, query: AugmentationQuery) -> "Future[ServedResult]":
+        """Asynchronous :meth:`query`: returns a future resolving to the result.
+
+        Dispatches on a dedicated thread rather than the query pool: the
+        dispatching side only *waits* (on the cache, an in-flight future or
+        a pool slot), so nesting it into the bounded pool could deadlock.
+        """
+        future: "Future[ServedResult]" = Future()
+
+        def run() -> None:
+            if not future.set_running_or_notify_cancel():
+                return
+            try:
+                future.set_result(self.query(query))
+            except BaseException as exc:  # propagate everything to the waiter
+                future.set_exception(exc)
+
+        threading.Thread(target=run, name="discovery-dispatch", daemon=True).start()
+        return future
+
+    def _compute(
+        self, fingerprint: str, query: AugmentationQuery
+    ) -> tuple[list[AugmentationResult], dict[str, int]]:
+        """Run one planned query and populate the cache (executor thread)."""
+        index = self.ensure_ready()
+        if len(index) == 0:
+            # Match SketchIndex.query's contract for empty indexes.
+            index.query(query)
+        planner = self.planner()
+        # The engine's identity-keyed sketch memos can never hit here — each
+        # request carries its own Table object — so bypass them rather than
+        # pinning dead request tables; the result cache (content-keyed by
+        # fingerprint) is what deduplicates repeated queries.
+        plan = planner.plan(index.candidates, query, use_cache=False)
+        results = planner.execute(
+            plan, query, max_workers=self.config.estimate_workers
+        )
+        self.metrics.increment("computed")
+        self.cache.put(fingerprint, results)
+        return results, plan.stats()
+
+    # ------------------------------------------------------------------ #
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------ #
+    def stats(self) -> dict[str, Any]:
+        """Service counters, cache stats and latency histograms (JSON-able)."""
+        with self._lock:
+            inflight = len(self._inflight)
+        return {
+            "index_loaded": self.index_loaded,
+            "index_candidates": len(self._index) if self._index is not None else None,
+            "workers": self.config.workers,
+            "in_flight": inflight,
+            "cache": self.cache.stats(),
+            **self.metrics.snapshot(),
+        }
+
+    def close(self) -> None:
+        """Shut down the query pool; subsequent queries raise ``ServingError``."""
+        self._closed = True
+        self._executor.shutdown(wait=True)
+
+    def __enter__(self) -> "DiscoveryService":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

@@ -173,6 +173,15 @@ class TestQueries:
         results = index.query(query)
         assert len(results) <= 3
 
+    def test_all_candidates_below_min_containment_returns_empty(self, corpus):
+        """An impossible containment threshold empties the candidate set —
+        a valid query with a valid (empty) answer, not an error."""
+        base, index = corpus
+        results = index.query_columns(
+            base, "key", "target", top_k=10, min_containment=1.1, min_join_size=16
+        )
+        assert results == []
+
     def test_empty_index_raises(self, corpus):
         base, _ = corpus
         with pytest.raises(DiscoveryError):

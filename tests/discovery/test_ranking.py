@@ -3,7 +3,7 @@
 import pytest
 
 from repro.discovery.query import AugmentationResult
-from repro.discovery.ranking import rank_results, top_k_per_estimator
+from repro.discovery.ranking import rank_results, top_k_per_estimator, top_k_results
 
 
 def make_result(mi, estimator="MLE", join_size=100, name="t"):
@@ -32,8 +32,55 @@ class TestRankResults:
         ranked = rank_results(results)
         assert ranked[0].sketch_join_size == 500
 
+    def test_full_ties_keep_input_order(self):
+        """Equal (MI, join size) pairs must stay in input order — the sort
+        is stable, and callers (and the serving cache) rely on deterministic
+        output for identical inputs."""
+        first = make_result(0.5, join_size=100, name="alpha")
+        second = make_result(0.5, join_size=100, name="beta")
+        third = make_result(0.5, join_size=100, name="gamma")
+        assert rank_results([first, second, third]) == [first, second, third]
+        assert rank_results([third, first, second]) == [third, first, second]
+
+    def test_tie_break_applies_within_equal_mi_groups_only(self):
+        """Join size must never promote a result past a higher MI estimate."""
+        results = [
+            make_result(0.2, join_size=10_000),
+            make_result(0.9, join_size=2),
+            make_result(0.2, join_size=50),
+        ]
+        ranked = rank_results(results)
+        assert [(r.mi_estimate, r.sketch_join_size) for r in ranked] == [
+            (0.9, 2),
+            (0.2, 10_000),
+            (0.2, 50),
+        ]
+
+    def test_negative_and_nonfinite_free_ordering(self):
+        """Negative MI estimates (possible for KSG-family estimators) rank
+        below positive ones, not by magnitude."""
+        ranked = rank_results([make_result(-0.3), make_result(0.1), make_result(-0.1)])
+        assert [r.mi_estimate for r in ranked] == [0.1, -0.1, -0.3]
+
     def test_empty_input(self):
         assert rank_results([]) == []
+
+
+class TestTopKResults:
+    def test_matches_full_sort_for_every_k(self):
+        results = [
+            make_result(mi, join_size=join, name=f"r{position}")
+            for position, (mi, join) in enumerate(
+                [(0.5, 10), (0.5, 10), (0.9, 1), (0.5, 99), (0.1, 5), (0.9, 1)]
+            )
+        ]
+        full = rank_results(results)
+        for k in range(len(results) + 2):
+            expected = full if k == 0 else full[:k]
+            assert top_k_results(results, k) == expected
+
+    def test_empty_input(self):
+        assert top_k_results([], 5) == []
 
 
 class TestTopKPerEstimator:

@@ -84,3 +84,46 @@ class TestGreedyFeatureSelection:
             greedy_feature_selection({"a": [1, 2]}, [1, 2, 3])
         with pytest.raises(ValueError):
             greedy_feature_selection({"a": [1, 2, 3]}, [1, 2, 3], k=0)
+
+
+class TestEdgeCases:
+    def test_empty_candidate_set_error_is_descriptive(self):
+        with pytest.raises(DiscoveryError, match="no candidate features"):
+            greedy_feature_selection({}, [1.0, 2.0, 3.0])
+
+    def test_misalignment_error_names_the_lengths(self):
+        with pytest.raises(DiscoveryError, match="3 rows"):
+            greedy_feature_selection({"a": [1.0, 2.0]}, [1.0, 2.0, 3.0])
+
+    def test_k_larger_than_feature_count_returns_all_useful_features(self, rng):
+        n = 2000
+        signal = rng.normal(size=n)
+        target = (signal + 0.1 * rng.normal(size=n)).tolist()
+        selected = greedy_feature_selection(
+            {"signal": signal.tolist()}, target, k=50, min_gain=-1.0
+        )
+        assert [feature.name for feature in selected] == ["signal"]
+
+    def test_constant_target_selects_nothing(self, rng):
+        """A constant target carries no information: every conditional-MI
+        gain is zero, so the default min_gain of 0.0 stops immediately."""
+        n = 500
+        features = {"a": rng.normal(size=n).tolist(), "b": rng.normal(size=n).tolist()}
+        assert greedy_feature_selection(features, [1.0] * n, k=2) == []
+
+    def test_single_row_columns(self):
+        """Degenerate one-row input must not crash (gain is zero, nothing
+        selected under the default min_gain)."""
+        assert greedy_feature_selection({"a": [1.0]}, [2.0], k=1) == []
+
+    def test_tied_features_picked_in_sorted_name_order(self, rng):
+        """Exact duplicates have identical gains; the deterministic
+        tie-break is lexicographic feature name."""
+        n = 2000
+        signal = rng.normal(size=n)
+        target = (signal + 0.05 * rng.normal(size=n)).tolist()
+        column = signal.tolist()
+        selected = greedy_feature_selection(
+            {"twin_b": column, "twin_a": column}, target, k=1
+        )
+        assert selected[0].name == "twin_a"

@@ -120,6 +120,29 @@ class TestPersistence:
         with pytest.raises(EngineConfigError):
             EngineConfig.from_dict(document)
 
+    def test_unknown_key_error_names_key_and_accepted_set(self):
+        """A misspelled key must be diagnosable from the message alone: it
+        names the offending key and lists every accepted key."""
+        document = EngineConfig().to_dict()
+        document["capactiy"] = 64  # classic typo
+        with pytest.raises(EngineConfigError) as excinfo:
+            EngineConfig.from_dict(document)
+        message = str(excinfo.value)
+        assert "capactiy" in message
+        assert "accepted keys" in message
+        from dataclasses import fields
+
+        for config_field in fields(EngineConfig):
+            assert config_field.name in message
+        assert "format_version" in message  # the optional envelope key too
+
+    def test_unknown_key_error_lists_multiple_offenders_sorted(self):
+        document = EngineConfig().to_dict()
+        document["zzz"] = 1
+        document["aaa"] = 2
+        with pytest.raises(EngineConfigError, match=r"aaa.*zzz"):
+            EngineConfig.from_dict(document)
+
     def test_from_dict_rejects_wrong_version(self):
         document = EngineConfig().to_dict()
         document["format_version"] = 99

@@ -117,6 +117,21 @@ class TestSketching:
             engine.sketch_base(table, "k", "v")
         assert engine.cache_info()["size"] == 2
 
+    def test_key_sketch_memoized_per_table_identity(self, engine, corpus):
+        """The online half rebuilds the base key sketch every query, so it
+        is memoized exactly like sketch_base."""
+        base, _ = corpus
+        first = engine.key_sketch(base, "key")
+        second = engine.key_sketch(base, "key")
+        assert first is second
+        info = engine.cache_info()
+        assert info["key_hits"] == 1 and info["key_size"] == 1
+        private = engine.key_sketch(base, "key", use_cache=False)
+        assert private is not first
+        assert private.hashes == first.hashes  # deterministic content
+        engine.clear_cache()
+        assert engine.cache_info()["key_size"] == 0
+
 
 class TestSketchPairs:
     def test_requests_and_tuples(self, engine, corpus):

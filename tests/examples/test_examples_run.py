@@ -15,6 +15,7 @@ EXPECTED_OUTPUT = {
     "dataset_discovery.py": "Top-3 candidates per estimator",
     "estimator_comparison.py": "Discrete data",
     "synthetic_benchmark.py": "Trinomial(m=64), n=256",
+    "serving_quickstart.py": "cache_hit=True",
 }
 
 pytestmark = pytest.mark.slow

@@ -1,0 +1,66 @@
+"""Shared fixtures for the serving-layer tests: a small lake index on disk."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.discovery import SketchIndex, save_index
+from repro.discovery.query import AugmentationQuery
+from repro.engine import EngineConfig, SketchEngine
+from repro.relational.table import Table
+
+NUM_KEYS = 300
+
+
+@pytest.fixture(scope="module")
+def lake():
+    """A base table and a populated in-memory index over five candidates."""
+    rng = np.random.default_rng(7)
+    keys = [f"k{i:04d}" for i in range(NUM_KEYS)]
+    target = rng.normal(size=NUM_KEYS)
+    base = Table.from_dict(
+        {"key": keys, "target": target.tolist(), "other": rng.normal(size=NUM_KEYS).tolist()},
+        name="base",
+    )
+    index = SketchIndex(SketchEngine(EngineConfig(capacity=64, seed=3)))
+    for position in range(5):
+        noise = 0.2 + 0.6 * position
+        table = Table.from_dict(
+            {
+                "key": keys,
+                "signal": (target + noise * rng.normal(size=NUM_KEYS)).tolist(),
+                "junk": rng.normal(size=NUM_KEYS).tolist(),
+            },
+            name=f"lake{position}",
+        )
+        index.add_table(table, ["key"])
+    # One candidate with disjoint keys, to exercise the containment filter.
+    disjoint = Table.from_dict(
+        {"key": [f"zz{i}" for i in range(NUM_KEYS)], "value": rng.normal(size=NUM_KEYS).tolist()},
+        name="disjoint",
+    )
+    index.add_table(disjoint, ["key"])
+    return base, index
+
+
+@pytest.fixture(scope="module")
+def index_dir(lake, tmp_path_factory):
+    """The lake index persisted to a directory (the service's input)."""
+    _, index = lake
+    directory = tmp_path_factory.mktemp("lake") / "lake.index"
+    save_index(index, directory)
+    return directory
+
+
+def make_query(base, **overrides):
+    defaults = dict(
+        table=base,
+        key_column="key",
+        target_column="target",
+        top_k=5,
+        min_containment=0.1,
+        min_join_size=8,
+    )
+    defaults.update(overrides)
+    return AugmentationQuery(**defaults)

@@ -1,0 +1,119 @@
+"""Tests for the LRU+TTL result cache."""
+
+import pytest
+
+from repro.exceptions import ServingError
+from repro.serving.cache import ResultCache
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestLRU:
+    def test_get_put_round_trip(self):
+        cache = ResultCache(max_entries=4, ttl_seconds=None)
+        cache.put("a", [1, 2])
+        assert cache.get("a") == [1, 2]
+        assert cache.get("missing") is None
+
+    def test_evicts_least_recently_used(self):
+        cache = ResultCache(max_entries=2, ttl_seconds=None)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refreshes "a"; "b" is now LRU
+        cache.put("c", 3)
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+        assert cache.stats()["evictions"] == 1
+
+    def test_zero_entries_disables_caching(self):
+        cache = ResultCache(max_entries=0, ttl_seconds=None)
+        cache.put("a", 1)
+        assert cache.get("a") is None
+        assert len(cache) == 0
+
+    def test_cached_empty_list_is_a_hit(self):
+        """An empty result list is a legitimate answer, not a miss."""
+        cache = ResultCache(max_entries=2, ttl_seconds=None)
+        cache.put("a", [])
+        assert cache.get("a") == []
+        assert cache.stats()["hits"] == 1
+
+    def test_invalidate(self):
+        cache = ResultCache(max_entries=4, ttl_seconds=None)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.invalidate("a")
+        assert cache.get("a") is None
+        cache.invalidate()
+        assert cache.get("b") is None
+        assert len(cache) == 0
+
+
+class TestTTL:
+    def test_entry_expires_after_ttl(self):
+        clock = FakeClock()
+        cache = ResultCache(max_entries=4, ttl_seconds=10.0, clock=clock)
+        cache.put("a", 1)
+        clock.advance(9.9)
+        assert cache.get("a") == 1
+        clock.advance(0.2)
+        assert cache.get("a") is None
+        stats = cache.stats()
+        assert stats["expirations"] == 1
+        assert stats["size"] == 0
+
+    def test_refresh_resets_ttl(self):
+        clock = FakeClock()
+        cache = ResultCache(max_entries=4, ttl_seconds=10.0, clock=clock)
+        cache.put("a", 1)
+        clock.advance(8.0)
+        cache.put("a", 2)
+        clock.advance(8.0)
+        assert cache.get("a") == 2
+
+    def test_none_ttl_never_expires(self):
+        clock = FakeClock()
+        cache = ResultCache(max_entries=4, ttl_seconds=None, clock=clock)
+        cache.put("a", 1)
+        clock.advance(1e9)
+        assert cache.get("a") == 1
+
+
+class TestValidationAndStats:
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ServingError, match="max_entries"):
+            ResultCache(max_entries=-1)
+
+    def test_non_positive_ttl_rejected(self):
+        with pytest.raises(ServingError, match="ttl_seconds"):
+            ResultCache(ttl_seconds=0.0)
+
+    def test_unrecorded_get_leaves_counters_untouched(self):
+        cache = ResultCache(max_entries=2, ttl_seconds=None)
+        cache.put("a", 1)
+        assert cache.get("a", record=False) == 1
+        assert cache.get("b", record=False) is None
+        stats = cache.stats()
+        assert stats["hits"] == 0
+        assert stats["misses"] == 0
+
+    def test_stats_counters(self):
+        cache = ResultCache(max_entries=2, ttl_seconds=None)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("b")
+        stats = cache.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["size"] == 1
+        assert stats["max_entries"] == 2

@@ -1,0 +1,278 @@
+"""Tests for the HTTP front end: endpoints, wire format, byte-identity."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.serving import DiscoveryService, ServiceConfig, result_to_dict, serve
+
+from tests.serving.conftest import make_query
+
+
+@pytest.fixture()
+def server(index_dir):
+    service = DiscoveryService(index_dir, ServiceConfig(workers=2))
+    http_server = serve(service, port=0)
+    thread = threading.Thread(target=http_server.serve_forever, daemon=True)
+    thread.start()
+    yield http_server
+    http_server.shutdown()
+    http_server.server_close()
+    service.close()
+    thread.join(timeout=10)
+
+
+def get_json(url):
+    with urllib.request.urlopen(url, timeout=30) as response:
+        return response.status, json.load(response)
+
+
+def post_json(url, document):
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(document).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=60) as response:
+        return response.status, json.load(response)
+
+
+def query_document(base, **overrides):
+    query = make_query(base, **overrides)
+    return {
+        "table": {"name": query.table.name, "columns": query.table.to_dict()},
+        "key_column": query.key_column,
+        "target_column": query.target_column,
+        "top_k": query.top_k,
+        "min_containment": query.min_containment,
+        "min_join_size": query.min_join_size,
+    }
+
+
+class TestHealthz:
+    def test_healthz_is_cheap_and_does_not_load_the_index(self, server):
+        status, document = get_json(server.url + "/healthz")
+        assert status == 200
+        assert document["status"] == "ok"
+        assert document["index_loaded"] is False  # still lazy
+
+    def test_unknown_path_is_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            get_json(server.url + "/nope")
+        assert excinfo.value.code == 404
+
+
+class TestQuery:
+    def test_served_results_byte_identical_to_in_process(self, lake, server):
+        base, index = lake
+        status, document = post_json(server.url + "/query", query_document(base))
+        assert status == 200
+        in_process = index.query(make_query(base))
+        # Byte-identical through JSON: same IDs, same floats, same order.
+        assert json.dumps(document["results"], sort_keys=True) == json.dumps(
+            [result_to_dict(result) for result in in_process], sort_keys=True
+        )
+        assert document["plan"]["total_candidates"] == 11
+
+    def test_second_identical_query_is_a_cache_hit(self, lake, server):
+        base, _ = lake
+        _, cold = post_json(server.url + "/query", query_document(base))
+        _, warm = post_json(server.url + "/query", query_document(base))
+        assert cold["cache_hit"] is False
+        assert warm["cache_hit"] is True
+        assert warm["results"] == cold["results"]
+        assert warm["fingerprint"] == cold["fingerprint"]
+
+    def test_optional_fields_default(self, lake, server):
+        base, _ = lake
+        document = query_document(base)
+        for optional in ("top_k", "min_containment", "min_join_size"):
+            document.pop(optional)
+        status, answer = post_json(server.url + "/query", document)
+        assert status == 200
+        assert len(answer["results"]) <= 10  # AugmentationQuery default top_k
+
+
+class TestQueryErrors:
+    def assert_400(self, server, document, match):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            post_json(server.url + "/query", document)
+        assert excinfo.value.code == 400
+        error = json.load(excinfo.value)["error"]
+        assert match in error
+
+    def test_missing_fields(self, lake, server):
+        self.assert_400(server, {"key_column": "key"}, "missing query fields")
+
+    def test_unknown_fields_name_the_accepted_set(self, lake, server):
+        base, _ = lake
+        document = query_document(base)
+        document["bogus"] = 1
+        self.assert_400(server, document, "accepted fields")
+
+    def test_non_json_body(self, server):
+        request = urllib.request.Request(
+            server.url + "/query", data=b"not json", method="POST"
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=30)
+        assert excinfo.value.code == 400
+
+    def test_empty_body(self, server):
+        request = urllib.request.Request(server.url + "/query", data=b"", method="POST")
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=30)
+        assert excinfo.value.code == 400
+
+    def test_wrong_typed_optional_field_is_a_400(self, lake, server):
+        """A string min_join_size must be rejected up front, not surface as
+        an internal 500 from deep inside the planner."""
+        base, _ = lake
+        document = query_document(base)
+        document["min_join_size"] = "16"
+        self.assert_400(server, document, "min_join_size")
+        document = query_document(base)
+        document["top_k"] = True
+        self.assert_400(server, document, "top_k")
+        document = query_document(base)
+        document["min_containment"] = 0.5
+        status, _ = post_json(server.url + "/query", document)  # numbers are fine
+        assert status == 200
+
+    def test_missing_column_is_a_client_error(self, lake, server):
+        base, _ = lake
+        document = query_document(base)
+        document["key_column"] = "nope"
+        self.assert_400(server, document, "nope")
+
+
+class TestKeepAliveHygiene:
+    """Paths that skip reading a POST body must close the connection, or the
+    unread bytes desynchronize every later request on the keep-alive socket."""
+
+    def post_raw(self, server, path, body, headers=None):
+        import http.client
+
+        host, port = server.server_address[:2]
+        connection = http.client.HTTPConnection(host, port, timeout=30)
+        try:
+            connection.request("POST", path, body=body, headers=headers or {})
+            response = connection.getresponse()
+            response.read()
+            return response
+        finally:
+            connection.close()
+
+    def test_post_to_unknown_path_with_body_closes_connection(self, server):
+        response = self.post_raw(server, "/nope", b'{"x": 1}')
+        assert response.status == 404
+        assert response.getheader("Connection") == "close"
+
+    def test_oversize_body_closes_connection(self, server):
+        from repro.serving import http as serving_http
+
+        response = self.post_raw(
+            server,
+            "/query",
+            b"",
+            headers={"Content-Length": str(serving_http.MAX_BODY_BYTES + 1)},
+        )
+        assert response.status == 413
+        assert response.getheader("Connection") == "close"
+
+    def test_bad_content_length_closes_connection(self, server):
+        response = self.post_raw(
+            server, "/query", b"", headers={"Content-Length": "banana"}
+        )
+        assert response.status == 400
+        assert response.getheader("Connection") == "close"
+
+    def test_healthy_request_keeps_the_connection_open(self, lake, server):
+        import http.client
+
+        base, _ = lake
+        host, port = server.server_address[:2]
+        connection = http.client.HTTPConnection(host, port, timeout=60)
+        try:
+            body = json.dumps(query_document(base)).encode("utf-8")
+            for _ in range(2):  # two requests down one keep-alive socket
+                connection.request("POST", "/query", body=body)
+                response = connection.getresponse()
+                answer = json.loads(response.read())
+                assert response.status == 200
+                assert answer["results"]
+        finally:
+            connection.close()
+
+
+class TestServerFaults:
+    def serve_and_post(self, service, document):
+        http_server = serve(service, port=0)
+        thread = threading.Thread(target=http_server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                post_json(http_server.url + "/query", document)
+            return excinfo.value
+        finally:
+            http_server.shutdown()
+            http_server.server_close()
+            service.close()
+            thread.join(timeout=10)
+
+    def test_unloadable_index_is_a_500_not_a_400(self, lake, tmp_path):
+        """A missing/corrupt index directory is a server fault: clients did
+        nothing wrong and must see a 5xx."""
+        base, _ = lake
+        error = self.serve_and_post(
+            DiscoveryService(tmp_path / "no-such-index"), query_document(base)
+        )
+        assert error.code == 500
+        assert "index unavailable" in json.load(error)["error"]
+
+    def test_closed_service_is_a_503(self, lake, index_dir):
+        """A request racing shutdown gets a retryable 5xx, not a 400."""
+        base, _ = lake
+        service = DiscoveryService(index_dir)
+        service.ensure_ready()
+        service.close()
+        error = self.serve_and_post(service, query_document(base))
+        assert error.code == 503
+        assert "closed" in json.load(error)["error"]
+
+    def test_empty_served_index_is_a_500(self, lake):
+        """An index with zero candidates is broken server state, not a bad
+        request."""
+        from repro.discovery import SketchIndex
+        from repro.engine import EngineConfig
+
+        base, _ = lake
+        error = self.serve_and_post(
+            DiscoveryService(SketchIndex(EngineConfig(capacity=64))),
+            query_document(base),
+        )
+        assert error.code == 500
+        assert "empty" in json.load(error)["error"]
+
+
+class TestMetrics:
+    def test_metrics_counts_requests_per_endpoint(self, lake, server):
+        base, _ = lake
+        get_json(server.url + "/healthz")
+        post_json(server.url + "/query", query_document(base))
+        post_json(server.url + "/query", query_document(base))
+        status, document = get_json(server.url + "/metrics")
+        assert status == 200
+        counters = document["http"]["counters"]
+        assert counters["healthz_requests"] == 1
+        assert counters["query_requests"] == 2
+        latency = document["http"]["latency"]["query"]
+        assert latency["count"] == 2
+        assert latency["p50_seconds"] is not None
+        service = document["service"]
+        assert service["counters"]["cache_hits"] == 1
+        assert service["cache"]["size"] == 1

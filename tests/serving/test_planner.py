@@ -1,0 +1,167 @@
+"""Tests for the query planner: pruning is invisible, counters are not."""
+
+import numpy as np
+import pytest
+
+from repro.discovery.query import AugmentationResult
+from repro.discovery.ranking import rank_results
+from repro.engine import EngineConfig, SketchEngine
+from repro.exceptions import InsufficientSamplesError
+from repro.relational.table import Table
+from repro.serving.planner import QueryPlanner
+
+from tests.serving.conftest import make_query
+
+
+def unplanned_query(index, query):
+    """The historical SketchIndex.query implementation, kept as the oracle:
+    containment filter, estimate every joinable candidate, full sort."""
+    engine = index.engine
+    base_sketch = engine.sketch_base(query.table, query.key_column, query.target_column)
+    base_kmv = engine.key_sketch(query.table, query.key_column)
+    joinable = [
+        (candidate, base_kmv.containment_estimate(candidate.key_kmv))
+        for candidate in index.candidates
+    ]
+    joinable = [(c, cont) for c, cont in joinable if cont >= query.min_containment]
+    results = []
+    for candidate, containment in joinable:
+        try:
+            estimate = engine.estimate(
+                base_sketch, candidate.sketch, min_join_size=query.min_join_size
+            )
+        except InsufficientSamplesError:
+            continue
+        results.append(
+            AugmentationResult(
+                candidate_id=candidate.candidate_id,
+                table_name=candidate.profile.table_name,
+                key_column=candidate.profile.key_column,
+                value_column=candidate.profile.value_column,
+                aggregate=candidate.aggregate,
+                estimator=estimate.estimator,
+                mi_estimate=estimate.mi,
+                sketch_join_size=estimate.join_size,
+                containment=containment,
+                value_dtype=candidate.profile.value_dtype.value,
+                metadata=dict(candidate.metadata),
+            )
+        )
+    ranked = rank_results(results)
+    return ranked[: query.top_k] if query.top_k else ranked
+
+
+class TestPlanEquivalence:
+    def test_planned_results_identical_to_unplanned_oracle(self, lake):
+        base, index = lake
+        for query in (
+            make_query(base),
+            make_query(base, min_containment=0.0, top_k=0),
+            make_query(base, min_join_size=40),
+            make_query(base, target_column="other"),
+        ):
+            planned = QueryPlanner(index.engine).run(index.candidates, query)
+            oracle = unplanned_query(index, query)
+            assert [
+                (r.candidate_id, r.mi_estimate, r.sketch_join_size, r.containment)
+                for r in planned
+            ] == [
+                (r.candidate_id, r.mi_estimate, r.sketch_join_size, r.containment)
+                for r in oracle
+            ]
+
+    def test_index_query_delegates_to_planner(self, lake):
+        base, index = lake
+        query = make_query(base)
+        assert [r.candidate_id for r in index.query(query)] == [
+            r.candidate_id for r in QueryPlanner(index.engine).run(index.candidates, query)
+        ]
+
+
+class TestPruning:
+    def test_containment_prunes_disjoint_candidates(self, lake):
+        base, index = lake
+        plan = QueryPlanner(index.engine).plan(index.candidates, make_query(base))
+        stats = plan.stats()
+        # The "disjoint" table contributes 1 candidate with zero containment.
+        assert stats["pruned_containment"] >= 1
+        assert stats["survivors"] + plan.pruned == stats["total_candidates"]
+
+    def test_unreachable_join_floor_short_circuits(self, lake):
+        """A base sketch smaller than min_join_size can never satisfy it, so
+        the whole candidate set is pruned without estimating anything."""
+        base, index = lake
+        query = make_query(base, min_join_size=10_000)
+        planner = QueryPlanner(index.engine)
+        plan = planner.plan(index.candidates, query)
+        assert plan.survivors == []
+        assert plan.pruned_join_floor == plan.total_candidates
+        assert planner.execute(plan, query) == []
+
+    def test_tiny_candidate_sketch_pruned_by_join_floor(self):
+        """A candidate whose sketch is provably too small to reach the join
+        floor is pruned, and the answer matches the unpruned path (both
+        empty for that candidate)."""
+        engine = SketchEngine(EngineConfig(capacity=64))
+        rng = np.random.default_rng(1)
+        keys = [f"k{i}" for i in range(100)]
+        base = Table.from_dict(
+            {"key": keys, "target": rng.normal(size=100).tolist()}, name="base"
+        )
+        from repro.discovery import SketchIndex
+
+        index = SketchIndex(engine)
+        tiny = Table.from_dict(
+            {"key": keys[:3], "value": rng.normal(size=3).tolist()}, name="tiny"
+        )
+        index.add_table(tiny, ["key"])
+        query = make_query(base, min_containment=0.0, min_join_size=16)
+        plan = QueryPlanner(engine).plan(index.candidates, query)
+        assert plan.pruned_join_floor == 1
+        assert index.query(query) == []
+
+
+class TestBoundedTopK:
+    def test_top_k_results_matches_full_sort_with_ties(self):
+        def result(mi, join, name):
+            return AugmentationResult(
+                candidate_id=name,
+                table_name="t",
+                key_column="k",
+                value_column="v",
+                aggregate="avg",
+                estimator="MLE",
+                mi_estimate=mi,
+                sketch_join_size=join,
+                containment=1.0,
+                value_dtype="float",
+            )
+
+        from repro.discovery.ranking import top_k_results
+
+        results = [
+            result(0.5, 10, "a"),
+            result(0.5, 10, "b"),  # full tie with "a": input order must hold
+            result(0.9, 5, "c"),
+            result(0.5, 99, "d"),
+            result(0.1, 1, "e"),
+        ]
+        for k in (1, 2, 3, 4, 5, 17):
+            assert top_k_results(results, k) == rank_results(results)[:k]
+        assert top_k_results(results, 0) == rank_results(results)
+
+    def test_execute_truncates_to_top_k(self, lake):
+        base, index = lake
+        planner = QueryPlanner(index.engine)
+        full = planner.run(index.candidates, make_query(base, top_k=0))
+        top2 = planner.run(index.candidates, make_query(base, top_k=2))
+        assert len(full) > 2
+        assert top2 == full[:2]
+
+
+class TestErrorPropagation:
+    def test_non_join_errors_are_raised(self, lake):
+        base, index = lake
+        query = make_query(base, key_column="nope")
+        with pytest.raises(Exception):
+            QueryPlanner(index.engine).run(index.candidates, query)

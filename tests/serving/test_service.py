@@ -1,0 +1,268 @@
+"""Tests for the DiscoveryService facade: lazy loading, caching, coalescing."""
+
+import threading
+
+import pytest
+
+from repro.exceptions import DiscoveryError, ServingError
+from repro.serving import (
+    DiscoveryService,
+    ServiceConfig,
+    query_fingerprint,
+)
+
+from tests.serving.conftest import make_query
+
+
+class TestLifecycle:
+    def test_lazy_load_from_directory(self, lake, index_dir):
+        base, _ = lake
+        with DiscoveryService(index_dir, ServiceConfig(workers=2)) as service:
+            assert not service.index_loaded
+            served = service.query(make_query(base))
+            assert service.index_loaded
+            assert served.results
+            assert service.stats()["counters"]["index_loads"] == 1
+
+    def test_missing_directory_raises_discovery_error(self, tmp_path):
+        service = DiscoveryService(tmp_path / "nope")
+        with pytest.raises(DiscoveryError, match="no index.json"):
+            service.ensure_ready()
+
+    def test_wrapping_a_live_index(self, lake):
+        base, index = lake
+        with DiscoveryService(index) as service:
+            assert service.index_loaded
+            assert service.query(make_query(base)).results
+
+    def test_bad_index_argument_rejected(self):
+        with pytest.raises(ServingError, match="SketchIndex or a directory"):
+            DiscoveryService(42)
+
+    def test_closed_service_refuses_queries(self, lake):
+        base, index = lake
+        service = DiscoveryService(index)
+        service.close()
+        with pytest.raises(ServingError, match="closed"):
+            service.query(make_query(base))
+
+
+class TestServedResults:
+    def test_results_identical_to_in_process_query(self, lake, index_dir):
+        base, index = lake
+        query = make_query(base)
+        in_process = index.query(query)
+        with DiscoveryService(index_dir) as service:
+            served = service.query(query)
+        assert [
+            (r.candidate_id, r.mi_estimate, r.sketch_join_size, r.containment)
+            for r in served.results
+        ] == [
+            (r.candidate_id, r.mi_estimate, r.sketch_join_size, r.containment)
+            for r in in_process
+        ]
+
+    def test_cache_hit_on_identical_query(self, lake, index_dir):
+        base, _ = lake
+        with DiscoveryService(index_dir) as service:
+            cold = service.query(make_query(base))
+            warm = service.query(make_query(base))
+        assert not cold.cache_hit
+        assert warm.cache_hit
+        assert warm.fingerprint == cold.fingerprint
+        assert warm.results == cold.results
+
+    def test_mutating_a_served_result_does_not_corrupt_the_cache(
+        self, lake, index_dir
+    ):
+        base, _ = lake
+        with DiscoveryService(index_dir) as service:
+            first = service.query(make_query(base))
+            reference = [
+                (r.candidate_id, r.mi_estimate, dict(r.metadata))
+                for r in first.results
+            ]
+            # A careless caller post-processes the answer in place...
+            first.results[0].metadata["seen"] = True
+            first.results.clear()
+            second = service.query(make_query(base))
+        # ...and the cached answer stays pristine for everyone else.
+        assert second.cache_hit
+        assert [
+            (r.candidate_id, r.mi_estimate, dict(r.metadata))
+            for r in second.results
+        ] == reference
+
+    def test_cold_query_counts_exactly_one_cache_miss(self, lake, index_dir):
+        """The under-lock cache re-probe must not double-count misses, or
+        hit rates computed from /metrics are wrong."""
+        base, _ = lake
+        with DiscoveryService(index_dir) as service:
+            service.query(make_query(base))
+            service.query(make_query(base))
+            stats = service.cache.stats()
+        assert stats["misses"] == 1
+        assert stats["hits"] == 1
+
+    def test_different_params_miss_the_cache(self, lake, index_dir):
+        base, _ = lake
+        with DiscoveryService(index_dir) as service:
+            first = service.query(make_query(base, top_k=5))
+            second = service.query(make_query(base, top_k=3))
+        assert first.fingerprint != second.fingerprint
+        assert not second.cache_hit
+
+    def test_mutating_a_live_index_invalidates_cached_results(self, rng):
+        """Overwriting a candidate bumps the index generation, so the next
+        identical query recomputes instead of serving the stale answer."""
+        from repro.discovery import SketchIndex
+        from repro.engine import EngineConfig
+        from repro.relational.table import Table
+
+        keys = [f"k{i}" for i in range(100)]
+        target = rng.normal(size=100)
+        base = Table.from_dict(
+            {"key": keys, "target": target.tolist()}, name="base"
+        )
+        index = SketchIndex(EngineConfig(capacity=64))
+        correlated = Table.from_dict(
+            {"key": keys, "feat": (target + 0.1 * rng.normal(size=100)).tolist()},
+            name="cand",
+        )
+        index.add_table(correlated, ["key"])
+        with DiscoveryService(index) as service:
+            query = make_query(base, min_containment=0.0)
+            before = service.query(query)
+            # Re-index the same (table, key, value) names with pure noise:
+            # same candidate_id, same index length, different sketches.
+            noise = Table.from_dict(
+                {"key": keys, "feat": rng.normal(size=100).tolist()}, name="cand"
+            )
+            index.add_table(noise, ["key"])
+            after = service.query(query)
+        assert after.fingerprint != before.fingerprint
+        assert not after.cache_hit
+        assert [r.mi_estimate for r in after.results] != [
+            r.mi_estimate for r in before.results
+        ]
+
+    def test_empty_index_error_propagates(self, lake, tmp_path):
+        from repro.discovery import SketchIndex, save_index
+        from repro.engine import EngineConfig
+
+        base, _ = lake
+        empty_dir = tmp_path / "empty.index"
+        save_index(SketchIndex(EngineConfig(capacity=64)), empty_dir)
+        with DiscoveryService(empty_dir) as service:
+            with pytest.raises(DiscoveryError, match="empty"):
+                service.query(make_query(base))
+            # Errors are not cached: the next identical query fails again.
+            with pytest.raises(DiscoveryError, match="empty"):
+                service.query(make_query(base))
+
+
+class TestFingerprint:
+    def test_stable_across_equal_queries(self, lake):
+        base, index = lake
+        a = query_fingerprint(index.config, make_query(base))
+        b = query_fingerprint(index.config, make_query(base))
+        assert a == b
+
+    def test_sensitive_to_params_config_values_and_token(self, lake):
+        base, index = lake
+        reference = query_fingerprint(index.config, make_query(base))
+        assert query_fingerprint(index.config, make_query(base, top_k=7)) != reference
+        assert (
+            query_fingerprint(index.config.replace(seed=99), make_query(base))
+            != reference
+        )
+        assert (
+            query_fingerprint(index.config, make_query(base), index_token="gen2")
+            != reference
+        )
+        shuffled = make_query(
+            base.take(list(reversed(range(base.num_rows)))).rename("base")
+        )
+        assert query_fingerprint(index.config, shuffled) != reference
+
+    def test_insensitive_to_table_name_and_unused_columns(self, lake):
+        base, index = lake
+        renamed = make_query(base.rename("somebody-else"))
+        assert query_fingerprint(index.config, renamed) == query_fingerprint(
+            index.config, make_query(base)
+        )
+        projected = make_query(base.select(["key", "target"]))
+        assert query_fingerprint(index.config, projected) == query_fingerprint(
+            index.config, make_query(base)
+        )
+
+
+class TestConcurrency:
+    def test_identical_concurrent_queries_coalesce_to_one_computation(
+        self, lake, index_dir
+    ):
+        base, _ = lake
+        num_clients = 8
+        with DiscoveryService(index_dir, ServiceConfig(workers=4)) as service:
+            service.ensure_ready()
+            barrier = threading.Barrier(num_clients)
+            outcomes = []
+            lock = threading.Lock()
+
+            def client():
+                barrier.wait()
+                served = service.query(make_query(base))
+                with lock:
+                    outcomes.append(served)
+
+            threads = [threading.Thread(target=client) for _ in range(num_clients)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            stats = service.stats()
+
+        assert len(outcomes) == num_clients
+        # Every client got the same answer...
+        first = outcomes[0].results
+        assert all(served.results == first for served in outcomes)
+        # ...from exactly one computation: the rest coalesced or hit cache.
+        assert stats["counters"]["computed"] == 1
+        duplicates = num_clients - 1
+        collapsed = stats["counters"].get("coalesced", 0) + stats["counters"].get(
+            "cache_hits", 0
+        )
+        assert collapsed == duplicates
+
+    def test_submit_resolves_even_with_one_worker(self, lake, index_dir):
+        """submit() dispatches off-pool, so a single-worker pool cannot
+        deadlock on the nested compute future."""
+        base, _ = lake
+        with DiscoveryService(index_dir, ServiceConfig(workers=1)) as service:
+            futures = [service.submit(make_query(base)) for _ in range(4)]
+            results = [future.result(timeout=60) for future in futures]
+        assert all(served.results == results[0].results for served in results)
+
+    def test_distinct_queries_run_concurrently(self, lake, index_dir):
+        base, _ = lake
+        with DiscoveryService(index_dir, ServiceConfig(workers=4)) as service:
+            futures = [
+                service.submit(make_query(base, top_k=k)) for k in (1, 2, 3, 4)
+            ]
+            lengths = [len(future.result(timeout=60).results) for future in futures]
+        assert lengths == [1, 2, 3, 4]
+
+
+class TestStats:
+    def test_stats_shape(self, lake, index_dir):
+        base, _ = lake
+        with DiscoveryService(index_dir) as service:
+            service.query(make_query(base))
+            service.query(make_query(base))
+            stats = service.stats()
+        assert stats["index_loaded"] is True
+        assert stats["index_candidates"] == 11
+        assert stats["cache"]["hits"] == 1
+        assert stats["counters"]["queries"] == 2
+        assert stats["latency"]["query_cold"]["count"] == 1
+        assert stats["latency"]["query_cached"]["count"] == 1

@@ -342,3 +342,194 @@ class TestIndexCommand:
         )
         assert code == 2
         assert "nope" in capsys.readouterr().err
+
+
+@pytest.fixture()
+def built_index(lake_csvs, tmp_path):
+    """A small index directory built through the CLI itself."""
+    out_dir = tmp_path / "lake.index"
+    assert (
+        main(
+            [
+                "index", "build", *map(str, lake_csvs),
+                "--key", "key", "--capacity", "64", "-o", str(out_dir),
+            ]
+        )
+        == 0
+    )
+    return out_dir
+
+
+@pytest.fixture()
+def base_csv(tmp_path, rng):
+    keys = [f"k{i:03d}" for i in range(100)]
+    table = Table.from_dict(
+        {"key": keys, "target": rng.normal(size=100).tolist()}, name="base"
+    )
+    path = tmp_path / "base.csv"
+    write_csv(table, path)
+    return path
+
+
+class TestIndexErrorHygiene:
+    """Pointing index subcommands at a bad directory must not traceback."""
+
+    def test_info_on_missing_directory(self, tmp_path, capsys):
+        code = main(["index", "info", str(tmp_path / "does-not-exist")])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "no index.json" in err
+        assert len(err.strip().splitlines()) == 1  # one friendly line, no traceback
+
+    def test_query_on_missing_directory(self, base_csv, tmp_path, capsys):
+        code = main(
+            [
+                "index", "query", str(tmp_path / "does-not-exist"),
+                "--csv", str(base_csv), "--key", "key", "--target", "target",
+            ]
+        )
+        assert code == 2
+        assert "no index.json" in capsys.readouterr().err
+
+    def test_info_on_corrupt_store_reports_store_error(self, built_index, capsys):
+        (built_index / "sketches.npz").write_bytes(b"this is not an npz archive")
+        code = main(["index", "info", str(built_index)])
+        assert code == 2
+        err = capsys.readouterr().err
+        # The StoreError's own message survives into the friendly line.
+        assert "error:" in err
+        assert "sketch store" in err
+        assert "Traceback" not in err
+
+    def test_info_on_malformed_index_json(self, built_index, capsys):
+        (built_index / "index.json").write_text("{not json", encoding="utf-8")
+        code = main(["index", "info", str(built_index)])
+        assert code == 2
+        assert "malformed index file" in capsys.readouterr().err
+
+    def test_missing_csv_reported_as_error(self, built_index, tmp_path, capsys):
+        code = main(
+            [
+                "index", "query", str(built_index),
+                "--csv", str(tmp_path / "ghost.csv"), "--key", "key",
+                "--target", "target",
+            ]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestIndexQueryCommand:
+    def test_prints_ranked_results_as_json(self, built_index, base_csv, capsys):
+        code = main(
+            [
+                "index", "query", str(built_index),
+                "--csv", str(base_csv), "--key", "key", "--target", "target",
+                "--top-k", "3", "--min-join-size", "8",
+            ]
+        )
+        assert code == 0
+        results = json.loads(capsys.readouterr().out)
+        assert isinstance(results, list) and results
+        assert len(results) <= 3
+        assert {"candidate_id", "mi_estimate", "containment"} <= set(results[0])
+        # Ranked descending by MI estimate.
+        estimates = [result["mi_estimate"] for result in results]
+        assert estimates == sorted(estimates, reverse=True)
+
+    def test_matches_in_process_query(self, built_index, base_csv, capsys):
+        from dataclasses import asdict
+
+        from repro.discovery import load_index
+        from repro.discovery.query import AugmentationQuery
+        from repro.relational.csvio import read_csv
+
+        assert main(
+            [
+                "index", "query", str(built_index),
+                "--csv", str(base_csv), "--key", "key", "--target", "target",
+                "--min-join-size", "8",
+            ]
+        ) == 0
+        via_cli = json.loads(capsys.readouterr().out)
+        index = load_index(built_index)
+        in_process = index.query(
+            AugmentationQuery(
+                table=read_csv(base_csv),
+                key_column="key",
+                target_column="target",
+                min_join_size=8,
+            )
+        )
+        assert via_cli == [asdict(result) for result in in_process]
+
+
+class TestServeCommand:
+    def test_missing_index_fails_fast(self, tmp_path, capsys):
+        code = main(["serve", "--index", str(tmp_path / "nope"), "--port", "0"])
+        assert code == 2
+        assert "no index.json" in capsys.readouterr().err
+
+    def test_serve_answers_http_queries(self, built_index, base_csv):
+        """End-to-end through the real CLI entry point in a subprocess."""
+        import pathlib
+        import subprocess
+        import sys as _sys
+        import urllib.request
+
+        src_dir = pathlib.Path(__file__).resolve().parents[1] / "src"
+        process = subprocess.Popen(
+            [
+                _sys.executable, "-m", "repro.cli", "serve",
+                "--index", str(built_index), "--port", "0", "--workers", "2",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env={"PYTHONPATH": str(src_dir), "PATH": "/usr/bin:/bin"},
+        )
+        try:
+            # Guarded read: a server that dies or stalls before printing its
+            # banner must fail the test with diagnostics, not hang the run.
+            from concurrent.futures import ThreadPoolExecutor
+
+            with ThreadPoolExecutor(max_workers=1) as reader:
+                try:
+                    banner = reader.submit(process.stdout.readline).result(timeout=60)
+                except TimeoutError:
+                    process.kill()
+                    raise AssertionError(
+                        f"serve never printed its banner; stderr: "
+                        f"{process.stderr.read()}"
+                    ) from None
+            assert "serving" in banner and "http://" in banner, (
+                banner,
+                process.stderr.read() if process.poll() is not None else "",
+            )
+            url = banner.split("on ")[1].split(" ")[0]
+            with urllib.request.urlopen(url + "/healthz", timeout=30) as response:
+                health = json.load(response)
+            assert health["status"] == "ok"
+            table = {"columns": json.loads(json.dumps(_csv_columns(base_csv)))}
+            body = json.dumps(
+                {
+                    "table": table,
+                    "key_column": "key",
+                    "target_column": "target",
+                    "min_join_size": 8,
+                }
+            ).encode("utf-8")
+            request = urllib.request.Request(url + "/query", data=body, method="POST")
+            with urllib.request.urlopen(request, timeout=60) as response:
+                answer = json.load(response)
+            assert "results" in answer and answer["results"]
+        finally:
+            process.terminate()
+            process.wait(timeout=30)
+
+
+def _csv_columns(path):
+    from repro.relational.csvio import read_csv
+
+    return read_csv(path).to_dict()

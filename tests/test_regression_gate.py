@@ -33,6 +33,12 @@ def write_report(directory: Path, name: str, *, speedup: float, throughput: floa
             "sequential": {"pairs_per_second": throughput},
             "concurrent": {"pairs_per_second": throughput},
         }
+    elif name == "serving.json":
+        document = {
+            "cached_speedup": speedup,
+            "coalescing": {"collapsed_fraction": 1.0},
+            "throughput": {"qps": throughput},
+        }
     else:
         document = {
             "speedup": speedup,
@@ -85,6 +91,23 @@ class TestGateDecision:
         results, baselines = dirs
         # Ratio fine, but throughput fell by >75%: catastrophic regression.
         write_report(results, "index_build.json", speedup=3.0, throughput=100.0)
+        assert run_gate(results, baselines) == 1
+
+    def test_serving_cache_speedup_collapse_fails(self, dirs):
+        results, baselines = dirs
+        # Cached speedup fell by >75% (e.g. the result cache stopped
+        # hitting): the gate must fail even though throughput held.
+        write_report(results, "serving.json", speedup=0.5, throughput=1000.0)
+        assert run_gate(results, baselines) == 1
+
+    def test_serving_coalescing_regression_fails(self, dirs):
+        results, baselines = dirs
+        document = {
+            "cached_speedup": 3.0,
+            "coalescing": {"collapsed_fraction": 0.5},  # was 1.0
+            "throughput": {"qps": 1000.0},
+        }
+        (results / "serving.json").write_text(json.dumps(document), encoding="utf-8")
         assert run_gate(results, baselines) == 1
 
     def test_missing_result_fails(self, dirs):
