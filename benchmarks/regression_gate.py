@@ -81,6 +81,12 @@ GATED_REPORTS: dict[str, tuple[MetricSpec, ...]] = {
         MetricSpec("speedup", "higher"),
         MetricSpec("sharded.columns_per_second", "higher", THROUGHPUT_TOLERANCE),
     ),
+    "hashing.json": (
+        # Primary gate: the vectorized-over-scalar construction speedup, a
+        # same-process ratio that cancels out runner speed.
+        MetricSpec("speedup", "higher"),
+        MetricSpec("vectorized.columns_per_second", "higher", THROUGHPUT_TOLERANCE),
+    ),
     "serving.json": (
         # Both primary gates are ratios (cache speedup over the cold path,
         # collapsed fraction of duplicate queries) and so robust to runner

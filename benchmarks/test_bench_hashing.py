@@ -1,0 +1,125 @@
+"""Benchmark — scalar vs vectorized hashing and sketch construction.
+
+Every sketch is built by hashing join-key values through MurmurHash3 +
+Fibonacci hashing.  The scalar reference implementation hashes one value at
+a time in pure Python; the vectorized fast path
+(``EngineConfig.vectorized``, the default) encodes a whole column, packs the
+encodings into NumPy matrices and runs the hash rounds as array arithmetic.
+
+This benchmark builds every sketch of a 500-column lake fixture (25 tables
+x 20 value columns, as in the index-build benchmark, at 1000 rows per table
+so per-column construction cost is realistic; string join keys) through
+both paths:
+
+* per table, the KMV key sketch over the join-key column, and
+* per value column, one candidate-side sketch and one base-side sketch.
+
+It asserts every sketch is identical between the two paths (the fast path
+is a pure speedup) and that the vectorized path is at least ``MIN_SPEEDUP``
+times faster.  The JSON report feeds the CI benchmark-regression gate.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import numpy as np
+
+from repro.engine import EngineConfig, SketchEngine
+from repro.relational.table import Table
+from repro.sketches.kmv import KMVSketch
+
+NUM_TABLES = 25
+COLUMNS_PER_TABLE = 20
+ROWS_PER_TABLE = 1000
+NUM_KEYS = 700
+CAPACITY = 128
+MIN_SPEEDUP = 5.0
+
+
+def build_lake(seed: int = 11):
+    """The 500-column lake fixture (same shape as the index-build benchmark)."""
+    rng = np.random.default_rng(seed)
+    keys = [f"k{i:05d}" for i in range(NUM_KEYS)]
+    tables = []
+    for position in range(NUM_TABLES):
+        row_keys = [keys[i] for i in rng.integers(0, NUM_KEYS, size=ROWS_PER_TABLE)]
+        data: dict = {"key": row_keys}
+        for column in range(COLUMNS_PER_TABLE):
+            data[f"v{column:02d}"] = rng.normal(size=ROWS_PER_TABLE).tolist()
+        tables.append(Table.from_dict(data, name=f"lake{position:03d}"))
+    return tables
+
+
+def construct_sketches(tables, *, vectorized: bool):
+    """Build every lake sketch through one path; returns (sketches, seconds)."""
+    engine = SketchEngine(
+        EngineConfig(method="TUPSK", capacity=CAPACITY, seed=0, vectorized=vectorized),
+        cache_size=0,
+    )
+    sketches = []
+    start = time.perf_counter()
+    for table in tables:
+        sketches.append(
+            KMVSketch.from_values(
+                table.column("key").non_null_values(),
+                capacity=CAPACITY,
+                seed=0,
+                vectorized=vectorized,
+            ).hashes
+        )
+        for column in range(COLUMNS_PER_TABLE):
+            name = f"v{column:02d}"
+            sketches.append(engine.sketch_candidate(table, "key", name))
+            sketches.append(engine.sketch_base(table, "key", name, use_cache=False))
+    return sketches, time.perf_counter() - start
+
+
+def test_bench_hashing(benchmark, results_dir):
+    tables = build_lake()
+    total_columns = NUM_TABLES * COLUMNS_PER_TABLE
+
+    scalar_sketches, scalar_seconds = construct_sketches(tables, vectorized=False)
+
+    def vectorized_build():
+        return construct_sketches(tables, vectorized=True)
+
+    vectorized_sketches, vectorized_seconds = benchmark.pedantic(
+        vectorized_build, rounds=1, iterations=1
+    )
+
+    # The fast path must be a pure speedup: every KMV hash list and every
+    # base/candidate sketch identical, tuple for tuple.
+    assert len(scalar_sketches) == len(vectorized_sketches)
+    for scalar_sketch, vectorized_sketch in zip(scalar_sketches, vectorized_sketches):
+        assert scalar_sketch == vectorized_sketch
+
+    speedup = scalar_seconds / vectorized_seconds
+    report = {
+        "benchmark": "hashing",
+        "columns": total_columns,
+        "tables": NUM_TABLES,
+        "rows_per_table": ROWS_PER_TABLE,
+        "capacity": CAPACITY,
+        "sketches_built": len(scalar_sketches),
+        "scalar": {
+            "seconds": scalar_seconds,
+            "columns_per_second": total_columns / scalar_seconds,
+        },
+        "vectorized": {
+            "seconds": vectorized_seconds,
+            "columns_per_second": total_columns / vectorized_seconds,
+        },
+        "speedup": speedup,
+    }
+    path = results_dir / "hashing.json"
+    path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print()
+    print(json.dumps(report, indent=2))
+    print(f"[report saved to {path}]")
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"vectorized sketch construction is only {speedup:.2f}x faster than "
+        f"the scalar path (required: {MIN_SPEEDUP}x)"
+    )

@@ -120,6 +120,12 @@ def build_parser() -> argparse.ArgumentParser:
         subparser.add_argument("--method", help="sketching method (default TUPSK)")
         subparser.add_argument("--capacity", type=int, help="sketch size n (default 1024)")
         subparser.add_argument("--seed", type=int, help="hash seed (default 0)")
+        subparser.add_argument(
+            "--scalar-hashing",
+            action="store_true",
+            help="disable the vectorized hashing fast path (same sketches, "
+            "useful for debugging and benchmarking the scalar reference)",
+        )
 
     sketch = subparsers.add_parser("sketch", help="build a sketch from a CSV file")
     sketch.add_argument("csv", help="input CSV file (with a header row)")
@@ -288,6 +294,8 @@ def _engine_from_args(args: argparse.Namespace) -> SketchEngine:
         for name in ("method", "capacity", "seed", "estimator_k", "min_join_size")
         if getattr(args, name, None) is not None
     }
+    if getattr(args, "scalar_hashing", False):
+        overrides["vectorized"] = False
     if overrides:
         config = config.replace(**overrides)
     return SketchEngine(config)

@@ -14,6 +14,11 @@ The :class:`IndexBuilder` fixes both axes of that cost:
   *column family* through :class:`~repro.sketches.base.KeyGroups`, so the
   key-side work is done once per family instead of once per candidate.  The
   resulting sketches are identical, tuple for tuple, to the serial path.
+* **Vectorized hashing** — with ``EngineConfig.vectorized`` (the default)
+  each shard's key selection, key hashing and KMV construction run through
+  the batched NumPy fast paths of :mod:`repro.hashing`, which are
+  bit-identical to the scalar reference; the flag round-trips through the
+  config document handed to worker processes.
 * **Sharding + process parallelism** — registered tables are partitioned
   into shards by a stable hash of the table name.  Shards are built
   independently, optionally on a :class:`~concurrent.futures.

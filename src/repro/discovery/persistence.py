@@ -15,6 +15,13 @@ Format version 1 (one ``sketches/<i>.json`` file per candidate, KMV sketches
 inlined into ``index.json``) is still read transparently, so indexes written
 before the columnar store exist keep loading; re-saving such an index
 migrates it to version 2.
+
+Independently of the *layout* version, every index records the canonical
+hash-encoding version its sketches were built under
+(:data:`~repro.sketches.serialization.HASH_ENCODING_VERSION`).  A directory
+persisted under an older encoding is refused at load time — its stored
+``h(key)`` identifiers would silently disagree with freshly built query
+sketches — with instructions to rebuild from the source tables.
 """
 
 from __future__ import annotations
@@ -30,7 +37,7 @@ from repro.discovery.profile import ColumnPairProfile
 from repro.exceptions import DiscoveryError, StoreError
 from repro.relational.dtypes import DType
 from repro.sketches.kmv import KMVSketch
-from repro.sketches.serialization import load_sketch
+from repro.sketches.serialization import HASH_ENCODING_VERSION, load_sketch
 from repro.store import load_npz, pack_value_lists, save_npz, unpack_value_lists
 
 __all__ = ["save_index", "load_index"]
@@ -77,6 +84,7 @@ def _kmv_from_dict(document: dict) -> KMVSketch:
 def _index_document(index: SketchIndex, candidates_document: list[dict]) -> dict:
     return {
         "format_version": _FORMAT_VERSION,
+        "hash_encoding": HASH_ENCODING_VERSION,
         # method/capacity/seed are kept for readers of the original format;
         # engine_config carries the full estimation policy.
         "method": index.method,
@@ -237,6 +245,14 @@ def load_index(directory: PathLike, *, mmap: bool = False) -> SketchIndex:
         raise DiscoveryError(f"malformed index file: {index_path}") from exc
     except OSError as exc:
         raise DiscoveryError(f"could not read index file {index_path}: {exc}") from exc
+    encoding = document.get("hash_encoding", 1)
+    if encoding != HASH_ENCODING_VERSION:
+        raise DiscoveryError(
+            f"index was built under hash-encoding version {encoding!r} "
+            f"(current: {HASH_ENCODING_VERSION}); its sketches' hashed keys "
+            f"are not comparable with freshly built query sketches — rebuild "
+            f"the index from the source tables (`repro index build`)"
+        )
     version = document.get("format_version")
     try:
         if version == 1:

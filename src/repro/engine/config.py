@@ -60,6 +60,13 @@ class EngineConfig:
         Default shard count of the sharded index builder.  Shard assignment
         is stable by table name, so the count only controls invalidation
         granularity and parallelism, never the built sketches.
+    vectorized:
+        Use the batched NumPy hashing and sketch-construction fast paths.
+        The fast paths are bit-identical to the scalar reference (asserted
+        by the property suite), so — like the build knobs — this flag is
+        excluded from :attr:`sketch_key`: sketches built either way can be
+        joined, cached and persisted interchangeably.  Disable to exercise
+        or benchmark the scalar reference implementation.
     """
 
     method: str = "TUPSK"
@@ -71,6 +78,7 @@ class EngineConfig:
     categorical_aggregate: AggregateFunction = AggregateFunction.MODE
     build_workers: int = 0
     build_shards: int = 8
+    vectorized: bool = True
 
     def __post_init__(self) -> None:
         # The dataclass is frozen, so normalization goes through
@@ -98,6 +106,7 @@ class EngineConfig:
             )
         object.__setattr__(self, "build_workers", int(self.build_workers))
         object.__setattr__(self, "build_shards", int(self.build_shards))
+        object.__setattr__(self, "vectorized", bool(self.vectorized))
         if self.build_workers < 0:
             raise EngineConfigError(
                 f"build_workers must be non-negative, got {self.build_workers}"
@@ -144,6 +153,7 @@ class EngineConfig:
             "categorical_aggregate": self.categorical_aggregate.value,
             "build_workers": self.build_workers,
             "build_shards": self.build_shards,
+            "vectorized": self.vectorized,
         }
 
     @classmethod

@@ -95,7 +95,12 @@ class SketchEngine:
         """A fresh builder for the configured method (one per sketch call,
         so stateful builders like INDSK stay deterministic per sketch)."""
         method, capacity, seed = self.config.sketch_key
-        return get_builder(method, capacity=capacity, seed=seed)
+        return get_builder(
+            method,
+            capacity=capacity,
+            seed=seed,
+            vectorized=self.config.vectorized,
+        )
 
     def sketch_base(
         self,
@@ -277,6 +282,7 @@ class SketchEngine:
             table.column(key_column).non_null_values(),
             capacity=self.config.capacity,
             seed=self.config.seed,
+            vectorized=self.config.vectorized,
         )
         if use_cache and self._cache_size:
             with self._lock:

@@ -13,14 +13,24 @@ dependencies and so that two sketches built independently (possibly on
 different machines) agree on every hash value given the same seed.
 """
 
-from repro.hashing.murmur3 import murmur3_32
-from repro.hashing.fibonacci import fibonacci_hash_unit
-from repro.hashing.unit import KeyHasher, hash_key, hash_key_unit
+from repro.hashing.murmur3 import murmur3_32, murmur3_32_many
+from repro.hashing.fibonacci import fibonacci_hash_unit, fibonacci_hash_unit_many
+from repro.hashing.unit import (
+    KeyHasher,
+    canonical_bytes,
+    canonical_bytes_many,
+    hash_key,
+    hash_key_unit,
+)
 
 __all__ = [
     "murmur3_32",
+    "murmur3_32_many",
     "fibonacci_hash_unit",
+    "fibonacci_hash_unit_many",
     "KeyHasher",
+    "canonical_bytes",
+    "canonical_bytes_many",
     "hash_key",
     "hash_key_unit",
 ]

@@ -9,7 +9,9 @@ The paper uses this as the uniform hash ``h_u``.
 
 from __future__ import annotations
 
-__all__ = ["fibonacci_hash_unit", "fibonacci_hash_64"]
+import numpy as np
+
+__all__ = ["fibonacci_hash_unit", "fibonacci_hash_64", "fibonacci_hash_unit_many"]
 
 #: 2**64 / golden ratio, rounded to the nearest odd integer.
 _FIB_MULTIPLIER_64 = 0x9E3779B97F4A7C15
@@ -29,3 +31,20 @@ def fibonacci_hash_unit(value: int) -> float:
     key-occurrence tuples) whose ``h_u(h(k))`` values are smallest.
     """
     return fibonacci_hash_64(value) / _TWO_POW_64
+
+
+def fibonacci_hash_unit_many(values: "np.ndarray | list[int]") -> np.ndarray:
+    """Vectorized :func:`fibonacci_hash_unit` over an array of integers.
+
+    ``result[i]`` is bit-identical to ``fibonacci_hash_unit(values[i])``:
+    the multiplication wraps modulo ``2**64`` exactly as the scalar path's
+    mask does, and dividing by ``2**64`` (an exact power of two) rounds the
+    64-bit integer to ``float64`` under the same IEEE-754 semantics as
+    Python's ``int / float``.
+    """
+    try:
+        ids = np.asarray(values, dtype=np.uint64)
+    except (OverflowError, TypeError):
+        # Negative or > 64-bit integers: apply the scalar path's mask.
+        ids = np.array([int(value) & _MASK64 for value in values], dtype=np.uint64)
+    return (ids * np.uint64(_FIB_MULTIPLIER_64)) / _TWO_POW_64

@@ -12,17 +12,40 @@ The sketching layer needs two operations:
 
 :class:`KeyHasher` bundles both with a seed so different experiments can use
 independent hash functions while two sketches meant to be joined share one.
+
+Every operation also has a batched variant (``canonical_bytes_many``,
+``KeyHasher.key_id_many`` / ``unit_many`` / ``tuple_unit_many``) that hashes
+a whole column in NumPy array passes.  The batched variants are
+**bit-identical** to mapping the scalar functions over the column — the only
+difference is speed — so sketches built through either path are
+interchangeable.  Homogeneous ``int`` / ``str`` / ``float`` columns take the
+vectorized encoding fast paths; anything else (mixed types, ``None``-bearing
+columns, exotic objects) silently falls back to the scalar encoder per value
+before the still-batched hashing passes.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Hashable
+from typing import Any, Hashable, Sequence
 
-from repro.hashing.fibonacci import fibonacci_hash_unit
-from repro.hashing.murmur3 import murmur3_32
+import numpy as np
 
-__all__ = ["KeyHasher", "hash_key", "hash_key_unit", "canonical_bytes"]
+from repro.hashing.fibonacci import fibonacci_hash_unit, fibonacci_hash_unit_many
+from repro.hashing.murmur3 import _hash_bytes_many, murmur3_32
+
+__all__ = [
+    "KeyHasher",
+    "hash_key",
+    "hash_key_unit",
+    "canonical_bytes",
+    "canonical_bytes_many",
+]
+
+
+def _length_prefixed(part: bytes) -> bytes:
+    """Unambiguous framing of one tuple part: 4-byte length, then payload."""
+    return len(part).to_bytes(4, "little") + part
 
 
 def canonical_bytes(value: Any) -> bytes:
@@ -30,7 +53,13 @@ def canonical_bytes(value: Any) -> bytes:
 
     The encoding is type-tagged so that, e.g., the integer ``1`` and the
     string ``"1"`` do not collide, and tuples (used for TUPSK's
-    ``(key, occurrence)`` sampling frame) encode their parts recursively.
+    ``(key, occurrence)`` sampling frame) encode their parts recursively
+    with a length prefix per part, so part boundaries are unambiguous:
+    ``("a|b",)`` and ``("a", "b")`` encode differently.  (Encoding version
+    2; see ``repro.sketches.serialization.HASH_ENCODING_VERSION`` — earlier
+    releases joined tuple parts with a ``b"|"`` separator, which could
+    collide, so sketches persisted under that scheme hash differently and
+    must be rebuilt.)
     """
     if value is None:
         return b"n:"
@@ -47,9 +76,35 @@ def canonical_bytes(value: Any) -> bytes:
     if isinstance(value, str):
         return b"s:" + value.encode("utf-8")
     if isinstance(value, (tuple, list)):
-        parts = b"|".join(canonical_bytes(part) for part in value)
-        return b"t:" + parts
+        return b"t:" + b"".join(
+            _length_prefixed(canonical_bytes(part)) for part in value
+        )
     return b"o:" + repr(value).encode("utf-8")
+
+
+def canonical_bytes_many(values: Sequence[Any]) -> list[bytes]:
+    """Canonical byte encodings of a whole column of values.
+
+    ``result[i] == canonical_bytes(values[i])`` for every position.
+    Homogeneous ``int`` / ``str`` / ``float`` columns take batched fast
+    paths that skip the per-value type dispatch; everything else falls back
+    to the scalar encoder element by element.
+    """
+    kinds = {type(value) for value in values}
+    if kinds == {int}:
+        # bytes %-formatting is the fastest exact decimal encoder available
+        # (including for bigints), beating NumPy's string casts.
+        return [b"i:%d" % value for value in values]
+    if kinds == {str}:
+        return [b"s:" + value.encode("utf-8") for value in values]
+    if kinds == {float}:
+        return [
+            b"i:%d" % int(value)
+            if value.is_integer()
+            else b"f:" + repr(value).encode("ascii")
+            for value in values
+        ]
+    return [canonical_bytes(value) for value in values]
 
 
 def hash_key(value: Any, seed: int = 0) -> int:
@@ -66,8 +121,10 @@ def hash_key_unit(value: Any, seed: int = 0) -> float:
 class KeyHasher:
     """A seeded pair of hash functions shared by coordinated sketches.
 
-    Two sketches can only be joined if they were built with the same seed;
-    the sketch data model stores the seed so this is checked at join time.
+    Two sketches can only be joined if they were built with the same seed
+    (and the same canonical-encoding version; see
+    ``repro.sketches.serialization.HASH_ENCODING_VERSION``); the sketch data
+    model stores the seed so this is checked at join time.
     """
 
     seed: int = 0
@@ -83,3 +140,43 @@ class KeyHasher:
     def tuple_unit(self, value: Hashable, occurrence: int) -> float:
         """Uniform position of the ``(value, occurrence)`` tuple (TUPSK frame)."""
         return hash_key_unit((value, occurrence), seed=self.seed)
+
+    # ------------------------------------------------------------------ #
+    # Batched variants — bit-identical to mapping the scalar methods
+    # ------------------------------------------------------------------ #
+    def key_id_many(self, values: Sequence[Hashable]) -> np.ndarray:
+        """``uint32`` array of ``key_id`` over a column, one array pass."""
+        return _hash_bytes_many(canonical_bytes_many(values), self.seed)
+
+    def unit_many(self, values: Sequence[Hashable]) -> np.ndarray:
+        """``float64`` array of ``unit`` over a column, one array pass."""
+        return fibonacci_hash_unit_many(self.key_id_many(values))
+
+    def tuple_unit_many(
+        self, values: Sequence[Hashable], occurrences: Sequence[int]
+    ) -> np.ndarray:
+        """``float64`` array of ``tuple_unit`` over aligned value/occurrence rows.
+
+        Composes each row's canonical tuple encoding from the (batch-encoded)
+        value part and a memoized occurrence part, then hashes all rows in
+        one batched pass.
+        """
+        value_parts = canonical_bytes_many(values)
+        # Memoize the two per-row building blocks: occurrence encodings
+        # (typically a handful of small ints) and length prefixes (value
+        # encodings of one column cluster around a few lengths).
+        occurrence_parts: dict[int, bytes] = {}
+        length_prefixes: dict[int, bytes] = {}
+        encodings = []
+        append = encodings.append
+        for value_part, occurrence in zip(value_parts, occurrences):
+            prefix = length_prefixes.get(len(value_part))
+            if prefix is None:
+                prefix = len(value_part).to_bytes(4, "little")
+                length_prefixes[len(value_part)] = prefix
+            occurrence_part = occurrence_parts.get(occurrence)
+            if occurrence_part is None:
+                occurrence_part = _length_prefixed(canonical_bytes(int(occurrence)))
+                occurrence_parts[occurrence] = occurrence_part
+            append(b"t:" + prefix + value_part + occurrence_part)
+        return fibonacci_hash_unit_many(_hash_bytes_many(encodings, self.seed))

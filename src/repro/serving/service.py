@@ -18,6 +18,12 @@ bounded thread pool.  Around every query it layers:
 Served results are byte-identical to calling ``SketchIndex.query`` in
 process: planning never changes an answer, and the cache key captures every
 input that could.
+
+The cold path — sketching the request table's base sketch and key KMV before
+any MI estimation — runs through the engine's vectorized hashing fast paths
+whenever the index was built with ``EngineConfig.vectorized`` (the default,
+persisted in the index document); the scalar and vectorized paths produce
+bit-identical sketches, so the flag never affects answers, only latency.
 """
 
 from __future__ import annotations

@@ -20,8 +20,11 @@ from __future__ import annotations
 
 import abc
 import enum
+from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Any, Hashable, Optional, Sequence
+
+import numpy as np
 
 from repro.exceptions import SketchError
 from repro.hashing.unit import KeyHasher
@@ -166,19 +169,19 @@ class KeyGroups:
     def __init__(self, table: Table, key_column: str):
         self.table = table
         self.key_column = key_column
-        rows_by_key: dict[Hashable, list[int]] = {}
+        grouped: defaultdict[Hashable, list[int]] = defaultdict(list)
         retained = 0
         for row, key in enumerate(table.column(key_column).values):
             if key is None:
                 continue
             retained += 1
-            rows_by_key.setdefault(key, []).append(row)
+            grouped[key].append(row)
         #: Retained (non-NULL-key) row positions grouped by key, with keys in
         #: first-appearance order — the same order ``group_by_aggregate``
         #: produces, so selection tie-breaking matches the per-column path.
-        self.rows_by_key = rows_by_key
+        self.rows_by_key: dict[Hashable, list[int]] = dict(grouped)
         self.table_rows = retained
-        self.distinct_keys = len(rows_by_key)
+        self.distinct_keys = len(self.rows_by_key)
         # (method, capacity, seed) -> selected candidate keys (or None when
         # the method's selection inspects values and cannot be shared).
         self._selection_cache: dict[tuple[str, int, int], Optional[list[Hashable]]] = {}
@@ -194,15 +197,28 @@ class KeyGroups:
             )
         return self._selection_cache[cache_key]
 
-    def key_ids(self, keys: Sequence[Hashable], hasher: KeyHasher) -> list[int]:
-        """Hashed identifiers of ``keys``, memoized across the column family."""
+    def key_ids(
+        self,
+        keys: Sequence[Hashable],
+        hasher: KeyHasher,
+        *,
+        vectorized: bool = True,
+    ) -> list[int]:
+        """Hashed identifiers of ``keys``, memoized across the column family.
+
+        Uncached keys are hashed in one batched pass when ``vectorized``
+        (bit-identical to hashing them one by one).
+        """
         cache = self._key_id_cache.setdefault(hasher.seed, {})
-        ids = []
-        for key in keys:
-            if key not in cache:
-                cache[key] = hasher.key_id(key)
-            ids.append(cache[key])
-        return ids
+        missing = [key for key in dict.fromkeys(keys) if key not in cache]
+        if missing:
+            if vectorized:
+                for key, key_id in zip(missing, hasher.key_id_many(missing)):
+                    cache[key] = int(key_id)
+            else:
+                for key in missing:
+                    cache[key] = hasher.key_id(key)
+        return [cache[key] for key in keys]
 
 
 class SketchBuilder(abc.ABC):
@@ -214,6 +230,11 @@ class SketchBuilder(abc.ABC):
         Maximum sketch size ``n`` (the method's single parameter).
     seed:
         Hash seed shared by all sketches that are meant to be joined.
+    vectorized:
+        Use the batched NumPy hashing fast paths (bit-identical to the
+        scalar paths; see :mod:`repro.hashing`).  Exists so the scalar
+        reference implementation stays exercisable for equivalence tests
+        and benchmarks — sketch content never depends on it.
     """
 
     #: Method name used in registries, reports and sketch provenance.
@@ -228,11 +249,12 @@ class SketchBuilder(abc.ABC):
     #: value-dependent selection safely falls back to the per-column path.
     candidate_selection_key_only: bool = False
 
-    def __init__(self, capacity: int = 256, seed: int = 0):
+    def __init__(self, capacity: int = 256, seed: int = 0, vectorized: bool = True):
         if capacity < 1:
             raise ValueError("capacity must be at least 1")
         self.capacity = int(capacity)
         self.seed = int(seed)
+        self.vectorized = bool(vectorized)
         self.hasher = KeyHasher(seed=self.seed)
 
     # ------------------------------------------------------------------ #
@@ -253,7 +275,7 @@ class SketchBuilder(abc.ABC):
             side=SketchSide.BASE,
             seed=self.seed,
             capacity=self.capacity,
-            key_ids=[self.hasher.key_id(key) for key in key_list],
+            key_ids=self._key_ids(key_list),
             values=value_list,
             value_dtype=table.column(value_column).dtype,
             table_rows=len(keys),
@@ -281,6 +303,16 @@ class SketchBuilder(abc.ABC):
         is identical to the one built without it.
         """
         agg = get_aggregate(agg)
+        if (
+            key_groups is None
+            and self.vectorized
+            and self.candidate_selection_key_only
+        ):
+            # The vectorized fast path routes through the grouped
+            # implementation even for a single column: candidate keys are
+            # selected *before* aggregation, so only the selected keys' rows
+            # are ever aggregated.  The sketch is identical either way.
+            key_groups = KeyGroups(table, key_column)
         if key_groups is not None:
             sketch = self._sketch_candidate_grouped(
                 table, key_column, value_column, agg, key_groups
@@ -302,7 +334,7 @@ class SketchBuilder(abc.ABC):
             side=SketchSide.CANDIDATE,
             seed=self.seed,
             capacity=self.capacity,
-            key_ids=[self.hasher.key_id(key) for key in key_list],
+            key_ids=self._key_ids(key_list),
             values=value_list,
             value_dtype=self._candidate_value_dtype(agg, input_dtype, value_list),
             table_rows=len(keys),
@@ -350,7 +382,9 @@ class SketchBuilder(abc.ABC):
             side=SketchSide.CANDIDATE,
             seed=self.seed,
             capacity=self.capacity,
-            key_ids=key_groups.key_ids(selected, self.hasher),
+            key_ids=key_groups.key_ids(
+                selected, self.hasher, vectorized=self.vectorized
+            ),
             values=value_list,
             value_dtype=self._candidate_value_dtype(agg, input_dtype, value_list),
             table_rows=key_groups.table_rows,
@@ -397,6 +431,33 @@ class SketchBuilder(abc.ABC):
     # ------------------------------------------------------------------ #
     # Shared helpers
     # ------------------------------------------------------------------ #
+    def _key_ids(self, keys: Sequence[Hashable]) -> list[int]:
+        """Hashed identifiers of ``keys``, batched when vectorized."""
+        if self.vectorized and len(keys) > 1:
+            return [int(key_id) for key_id in self.hasher.key_id_many(keys)]
+        return [self.hasher.key_id(key) for key in keys]
+
+    def _units(self, keys: Sequence[Hashable]) -> np.ndarray:
+        """``h_u(h(key))`` per key as a float64 array, batched when vectorized."""
+        if self.vectorized and len(keys) > 1:
+            return self.hasher.unit_many(keys)
+        return np.array(
+            [self.hasher.unit(key) for key in keys], dtype=np.float64
+        )
+
+    def _rank_keys_by_unit(self, keys: Sequence[Hashable]) -> list[Hashable]:
+        """``keys`` sorted ascending by unit hash, ties in input order.
+
+        The scalar path's ``sorted(keys, key=hasher.unit)`` and the
+        vectorized stable argsort implement the same ordering, so both
+        paths select identical keys even through hash-value ties.
+        """
+        keys = list(keys)
+        if self.vectorized and len(keys) > 1:
+            order = np.argsort(self.hasher.unit_many(keys), kind="stable")
+            return [keys[int(position)] for position in order]
+        return sorted(keys, key=self.hasher.unit)
+
     def _candidate_key_values(
         self,
         keys: list[Hashable],
@@ -423,6 +484,8 @@ def _drop_missing_keys(
     keys: Sequence[Hashable], values: Sequence[Any]
 ) -> tuple[list[Hashable], list[Any]]:
     """Remove rows whose join key is missing (NULL keys never join)."""
+    if None not in keys:
+        return list(keys), list(values)
     kept_keys: list[Hashable] = []
     kept_values: list[Any] = []
     for key, value in zip(keys, values):
@@ -450,7 +513,9 @@ def available_methods() -> tuple[str, ...]:
     return tuple(sorted(_REGISTRY))
 
 
-def get_builder(method: str, capacity: int = 256, seed: int = 0) -> SketchBuilder:
+def get_builder(
+    method: str, capacity: int = 256, seed: int = 0, vectorized: bool = True
+) -> SketchBuilder:
     """Instantiate a registered sketch builder by name (case-insensitive)."""
     # Import concrete builders lazily to avoid import cycles when this module
     # is imported directly.
@@ -462,7 +527,7 @@ def get_builder(method: str, capacity: int = 256, seed: int = 0) -> SketchBuilde
         raise SketchError(
             f"unknown sketching method {method!r}; available: {', '.join(available_methods())}"
         ) from None
-    return cls(capacity=capacity, seed=seed)
+    return cls(capacity=capacity, seed=seed, vectorized=vectorized)
 
 
 def build_sketch(

@@ -43,8 +43,7 @@ class CorrelationSketchBuilder(SketchBuilder):
     def _select_from_mapping(
         self, mapping: dict[Hashable, Any]
     ) -> tuple[list[Hashable], list[Any]]:
-        ranked = sorted(mapping, key=self.hasher.unit)
-        selected = ranked[: self.capacity]
+        selected = self._rank_keys_by_unit(mapping)[: self.capacity]
         return selected, [mapping[key] for key in selected]
 
     def _select_base(

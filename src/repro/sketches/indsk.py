@@ -30,8 +30,8 @@ class IndependentSketchBuilder(SketchBuilder):
     # Candidate keys are a seeded uniform sample of the key set: key-only.
     candidate_selection_key_only = True
 
-    def __init__(self, capacity: int = 256, seed: int = 0):
-        super().__init__(capacity=capacity, seed=seed)
+    def __init__(self, capacity: int = 256, seed: int = 0, vectorized: bool = True):
+        super().__init__(capacity=capacity, seed=seed, vectorized=vectorized)
         # Distinct sub-streams for the two sides so the samples are
         # independent even when both tables share key values.
         self._base_rng = np.random.default_rng((self.seed, 0x1D5B))

@@ -13,6 +13,8 @@ from __future__ import annotations
 
 from typing import Hashable, Iterable
 
+import numpy as np
+
 from repro.exceptions import SketchError
 from repro.hashing.unit import KeyHasher
 
@@ -69,10 +71,41 @@ class KMVSketch:
 
     @classmethod
     def from_values(
-        cls, values: Iterable[Hashable], capacity: int = 256, seed: int = 0
+        cls,
+        values: Iterable[Hashable],
+        capacity: int = 256,
+        seed: int = 0,
+        *,
+        vectorized: bool = True,
     ) -> "KMVSketch":
-        """Build a sketch directly from an iterable of values."""
-        return cls(capacity=capacity, seed=seed).update(values)
+        """Build a sketch directly from an iterable of values.
+
+        With ``vectorized=True`` (the default) the whole column is hashed in
+        one batched array pass and the ``capacity`` smallest distinct unit
+        hashes are selected by sorting, instead of feeding a bounded dict one
+        value at a time.  The result is identical to the streaming path:
+        the retained unit hashes are the ``capacity`` smallest distinct ones,
+        and each maps to the first value in stream order that produced it.
+        """
+        sketch = cls(capacity=capacity, seed=seed)
+        if not vectorized:
+            return sketch.update(values)
+        retained = [value for value in values if value is not None]
+        if not retained:
+            return sketch
+        units = sketch._hasher.unit_many(retained)
+        # np.unique returns sorted distinct units with first-occurrence
+        # indices — exactly the streaming path's dedup semantics.
+        distinct, first_index = np.unique(units, return_index=True)
+        sketch._entries = {
+            float(unit): retained[int(position)]
+            for unit, position in zip(
+                distinct[:capacity], first_index[:capacity]
+            )
+        }
+        if len(sketch._entries) == capacity:
+            sketch._threshold = max(sketch._entries)
+        return sketch
 
     # ------------------------------------------------------------------ #
     # Introspection

@@ -43,9 +43,13 @@ class TwoLevelSketchBuilder(SketchBuilder):
 
         LV2SK uses plain minwise (uniform) coordinated sampling over the
         distinct keys; PRISK overrides this hook with weighted sampling.
+        The selection's order never reaches the sketch (rows are re-sorted
+        by position), so when every key fits no ranking hashes are spent —
+        mirroring PRISK's short-circuit.
         """
-        ranked = sorted(key_frequencies, key=self.hasher.unit)
-        return ranked[: self.capacity]
+        if len(key_frequencies) <= self.capacity:
+            return list(key_frequencies)
+        return self._rank_keys_by_unit(key_frequencies)[: self.capacity]
 
     def _select_base(
         self, keys: list[Hashable], values: list[Any]
@@ -56,6 +60,9 @@ class TwoLevelSketchBuilder(SketchBuilder):
             rows_per_key[key].append(row_index)
         frequencies = {key: len(rows) for key, rows in rows_per_key.items()}
         selected_keys = self._first_level_keys(frequencies)
+        # The per-key RNG streams are seeded from the key hashes; batch them
+        # so the vectorized path never falls back to one hash per key.
+        selected_key_ids = dict(zip(selected_keys, self._key_ids(selected_keys)))
 
         selected_rows: list[int] = []
         for key in selected_keys:
@@ -66,7 +73,7 @@ class TwoLevelSketchBuilder(SketchBuilder):
             else:
                 # Deterministic per-key subsampling: derive the stream from the
                 # sketch seed and the key so rebuilding the sketch is stable.
-                rng = np.random.default_rng((self.seed, self.hasher.key_id(key)))
+                rng = np.random.default_rng((self.seed, selected_key_ids[key]))
                 kept = uniform_sample_without_replacement(rows, quota, rng)
             selected_rows.extend(kept)
         selected_rows.sort()
@@ -75,6 +82,5 @@ class TwoLevelSketchBuilder(SketchBuilder):
     def _select_candidate(
         self, aggregated: dict[Hashable, Any]
     ) -> tuple[list[Hashable], list[Any]]:
-        ranked = sorted(aggregated, key=self.hasher.unit)
-        selected = ranked[: self.capacity]
+        selected = self._rank_keys_by_unit(aggregated)[: self.capacity]
         return selected, [aggregated[key] for key in selected]

@@ -35,7 +35,7 @@ class PrioritySketchBuilder(TwoLevelSketchBuilder):
         keys = list(key_frequencies)
         if len(keys) <= self.capacity:
             return keys
-        units = np.array([self.hasher.unit(key) for key in keys], dtype=np.float64)
+        units = self._units(keys)
         units = np.where(units == 0.0, np.finfo(np.float64).tiny, units)
         weights = np.array([key_frequencies[key] for key in keys], dtype=np.float64)
         priorities = weights / units

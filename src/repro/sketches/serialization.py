@@ -5,6 +5,22 @@ Sketches are built offline and shipped to wherever discovery queries run
 stage"), so they need a stable on-disk representation.  The format is a plain
 JSON object with a version tag; values keep their Python types (strings,
 ints, floats, ``null``), which covers every value type a sketch can store.
+
+Seed/encoding compatibility
+---------------------------
+Two sketches can only be joined when they agree on *both* the hash seed and
+the canonical value-encoding scheme (:data:`HASH_ENCODING_VERSION`).  The
+seed is stored per sketch and checked at join time; the encoding version is
+a library-wide constant stamped into every serialized sketch, and loading a
+sketch persisted under a different encoding is refused — its stored
+``h(key)`` identifiers would silently disagree with freshly built sketches
+even at equal seeds.  Encoding history:
+
+* **1** — tuple parts joined with a ``b"|"`` separator (ambiguous:
+  ``("a|b",)`` and ``("a", "b")`` collided).
+* **2** — length-prefixed tuple parts (current).  Sketches and index
+  directories persisted under version 1 must be rebuilt from their source
+  tables.
 """
 
 from __future__ import annotations
@@ -22,6 +38,10 @@ __all__ = ["sketch_to_dict", "sketch_from_dict", "save_sketch", "load_sketch"]
 #: Format version written into every serialized sketch.
 FORMAT_VERSION = 1
 
+#: Version of the canonical value-encoding scheme feeding the hash (see
+#: :func:`repro.hashing.unit.canonical_bytes` and the module docstring).
+HASH_ENCODING_VERSION = 2
+
 PathLike = Union[str, os.PathLike]
 
 
@@ -29,6 +49,7 @@ def sketch_to_dict(sketch: Sketch) -> dict[str, Any]:
     """Convert a sketch into a JSON-serializable dictionary."""
     return {
         "format_version": FORMAT_VERSION,
+        "hash_encoding": HASH_ENCODING_VERSION,
         "method": sketch.method,
         "side": str(sketch.side),
         "seed": sketch.seed,
@@ -53,6 +74,14 @@ def sketch_from_dict(document: dict[str, Any]) -> Sketch:
         if version != FORMAT_VERSION:
             raise SketchError(
                 f"unsupported sketch format version {version!r} (expected {FORMAT_VERSION})"
+            )
+        encoding = document.get("hash_encoding", 1)
+        if encoding != HASH_ENCODING_VERSION:
+            raise SketchError(
+                f"sketch was persisted under hash-encoding version {encoding!r} "
+                f"(current: {HASH_ENCODING_VERSION}); its hashed keys are not "
+                f"comparable with freshly built sketches — rebuild it from the "
+                f"source table"
             )
         return Sketch(
             method=document["method"],

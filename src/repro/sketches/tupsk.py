@@ -12,6 +12,11 @@ On the candidate side repeated keys are aggregated (as in every method) and
 the resulting unique keys are ranked by ``h_u(h((k, 1)))``; hashing on
 ``(k, 1)`` is what provides coordination with the base-side rows having
 ``j = 1``.
+
+Base-side selection keeps the ``capacity`` rows with the smallest
+``(tuple hash, row index)`` — the row index only matters on exact 32-bit
+hash collisions and makes the bounded-heap scalar path and the batched
+stable-argsort path select identical rows.
 """
 
 from __future__ import annotations
@@ -19,9 +24,22 @@ from __future__ import annotations
 import heapq
 from typing import Any, Hashable
 
+import numpy as np
+
 from repro.sketches.base import SketchBuilder, register_builder
 
 __all__ = ["TupleSketchBuilder"]
+
+
+def _occurrence_counts(keys: list[Hashable]) -> list[int]:
+    """``result[i]`` is 1 + the number of earlier rows sharing ``keys[i]``."""
+    seen: dict[Hashable, int] = {}
+    counts = []
+    for key in keys:
+        count = seen.get(key, 0) + 1
+        seen[key] = count
+        counts.append(count)
+    return counts
 
 
 @register_builder
@@ -35,23 +53,44 @@ class TupleSketchBuilder(SketchBuilder):
     def _select_base(
         self, keys: list[Hashable], values: list[Any]
     ) -> tuple[list[Hashable], list[Any]]:
+        if self.vectorized:
+            if len(keys) <= self.capacity:
+                # Every row fits: nothing to rank, skip the hash pass.
+                return list(keys), list(values)
+            units = self.hasher.tuple_unit_many(keys, _occurrence_counts(keys))
+            # Stable argsort orders by (unit, row index); truncating it
+            # keeps the capacity smallest derived-tuple hashes.
+            chosen = np.sort(np.argsort(units, kind="stable")[: self.capacity])
+            return (
+                [keys[int(i)] for i in chosen],
+                [values[int(i)] for i in chosen],
+            )
         occurrence: dict[Hashable, int] = {}
-        # Max-heap (negated priority) of the `capacity` smallest tuple hashes.
+        # Max-heap (negated priority) of the `capacity` smallest tuple
+        # hashes; negating the row index too makes equal hashes keep the
+        # earliest rows, matching the vectorized stable sort.
         heap: list[tuple[float, int]] = []
         for row_index, key in enumerate(keys):
             count = occurrence.get(key, 0) + 1
             occurrence[key] = count
             unit = self.hasher.tuple_unit(key, count)
             if len(heap) < self.capacity:
-                heapq.heappush(heap, (-unit, row_index))
+                heapq.heappush(heap, (-unit, -row_index))
             elif unit < -heap[0][0]:
-                heapq.heapreplace(heap, (-unit, row_index))
-        selected = sorted(row_index for _, row_index in heap)
+                heapq.heapreplace(heap, (-unit, -row_index))
+        selected = sorted(-negated_row for _, negated_row in heap)
         return [keys[i] for i in selected], [values[i] for i in selected]
+
+    def _rank_keys_by_tuple_unit(self, keys: list[Hashable]) -> list[Hashable]:
+        if self.vectorized and len(keys) > 1:
+            units = self.hasher.tuple_unit_many(keys, [1] * len(keys))
+            order = np.argsort(units, kind="stable")
+            return [keys[int(position)] for position in order]
+        return sorted(keys, key=lambda key: self.hasher.tuple_unit(key, 1))
 
     def _select_candidate(
         self, aggregated: dict[Hashable, Any]
     ) -> tuple[list[Hashable], list[Any]]:
-        ranked = sorted(aggregated, key=lambda key: self.hasher.tuple_unit(key, 1))
+        ranked = self._rank_keys_by_tuple_unit(list(aggregated))
         selected = ranked[: self.capacity]
         return selected, [aggregated[key] for key in selected]

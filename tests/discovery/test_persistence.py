@@ -9,6 +9,7 @@ from repro.discovery.persistence import load_index, save_index
 from repro.engine import EngineConfig
 from repro.exceptions import DiscoveryError
 from repro.relational.table import Table
+from repro.sketches.serialization import HASH_ENCODING_VERSION
 
 
 @pytest.fixture()
@@ -194,6 +195,10 @@ class TestLegacyFormatMigration:
             )
         document = {
             "format_version": 1,
+            # Layout v1 with current-encoding sketches: exercises the legacy
+            # *layout* reader (truly old directories also carry stale hashes
+            # and are refused before the layout is even looked at).
+            "hash_encoding": HASH_ENCODING_VERSION,
             "method": index.method,
             "capacity": index.capacity,
             "seed": index.seed,
@@ -211,6 +216,31 @@ class TestLegacyFormatMigration:
         loaded = restored.get(original.candidate_id)
         assert loaded.sketch == original.sketch
         assert loaded.key_kmv.hashes == original.key_kmv.hashes
+
+    def test_unstamped_directory_refused_with_rebuild_instructions(
+        self, tmp_path, populated_index
+    ):
+        """Directories from before the length-prefixed tuple encoding carry
+        stale hashes and must be rebuilt, not silently served."""
+        _, index = populated_index
+        save_index(index, tmp_path / "index")
+        path = tmp_path / "index" / "index.json"
+        document = json.loads(path.read_text(encoding="utf-8"))
+        del document["hash_encoding"]
+        path.write_text(json.dumps(document), encoding="utf-8")
+        with pytest.raises(DiscoveryError, match="hash-encoding.*rebuild"):
+            load_index(tmp_path / "index")
+
+    def test_future_encoding_refused(self, tmp_path, populated_index):
+        _, index = populated_index
+        save_index(index, tmp_path / "index")
+        path = tmp_path / "index" / "index.json"
+        document = json.loads(path.read_text(encoding="utf-8"))
+        assert document["hash_encoding"] == HASH_ENCODING_VERSION
+        document["hash_encoding"] = HASH_ENCODING_VERSION + 1
+        path.write_text(json.dumps(document), encoding="utf-8")
+        with pytest.raises(DiscoveryError, match="hash-encoding"):
+            load_index(tmp_path / "index")
 
     def test_resaving_a_v1_index_migrates_to_v2(self, tmp_path, populated_index):
         _, index = populated_index

@@ -19,6 +19,13 @@ class TestCanonicalBytes:
         assert canonical_bytes(("a", 1)) != canonical_bytes(("a", 2))
         assert canonical_bytes(("a", 1)) == canonical_bytes(["a", 1])
 
+    def test_tuple_part_boundaries_are_unambiguous(self):
+        """Length-prefixed parts: content cannot fake a part separator."""
+        assert canonical_bytes(("a|b",)) != canonical_bytes(("a", "b"))
+        assert canonical_bytes(("ab", "c")) != canonical_bytes(("a", "bc"))
+        assert canonical_bytes(("a", ("b",))) != canonical_bytes(("a", "b"))
+        assert canonical_bytes(()) != canonical_bytes(("",))
+
     def test_deterministic(self):
         assert canonical_bytes("key") == canonical_bytes("key")
 

@@ -1,0 +1,199 @@
+"""Property-based equivalence of the vectorized hashing/sketch fast paths.
+
+The whole point of the batched NumPy paths is that they are **bit-identical**
+to the scalar reference implementations — the engine excludes the
+``vectorized`` flag from cache keys and persisted formats on that basis.
+This suite drives both paths over adversarial columns (negative ints,
+bigints beyond int64, ``3.0 == 3`` float canonicalization, NaN/inf, unicode
+strings, ``None``-bearing and mixed-type columns) and asserts element-level
+equality, plus end-to-end: identical sketches per method and byte-identical
+persisted indexes.
+"""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.discovery.builder import IndexBuilder
+from repro.discovery.persistence import save_index
+from repro.engine import EngineConfig
+from repro.hashing.fibonacci import fibonacci_hash_unit, fibonacci_hash_unit_many
+from repro.hashing.murmur3 import murmur3_32, murmur3_32_many
+from repro.hashing.unit import KeyHasher, canonical_bytes, canonical_bytes_many
+from repro.relational.table import Table
+from repro.sketches.base import get_builder
+from repro.sketches.kmv import KMVSketch
+from repro.store import load_npz
+
+# Columns mixing every value shape the relational layer can produce, plus
+# shapes it cannot (bigints, exotic floats) that the hashing layer still
+# accepts.
+column_values = st.lists(
+    st.one_of(
+        st.integers(min_value=-(2**80), max_value=2**80),
+        st.floats(allow_nan=True, allow_infinity=True),
+        st.text(max_size=24),
+        st.booleans(),
+        st.none(),
+        st.just(3.0),
+        st.just(3),
+    ),
+    min_size=0,
+    max_size=60,
+)
+
+# Homogeneous columns exercise the batched encoding fast paths.
+homogeneous_columns = st.one_of(
+    st.lists(st.integers(min_value=-(2**70), max_value=2**70), max_size=60),
+    st.lists(st.floats(allow_nan=True, allow_infinity=True), max_size=60),
+    st.lists(st.text(max_size=24), max_size=60),
+)
+
+
+class TestHashingEquivalence:
+    @given(st.lists(st.binary(max_size=40), max_size=60), st.integers(0, 2**32 - 1))
+    def test_murmur3_32_many_matches_scalar(self, blobs, seed):
+        batched = murmur3_32_many(blobs, seed=seed)
+        assert batched.dtype == np.uint32
+        for position, blob in enumerate(blobs):
+            assert int(batched[position]) == murmur3_32(blob, seed=seed)
+
+    @given(st.lists(st.integers(min_value=-(2**70), max_value=2**70), max_size=60))
+    def test_fibonacci_many_matches_scalar(self, values):
+        """Includes negatives and > 64-bit ints: both mask modulo 2**64."""
+        batched = fibonacci_hash_unit_many(values)
+        for position, value in enumerate(values):
+            assert float(batched[position]) == fibonacci_hash_unit(value)
+
+    @given(st.one_of(column_values, homogeneous_columns))
+    def test_canonical_bytes_many_matches_scalar(self, values):
+        assert canonical_bytes_many(values) == [
+            canonical_bytes(value) for value in values
+        ]
+
+    @given(st.one_of(column_values, homogeneous_columns), st.integers(0, 1000))
+    def test_key_id_and_unit_many_match_scalar(self, values, seed):
+        hasher = KeyHasher(seed=seed)
+        key_ids = hasher.key_id_many(values)
+        units = hasher.unit_many(values)
+        for position, value in enumerate(values):
+            assert int(key_ids[position]) == hasher.key_id(value)
+            assert float(units[position]) == hasher.unit(value)
+
+    @given(
+        st.lists(st.one_of(st.integers(-100, 100), st.text(max_size=8)), max_size=40),
+        st.integers(0, 1000),
+    )
+    def test_tuple_unit_many_matches_scalar(self, values, seed):
+        hasher = KeyHasher(seed=seed)
+        occurrences = [(position % 5) + 1 for position in range(len(values))]
+        batched = hasher.tuple_unit_many(values, occurrences)
+        for position, (value, occurrence) in enumerate(zip(values, occurrences)):
+            assert float(batched[position]) == hasher.tuple_unit(value, occurrence)
+
+
+class TestKMVEquivalence:
+    @given(column_values, st.integers(1, 16), st.integers(0, 100))
+    def test_from_values_matches_streaming(self, values, capacity, seed):
+        fast = KMVSketch.from_values(
+            values, capacity=capacity, seed=seed, vectorized=True
+        )
+        slow = KMVSketch.from_values(
+            values, capacity=capacity, seed=seed, vectorized=False
+        )
+        assert fast._entries == slow._entries
+        assert fast._threshold == slow._threshold
+        assert fast.hashes == slow.hashes
+        if len(fast):
+            assert fast.distinct_count_estimate() == slow.distinct_count_estimate()
+
+
+# Table columns coerce values to one dtype, so draw realistic column shapes.
+key_columns = st.one_of(
+    st.lists(
+        st.one_of(st.integers(-(2**40), 2**40), st.none()), min_size=2, max_size=50
+    ),
+    st.lists(st.one_of(st.text(max_size=12), st.none()), min_size=2, max_size=50),
+    st.lists(
+        st.one_of(st.floats(allow_nan=False, allow_infinity=False), st.none()),
+        min_size=2,
+        max_size=50,
+    ),
+)
+
+
+class TestSketchEquivalence:
+    @settings(max_examples=25, deadline=None)
+    @given(key_columns, st.integers(1, 12), st.integers(0, 50))
+    @pytest.mark.parametrize("method", ["TUPSK", "LV2SK", "PRISK", "CSK", "INDSK"])
+    def test_both_paths_build_identical_sketches(self, method, keys, capacity, seed):
+        values = [float(position) for position in range(len(keys))]
+        table = Table.from_dict({"key": keys, "value": values}, name="t")
+        if all(key is None for key in table.column("key").values):
+            return  # nothing sketchable; both paths raise identically
+        fast = get_builder(method, capacity=capacity, seed=seed, vectorized=True)
+        slow = get_builder(method, capacity=capacity, seed=seed, vectorized=False)
+        assert fast.sketch_base(table, "key", "value") == slow.sketch_base(
+            table, "key", "value"
+        )
+        # Fresh builders: INDSK's RNG streams advance per sketch call.
+        fast = get_builder(method, capacity=capacity, seed=seed, vectorized=True)
+        slow = get_builder(method, capacity=capacity, seed=seed, vectorized=False)
+        assert fast.sketch_candidate(table, "key", "value") == slow.sketch_candidate(
+            table, "key", "value"
+        )
+
+
+def _build_lake_index(tmp_path, vectorized: bool, directory: str):
+    rng = np.random.default_rng(29)
+    keys = [f"k{i:04d}" for i in range(80)]
+    builder = IndexBuilder(
+        EngineConfig(capacity=32, vectorized=vectorized), num_shards=4
+    )
+    for position in range(4):
+        table = Table.from_dict(
+            {
+                "key": [keys[i] for i in rng.integers(0, 80, size=150)],
+                "metric": rng.normal(size=150).tolist(),
+                "label": [
+                    "ab"[int(i) % 2] for i in rng.integers(0, 80, size=150)
+                ],
+            },
+            name=f"lake{position}",
+        )
+        builder.add_table(table, ["key"])
+    index = builder.build()
+    target = tmp_path / directory
+    save_index(index, target)
+    return target
+
+
+class TestPersistedIndexEquivalence:
+    def test_vectorized_flag_produces_byte_identical_indexes(self, tmp_path):
+        """``vectorized`` never leaks into persisted artifacts.
+
+        The index documents may differ only in the flag itself; every hashed
+        key, sketch value and KMV pool in the columnar store must match byte
+        for byte.  (The ``.npz`` container embeds zip timestamps, so the
+        comparison is per stored array, not on the archive file.)
+        """
+        fast_dir = _build_lake_index(tmp_path, True, "fast")
+        slow_dir = _build_lake_index(tmp_path, False, "slow")
+
+        fast_document = json.loads((fast_dir / "index.json").read_text())
+        slow_document = json.loads((slow_dir / "index.json").read_text())
+        assert fast_document["engine_config"].pop("vectorized") is True
+        assert slow_document["engine_config"].pop("vectorized") is False
+        assert fast_document == slow_document
+
+        fast_store = load_npz(fast_dir / "sketches.npz")
+        slow_store = load_npz(slow_dir / "sketches.npz")
+        assert fast_store._manifest == slow_store._manifest
+        assert set(fast_store._arrays) == set(slow_store._arrays)
+        for name in fast_store._arrays:
+            left, right = fast_store.array(name), slow_store.array(name)
+            assert left.dtype == right.dtype, name
+            assert left.tobytes() == right.tobytes(), name

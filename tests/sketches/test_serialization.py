@@ -53,6 +53,15 @@ class TestDictRoundtrip:
         with pytest.raises(SketchError):
             sketch_from_dict({"format_version": 1, "method": "TUPSK"})
 
+    def test_stale_hash_encoding_rejected(self, sample_sketches):
+        """Sketches persisted before the length-prefixed tuple encoding
+        (documents without a hash_encoding stamp) must be rebuilt."""
+        base_sketch, _ = sample_sketches
+        document = sketch_to_dict(base_sketch)
+        del document["hash_encoding"]
+        with pytest.raises(SketchError, match="hash-encoding.*rebuild"):
+            sketch_from_dict(document)
+
 
 class TestFileRoundtrip:
     def test_save_and_load(self, tmp_path, sample_sketches):

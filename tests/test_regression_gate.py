@@ -39,6 +39,11 @@ def write_report(directory: Path, name: str, *, speedup: float, throughput: floa
             "coalescing": {"collapsed_fraction": 1.0},
             "throughput": {"qps": throughput},
         }
+    elif name == "hashing.json":
+        document = {
+            "speedup": speedup,
+            "vectorized": {"columns_per_second": throughput},
+        }
     else:
         document = {
             "speedup": speedup,

@@ -1,0 +1,96 @@
+"""Unit tests for the stdlib docs link checker (tools/check_links.py)."""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+CHECKER_PATH = Path(__file__).parent.parent.parent / "tools" / "check_links.py"
+
+spec = importlib.util.spec_from_file_location("check_links", CHECKER_PATH)
+check_links = importlib.util.module_from_spec(spec)
+sys.modules["check_links"] = check_links
+spec.loader.exec_module(check_links)
+
+
+class TestLinkExtraction:
+    def test_finds_inline_links_and_images(self):
+        text = "See [docs](docs/architecture.md) and ![chart](img/chart.png)."
+        assert list(check_links.iter_links(text)) == [
+            "docs/architecture.md",
+            "img/chart.png",
+        ]
+
+    def test_handles_titles_and_angle_brackets(self):
+        text = '[a](file.md "a title") and [b](<other file.md>)'
+        targets = list(check_links.iter_links(text))
+        assert targets[0] == "file.md"
+        assert targets[1] == "other file.md"  # angle brackets keep spaces
+
+    def test_angle_bracket_target_with_spaces_resolves(self, tmp_path):
+        page = tmp_path / "page.md"
+        (tmp_path / "my file.md").write_text("x", encoding="utf-8")
+        page.write_text("[doc](<my file.md>) [gone](<no such.md>)", encoding="utf-8")
+        assert check_links.broken_links(page) == ["no such.md"]
+
+    def test_ignores_plain_text_brackets(self):
+        assert list(check_links.iter_links("no [link] here, just (parens)")) == []
+
+
+class TestTargetClassification:
+    def test_external_and_anchor_targets_skipped(self):
+        assert check_links.classify_target("https://example.com/x.md") is None
+        assert check_links.classify_target("http://example.com") is None
+        assert check_links.classify_target("mailto:dev@example.com") is None
+        assert check_links.classify_target("#section-anchor") is None
+
+    def test_fragment_stripped_from_relative_targets(self):
+        assert check_links.classify_target("docs/guide.md#setup") == "docs/guide.md"
+        assert check_links.classify_target("../README.md") == "../README.md"
+
+
+class TestBrokenLinkDetection:
+    def test_resolves_relative_to_the_linking_file(self, tmp_path):
+        docs = tmp_path / "docs"
+        docs.mkdir()
+        (docs / "guide.md").write_text("[up](../README.md)", encoding="utf-8")
+        (tmp_path / "README.md").write_text("x", encoding="utf-8")
+        assert check_links.broken_links(docs / "guide.md") == []
+
+    def test_reports_missing_targets(self, tmp_path):
+        page = tmp_path / "page.md"
+        page.write_text(
+            "[ok](#anchor) [gone](missing.md) [web](https://example.com)",
+            encoding="utf-8",
+        )
+        assert check_links.broken_links(page) == ["missing.md"]
+
+    def test_fragment_suffix_does_not_hide_a_broken_target(self, tmp_path):
+        page = tmp_path / "page.md"
+        page.write_text("[gone](missing.md#section)", encoding="utf-8")
+        assert check_links.broken_links(page) == ["missing.md#section"]
+
+
+class TestMainEntryPoint:
+    def test_passes_on_healthy_file_set(self, tmp_path, capsys):
+        (tmp_path / "README.md").write_text(
+            "[docs](docs/a.md)", encoding="utf-8"
+        )
+        (tmp_path / "docs").mkdir()
+        (tmp_path / "docs" / "a.md").write_text("[back](../README.md)", encoding="utf-8")
+        assert check_links.main(["--root", str(tmp_path)]) == 0
+        assert "all intra-repo links resolve" in capsys.readouterr().out
+
+    def test_fails_on_broken_link(self, tmp_path, capsys):
+        (tmp_path / "README.md").write_text("[gone](nope.md)", encoding="utf-8")
+        assert check_links.main(["--root", str(tmp_path)]) == 1
+        assert "nope.md" in capsys.readouterr().err
+
+    def test_fails_on_missing_named_file(self, tmp_path, capsys):
+        assert check_links.main([str(tmp_path / "absent.md")]) == 1
+        assert "absent.md" in capsys.readouterr().err
+
+    def test_checks_repo_docs(self):
+        """The real repository's README/docs links must resolve."""
+        assert check_links.main([]) == 0

@@ -1,0 +1,123 @@
+#!/usr/bin/env python
+"""CI docs check: verify intra-repo links in the project's markdown files.
+
+Scans ``README.md`` and ``docs/*.md`` for markdown links and images
+(``[text](target)`` / ``![alt](target)``) and fails when a *relative*
+target does not exist on disk (resolved against the linking file's
+directory; ``#fragment`` suffixes are stripped).  External targets
+(``http://``, ``https://``, ``mailto:``) and pure in-page anchors
+(``#section``) are ignored — this gate is about links the repository
+itself can break.
+
+Stdlib-only so CI can run it before any project dependency is installed.
+
+Usage::
+
+    python tools/check_links.py             # check the default file set
+    python tools/check_links.py FILE [...]  # check specific markdown files
+
+Exit codes: 0 all links resolve, 1 broken links (listed on stderr) or a
+named file is missing, 2 bad invocation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+from typing import Iterable, Optional
+
+#: Inline markdown links/images: [text](target) and ![alt](target).
+#: Angle-bracket targets (`<path with spaces.md>`) keep their spaces; bare
+#: targets stop at whitespace or the closing parenthesis, which also splits
+#: off optional link titles (`[t](file.md "title")`).
+_LINK_PATTERN = re.compile(r"!?\[[^\]]*\]\(\s*(?:<([^>]+)>|([^)\s]+))[^)]*\)")
+
+#: Targets outside this repository's control.
+_EXTERNAL_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def iter_links(text: str) -> Iterable[str]:
+    """Yield every link target appearing in a markdown document."""
+    for match in _LINK_PATTERN.finditer(text):
+        yield match.group(1) if match.group(1) is not None else match.group(2)
+
+
+def classify_target(target: str) -> Optional[str]:
+    """Return the relative path a target must resolve to, or None to skip.
+
+    External URLs and pure in-page anchors are skipped; for everything else
+    the ``#fragment`` suffix is stripped and the remaining path returned.
+    """
+    if target.lower().startswith(_EXTERNAL_SCHEMES):
+        return None
+    path = target.split("#", 1)[0]
+    if not path:  # pure anchor: "#section"
+        return None
+    return path
+
+
+def broken_links(markdown_file: Path) -> list[str]:
+    """Relative link targets in ``markdown_file`` that do not exist on disk."""
+    text = markdown_file.read_text(encoding="utf-8")
+    failures = []
+    for target in iter_links(text):
+        path = classify_target(target)
+        if path is None:
+            continue
+        resolved = (markdown_file.parent / path).resolve()
+        if not resolved.exists():
+            failures.append(target)
+    return failures
+
+
+def default_file_set(root: Path) -> list[Path]:
+    """README.md plus every markdown file under docs/."""
+    files = []
+    readme = root / "README.md"
+    if readme.exists():
+        files.append(readme)
+    files.extend(sorted((root / "docs").glob("*.md")))
+    return files
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "files",
+        nargs="*",
+        type=Path,
+        help="markdown files to check (default: README.md and docs/*.md)",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent,
+        help="repository root used to build the default file set",
+    )
+    args = parser.parse_args(argv)
+
+    files = args.files or default_file_set(args.root)
+    if not files:
+        print("no markdown files to check", file=sys.stderr)
+        return 1
+
+    exit_code = 0
+    checked = 0
+    for markdown_file in files:
+        if not markdown_file.exists():
+            print(f"FAIL: no such file: {markdown_file}", file=sys.stderr)
+            exit_code = 1
+            continue
+        checked += 1
+        for target in broken_links(markdown_file):
+            print(f"FAIL: {markdown_file}: broken link -> {target}", file=sys.stderr)
+            exit_code = 1
+    if exit_code == 0:
+        print(f"docs link check: {checked} file(s), all intra-repo links resolve")
+    return exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())
