@@ -95,6 +95,14 @@ GATED_REPORTS: dict[str, tuple[MetricSpec, ...]] = {
         MetricSpec("coalescing.collapsed_fraction", "higher"),
         MetricSpec("throughput.qps", "higher", THROUGHPUT_TOLERANCE),
     ),
+    "ingest.json": (
+        # Primary gates are same-process ratios: chunked-ingest throughput
+        # relative to the batch build, and peak chunked-ingest memory
+        # relative to materialize-then-build (lower is better).
+        MetricSpec("throughput_ratio", "higher"),
+        MetricSpec("memory.peak_fraction", "lower"),
+        MetricSpec("ingest.columns_per_second", "higher", THROUGHPUT_TOLERANCE),
+    ),
 }
 
 

@@ -27,9 +27,11 @@ pipeline plus the reproduction harness:
     :class:`~repro.discovery.builder.IndexBuilder` (``--workers N`` worker
     processes over ``--shards K`` shards) and writes the index with its
     columnar sketch store; ``index add`` sketches additional tables into an
-    existing index directory; ``index info`` summarizes one; ``index
-    query`` evaluates one augmentation query against one and prints the
-    ranked results as JSON.
+    existing index directory; ``index ingest`` streams CSV tables into a
+    new or existing index in bounded-memory chunks (``--chunk-size N``),
+    producing byte-identical indexes to ``build``/``add``; ``index info``
+    summarizes one; ``index query`` evaluates one augmentation query
+    against one and prints the ranked results as JSON.
 
 ``repro serve``
     Run the :mod:`repro.serving` HTTP query service over an index directory
@@ -46,6 +48,7 @@ Examples
     repro estimate --base-sketch taxi.sketch.json --candidate-sketch weather.sketch.json
     repro index build lake/*.csv --key date --output lake.index --workers 4 --shards 16
     repro index add late_arrival.csv --index lake.index --key date
+    repro index ingest huge_table.csv --index lake.index --key date --chunk-size 20000
     repro index info lake.index
     repro index query lake.index --csv taxi.csv --key date --target num_trips --top-k 5
     repro serve --index lake.index --workers 8 --port 8765
@@ -216,6 +219,30 @@ def build_parser() -> argparse.ArgumentParser:
     add_table_options(index_add)
     index_add.add_argument("--index", required=True, help="existing index directory")
 
+    index_ingest = index_commands.add_parser(
+        "ingest",
+        help="stream CSV tables into an index in bounded-memory chunks",
+    )
+    index_ingest.add_argument("csvs", nargs="+", help="candidate CSV tables")
+    index_ingest.add_argument("--key", required=True, help="join-key column name")
+    index_ingest.add_argument(
+        "--values",
+        help="comma-separated value columns (default: every non-key column)",
+    )
+    index_ingest.add_argument(
+        "--chunk-size", type=int, default=8192,
+        help="rows per chunk; peak per-table memory is one chunk plus the "
+        "sketch state and exact per-column distinct-value tracking "
+        "(default 8192; see docs/ingestion.md for the memory model)",
+    )
+    index_ingest.add_argument(
+        "--index", help="existing index directory to grow (alternative to --output)"
+    )
+    index_ingest.add_argument(
+        "-o", "--output", help="new index directory (alternative to --index)"
+    )
+    add_engine_options(index_ingest)
+
     index_info = index_commands.add_parser(
         "info", help="print a JSON summary of an index directory"
     )
@@ -357,16 +384,20 @@ def _command_config(args: argparse.Namespace) -> int:
     return 0
 
 
+def _value_columns_from_args(args: argparse.Namespace):
+    """Parse the shared ``--values`` comma-list (None when not restricted)."""
+    if not getattr(args, "values", None):
+        return None
+    return [name.strip() for name in args.values.split(",") if name.strip()]
+
+
 def _index_tables(args: argparse.Namespace):
     """Read the CSV tables of an ``index build`` / ``index add`` invocation.
 
     ``read_csv`` names each table after its file, which is also the unit of
     shard assignment in the builder.
     """
-    value_columns = None
-    if getattr(args, "values", None):
-        value_columns = [name.strip() for name in args.values.split(",") if name.strip()]
-    return [read_csv(csv_path) for csv_path in args.csvs], value_columns
+    return [read_csv(csv_path) for csv_path in args.csvs], _value_columns_from_args(args)
 
 
 def _register_tables(builder, tables, key_column: str, value_columns) -> None:
@@ -413,6 +444,53 @@ def _command_index_add(args: argparse.Namespace) -> int:
     print(
         f"added {len(index) - before} candidates from {len(tables)} tables "
         f"to {args.index} ({len(index)} total)"
+    )
+    return 0
+
+
+def _command_index_ingest(args: argparse.Namespace) -> int:
+    from repro.discovery.index import SketchIndex
+    from repro.discovery.persistence import load_index, save_index
+    from repro.ingest.reader import CSVReader
+
+    if bool(args.index) == bool(args.output):
+        raise ReproError(
+            "index ingest writes either into an existing index (--index DIR) "
+            "or a new one (--output DIR); pass exactly one of the two"
+        )
+    if args.index:
+        if any(
+            getattr(args, option, None) is not None
+            for option in ("engine_config", "method", "capacity", "seed")
+        ) or getattr(args, "scalar_hashing", False):
+            raise ReproError(
+                "engine options apply only when creating a new index with "
+                "--output; an existing index keeps its own configuration"
+            )
+        index = load_index(args.index)
+        target = args.index
+    else:
+        index = SketchIndex(_engine_from_args(args))
+        target = args.output
+    value_columns = _value_columns_from_args(args)
+    # Restricting --values projects at read time too: non-candidate columns
+    # are never parsed or coerced.
+    projection = None
+    if value_columns is not None:
+        projection = [args.key] + [
+            column for column in value_columns if column != args.key
+        ]
+    before = len(index)
+    for csv_path in args.csvs:
+        reader = CSVReader(
+            csv_path, chunk_size=args.chunk_size, columns=projection
+        )
+        for candidate in index.engine.ingest_table(reader, [args.key], value_columns):
+            index.add_prebuilt(candidate)
+    save_index(index, target)
+    print(
+        f"ingested {len(index) - before} candidates from {len(args.csvs)} tables "
+        f"(chunks of {args.chunk_size} rows) into {target} ({len(index)} total)"
     )
     return 0
 
@@ -498,6 +576,7 @@ def _command_index(args: argparse.Namespace) -> int:
     handlers = {
         "build": _command_index_build,
         "add": _command_index_add,
+        "ingest": _command_index_ingest,
         "info": _command_index_info,
         "query": _command_index_query,
     }

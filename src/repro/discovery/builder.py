@@ -185,6 +185,9 @@ class IndexBuilder:
             max_workers if max_workers is not None else config.build_workers
         )
         self._tables: dict[str, _TableEntry] = {}
+        # Streamed tables arrive pre-built (their source was consumed in one
+        # pass and cannot be re-sketched), keyed by name like _tables.
+        self._streamed: dict[str, list[tuple[int, IndexedCandidate]]] = {}
         self._dirty: set[int] = set()
         self._shard_cache: dict[int, list[tuple[int, IndexedCandidate]]] = {}
         self._sequence = 0
@@ -208,8 +211,8 @@ class IndexBuilder:
 
     @property
     def table_names(self) -> list[str]:
-        """Registered table names, in registration order."""
-        return list(self._tables)
+        """Registered table names (batch-registered first, then streamed)."""
+        return list(self._tables) + list(self._streamed)
 
     def __len__(self) -> int:
         """Number of registered candidate (key, value) column specs."""
@@ -217,7 +220,7 @@ class IndexBuilder:
             len(columns)
             for entry in self._tables.values()
             for columns in entry.families.values()
-        )
+        ) + sum(len(entries) for entries in self._streamed.values())
 
     def add_table(
         self,
@@ -277,12 +280,75 @@ class IndexBuilder:
             raise DiscoveryError(
                 f"table {name!r} has no candidate (key, value) column pairs"
             )
+        self._streamed.pop(name, None)
         self._tables[name] = entry
         self._dirty.add(self.shard_of(name))
         return name
 
+    def add_table_stream(
+        self,
+        source,
+        key_columns: Iterable[str],
+        value_columns: Optional[Iterable[str]] = None,
+        *,
+        name: Optional[str] = None,
+        agg: Optional[str] = None,
+        metadata: Optional[dict[str, object]] = None,
+    ) -> str:
+        """Register and sketch a table from a chunked source, in one pass.
+
+        ``source`` is a :class:`~repro.ingest.reader.TableReader`, a plain
+        :class:`Table` (chunked internally) or an iterable of ``Table``
+        chunks sharing one schema.  The source is consumed *now* — its
+        candidates are profiled, KMV-sketched and MI-sketched chunk by
+        chunk through :class:`~repro.ingest.ingestor.TableIngestor`, never
+        materializing the table — and merged by :meth:`build` in
+        registration order, so a streamed and a batch-registered copy of
+        the same table produce identical indexes.  Re-registering a name
+        (either way) replaces the previous table.  Returns the registered
+        name.
+        """
+        # Imported lazily: the ingest subsystem builds on the discovery layer.
+        from repro.exceptions import IngestError
+        from repro.ingest.ingestor import TableIngestor
+        from repro.ingest.reader import iter_chunks
+
+        source_name, chunks = iter_chunks(source)
+        if not name:
+            name = source_name
+        if not name:
+            name = f"table_{self._anonymous}"
+            self._anonymous += 1
+        try:
+            ingestor = TableIngestor(
+                self._engine,
+                key_columns,
+                value_columns,
+                name=name,
+                agg=agg,
+                metadata=metadata,
+            )
+            candidates = ingestor.extend(chunks).finalize()
+        except IngestError as exc:
+            # Surface registration problems (no key columns, no candidate
+            # pairs, schema drift) as the discovery layer's error type,
+            # matching what add_table raises for the same misuse.
+            raise DiscoveryError(str(exc)) from exc
+        entries = []
+        for candidate in candidates:
+            entries.append((self._sequence, candidate))
+            self._sequence += 1
+        if name in self._tables:
+            del self._tables[name]
+            self._dirty.add(self.shard_of(name))
+        self._streamed[name] = entries
+        return name
+
     def remove_table(self, name: str) -> None:
         """Unregister a table, invalidating its shard for the next build."""
+        if name in self._streamed:
+            del self._streamed[name]
+            return
         if name not in self._tables:
             raise DiscoveryError(f"unknown table {name!r}")
         del self._tables[name]
@@ -354,6 +420,8 @@ class IndexBuilder:
         merged: list[tuple[int, IndexedCandidate]] = []
         for shard in sorted(self._shard_cache):
             merged.extend(self._shard_cache[shard])
+        for entries in self._streamed.values():
+            merged.extend(entries)
         merged.sort(key=lambda pair: pair[0])
 
         index = into if into is not None else SketchIndex(self._engine)

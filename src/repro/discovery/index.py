@@ -325,8 +325,11 @@ class SketchIndex:
         # Imported lazily: the serving layer builds on the discovery layer.
         from repro.serving.planner import QueryPlanner
 
+        # Snapshot the candidate set up front so a query races with live
+        # registration (DiscoveryService.register_table) only at snapshot
+        # granularity, never mid-plan.
         return QueryPlanner(self._engine).run(
-            self._candidates.values(), query, max_workers=max_workers
+            self.candidates, query, max_workers=max_workers
         )
 
     def query_columns(

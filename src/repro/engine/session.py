@@ -293,6 +293,156 @@ class SketchEngine:
         return sketch
 
     # ------------------------------------------------------------------ #
+    # Streaming ingestion
+    # ------------------------------------------------------------------ #
+    def stream_sketcher(
+        self,
+        side: "SketchSide | str" = SketchSide.BASE,
+        *,
+        agg: "str | AggregateFunction | None" = None,
+    ):
+        """A streaming sketcher bound to this session's configuration.
+
+        Base-side sketchers consume ``(key, value)`` rows (or chunks) and
+        finalize to the exact sketch :meth:`sketch_base` would build;
+        candidate-side sketchers take the featurization function up front
+        (default: the config's numeric aggregate — pass ``agg`` explicitly
+        for categorical columns, or use :meth:`sketch_stream`, which
+        resolves the default from the column's dtype like
+        :meth:`sketch_candidate` does).
+        """
+        # Imported lazily: the ingest subsystem builds on this module.
+        from repro.ingest.sketchers import (
+            streaming_base_sketcher,
+            streaming_candidate_sketcher,
+        )
+
+        method, capacity, seed = self.config.sketch_key
+        if SketchSide.coerce(side) is SketchSide.BASE:
+            return streaming_base_sketcher(
+                method, capacity, seed, vectorized=self.config.vectorized
+            )
+        return streaming_candidate_sketcher(
+            method,
+            capacity,
+            seed,
+            agg=self.config.numeric_aggregate if agg is None else agg,
+            vectorized=self.config.vectorized,
+        )
+
+    def sketch_stream(
+        self,
+        source: Any,
+        key_column: str,
+        value_column: str,
+        *,
+        side: "SketchSide | str" = SketchSide.BASE,
+        agg: "str | AggregateFunction | None" = None,
+        table_name: Optional[str] = None,
+    ) -> Sketch:
+        """Build one sketch from a chunked source, in bounded memory.
+
+        ``source`` is a :class:`~repro.ingest.reader.TableReader`, a plain
+        :class:`Table` (chunked internally) or any iterable of ``Table``
+        chunks sharing one schema.  Each chunk is consumed through the
+        sketcher's chunk path, which batches the hashing work when the
+        config's ``vectorized`` flag is set; the finalized sketch is
+        bit-identical to batch-building over the concatenated chunks.
+        """
+        from repro.exceptions import IngestError
+        from repro.ingest.reader import iter_chunks
+        from repro.relational.dtypes import DType, join_dtypes
+
+        name, chunks = iter_chunks(source)
+        side = SketchSide.coerce(side)
+        sketcher = None
+        # Folded only to reject categorical-vs-numeric chunk drift (which
+        # would hash keys differently than a whole-table load); the
+        # sketcher's own tracker folds the declared dtypes for finalize.
+        seen_dtypes = {key_column: DType.MISSING, value_column: DType.MISSING}
+        for chunk in chunks:
+            column = chunk.column(value_column)
+            if sketcher is None:
+                # Chunks share one schema (the readers guarantee it), so
+                # the first chunk's dtype is the table's dtype — the same
+                # contract the chunked TableIngestor documents.
+                if side is SketchSide.CANDIDATE and agg is None:
+                    agg = self.config.default_aggregate_for(column.dtype)
+                sketcher = self.stream_sketcher(side, agg=agg)
+            for name_, dtype in (
+                (key_column, chunk.column(key_column).dtype),
+                (value_column, column.dtype),
+            ):
+                seen = seen_dtypes[name_]
+                if (
+                    dtype is not DType.MISSING
+                    and seen is not DType.MISSING
+                    and (dtype is DType.STRING) != (seen is DType.STRING)
+                ):
+                    raise IngestError(
+                        f"chunk schema drifted: column {name_!r} was "
+                        f"{seen.value} in earlier chunks but {dtype.value} in "
+                        f"this chunk; re-chunk the source with one consistent "
+                        f"schema (the repro.ingest readers guarantee one)"
+                    )
+                seen_dtypes[name_] = join_dtypes(seen, dtype)
+            # Chunk columns are coerced, so None is the only missing
+            # representation: take the trusted pre-filtered path instead of
+            # paying per-value inference the tracker's dtype fold subsumes.
+            keys = chunk.column(key_column).values
+            values = column.values
+            if None in keys:
+                rows = [row for row, key in enumerate(keys) if key is not None]
+                keys = [keys[row] for row in rows]
+                values = [values[row] for row in rows]
+            sketcher.add_filtered_chunk(
+                keys, values, total_rows=chunk.num_rows, value_dtype=column.dtype
+            )
+        if sketcher is None:
+            raise EngineError("cannot sketch an empty chunk stream")
+        return sketcher.finalize(
+            key_column=key_column,
+            value_column=value_column,
+            table_name=name if table_name is None else table_name,
+        )
+
+    def ingest_table(
+        self,
+        source: Any,
+        key_columns: Iterable[str],
+        value_columns: Optional[Iterable[str]] = None,
+        *,
+        name: Optional[str] = None,
+        agg: "str | AggregateFunction | None" = None,
+        metadata: Optional[dict[str, object]] = None,
+    ) -> list:
+        """Ingest a chunked table into discovery-index candidates.
+
+        The streaming twin of :meth:`~repro.discovery.index.SketchIndex.
+        add_table`'s sketching work: every (key column, value column) pair
+        of the source is profiled, KMV-sketched and MI-sketched in one pass
+        over the chunks, and the returned
+        :class:`~repro.discovery.index.IndexedCandidate` objects are
+        bit-identical to batch-building over the materialized table.  Feed
+        them to ``SketchIndex.add_prebuilt`` (or use the higher-level
+        ``IndexBuilder.add_table_stream`` / ``DiscoveryService.
+        register_table``).
+        """
+        from repro.ingest.ingestor import TableIngestor
+        from repro.ingest.reader import iter_chunks
+
+        source_name, chunks = iter_chunks(source)
+        ingestor = TableIngestor(
+            self,
+            key_columns,
+            value_columns,
+            name=source_name if name is None else name,
+            agg=agg,
+            metadata=metadata,
+        )
+        return ingestor.extend(chunks).finalize()
+
+    # ------------------------------------------------------------------ #
     # Estimation
     # ------------------------------------------------------------------ #
     def check_compatible(self, base: Sketch, candidate: Sketch) -> None:

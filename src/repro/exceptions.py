@@ -25,6 +25,7 @@ __all__ = [
     "EngineError",
     "EngineConfigError",
     "ServingError",
+    "IngestError",
 ]
 
 
@@ -109,3 +110,7 @@ class EngineConfigError(EngineError):
 
 class ServingError(ReproError):
     """The discovery query service was misconfigured or misused."""
+
+
+class IngestError(ReproError):
+    """A streaming-ingestion source or sketcher was misconfigured or misused."""

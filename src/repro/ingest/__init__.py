@@ -1,0 +1,62 @@
+"""Streaming (one-pass) ingestion: chunked sources, sketchers and ingestors.
+
+Section IV-A of the paper notes that sketch construction "can be done in a
+single pass" over the table.  This package generalizes that claim from the
+original TUPSK-only streamers to **every** sketching method and wires it
+through the whole pipeline, so tables never have to fit in memory:
+
+* :mod:`repro.ingest.reader` — chunked table sources: an in-memory slicer
+  and a two-pass stdlib-CSV reader, both yielding consistently typed
+  :class:`~repro.relational.table.Table` chunks in ``O(chunk)`` memory;
+* :mod:`repro.ingest.sketchers` — streaming sketchers per method (base and
+  candidate side) plus a streaming KMV path, all **bit-identical** to batch
+  construction on the same rows, with mergeable partial states where the
+  method's sampling frame allows it;
+* :mod:`repro.ingest.ingestor` — :class:`TableIngestor`, which turns a
+  stream of chunks into fully-fledged discovery-index candidates (profiles,
+  KMV key sketches, MI sketches) without ever materializing the table.
+
+Entry points higher up the stack: ``SketchEngine.sketch_stream`` /
+``SketchEngine.ingest_table``, ``IndexBuilder.add_table_stream``,
+``DiscoveryService.register_table`` and the ``repro index ingest`` CLI.
+See ``docs/ingestion.md`` for the memory model per method.
+"""
+
+from repro.ingest.reader import CSVReader, InMemoryReader, TableReader, iter_chunks
+from repro.ingest.sketchers import (
+    CandidateFamilyState,
+    StreamingBaseSketcher,
+    StreamingBufferedBaseSketcher,
+    StreamingCandidateSketcher,
+    StreamingFirstValueBaseSketcher,
+    StreamingTwoLevelBaseSketcher,
+    streaming_base_sketcher,
+    streaming_candidate_sketcher,
+)
+
+__all__ = [
+    "TableReader",
+    "InMemoryReader",
+    "CSVReader",
+    "iter_chunks",
+    "CandidateFamilyState",
+    "StreamingBaseSketcher",
+    "StreamingCandidateSketcher",
+    "StreamingFirstValueBaseSketcher",
+    "StreamingTwoLevelBaseSketcher",
+    "StreamingBufferedBaseSketcher",
+    "streaming_base_sketcher",
+    "streaming_candidate_sketcher",
+    "TableIngestor",
+]
+
+
+def __getattr__(name: str):
+    # Resolved lazily (PEP 562): the ingestor builds discovery-index
+    # candidates, and the discovery/engine layers are heavyweight imports
+    # this package's sketchers and readers do not need.
+    if name == "TableIngestor":
+        from repro.ingest.ingestor import TableIngestor
+
+        return TableIngestor
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,330 @@
+"""Chunked construction of discovery-index candidates for one table.
+
+The batch path (:meth:`IndexBuilder.add_table` / ``_build_shard``) profiles,
+KMV-sketches and MI-sketches every (key column, value column) pair of a
+materialized :class:`~repro.relational.table.Table`.  A
+:class:`TableIngestor` produces the same
+:class:`~repro.discovery.index.IndexedCandidate` objects — profiles
+included — from a stream of table chunks, holding only
+
+* one streaming candidate sketcher per (key, value) pair (see the memory
+  table in :mod:`repro.ingest`),
+* one incrementally-updated KMV key sketch per key column, and
+* exact distinct-value sets and null counters for the profiles
+
+in memory at any time.  Finalized candidates are bit-identical to batch
+construction over the concatenated chunks, provided the chunks share one
+schema (which the :mod:`~repro.ingest.reader` sources guarantee).  Feeding
+hand-built chunks is diagnosed where it breaks equivalence: renamed columns
+and categorical-vs-numeric dtype drift raise at the first mismatching chunk
+(a column that hashes ints in one chunk and strings in another can never
+match a whole-table load); INT/FLOAT drift is harmless — int and float keys
+of equal value hash identically, and values are coerced to the folded
+column dtype at finalize.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.discovery.index import IndexedCandidate
+from repro.discovery.profile import ColumnPairProfile
+from repro.discovery.query import candidate_identifier
+from repro.engine.config import EngineConfig
+from repro.engine.session import SketchEngine
+from repro.exceptions import IngestError
+from repro.ingest.sketchers import (
+    CandidateFamilyState,
+    StreamingCandidateSketcher,
+    streaming_candidate_sketcher,
+)
+from repro.relational.aggregate import AggregateFunction, get_aggregate
+from repro.relational.dtypes import DType, join_dtypes
+from repro.relational.table import Table
+from repro.sketches.kmv import KMVSketch
+
+__all__ = ["TableIngestor"]
+
+
+class _ColumnStats:
+    """Exact distinct/null counters a profile needs, folded chunk by chunk.
+
+    Exactness is the point — profiles must match the batch builder's — so
+    the distinct sets are real sets: memory is ``O(distinct values)`` per
+    column, which for near-unique columns approaches the column size even
+    though the sketch state stays bounded (documented in
+    ``docs/ingestion.md``).
+    """
+
+    __slots__ = ("dtype", "distinct", "nulls")
+
+    def __init__(self) -> None:
+        self.dtype = DType.MISSING
+        self.distinct: set = set()
+        self.nulls = 0
+
+    def observe(self, values: list, dtype: DType) -> None:
+        self.dtype = join_dtypes(self.dtype, dtype)
+        self.nulls += values.count(None)
+        self.distinct.update(values)
+
+    def distinct_count(self) -> int:
+        return len(self.distinct) - (1 if None in self.distinct else 0)
+
+
+class TableIngestor:
+    """Builds one table's index candidates from chunks, without the table.
+
+    Parameters
+    ----------
+    engine:
+        The :class:`SketchEngine` session (or :class:`EngineConfig`) whose
+        method, capacity, seed, ``vectorized`` flag and featurization
+        defaults every produced candidate follows — the same contract the
+        batch :class:`~repro.discovery.builder.IndexBuilder` has.
+    key_columns:
+        Join-key columns to index the table under.
+    value_columns:
+        Candidate value columns; defaults to every non-key column of the
+        first chunk, mirroring ``add_table``.
+    name:
+        Table name used in candidate identifiers and profiles.
+    agg:
+        Featurization function for every pair; defaults per column to the
+        engine config's aggregate for the column's dtype.
+    """
+
+    def __init__(
+        self,
+        engine: "SketchEngine | EngineConfig | None" = None,
+        key_columns: Iterable[str] = (),
+        value_columns: Optional[Iterable[str]] = None,
+        *,
+        name: str = "",
+        agg: "str | AggregateFunction | None" = None,
+        metadata: Optional[dict[str, object]] = None,
+    ):
+        if isinstance(engine, EngineConfig):
+            engine = SketchEngine(engine)
+        elif engine is None:
+            engine = SketchEngine(EngineConfig())
+        elif not isinstance(engine, SketchEngine):
+            raise IngestError(
+                f"engine must be a SketchEngine or EngineConfig, "
+                f"got {type(engine).__name__}"
+            )
+        self._engine = engine
+        self.name = name
+        self._key_columns = list(key_columns)
+        if not self._key_columns:
+            raise IngestError(f"table {name!r} needs at least one key column")
+        self._requested_values = (
+            list(value_columns) if value_columns is not None else None
+        )
+        self._agg = get_aggregate(agg) if agg is not None else None
+        self._metadata = dict(metadata or {})
+        self._rows = 0
+        self._column_names: Optional[tuple[str, ...]] = None
+        self._value_columns: list[str] = []
+        self._key_stats: dict[str, _ColumnStats] = {}
+        self._key_kmv: dict[str, KMVSketch] = {}
+        self._value_stats: dict[str, _ColumnStats] = {}
+        # (key column, value column) -> (sketcher, aggregate)
+        self._sketchers: dict[
+            tuple[str, str], tuple[StreamingCandidateSketcher, AggregateFunction]
+        ] = {}
+
+    @property
+    def engine(self) -> SketchEngine:
+        return self._engine
+
+    @property
+    def rows(self) -> int:
+        """Rows consumed so far (including null-key rows)."""
+        return self._rows
+
+    # ------------------------------------------------------------------ #
+    # Consumption
+    # ------------------------------------------------------------------ #
+    def _initialize(self, chunk: Table) -> None:
+        config = self._engine.config
+        for key_column in self._key_columns:
+            chunk.column(key_column)  # raises ColumnNotFoundError early
+        if self._requested_values is None:
+            value_list = [
+                column
+                for column in chunk.column_names
+                if column not in self._key_columns
+            ]
+        else:
+            value_list = list(self._requested_values)
+            for value_column in value_list:
+                chunk.column(value_column)
+        self._column_names = chunk.column_names
+        self._value_columns = value_list
+        for key_column in self._key_columns:
+            self._key_stats[key_column] = _ColumnStats()
+            self._key_kmv[key_column] = KMVSketch(
+                capacity=config.capacity, seed=config.seed
+            )
+            # One shared selection memo per column family, like the batch
+            # builder's KeyGroups: candidate keys are ranked (and hashed)
+            # once per family, not once per value column.
+            family = CandidateFamilyState()
+            for value_column in value_list:
+                if value_column == key_column:
+                    continue
+                # The default aggregate follows the column's dtype; chunks
+                # share one schema, so the first chunk's dtype is the
+                # table's dtype (the readers guarantee this).
+                agg = self._agg
+                if agg is None:
+                    agg = config.default_aggregate_for(
+                        chunk.column(value_column).dtype
+                    )
+                self._sketchers[(key_column, value_column)] = (
+                    streaming_candidate_sketcher(
+                        config.method,
+                        config.capacity,
+                        config.seed,
+                        agg=agg,
+                        vectorized=config.vectorized,
+                        family=family,
+                    ),
+                    agg,
+                )
+        if not self._sketchers:
+            raise IngestError(
+                f"table {self.name!r} has no candidate (key, value) column pairs"
+            )
+        for value_column in value_list:
+            self._value_stats[value_column] = _ColumnStats()
+
+    def add_chunk(self, chunk: Table) -> "TableIngestor":
+        """Consume one chunk; returns ``self`` for chaining."""
+        if self._column_names is None:
+            self._initialize(chunk)
+        elif chunk.column_names != self._column_names:
+            raise IngestError(
+                f"chunk schema drifted for table {self.name!r}: expected columns "
+                f"{', '.join(self._column_names)}, got {', '.join(chunk.column_names)}"
+            )
+        total_rows = chunk.num_rows
+        self._rows += total_rows
+        # Normalize the key side once per key column (the chunk's columns
+        # are already coerced, so missing keys are exactly the Nones), then
+        # feed every value column through the trusted pre-filtered path.
+        kept_keys: dict[str, list] = {}
+        kept_rows: dict[str, "list[int] | None"] = {}
+        for key_column in self._key_columns:
+            column = chunk.column(key_column)
+            keys = column.values
+            self._check_dtype_drift(key_column, self._key_stats[key_column], column.dtype)
+            self._key_stats[key_column].observe(keys, column.dtype)
+            self._key_kmv[key_column].update_many(
+                keys, vectorized=self._engine.config.vectorized
+            )
+            if None in keys:
+                rows = [row for row, key in enumerate(keys) if key is not None]
+                kept_keys[key_column] = [keys[row] for row in rows]
+                kept_rows[key_column] = rows
+            else:
+                kept_keys[key_column] = keys
+                kept_rows[key_column] = None
+        for value_column in self._value_columns:
+            column = chunk.column(value_column)
+            values = column.values
+            self._check_dtype_drift(
+                value_column, self._value_stats[value_column], column.dtype
+            )
+            self._value_stats[value_column].observe(values, column.dtype)
+            for key_column in self._key_columns:
+                sketcher_entry = self._sketchers.get((key_column, value_column))
+                if sketcher_entry is None:
+                    continue
+                rows = kept_rows[key_column]
+                sketcher_entry[0].add_filtered_chunk(
+                    kept_keys[key_column],
+                    values if rows is None else [values[row] for row in rows],
+                    total_rows=total_rows,
+                    value_dtype=column.dtype,
+                )
+        return self
+
+    def _check_dtype_drift(
+        self, column_name: str, stats: _ColumnStats, dtype: DType
+    ) -> None:
+        """Reject categorical-vs-numeric dtype drift between chunks.
+
+        Unrecoverable: earlier chunks already hashed/aggregated under the
+        other coercion, and a whole-table load would have coerced them
+        differently.  (INT/FLOAT drift is harmless — equal-valued int and
+        float keys hash identically, and values coerce to the folded dtype
+        at finalize — and all-missing chunks join with anything.)
+        """
+        if (
+            dtype is not DType.MISSING
+            and stats.dtype is not DType.MISSING
+            and (dtype is DType.STRING) != (stats.dtype is DType.STRING)
+        ):
+            raise IngestError(
+                f"chunk schema drifted for table {self.name!r}: column "
+                f"{column_name!r} was {stats.dtype.value} in earlier chunks "
+                f"but {dtype.value} in this chunk; re-chunk the source with "
+                f"one consistent schema (the repro.ingest readers guarantee one)"
+            )
+
+    def extend(self, chunks: Iterable[Table]) -> "TableIngestor":
+        """Consume many chunks; returns ``self`` for chaining."""
+        for chunk in chunks:
+            self.add_chunk(chunk)
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Finalization
+    # ------------------------------------------------------------------ #
+    def finalize(self) -> list[IndexedCandidate]:
+        """Produce the table's candidates, in ``add_table`` registration order."""
+        if self._column_names is None:
+            raise IngestError(
+                f"cannot finalize table {self.name!r}: no chunks were consumed"
+            )
+        candidates = []
+        for key_column in self._key_columns:
+            key_stats = self._key_stats[key_column]
+            key_kmv = self._key_kmv[key_column]
+            for value_column in self._value_columns:
+                if value_column == key_column:
+                    continue
+                sketcher, agg = self._sketchers[(key_column, value_column)]
+                value_stats = self._value_stats[value_column]
+                profile = ColumnPairProfile(
+                    table_name=self.name,
+                    key_column=key_column,
+                    value_column=value_column,
+                    num_rows=self._rows,
+                    key_distinct=key_stats.distinct_count(),
+                    key_nulls=key_stats.nulls,
+                    value_dtype=value_stats.dtype,
+                    value_distinct=value_stats.distinct_count(),
+                    value_nulls=value_stats.nulls,
+                )
+                sketch = sketcher.finalize(
+                    key_column=key_column,
+                    value_column=value_column,
+                    table_name=self.name,
+                    input_dtype=value_stats.dtype,
+                )
+                candidates.append(
+                    IndexedCandidate(
+                        candidate_id=candidate_identifier(
+                            self.name, key_column, value_column, agg.value
+                        ),
+                        profile=profile,
+                        aggregate=agg.value,
+                        sketch=sketch,
+                        key_kmv=key_kmv,
+                        metadata=dict(self._metadata),
+                    )
+                )
+        return candidates

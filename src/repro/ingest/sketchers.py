@@ -1,0 +1,1180 @@
+"""Streaming sketch construction for every sketching method.
+
+The batch builders (:mod:`repro.sketches`) consume a whole
+:class:`~repro.relational.table.Table`; the sketchers here consume
+``(key, value)`` rows — one at a time (:meth:`add`), many at a time
+(:meth:`extend`), or one aligned chunk at a time (:meth:`add_chunk`, which
+routes hashing through the batched NumPy fast paths when ``vectorized``).
+Every sketcher's :meth:`finalize` produces a sketch **bit-identical** to the
+batch builder run over the same rows, which the property suite asserts.
+
+Matching the batch path exactly requires reproducing the relational layer's
+column semantics on a stream:
+
+* missing entries (``None``, NaN, tokens like ``"na"``) are normalized the
+  way :class:`~repro.relational.column.Column` coercion normalizes them —
+  missing keys drop the row, missing values become ``None``;
+* the value column's logical dtype is inferred *incrementally* over every
+  consumed row (the same join rule as
+  :func:`~repro.relational.dtypes.infer_column_dtype`), and the retained /
+  aggregated values are coerced to it at finalize time, exactly as a
+  ``Column`` coerces before the batch builder ever sees the values;
+* incremental aggregation state mirrors
+  :func:`~repro.relational.aggregate.aggregate_values` — including mixed
+  int/float streams, numeric-looking strings, ``MIN``/``MAX`` over columns
+  that only later turn out to be categorical, and the exact left-to-right
+  float accumulation order of ``sum()``.
+
+Memory model (``n`` = sketch capacity, ``d`` = distinct non-null keys,
+``N`` = non-null-key rows):
+
+=========  ===========================  ==========================================
+method     base side                    candidate side
+=========  ===========================  ==========================================
+TUPSK      ``O(n + d)``                 ``O(d)`` (+ per-key lists for MODE/MEDIAN)
+CSK        ``O(d)``                     ``O(d)``
+LV2SK      ``O(d + rows of n keys)``    ``O(d)`` (+ per-key lists for MODE/MEDIAN)
+PRISK      ``O(N)`` (buffered)          ``O(d)`` (+ per-key lists for MODE/MEDIAN)
+INDSK      ``O(N)`` (buffered)          ``O(d)`` (+ per-key lists for MODE/MEDIAN)
+=========  ===========================  ==========================================
+
+PRISK's priority-sampling weights and INDSK's uniform draws depend on the
+*final* key frequencies / row count, so their base side cannot prune rows
+online; the buffered sketcher keeps the stream and delegates to the batch
+builder at finalize, which still lets chunked sources avoid materializing a
+``Table`` and keeps every other method bounded.
+
+Partial states built over disjoint row ranges can be combined with
+:meth:`merge` (earlier state first) for every sketcher except the TUPSK base
+side, whose ``(key, occurrence)`` sampling frame is prefix-dependent — a
+partial's dropped rows would need re-hashing under renumbered occurrences,
+so ``merge`` raises :class:`~repro.exceptions.IngestError` there; feed TUPSK
+chunks sequentially instead.  ``SUM``/``AVG`` merge adds the two float
+accumulators, which can differ from single-stream ingestion in the final
+ulps; every other aggregate merges exactly.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Hashable, Iterable, Optional
+
+import numpy as np
+
+from repro.exceptions import AggregationError, IngestError, SketchError
+from repro.hashing.unit import KeyHasher
+from repro.relational.aggregate import (
+    AggregateFunction,
+    aggregate_values,
+    get_aggregate,
+)
+from repro.relational.dtypes import DType, coerce_value, infer_dtype, is_missing_value
+from repro.sketches.base import Sketch, SketchSide, available_methods, get_builder
+from repro.sketches.sampling import uniform_sample_without_replacement
+
+__all__ = [
+    "CandidateFamilyState",
+    "StreamingBaseSketcher",
+    "StreamingCandidateSketcher",
+    "StreamingFirstValueBaseSketcher",
+    "StreamingTwoLevelBaseSketcher",
+    "StreamingBufferedBaseSketcher",
+    "streaming_base_sketcher",
+    "streaming_candidate_sketcher",
+]
+
+
+class _DtypeTracker:
+    """Incremental :func:`~repro.relational.dtypes.infer_column_dtype`.
+
+    The batch path infers a column's logical dtype over *all* its values
+    (including rows whose join key is missing) before coercing them; this
+    tracker applies the same join rule one value at a time so a streaming
+    sketcher can coerce at finalize time without revisiting the stream.
+    """
+
+    __slots__ = ("saw_int", "saw_float", "saw_string")
+
+    def __init__(self) -> None:
+        self.saw_int = False
+        self.saw_float = False
+        self.saw_string = False
+
+    def observe(self, value: Any) -> None:
+        dtype = infer_dtype(value)
+        if dtype is DType.STRING:
+            self.saw_string = True
+        elif dtype is DType.FLOAT:
+            self.saw_float = True
+        elif dtype is DType.INT:
+            self.saw_int = True
+
+    def observe_dtype(self, dtype: DType) -> None:
+        """Fold a whole column's declared dtype in one step.
+
+        Equivalent to observing every value of a column that carries
+        ``dtype`` — the trusted chunk path uses this instead of per-value
+        inference, since a coerced column's dtype subsumes its values'.
+        """
+        if dtype is DType.STRING:
+            self.saw_string = True
+        elif dtype is DType.FLOAT:
+            self.saw_float = True
+        elif dtype is DType.INT:
+            self.saw_int = True
+
+    def combine(self, other: "_DtypeTracker") -> None:
+        self.saw_int = self.saw_int or other.saw_int
+        self.saw_float = self.saw_float or other.saw_float
+        self.saw_string = self.saw_string or other.saw_string
+
+    @property
+    def dtype(self) -> DType:
+        if self.saw_string:
+            return DType.STRING
+        if self.saw_float:
+            return DType.FLOAT
+        if self.saw_int:
+            return DType.INT
+        return DType.MISSING
+
+
+def _numeric(value: Any) -> Any:
+    """The exact number a numeric ``Column`` would coerce ``value`` to.
+
+    Integers (and integer-looking strings) stay exact Python ints so bigint
+    comparisons and sums never round; the finalize step coerces the final
+    aggregate to the column's dtype, and int/float comparisons in Python are
+    exact-value comparisons, so tracking in this mixed space selects the
+    same elements the batch path selects over fully coerced values.
+    """
+    if isinstance(value, str):
+        try:
+            return int(value)
+        except ValueError:
+            return float(value)
+    if isinstance(value, (int, float)):
+        return value
+    as_float = float(value)  # numpy scalars and other numeric-likes
+    if as_float.is_integer() and not isinstance(value, float):
+        return int(value)
+    return as_float
+
+
+#: Sentinel distinguishing "no present value yet" from a stored ``None``.
+_MISSING = object()
+
+
+def _better(candidate: Any, incumbent: Any, keep_low: bool) -> bool:
+    """Whether ``candidate`` displaces ``incumbent`` as the running extremum.
+
+    Ties keep the incumbent — the first-seen value — matching ``min()`` /
+    ``max()`` over the group in stream order.
+    """
+    if incumbent is None:
+        return True
+    if candidate == incumbent:
+        return False
+    return candidate < incumbent if keep_low else candidate > incumbent
+
+
+class _StreamingSketcherBase:
+    """Row plumbing shared by every streaming sketcher (both sides)."""
+
+    #: Sketching method the finalized sketch reports.
+    method: str = "abstract"
+
+    def __init__(self, capacity: int = 256, seed: int = 0, vectorized: bool = True):
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self.capacity = int(capacity)
+        self.seed = int(seed)
+        self.vectorized = bool(vectorized)
+        self._hasher = KeyHasher(seed=self.seed)
+        self._rows_total = 0
+        self._rows_seen = 0
+        self._value_tracker = _DtypeTracker()
+
+    # ------------------------------------------------------------------ #
+    # Consumption
+    # ------------------------------------------------------------------ #
+    def add(self, key: Hashable, value: Any) -> None:
+        """Consume one row.  Rows with a missing key are ignored.
+
+        Missing entries — ``None``, NaN, missing tokens like ``"na"`` — are
+        normalized exactly as table-column coercion normalizes them: a
+        missing key drops the row (it can never join), a missing value is
+        recorded as ``None``.  Keys are expected in their canonical
+        (column-coerced) representation, which the chunked readers and the
+        engine's streaming paths guarantee.
+        """
+        self._rows_total += 1
+        if is_missing_value(value):
+            value = None
+        self._value_tracker.observe(value)
+        if is_missing_value(key):
+            return
+        self._rows_seen += 1
+        self._consume(key, value)
+
+    def extend(self, rows: Iterable[tuple[Hashable, Any]]):
+        """Consume many rows; returns ``self`` for chaining."""
+        for key, value in rows:
+            self.add(key, value)
+        return self
+
+    def add_chunk(self, keys: Iterable[Hashable], values: Iterable[Any]):
+        """Consume one aligned chunk of rows; returns ``self`` for chaining.
+
+        Methods that hash during consumption override ``_consume_chunk`` to
+        run the chunk through the batched hashing fast paths when
+        ``vectorized`` — bit-identical to row-at-a-time consumption.
+        """
+        keys = list(keys)
+        values = list(values)
+        if len(keys) != len(values):
+            raise IngestError(
+                f"chunk keys and values must align, got {len(keys)} and {len(values)}"
+            )
+        kept_keys: list[Hashable] = []
+        kept_values: list[Any] = []
+        for key, value in zip(keys, values):
+            self._rows_total += 1
+            if is_missing_value(value):
+                value = None
+            self._value_tracker.observe(value)
+            if is_missing_value(key):
+                continue
+            self._rows_seen += 1
+            kept_keys.append(key)
+            kept_values.append(value)
+        if kept_keys:
+            self._consume_chunk(kept_keys, kept_values)
+        return self
+
+    def add_filtered_chunk(
+        self,
+        keys: list[Hashable],
+        values: list[Any],
+        *,
+        total_rows: int,
+        value_dtype: Optional[DType] = None,
+    ):
+        """Trusted chunk path: pre-normalized rows with null keys removed.
+
+        The caller vouches that missing entries are already ``None`` (true
+        for any coerced :class:`~repro.relational.column.Column`), that rows
+        with null keys were dropped, and that ``total_rows`` counts them.
+        ``value_dtype`` folds the chunk column's declared dtype instead of
+        per-value inference.  The :class:`~repro.ingest.ingestor.
+        TableIngestor` feeds every sketcher of a column family through this
+        path, normalizing each chunk once instead of once per value column.
+        """
+        self._rows_total += total_rows
+        self._rows_seen += len(keys)
+        if value_dtype is None:
+            observe = self._value_tracker.observe
+            for value in values:
+                observe(value)
+        else:
+            self._value_tracker.observe_dtype(value_dtype)
+        if keys:
+            self._consume_chunk(keys, values, value_dtype=value_dtype)
+        return self
+
+    def _consume_chunk(
+        self,
+        keys: list[Hashable],
+        values: list[Any],
+        *,
+        value_dtype: Optional[DType] = None,
+    ) -> None:
+        # value_dtype is a pure optimization hint (trusted chunks declare
+        # their column dtype); consumption must not depend on it.
+        for key, value in zip(keys, values):
+            self._consume(key, value)
+
+    def _consume(self, key: Hashable, value: Any) -> None:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def rows_seen(self) -> int:
+        """Number of non-null-key rows consumed so far."""
+        return self._rows_seen
+
+    @property
+    def rows_total(self) -> int:
+        """Number of rows consumed so far, *including* null-key rows.
+
+        This is what the finalized sketch reports as ``table_rows`` — the
+        size of the sketched table — matching the batch builders.
+        """
+        return self._rows_total
+
+    def _check_mergeable(self, other: "_StreamingSketcherBase") -> None:
+        if type(other) is not type(self):
+            raise IngestError(
+                f"cannot merge a {type(other).__name__} into a {type(self).__name__}"
+            )
+        if (other.capacity, other.seed) != (self.capacity, self.seed):
+            raise IngestError(
+                f"cannot merge sketchers with different configurations "
+                f"(capacity {self.capacity} vs {other.capacity}, "
+                f"seed {self.seed} vs {other.seed})"
+            )
+
+    def _merge_counters(self, other: "_StreamingSketcherBase") -> None:
+        self._rows_total += other._rows_total
+        self._rows_seen += other._rows_seen
+        self._value_tracker.combine(other._value_tracker)
+
+    def _resolve_value_dtype(self, override: Optional[DType]) -> DType:
+        return self._value_tracker.dtype if override is None else override
+
+    def _key_ids(self, keys: list[Hashable]) -> list[int]:
+        if self.vectorized and len(keys) > 1:
+            return [int(key_id) for key_id in self._hasher.key_id_many(keys)]
+        return [self._hasher.key_id(key) for key in keys]
+
+
+class _StreamingBaseSketcherBase(_StreamingSketcherBase):
+    """Base-side scaffolding: metadata assembly around per-method selection."""
+
+    def merge(self, other: "_StreamingBaseSketcherBase"):
+        """Fold another partial state (covering *later* rows) into this one."""
+        raise IngestError(
+            f"{self.method} base sketcher does not support merging partial states"
+        )
+
+    def finalize(
+        self,
+        *,
+        key_column: str = "",
+        value_column: str = "",
+        table_name: str = "",
+        value_dtype: Optional[DType] = None,
+    ) -> Sketch:
+        """Produce the base-side sketch for the rows consumed so far.
+
+        The sketcher can keep consuming rows afterwards; ``finalize`` simply
+        snapshots the current state.  ``value_dtype`` overrides the tracked
+        column dtype (pass the declared dtype when the source columns carry
+        one, e.g. a ``STRING`` column of numeric-looking strings).
+        """
+        if self._rows_seen == 0:
+            raise SketchError("cannot finalize a streaming sketch with no rows")
+        value_dtype = self._resolve_value_dtype(value_dtype)
+        keys, raw_values = self._selected_rows()
+        return Sketch(
+            method=self.method,
+            side=SketchSide.BASE,
+            seed=self.seed,
+            capacity=self.capacity,
+            key_ids=self._key_ids(keys),
+            values=[coerce_value(value, value_dtype) for value in raw_values],
+            value_dtype=value_dtype,
+            table_rows=self._rows_total,
+            distinct_keys=self._distinct_keys(),
+            key_column=key_column,
+            value_column=value_column,
+            table_name=table_name,
+        )
+
+    def _selected_rows(self) -> tuple[list[Hashable], list[Any]]:
+        raise NotImplementedError
+
+    def _distinct_keys(self) -> int:
+        raise NotImplementedError
+
+
+class StreamingBaseSketcher(_StreamingBaseSketcherBase):
+    """Streaming TUPSK base side: a bounded heap over ``(key, occurrence)`` hashes.
+
+    Memory is ``O(capacity + distinct keys)`` — the per-key occurrence
+    counters are the only state besides the bounded heap.  Heap entries
+    order by ``(-unit, -row)`` so that rows tying on an exact 32-bit hash
+    collision keep the *earliest* rows, matching the batch path's stable
+    argsort (and the batch scalar heap, which negates the row index for the
+    same reason).
+
+    Partial states cannot merge: the ``(key, occurrence)`` tuple of a row
+    depends on how many earlier rows shared its key, so a later partial's
+    retained rows were hashed under occurrence numbers that renumbering
+    would invalidate — and its *dropped* rows (unrecoverable) could re-enter
+    under the corrected numbers.  Feed chunks sequentially instead.
+    """
+
+    method = "TUPSK"
+
+    def __init__(self, capacity: int = 256, seed: int = 0, vectorized: bool = True):
+        super().__init__(capacity=capacity, seed=seed, vectorized=vectorized)
+        self._heap: list[tuple[float, int, Hashable, Any]] = []  # (-unit, -row, k, v)
+        self._occurrences: dict[Hashable, int] = {}
+        self._row_counter = 0
+
+    def _consume(self, key: Hashable, value: Any) -> None:
+        occurrence = self._occurrences.get(key, 0) + 1
+        self._occurrences[key] = occurrence
+        self._push(self._hasher.tuple_unit(key, occurrence), key, value)
+
+    def _consume_chunk(
+        self,
+        keys: list[Hashable],
+        values: list[Any],
+        *,
+        value_dtype: Optional[DType] = None,
+    ) -> None:
+        if not (self.vectorized and len(keys) > 1):
+            super()._consume_chunk(keys, values)
+            return
+        occurrences = []
+        for key in keys:
+            occurrence = self._occurrences.get(key, 0) + 1
+            self._occurrences[key] = occurrence
+            occurrences.append(occurrence)
+        units = self._hasher.tuple_unit_many(keys, occurrences)
+        for unit, key, value in zip(units, keys, values):
+            self._push(float(unit), key, value)
+
+    def _push(self, unit: float, key: Hashable, value: Any) -> None:
+        entry = (-unit, -self._row_counter, key, value)
+        self._row_counter += 1
+        if len(self._heap) < self.capacity:
+            heapq.heappush(self._heap, entry)
+        elif unit < -self._heap[0][0]:
+            heapq.heapreplace(self._heap, entry)
+
+    def _selected_rows(self) -> tuple[list[Hashable], list[Any]]:
+        # Restore stream order so the result matches the batch builder.
+        ordered = sorted(self._heap, key=lambda entry: -entry[1])
+        return [entry[2] for entry in ordered], [entry[3] for entry in ordered]
+
+    def _distinct_keys(self) -> int:
+        return len(self._occurrences)
+
+
+class StreamingFirstValueBaseSketcher(_StreamingBaseSketcherBase):
+    """Streaming CSK base side: first value per key, minwise key selection.
+
+    CSK keeps the first value seen per key on both sides, so the streaming
+    state is one ``O(distinct keys)`` dict; selection (minwise ranking of
+    the keys) runs at finalize through the batch builder's own selection
+    hook.  Partial states merge exactly (the earlier state's first values
+    win).
+    """
+
+    method = "CSK"
+
+    def __init__(self, capacity: int = 256, seed: int = 0, vectorized: bool = True):
+        super().__init__(capacity=capacity, seed=seed, vectorized=vectorized)
+        self._first: dict[Hashable, Any] = {}
+
+    def _consume(self, key: Hashable, value: Any) -> None:
+        if key not in self._first:
+            self._first[key] = value
+
+    def merge(self, other: "StreamingFirstValueBaseSketcher"):
+        self._check_mergeable(other)
+        for key, value in other._first.items():
+            self._first.setdefault(key, value)
+        self._merge_counters(other)
+        return self
+
+    def _selected_rows(self) -> tuple[list[Hashable], list[Any]]:
+        builder = get_builder(
+            self.method, capacity=self.capacity, seed=self.seed,
+            vectorized=self.vectorized,
+        )
+        return builder._select_candidate(self._first)
+
+    def _distinct_keys(self) -> int:
+        return len(self._first)
+
+
+class StreamingTwoLevelBaseSketcher(_StreamingBaseSketcherBase):
+    """Streaming LV2SK base side: incremental minwise key selection.
+
+    The first sampling level keeps the ``capacity`` keys with the smallest
+    unit hashes — a monotone threshold, so the candidate key set can be
+    maintained online exactly like a KMV sketch: rows of evicted keys are
+    dropped for good (an evicted key is provably outside the final
+    selection), and only the currently selected keys retain their row lists.
+    Memory is ``O(distinct keys + rows of the selected keys)``.  The second
+    level (per-key quota subsampling) runs at finalize, where the final row
+    count and key frequencies are known, reproducing the batch builder's
+    deterministic per-key RNG streams bit for bit.
+
+    Partial states merge exactly, except when two distinct keys collide on
+    the full 32-bit key hash at a partial's eviction boundary (probability
+    ``~2**-32``); sequential chunk feeding has no such caveat.
+    """
+
+    method = "LV2SK"
+
+    def __init__(self, capacity: int = 256, seed: int = 0, vectorized: bool = True):
+        super().__init__(capacity=capacity, seed=seed, vectorized=vectorized)
+        self._frequencies: dict[Hashable, int] = {}
+        # key -> [row indices, values, unit, appearance] for selected keys.
+        self._retained: dict[Hashable, list] = {}
+        self._eviction: list[tuple[float, int, Hashable]] = []  # (-unit, -appearance)
+        self._row_counter = 0
+
+    def _consume(self, key: Hashable, value: Any) -> None:
+        freq = self._frequencies.get(key)
+        if freq is None:
+            appearance = len(self._frequencies)
+            self._frequencies[key] = 1
+            self._admit(key, self._hasher.unit(key), appearance, value)
+        else:
+            self._frequencies[key] = freq + 1
+            entry = self._retained.get(key)
+            if entry is not None:
+                entry[0].append(self._row_counter)
+                entry[1].append(value)
+        self._row_counter += 1
+
+    def _consume_chunk(
+        self,
+        keys: list[Hashable],
+        values: list[Any],
+        *,
+        value_dtype: Optional[DType] = None,
+    ) -> None:
+        if not (self.vectorized and len(keys) > 1):
+            super()._consume_chunk(keys, values)
+            return
+        # Hash the chunk's first-appearance keys in one batched pass, then
+        # replay the rows through the scalar admission logic.
+        new_keys = [
+            key
+            for key in dict.fromkeys(keys)
+            if key not in self._frequencies
+        ]
+        units = dict(
+            zip(new_keys, (float(unit) for unit in self._hasher.unit_many(new_keys)))
+        ) if len(new_keys) > 1 else {key: self._hasher.unit(key) for key in new_keys}
+        for key, value in zip(keys, values):
+            freq = self._frequencies.get(key)
+            if freq is None:
+                appearance = len(self._frequencies)
+                self._frequencies[key] = 1
+                self._admit(key, units[key], appearance, value)
+            else:
+                self._frequencies[key] = freq + 1
+                entry = self._retained.get(key)
+                if entry is not None:
+                    entry[0].append(self._row_counter)
+                    entry[1].append(value)
+            self._row_counter += 1
+
+    def _admit(self, key: Hashable, unit: float, appearance: int, value: Any) -> None:
+        if len(self._retained) < self.capacity:
+            self._retained[key] = [[self._row_counter], [value], unit, appearance]
+            heapq.heappush(self._eviction, (-unit, -appearance, key))
+            return
+        # A tie keeps the earlier-appearing (already retained) key, matching
+        # the batch ranking's stable sort.
+        if unit >= -self._eviction[0][0]:
+            return
+        _, _, evicted = heapq.heapreplace(self._eviction, (-unit, -appearance, key))
+        del self._retained[evicted]
+        self._retained[key] = [[self._row_counter], [value], unit, appearance]
+
+    def merge(self, other: "StreamingTwoLevelBaseSketcher"):
+        self._check_mergeable(other)
+        offset = self._row_counter
+        appearance_base = len(self._frequencies)
+        appearances: dict[Hashable, int] = {}
+        new_rank = 0
+        for key, freq in other._frequencies.items():
+            if key in self._frequencies:
+                self._frequencies[key] += freq
+                continue
+            self._frequencies[key] = freq
+            appearances[key] = appearance_base + new_rank
+            new_rank += 1
+        # A key evicted by either partial is provably outside that partial's
+        # capacity-smallest units, hence outside the merged selection too —
+        # its rows are gone, and correctly so.
+        merged: dict[Hashable, list] = {}
+        for key, entry in self._retained.items():
+            if key in other._frequencies and key not in other._retained:
+                continue
+            rows, values = list(entry[0]), list(entry[1])
+            theirs = other._retained.get(key)
+            if theirs is not None:
+                rows.extend(row + offset for row in theirs[0])
+                values.extend(theirs[1])
+            merged[key] = [rows, values, entry[2], entry[3]]
+        for key, entry in other._retained.items():
+            if key in merged:
+                continue
+            if key not in appearances:
+                # The key also appears in self's rows, where it was evicted
+                # (had self retained it, the first loop would have merged it).
+                continue
+            merged[key] = [
+                [row + offset for row in entry[0]],
+                list(entry[1]),
+                entry[2],
+                appearances[key],
+            ]
+        heap = [(-entry[2], -entry[3], key) for key, entry in merged.items()]
+        heapq.heapify(heap)
+        while len(merged) > self.capacity:
+            _, _, evicted = heapq.heappop(heap)
+            del merged[evicted]
+        self._retained = merged
+        self._eviction = heap
+        self._row_counter += other._row_counter
+        self._merge_counters(other)
+        return self
+
+    def _selected_rows(self) -> tuple[list[Hashable], list[Any]]:
+        total_rows = self._row_counter
+        selected_keys = list(self._retained)
+        key_ids = dict(zip(selected_keys, self._key_ids(selected_keys)))
+        chosen: list[tuple[int, Hashable, Any]] = []
+        for key in selected_keys:
+            rows, values = self._retained[key][0], self._retained[key][1]
+            quota = max(1, int(np.floor(self.capacity * len(rows) / total_rows)))
+            if quota >= len(rows):
+                kept = list(zip(rows, values))
+            else:
+                rng = np.random.default_rng((self.seed, key_ids[key]))
+                kept = uniform_sample_without_replacement(
+                    list(zip(rows, values)), quota, rng
+                )
+            chosen.extend((row, key, value) for row, value in kept)
+        chosen.sort(key=lambda item: item[0])
+        return [key for _, key, _ in chosen], [value for _, _, value in chosen]
+
+    def _distinct_keys(self) -> int:
+        return len(self._frequencies)
+
+
+class StreamingBufferedBaseSketcher(_StreamingBaseSketcherBase):
+    """Streaming shim for methods whose base selection needs the whole stream.
+
+    PRISK weights its first-level sampling by final key frequencies and
+    INDSK draws uniformly over the final row count, so neither can discard
+    rows online.  This sketcher buffers the non-null-key rows (``O(rows)``
+    memory — documented in :mod:`repro.ingest`) and delegates to the batch
+    builder at finalize, so chunked sources still avoid materializing a
+    ``Table`` and the result is bit-identical by construction.  Partial
+    states merge exactly (concatenation).
+    """
+
+    def __init__(
+        self,
+        method: str,
+        capacity: int = 256,
+        seed: int = 0,
+        vectorized: bool = True,
+    ):
+        super().__init__(capacity=capacity, seed=seed, vectorized=vectorized)
+        self.method = method.upper()
+        self._keys: list[Hashable] = []
+        self._values: list[Any] = []
+
+    def _consume(self, key: Hashable, value: Any) -> None:
+        self._keys.append(key)
+        self._values.append(value)
+
+    def merge(self, other: "StreamingBufferedBaseSketcher"):
+        self._check_mergeable(other)
+        if other.method != self.method:
+            raise IngestError(
+                f"cannot merge a {other.method} sketcher into a {self.method} one"
+            )
+        self._keys.extend(other._keys)
+        self._values.extend(other._values)
+        self._merge_counters(other)
+        return self
+
+    def finalize(
+        self,
+        *,
+        key_column: str = "",
+        value_column: str = "",
+        table_name: str = "",
+        value_dtype: Optional[DType] = None,
+    ) -> Sketch:
+        if self._rows_seen == 0:
+            raise SketchError("cannot finalize a streaming sketch with no rows")
+        value_dtype = self._resolve_value_dtype(value_dtype)
+        builder = get_builder(
+            self.method, capacity=self.capacity, seed=self.seed,
+            vectorized=self.vectorized,
+        )
+        # Coerce before selection, exactly like the batch path's column
+        # coercion (a fresh builder also replays INDSK's RNG streams).
+        key_list, value_list = builder._select_base(
+            self._keys, [coerce_value(value, value_dtype) for value in self._values]
+        )
+        return Sketch(
+            method=self.method,
+            side=SketchSide.BASE,
+            seed=self.seed,
+            capacity=self.capacity,
+            key_ids=self._key_ids(key_list),
+            values=value_list,
+            value_dtype=value_dtype,
+            table_rows=self._rows_total,
+            distinct_keys=len(set(self._keys)),
+            key_column=key_column,
+            value_column=value_column,
+            table_name=table_name,
+        )
+
+
+class CandidateFamilyState:
+    """Shared selection memo for one table's candidate column family.
+
+    The streaming twin of :class:`~repro.sketches.base.KeyGroups`'s
+    selection cache: every candidate sketcher of one (table, key column)
+    family sees the same key stream, and the bundled methods select
+    candidate keys independently of the aggregated values, so the ranked
+    selection and the selected keys' hashes can be computed once per family
+    instead of once per value column.  Pass one instance to each sketcher
+    of the family (the :class:`~repro.ingest.ingestor.TableIngestor` does);
+    sharing a state between sketchers that consumed *different* key streams
+    is a caller error.
+    """
+
+    __slots__ = ("selection", "key_ids")
+
+    def __init__(self) -> None:
+        self.selection: Optional[list[Hashable]] = None
+        self.key_ids: Optional[list[int]] = None
+
+
+class StreamingCandidateSketcher(_StreamingSketcherBase):
+    """Streaming candidate side for **every** sketching method.
+
+    Values sharing a key are aggregated incrementally; ``AVG``, ``SUM``,
+    ``COUNT``, ``MIN``, ``MAX`` and ``FIRST`` use constant per-key state,
+    while ``MODE`` and ``MEDIAN`` retain the per-key value lists (the same
+    memory the batch builder needs).  Candidate-side *selection* operates on
+    the finished per-key aggregates, so finalize delegates it to the batch
+    builder registered for ``method`` — TUPSK's ``(key, 1)`` tuple ranking,
+    CSK/LV2SK/PRISK's minwise ranking (with the same stable first-appearance
+    tie-break, exercised by the adversarial-collision tests) or INDSK's
+    seeded uniform draw — making the sketch bit-identical by construction.
+
+    Two streams of the batch semantics are reproduced exactly:
+
+    * the value column's dtype is inferred from the whole aggregated column
+      (not the first value), and aggregates are reported in that dtype —
+      a ``[1, 2.5]`` stream declares FLOAT and sums to ``3.5``, matching
+      :func:`~repro.relational.dtypes.infer_column_dtype` + coercion;
+    * ``MIN``/``MAX`` track both a numeric-space and a string-space
+      extremum, so a column that only later turns out to be categorical
+      still reports the batch path's (string-ordered) answer, and ``SUM``/
+      ``AVG`` keep exact integer totals alongside the left-to-right float
+      accumulation that ``sum()`` performs over a float column.
+    """
+
+    _CONSTANT_STATE = {
+        AggregateFunction.AVG,
+        AggregateFunction.SUM,
+        AggregateFunction.COUNT,
+        AggregateFunction.MIN,
+        AggregateFunction.MAX,
+        AggregateFunction.FIRST,
+    }
+
+    def __init__(
+        self,
+        capacity: int = 256,
+        seed: int = 0,
+        agg: "str | AggregateFunction" = AggregateFunction.AVG,
+        *,
+        method: str = "TUPSK",
+        vectorized: bool = True,
+        family: Optional[CandidateFamilyState] = None,
+    ):
+        super().__init__(capacity=capacity, seed=seed, vectorized=vectorized)
+        self.method = method.upper()
+        if self.method not in available_methods():
+            raise IngestError(
+                f"unknown sketching method {method!r}; "
+                f"available: {', '.join(available_methods())}"
+            )
+        self.agg = get_aggregate(agg)
+        # CSK ignores the featurization function and keeps the first value
+        # seen per key, missing or not (see repro.sketches.csk).
+        self._first_value_semantics = self.method == "CSK"
+        self._state: dict[Hashable, Any] = {}
+        self._family = family
+
+    # ------------------------------------------------------------------ #
+    # Incremental aggregation
+    # ------------------------------------------------------------------ #
+    def _consume(self, key: Hashable, value: Any) -> None:
+        if self._first_value_semantics:
+            if key not in self._state:
+                self._state[key] = value
+            return
+        agg = self.agg
+        if agg is AggregateFunction.COUNT:
+            self._state[key] = self._state.get(key, 0) + (0 if value is None else 1)
+            return
+        if agg is AggregateFunction.FIRST:
+            if key not in self._state:
+                self._state[key] = _MISSING
+            if value is not None and self._state[key] is _MISSING:
+                self._state[key] = value
+            return
+        if agg in (AggregateFunction.MIN, AggregateFunction.MAX):
+            record = self._state.get(key)
+            if record is None:
+                record = self._state[key] = [None, None]
+            if value is None:
+                return
+            keep_low = agg is AggregateFunction.MIN
+            # The string-space extremum is maintained from the first row so
+            # that a column revealed as categorical only later still reports
+            # the batch answer; the numeric space goes dormant (and unused)
+            # as soon as a categorical value appears.
+            text = coerce_value(value, DType.STRING)
+            if _better(text, record[1], keep_low):
+                record[1] = text
+            if not self._value_tracker.saw_string:
+                number = _numeric(value)
+                if _better(number, record[0], keep_low):
+                    record[0] = number
+            return
+        if agg in (AggregateFunction.SUM, AggregateFunction.AVG):
+            record = self._state.get(key)
+            if record is None:
+                # [exact numeric total, left-to-right float total, count]
+                record = self._state[key] = [0, 0.0, 0]
+            if value is None:
+                return
+            record[2] += 1
+            if not self._value_tracker.saw_string:
+                number = _numeric(value)
+                record[0] += number
+                record[1] = record[1] + float(number)
+            return
+        self._state.setdefault(key, []).append(value)
+
+    def _consume_chunk(
+        self,
+        keys: list[Hashable],
+        values: list[Any],
+        *,
+        value_dtype: Optional[DType] = None,
+    ) -> None:
+        """Per-aggregate tight loops over one (pre-observed) chunk.
+
+        Semantically identical to looping :meth:`_consume`; the aggregate
+        dispatch and the ``saw_string`` flag are hoisted out of the row loop
+        (the whole chunk was observed before consumption, so the flag is
+        stable here — and once a string has appeared, the numeric-space
+        state is dead anyway).  ``value_dtype`` is the trusted chunk path's
+        declared column dtype — a pure optimization hint enabling the
+        float-column fast loop.
+        """
+        agg = self.agg
+        state = self._state
+        if self._first_value_semantics:
+            for key, value in zip(keys, values):
+                if key not in state:
+                    state[key] = value
+            return
+        if agg is AggregateFunction.COUNT:
+            get = state.get
+            for key, value in zip(keys, values):
+                state[key] = get(key, 0) + (0 if value is None else 1)
+            return
+        if agg in (AggregateFunction.SUM, AggregateFunction.AVG):
+            get = state.get
+            if value_dtype is DType.FLOAT and None not in values:
+                # Declared-FLOAT chunk with no missing entries: every value
+                # is a Python float, so the per-row type and None checks
+                # fold away (the integer-exact accumulator is dead once a
+                # float exists — the dtype can never resolve back to INT).
+                for key, value in zip(keys, values):
+                    record = get(key)
+                    if record is None:
+                        record = state[key] = [0, 0.0, 0]
+                    record[2] += 1
+                    record[1] = record[1] + value
+                return
+            tracker = self._value_tracker
+            numeric_space = not tracker.saw_string
+            # Once a float (or string) value has appeared, the column's
+            # dtype can never resolve back to INT, so the exact-integer
+            # accumulator is dead and can be skipped for the whole chunk.
+            int_space = not (tracker.saw_float or tracker.saw_string)
+            for key, value in zip(keys, values):
+                record = get(key)
+                if record is None:
+                    record = state[key] = [0, 0.0, 0]
+                if value is None:
+                    continue
+                record[2] += 1
+                if type(value) is float:
+                    record[1] = record[1] + value
+                elif numeric_space:
+                    number = _numeric(value)
+                    if int_space:
+                        record[0] += number
+                    record[1] = record[1] + float(number)
+            return
+        if agg in (AggregateFunction.MIN, AggregateFunction.MAX):
+            get = state.get
+            keep_low = agg is AggregateFunction.MIN
+            numeric_space = not self._value_tracker.saw_string
+            for key, value in zip(keys, values):
+                record = get(key)
+                if record is None:
+                    record = state[key] = [None, None]
+                if value is None:
+                    continue
+                text = value if type(value) is str else coerce_value(value, DType.STRING)
+                if _better(text, record[1], keep_low):
+                    record[1] = text
+                if numeric_space:
+                    number = value if type(value) is float else _numeric(value)
+                    if _better(number, record[0], keep_low):
+                        record[0] = number
+            return
+        if agg is AggregateFunction.FIRST:
+            for key, value in zip(keys, values):
+                self._consume(key, value)
+            return
+        setdefault = state.setdefault
+        for key, value in zip(keys, values):
+            setdefault(key, []).append(value)
+
+    # ------------------------------------------------------------------ #
+    # Finalization
+    # ------------------------------------------------------------------ #
+    def _finalize_selected(
+        self, selected: list[Hashable], input_dtype: DType
+    ) -> list[Any]:
+        """Per-key final aggregates for ``selected``, hot aggregates inlined.
+
+        Same results as mapping :meth:`_final_value`; ``AVG``/``SUM`` over
+        numeric columns skip the per-key dispatch chain (they dominate
+        default-configuration index builds).
+        """
+        state = self._state
+        agg = self.agg
+        if not self._first_value_semantics and input_dtype in (
+            DType.INT,
+            DType.FLOAT,
+        ):
+            if agg is AggregateFunction.AVG:
+                if input_dtype is DType.FLOAT:
+                    # float() of a float total is value-identical: s[1]/s[2]
+                    # equals the batch path's float(sum(...))/len(...).
+                    return [
+                        record[1] / record[2] if record[2] else None
+                        for record in map(state.__getitem__, selected)
+                    ]
+                return [
+                    float(record[0]) / record[2] if record[2] else None
+                    for record in map(state.__getitem__, selected)
+                ]
+            if agg is AggregateFunction.SUM:
+                slot = 1 if input_dtype is DType.FLOAT else 0
+                return [
+                    record[slot] if record[2] else None
+                    for record in map(state.__getitem__, selected)
+                ]
+        return [self._final_value(state[key], input_dtype) for key in selected]
+
+    def _final_value(self, state: Any, input_dtype: DType) -> Any:
+        agg = self.agg
+        if self._first_value_semantics:
+            return coerce_value(state, input_dtype)
+        if agg is AggregateFunction.COUNT:
+            return state
+        if agg is AggregateFunction.FIRST:
+            return None if state is _MISSING else coerce_value(state, input_dtype)
+        if agg in (AggregateFunction.MIN, AggregateFunction.MAX):
+            if input_dtype is DType.STRING:
+                return state[1]
+            if state[0] is None:
+                return None
+            return coerce_value(state[0], input_dtype)
+        if agg in (AggregateFunction.SUM, AggregateFunction.AVG):
+            if state[2] == 0:
+                return None
+            if input_dtype is DType.STRING:
+                raise AggregationError(
+                    f"aggregate {agg.value.upper()} requires numeric values, "
+                    f"got strings"
+                )
+            total = state[1] if input_dtype is DType.FLOAT else state[0]
+            if agg is AggregateFunction.AVG:
+                return float(total) / state[2]
+            return total
+        return aggregate_values(
+            [coerce_value(value, input_dtype) for value in state], agg
+        )
+
+    def merge(self, other: "StreamingCandidateSketcher"):
+        """Fold another partial state (covering *later* rows) into this one.
+
+        Exact for every aggregate except the float accumulators of ``SUM``/
+        ``AVG`` over float columns, which add per-partial subtotals and may
+        therefore differ from single-stream ingestion in the final ulps.
+        """
+        self._check_mergeable(other)
+        if (other.method, other.agg) != (self.method, self.agg):
+            raise IngestError(
+                f"cannot merge a {other.method}/{other.agg.value} sketcher into "
+                f"a {self.method}/{self.agg.value} one"
+            )
+        agg = self.agg
+        for key, state in other._state.items():
+            if key not in self._state:
+                self._state[key] = list(state) if isinstance(state, list) else state
+                continue
+            mine = self._state[key]
+            if self._first_value_semantics:
+                continue  # the earlier stream's first value wins
+            if agg is AggregateFunction.COUNT:
+                self._state[key] = mine + state
+            elif agg is AggregateFunction.FIRST:
+                if mine is _MISSING:
+                    self._state[key] = state
+            elif agg in (AggregateFunction.MIN, AggregateFunction.MAX):
+                keep_low = agg is AggregateFunction.MIN
+                for slot in (0, 1):
+                    theirs = state[slot]
+                    if theirs is not None and _better(theirs, mine[slot], keep_low):
+                        mine[slot] = theirs
+            elif agg in (AggregateFunction.SUM, AggregateFunction.AVG):
+                mine[0] += state[0]
+                mine[1] = mine[1] + state[1]
+                mine[2] += state[2]
+            else:
+                mine.extend(state)
+        self._merge_counters(other)
+        return self
+
+    def finalize(
+        self,
+        *,
+        key_column: str = "",
+        value_column: str = "",
+        table_name: str = "",
+        input_dtype: Optional[DType] = None,
+    ) -> Sketch:
+        """Produce the candidate-side sketch for the rows consumed so far.
+
+        ``input_dtype`` overrides the tracked dtype of the *input* value
+        column (pass the declared column dtype when the source carries one);
+        the sketch's ``value_dtype`` is derived from it and the aggregate,
+        exactly as in the batch path.
+        """
+        if self._rows_seen == 0:
+            raise SketchError("cannot finalize a streaming sketch with no rows")
+        input_dtype = self._resolve_value_dtype(input_dtype)
+        builder = get_builder(
+            self.method, capacity=self.capacity, seed=self.seed,
+            vectorized=self.vectorized,
+        )
+        family = self._family if builder.candidate_selection_key_only else None
+        if builder.candidate_selection_key_only:
+            # Select-then-finalize, like the batch KeyGroups fast path: the
+            # bundled methods rank candidate keys independently of the
+            # aggregated values, so only the selected keys' aggregates are
+            # ever materialized — and a family of sketchers over one shared
+            # key stream reuses the ranked keys and their hashes.
+            if family is not None and family.selection is not None:
+                selected = family.selection
+            else:
+                selected = builder._candidate_key_order(list(self._state))
+                if family is not None:
+                    family.selection = selected
+            values = self._finalize_selected(selected, input_dtype)
+        else:
+            aggregated = {
+                key: self._final_value(state, input_dtype)
+                for key, state in self._state.items()
+            }
+            selected, values = builder._select_candidate(aggregated)
+        if family is not None and family.key_ids is not None:
+            key_ids = family.key_ids
+        else:
+            key_ids = self._key_ids(selected)
+            if family is not None:
+                family.key_ids = key_ids
+        return Sketch(
+            method=self.method,
+            side=SketchSide.CANDIDATE,
+            seed=self.seed,
+            capacity=self.capacity,
+            key_ids=list(key_ids),
+            values=values,
+            value_dtype=builder._candidate_value_dtype(self.agg, input_dtype, values),
+            table_rows=self._rows_total,
+            distinct_keys=len(self._state),
+            key_column=key_column,
+            value_column=value_column,
+            table_name=table_name,
+            aggregate=self.agg.value,
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Factories
+# --------------------------------------------------------------------------- #
+_BASE_SKETCHERS = {
+    "TUPSK": StreamingBaseSketcher,
+    "CSK": StreamingFirstValueBaseSketcher,
+    "LV2SK": StreamingTwoLevelBaseSketcher,
+}
+
+
+def streaming_base_sketcher(
+    method: str = "TUPSK",
+    capacity: int = 256,
+    seed: int = 0,
+    *,
+    vectorized: bool = True,
+) -> _StreamingBaseSketcherBase:
+    """A streaming base-side sketcher for ``method`` (see the memory table)."""
+    name = method.upper()
+    if name in _BASE_SKETCHERS:
+        return _BASE_SKETCHERS[name](
+            capacity=capacity, seed=seed, vectorized=vectorized
+        )
+    if name in available_methods():
+        return StreamingBufferedBaseSketcher(
+            name, capacity=capacity, seed=seed, vectorized=vectorized
+        )
+    raise IngestError(
+        f"unknown sketching method {method!r}; "
+        f"available: {', '.join(available_methods())}"
+    )
+
+
+def streaming_candidate_sketcher(
+    method: str = "TUPSK",
+    capacity: int = 256,
+    seed: int = 0,
+    *,
+    agg: "str | AggregateFunction" = AggregateFunction.AVG,
+    vectorized: bool = True,
+    family: Optional[CandidateFamilyState] = None,
+) -> StreamingCandidateSketcher:
+    """A streaming candidate-side sketcher for ``method``."""
+    return StreamingCandidateSketcher(
+        capacity=capacity,
+        seed=seed,
+        agg=agg,
+        method=method,
+        vectorized=vectorized,
+        family=family,
+    )

@@ -97,7 +97,14 @@ class Column:
     # Constructors / derivation
     # ------------------------------------------------------------------ #
     def _from_values(self, values: Sequence[Any]) -> "Column":
-        return Column(self._name, values, dtype=self._dtype)
+        # The values are a subset of this column's (already coerced) values,
+        # so re-coercion is a no-op; skipping it makes slicing/taking O(n)
+        # list work instead of per-value type dispatch.
+        column = Column.__new__(Column)
+        column._name = self._name
+        column._dtype = self._dtype
+        column._values = list(values)
+        return column
 
     def rename(self, new_name: str) -> "Column":
         """Return a copy of the column under a different name."""

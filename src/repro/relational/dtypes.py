@@ -25,6 +25,7 @@ __all__ = [
     "MISSING_TOKENS",
     "infer_dtype",
     "infer_column_dtype",
+    "join_dtypes",
     "coerce_value",
     "is_missing_value",
 ]
@@ -150,6 +151,22 @@ def infer_column_dtype(values: Iterable[Any]) -> DType:
         return DType.INT
     if saw_any:  # pragma: no cover - defensive, unreachable
         return DType.STRING
+    return DType.MISSING
+
+
+def join_dtypes(left: DType, right: DType) -> DType:
+    """Combine two column dtypes under :func:`infer_column_dtype`'s rule.
+
+    The join of the chunk-wise dtypes of a partitioned column equals the
+    whole column's inferred dtype, which is what the streaming-ingestion
+    layer relies on to fold per-chunk schemas.
+    """
+    if DType.STRING in (left, right):
+        return DType.STRING
+    if DType.FLOAT in (left, right):
+        return DType.FLOAT
+    if DType.INT in (left, right):
+        return DType.INT
     return DType.MISSING
 
 

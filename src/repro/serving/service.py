@@ -148,6 +148,7 @@ class DiscoveryService:
         )
         self._lock = threading.Lock()
         self._load_lock = threading.Lock()
+        self._register_lock = threading.Lock()
         self._inflight: dict[str, Future] = {}
         self._planner: Optional[QueryPlanner] = None
         self._closed = False
@@ -189,6 +190,51 @@ class DiscoveryService:
         if self._planner is None:
             self._planner = QueryPlanner(self.ensure_ready().engine)
         return self._planner
+
+    def register_table(
+        self,
+        source: Any,
+        key_columns: "list[str] | tuple[str, ...]",
+        value_columns: Optional["list[str] | tuple[str, ...]"] = None,
+        *,
+        name: Optional[str] = None,
+        agg: Optional[str] = None,
+        metadata: Optional[dict[str, Any]] = None,
+    ) -> list[str]:
+        """Stream a new table into the live index, without downtime.
+
+        ``source`` is a :class:`~repro.ingest.reader.TableReader`, a plain
+        :class:`~repro.relational.table.Table` or an iterable of ``Table``
+        chunks; its candidates are built in one bounded-memory pass through
+        the index engine's :meth:`~repro.engine.session.SketchEngine.
+        ingest_table` and added under the registration lock (which
+        serializes registrations; queries never block — each plans over a
+        snapshot of the candidate set, so a concurrent query observes the
+        index before, during, or after the registration, never a torn
+        view of one candidate).  Every added candidate bumps
+        :attr:`SketchIndex.generation`, which the cache fingerprints fold
+        in — queries answered after registration can never be served from
+        a pre-registration cache entry, and the answers are identical to a
+        cold index built with the table included.  Returns the new
+        candidate identifiers.
+        """
+        if self._closed:
+            raise ServingError("the service is closed")
+        index = self.ensure_ready()
+        with self._register_lock:
+            candidates = index.engine.ingest_table(
+                source,
+                key_columns,
+                value_columns,
+                name=name,
+                agg=agg,
+                metadata=metadata,
+            )
+            for candidate in candidates:
+                index.add_prebuilt(candidate)
+        self.metrics.increment("tables_registered")
+        self.metrics.increment("candidates_registered", len(candidates))
+        return [candidate.candidate_id for candidate in candidates]
 
     # ------------------------------------------------------------------ #
     # Queries

@@ -50,8 +50,6 @@ from repro.sketches.serialization import (
     sketch_to_dict,
     sketch_from_dict,
 )
-from repro.sketches.streaming import StreamingBaseSketcher, StreamingCandidateSketcher
-
 __all__ = [
     "Sketch",
     "SketchBuilder",
@@ -80,3 +78,18 @@ __all__ = [
     "StreamingBaseSketcher",
     "StreamingCandidateSketcher",
 ]
+
+#: Streaming sketcher names re-exported from :mod:`repro.ingest`.
+_STREAMING_EXPORTS = ("StreamingBaseSketcher", "StreamingCandidateSketcher")
+
+
+def __getattr__(name: str):
+    # Resolved lazily (PEP 562): the streaming sketchers live in
+    # repro.ingest, which imports this package's submodules — importing it
+    # eagerly here would make the two package initializations mutually
+    # recursive.
+    if name in _STREAMING_EXPORTS:
+        from repro.sketches import streaming
+
+        return getattr(streaming, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

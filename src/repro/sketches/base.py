@@ -88,7 +88,10 @@ class Sketch:
         Logical type of the value column (after aggregation, for the
         candidate side) — drives estimator selection downstream.
     table_rows:
-        Number of rows of the sketched table.
+        Number of rows of the sketched table, *including* rows whose join
+        key is missing.  (NULL-key rows never enter the sketch, but they are
+        part of the table's size; see ``distinct_keys`` for the join-side
+        statistic.)
     distinct_keys:
         Number of distinct non-missing join-key values in the sketched table.
     key_column / value_column:
@@ -180,7 +183,8 @@ class KeyGroups:
         #: first-appearance order — the same order ``group_by_aggregate``
         #: produces, so selection tie-breaking matches the per-column path.
         self.rows_by_key: dict[Hashable, list[int]] = dict(grouped)
-        self.table_rows = retained
+        self.retained_rows = retained
+        self.total_rows = table.num_rows
         self.distinct_keys = len(self.rows_by_key)
         # (method, capacity, seed) -> selected candidate keys (or None when
         # the method's selection inspects values and cannot be shared).
@@ -264,6 +268,7 @@ class SketchBuilder(abc.ABC):
         """Sketch the base (``T_train``) side: sample rows, keep repeated keys."""
         keys = table.column(key_column).values
         values = table.column(value_column).values
+        total_rows = len(keys)
         keys, values = _drop_missing_keys(keys, values)
         if not keys:
             raise SketchError(
@@ -278,7 +283,7 @@ class SketchBuilder(abc.ABC):
             key_ids=self._key_ids(key_list),
             values=value_list,
             value_dtype=table.column(value_column).dtype,
-            table_rows=len(keys),
+            table_rows=total_rows,
             distinct_keys=len(set(keys)),
             key_column=key_column,
             value_column=value_column,
@@ -321,6 +326,7 @@ class SketchBuilder(abc.ABC):
                 return sketch
         keys = table.column(key_column).values
         values = table.column(value_column).values
+        total_rows = len(keys)
         keys, values = _drop_missing_keys(keys, values)
         if not keys:
             raise SketchError(
@@ -337,7 +343,7 @@ class SketchBuilder(abc.ABC):
             key_ids=self._key_ids(key_list),
             values=value_list,
             value_dtype=self._candidate_value_dtype(agg, input_dtype, value_list),
-            table_rows=len(keys),
+            table_rows=total_rows,
             distinct_keys=len(set(keys)),
             key_column=key_column,
             value_column=value_column,
@@ -358,7 +364,7 @@ class SketchBuilder(abc.ABC):
             raise SketchError(
                 "key_groups was built for a different table or join-key column"
             )
-        if key_groups.table_rows == 0:
+        if key_groups.retained_rows == 0:
             raise SketchError(
                 f"cannot sketch {table.name or 'table'}: join key {key_column!r} has no values"
             )
@@ -387,7 +393,7 @@ class SketchBuilder(abc.ABC):
             ),
             values=value_list,
             value_dtype=self._candidate_value_dtype(agg, input_dtype, value_list),
-            table_rows=key_groups.table_rows,
+            table_rows=key_groups.total_rows,
             distinct_keys=key_groups.distinct_keys,
             key_column=key_column,
             value_column=value_column,

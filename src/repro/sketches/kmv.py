@@ -49,7 +49,9 @@ class KMVSketch:
         """Add one value to the sketch (duplicates are ignored by hashing)."""
         if value is None:
             return
-        unit = self._hasher.unit(value)
+        self._add_hashed(self._hasher.unit(value), value)
+
+    def _add_hashed(self, unit: float, value: Hashable) -> None:
         if unit in self._entries:
             return
         if len(self._entries) < self.capacity:
@@ -67,6 +69,42 @@ class KMVSketch:
         """Add many values; returns ``self`` for chaining."""
         for value in values:
             self.add(value)
+        return self
+
+    def update_many(
+        self, values: Iterable[Hashable], *, vectorized: bool = True
+    ) -> "KMVSketch":
+        """Add one chunk of values, hashing it in a single batched pass.
+
+        Bit-identical to calling :meth:`add` per value — this is the chunked
+        ingestion path's per-chunk update, keeping the sketch streaming
+        while hashing at :meth:`from_values` speed.
+        """
+        retained = [value for value in values if value is not None]
+        if not retained:
+            return self
+        if not vectorized or len(retained) == 1:
+            return self.update(retained)
+        for unit, value in zip(self._hasher.unit_many(retained), retained):
+            self._add_hashed(float(unit), value)
+        return self
+
+    def merge(self, other: "KMVSketch") -> "KMVSketch":
+        """Fold another sketch (a partial state over later values) into this one.
+
+        Exact: the result retains the ``capacity`` smallest distinct unit
+        hashes of the union, each mapped to the earlier stream's value when
+        both partials saw the hash — the same state single-stream ingestion
+        reaches.  Requires equal seeds and capacities.
+        """
+        self._check_comparable(other)
+        if other.capacity != self.capacity:
+            raise SketchError(
+                f"cannot merge KMV sketches with different capacities "
+                f"({self.capacity} vs {other.capacity})"
+            )
+        for unit, value in other._entries.items():
+            self._add_hashed(unit, value)
         return self
 
     @classmethod

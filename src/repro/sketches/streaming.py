@@ -1,243 +1,21 @@
-"""One-pass (streaming) construction of TUPSK sketches.
+"""One-pass (streaming) construction of TUPSK sketches — compatibility shim.
 
-Section IV-A notes that the sketches "can be done in a single pass" over the
-table; this module provides that interface for the proposed TUPSK method so
-sketches can be built from sources that do not fit in memory (database
-cursors, CSV readers, message streams):
+The streaming sketchers grew from this TUPSK-only module into the
+:mod:`repro.ingest` subsystem, which covers every sketching method, chunked
+(vectorized) consumption, mergeable partial states and the chunked table
+readers.  The two original classes keep their import path here:
 
-* :class:`StreamingBaseSketcher` — consumes ``(key, value)`` rows of the base
-  table; memory is ``O(n + distinct keys seen)`` (the per-key occurrence
-  counters are the only state besides the bounded heap).
-* :class:`StreamingCandidateSketcher` — consumes ``(key, value)`` rows of a
-  candidate table and maintains streaming aggregate state per key
-  (``O(distinct keys)`` memory), then keeps the ``n`` minimum-hash keys.
+* :class:`~repro.ingest.sketchers.StreamingBaseSketcher` — the TUPSK
+  base-side streamer (``O(n + distinct keys)`` memory);
+* :class:`~repro.ingest.sketchers.StreamingCandidateSketcher` — the
+  candidate-side streamer, now parameterized by ``method`` (TUPSK default).
 
 Both produce exactly the same :class:`~repro.sketches.base.Sketch` a batch
-:class:`~repro.sketches.tupsk.TupleSketchBuilder` would produce on the same
-rows, which is asserted by the test suite.
+builder would produce on the same rows, which is asserted by the test suite.
 """
 
 from __future__ import annotations
 
-import heapq
-from typing import Any, Hashable, Iterable, Optional
-
-from repro.exceptions import SketchError
-from repro.hashing.unit import KeyHasher
-from repro.relational.aggregate import AggregateFunction, aggregate_values, get_aggregate, output_dtype
-from repro.relational.dtypes import DType, infer_column_dtype, infer_dtype
-from repro.sketches.base import Sketch, SketchSide
+from repro.ingest.sketchers import StreamingBaseSketcher, StreamingCandidateSketcher
 
 __all__ = ["StreamingBaseSketcher", "StreamingCandidateSketcher"]
-
-
-class StreamingBaseSketcher:
-    """Build a TUPSK base-side sketch from a stream of ``(key, value)`` rows.
-
-    Parameters
-    ----------
-    capacity:
-        Maximum sketch size ``n``.
-    seed:
-        Hash seed (must match the candidate sketches it will be joined with).
-    """
-
-    def __init__(self, capacity: int = 256, seed: int = 0):
-        if capacity < 1:
-            raise ValueError("capacity must be at least 1")
-        self.capacity = int(capacity)
-        self.seed = int(seed)
-        self._hasher = KeyHasher(seed=self.seed)
-        self._heap: list[tuple[float, int, Hashable, Any]] = []  # max-heap by -unit
-        self._occurrences: dict[Hashable, int] = {}
-        self._rows_seen = 0
-        self._row_counter = 0
-
-    def add(self, key: Hashable, value: Any) -> None:
-        """Consume one row.  Rows with a missing key are ignored."""
-        if key is None:
-            return
-        self._rows_seen += 1
-        occurrence = self._occurrences.get(key, 0) + 1
-        self._occurrences[key] = occurrence
-        unit = self._hasher.tuple_unit(key, occurrence)
-        entry = (-unit, self._row_counter, key, value)
-        self._row_counter += 1
-        if len(self._heap) < self.capacity:
-            heapq.heappush(self._heap, entry)
-        elif unit < -self._heap[0][0]:
-            heapq.heapreplace(self._heap, entry)
-
-    def extend(self, rows: Iterable[tuple[Hashable, Any]]) -> "StreamingBaseSketcher":
-        """Consume many rows; returns ``self`` for chaining."""
-        for key, value in rows:
-            self.add(key, value)
-        return self
-
-    @property
-    def rows_seen(self) -> int:
-        """Number of non-null-key rows consumed so far."""
-        return self._rows_seen
-
-    def finalize(
-        self,
-        *,
-        key_column: str = "",
-        value_column: str = "",
-        table_name: str = "",
-        value_dtype: Optional[DType] = None,
-    ) -> Sketch:
-        """Produce the sketch for the rows consumed so far.
-
-        The sketcher can keep consuming rows afterwards; ``finalize`` simply
-        snapshots the current state.
-        """
-        if self._rows_seen == 0:
-            raise SketchError("cannot finalize a streaming sketch with no rows")
-        # Restore stream order so the result matches the batch builder.
-        ordered = sorted(self._heap, key=lambda entry: entry[1])
-        keys = [entry[2] for entry in ordered]
-        values = [entry[3] for entry in ordered]
-        if value_dtype is None:
-            value_dtype = infer_column_dtype(values)
-        return Sketch(
-            method="TUPSK",
-            side=SketchSide.BASE,
-            seed=self.seed,
-            capacity=self.capacity,
-            key_ids=[self._hasher.key_id(key) for key in keys],
-            values=values,
-            value_dtype=value_dtype,
-            table_rows=self._rows_seen,
-            distinct_keys=len(self._occurrences),
-            key_column=key_column,
-            value_column=value_column,
-            table_name=table_name,
-        )
-
-
-class StreamingCandidateSketcher:
-    """Build a TUPSK candidate-side sketch from a stream of ``(key, value)`` rows.
-
-    Values sharing a key are aggregated incrementally; ``AVG``, ``SUM``,
-    ``COUNT``, ``MIN`` and ``MAX`` use constant per-key state, while ``MODE``,
-    ``MEDIAN`` and ``FIRST`` retain the per-key value lists (the same memory
-    the batch builder needs).
-    """
-
-    _CONSTANT_STATE = {
-        AggregateFunction.AVG,
-        AggregateFunction.SUM,
-        AggregateFunction.COUNT,
-        AggregateFunction.MIN,
-        AggregateFunction.MAX,
-        AggregateFunction.FIRST,
-    }
-
-    def __init__(
-        self,
-        capacity: int = 256,
-        seed: int = 0,
-        agg: "str | AggregateFunction" = AggregateFunction.AVG,
-    ):
-        if capacity < 1:
-            raise ValueError("capacity must be at least 1")
-        self.capacity = int(capacity)
-        self.seed = int(seed)
-        self.agg = get_aggregate(agg)
-        self._hasher = KeyHasher(seed=self.seed)
-        self._state: dict[Hashable, Any] = {}
-        self._rows_seen = 0
-        self._input_dtype: DType = DType.MISSING
-
-    # ------------------------------------------------------------------ #
-    # Incremental aggregation
-    # ------------------------------------------------------------------ #
-    def _update_constant_state(self, key: Hashable, value: Any) -> None:
-        agg = self.agg
-        state = self._state.get(key)
-        if agg is AggregateFunction.COUNT:
-            self._state[key] = (state or 0) + (0 if value is None else 1)
-            return
-        if value is None:
-            if state is None and key not in self._state:
-                self._state[key] = None
-            return
-        if agg is AggregateFunction.AVG:
-            total, count = state if state else (0.0, 0)
-            self._state[key] = (total + float(value), count + 1)
-        elif agg is AggregateFunction.SUM:
-            self._state[key] = value if state is None else state + value
-        elif agg is AggregateFunction.MIN:
-            self._state[key] = value if state is None else min(state, value)
-        elif agg is AggregateFunction.MAX:
-            self._state[key] = value if state is None else max(state, value)
-        elif agg is AggregateFunction.FIRST:
-            if key not in self._state or self._state[key] is None:
-                self._state[key] = value
-
-    def add(self, key: Hashable, value: Any) -> None:
-        """Consume one row.  Rows with a missing key are ignored."""
-        if key is None:
-            return
-        self._rows_seen += 1
-        if value is not None and self._input_dtype is DType.MISSING:
-            self._input_dtype = infer_dtype(value)
-        if self.agg in self._CONSTANT_STATE:
-            self._update_constant_state(key, value)
-        else:
-            self._state.setdefault(key, []).append(value)
-
-    def extend(self, rows: Iterable[tuple[Hashable, Any]]) -> "StreamingCandidateSketcher":
-        """Consume many rows; returns ``self`` for chaining."""
-        for key, value in rows:
-            self.add(key, value)
-        return self
-
-    @property
-    def rows_seen(self) -> int:
-        """Number of non-null-key rows consumed so far."""
-        return self._rows_seen
-
-    def _final_value(self, state: Any) -> Any:
-        agg = self.agg
-        if agg is AggregateFunction.AVG:
-            if state is None:
-                return None
-            total, count = state
-            return total / count if count else None
-        if agg in self._CONSTANT_STATE:
-            return state
-        return aggregate_values(state, agg)
-
-    def finalize(
-        self,
-        *,
-        key_column: str = "",
-        value_column: str = "",
-        table_name: str = "",
-    ) -> Sketch:
-        """Produce the candidate-side sketch for the rows consumed so far."""
-        if self._rows_seen == 0:
-            raise SketchError("cannot finalize a streaming sketch with no rows")
-        ranked = sorted(self._state, key=lambda key: self._hasher.tuple_unit(key, 1))
-        selected = ranked[: self.capacity]
-        values = [self._final_value(self._state[key]) for key in selected]
-        declared = output_dtype(self.agg, self._input_dtype)
-        if declared is DType.MISSING:
-            declared = infer_column_dtype(values)
-        return Sketch(
-            method="TUPSK",
-            side=SketchSide.CANDIDATE,
-            seed=self.seed,
-            capacity=self.capacity,
-            key_ids=[self._hasher.key_id(key) for key in selected],
-            values=values,
-            value_dtype=declared,
-            table_rows=self._rows_seen,
-            distinct_keys=len(self._state),
-            key_column=key_column,
-            value_column=value_column,
-            table_name=table_name,
-            aggregate=self.agg.value,
-        )

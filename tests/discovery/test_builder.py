@@ -245,3 +245,94 @@ class TestRegistrationAndErrors:
         builder = IndexBuilder(config)
         assert builder.max_workers == 3
         assert builder.num_shards == 5
+
+
+class TestStreamedRegistration:
+    """add_table_stream: one-pass registration, identical to batch builds."""
+
+    def test_streamed_build_identical_to_batch(self, lake):
+        from repro.ingest import InMemoryReader
+
+        _, tables = lake
+        batch = IndexBuilder(CONFIG)
+        for table in tables:
+            batch.add_table(table, ["key"])
+        reference = batch.build()
+
+        streamed = IndexBuilder(CONFIG)
+        for table in tables:
+            streamed.add_table_stream(InMemoryReader(table, chunk_size=47), ["key"])
+        index = streamed.build()
+
+        assert [c.candidate_id for c in index.candidates] == [
+            c.candidate_id for c in reference.candidates
+        ]
+        for mine, ref in zip(index.candidates, reference.candidates):
+            assert mine.sketch == ref.sketch
+            assert mine.profile == ref.profile
+            assert mine.key_kmv.hashes == ref.key_kmv.hashes
+
+    def test_mixed_batch_and_streamed_registration_order(self, lake):
+        from repro.ingest import InMemoryReader
+
+        _, tables = lake
+        builder = IndexBuilder(CONFIG)
+        builder.add_table(tables[0], ["key"])
+        builder.add_table_stream(InMemoryReader(tables[1], 50), ["key"])
+        builder.add_table(tables[2], ["key"])
+        index = builder.build()
+        assert len(builder) == len(index) == 6
+        assert [c.profile.table_name for c in index.candidates] == [
+            "t0", "t0", "t1", "t1", "t2", "t2"
+        ]
+        assert builder.table_names == ["t0", "t2", "t1"]
+
+    def test_streamed_replaces_and_is_replaced_by_batch(self, lake):
+        from repro.ingest import InMemoryReader
+
+        _, tables = lake
+        renamed = tables[1].rename("t0")
+        builder = IndexBuilder(CONFIG)
+        builder.add_table(tables[0], ["key"])
+        builder.add_table_stream(InMemoryReader(renamed, 60), ["key"])
+        index = builder.build()
+        assert len(index) == 2  # the streamed copy replaced the batch one
+        reference = IndexBuilder(CONFIG)
+        reference.add_table(renamed, ["key"])
+        assert [c.sketch for c in index.candidates] == [
+            c.sketch for c in reference.build().candidates
+        ]
+        # ... and a later batch registration replaces the streamed one.
+        builder.add_table(tables[0], ["key"])
+        assert len(builder.build()) == 2
+        assert builder.table_names == ["t0"]
+
+    def test_streamed_tables_can_be_removed(self, lake):
+        from repro.ingest import InMemoryReader
+
+        _, tables = lake
+        builder = IndexBuilder(CONFIG)
+        builder.add_table_stream(InMemoryReader(tables[0], 80), ["key"])
+        assert len(builder) == 2
+        builder.remove_table("t0")
+        assert len(builder) == 0
+        assert builder.table_names == []
+        with pytest.raises(DiscoveryError, match="unknown table"):
+            builder.remove_table("t0")
+
+    def test_streamed_anonymous_tables_get_positional_names(self):
+        from repro.ingest import InMemoryReader
+
+        table = Table.from_dict({"key": ["a", "b"], "v": [1.0, 2.0]})
+        builder = IndexBuilder(CONFIG)
+        name = builder.add_table_stream(InMemoryReader(table, 10), ["key"])
+        assert name == "table_0"
+
+    def test_streamed_registration_errors_as_discovery_errors(self):
+        """Misuse raises DiscoveryError from both registration paths."""
+        from repro.ingest import InMemoryReader
+
+        only_key = Table.from_dict({"key": ["a", "b"]}, name="only-key")
+        builder = IndexBuilder(CONFIG)
+        with pytest.raises(DiscoveryError, match="no candidate"):
+            builder.add_table_stream(InMemoryReader(only_key, 10), ["key"])

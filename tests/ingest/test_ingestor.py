@@ -1,0 +1,158 @@
+"""Tests for chunked index-candidate construction (repro.ingest.ingestor)."""
+
+import numpy as np
+import pytest
+
+from repro.discovery import IndexBuilder
+from repro.engine import EngineConfig, SketchEngine
+from repro.exceptions import IngestError
+from repro.ingest import InMemoryReader, TableIngestor
+from repro.relational.table import Table
+
+
+def make_lake_table(seed=0, rows=400, name="lake"):
+    rng = np.random.default_rng(seed)
+    keys = [
+        None if rng.random() < 0.04 else f"k{int(i):03d}"
+        for i in rng.integers(0, 60, size=rows)
+    ]
+    return Table.from_dict(
+        {
+            "key": keys,
+            "metric": rng.normal(size=rows).tolist(),
+            "count": [int(i) for i in rng.integers(0, 9, size=rows)],
+            "label": ["rgb"[int(i) % 3] for i in rng.integers(0, 60, size=rows)],
+        },
+        name=name,
+    )
+
+
+def batch_candidates(table, config, key_columns=("key",)):
+    builder = IndexBuilder(SketchEngine(config))
+    builder.add_table(table, list(key_columns))
+    return builder.build().candidates
+
+
+class TestTableIngestor:
+    def test_candidates_identical_to_batch_build(self):
+        config = EngineConfig(capacity=32, seed=3)
+        table = make_lake_table(seed=5)
+        reference = batch_candidates(table, config)
+        ingestor = TableIngestor(config, ["key"], name="lake")
+        ingestor.extend(InMemoryReader(table, chunk_size=64))
+        candidates = ingestor.finalize()
+        assert [c.candidate_id for c in candidates] == [
+            c.candidate_id for c in reference
+        ]
+        for mine, ref in zip(candidates, reference):
+            assert mine.sketch == ref.sketch
+            assert mine.profile == ref.profile
+            assert mine.aggregate == ref.aggregate
+            assert mine.key_kmv.hashes == ref.key_kmv.hashes
+            assert mine.key_kmv.values == ref.key_kmv.values
+
+    def test_default_aggregates_follow_column_dtype(self):
+        table = make_lake_table(seed=7)
+        ingestor = TableIngestor(EngineConfig(capacity=16), ["key"], name="lake")
+        ingestor.add_chunk(next(iter(InMemoryReader(table, chunk_size=50))))
+        by_value = {
+            candidate.profile.value_column: candidate.aggregate
+            for candidate in ingestor.finalize()
+        }
+        assert by_value == {"metric": "avg", "count": "avg", "label": "mode"}
+
+    def test_explicit_aggregate_applies_to_every_pair(self):
+        table = make_lake_table(seed=9)
+        ingestor = TableIngestor(
+            EngineConfig(capacity=16), ["key"], ["metric", "count"],
+            name="lake", agg="max",
+        )
+        ingestor.extend(InMemoryReader(table, chunk_size=128))
+        candidates = ingestor.finalize()
+        assert [c.aggregate for c in candidates] == ["max", "max"]
+        assert all("max" in c.candidate_id for c in candidates)
+
+    def test_metadata_copied_per_candidate(self):
+        table = make_lake_table(seed=2)
+        ingestor = TableIngestor(
+            EngineConfig(capacity=8), ["key"], ["metric"],
+            name="lake", metadata={"origin": "test"},
+        )
+        ingestor.extend(InMemoryReader(table, chunk_size=100))
+        (candidate,) = ingestor.finalize()
+        assert candidate.metadata == {"origin": "test"}
+        candidate.metadata["origin"] = "mutated"
+        assert ingestor._metadata == {"origin": "test"}
+
+    def test_schema_drift_rejected(self):
+        ingestor = TableIngestor(EngineConfig(capacity=8), ["key"], name="t")
+        ingestor.add_chunk(Table.from_dict({"key": ["a"], "v": [1.0]}))
+        with pytest.raises(IngestError, match="drift"):
+            ingestor.add_chunk(Table.from_dict({"key": ["b"], "other": [2.0]}))
+
+    def test_categorical_vs_numeric_dtype_drift_rejected(self):
+        # An INT-keyed chunk followed by a STRING-keyed chunk can never
+        # match a whole-table load (the ints would have been coerced to
+        # strings and hashed differently) — diagnosed, not silently wrong.
+        ingestor = TableIngestor(EngineConfig(capacity=8), ["key"], name="t")
+        ingestor.add_chunk(Table.from_dict({"key": [1, 2], "v": [1.0, 2.0]}))
+        with pytest.raises(IngestError, match="key.*was int.*string"):
+            ingestor.add_chunk(Table.from_dict({"key": ["x"], "v": [3.0]}))
+        # ... and drifting *value* dtypes are caught the same way.
+        ingestor = TableIngestor(EngineConfig(capacity=8), ["key"], name="t")
+        ingestor.add_chunk(Table.from_dict({"key": ["a"], "v": [1.0]}))
+        with pytest.raises(IngestError, match="'v' was float.*string"):
+            ingestor.add_chunk(Table.from_dict({"key": ["b"], "v": ["oops"]}))
+
+    def test_int_float_dtype_drift_heals_at_finalize(self):
+        # Equal-valued int and float keys hash identically and values are
+        # coerced to the folded dtype, so INT→FLOAT drift stays equivalent
+        # to batch-building the concatenated rows.
+        config = EngineConfig(capacity=8, seed=1)
+        ingestor = TableIngestor(config, ["key"], name="t")
+        ingestor.add_chunk(Table.from_dict({"key": [1, 2], "v": [1, 2]}))
+        ingestor.add_chunk(Table.from_dict({"key": [2.0, 3.5], "v": [2.5, 4]}))
+        (candidate,) = ingestor.finalize()
+        whole = Table.from_dict(
+            {"key": [1, 2, 2.0, 3.5], "v": [1, 2, 2.5, 4]}, name="t"
+        )
+        (reference,) = batch_candidates(whole, config)
+        assert candidate.sketch == reference.sketch
+        assert candidate.key_kmv.hashes == reference.key_kmv.hashes
+        assert candidate.profile.value_distinct == reference.profile.value_distinct
+
+    def test_no_chunks_rejected(self):
+        ingestor = TableIngestor(EngineConfig(capacity=8), ["key"], name="t")
+        with pytest.raises(IngestError):
+            ingestor.finalize()
+
+    def test_no_key_columns_rejected(self):
+        with pytest.raises(IngestError):
+            TableIngestor(EngineConfig(capacity=8), [], name="t")
+
+    def test_no_value_columns_rejected(self):
+        ingestor = TableIngestor(EngineConfig(capacity=8), ["key"], name="t")
+        with pytest.raises(IngestError):
+            ingestor.add_chunk(Table.from_dict({"key": ["a"]}))
+
+    def test_multiple_key_columns_match_batch(self):
+        config = EngineConfig(capacity=16, seed=1)
+        rng = np.random.default_rng(12)
+        table = Table.from_dict(
+            {
+                "k1": [f"a{int(i)}" for i in rng.integers(0, 20, size=200)],
+                "k2": [int(i) for i in rng.integers(0, 15, size=200)],
+                "v": rng.normal(size=200).tolist(),
+            },
+            name="twokeys",
+        )
+        reference = batch_candidates(table, config, key_columns=("k1", "k2"))
+        ingestor = TableIngestor(config, ["k1", "k2"], name="twokeys")
+        ingestor.extend(InMemoryReader(table, chunk_size=33))
+        candidates = ingestor.finalize()
+        assert [c.candidate_id for c in candidates] == [
+            c.candidate_id for c in reference
+        ]
+        for mine, ref in zip(candidates, reference):
+            assert mine.sketch == ref.sketch
+            assert mine.profile == ref.profile

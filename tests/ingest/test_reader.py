@@ -1,0 +1,138 @@
+"""Tests for the chunked table sources (repro.ingest.reader)."""
+
+import pytest
+
+from repro.exceptions import IngestError, SchemaError
+from repro.ingest.reader import CSVReader, InMemoryReader, iter_chunks
+from repro.relational.csvio import read_csv, write_csv
+from repro.relational.dtypes import DType
+from repro.relational.table import Table
+
+
+def concat_chunks(chunks):
+    data: dict = {}
+    for chunk in chunks:
+        for column in chunk.columns:
+            data.setdefault(column.name, []).extend(column.values)
+    return data
+
+
+class TestInMemoryReader:
+    def test_chunks_reproduce_the_table(self):
+        table = Table.from_dict(
+            {"k": list(range(10)), "v": [float(i) for i in range(10)]}, name="t"
+        )
+        reader = InMemoryReader(table, chunk_size=3)
+        chunks = list(reader)
+        assert [chunk.num_rows for chunk in chunks] == [3, 3, 3, 1]
+        assert concat_chunks(chunks) == table.to_dict()
+        assert reader.name == "t"
+        assert all(chunk.name == "t" for chunk in chunks)
+
+    def test_chunks_inherit_parent_dtypes(self):
+        # A chunk of all-int values must stay FLOAT if the parent column is.
+        table = Table.from_dict({"k": ["a", "b", "c"], "v": [1, 2, 2.5]})
+        chunks = list(InMemoryReader(table, chunk_size=2))
+        assert [chunk.column("v").dtype for chunk in chunks] == [
+            DType.FLOAT,
+            DType.FLOAT,
+        ]
+        assert chunks[0].column("v").values == [1.0, 2.0]
+
+    def test_schema_matches_table(self):
+        table = Table.from_dict({"k": ["a"], "v": [1]})
+        assert InMemoryReader(table).schema() == table.schema()
+
+    def test_chunk_size_validated(self):
+        with pytest.raises(IngestError):
+            InMemoryReader(Table.from_dict({"k": [1]}), chunk_size=0)
+
+
+class TestCSVReader:
+    def write(self, tmp_path, text, name="table.csv"):
+        path = tmp_path / name
+        path.write_text(text, encoding="utf-8")
+        return path
+
+    def test_chunks_match_whole_file_read(self, tmp_path):
+        path = self.write(
+            tmp_path,
+            "key,temp,label\n1,20.5,x\n2,,y\n3,7,z\n4,1.25,x\n5,3,q\n",
+        )
+        reader = CSVReader(path, chunk_size=2)
+        batch = read_csv(path)
+        assert reader.schema() == batch.schema()
+        assert concat_chunks(reader) == batch.to_dict()
+        assert reader.name == "table"
+
+    def test_type_inference_uses_the_whole_file(self, tmp_path):
+        # The first 3 rows alone would infer INT for both columns; the last
+        # row makes `key` FLOAT and `label` STRING — every chunk must coerce
+        # under the whole-file dtype, exactly as read_csv does.
+        path = self.write(
+            tmp_path, "key,label\n1,10\n2,11\n3,12\n4.5,oops\n"
+        )
+        reader = CSVReader(path, chunk_size=2)
+        assert reader.schema() == {"key": DType.FLOAT, "label": DType.STRING}
+        chunks = list(reader)
+        assert chunks[0].column("key").values == [1.0, 2.0]
+        assert chunks[0].column("label").values == ["10", "11"]
+        assert concat_chunks(chunks) == read_csv(path).to_dict()
+
+    def test_round_trips_written_tables(self, tmp_path):
+        table = Table.from_dict(
+            {"k": ["a", "b", None, "d"], "v": [1.5, None, 3.0, -2.25]}, name="rt"
+        )
+        path = tmp_path / "rt.csv"
+        write_csv(table, path)
+        assert concat_chunks(CSVReader(path, chunk_size=3)) == read_csv(path).to_dict()
+
+    def test_projection(self, tmp_path):
+        path = self.write(tmp_path, "a,b,c\n1,2,3\n4,5,6\n")
+        reader = CSVReader(path, chunk_size=10, columns=["c", "a"])
+        assert reader.column_names == ("c", "a")
+        (chunk,) = list(reader)
+        assert chunk.column_names == ("c", "a")
+        assert chunk.column("c").values == [3, 6]
+
+    def test_unknown_projection_column(self, tmp_path):
+        path = self.write(tmp_path, "a,b\n1,2\n")
+        with pytest.raises(SchemaError):
+            CSVReader(path, columns=["nope"]).schema()
+
+    def test_ragged_row_rejected(self, tmp_path):
+        path = self.write(tmp_path, "a,b\n1,2\n3\n")
+        with pytest.raises(SchemaError):
+            list(CSVReader(path, chunk_size=10))
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = self.write(tmp_path, "")
+        with pytest.raises(SchemaError):
+            CSVReader(path).schema()
+
+    def test_header_only_file_yields_no_chunks(self, tmp_path):
+        path = self.write(tmp_path, "a,b\n")
+        reader = CSVReader(path)
+        assert reader.schema() == {"a": DType.MISSING, "b": DType.MISSING}
+        assert list(reader) == []
+
+
+class TestIterChunks:
+    def test_accepts_reader_table_and_iterable(self):
+        table = Table.from_dict({"k": [1, 2, 3]}, name="t")
+        for source in (InMemoryReader(table, 2), table, iter([table])):
+            name, chunks = iter_chunks(source)
+            assert name == "t"
+            assert concat_chunks(chunks) == table.to_dict()
+
+    def test_empty_iterable_rejected(self):
+        with pytest.raises(IngestError):
+            iter_chunks(iter([]))
+
+    def test_non_table_chunks_rejected(self):
+        with pytest.raises(IngestError):
+            iter_chunks(iter(["nope"]))
+        table = Table.from_dict({"k": [1]})
+        _, chunks = iter_chunks(iter([table, "nope"]))
+        with pytest.raises(IngestError):
+            list(chunks)

@@ -1,0 +1,206 @@
+"""Property-based streaming-vs-batch equivalence of sketch construction.
+
+The :mod:`repro.ingest` sketchers promise that a sketch built from chunked
+one-pass consumption is **bit-identical** to the batch builder run over the
+materialized table — for every method, every aggregate, any chunk split, and
+adversarial columns (null/NaN/bigint/unicode keys, ``None``-heavy and
+mixed-typed values).  All of it runs under the current canonical hash
+encoding (``HASH_ENCODING_VERSION == 2``), and the persisted artifact check
+asserts byte-identical index stores built via ``add_table_stream`` vs
+``add_table``.
+"""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.discovery.builder import IndexBuilder
+from repro.discovery.persistence import save_index
+from repro.engine import EngineConfig, SketchEngine
+from repro.ingest import InMemoryReader
+from repro.relational.table import Table
+from repro.sketches.base import get_builder
+from repro.sketches.serialization import HASH_ENCODING_VERSION
+from repro.store import load_npz
+
+METHODS = ("TUPSK", "CSK", "LV2SK", "PRISK", "INDSK")
+
+# Join-key columns: nulls, NaN (missing after coercion), bigints beyond
+# int64, unicode text, and floats that canonicalize onto ints (3.0 == 3).
+key_columns = st.one_of(
+    st.lists(
+        st.one_of(st.integers(-(2**80), 2**80), st.none()),
+        min_size=1, max_size=50,
+    ),
+    st.lists(st.one_of(st.text(max_size=12), st.none()), min_size=1, max_size=50),
+    st.lists(
+        st.one_of(st.floats(allow_nan=True, allow_infinity=False), st.none()),
+        min_size=1, max_size=50,
+    ),
+)
+
+# Numeric-only value pools (for AVG/SUM/MEDIAN, which reject strings).
+numeric_values = st.one_of(
+    st.integers(-(2**40), 2**40),
+    st.floats(allow_nan=True, allow_infinity=False, width=32),
+    st.none(),
+)
+
+# Anything-goes value pools for the order/frequency-based aggregates.
+mixed_values = st.one_of(
+    numeric_values,
+    st.text(max_size=8),
+    st.booleans(),
+)
+
+NUMERIC_ONLY = ("avg", "sum", "median")
+MIXED_OK = ("count", "min", "max", "first", "mode")
+
+
+def value_strategy(agg):
+    return numeric_values if agg in NUMERIC_ONLY else mixed_values
+
+
+def assert_sketches_bit_identical(streamed, batch):
+    assert streamed == batch
+    # Dataclass equality treats 1 == 1.0; the typed store pools do not.
+    assert [type(value) for value in streamed.values] == [
+        type(value) for value in batch.values
+    ]
+    assert streamed.value_dtype is batch.value_dtype
+
+
+@st.composite
+def streaming_case(draw, agg_pool):
+    keys = draw(key_columns)
+    agg = draw(st.sampled_from(agg_pool))
+    values = draw(
+        st.lists(value_strategy(agg), min_size=len(keys), max_size=len(keys))
+    )
+    table = Table.from_dict({"key": keys, "value": values}, name="t")
+    capacity = draw(st.integers(1, 12))
+    seed = draw(st.integers(0, 50))
+    chunk_size = draw(st.integers(1, len(keys) + 5))
+    return table, agg, capacity, seed, chunk_size
+
+
+class TestStreamingEquivalence:
+    @settings(max_examples=30, deadline=None)
+    @given(case=streaming_case(("avg",)))
+    @pytest.mark.parametrize("method", METHODS)
+    def test_base_side(self, method, case):
+        table, _, capacity, seed, chunk_size = case
+        if all(key is None for key in table.column("key").values):
+            return  # nothing sketchable; both paths raise identically
+        engine = SketchEngine(
+            EngineConfig(method=method, capacity=capacity, seed=seed)
+        )
+        batch = get_builder(method, capacity=capacity, seed=seed).sketch_base(
+            table, "key", "value"
+        )
+        streamed = engine.sketch_stream(
+            InMemoryReader(table, chunk_size), "key", "value", side="base"
+        )
+        assert_sketches_bit_identical(streamed, batch)
+
+    @settings(max_examples=30, deadline=None)
+    @given(case=streaming_case(NUMERIC_ONLY + MIXED_OK))
+    @pytest.mark.parametrize("method", METHODS)
+    def test_candidate_side(self, method, case):
+        table, agg, capacity, seed, chunk_size = case
+        if all(key is None for key in table.column("key").values):
+            return
+        engine = SketchEngine(
+            EngineConfig(method=method, capacity=capacity, seed=seed)
+        )
+        batch = get_builder(method, capacity=capacity, seed=seed).sketch_candidate(
+            table, "key", "value", agg=agg
+        )
+        streamed = engine.sketch_stream(
+            InMemoryReader(table, chunk_size),
+            "key",
+            "value",
+            side="candidate",
+            agg=agg,
+        )
+        assert_sketches_bit_identical(streamed, batch)
+
+    @settings(max_examples=20, deadline=None)
+    @given(case=streaming_case(("count", "min", "first")), split=st.integers(0, 50))
+    def test_candidate_merge_matches_single_stream(self, case, split):
+        table, agg, capacity, seed, _ = case
+        if all(key is None for key in table.column("key").values):
+            return
+        rows = list(
+            zip(table.column("key").values, table.column("value").values)
+        )
+        split = min(split, len(rows))
+        engine = SketchEngine(EngineConfig(capacity=capacity, seed=seed))
+        whole = engine.stream_sketcher("candidate", agg=agg).extend(rows)
+        left = engine.stream_sketcher("candidate", agg=agg).extend(rows[:split])
+        right = engine.stream_sketcher("candidate", agg=agg).extend(rows[split:])
+        assert left.merge(right).finalize() == whole.finalize()
+
+
+def _lake_tables():
+    rng = np.random.default_rng(17)
+    keys = [f"k{i:04d}" for i in range(70)]
+    tables = []
+    for position in range(4):
+        row_keys = [
+            None if rng.random() < 0.03 else keys[i]
+            for i in rng.integers(0, 70, size=160)
+        ]
+        tables.append(
+            Table.from_dict(
+                {
+                    "key": row_keys,
+                    "metric": rng.normal(size=160).tolist(),
+                    "label": ["ab"[int(i) % 2] for i in rng.integers(0, 70, size=160)],
+                },
+                name=f"lake{position}",
+            )
+        )
+    return tables
+
+
+class TestPersistedIndexEquivalence:
+    def test_streamed_indexes_are_byte_identical_to_batch(self, tmp_path):
+        """``add_table_stream`` never leaks into persisted artifacts.
+
+        Both index documents and every array of the columnar store must
+        match byte for byte between a batch-registered and a chunk-streamed
+        build of the same lake.  (The ``.npz`` container embeds zip
+        timestamps, so the comparison is per stored array.)
+        """
+        assert HASH_ENCODING_VERSION == 2
+        tables = _lake_tables()
+        config = EngineConfig(capacity=48, seed=5)
+
+        batch_builder = IndexBuilder(config, num_shards=4)
+        for table in tables:
+            batch_builder.add_table(table, ["key"])
+        batch_dir = tmp_path / "batch"
+        save_index(batch_builder.build(), batch_dir)
+
+        stream_builder = IndexBuilder(config, num_shards=4)
+        for table in tables:
+            stream_builder.add_table_stream(InMemoryReader(table, 37), ["key"])
+        stream_dir = tmp_path / "stream"
+        save_index(stream_builder.build(), stream_dir)
+
+        batch_document = json.loads((batch_dir / "index.json").read_text())
+        stream_document = json.loads((stream_dir / "index.json").read_text())
+        assert batch_document == stream_document
+
+        batch_store = load_npz(batch_dir / "sketches.npz")
+        stream_store = load_npz(stream_dir / "sketches.npz")
+        assert batch_store._manifest == stream_store._manifest
+        assert set(batch_store._arrays) == set(stream_store._arrays)
+        for name in batch_store._arrays:
+            left, right = batch_store.array(name), stream_store.array(name)
+            assert left.dtype == right.dtype, name
+            assert left.tobytes() == right.tobytes(), name

@@ -266,3 +266,78 @@ class TestStats:
         assert stats["counters"]["queries"] == 2
         assert stats["latency"]["query_cold"]["count"] == 1
         assert stats["latency"]["query_cached"]["count"] == 1
+
+
+class TestLiveRegistration:
+    """register_table: streaming new tables into a serving index."""
+
+    def build_setup(self):
+        import numpy as np
+
+        from repro.discovery import SketchIndex
+        from repro.engine import EngineConfig, SketchEngine
+        from repro.relational.table import Table
+
+        rng = np.random.default_rng(23)
+        keys = [f"k{i:04d}" for i in range(120)]
+        target = rng.normal(size=120)
+        base = Table.from_dict(
+            {"key": keys, "target": target.tolist()}, name="base"
+        )
+        tables = []
+        for position in range(3):
+            row_keys = [keys[i] for i in rng.integers(0, 120, size=250)]
+            tables.append(
+                Table.from_dict(
+                    {
+                        "key": row_keys,
+                        "signal": [
+                            target[int(key[1:])] + 0.3 * rng.normal()
+                            for key in row_keys
+                        ],
+                    },
+                    name=f"live{position}",
+                )
+            )
+        engine = lambda: SketchEngine(EngineConfig(capacity=64, seed=3))
+        index = SketchIndex(engine())
+        index.add_table(tables[0], ["key"])
+        cold = SketchIndex(engine())
+        for table in tables:
+            cold.add_table(table, ["key"])
+        return base, tables, index, cold
+
+    def test_registration_invalidates_cache_and_matches_cold_index(self):
+        from repro.ingest import InMemoryReader
+
+        base, tables, index, cold = self.build_setup()
+        query = make_query(base, min_join_size=4, top_k=5)
+        with DiscoveryService(index, ServiceConfig(workers=2)) as service:
+            first = service.query(query)
+            assert service.query(query).cache_hit
+            ids = service.register_table(
+                InMemoryReader(tables[1], chunk_size=64), ["key"]
+            )
+            ids += service.register_table(tables[2], ["key"])
+            assert ids == ["live1:key->signal#avg", "live2:key->signal#avg"]
+            after = service.query(query)
+            assert not after.cache_hit and not after.coalesced
+            cold_results = cold.query(query)
+            assert [
+                (result.candidate_id, result.mi_estimate)
+                for result in after.results
+            ] == [
+                (result.candidate_id, result.mi_estimate)
+                for result in cold_results
+            ]
+            assert len(after.results) > len(first.results)
+            stats = service.stats()
+            assert stats["counters"]["tables_registered"] == 2
+            assert stats["counters"]["candidates_registered"] == 2
+
+    def test_closed_service_rejects_registration(self):
+        base, tables, index, _ = self.build_setup()
+        service = DiscoveryService(index, ServiceConfig(workers=1))
+        service.close()
+        with pytest.raises(ServingError, match="closed"):
+            service.register_table(tables[1], ["key"])

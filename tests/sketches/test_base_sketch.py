@@ -112,8 +112,11 @@ class TestBuildSketch:
     def test_null_keys_excluded(self):
         table = Table.from_dict({"k": ["a", None, "b"], "v": [1, 2, 3]})
         sketch = build_sketch(table, "k", "v", capacity=10)
-        assert sketch.table_rows == 2
+        # Null-key rows never enter the sketch, but table_rows reports the
+        # full table size (the quantity the Sketch docstring promises).
+        assert sketch.table_rows == 3
         assert len(sketch) == 2
+        assert sketch.distinct_keys == 2
 
     def test_all_null_keys_raise(self):
         table = Table.from_dict({"k": [None, None], "v": [1, 2]})

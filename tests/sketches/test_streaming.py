@@ -1,9 +1,17 @@
-"""Tests for streaming (one-pass) TUPSK sketch construction."""
+"""Tests for streaming (one-pass) TUPSK sketch construction.
+
+Includes the adversarial-collision coverage for the tie-break bugfixes: two
+distinct keys whose ``(key, 1)`` tuples collide on the full 32-bit hash must
+resolve by first-appearance order on both the streaming and the batch path,
+including at the sketch's eviction/selection boundary.
+"""
 
 import numpy as np
 import pytest
 
 from repro.exceptions import SketchError
+from repro.hashing.unit import KeyHasher
+from repro.relational.dtypes import DType
 from repro.relational.table import Table
 from repro.sketches.estimate import estimate_mi_from_sketches
 from repro.sketches.streaming import StreamingBaseSketcher, StreamingCandidateSketcher
@@ -97,3 +105,123 @@ class TestStreamingCandidateSketcher:
     def test_empty_stream_rejected(self):
         with pytest.raises(SketchError):
             StreamingCandidateSketcher(capacity=8).finalize()
+
+
+class TestBugfixes:
+    """Regression coverage for the streaming-vs-batch equivalence bugs."""
+
+    def test_base_table_rows_counts_null_key_rows(self):
+        table = Table.from_dict({"k": ["a", None, "b"], "v": [1.0, 2.0, 3.0]})
+        batch = TupleSketchBuilder(capacity=8).sketch_base(table, "k", "v")
+        streaming = StreamingBaseSketcher(capacity=8)
+        streaming.extend(zip(table.column("k"), table.column("v")))
+        sketch = streaming.finalize(key_column="k", value_column="v")
+        assert batch.table_rows == sketch.table_rows == 3
+        assert streaming.rows_seen == 2  # the docstring'd non-null counter
+        assert sketch.distinct_keys == batch.distinct_keys == 2
+
+    def test_base_dtype_inferred_from_whole_column(self):
+        # Mixed int/float values: the batch path coerces the column to FLOAT
+        # before sketching; the streamer must report (and coerce to) the
+        # same dtype instead of echoing raw first-seen types.
+        table = Table.from_dict({"k": ["a", "b"], "v": [1, 2.5]})
+        batch = TupleSketchBuilder(capacity=8).sketch_base(table, "k", "v")
+        streaming = StreamingBaseSketcher(capacity=8)
+        streaming.extend([("a", 1), ("b", 2.5)])
+        sketch = streaming.finalize(key_column="k", value_column="v")
+        assert sketch == batch
+        assert sketch.value_dtype is DType.FLOAT
+        assert [type(value) for value in sketch.values] == [float, float]
+
+    def test_candidate_dtype_inferred_from_aggregated_column(self):
+        # The old streamer inferred from the *first* non-None value: a
+        # [1, 2.5] stream declared INT where the batch path declares FLOAT.
+        table = Table.from_dict({"k": ["a", "a"], "v": [1, 2.5]})
+        batch = TupleSketchBuilder(capacity=8).sketch_candidate(
+            table, "k", "v", agg="sum"
+        )
+        streaming = StreamingCandidateSketcher(capacity=8, agg="sum")
+        streaming.extend([("a", 1), ("a", 2.5)])
+        sketch = streaming.finalize(key_column="k", value_column="v")
+        assert sketch == batch
+        assert sketch.value_dtype is DType.FLOAT
+        assert sketch.values == [3.5]
+
+
+def _tuple_unit_collision(seed=0, limit=400_000):
+    """Two distinct keys whose ``(key, 1)`` tuples share one 32-bit hash."""
+    hasher = KeyHasher(seed=seed)
+    keys = [f"c{i}" for i in range(limit)]
+    units = hasher.tuple_unit_many(keys, [1] * limit)
+    seen: dict = {}
+    for key, unit in zip(keys, units):
+        unit = float(unit)
+        if unit in seen:
+            return seen[unit], key
+        seen[unit] = key
+    pytest.skip(f"no 32-bit tuple-hash collision among {limit} keys")
+
+
+class TestAdversarialCollisions:
+    """Hash-collision ties must resolve identically on both paths."""
+
+    @pytest.fixture(scope="class")
+    def collision(self):
+        return _tuple_unit_collision()
+
+    def test_candidate_selection_tie_break(self, collision):
+        first, second = collision
+        hasher = KeyHasher(seed=0)
+        fillers = [f"f{i}" for i in range(40)]
+        tied_unit = hasher.tuple_unit(first, 1)
+        # Capacity lands the boundary exactly on the tied pair: every key
+        # ranked strictly below the tie fits, plus one slot the first-
+        # appearing collider must win.
+        capacity = sum(
+            1 for key in fillers if hasher.tuple_unit(key, 1) < tied_unit
+        ) + 1
+        for order in ([first, second], [second, first]):
+            keys = order + fillers
+            table = Table.from_dict(
+                {"k": keys, "v": [float(i) for i in range(len(keys))]}
+            )
+            for vectorized in (False, True):
+                builder = TupleSketchBuilder(
+                    capacity=capacity, seed=0, vectorized=vectorized
+                )
+                batch = builder.sketch_candidate(table, "k", "v", agg="first")
+                streaming = StreamingCandidateSketcher(
+                    capacity=capacity, seed=0, agg="first", vectorized=vectorized
+                )
+                streaming.extend(zip(table.column("k"), table.column("v")))
+                sketch = streaming.finalize(key_column="k", value_column="v")
+                assert sketch == batch
+            # First appearance wins the tied slot.
+            winner_id = hasher.key_id(order[0])
+            assert winner_id in sketch.key_ids
+            assert hasher.key_id(order[1]) not in sketch.key_ids
+
+    def test_base_heap_eviction_tie_break(self, collision):
+        first, second = collision
+        hasher = KeyHasher(seed=0)
+        fillers = [f"f{i}" for i in range(60)]
+        tied_unit = hasher.tuple_unit(first, 1)
+        # Exactly one of the colliding rows survives: eviction by a later,
+        # smaller-hash row must push out the *later* of the tied pair (the
+        # old heap kept the later row instead).
+        capacity = sum(
+            1 for key in fillers if hasher.tuple_unit(key, 1) < tied_unit
+        ) + 1
+        keys = [first, second] + fillers
+        table = Table.from_dict(
+            {"k": keys, "v": [float(i) for i in range(len(keys))]}
+        )
+        batch = TupleSketchBuilder(capacity=capacity, seed=0).sketch_base(
+            table, "k", "v"
+        )
+        streaming = StreamingBaseSketcher(capacity=capacity, seed=0)
+        streaming.extend(zip(table.column("k"), table.column("v")))
+        sketch = streaming.finalize(key_column="k", value_column="v")
+        assert sketch == batch
+        assert hasher.key_id(first) in sketch.key_ids
+        assert hasher.key_id(second) not in sketch.key_ids

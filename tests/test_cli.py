@@ -533,3 +533,97 @@ def _csv_columns(path):
     from repro.relational.csvio import read_csv
 
     return read_csv(path).to_dict()
+
+
+class TestIndexIngestCommand:
+    def test_ingest_builds_byte_identical_index(self, lake_csvs, tmp_path, capsys):
+        batch_dir = tmp_path / "batch.index"
+        stream_dir = tmp_path / "stream.index"
+        assert (
+            main(
+                ["index", "build", *map(str, lake_csvs), "--key", "key",
+                 "-o", str(batch_dir)]
+            )
+            == 0
+        )
+        code = main(
+            ["index", "ingest", *map(str, lake_csvs), "--key", "key",
+             "--chunk-size", "40", "-o", str(stream_dir)]
+        )
+        assert code == 0
+        assert "ingested 6 candidates" in capsys.readouterr().out
+        assert json.loads((batch_dir / "index.json").read_text()) == json.loads(
+            (stream_dir / "index.json").read_text()
+        )
+        from repro.store import load_npz
+
+        batch_store = load_npz(batch_dir / "sketches.npz")
+        stream_store = load_npz(stream_dir / "sketches.npz")
+        assert batch_store._manifest == stream_store._manifest
+        for name in batch_store._arrays:
+            assert (
+                batch_store.array(name).tobytes()
+                == stream_store.array(name).tobytes()
+            ), name
+
+    def test_ingest_grows_an_existing_index(self, built_index, lake_csvs, tmp_path, rng, capsys):
+        keys = [f"k{i:03d}" for i in range(100)]
+        table = Table.from_dict(
+            {
+                "key": [keys[i] for i in rng.integers(0, 100, size=130)],
+                "extra": rng.normal(size=130).tolist(),
+            },
+            name="late",
+        )
+        late_csv = tmp_path / "late.csv"
+        write_csv(table, late_csv)
+        capsys.readouterr()
+        code = main(
+            ["index", "ingest", str(late_csv), "--index", str(built_index),
+             "--key", "key", "--chunk-size", "50"]
+        )
+        assert code == 0
+        assert "ingested 1 candidates" in capsys.readouterr().out
+        from repro.discovery import load_index
+
+        index = load_index(built_index)
+        assert len(index) == 7
+        assert any(
+            candidate.profile.table_name == "late" for candidate in index.candidates
+        )
+
+    def test_values_flag_restricts_columns(self, lake_csvs, tmp_path, capsys):
+        out_dir = tmp_path / "narrow.index"
+        code = main(
+            ["index", "ingest", str(lake_csvs[0]), "--key", "key",
+             "--values", "b", "-o", str(out_dir)]
+        )
+        assert code == 0
+        assert "ingested 1 candidates" in capsys.readouterr().out
+
+    def test_requires_exactly_one_destination(self, lake_csvs, tmp_path, capsys):
+        code = main(["index", "ingest", str(lake_csvs[0]), "--key", "key"])
+        assert code == 2
+        assert "exactly one" in capsys.readouterr().err
+        code = main(
+            ["index", "ingest", str(lake_csvs[0]), "--key", "key",
+             "--index", str(tmp_path / "a"), "-o", str(tmp_path / "b")]
+        )
+        assert code == 2
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_engine_options_rejected_for_existing_index(self, built_index, lake_csvs, capsys):
+        code = main(
+            ["index", "ingest", str(lake_csvs[0]), "--key", "key",
+             "--index", str(built_index), "--capacity", "32"]
+        )
+        assert code == 2
+        assert "keeps its own configuration" in capsys.readouterr().err
+
+    def test_missing_csv_reported_as_error(self, tmp_path, capsys):
+        code = main(
+            ["index", "ingest", str(tmp_path / "nope.csv"), "--key", "key",
+             "-o", str(tmp_path / "out")]
+        )
+        assert code == 2
+        assert "nope.csv" in capsys.readouterr().err

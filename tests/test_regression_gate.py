@@ -44,6 +44,12 @@ def write_report(directory: Path, name: str, *, speedup: float, throughput: floa
             "speedup": speedup,
             "vectorized": {"columns_per_second": throughput},
         }
+    elif name == "ingest.json":
+        document = {
+            "throughput_ratio": speedup,
+            "memory": {"peak_fraction": 1.0 / max(speedup, 0.1)},
+            "ingest": {"columns_per_second": throughput},
+        }
     else:
         document = {
             "speedup": speedup,
@@ -174,3 +180,20 @@ class TestUpdateBaselines:
         for name in gate.GATED_REPORTS:
             assert (fresh / name).exists()
         assert run_gate(results, fresh) == 0
+
+
+class TestIngestGate:
+    def test_memory_regression_fails(self, dirs):
+        results, baselines = dirs
+        document = {
+            "throughput_ratio": 3.0,
+            "memory": {"peak_fraction": 3.0},  # baseline 1/3: blew the bound
+            "ingest": {"columns_per_second": 1000.0},
+        }
+        (results / "ingest.json").write_text(json.dumps(document), encoding="utf-8")
+        assert run_gate(results, baselines) == 1
+
+    def test_throughput_ratio_regression_fails(self, dirs):
+        results, baselines = dirs
+        write_report(results, "ingest.json", speedup=1.0, throughput=1000.0)
+        assert run_gate(results, baselines) == 1
