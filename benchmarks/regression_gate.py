@@ -95,6 +95,15 @@ GATED_REPORTS: dict[str, tuple[MetricSpec, ...]] = {
         MetricSpec("coalescing.collapsed_fraction", "higher"),
         MetricSpec("throughput.qps", "higher", THROUGHPUT_TOLERANCE),
     ),
+    "postings.json": (
+        # The touched fraction and touched growth are deterministic lake
+        # properties (seeded synthetic lake), so any drift is a real change
+        # in candidate generation; the plan speedup is a same-process ratio
+        # gated loosely against scheduler noise.
+        MetricSpec("touched_fraction", "lower"),
+        MetricSpec("touched_growth", "lower"),
+        MetricSpec("plan_speedup", "higher", THROUGHPUT_TOLERANCE),
+    ),
     "ingest.json": (
         # Primary gates are same-process ratios: chunked-ingest throughput
         # relative to the batch build, and peak chunked-ingest memory

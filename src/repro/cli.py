@@ -30,8 +30,12 @@ pipeline plus the reproduction harness:
     existing index directory; ``index ingest`` streams CSV tables into a
     new or existing index in bounded-memory chunks (``--chunk-size N``),
     producing byte-identical indexes to ``build``/``add``; ``index info``
-    summarizes one; ``index query`` evaluates one augmentation query
-    against one and prints the ranked results as JSON.
+    summarizes one (including its posting-index sidecar, when present);
+    ``index query`` evaluates one augmentation query against one and prints
+    the ranked results as JSON (``--no-postings`` forces a full candidate
+    scan); ``index postings build``/``index postings info`` rebuild and
+    inspect the ``postings.npz`` sidecar that drives sublinear candidate
+    generation (:mod:`repro.postings`).
 
 ``repro serve``
     Run the :mod:`repro.serving` HTTP query service over an index directory
@@ -50,6 +54,7 @@ Examples
     repro index add late_arrival.csv --index lake.index --key date
     repro index ingest huge_table.csv --index lake.index --key date --chunk-size 20000
     repro index info lake.index
+    repro index postings build lake.index
     repro index query lake.index --csv taxi.csv --key date --target num_trips --top-k 5
     repro serve --index lake.index --workers 8 --port 8765
     repro experiment table1 --scale small
@@ -248,6 +253,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     index_info.add_argument("index", help="index directory")
 
+    index_postings = index_commands.add_parser(
+        "postings",
+        help="rebuild or inspect an index's posting-list sidecar "
+        "(sublinear candidate generation)",
+    )
+    postings_commands = index_postings.add_subparsers(
+        dest="postings_command", required=True
+    )
+    postings_build = postings_commands.add_parser(
+        "build",
+        help="(re)build postings.npz from the index's persisted KMV key pools",
+    )
+    postings_build.add_argument("index", help="index directory")
+    postings_info = postings_commands.add_parser(
+        "info", help="print a JSON summary of an index's posting sidecar"
+    )
+    postings_info.add_argument("index", help="index directory")
+
     index_query = index_commands.add_parser(
         "query", help="evaluate an augmentation query against an index directory"
     )
@@ -264,6 +287,11 @@ def build_parser() -> argparse.ArgumentParser:
     index_query.add_argument(
         "--workers", type=int, default=None,
         help="thread count for the per-candidate MI estimates",
+    )
+    index_query.add_argument(
+        "--no-postings", action="store_true",
+        help="scan every candidate instead of probing the posting index "
+        "(identical results; useful for benchmarking the scan path)",
     )
 
     serve = subparsers.add_parser(
@@ -288,6 +316,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--no-mmap", action="store_true",
         help="read the sketch store eagerly instead of memory-mapping it",
+    )
+    serve.add_argument(
+        "--no-postings", action="store_true",
+        help="plan queries with full candidate scans instead of posting-"
+        "index probes (identical answers; only the plan counters change)",
     )
     serve.add_argument(
         "--verbose", action="store_true", help="log every HTTP request to stderr"
@@ -495,6 +528,28 @@ def _command_index_ingest(args: argparse.Namespace) -> int:
     return 0
 
 
+def _postings_summary(directory) -> dict:
+    """JSON-able posting-sidecar summary for an index directory.
+
+    Pre-postings directories (no ``postings.npz``) and unreadable sidecars
+    degrade to ``{"present": false, ...}`` instead of failing the command —
+    the sidecar is derived data and the index works without it.
+    """
+    import os
+
+    from repro.exceptions import PostingsError
+    from repro.postings import load_postings
+
+    path = os.path.join(os.fspath(directory), "postings.npz")
+    if not os.path.exists(path):
+        return {"present": False}
+    try:
+        postings = load_postings(path, mmap=True)
+    except PostingsError as error:
+        return {"present": False, "error": str(error)}
+    return {"present": True, **postings.stats()}
+
+
 def _command_index_info(args: argparse.Namespace) -> int:
     from collections import Counter
 
@@ -510,10 +565,37 @@ def _command_index_info(args: argparse.Namespace) -> int:
                 "candidates": len(index),
                 "tables": dict(sorted(tables.items())),
                 "engine_config": index.config.to_dict(),
+                "postings": _postings_summary(args.index),
             },
             indent=2,
             sort_keys=True,
         )
+    )
+    return 0
+
+
+def _command_index_postings(args: argparse.Namespace) -> int:
+    import os
+
+    if args.postings_command == "info":
+        print(json.dumps(_postings_summary(args.index), indent=2, sort_keys=True))
+        return 0
+
+    from repro.discovery.persistence import load_index
+    from repro.postings import PostingsIndex, save_postings
+
+    index = load_index(args.index, mmap=True)
+    postings = PostingsIndex.from_entries(
+        (candidate.candidate_id, candidate.key_kmv.hashes)
+        for candidate in index.candidates
+    )
+    path = os.path.join(os.fspath(args.index), "postings.npz")
+    save_postings(postings, path)
+    stats = postings.stats()
+    print(
+        f"built posting index over {stats['candidates']} candidates "
+        f"({stats['key_buckets']} key buckets, {stats['postings']} postings) "
+        f"into {path}"
     )
     return 0
 
@@ -535,6 +617,7 @@ def _command_index_query(args: argparse.Namespace) -> int:
             min_join_size=args.min_join_size,
         ),
         max_workers=args.workers,
+        use_postings=not args.no_postings,
     )
     print(json.dumps([result_to_dict(result) for result in results], indent=2))
     return 0
@@ -550,6 +633,7 @@ def _command_serve(args: argparse.Namespace) -> int:
             cache_entries=args.cache_entries,
             cache_ttl_seconds=args.cache_ttl if args.cache_ttl > 0 else None,
             mmap=not args.no_mmap,
+            use_postings=not args.no_postings,
         ),
     )
     # Fail fast on a missing/corrupt index instead of 500-ing every query.
@@ -578,6 +662,7 @@ def _command_index(args: argparse.Namespace) -> int:
         "add": _command_index_add,
         "ingest": _command_index_ingest,
         "info": _command_index_info,
+        "postings": _command_index_postings,
         "query": _command_index_query,
     }
     return handlers[args.index_command](args)

@@ -371,6 +371,7 @@ class IndexBuilder:
         *,
         max_workers: Optional[int] = None,
         into: Optional[SketchIndex] = None,
+        postings: bool = True,
     ) -> SketchIndex:
         """Build (or refresh) the index from the registered tables.
 
@@ -380,6 +381,12 @@ class IndexBuilder:
         registration order, so the index is identical to a serial build.
         ``into`` merges the candidates into an existing index (which must
         share the builder's sketch configuration) instead of a new one.
+
+        Unless ``postings=False``, the finished index carries a posting
+        index for sublinear candidate generation: every shard's retained
+        KMV keys are merged into one :class:`~repro.postings.PostingsIndex`
+        at finalize (an ``into`` index that already has one is maintained
+        incrementally as candidates are merged in).
         """
         workers = self.max_workers if max_workers is None else int(max_workers)
         shard_entries: dict[int, list[_TableEntry]] = {}
@@ -427,4 +434,6 @@ class IndexBuilder:
         index = into if into is not None else SketchIndex(self._engine)
         for _, candidate in merged:
             index.add_prebuilt(candidate)
+        if postings and index.postings is None:
+            index.enable_postings()
         return index

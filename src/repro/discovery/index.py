@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass, field
-from typing import Iterable, Optional
+from typing import TYPE_CHECKING, Iterable, Optional
 
 from repro.engine.config import EngineConfig
 from repro.engine.session import SketchEngine
@@ -38,6 +38,9 @@ from repro.relational.aggregate import AggregateFunction, get_aggregate
 from repro.relational.table import Table
 from repro.sketches.base import Sketch
 from repro.sketches.kmv import KMVSketch
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.postings import PostingsIndex
 
 __all__ = ["SketchIndex", "IndexedCandidate"]
 
@@ -142,6 +145,7 @@ class SketchIndex:
         self._engine = engine
         self._candidates: dict[str, IndexedCandidate] = {}
         self._generation = 0
+        self._postings: Optional["PostingsIndex"] = None
 
     # ------------------------------------------------------------------ #
     # Configuration views
@@ -209,9 +213,23 @@ class SketchIndex:
             key_kmv=key_kmv,
             metadata=dict(metadata or {}),
         )
-        self._candidates[candidate_id] = candidate
-        self._generation += 1
+        self._install_candidate(candidate)
         return candidate
+
+    def _install_candidate(self, candidate: IndexedCandidate) -> None:
+        """Insert (or overwrite) one candidate, keeping the postings in step.
+
+        The posting index is updated *before* the candidate map: a query
+        planning concurrently with a live registration may then see a
+        posting entry for a not-yet-visible candidate (harmless — probes
+        are matched against the caller's candidate snapshot) but never a
+        visible candidate missing from the postings, which would break the
+        probe-superset guarantee.
+        """
+        if self._postings is not None:
+            self._postings.add(candidate.candidate_id, candidate.key_kmv.hashes)
+        self._candidates[candidate.candidate_id] = candidate
+        self._generation += 1
 
     def add_prebuilt(self, candidate: IndexedCandidate) -> IndexedCandidate:
         """Merge an already-built candidate into the index.
@@ -241,8 +259,7 @@ class SketchIndex:
                 f"capacity={sketch.capacity} but the index expects "
                 f"capacity={expected_capacity}"
             )
-        self._candidates[candidate.candidate_id] = candidate
-        self._generation += 1
+        self._install_candidate(candidate)
         return candidate
 
     def add_table(
@@ -297,6 +314,52 @@ class SketchIndex:
             raise DiscoveryError(f"unknown candidate {candidate_id!r}") from None
 
     # ------------------------------------------------------------------ #
+    # Posting index (sublinear candidate generation)
+    # ------------------------------------------------------------------ #
+    @property
+    def postings(self) -> Optional["PostingsIndex"]:
+        """The inverted key index over retained KMV hashes, when enabled.
+
+        ``None`` means candidate generation falls back to the full
+        per-candidate scan (the behaviour of indexes loaded from
+        pre-postings directories, and of indexes populated through the
+        plain ``add_candidate``/``add_table`` path without calling
+        :meth:`enable_postings`).
+        """
+        return self._postings
+
+    def enable_postings(self) -> "PostingsIndex":
+        """Build (or rebuild) the posting index over the current candidates.
+
+        One vectorized bulk construction over every candidate's retained
+        KMV hashes; afterwards the index maintains the postings
+        incrementally on every candidate added or overwritten.  Idempotent
+        in effect: calling it again rebuilds from the live candidate set.
+        """
+        from repro.postings import PostingsIndex
+
+        self._postings = PostingsIndex.from_entries(
+            (candidate.candidate_id, candidate.key_kmv.hashes)
+            for candidate in self._candidates.values()
+        )
+        return self._postings
+
+    def attach_postings(self, postings: "PostingsIndex") -> "PostingsIndex":
+        """Adopt a prebuilt posting index (the persisted sidecar).
+
+        The posting index must cover exactly this index's candidates —
+        anything else would let the probe skip a live candidate and change
+        answers — so the identifier sets are verified before adoption.
+        """
+        if postings.ids() != set(self._candidates):
+            raise DiscoveryError(
+                "posting index does not match the index candidates; rebuild "
+                "it with enable_postings() or `repro index postings build`"
+            )
+        self._postings = postings
+        return postings
+
+    # ------------------------------------------------------------------ #
     # Online: queries
     # ------------------------------------------------------------------ #
     def query(
@@ -304,6 +367,7 @@ class SketchIndex:
         query: AugmentationQuery,
         *,
         max_workers: Optional[int] = None,
+        use_postings: bool = True,
     ) -> list[AugmentationResult]:
         """Evaluate a relationship-discovery query against the index.
 
@@ -313,6 +377,12 @@ class SketchIndex:
         ``query.min_join_size`` are skipped.  ``max_workers > 1`` runs the
         per-candidate MI estimates on a thread pool; results are identical
         to the sequential path.
+
+        When the index carries a posting index (see :meth:`postings`) and
+        ``use_postings`` is left on, candidate generation probes it instead
+        of scanning every candidate — same answers, sublinear work; pass
+        ``use_postings=False`` to force the full scan (the CLI's
+        ``--no-postings`` escape hatch).
 
         The evaluation itself is delegated to the
         :class:`~repro.serving.planner.QueryPlanner` — the same pruning and
@@ -327,9 +397,15 @@ class SketchIndex:
 
         # Snapshot the candidate set up front so a query races with live
         # registration (DiscoveryService.register_table) only at snapshot
-        # granularity, never mid-plan.
+        # granularity, never mid-plan.  The candidate snapshot is taken
+        # before the postings reference: installs publish postings first,
+        # so the probe covers every snapshotted candidate.
+        candidates = self.candidates
         return QueryPlanner(self._engine).run(
-            self.candidates, query, max_workers=max_workers
+            candidates,
+            query,
+            max_workers=max_workers,
+            postings=self._postings if use_postings else None,
         )
 
     def query_columns(
@@ -342,6 +418,7 @@ class SketchIndex:
         min_containment: float = 0.0,
         min_join_size: int = 16,
         max_workers: Optional[int] = None,
+        use_postings: bool = True,
     ) -> list[AugmentationResult]:
         """Convenience wrapper building the :class:`AugmentationQuery` inline."""
         return self.query(
@@ -354,4 +431,5 @@ class SketchIndex:
                 min_join_size=min_join_size,
             ),
             max_workers=max_workers,
+            use_postings=use_postings,
         )

@@ -9,7 +9,13 @@ An index directory contains
   aggregate and metadata;
 * ``sketches.npz`` — one columnar :mod:`repro.store` file holding every
   candidate's MI sketch *and* its KMV key sketch (format version 2, the
-  current format).
+  current format);
+* ``postings.npz`` — the posting-index sidecar for sublinear candidate
+  generation (:mod:`repro.postings`).  The sidecar is *derived* data: it is
+  rebuilt from the persisted KMV pools on every save, attached at load when
+  present and consistent, and silently absent from directories written
+  before it existed (those fall back to full-scan candidate generation; a
+  re-save adds the sidecar).
 
 Format version 1 (one ``sketches/<i>.json`` file per candidate, KMV sketches
 inlined into ``index.json``) is still read transparently, so indexes written
@@ -28,13 +34,15 @@ from __future__ import annotations
 
 import json
 import os
+import warnings
 from pathlib import Path
 from typing import Union
 
 from repro.discovery.index import IndexedCandidate, SketchIndex
 from repro.engine.config import EngineConfig
 from repro.discovery.profile import ColumnPairProfile
-from repro.exceptions import DiscoveryError, StoreError
+from repro.exceptions import DiscoveryError, PostingsError, StoreError
+from repro.postings import PostingsIndex, load_postings, save_postings
 from repro.relational.dtypes import DType
 from repro.sketches.kmv import KMVSketch
 from repro.sketches.serialization import HASH_ENCODING_VERSION, load_sketch
@@ -44,6 +52,7 @@ __all__ = ["save_index", "load_index"]
 
 _FORMAT_VERSION = 2
 _STORE_FILE = "sketches.npz"
+_POSTINGS_FILE = "postings.npz"
 PathLike = Union[str, os.PathLike]
 
 
@@ -92,6 +101,7 @@ def _index_document(index: SketchIndex, candidates_document: list[dict]) -> dict
         "seed": index.seed,
         "engine_config": index.config.to_dict(),
         "store_file": _STORE_FILE,
+        "postings_file": _POSTINGS_FILE,
         "candidates": candidates_document,
     }
 
@@ -135,6 +145,13 @@ def save_index(index: SketchIndex, directory: PathLike) -> None:
         extra_arrays=kmv_arrays,
         extra_manifest={"kmv": kmv_entries},
     )
+    postings = index.postings
+    if postings is None:
+        postings = PostingsIndex.from_entries(
+            (candidate.candidate_id, candidate.key_kmv.hashes)
+            for candidate in candidates
+        )
+    save_postings(postings, root / _POSTINGS_FILE)
     document = _index_document(index, candidates_document)
     (root / "index.json").write_text(json.dumps(document), encoding="utf-8")
 
@@ -256,9 +273,38 @@ def load_index(directory: PathLike, *, mmap: bool = False) -> SketchIndex:
     version = document.get("format_version")
     try:
         if version == 1:
-            return _load_index_v1(root, document)
-        if version == _FORMAT_VERSION:
-            return _load_index_v2(root, document, mmap=mmap)
+            index = _load_index_v1(root, document)
+        elif version == _FORMAT_VERSION:
+            index = _load_index_v2(root, document, mmap=mmap)
+        else:
+            raise DiscoveryError(f"unsupported index format version {version!r}")
     except (KeyError, TypeError, ValueError) as exc:
         raise DiscoveryError(f"malformed index document: {exc}") from exc
-    raise DiscoveryError(f"unsupported index format version {version!r}")
+    _attach_saved_postings(index, root, document, mmap=mmap)
+    return index
+
+
+def _attach_saved_postings(
+    index: SketchIndex, root: Path, document: dict, *, mmap: bool
+) -> None:
+    """Attach the ``postings.npz`` sidecar, if one is present and usable.
+
+    The sidecar is derived data — everything in it is rebuilt from the KMV
+    pools on the next save — so a directory without one (anything written
+    before the posting index existed) simply falls back to full-scan
+    candidate generation, and a stale or unreadable sidecar degrades the
+    same way with a warning instead of failing the load.
+    """
+    postings_path = root / document.get("postings_file", _POSTINGS_FILE)
+    if not postings_path.exists():
+        return
+    try:
+        index.attach_postings(load_postings(postings_path, mmap=mmap))
+    except (PostingsError, DiscoveryError) as exc:
+        warnings.warn(
+            f"ignoring posting index {postings_path} ({exc}); queries fall "
+            f"back to full candidate scans — re-save the index or run "
+            f"`repro index postings build` to refresh it",
+            RuntimeWarning,
+            stacklevel=3,
+        )

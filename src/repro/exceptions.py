@@ -26,6 +26,7 @@ __all__ = [
     "EngineConfigError",
     "ServingError",
     "IngestError",
+    "PostingsError",
 ]
 
 
@@ -114,3 +115,7 @@ class ServingError(ReproError):
 
 class IngestError(ReproError):
     """A streaming-ingestion source or sketcher was misconfigured or misused."""
+
+
+class PostingsError(ReproError):
+    """A posting index is malformed, incompatible or was misused."""

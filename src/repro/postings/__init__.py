@@ -1,0 +1,36 @@
+"""Sublinear candidate generation via an inverted key index.
+
+The planner's containment pre-filter touches every indexed candidate per
+query.  This subsystem inverts the containment test's raw material — the
+retained KMV min-hash keys — into LSH-style posting lists (retained unit
+hash → candidate ids), so candidate generation probes the base sketch's
+retained hashes instead of scanning the lake:
+
+* :class:`PostingsIndex` — sorted-array posting lists probed with one
+  vectorized ``searchsorted`` pass, plus a mutation delta so live indexes
+  keep accepting candidates without array rebuilds;
+* :func:`save_postings` / :func:`load_postings` — the versioned,
+  mmap-able ``postings.npz`` sidecar persisted alongside the index format.
+
+The probe result is a *provable superset* of the containment survivors for
+any ``min_containment > 0`` (a candidate sharing no retained key has
+containment exactly 0), so planned answers are byte-identical with or
+without the index — it only changes how many candidates are looked at.
+See ``docs/planning.md``.
+"""
+
+from repro.postings.index import PostingsIndex
+from repro.postings.storage import (
+    POSTINGS_FORMAT_VERSION,
+    POSTINGS_MAGIC,
+    load_postings,
+    save_postings,
+)
+
+__all__ = [
+    "PostingsIndex",
+    "POSTINGS_FORMAT_VERSION",
+    "POSTINGS_MAGIC",
+    "load_postings",
+    "save_postings",
+]

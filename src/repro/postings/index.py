@@ -1,0 +1,326 @@
+"""LSH-style inverted key index over retained KMV min-hash keys.
+
+The discovery layer's containment pre-filter (see
+:mod:`repro.serving.planner`) estimates joinability between the query's KMV
+key sketch and *every* indexed candidate's KMV key sketch, so query cost
+grows linearly with lake size even when almost nothing is joinable.  This
+module inverts the relationship the containment estimate actually tests:
+
+:meth:`~repro.sketches.kmv.KMVSketch.containment_estimate` is built on the
+shared *retained* unit hashes of the two sketches (the ``k`` smallest
+``h_u(h(key))`` values each side kept).  A candidate whose retained key set
+is disjoint from the base sketch's retained key set has a containment
+estimate of exactly ``0.0`` — so for any threshold ``min_containment > 0``
+it is *provably* prunable without ever being looked at.
+
+A :class:`PostingsIndex` therefore maps each retained unit hash to the
+candidates that retained it (classic inverted / LSH posting lists, with the
+KMV bottom-``k`` hashes playing the role of the min-hash signature).
+Candidate generation becomes: probe the posting lists with the *base*
+sketch's retained hashes and keep the union of the matching lists — a
+superset of every candidate with non-zero containment, so handing only that
+set to the containment filter cannot change any answer.
+
+Two representations coexist inside one index:
+
+* a **frozen** sorted-array representation (``keys`` / CSR ``offsets`` /
+  posting ``lists``), probed with one vectorized :func:`numpy.searchsorted`
+  pass — this is what :mod:`repro.postings.storage` persists and
+  memory-maps; and
+* a **delta** of live mutations (added candidates as hash→ids buckets,
+  removed frozen candidates as tombstones), so a loaded index keeps
+  accepting :meth:`add` / :meth:`discard` without rebuilding the arrays.
+
+Probes always see the union of both, and mutation ordering guarantees a
+concurrent probe can only *over*-approximate (see :meth:`add`), which is
+the safe direction for a pre-filter.  :meth:`compact` folds the delta back
+into fresh frozen arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.exceptions import PostingsError
+
+__all__ = ["PostingsIndex"]
+
+
+def _as_units(units: Sequence[float]) -> np.ndarray:
+    """Validate and normalize one candidate's retained unit hashes."""
+    array = np.asarray(list(units), dtype=np.float64)
+    if array.ndim != 1:
+        raise PostingsError("retained key hashes must be a flat sequence")
+    if array.size and (np.any(array < 0.0) or np.any(array >= 1.0) or np.any(np.isnan(array))):
+        raise PostingsError("retained key hashes must lie on the unit interval")
+    return np.unique(array)
+
+
+class PostingsIndex:
+    """Inverted index: retained KMV unit hash -> candidate identifiers.
+
+    Entries are ``(candidate_id, units)`` pairs where ``units`` are the
+    candidate's retained KMV unit hashes
+    (:attr:`~repro.sketches.kmv.KMVSketch.hashes`).  Re-adding an existing
+    ``candidate_id`` replaces its previous entry, mirroring how
+    :meth:`~repro.discovery.index.SketchIndex.add_prebuilt` overwrites
+    candidates.
+    """
+
+    def __init__(self) -> None:
+        self._keys = np.empty(0, dtype=np.float64)
+        self._offsets = np.zeros(1, dtype=np.int64)
+        self._lists = np.empty(0, dtype=np.int64)
+        self._frozen_ids: list[str] = []
+        #: live frozen candidates: id -> position into _frozen_ids
+        self._frozen_position: dict[str, int] = {}
+        #: tombstoned frozen positions (removed or overwritten candidates)
+        self._dead: set[int] = set()
+        #: live delta candidates: id -> retained unit hashes
+        self._delta_units: dict[str, np.ndarray] = {}
+        #: delta posting buckets: unit hash -> candidate ids
+        self._delta_buckets: dict[float, set[str]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_entries(
+        cls, entries: Iterable[tuple[str, Sequence[float]]]
+    ) -> "PostingsIndex":
+        """Bulk-build frozen posting lists from ``(candidate_id, units)`` pairs.
+
+        One vectorized pass (concatenate, stable argsort, unique) instead of
+        per-candidate insertion; duplicate candidate identifiers are
+        rejected because bulk construction has no meaningful "previous
+        entry" to replace.
+        """
+        index = cls()
+        ids: list[str] = []
+        unit_arrays: list[np.ndarray] = []
+        for candidate_id, units in entries:
+            ids.append(str(candidate_id))
+            unit_arrays.append(_as_units(units))
+        if len(set(ids)) != len(ids):
+            raise PostingsError(
+                "duplicate candidate identifiers in bulk postings build"
+            )
+        index._frozen_ids = ids
+        index._frozen_position = {cid: position for position, cid in enumerate(ids)}
+        if not ids:
+            return index
+        lengths = np.array([array.size for array in unit_arrays], dtype=np.int64)
+        all_units = (
+            np.concatenate(unit_arrays) if lengths.sum() else np.empty(0, np.float64)
+        )
+        owners = np.repeat(np.arange(len(ids), dtype=np.int64), lengths)
+        order = np.argsort(all_units, kind="stable")
+        sorted_units = all_units[order]
+        keys, counts = np.unique(sorted_units, return_counts=True)
+        index._keys = keys
+        index._offsets = np.concatenate(
+            (np.zeros(1, dtype=np.int64), np.cumsum(counts, dtype=np.int64))
+        )
+        index._lists = owners[order]
+        return index
+
+    @classmethod
+    def _from_frozen_arrays(
+        cls,
+        keys: np.ndarray,
+        offsets: np.ndarray,
+        lists: np.ndarray,
+        candidate_ids: list[str],
+    ) -> "PostingsIndex":
+        """Adopt persisted frozen arrays verbatim (see :mod:`.storage`)."""
+        index = cls()
+        if offsets.size != keys.size + 1 or offsets[-1] != lists.size:
+            raise PostingsError("posting arrays are inconsistent")
+        if keys.size and np.any(np.diff(keys) <= 0):
+            raise PostingsError("posting keys must be strictly increasing")
+        if lists.size and (lists.min() < 0 or lists.max() >= len(candidate_ids)):
+            raise PostingsError("posting lists reference unknown candidates")
+        index._keys = keys
+        index._offsets = offsets
+        index._lists = lists
+        index._frozen_ids = list(candidate_ids)
+        if len(set(index._frozen_ids)) != len(index._frozen_ids):
+            raise PostingsError("duplicate candidate identifiers in posting index")
+        index._frozen_position = {
+            cid: position for position, cid in enumerate(index._frozen_ids)
+        }
+        return index
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        """Number of live candidates."""
+        return len(self._frozen_position) + len(self._delta_units)
+
+    def __contains__(self, candidate_id: str) -> bool:
+        return candidate_id in self._frozen_position or candidate_id in self._delta_units
+
+    @property
+    def dirty(self) -> bool:
+        """Whether live mutations exist outside the frozen arrays."""
+        return bool(self._delta_units) or bool(self._dead)
+
+    def ids(self) -> set[str]:
+        """Identifiers of every live candidate."""
+        return set(self._frozen_position) | set(self._delta_units)
+
+    def entries(self) -> Iterator[tuple[str, np.ndarray]]:
+        """Yield every live ``(candidate_id, sorted units)`` pair."""
+        if self._frozen_position:
+            counts = np.diff(self._offsets)
+            unit_per_posting = np.repeat(self._keys, counts)
+            order = np.argsort(self._lists, kind="stable")
+            owners = self._lists[order]
+            units = unit_per_posting[order]
+            boundaries = np.flatnonzero(np.diff(owners)) + 1
+            for owner_group, unit_group in zip(
+                np.split(owners, boundaries), np.split(units, boundaries)
+            ):
+                if owner_group.size == 0:
+                    continue
+                position = int(owner_group[0])
+                if position in self._dead:
+                    continue
+                yield self._frozen_ids[position], np.sort(unit_group)
+            # Frozen candidates with an empty posting list never appear in
+            # _lists; surface them with empty unit arrays.
+            seen = set(np.unique(self._lists).tolist()) if self._lists.size else set()
+            for candidate_id, position in self._frozen_position.items():
+                if position not in seen:
+                    yield candidate_id, np.empty(0, dtype=np.float64)
+        for candidate_id, units in self._delta_units.items():
+            yield candidate_id, units.copy()
+
+    def stats(self) -> dict[str, float]:
+        """Posting-list statistics: candidates, key buckets, list lengths.
+
+        Computed directly from the frozen arrays when no live mutations
+        exist (the common, just-loaded case); otherwise over a compacted
+        view of the live entries.
+        """
+        if not self.dirty:
+            keys = int(self._keys.size)
+            postings = int(self._lists.size)
+        else:
+            buckets: dict[float, int] = {}
+            for _, units in self.entries():
+                for unit in units.tolist():
+                    buckets[unit] = buckets.get(unit, 0) + 1
+            keys = len(buckets)
+            postings = sum(buckets.values())
+        return {
+            "candidates": len(self),
+            "key_buckets": keys,
+            "postings": postings,
+            "avg_postings_per_key": (postings / keys) if keys else 0.0,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+    def add(self, candidate_id: str, units: Sequence[float]) -> None:
+        """Insert (or replace) one candidate's retained key hashes.
+
+        Ordering is chosen so that a concurrent probe observes a *superset*
+        at every instant: the new entry's buckets are published before the
+        old entry is retired, and a pre-filter that returns extra candidates
+        never changes an answer (they fail the containment test instead).
+        """
+        candidate_id = str(candidate_id)
+        new_units = _as_units(units)
+        old_delta = self._delta_units.get(candidate_id)
+        new_set = set(new_units.tolist())
+        for unit in new_set:
+            self._delta_buckets.setdefault(unit, set()).add(candidate_id)
+        self._delta_units[candidate_id] = new_units
+        # Retire the previous entry, if any.
+        position = self._frozen_position.pop(candidate_id, None)
+        if position is not None:
+            self._dead.add(position)
+        if old_delta is not None:
+            for unit in old_delta.tolist():
+                if unit in new_set:
+                    continue
+                bucket = self._delta_buckets.get(unit)
+                if bucket is not None:
+                    bucket.discard(candidate_id)
+                    if not bucket:
+                        del self._delta_buckets[unit]
+
+    def discard(self, candidate_id: str) -> bool:
+        """Remove one candidate entirely; returns whether it was present."""
+        present = False
+        position = self._frozen_position.pop(candidate_id, None)
+        if position is not None:
+            self._dead.add(position)
+            present = True
+        units = self._delta_units.pop(candidate_id, None)
+        if units is not None:
+            present = True
+            for unit in units.tolist():
+                bucket = self._delta_buckets.get(unit)
+                if bucket is not None:
+                    bucket.discard(candidate_id)
+                    if not bucket:
+                        del self._delta_buckets[unit]
+        return present
+
+    def compact(self) -> "PostingsIndex":
+        """Fold the delta and tombstones into fresh frozen arrays (in place)."""
+        if self.dirty:
+            rebuilt = PostingsIndex.from_entries(self.entries())
+            self.__dict__.update(rebuilt.__dict__)
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Probing
+    # ------------------------------------------------------------------ #
+    def probe(self, units: Sequence[float]) -> set[str]:
+        """Candidates sharing at least one retained key hash with ``units``.
+
+        The frozen half is probed with one vectorized ``searchsorted`` pass
+        over the sorted key array plus a gather of the matching posting
+        list slices; the delta half with per-unit bucket lookups.  ``units``
+        is typically the *base* sketch's retained KMV hashes, so its length
+        is bounded by the sketch capacity, not by the lake.
+        """
+        matched: set[str] = set()
+        probe_units = np.asarray(list(units), dtype=np.float64)
+        if self._keys.size and probe_units.size:
+            positions = np.searchsorted(self._keys, probe_units)
+            in_range = positions < self._keys.size
+            hits = positions[in_range]
+            hits = hits[self._keys[hits] == probe_units[in_range]]
+            if hits.size:
+                starts = self._offsets[hits]
+                lengths = self._offsets[hits + 1] - starts
+                total = int(lengths.sum())
+                if total:
+                    # Gather all matched slices in one vectorized pass:
+                    # index i of the output maps into slice j at offset
+                    # (i - cumulative_length[j]) + start[j].
+                    cumulative = np.concatenate(
+                        (np.zeros(1, dtype=np.int64), np.cumsum(lengths))
+                    )
+                    flat = (
+                        np.arange(total, dtype=np.int64)
+                        - np.repeat(cumulative[:-1], lengths)
+                        + np.repeat(starts, lengths)
+                    )
+                    for position in np.unique(self._lists[flat]).tolist():
+                        if position not in self._dead:
+                            matched.add(self._frozen_ids[position])
+        if self._delta_buckets:
+            for unit in probe_units.tolist():
+                bucket = self._delta_buckets.get(unit)
+                if bucket:
+                    matched.update(bucket)
+        return matched

@@ -1,0 +1,145 @@
+"""Persistence of a :class:`~repro.postings.index.PostingsIndex`.
+
+A posting index is stored as one uncompressed ``.npz`` sidecar
+(``postings.npz``) next to an index directory's ``index.json`` /
+``sketches.npz``:
+
+* ``keys`` — sorted ``float64`` retained unit hashes (the bucket keys);
+* ``offsets`` — ``int64`` CSR offsets, ``len(keys) + 1`` entries;
+* ``lists`` — ``int64`` posting lists: positions into the candidate-id
+  table, concatenated in key order;
+* ``ids_utf8`` / ``ids_offsets`` — the candidate identifiers as one UTF-8
+  byte pool with per-id offsets;
+* ``manifest`` — UTF-8 JSON with the format magic, the postings format
+  version (:data:`POSTINGS_FORMAT_VERSION`) and summary counts.
+
+The numeric members are written uncompressed so :func:`load_postings` can
+memory-map them (the same member-mapping machinery as the columnar sketch
+store), keeping index open time O(1) in the posting data.  The sidecar is
+*derived* data: everything in it can be rebuilt from the persisted KMV key
+pools (``repro index postings build``), so an unsupported or corrupt file
+is reported with rebuild instructions rather than guessed at.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Union
+
+import numpy as np
+
+from repro.exceptions import PostingsError, StoreError
+from repro.postings.index import PostingsIndex
+from repro.store.columnar import _read_store_arrays
+
+__all__ = ["POSTINGS_FORMAT_VERSION", "POSTINGS_MAGIC", "save_postings", "load_postings"]
+
+#: Format version of the ``postings.npz`` sidecar.  Bumped whenever the
+#: array layout or manifest schema changes incompatibly.
+POSTINGS_FORMAT_VERSION = 1
+
+#: Identifies a ``.npz`` file as a posting index.
+POSTINGS_MAGIC = "repro-postings"
+
+PathLike = Union[str, os.PathLike]
+
+
+def save_postings(postings: PostingsIndex, path: PathLike) -> PathLike:
+    """Write a posting index as one uncompressed ``.npz`` file.
+
+    Live mutations are folded into the frozen arrays first (via a compacted
+    copy; ``postings`` itself is not modified), so the persisted form is
+    always purely frozen.  Returns ``path`` for chaining.
+    """
+    if postings.dirty:
+        frozen = PostingsIndex.from_entries(postings.entries())
+    else:
+        frozen = postings
+    ids = frozen._frozen_ids
+    encoded = [candidate_id.encode("utf-8") for candidate_id in ids]
+    ids_offsets = np.zeros(len(encoded) + 1, dtype=np.int64)
+    if encoded:
+        ids_offsets[1:] = np.cumsum([len(chunk) for chunk in encoded])
+    ids_utf8 = np.frombuffer(b"".join(encoded), dtype=np.uint8).copy()
+    manifest = {
+        "magic": POSTINGS_MAGIC,
+        "version": POSTINGS_FORMAT_VERSION,
+        "candidates": len(ids),
+        "key_buckets": int(frozen._keys.size),
+        "postings": int(frozen._lists.size),
+    }
+    arrays = {
+        "keys": np.asarray(frozen._keys, dtype=np.float64),
+        "offsets": np.asarray(frozen._offsets, dtype=np.int64),
+        "lists": np.asarray(frozen._lists, dtype=np.int64),
+        "ids_utf8": ids_utf8,
+        "ids_offsets": ids_offsets,
+        "manifest": np.frombuffer(
+            json.dumps(manifest).encode("utf-8"), dtype=np.uint8
+        ).copy(),
+    }
+    with open(path, "wb") as handle:
+        np.savez(handle, **arrays)
+    return path
+
+
+def _rebuild_hint(path: PathLike) -> str:
+    return (
+        f"the posting index {path} can be rebuilt from the index's KMV key "
+        f"pools with `repro index postings build`"
+    )
+
+
+def load_postings(path: PathLike, *, mmap: bool = False) -> PostingsIndex:
+    """Open a posting index written by :func:`save_postings`.
+
+    ``mmap=True`` memory-maps the numeric members instead of reading them
+    eagerly.  Raises :class:`~repro.exceptions.PostingsError` for missing,
+    corrupted, wrong-magic or unsupported-version files.
+    """
+    if not os.path.exists(path):
+        raise PostingsError(f"no posting index at {path}")
+    try:
+        arrays = _read_store_arrays(path, mmap)
+    except StoreError as exc:
+        raise PostingsError(f"not a posting index: {path} ({exc})") from exc
+    if "manifest" not in arrays:
+        raise PostingsError(f"not a posting index (no manifest): {path}")
+    try:
+        manifest = json.loads(bytes(np.asarray(arrays["manifest"])).decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise PostingsError(f"corrupted posting-index manifest: {path}") from exc
+    if not isinstance(manifest, dict) or manifest.get("magic") != POSTINGS_MAGIC:
+        raise PostingsError(f"not a posting index (bad magic): {path}")
+    version = manifest.get("version")
+    if version != POSTINGS_FORMAT_VERSION:
+        raise PostingsError(
+            f"unsupported posting-index version {version!r} (expected "
+            f"{POSTINGS_FORMAT_VERSION}): {_rebuild_hint(path)}"
+        )
+    try:
+        keys = np.asarray(arrays["keys"], dtype=np.float64)
+        offsets = np.asarray(arrays["offsets"], dtype=np.int64)
+        lists = arrays["lists"] if mmap else np.asarray(arrays["lists"], dtype=np.int64)
+        ids_utf8 = bytes(np.asarray(arrays["ids_utf8"], dtype=np.uint8))
+        ids_offsets = np.asarray(arrays["ids_offsets"], dtype=np.int64)
+    except KeyError as exc:
+        raise PostingsError(
+            f"posting index is missing array {exc.args[0]!r}: {path}"
+        ) from exc
+    if ids_offsets.size < 1 or int(manifest.get("candidates", -1)) != ids_offsets.size - 1:
+        raise PostingsError(f"corrupted posting index (candidate count): {path}")
+    try:
+        candidate_ids = [
+            ids_utf8[int(start):int(end)].decode("utf-8")
+            for start, end in zip(ids_offsets[:-1], ids_offsets[1:])
+        ]
+    except UnicodeDecodeError as exc:
+        raise PostingsError(f"corrupted posting index (candidate ids): {path}") from exc
+    try:
+        return PostingsIndex._from_frozen_arrays(
+            keys, offsets, np.asarray(lists), candidate_ids
+        )
+    except PostingsError as exc:
+        raise PostingsError(f"corrupted posting index {path}: {exc}") from exc

@@ -14,6 +14,13 @@ before any MI estimation is spent, without ever changing the answer:
   bounds computed without joining: ``len(base_sketch)`` (short-circuits the
   whole query) and ``len(candidate_sketch) * max-multiplicity-of-a-base-key``
   (per candidate, O(1) after one scan of the base sketch);
+* **posting-list candidate generation** — when a
+  :class:`~repro.postings.PostingsIndex` is supplied and the query carries a
+  positive ``min_containment``, the planner probes the posting lists with
+  the base table's retained KMV keys and only evaluates containment for
+  candidates sharing at least one retained key.  A candidate sharing none
+  has containment exactly 0 and would have been pruned anyway, so the probe
+  result is a provable superset of the containment survivors;
 * **bounded top-k ranking** — surviving estimates are ranked with
   :func:`~repro.discovery.ranking.top_k_results`' bounded heap, so ranking
   never sorts more candidates than the answer needs.
@@ -39,6 +46,7 @@ from repro.sketches.kmv import KMVSketch
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from repro.discovery.index import IndexedCandidate
+    from repro.postings import PostingsIndex
 
 __all__ = ["QueryPlanner", "QueryPlan", "PlannedCandidate"]
 
@@ -61,11 +69,13 @@ class QueryPlan:
     total_candidates: int = 0
     pruned_containment: int = 0
     pruned_join_floor: int = 0
+    skipped_by_postings: int = 0
+    postings_probed: int = 0
 
     @property
     def pruned(self) -> int:
         """Total candidates removed before MI estimation."""
-        return self.pruned_containment + self.pruned_join_floor
+        return self.pruned_containment + self.pruned_join_floor + self.skipped_by_postings
 
     def stats(self) -> dict[str, int]:
         return {
@@ -73,6 +83,8 @@ class QueryPlan:
             "survivors": len(self.survivors),
             "pruned_containment": self.pruned_containment,
             "pruned_join_floor": self.pruned_join_floor,
+            "skipped_by_postings": self.skipped_by_postings,
+            "postings_probed": self.postings_probed,
         }
 
 
@@ -88,14 +100,23 @@ class QueryPlanner:
         query: AugmentationQuery,
         *,
         use_cache: bool = True,
+        postings: Optional["PostingsIndex"] = None,
     ) -> QueryPlan:
         """Sketch the base side and prune the candidate set.
 
-        Both prunes are conservative: a dropped candidate would either have
+        All prunes are conservative: a dropped candidate would either have
         failed the containment filter or raised
         :class:`~repro.exceptions.InsufficientSamplesError` during
         estimation, so execution over the survivors answers the query
         exactly.
+
+        ``postings`` switches candidate generation from a lake scan to a
+        posting-list probe: candidates sharing no retained KMV key with the
+        base table are skipped without a containment evaluation (counted as
+        ``skipped_by_postings``).  The probe only applies when
+        ``query.min_containment > 0`` — at a zero threshold even
+        containment-0 candidates survive the filter, so every candidate must
+        be evaluated.
 
         ``use_cache=False`` bypasses the engine's identity-keyed base-sketch
         and key-sketch memos — the right choice when every query carries a
@@ -118,6 +139,12 @@ class QueryPlanner:
             plan.pruned_join_floor = len(candidates)
             return plan
 
+        matched: Optional[set[str]] = None
+        if postings is not None and query.min_containment > 0:
+            base_units = base_kmv.hashes
+            plan.postings_probed = len(base_units)
+            matched = postings.probe(base_units)
+
         # Each base tuple joins with at most one candidate tuple, so a
         # candidate's join size is bounded by its own tuple count times the
         # heaviest base key multiplicity.
@@ -125,6 +152,11 @@ class QueryPlanner:
             Counter(base_sketch.key_ids).values(), default=0
         )
         for candidate in candidates:
+            if matched is not None and candidate.candidate_id not in matched:
+                # No shared retained key: containment is exactly 0, below
+                # any positive threshold.  Skipped without evaluation.
+                plan.skipped_by_postings += 1
+                continue
             containment = base_kmv.containment_estimate(candidate.key_kmv)
             if containment < query.min_containment:
                 plan.pruned_containment += 1
@@ -183,8 +215,11 @@ class QueryPlanner:
         query: AugmentationQuery,
         *,
         max_workers: Optional[int] = None,
+        postings: Optional["PostingsIndex"] = None,
     ) -> list[AugmentationResult]:
         """Plan and execute in one call (the in-process query path)."""
         return self.execute(
-            self.plan(candidates, query), query, max_workers=max_workers
+            self.plan(candidates, query, postings=postings),
+            query,
+            max_workers=max_workers,
         )

@@ -77,6 +77,11 @@ class ServiceConfig:
     mmap:
         Memory-map the index's columnar sketch store when loading from a
         directory.
+    use_postings:
+        Probe the index's posting lists (when it carries a
+        :class:`~repro.postings.PostingsIndex`) for sublinear candidate
+        generation; ``False`` forces full candidate scans.  Answers are
+        identical either way — only the planning counters change.
     """
 
     workers: int = 4
@@ -84,6 +89,7 @@ class ServiceConfig:
     cache_entries: int = 256
     cache_ttl_seconds: Optional[float] = 300.0
     mmap: bool = True
+    use_postings: bool = True
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -334,13 +340,24 @@ class DiscoveryService:
         # request carries its own Table object — so bypass them rather than
         # pinning dead request tables; the result cache (content-keyed by
         # fingerprint) is what deduplicates repeated queries.
-        plan = planner.plan(index.candidates, query, use_cache=False)
+        plan = planner.plan(
+            index.candidates,
+            query,
+            use_cache=False,
+            postings=index.postings if self.config.use_postings else None,
+        )
         results = planner.execute(
             plan, query, max_workers=self.config.estimate_workers
         )
         self.metrics.increment("computed")
+        plan_stats = plan.stats()
+        # Aggregate planner counters: every computed query contributes its
+        # prune/probe statistics, surfaced per service via stats() and the
+        # HTTP GET /metrics endpoint as plan_<counter> totals.
+        for name, value in plan_stats.items():
+            self.metrics.increment(f"plan_{name}", value)
         self.cache.put(fingerprint, results)
-        return results, plan.stats()
+        return results, plan_stats
 
     # ------------------------------------------------------------------ #
     # Introspection / lifecycle

@@ -257,3 +257,93 @@ class TestLegacyFormatMigration:
         ]
         for left, right in zip(migrated.candidates, index.candidates):
             assert left.sketch == right.sketch
+
+
+class TestPostingsSidecar:
+    def _strip_sidecar(self, directory):
+        """Turn a freshly saved directory into a pre-postings one."""
+        (directory / "postings.npz").unlink()
+        path = directory / "index.json"
+        document = json.loads(path.read_text(encoding="utf-8"))
+        document.pop("postings_file", None)
+        path.write_text(json.dumps(document), encoding="utf-8")
+
+    def test_save_writes_and_load_attaches_the_sidecar(
+        self, tmp_path, populated_index
+    ):
+        _, index = populated_index
+        save_index(index, tmp_path / "index")
+        assert (tmp_path / "index" / "postings.npz").exists()
+        for mmap in (False, True):
+            restored = load_index(tmp_path / "index", mmap=mmap)
+            assert restored.postings is not None
+            assert restored.postings.ids() == {
+                candidate.candidate_id for candidate in index.candidates
+            }
+
+    def test_pre_postings_directory_loads_and_queries_via_full_scan(
+        self, tmp_path, populated_index
+    ):
+        """The migration path: an old directory has no sidecar, the loaded
+        index falls back to scans, and answers don't change."""
+        base, index = populated_index
+        save_index(index, tmp_path / "index")
+        reference = load_index(tmp_path / "index").query_columns(
+            base, "key", "target", top_k=5, min_containment=0.1, min_join_size=16
+        )
+        self._strip_sidecar(tmp_path / "index")
+        old = load_index(tmp_path / "index")
+        assert old.postings is None
+        results = old.query_columns(
+            base, "key", "target", top_k=5, min_containment=0.1, min_join_size=16
+        )
+        assert [(r.candidate_id, r.mi_estimate, r.containment) for r in results] == [
+            (r.candidate_id, r.mi_estimate, r.containment) for r in reference
+        ]
+
+    def test_resaving_a_pre_postings_directory_adds_the_sidecar(
+        self, tmp_path, populated_index
+    ):
+        _, index = populated_index
+        save_index(index, tmp_path / "index")
+        self._strip_sidecar(tmp_path / "index")
+        old = load_index(tmp_path / "index")
+        save_index(old, tmp_path / "migrated")
+        assert (tmp_path / "migrated" / "postings.npz").exists()
+        assert load_index(tmp_path / "migrated").postings is not None
+
+    def test_unreadable_sidecar_degrades_to_scan_with_a_warning(
+        self, tmp_path, populated_index
+    ):
+        base, index = populated_index
+        save_index(index, tmp_path / "index")
+        (tmp_path / "index" / "postings.npz").write_bytes(b"garbage")
+        with pytest.warns(RuntimeWarning, match="ignoring posting index"):
+            degraded = load_index(tmp_path / "index")
+        assert degraded.postings is None
+        assert degraded.query_columns(
+            base, "key", "target", top_k=5, min_containment=0.1, min_join_size=16
+        )
+
+    def test_stale_sidecar_from_another_index_is_ignored(
+        self, tmp_path, populated_index, rng
+    ):
+        """A sidecar whose candidate set disagrees with index.json must not
+        be probed — a missing live candidate would change answers."""
+        import shutil
+
+        _, index = populated_index
+        save_index(index, tmp_path / "index")
+        other = SketchIndex(method="TUPSK", capacity=128, seed=4)
+        table = Table.from_dict(
+            {"key": [f"x{i}" for i in range(50)], "v": rng.normal(size=50).tolist()},
+            name="other",
+        )
+        other.add_candidate(table, "key", "v")
+        save_index(other, tmp_path / "other")
+        shutil.copy(
+            tmp_path / "other" / "postings.npz", tmp_path / "index" / "postings.npz"
+        )
+        with pytest.warns(RuntimeWarning, match="does not match"):
+            degraded = load_index(tmp_path / "index")
+        assert degraded.postings is None

@@ -1,0 +1,236 @@
+"""Unit tests for the inverted key index (:mod:`repro.postings`).
+
+The core contract under test: for any probe set of unit hashes,
+``PostingsIndex.probe`` returns exactly the live candidates whose retained
+hash sets intersect the probe set — through bulk construction, live
+mutation (add / overwrite / discard), compaction and persistence.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.exceptions import PostingsError
+from repro.postings import (
+    POSTINGS_FORMAT_VERSION,
+    PostingsIndex,
+    load_postings,
+    save_postings,
+)
+
+
+def brute_probe(entries: dict[str, list[float]], units) -> set[str]:
+    probe = set(units)
+    return {
+        candidate_id
+        for candidate_id, retained in entries.items()
+        if probe & set(retained)
+    }
+
+
+@pytest.fixture
+def entries() -> dict[str, list[float]]:
+    rng = np.random.default_rng(11)
+    pool = rng.random(60)
+    return {
+        f"cand{i}": sorted(rng.choice(pool, size=rng.integers(1, 12), replace=False))
+        for i in range(15)
+    }
+
+
+@pytest.fixture
+def index(entries) -> PostingsIndex:
+    return PostingsIndex.from_entries(entries.items())
+
+
+class TestConstruction:
+    def test_empty(self):
+        index = PostingsIndex()
+        assert len(index) == 0
+        assert index.probe([0.1, 0.9]) == set()
+        assert index.stats() == {
+            "candidates": 0,
+            "key_buckets": 0,
+            "postings": 0,
+            "avg_postings_per_key": 0.0,
+        }
+
+    def test_bulk_matches_brute_force(self, entries, index):
+        assert index.ids() == set(entries)
+        rng = np.random.default_rng(5)
+        all_units = sorted({unit for units in entries.values() for unit in units})
+        for _ in range(25):
+            probe = list(rng.choice(all_units, size=7)) + list(rng.random(3))
+            assert index.probe(probe) == brute_probe(entries, probe)
+
+    def test_bulk_rejects_duplicate_ids(self):
+        with pytest.raises(PostingsError, match="duplicate"):
+            PostingsIndex.from_entries([("a", [0.1]), ("a", [0.2])])
+
+    def test_rejects_out_of_range_units(self):
+        for bad in ([1.0], [-0.01], [float("nan")]):
+            with pytest.raises(PostingsError, match="unit interval"):
+                PostingsIndex.from_entries([("a", bad)])
+
+    def test_rejects_non_flat_units(self):
+        with pytest.raises(PostingsError, match="flat"):
+            PostingsIndex.from_entries([("a", [[0.1, 0.2]])])
+
+    def test_candidate_with_no_units_is_live_but_unmatchable(self):
+        index = PostingsIndex.from_entries([("empty", []), ("full", [0.5])])
+        assert "empty" in index
+        assert index.probe([0.5]) == {"full"}
+        assert dict(index.entries())["empty"].size == 0
+
+
+class TestMutation:
+    def test_add_then_probe(self, entries, index):
+        index.add("late", [0.123456, list(entries.values())[0][0]])
+        entries["late"] = [0.123456, list(entries.values())[0][0]]
+        assert index.dirty
+        probe = [0.123456]
+        assert index.probe(probe) == {"late"}
+
+    def test_overwrite_replaces_previous_units(self, index):
+        index.add("cand0", [0.999])
+        assert index.probe([0.999]) == {"cand0"}
+        # The old frozen entry for cand0 must be tombstoned.
+        for units in [np.linspace(0.0, 0.99, 50)]:
+            assert "cand0" not in index.probe(units) or 0.999 in set(
+                np.round(units, 6)
+            )
+
+    def test_overwrite_delta_entry_retires_old_buckets(self):
+        index = PostingsIndex()
+        index.add("a", [0.1, 0.2])
+        index.add("a", [0.2, 0.3])
+        assert index.probe([0.1]) == set()
+        assert index.probe([0.2]) == {"a"}
+        assert index.probe([0.3]) == {"a"}
+
+    def test_discard(self, entries, index):
+        victim = next(iter(entries))
+        assert index.discard(victim) is True
+        assert index.discard(victim) is False
+        assert victim not in index
+        units = entries.pop(victim)
+        assert index.probe(units) == brute_probe(entries, units)
+
+    def test_discard_delta_candidate(self):
+        index = PostingsIndex()
+        index.add("a", [0.4])
+        assert index.discard("a") is True
+        assert index.probe([0.4]) == set()
+        assert len(index) == 0
+
+    def test_len_and_contains_track_mutations(self, index):
+        count = len(index)
+        index.add("new", [0.42])
+        assert len(index) == count + 1 and "new" in index
+        index.discard("new")
+        assert len(index) == count and "new" not in index
+
+    def test_mutated_index_matches_brute_force(self, entries, index):
+        rng = np.random.default_rng(7)
+        for round_ in range(30):
+            candidate_id = f"cand{rng.integers(0, 20)}"
+            if rng.random() < 0.3 and candidate_id in entries:
+                entries.pop(candidate_id)
+                index.discard(candidate_id)
+            else:
+                units = sorted(rng.random(rng.integers(1, 8)))
+                entries[candidate_id] = units
+                index.add(candidate_id, units)
+            probe = list(rng.random(4))
+            if entries and rng.random() < 0.8:
+                pool = [u for units in entries.values() for u in units]
+                probe += list(rng.choice(pool, size=min(4, len(pool))))
+            assert index.probe(probe) == brute_probe(entries, probe), round_
+
+    def test_compact_is_lossless(self, entries, index):
+        index.add("extra", [0.777])
+        entries["extra"] = [0.777]
+        index.discard("cand3")
+        entries.pop("cand3")
+        assert index.dirty
+        index.compact()
+        assert not index.dirty
+        assert index.ids() == set(entries)
+        pool = [u for units in entries.values() for u in units]
+        assert index.probe(pool) == brute_probe(entries, pool)
+
+    def test_stats_agree_between_dirty_and_compacted(self, index):
+        index.add("extra", [0.25, 0.75])
+        index.discard("cand1")
+        dirty_stats = index.stats()
+        clean_stats = index.compact().stats()
+        assert dirty_stats == clean_stats
+
+
+class TestPersistence:
+    def test_round_trip(self, entries, index, tmp_path):
+        path = tmp_path / "postings.npz"
+        save_postings(index, path)
+        for mmap in (False, True):
+            loaded = load_postings(path, mmap=mmap)
+            assert loaded.ids() == set(entries)
+            pool = [u for units in entries.values() for u in units]
+            assert loaded.probe(pool) == brute_probe(entries, pool)
+            assert loaded.stats() == index.stats()
+
+    def test_save_compacts_a_copy_without_mutating_the_original(
+        self, index, tmp_path
+    ):
+        index.add("live", [0.31])
+        save_postings(index, tmp_path / "postings.npz")
+        assert index.dirty  # the caller's index keeps its delta
+        loaded = load_postings(tmp_path / "postings.npz")
+        assert not loaded.dirty
+        assert loaded.probe([0.31]) == {"live"}
+
+    def test_round_trip_empty(self, tmp_path):
+        path = tmp_path / "postings.npz"
+        save_postings(PostingsIndex(), path)
+        assert len(load_postings(path)) == 0
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(PostingsError, match="no posting index"):
+            load_postings(tmp_path / "absent.npz")
+
+    def test_rejects_garbage(self, tmp_path):
+        path = tmp_path / "postings.npz"
+        path.write_bytes(b"not a zip archive")
+        with pytest.raises(PostingsError, match="not a posting index"):
+            load_postings(path)
+
+    def test_rejects_foreign_npz(self, tmp_path):
+        path = tmp_path / "postings.npz"
+        with open(path, "wb") as handle:
+            np.savez(handle, something=np.arange(3))
+        with pytest.raises(PostingsError):
+            load_postings(path)
+
+    def test_rejects_future_version_with_rebuild_hint(self, index, tmp_path):
+        path = tmp_path / "postings.npz"
+        save_postings(index, path)
+        arrays = dict(np.load(path))
+        manifest = json.loads(bytes(arrays["manifest"]).decode("utf-8"))
+        manifest["version"] = POSTINGS_FORMAT_VERSION + 1
+        arrays["manifest"] = np.frombuffer(
+            json.dumps(manifest).encode("utf-8"), dtype=np.uint8
+        ).copy()
+        with open(path, "wb") as handle:
+            np.savez(handle, **arrays)
+        with pytest.raises(PostingsError, match="repro index postings build"):
+            load_postings(path)
+
+    def test_rejects_inconsistent_arrays(self, index, tmp_path):
+        path = tmp_path / "postings.npz"
+        save_postings(index, path)
+        arrays = dict(np.load(path))
+        arrays["lists"] = arrays["lists"][:-1]
+        with open(path, "wb") as handle:
+            np.savez(handle, **arrays)
+        with pytest.raises(PostingsError, match="corrupted posting index"):
+            load_postings(path)

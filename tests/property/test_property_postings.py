@@ -1,0 +1,195 @@
+"""Property-based soundness of posting-list candidate generation.
+
+The posting index promises two things for any lake, any sketch method, any
+capacity and any live mutation history:
+
+* **superset** — ``PostingsIndex.probe(base_kmv.hashes)`` contains every
+  candidate whose containment estimate against the base KMV is non-zero
+  (so every survivor of any ``min_containment > 0`` filter);
+* **byte-identical answers** — planning a query through the posting probe
+  returns exactly the results of the full candidate scan.
+
+Both are exercised through bulk construction (``IndexBuilder.build``),
+incremental maintenance (``add_table`` on a postings-enabled index,
+streamed registration) and removal (builder ``remove_table`` + rebuild).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.discovery.builder import IndexBuilder
+from repro.discovery.index import SketchIndex
+from repro.discovery.query import AugmentationQuery
+from repro.engine import EngineConfig, SketchEngine
+from repro.ingest import InMemoryReader
+from repro.postings import PostingsIndex
+from repro.relational.table import Table
+
+METHODS = ("TUPSK", "CSK", "LV2SK", "PRISK", "INDSK")
+
+#: Shared key universe; per-table offsets control how much tables overlap.
+KEY_POOL = [f"key{i:03d}" for i in range(150)]
+
+
+@st.composite
+def lake_case(draw):
+    """A small random lake plus a base table and query parameters."""
+    seed = draw(st.integers(0, 2**16))
+    rng = np.random.default_rng(seed)
+    capacity = draw(st.sampled_from((4, 16, 48)))
+    num_tables = draw(st.integers(1, 4))
+    tables = []
+    for position in range(num_tables):
+        offset = draw(st.integers(0, len(KEY_POOL) - 1))
+        size = draw(st.integers(5, 40))
+        keys = [KEY_POOL[(offset + i) % len(KEY_POOL)] for i in range(size)]
+        tables.append(
+            Table.from_dict(
+                {"key": keys, "value": rng.normal(size=size).tolist()},
+                name=f"table{position}",
+            )
+        )
+    base_offset = draw(st.integers(0, len(KEY_POOL) - 1))
+    base_size = draw(st.integers(5, 50))
+    base = Table.from_dict(
+        {
+            "key": [
+                KEY_POOL[(base_offset + i) % len(KEY_POOL)] for i in range(base_size)
+            ],
+            "target": rng.normal(size=base_size).tolist(),
+        },
+        name="base",
+    )
+    min_containment = draw(st.sampled_from((0.01, 0.1, 0.5)))
+    min_join_size = draw(st.sampled_from((2, 8, 24)))
+    return tables, base, capacity, seed % 7, min_containment, min_join_size
+
+
+def result_bytes(results):
+    return [
+        (r.candidate_id, r.mi_estimate, r.sketch_join_size, r.containment)
+        for r in results
+    ]
+
+
+def assert_probe_superset(index, base_kmv, min_containment):
+    """Every candidate with non-zero containment is in the probe result."""
+    matched = index.postings.probe(base_kmv.hashes)
+    for candidate in index.candidates:
+        containment = base_kmv.containment_estimate(candidate.key_kmv)
+        if containment > 0:
+            assert candidate.candidate_id in matched, candidate.candidate_id
+        if containment >= min_containment > 0:
+            assert candidate.candidate_id in matched
+
+
+def assert_identical_answers(index, query):
+    probed = index.query(query)
+    scanned = index.query(query, use_postings=False)
+    assert result_bytes(probed) == result_bytes(scanned)
+
+
+class TestBulkConstruction:
+    @settings(max_examples=10, deadline=None)
+    @given(case=lake_case())
+    @pytest.mark.parametrize("method", METHODS)
+    def test_superset_and_identical_answers(self, method, case):
+        tables, base, capacity, seed, min_containment, min_join_size = case
+        builder = IndexBuilder(
+            EngineConfig(method=method, capacity=capacity, seed=seed)
+        )
+        for table in tables:
+            builder.add_table(table, ["key"])
+        index = builder.build()
+        assert index.postings is not None
+        assert index.postings.ids() == {
+            candidate.candidate_id for candidate in index.candidates
+        }
+        base_kmv = index.engine.key_sketch(base, "key")
+        assert_probe_superset(index, base_kmv, min_containment)
+        assert_identical_answers(
+            index,
+            AugmentationQuery(
+                table=base,
+                key_column="key",
+                target_column="target",
+                top_k=0,
+                min_containment=min_containment,
+                min_join_size=min_join_size,
+            ),
+        )
+
+
+class TestLiveMutation:
+    @settings(max_examples=8, deadline=None)
+    @given(case=lake_case())
+    def test_incremental_add_matches_bulk_rebuild(self, case):
+        """add_table on a postings-enabled index (including overwrites and a
+        chunk-streamed registration) maintains exactly the postings a fresh
+        bulk build over the final candidates would produce."""
+        tables, base, capacity, seed, min_containment, min_join_size = case
+        engine = SketchEngine(EngineConfig(capacity=capacity, seed=seed))
+        index = SketchIndex(engine)
+        index.enable_postings()
+        for table in tables:
+            index.add_table(table, ["key"])
+        # Overwrite the first table (same name, same key) — the stale
+        # posting entries must be retired, not unioned.
+        index.add_table(tables[0], ["key"])
+        # Streamed registration: candidates built chunk by chunk.
+        for candidate in engine.ingest_table(
+            InMemoryReader(base.rename("streamed"), 7), ["key"]
+        ):
+            index.add_prebuilt(candidate)
+        fresh = PostingsIndex.from_entries(
+            (candidate.candidate_id, candidate.key_kmv.hashes)
+            for candidate in index.candidates
+        )
+        assert index.postings.ids() == fresh.ids()
+        probe_pool = [candidate.key_kmv.hashes for candidate in index.candidates]
+        for units in probe_pool:
+            assert index.postings.probe(units) == fresh.probe(units)
+        base_kmv = engine.key_sketch(base, "key")
+        assert_probe_superset(index, base_kmv, min_containment)
+        assert_identical_answers(
+            index,
+            AugmentationQuery(
+                table=base,
+                key_column="key",
+                target_column="target",
+                top_k=0,
+                min_containment=min_containment,
+                min_join_size=min_join_size,
+            ),
+        )
+
+    @settings(max_examples=8, deadline=None)
+    @given(case=lake_case(), victim=st.integers(0, 3))
+    def test_builder_remove_table_rebuild_stays_sound(self, case, victim):
+        tables, base, capacity, seed, min_containment, min_join_size = case
+        builder = IndexBuilder(EngineConfig(capacity=capacity, seed=seed))
+        for table in tables:
+            builder.add_table(table, ["key"])
+        builder.build()
+        builder.remove_table(tables[victim % len(tables)].name)
+        index = builder.build()
+        assert index.postings.ids() == {
+            candidate.candidate_id for candidate in index.candidates
+        }
+        if len(index) == 0:
+            return  # removed the only table; an empty index refuses queries
+        base_kmv = index.engine.key_sketch(base, "key")
+        assert_probe_superset(index, base_kmv, min_containment)
+        assert_identical_answers(
+            index,
+            AugmentationQuery(
+                table=base,
+                key_column="key",
+                target_column="target",
+                top_k=0,
+                min_containment=min_containment,
+                min_join_size=min_join_size,
+            ),
+        )

@@ -165,3 +165,147 @@ class TestErrorPropagation:
         query = make_query(base, key_column="nope")
         with pytest.raises(Exception):
             QueryPlanner(index.engine).run(index.candidates, query)
+
+
+def lake_postings(index):
+    """A posting index over the lake fixture, built out-of-band so the
+    module-scoped fixture index stays untouched."""
+    from repro.postings import PostingsIndex
+
+    return PostingsIndex.from_entries(
+        (candidate.candidate_id, candidate.key_kmv.hashes)
+        for candidate in index.candidates
+    )
+
+
+def assert_stats_sum_invariant(plan):
+    """Every candidate is accounted for exactly once, whatever the path."""
+    stats = plan.stats()
+    assert stats["total_candidates"] == (
+        stats["pruned_containment"]
+        + stats["pruned_join_floor"]
+        + stats["skipped_by_postings"]
+        + stats["survivors"]
+    )
+    assert plan.pruned == (
+        stats["pruned_containment"]
+        + stats["pruned_join_floor"]
+        + stats["skipped_by_postings"]
+    )
+    assert stats["total_candidates"] == plan.pruned + stats["survivors"]
+
+
+class TestStatsInvariants:
+    """total_candidates == pruned + survivors, on every planning path."""
+
+    def test_normal_plan(self, lake):
+        base, index = lake
+        plan = QueryPlanner(index.engine).plan(index.candidates, make_query(base))
+        assert_stats_sum_invariant(plan)
+
+    def test_base_short_circuit(self, lake):
+        """The min_join_size base short-circuit books the whole candidate
+        set under pruned_join_floor — nothing is double- or un-counted."""
+        base, index = lake
+        plan = QueryPlanner(index.engine).plan(
+            index.candidates, make_query(base, min_join_size=10_000)
+        )
+        assert plan.pruned_join_floor == plan.total_candidates
+        assert plan.survivors == []
+        assert_stats_sum_invariant(plan)
+
+    def test_base_short_circuit_with_postings(self, lake):
+        """The short-circuit fires before any probe: postings_probed stays 0
+        and the invariant holds with a posting index supplied."""
+        base, index = lake
+        plan = QueryPlanner(index.engine).plan(
+            index.candidates,
+            make_query(base, min_join_size=10_000),
+            postings=lake_postings(index),
+        )
+        assert plan.postings_probed == 0
+        assert plan.skipped_by_postings == 0
+        assert plan.pruned_join_floor == plan.total_candidates
+        assert_stats_sum_invariant(plan)
+
+    def test_postings_plan(self, lake):
+        base, index = lake
+        plan = QueryPlanner(index.engine).plan(
+            index.candidates, make_query(base), postings=lake_postings(index)
+        )
+        assert_stats_sum_invariant(plan)
+
+    def test_zero_min_containment_disables_the_probe(self, lake):
+        base, index = lake
+        plan = QueryPlanner(index.engine).plan(
+            index.candidates,
+            make_query(base, min_containment=0.0),
+            postings=lake_postings(index),
+        )
+        assert plan.postings_probed == 0
+        assert plan.skipped_by_postings == 0
+        assert_stats_sum_invariant(plan)
+
+
+class TestPostingsCandidateGeneration:
+    def test_probe_skips_disjoint_candidate_without_changing_survivors(
+        self, lake
+    ):
+        base, index = lake
+        planner = QueryPlanner(index.engine)
+        query = make_query(base)
+        scanned = planner.plan(index.candidates, query)
+        probed = planner.plan(
+            index.candidates, query, postings=lake_postings(index)
+        )
+        # The disjoint-key candidate shares no retained hash with the base,
+        # so the probe skips it before the containment evaluation it would
+        # have failed anyway.
+        assert probed.skipped_by_postings >= 1
+        assert probed.postings_probed == len(probed.base_kmv.hashes)
+        assert probed.skipped_by_postings + probed.pruned_containment == (
+            scanned.pruned_containment
+        )
+        assert [
+            (planned.candidate.candidate_id, planned.containment)
+            for planned in probed.survivors
+        ] == [
+            (planned.candidate.candidate_id, planned.containment)
+            for planned in scanned.survivors
+        ]
+
+    def test_results_identical_with_and_without_postings(self, lake):
+        base, index = lake
+        planner = QueryPlanner(index.engine)
+        for query in (
+            make_query(base),
+            make_query(base, top_k=2),
+            make_query(base, target_column="other"),
+            make_query(base, min_join_size=40),
+        ):
+            scanned = planner.run(index.candidates, query)
+            probed = planner.run(
+                index.candidates, query, postings=lake_postings(index)
+            )
+            assert [
+                (r.candidate_id, r.mi_estimate, r.sketch_join_size, r.containment)
+                for r in probed
+            ] == [
+                (r.candidate_id, r.mi_estimate, r.sketch_join_size, r.containment)
+                for r in scanned
+            ]
+
+    def test_index_query_uses_attached_postings(self, lake):
+        base, index = lake
+        reference = [r.candidate_id for r in index.query(make_query(base))]
+        from repro.discovery import SketchIndex
+
+        clone = SketchIndex(index.engine)
+        for candidate in index.candidates:
+            clone.add_prebuilt(candidate)
+        clone.enable_postings()
+        assert [r.candidate_id for r in clone.query(make_query(base))] == reference
+        assert [
+            r.candidate_id
+            for r in clone.query(make_query(base), use_postings=False)
+        ] == reference

@@ -267,6 +267,61 @@ class TestStats:
         assert stats["latency"]["query_cold"]["count"] == 1
         assert stats["latency"]["query_cached"]["count"] == 1
 
+    def test_plan_counters_aggregate_per_computed_query(self, lake, index_dir):
+        """Every computed query folds its planner stats into plan_<name>
+        counters (the per-query numbers ride on ServedResult.plan_stats)."""
+        base, _ = lake
+        with DiscoveryService(index_dir, ServiceConfig(workers=2)) as service:
+            first = service.query(make_query(base))
+            cached = service.query(make_query(base))  # no plan ran
+            second = service.query(make_query(base, top_k=3))
+            counters = service.stats()["counters"]
+        assert not first.cache_hit and cached.cache_hit
+        for name in (
+            "total_candidates",
+            "survivors",
+            "pruned_containment",
+            "pruned_join_floor",
+            "skipped_by_postings",
+            "postings_probed",
+        ):
+            assert counters[f"plan_{name}"] == (
+                first.plan_stats[name] + second.plan_stats[name]
+            )
+        # The persisted index carries a posting sidecar, so the disjoint
+        # candidate is skipped without a containment evaluation.
+        assert counters["plan_skipped_by_postings"] >= 2
+        assert counters["plan_postings_probed"] > 0
+        assert counters["plan_total_candidates"] == 22
+        # Per-plan candidate accounting survives aggregation.
+        assert counters["plan_total_candidates"] == (
+            counters["plan_pruned_containment"]
+            + counters["plan_pruned_join_floor"]
+            + counters["plan_skipped_by_postings"]
+            + counters["plan_survivors"]
+        )
+
+    def test_use_postings_false_forces_full_scans(self, lake, index_dir):
+        base, _ = lake
+        query = make_query(base)
+        with DiscoveryService(index_dir, ServiceConfig(workers=2)) as probed:
+            with_postings = probed.query(query)
+        with DiscoveryService(
+            index_dir, ServiceConfig(workers=2, use_postings=False)
+        ) as scanned:
+            without = scanned.query(query)
+            counters = scanned.stats()["counters"]
+        assert counters["plan_skipped_by_postings"] == 0
+        assert counters["plan_postings_probed"] == 0
+        assert with_postings.plan_stats["skipped_by_postings"] >= 1
+        assert [
+            (r.candidate_id, r.mi_estimate, r.sketch_join_size, r.containment)
+            for r in without.results
+        ] == [
+            (r.candidate_id, r.mi_estimate, r.sketch_join_size, r.containment)
+            for r in with_postings.results
+        ]
+
 
 class TestLiveRegistration:
     """register_table: streaming new tables into a serving index."""

@@ -328,6 +328,35 @@ class TestIndexCommand:
         assert summary["tables"] == {"lake0": 2, "lake1": 2, "lake2": 2}
         assert summary["engine_config"]["method"] == "TUPSK"
 
+    def test_info_reports_postings_summary(self, lake_csvs, tmp_path, capsys):
+        out_dir = tmp_path / "lake.index"
+        main(
+            ["index", "build", *map(str, lake_csvs), "--key", "key", "-o", str(out_dir)]
+        )
+        capsys.readouterr()
+        assert main(["index", "info", str(out_dir)]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["postings"]["present"] is True
+        assert summary["postings"]["candidates"] == 6
+        assert summary["postings"]["key_buckets"] > 0
+        assert summary["postings"]["avg_postings_per_key"] > 0
+
+    def test_info_degrades_gracefully_without_sidecar(
+        self, lake_csvs, tmp_path, capsys
+    ):
+        """Pre-postings directories still summarize; the sidecar section
+        just reports absence."""
+        out_dir = tmp_path / "lake.index"
+        main(
+            ["index", "build", *map(str, lake_csvs), "--key", "key", "-o", str(out_dir)]
+        )
+        (out_dir / "postings.npz").unlink()
+        capsys.readouterr()
+        assert main(["index", "info", str(out_dir)]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["candidates"] == 6
+        assert summary["postings"] == {"present": False}
+
     def test_missing_key_column_reported_as_error(self, lake_csvs, tmp_path, capsys):
         code = main(
             [
@@ -463,6 +492,48 @@ class TestIndexQueryCommand:
             )
         )
         assert via_cli == [asdict(result) for result in in_process]
+
+
+class TestIndexPostingsCommand:
+    def test_info_reports_sidecar_stats(self, built_index, capsys):
+        assert main(["index", "postings", "info", str(built_index)]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["present"] is True
+        assert summary["candidates"] == 6
+
+    def test_info_reports_absence(self, built_index, capsys):
+        (built_index / "postings.npz").unlink()
+        assert main(["index", "postings", "info", str(built_index)]) == 0
+        assert json.loads(capsys.readouterr().out) == {"present": False}
+
+    def test_build_recreates_the_sidecar(self, built_index, base_csv, capsys):
+        (built_index / "postings.npz").unlink()
+        code = main(["index", "postings", "build", str(built_index)])
+        assert code == 0
+        assert "built posting index over 6 candidates" in capsys.readouterr().out
+        assert (built_index / "postings.npz").exists()
+        from repro.discovery import load_index
+
+        assert load_index(built_index).postings is not None
+
+    def test_build_on_missing_directory_reported_as_error(self, tmp_path, capsys):
+        code = main(["index", "postings", "build", str(tmp_path / "nope")])
+        assert code == 2
+        assert "no index.json" in capsys.readouterr().err
+
+    def test_query_no_postings_flag_matches_default(
+        self, built_index, base_csv, capsys
+    ):
+        args = [
+            "index", "query", str(built_index),
+            "--csv", str(base_csv), "--key", "key", "--target", "target",
+            "--min-containment", "0.1", "--min-join-size", "8",
+        ]
+        assert main(args) == 0
+        probed = json.loads(capsys.readouterr().out)
+        assert main(args + ["--no-postings"]) == 0
+        scanned = json.loads(capsys.readouterr().out)
+        assert probed == scanned and probed
 
 
 class TestServeCommand:

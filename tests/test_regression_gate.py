@@ -44,6 +44,12 @@ def write_report(directory: Path, name: str, *, speedup: float, throughput: floa
             "speedup": speedup,
             "vectorized": {"columns_per_second": throughput},
         }
+    elif name == "postings.json":
+        document = {
+            "touched_fraction": 0.1 / max(speedup, 0.1),
+            "touched_growth": 1.0,
+            "plan_speedup": speedup,
+        }
     elif name == "ingest.json":
         document = {
             "throughput_ratio": speedup,
@@ -180,6 +186,33 @@ class TestUpdateBaselines:
         for name in gate.GATED_REPORTS:
             assert (fresh / name).exists()
         assert run_gate(results, fresh) == 0
+
+
+class TestPostingsGate:
+    def test_touched_fraction_regression_fails(self, dirs):
+        results, baselines = dirs
+        document = {
+            "touched_fraction": 0.5,  # baseline 0.1/3: probe stopped pruning
+            "touched_growth": 1.0,
+            "plan_speedup": 3.0,
+        }
+        (results / "postings.json").write_text(json.dumps(document), encoding="utf-8")
+        assert run_gate(results, baselines) == 1
+
+    def test_touched_growth_regression_fails(self, dirs):
+        results, baselines = dirs
+        document = {
+            "touched_fraction": 0.1 / 3.0,
+            "touched_growth": 4.0,  # baseline 1.0: no longer sublinear
+            "plan_speedup": 3.0,
+        }
+        (results / "postings.json").write_text(json.dumps(document), encoding="utf-8")
+        assert run_gate(results, baselines) == 1
+
+    def test_plan_speedup_collapse_fails(self, dirs):
+        results, baselines = dirs
+        write_report(results, "postings.json", speedup=0.5, throughput=1000.0)
+        assert run_gate(results, baselines) == 1
 
 
 class TestIngestGate:
