@@ -112,6 +112,16 @@ GATED_REPORTS: dict[str, tuple[MetricSpec, ...]] = {
         MetricSpec("memory.peak_fraction", "lower"),
         MetricSpec("ingest.columns_per_second", "higher", THROUGHPUT_TOLERANCE),
     ),
+    "mp_serving.json": (
+        # Primary gate: process-over-thread qps, a same-machine ratio that
+        # cancels out runner speed.  The 2.0 baseline with the default 25%
+        # tolerance puts the gate floor at exactly the benchmark's own 1.5x
+        # assertion.  identical_results is a hard flag (zero tolerance):
+        # process-mode answers must stay byte-identical to the thread path.
+        MetricSpec("scaling_ratio", "higher"),
+        MetricSpec("identical_results", "higher", 0.0),
+        MetricSpec("process.qps", "higher", THROUGHPUT_TOLERANCE),
+    ),
 }
 
 

@@ -28,9 +28,11 @@ the fastest overall configuration.)
 from __future__ import annotations
 
 import json
+import os
 import time
 
 import numpy as np
+import pytest
 
 from repro.discovery import SketchIndex
 from repro.engine import EngineConfig, SketchEngine
@@ -146,6 +148,14 @@ def test_bench_index_build(benchmark, results_dir):
     print(json.dumps(report, indent=2))
     print(f"[report saved to {path}]")
 
+    # The identity checks above always run; the speedup ratio is only
+    # meaningful when there are cores for the workers to spread over.
+    cpu_count = os.cpu_count() or 1
+    if cpu_count < 2:
+        pytest.skip(
+            f"parallel-over-serial speedup needs >= 2 cores to be "
+            f"meaningful; this runner has {cpu_count} (report still written)"
+        )
     assert speedup >= MIN_SPEEDUP, (
         f"sharded build at {MAX_WORKERS} workers is only {speedup:.2f}x faster "
         f"than the serial path (required: {MIN_SPEEDUP}x)"

@@ -1,0 +1,232 @@
+"""Benchmark — process-worker serving throughput vs the thread pool.
+
+``benchmarks/results/baselines/engine_batch.json`` records the thread
+pool's ceiling: concurrent in-process estimation runs at **0.85x**
+sequential, because MI estimation holds the GIL.  Process execution
+(`ServiceConfig(execution="process")`) exists to break that ceiling — N
+spawned workers memory-map the same index directory and estimate truly in
+parallel — and this benchmark proves it:
+
+* **scaling** — a closed loop of clients firing *unique* queries (every
+  caching and coalescing layer disabled/defeated) must reach >= 1.5x the
+  thread pool's qps on a multi-core runner;
+* **byte-identity** — process-mode answers serialize byte-identically to
+  thread-mode answers for the same queries.
+
+The whole module skips on single-core runners: there is nothing to scale
+with, and the 1.5x assertion would be vacuous noise.  The JSON report
+feeds the CI benchmark-regression gate.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.discovery import SketchIndex, save_index
+from repro.discovery.query import AugmentationQuery
+from repro.engine import EngineConfig, SketchEngine
+from repro.relational.table import Table
+from repro.serving import DiscoveryService, ServiceConfig, result_to_dict
+
+CPU_COUNT = os.cpu_count() or 1
+
+pytestmark = pytest.mark.skipif(
+    CPU_COUNT < 2,
+    reason=(
+        "process-vs-thread qps scaling needs >= 2 cores to mean anything; "
+        f"this runner has {CPU_COUNT}"
+    ),
+)
+
+NUM_TABLES = 10
+COLUMNS_PER_TABLE = 10
+ROWS_PER_TABLE = 300
+NUM_KEYS = 300
+CAPACITY = 64
+CLIENTS = min(4, CPU_COUNT)
+QUERIES_PER_CLIENT = 5
+IDENTITY_QUERIES = 4
+MIN_SCALING = 1.5
+
+
+def build_lake(seed: int = 29):
+    """A base table with one unique target column per timed query."""
+    rng = np.random.default_rng(seed)
+    keys = [f"k{i:05d}" for i in range(NUM_KEYS)]
+    signal = rng.normal(size=NUM_KEYS)
+    base_columns: dict = {"key": keys}
+    for position in range(CLIENTS * QUERIES_PER_CLIENT):
+        mix = rng.uniform(0.2, 0.8)
+        base_columns[f"t{position:02d}"] = (
+            (1.0 - mix) * signal + mix * rng.normal(size=NUM_KEYS)
+        ).tolist()
+    base = Table.from_dict(base_columns, name="base")
+    tables = []
+    for position in range(NUM_TABLES):
+        row_keys = [keys[i] for i in rng.integers(0, NUM_KEYS, size=ROWS_PER_TABLE)]
+        data: dict = {"key": row_keys}
+        aligned = np.array([signal[int(key[1:])] for key in row_keys])
+        for column in range(COLUMNS_PER_TABLE):
+            mix = rng.uniform(0.0, 1.0)
+            data[f"v{column:02d}"] = (
+                (1.0 - mix) * aligned + mix * rng.normal(size=ROWS_PER_TABLE)
+            ).tolist()
+        tables.append(Table.from_dict(data, name=f"lake{position:03d}"))
+    return base, tables
+
+
+def make_query(base, target):
+    return AugmentationQuery(
+        table=base,
+        key_column="key",
+        target_column=target,
+        top_k=10,
+        min_containment=0.0,
+        min_join_size=8,
+    )
+
+
+def make_service(index_dir, execution):
+    # Every cache off: L1 in the parent, the workers' L1s and the shared
+    # cache would all turn repeat queries into no-ops and measure nothing.
+    # The timed queries are additionally all *unique*, so coalescing cannot
+    # collapse them either — each one pays the full planning + estimation.
+    return DiscoveryService(
+        index_dir,
+        ServiceConfig(
+            workers=CLIENTS,
+            execution=execution,
+            cache_entries=0,
+            shared_cache_entries=0,
+        ),
+    )
+
+
+def closed_loop(service, base, targets):
+    """Fire every target once across CLIENTS concurrent clients."""
+    import threading
+
+    per_client = len(targets) // CLIENTS
+    barrier = threading.Barrier(CLIENTS + 1)
+    errors = []
+
+    def client(position):
+        try:
+            barrier.wait()
+            for i in range(per_client):
+                service.query(make_query(base, targets[position * per_client + i]))
+        except Exception as exc:  # pragma: no cover - surfaced via assert
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=client, args=(position,))
+        for position in range(CLIENTS)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    assert not errors, errors
+    return elapsed
+
+
+def test_bench_mp_serving(benchmark, results_dir, tmp_path):
+    config = EngineConfig(method="TUPSK", capacity=CAPACITY, seed=0)
+    base, tables = build_lake()
+
+    index = SketchIndex(SketchEngine(config))
+    for table in tables:
+        index.add_table(table, ["key"])
+    index_dir = tmp_path / "lake.index"
+    save_index(index, index_dir)
+
+    targets = [f"t{position:02d}" for position in range(CLIENTS * QUERIES_PER_CLIENT)]
+    total_queries = len(targets)
+
+    # -- byte-identity: process answers == thread answers ---------------- #
+    identity_targets = targets[:IDENTITY_QUERIES]
+    with make_service(index_dir, "thread") as threaded:
+        expected = {
+            target: json.dumps(
+                [
+                    result_to_dict(result)
+                    for result in threaded.query(make_query(base, target)).results
+                ],
+                sort_keys=True,
+            )
+            for target in identity_targets
+        }
+
+        # -- thread-mode closed loop (the GIL-bound reference) ------------ #
+        thread_seconds = closed_loop(threaded, base, targets)
+
+    process_service = make_service(index_dir, "process")
+    try:
+        pool = process_service.start_workers()  # pay spawn + mmap up front
+        identical = all(
+            json.dumps(
+                [
+                    result_to_dict(result)
+                    for result in process_service.query(make_query(base, target)).results
+                ],
+                sort_keys=True,
+            )
+            == expected[target]
+            for target in identity_targets
+        )
+
+        # -- process-mode closed loop over the warm pool ------------------ #
+        process_seconds = benchmark.pedantic(
+            closed_loop,
+            args=(process_service, base, targets),
+            rounds=1,
+            iterations=1,
+        )
+        pool_stats = pool.stats()
+    finally:
+        process_service.close()
+
+    thread_qps = total_queries / thread_seconds
+    process_qps = total_queries / process_seconds
+    scaling_ratio = process_qps / thread_qps
+
+    report = {
+        "benchmark": "mp_serving",
+        "candidates": NUM_TABLES * COLUMNS_PER_TABLE,
+        "capacity": CAPACITY,
+        "cpu_count": CPU_COUNT,
+        "workers": CLIENTS,
+        "clients": CLIENTS,
+        "thread": {
+            "queries": total_queries,
+            "seconds": thread_seconds,
+            "qps": thread_qps,
+        },
+        "process": {
+            "queries": total_queries,
+            "seconds": process_seconds,
+            "qps": process_qps,
+            "worker_restarts": pool_stats["worker_restarts"],
+        },
+        "scaling_ratio": scaling_ratio,
+        "identical_results": 1.0 if identical else 0.0,
+    }
+    path = results_dir / "mp_serving.json"
+    path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print()
+    print(json.dumps(report, indent=2))
+    print(f"[report saved to {path}]")
+
+    assert identical, "process-mode answers differ from the thread path"
+    assert scaling_ratio >= MIN_SCALING, (
+        f"process execution is only {scaling_ratio:.2f}x the thread pool's "
+        f"qps on {CPU_COUNT} cores (required: {MIN_SCALING}x)"
+    )

@@ -41,6 +41,9 @@ pipeline plus the reproduction harness:
     Run the :mod:`repro.serving` HTTP query service over an index directory
     (``POST /query``, ``GET /healthz``, ``GET /metrics``), with a query
     thread pool, an LRU+TTL result cache and in-flight request coalescing.
+    ``--execution process`` swaps the GIL-bound thread pool for N worker
+    processes that each memory-map the same index and share results through
+    a cross-worker cache (``--shared-cache-entries``).
 
 Examples
 --------
@@ -303,7 +306,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--port", type=int, default=8765, help="listen port (0 binds an ephemeral port)"
     )
     serve.add_argument(
-        "--workers", type=int, default=4, help="query thread-pool size (default 4)"
+        "--workers", type=int, default=4,
+        help="query thread-pool size, or worker-process count under "
+        "--execution process (default 4)",
+    )
+    serve.add_argument(
+        "--execution", choices=("thread", "process"), default="thread",
+        help="query execution mode: 'thread' runs queries on an in-process "
+        "pool; 'process' spawns worker processes that each memory-map the "
+        "index (default thread)",
+    )
+    serve.add_argument(
+        "--shared-cache-entries", type=int, default=1024,
+        help="cross-worker shared result-cache capacity under --execution "
+        "process (0 disables the shared cache; default 1024)",
     )
     serve.add_argument(
         "--cache-entries", type=int, default=256,
@@ -630,18 +646,24 @@ def _command_serve(args: argparse.Namespace) -> int:
         args.index,
         ServiceConfig(
             workers=args.workers,
+            execution=args.execution,
             cache_entries=args.cache_entries,
             cache_ttl_seconds=args.cache_ttl if args.cache_ttl > 0 else None,
+            shared_cache_entries=args.shared_cache_entries,
             mmap=not args.no_mmap,
             use_postings=not args.no_postings,
         ),
     )
     # Fail fast on a missing/corrupt index instead of 500-ing every query.
     index = service.ensure_ready()
+    # Under process execution, pay worker spawn + mmap cost up front too, so
+    # the first request hits a warm pool rather than a cold fork storm.
+    service.start_workers()
     server = serve(service, host=args.host, port=args.port, verbose=args.verbose)
     host, port = server.server_address[:2]
     print(
-        f"serving {args.index} ({len(index)} candidates) "
+        f"serving {args.index} ({len(index)} candidates, "
+        f"{args.execution} execution) "
         f"on http://{host}:{port} — POST /query, GET /healthz, GET /metrics",
         flush=True,
     )

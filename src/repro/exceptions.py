@@ -25,6 +25,7 @@ __all__ = [
     "EngineError",
     "EngineConfigError",
     "ServingError",
+    "WorkerCrashError",
     "IngestError",
     "PostingsError",
 ]
@@ -111,6 +112,10 @@ class EngineConfigError(EngineError):
 
 class ServingError(ReproError):
     """The discovery query service was misconfigured or misused."""
+
+
+class WorkerCrashError(ServingError):
+    """A query could not be completed because pool workers kept crashing."""
 
 
 class IngestError(ReproError):

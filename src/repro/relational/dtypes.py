@@ -78,7 +78,10 @@ def _looks_like_int(text: str) -> bool:
         return False
     if text[0] in "+-":
         text = text[1:]
-    return text.isdigit()
+    # isdecimal(), not isdigit(): int() only accepts Unicode decimal digits,
+    # while isdigit() is also true for e.g. superscripts ("²"), which would
+    # classify a value as INT that int() then refuses to parse.
+    return text.isdecimal()
 
 
 def _looks_like_float(text: str) -> bool:

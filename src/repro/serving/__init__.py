@@ -13,6 +13,10 @@ first-class concerns:
 * :class:`~repro.serving.service.DiscoveryService` — the facade owning the
   engine + index (lazily loaded, memory-mapped), a query thread pool, the
   cache and in-flight request coalescing;
+* :class:`~repro.serving.workers.WorkerPool` — optional process-worker
+  execution (``ServiceConfig(execution="process")``): N spawned workers each
+  memory-map the same index directory and share results through a
+  :class:`~repro.serving.workers.SharedResultCache`;
 * :mod:`~repro.serving.http` — a stdlib ``ThreadingHTTPServer`` front end
   (``POST /query``, ``GET /healthz``, ``GET /metrics``), wired into the CLI
   as ``repro serve``.
@@ -31,6 +35,7 @@ from repro.serving.fingerprint import query_fingerprint
 from repro.serving.metrics import LatencyHistogram, MetricsRegistry
 from repro.serving.planner import PlannedCandidate, QueryPlan, QueryPlanner
 from repro.serving.service import DiscoveryService, ServedResult, ServiceConfig
+from repro.serving.workers import SharedResultCache, WorkerPool
 from repro.serving.http import DiscoveryHTTPServer, result_to_dict, serve
 
 __all__ = [
@@ -44,6 +49,8 @@ __all__ = [
     "DiscoveryService",
     "ServedResult",
     "ServiceConfig",
+    "SharedResultCache",
+    "WorkerPool",
     "DiscoveryHTTPServer",
     "result_to_dict",
     "serve",

@@ -169,6 +169,7 @@ class _DiscoveryRequestHandler(BaseHTTPRequestHandler):
             "status": "ok",
             "index_loaded": service.index_loaded,
             "workers": service.config.workers,
+            "execution": service.config.execution,
         }
 
     def _handle_metrics(self) -> tuple[int, dict[str, Any]]:

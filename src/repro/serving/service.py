@@ -33,7 +33,7 @@ import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import Any, Optional, Union
+from typing import TYPE_CHECKING, Any, Optional, Union
 
 from repro.discovery.index import SketchIndex
 from repro.discovery.persistence import load_index
@@ -43,6 +43,9 @@ from repro.serving.cache import ResultCache
 from repro.serving.fingerprint import query_fingerprint
 from repro.serving.metrics import MetricsRegistry
 from repro.serving.planner import QueryPlanner
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.serving.workers import WorkerPool
 
 __all__ = ["DiscoveryService", "ServiceConfig", "ServedResult"]
 
@@ -66,14 +69,29 @@ class ServiceConfig:
     Attributes
     ----------
     workers:
-        Size of the query thread pool (concurrent query computations).
+        Number of concurrent query computations: the query thread-pool
+        size under ``execution="thread"``, the worker-process count under
+        ``execution="process"``.
+    execution:
+        ``"thread"`` computes queries on a GIL-bound thread pool in
+        process; ``"process"`` routes them to a
+        :class:`~repro.serving.workers.WorkerPool` of processes that each
+        memory-map the served index directory (see
+        :mod:`repro.serving.workers`).  Answers are byte-identical either
+        way; only throughput under CPU-bound load differs.
     estimate_workers:
         Per-query thread count for candidate MI estimation (``None`` runs
         each query's estimates sequentially; concurrency across queries
         comes from ``workers``).
     cache_entries / cache_ttl_seconds:
         Result-cache bound and entry lifetime (``0`` entries disables
-        caching; ``None`` TTL disables expiry).
+        caching; ``None`` TTL disables expiry).  Under process execution
+        the same bounds configure each worker's in-process L1 cache.
+    shared_cache_entries:
+        Capacity of the cross-worker shared result cache (process
+        execution only; ``0`` disables it).  A result computed by any
+        worker serves all of them — and the parent, which probes the
+        shared cache before dispatching.
     mmap:
         Memory-map the index's columnar sketch store when loading from a
         directory.
@@ -85,15 +103,21 @@ class ServiceConfig:
     """
 
     workers: int = 4
+    execution: str = "thread"
     estimate_workers: Optional[int] = None
     cache_entries: int = 256
     cache_ttl_seconds: Optional[float] = 300.0
+    shared_cache_entries: int = 1024
     mmap: bool = True
     use_postings: bool = True
 
     def __post_init__(self) -> None:
         if self.workers < 1:
             raise ServingError(f"workers must be at least 1, got {self.workers}")
+        if self.execution not in ("thread", "process"):
+            raise ServingError(
+                f'execution must be "thread" or "process", got {self.execution!r}'
+            )
 
 
 @dataclass(frozen=True)
@@ -134,6 +158,11 @@ class DiscoveryService:
     ):
         self.config = config or ServiceConfig()
         if isinstance(index, SketchIndex):
+            if self.config.execution == "process":
+                raise ServingError(
+                    "process execution requires an index directory that the "
+                    "worker processes can memory-map; got a live SketchIndex"
+                )
             self._index: Optional[SketchIndex] = index
             self._index_dir: Optional[Path] = None
         elif isinstance(index, (str, Path)):
@@ -157,6 +186,8 @@ class DiscoveryService:
         self._register_lock = threading.Lock()
         self._inflight: dict[str, Future] = {}
         self._planner: Optional[QueryPlanner] = None
+        self._pool: Optional["WorkerPool"] = None
+        self._pool_lock = threading.Lock()
         self._closed = False
 
     # ------------------------------------------------------------------ #
@@ -197,6 +228,36 @@ class DiscoveryService:
             self._planner = QueryPlanner(self.ensure_ready().engine)
         return self._planner
 
+    def start_workers(self) -> Optional["WorkerPool"]:
+        """Start the process worker pool (idempotent; ``None`` in thread mode).
+
+        The pool also starts lazily on the first computed query; calling
+        this up front (the CLI does, before accepting traffic) moves the
+        spawn-and-load cost off the first request.
+        """
+        if self.config.execution != "process":
+            return None
+        from repro.serving.workers import WorkerPool
+
+        with self._pool_lock:
+            if self._pool is None:
+                if self._closed:
+                    raise ServingError("the service is closed")
+                self._pool = WorkerPool(
+                    self._index_dir,
+                    workers=self.config.workers,
+                    options={
+                        "mmap": self.config.mmap,
+                        "use_postings": self.config.use_postings,
+                        "estimate_workers": self.config.estimate_workers,
+                        "l1_entries": self.config.cache_entries,
+                        "ttl_seconds": self.config.cache_ttl_seconds,
+                    },
+                    shared_cache_entries=self.config.shared_cache_entries,
+                    ttl_seconds=self.config.cache_ttl_seconds,
+                ).start()
+            return self._pool
+
     def register_table(
         self,
         source: Any,
@@ -226,6 +287,13 @@ class DiscoveryService:
         """
         if self._closed:
             raise ServingError("the service is closed")
+        if self.config.execution == "process":
+            raise ServingError(
+                "register_table is not supported under process execution: "
+                "each worker holds its own memory-mapped view of the index "
+                "directory; rebuild the index (repro index add/ingest) and "
+                "restart the service instead"
+            )
         index = self.ensure_ready()
         with self._register_lock:
             candidates = index.engine.ingest_table(
@@ -257,6 +325,9 @@ class DiscoveryService:
         self.metrics.increment("queries")
 
         cached = self.cache.get(fingerprint)
+        if cached is not None:
+            return self._cache_hit(cached, fingerprint, started)
+        cached = self._shared_cache_probe(fingerprint)
         if cached is not None:
             return self._cache_hit(cached, fingerprint, started)
 
@@ -294,6 +365,27 @@ class DiscoveryService:
             plan_stats=plan_stats,
         )
 
+    def _shared_cache_probe(
+        self, fingerprint: str
+    ) -> Optional[list[AugmentationResult]]:
+        """L2 lookup in the pool's cross-worker cache (process mode only).
+
+        A hit — typically a result evicted or expired from the parent's L1
+        but still resident in the shared cache because some worker computed
+        it — is promoted back into the L1 and counted separately.  The pool
+        is never *started* just to probe: before the first computed query
+        the shared cache cannot contain anything.
+        """
+        pool = self._pool
+        if pool is None or pool.shared_cache is None:
+            return None
+        cached = pool.shared_cache.get(fingerprint)
+        if cached is None:
+            return None
+        self.cache.put(fingerprint, cached)
+        self.metrics.increment("shared_cache_hits")
+        return cached
+
     def _cache_hit(
         self, results: list[AugmentationResult], fingerprint: str, started: float
     ) -> ServedResult:
@@ -330,27 +422,41 @@ class DiscoveryService:
     def _compute(
         self, fingerprint: str, query: AugmentationQuery
     ) -> tuple[list[AugmentationResult], dict[str, int]]:
-        """Run one planned query and populate the cache (executor thread)."""
-        index = self.ensure_ready()
-        if len(index) == 0:
-            # Match SketchIndex.query's contract for empty indexes.
-            index.query(query)
-        planner = self.planner()
-        # The engine's identity-keyed sketch memos can never hit here — each
-        # request carries its own Table object — so bypass them rather than
-        # pinning dead request tables; the result cache (content-keyed by
-        # fingerprint) is what deduplicates repeated queries.
-        plan = planner.plan(
-            index.candidates,
-            query,
-            use_cache=False,
-            postings=index.postings if self.config.use_postings else None,
-        )
-        results = planner.execute(
-            plan, query, max_workers=self.config.estimate_workers
-        )
-        self.metrics.increment("computed")
-        plan_stats = plan.stats()
+        """Run one planned query and populate the cache (executor thread).
+
+        Under thread execution the computation happens right here; under
+        process execution it is routed to the worker pool (started on first
+        use), which returns the identical ``(results, plan_stats)`` pair —
+        the worker runs the same planner code against its own memory-mapped
+        view of the index.
+        """
+        if self.config.execution == "process":
+            results, plan_stats, source = self.start_workers().execute(
+                fingerprint, query
+            )
+            self.metrics.increment("computed")
+            self.metrics.increment(f"worker_served_{source}")
+        else:
+            index = self.ensure_ready()
+            if len(index) == 0:
+                # Match SketchIndex.query's contract for empty indexes.
+                index.query(query)
+            planner = self.planner()
+            # The engine's identity-keyed sketch memos can never hit here —
+            # each request carries its own Table object — so bypass them
+            # rather than pinning dead request tables; the result cache
+            # (content-keyed by fingerprint) deduplicates repeated queries.
+            plan = planner.plan(
+                index.candidates,
+                query,
+                use_cache=False,
+                postings=index.postings if self.config.use_postings else None,
+            )
+            results = planner.execute(
+                plan, query, max_workers=self.config.estimate_workers
+            )
+            self.metrics.increment("computed")
+            plan_stats = plan.stats()
         # Aggregate planner counters: every computed query contributes its
         # prune/probe statistics, surfaced per service via stats() and the
         # HTTP GET /metrics endpoint as plan_<counter> totals.
@@ -366,19 +472,29 @@ class DiscoveryService:
         """Service counters, cache stats and latency histograms (JSON-able)."""
         with self._lock:
             inflight = len(self._inflight)
-        return {
+        document = {
             "index_loaded": self.index_loaded,
             "index_candidates": len(self._index) if self._index is not None else None,
             "workers": self.config.workers,
+            "execution": self.config.execution,
             "in_flight": inflight,
             "cache": self.cache.stats(),
             **self.metrics.snapshot(),
         }
+        with self._pool_lock:
+            pool = self._pool
+        if pool is not None:
+            document["worker_pool"] = pool.stats()
+        return document
 
     def close(self) -> None:
         """Shut down the query pool; subsequent queries raise ``ServingError``."""
         self._closed = True
         self._executor.shutdown(wait=True)
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.close()
 
     def __enter__(self) -> "DiscoveryService":
         return self

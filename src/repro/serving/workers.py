@@ -1,0 +1,659 @@
+"""Process-worker query execution over the shared mmap sketch store.
+
+The serving layer's query computation is CPU-bound (hashing the request
+table, KSG nearest-neighbour MI estimation per candidate), so a GIL-bound
+thread pool cannot use more than roughly one core no matter how many
+threads it runs — ``benchmarks/results/baselines/engine_batch.json``
+records concurrent in-process estimation at **0.85x** sequential.  The
+columnar ``.npz`` sketch store and the ``postings.npz`` sidecar were
+designed for zero-copy memory-mapped reads precisely so multiple processes
+could share one index: this module cashes that in.
+
+A :class:`WorkerPool` spawns N worker processes.  Each worker mmap-loads
+the served index directory **once** (the OS page cache shares the mapped
+pool bytes across all workers — N workers cost one index's worth of
+physical memory, not N) and then executes planned queries end-to-end:
+base-table sketching, planning, MI estimation, ranking.  The parent
+process keeps doing what :class:`~repro.serving.service.DiscoveryService`
+always did — fingerprinting, L1 result caching, in-flight coalescing —
+and routes cache-miss computations to the pool instead of a thread.
+
+Reliability model
+-----------------
+* **Routing** — requests go to the live worker with the fewest outstanding
+  requests (least-loaded; round-robin when tied by dict order).
+* **Health + restart-on-crash** — a monitor thread polls worker liveness.
+  A dead worker is replaced with a fresh process, and every request that
+  was outstanding on it is *re-dispatched* to the pool (bounded by
+  ``max_dispatch_attempts``, so a query that reliably kills workers fails
+  with :class:`~repro.exceptions.WorkerCrashError` instead of crash-looping
+  forever).  A worker crash therefore degrades the service to the
+  surviving pool; it never turns a healthy request into a 5xx.
+* **Shared result cache** — a :class:`SharedResultCache` (manager-backed,
+  fingerprint-keyed, TTL + oldest-first eviction) fronts every worker's
+  in-process :class:`~repro.serving.cache.ResultCache` L1, so a result
+  computed by any worker serves all of them — and the parent, which probes
+  it before dispatching.
+
+Results computed by a worker travel back as pickles of the exact
+:class:`~repro.discovery.query.AugmentationResult` dataclasses the thread
+path produces, so process execution is byte-identical to thread execution
+(asserted by ``benchmarks/test_bench_mp_serving.py``).
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import os
+import pickle
+import threading
+import time
+from concurrent.futures import Future
+from pathlib import Path
+from typing import Any, Callable, Optional
+
+from repro.discovery.query import AugmentationQuery, AugmentationResult
+from repro.exceptions import ServingError, WorkerCrashError
+from repro.serving.cache import ResultCache
+
+__all__ = ["WorkerPool", "SharedResultCache"]
+
+#: How often the monitor thread checks worker liveness, in seconds.
+_MONITOR_INTERVAL = 0.05
+
+#: Request kinds understood by the worker loop.
+_KIND_QUERY = "query"
+_KIND_CRASH = "crash"  # fault injection: the worker dies mid-request
+
+
+# --------------------------------------------------------------------- #
+# Shared (cross-process) result cache
+# --------------------------------------------------------------------- #
+class SharedResultCache:
+    """Fingerprint-keyed result cache shared by every process of a pool.
+
+    A thin LRU-ish layer over a :class:`multiprocessing.Manager` dict:
+    entries carry their insertion time, expire after ``ttl_seconds`` (lazy,
+    like :class:`~repro.serving.cache.ResultCache`) and the oldest entries
+    are evicted once ``max_entries`` is exceeded.  Hit/miss counters live
+    in a second manager dict so every process sees one consistent total.
+
+    The proxies (``store``, ``counters``, ``lock``) are picklable, so a
+    handle to one cache can be shipped to spawned worker processes; each
+    process wraps the same shared state.  Values are stored via the
+    manager's own pickling — callers get back equal (not identical)
+    result lists, which matches the caller-owned-copies contract of the
+    serving layer.
+    """
+
+    def __init__(
+        self,
+        store: Any,
+        counters: Any,
+        lock: Any,
+        *,
+        max_entries: int,
+        ttl_seconds: Optional[float],
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if max_entries < 0:
+            raise ServingError(f"max_entries must be non-negative, got {max_entries}")
+        if ttl_seconds is not None and ttl_seconds <= 0:
+            raise ServingError(f"ttl_seconds must be positive, got {ttl_seconds}")
+        self._store = store
+        self._counters = counters
+        self._lock = lock
+        self._max_entries = int(max_entries)
+        self._ttl = ttl_seconds
+        self._clock = clock
+
+    @classmethod
+    def create(
+        cls,
+        manager: "multiprocessing.managers.SyncManager",
+        *,
+        max_entries: int,
+        ttl_seconds: Optional[float],
+    ) -> "SharedResultCache":
+        """Allocate the shared state on ``manager`` and wrap it."""
+        counters = manager.dict()
+        counters["hits"] = 0
+        counters["misses"] = 0
+        return cls(
+            manager.dict(),
+            counters,
+            manager.Lock(),
+            max_entries=max_entries,
+            ttl_seconds=ttl_seconds,
+        )
+
+    def handle(self) -> tuple:
+        """A picklable handle reconstructable via :meth:`from_handle`."""
+        return (self._store, self._counters, self._lock, self._max_entries, self._ttl)
+
+    @classmethod
+    def from_handle(cls, handle: tuple) -> "SharedResultCache":
+        store, counters, lock, max_entries, ttl = handle
+        return cls(
+            store, counters, lock, max_entries=max_entries, ttl_seconds=ttl
+        )
+
+    def _count(self, name: str) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + 1
+
+    def get(self, key: str) -> Optional[list[AugmentationResult]]:
+        """The cached results for ``key``, or ``None`` on miss/expiry."""
+        entry = self._store.get(key)
+        if entry is not None and self._ttl is not None:
+            inserted_at, _ = entry
+            if self._clock() - inserted_at >= self._ttl:
+                with self._lock:
+                    self._store.pop(key, None)
+                entry = None
+        if entry is None:
+            self._count("misses")
+            return None
+        self._count("hits")
+        return entry[1]
+
+    def put(self, key: str, value: list[AugmentationResult]) -> None:
+        """Insert an entry, evicting the oldest entries when over capacity."""
+        if self._max_entries == 0:
+            return
+        with self._lock:
+            self._store[key] = (self._clock(), value)
+            excess = len(self._store) - self._max_entries
+            if excess > 0:
+                oldest = sorted(
+                    self._store.items(), key=lambda item: item[1][0]
+                )[:excess]
+                for stale_key, _ in oldest:
+                    self._store.pop(stale_key, None)
+
+    def stats(self) -> dict[str, Any]:
+        """Hit/miss counters and sizing, for ``/metrics``."""
+        with self._lock:
+            hits = self._counters.get("hits", 0)
+            misses = self._counters.get("misses", 0)
+            entries = len(self._store)
+        return {
+            "hits": hits,
+            "misses": misses,
+            "entries": entries,
+            "max_entries": self._max_entries,
+            "ttl_seconds": self._ttl,
+        }
+
+
+class _WorkerCacheStack:
+    """A worker's view of the result caches: in-process L1, shared L2."""
+
+    def __init__(self, l1: ResultCache, shared: Optional[SharedResultCache]):
+        self._l1 = l1
+        self._shared = shared
+
+    def get(self, fingerprint: str) -> tuple[Optional[list], Optional[str]]:
+        cached = self._l1.get(fingerprint)
+        if cached is not None:
+            return cached, "l1"
+        if self._shared is not None:
+            cached = self._shared.get(fingerprint)
+            if cached is not None:
+                self._l1.put(fingerprint, cached)
+                return cached, "shared"
+        return None, None
+
+    def put(self, fingerprint: str, results: list) -> None:
+        self._l1.put(fingerprint, results)
+        if self._shared is not None:
+            self._shared.put(fingerprint, results)
+
+
+# --------------------------------------------------------------------- #
+# Worker process
+# --------------------------------------------------------------------- #
+def _picklable_error(exc: BaseException) -> BaseException:
+    """``exc`` if it survives pickling, else a ``ServingError`` stand-in."""
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:
+        return ServingError(f"worker error: {type(exc).__name__}: {exc}")
+
+
+def _worker_main(
+    worker_id: int,
+    index_dir: str,
+    options: dict[str, Any],
+    cache_handle: Optional[tuple],
+    request_queue: "multiprocessing.Queue",
+    response_queue: "multiprocessing.Queue",
+) -> None:
+    """Worker-process entry point: load the index once, answer forever.
+
+    Runs in a spawned child.  Mirrors the thread path's ``_compute``
+    exactly — same planner, same ``use_cache=False`` memo bypass, same
+    empty-index contract — so answers are byte-identical across execution
+    modes.  Every response is tagged ``(kind, worker_id, request_id,
+    payload)``; a ``None`` request is the shutdown sentinel.
+    """
+    try:
+        from repro.discovery.persistence import load_index
+        from repro.serving.planner import QueryPlanner
+
+        index = load_index(index_dir, mmap=options.get("mmap", True))
+        planner = QueryPlanner(index.engine)
+    except BaseException as exc:  # noqa: BLE001 - shipped to the parent
+        response_queue.put(("fatal", worker_id, None, _picklable_error(exc)))
+        return
+    caches = _WorkerCacheStack(
+        ResultCache(
+            max_entries=options.get("l1_entries", 256),
+            ttl_seconds=options.get("ttl_seconds"),
+        ),
+        SharedResultCache.from_handle(cache_handle) if cache_handle else None,
+    )
+    use_postings = options.get("use_postings", True)
+    estimate_workers = options.get("estimate_workers")
+    response_queue.put(("ready", worker_id, None, os.getpid()))
+    while True:
+        message = request_queue.get()
+        if message is None:
+            break
+        request_id, kind, fingerprint, query = message
+        if kind == _KIND_CRASH:
+            # Fault injection for tests/benchmarks: die like a segfault,
+            # with a request on the wire, skipping all cleanup.
+            os._exit(3)
+        try:
+            cached, source = caches.get(fingerprint)
+            if cached is not None:
+                response_queue.put(("ok", worker_id, request_id, (cached, {}, source)))
+                continue
+            if len(index) == 0:
+                # Match SketchIndex.query's contract for empty indexes.
+                index.query(query)
+            plan = planner.plan(
+                index.candidates,
+                query,
+                use_cache=False,
+                postings=index.postings if use_postings else None,
+            )
+            results = planner.execute(plan, query, max_workers=estimate_workers)
+            caches.put(fingerprint, results)
+            response_queue.put(
+                ("ok", worker_id, request_id, (results, plan.stats(), "computed"))
+            )
+        except BaseException as exc:  # noqa: BLE001 - shipped to the parent
+            response_queue.put(("error", worker_id, request_id, _picklable_error(exc)))
+
+
+# --------------------------------------------------------------------- #
+# Parent-side pool
+# --------------------------------------------------------------------- #
+class _PoolRequest:
+    """One in-flight query: its future plus re-dispatch bookkeeping."""
+
+    __slots__ = ("request_id", "fingerprint", "query", "future", "attempts")
+
+    def __init__(self, request_id: str, fingerprint: str, query: AugmentationQuery):
+        self.request_id = request_id
+        self.fingerprint = fingerprint
+        self.query = query
+        self.future: "Future[tuple]" = Future()
+        self.attempts = 0
+
+
+class _WorkerHandle:
+    """Parent-side state of one worker process."""
+
+    __slots__ = (
+        "worker_id", "process", "request_queue", "outstanding",
+        "ready", "dispatched", "completed", "errors",
+    )
+
+    def __init__(self, worker_id: int, process, request_queue):
+        self.worker_id = worker_id
+        self.process = process
+        self.request_queue = request_queue
+        self.outstanding: dict[str, _PoolRequest] = {}
+        self.ready = False
+        self.dispatched = 0
+        self.completed = 0
+        self.errors = 0
+
+
+class WorkerPool:
+    """N query-executing processes over one memory-mapped index directory.
+
+    Parameters
+    ----------
+    index_dir:
+        Index directory written by :func:`~repro.discovery.persistence.
+        save_index`; every worker loads it independently (memory-mapped, so
+        the sketch pools are shared physical pages).
+    workers:
+        Number of worker processes.
+    options:
+        Worker-side knobs, mirroring :class:`~repro.serving.service.
+        ServiceConfig`: ``mmap``, ``use_postings``, ``estimate_workers``,
+        ``l1_entries``, ``ttl_seconds``.
+    shared_cache_entries:
+        Capacity of the cross-worker :class:`SharedResultCache`; ``0``
+        disables it (workers keep their private L1s).
+    max_dispatch_attempts:
+        How many workers one request may be dispatched to before it fails
+        with :class:`WorkerCrashError` (i.e. it survives
+        ``max_dispatch_attempts - 1`` worker crashes).
+    """
+
+    def __init__(
+        self,
+        index_dir: "str | Path",
+        *,
+        workers: int = 2,
+        options: Optional[dict[str, Any]] = None,
+        shared_cache_entries: int = 1024,
+        ttl_seconds: Optional[float] = 300.0,
+        max_dispatch_attempts: int = 3,
+    ):
+        if workers < 1:
+            raise ServingError(f"workers must be at least 1, got {workers}")
+        self._index_dir = os.fspath(index_dir)
+        self._num_workers = int(workers)
+        self._options = dict(options or {})
+        self._options.setdefault("ttl_seconds", ttl_seconds)
+        self._shared_cache_entries = int(shared_cache_entries)
+        self._ttl_seconds = ttl_seconds
+        self._max_dispatch_attempts = int(max_dispatch_attempts)
+        # Spawned children import a fresh interpreter instead of forking the
+        # (multi-threaded) serving process — fork from under the HTTP
+        # server's threads could inherit held locks mid-operation.
+        self._ctx = multiprocessing.get_context("spawn")
+        self._manager: Optional[Any] = None
+        self._response_queue: Optional[Any] = None
+        self.shared_cache: Optional[SharedResultCache] = None
+        self._handles: dict[int, _WorkerHandle] = {}
+        self._lock = threading.Lock()
+        self._worker_available = threading.Condition(self._lock)
+        self._request_ids = itertools.count()
+        self._collector: Optional[threading.Thread] = None
+        self._monitor: Optional[threading.Thread] = None
+        self._started = False
+        self._closed = False
+        self._restarts = 0
+        self._redispatched = 0
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> "WorkerPool":
+        """Spawn the workers and the collector/monitor threads (idempotent)."""
+        with self._lock:
+            if self._started:
+                return self
+            if self._closed:
+                raise ServingError("the worker pool is closed")
+            self._started = True
+            self._manager = self._ctx.Manager()
+            self._response_queue = self._ctx.Queue()
+            if self._shared_cache_entries > 0:
+                self.shared_cache = SharedResultCache.create(
+                    self._manager,
+                    max_entries=self._shared_cache_entries,
+                    ttl_seconds=self._ttl_seconds,
+                )
+            for worker_id in range(self._num_workers):
+                self._handles[worker_id] = self._spawn(worker_id)
+        self._collector = threading.Thread(
+            target=self._collect_responses, name="pool-collector", daemon=True
+        )
+        self._collector.start()
+        self._monitor = threading.Thread(
+            target=self._monitor_workers, name="pool-monitor", daemon=True
+        )
+        self._monitor.start()
+        return self
+
+    def _spawn(self, worker_id: int) -> _WorkerHandle:
+        """Start one worker process with a fresh request queue (lock held)."""
+        request_queue = self._ctx.Queue()
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(
+                worker_id,
+                self._index_dir,
+                self._options,
+                self.shared_cache.handle() if self.shared_cache else None,
+                request_queue,
+                self._response_queue,
+            ),
+            name=f"discovery-worker-{worker_id}",
+            daemon=True,
+        )
+        process.start()
+        return _WorkerHandle(worker_id, process, request_queue)
+
+    def close(self, timeout: float = 10.0) -> None:
+        """Stop every worker and background thread; fail pending requests."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            handles = list(self._handles.values())
+            pending = [
+                request
+                for handle in handles
+                for request in handle.outstanding.values()
+            ]
+            for handle in handles:
+                handle.outstanding.clear()
+            self._worker_available.notify_all()
+        if not self._started:
+            return
+        for request in pending:
+            if not request.future.done():
+                request.future.set_exception(ServingError("the worker pool is closed"))
+        for handle in handles:
+            try:
+                handle.request_queue.put(None)
+            except Exception:  # pragma: no cover - queue already torn down
+                pass
+        deadline = time.monotonic() + timeout
+        for handle in handles:
+            handle.process.join(timeout=max(0.1, deadline - time.monotonic()))
+            if handle.process.is_alive():
+                handle.process.terminate()
+                handle.process.join(timeout=1.0)
+        if self._response_queue is not None:
+            self._response_queue.put(None)  # stops the collector
+        for thread in (self._collector, self._monitor):
+            if thread is not None:
+                thread.join(timeout=5.0)
+        if self._manager is not None:
+            self._manager.shutdown()
+
+    def __enter__(self) -> "WorkerPool":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Dispatch
+    # ------------------------------------------------------------------ #
+    def execute(
+        self,
+        fingerprint: str,
+        query: AugmentationQuery,
+        *,
+        timeout: Optional[float] = None,
+    ) -> tuple[list[AugmentationResult], dict[str, int], str]:
+        """Run one query on the pool; returns ``(results, plan_stats, source)``.
+
+        ``source`` records how the answering worker produced the result:
+        ``"computed"``, ``"l1"`` (its in-process cache) or ``"shared"``
+        (the cross-worker cache).  Raises :class:`WorkerCrashError` when
+        the request could not survive repeated worker crashes, and
+        re-raises any library error the worker's computation raised.
+        """
+        if not self._started:
+            self.start()
+        request = _PoolRequest(str(next(self._request_ids)), fingerprint, query)
+        self._dispatch(request)
+        return request.future.result(timeout=timeout)
+
+    def _dispatch(self, request: _PoolRequest) -> None:
+        """Queue a request on the least-loaded live worker (or fail it)."""
+        request.attempts += 1
+        if request.attempts > self._max_dispatch_attempts:
+            request.future.set_exception(
+                WorkerCrashError(
+                    f"query abandoned after {self._max_dispatch_attempts} "
+                    f"dispatch attempts ({request.attempts - 1} worker crashes)"
+                )
+            )
+            return
+        with self._lock:
+            if self._closed:
+                request.future.set_exception(
+                    ServingError("the worker pool is closed")
+                )
+                return
+            # The monitor replaces dead workers asynchronously, so a live
+            # worker (re)appears shortly even right after a crash; waiting
+            # here covers the window instead of failing the request.
+            handle = self._least_loaded_alive()
+            while handle is None:
+                if not self._worker_available.wait(timeout=30.0) or self._closed:
+                    request.future.set_exception(
+                        WorkerCrashError("no live workers in the pool")
+                    )
+                    return
+                handle = self._least_loaded_alive()
+            handle.outstanding[request.request_id] = request
+            handle.dispatched += 1
+            handle.request_queue.put(
+                (request.request_id, _KIND_QUERY, request.fingerprint, request.query)
+            )
+
+    def _least_loaded_alive(self) -> Optional[_WorkerHandle]:
+        alive = [
+            handle
+            for handle in self._handles.values()
+            if handle.process.is_alive()
+        ]
+        if not alive:
+            return None
+        return min(alive, key=lambda handle: len(handle.outstanding))
+
+    def inject_crash(self, worker_id: Optional[int] = None) -> int:
+        """Fault injection: make one worker die mid-request (``os._exit``).
+
+        Used by the crash-handling tests and benchmarks; the doomed request
+        is fire-and-forget (never re-dispatched), while real requests
+        queued behind it are re-dispatched by the monitor like any other
+        crash casualty.  Returns the targeted worker id.
+        """
+        with self._lock:
+            if worker_id is None:
+                worker_id = next(iter(self._handles))
+            self._handles[worker_id].request_queue.put(
+                ("crash", _KIND_CRASH, None, None)
+            )
+        return worker_id
+
+    # ------------------------------------------------------------------ #
+    # Background threads
+    # ------------------------------------------------------------------ #
+    def _collect_responses(self) -> None:
+        """Resolve futures from the shared response queue (daemon thread)."""
+        while True:
+            message = self._response_queue.get()
+            if message is None:
+                return
+            kind, worker_id, request_id, payload = message
+            if kind == "ready":
+                with self._lock:
+                    handle = self._handles.get(worker_id)
+                    if handle is not None:
+                        handle.ready = True
+                continue
+            if kind == "fatal":
+                # The worker could not even load the index; it already
+                # exited and the monitor will replace it.  Nothing was
+                # outstanding on it yet beyond what re-dispatch covers.
+                continue
+            with self._lock:
+                handle = self._handles.get(worker_id)
+                request = (
+                    handle.outstanding.pop(request_id, None) if handle else None
+                )
+                if request is None:
+                    # A re-dispatched duplicate resolved elsewhere, or the
+                    # response of a worker already declared dead.
+                    continue
+                if kind == "ok":
+                    handle.completed += 1
+                else:
+                    handle.errors += 1
+            if kind == "ok":
+                if not request.future.done():
+                    request.future.set_result(payload)
+            elif not request.future.done():
+                request.future.set_exception(payload)
+
+    def _monitor_workers(self) -> None:
+        """Replace dead workers and re-dispatch their in-flight requests."""
+        while True:
+            time.sleep(_MONITOR_INTERVAL)
+            orphaned: list[_PoolRequest] = []
+            with self._lock:
+                if self._closed:
+                    return
+                for worker_id, handle in list(self._handles.items()):
+                    if handle.process.is_alive():
+                        continue
+                    orphaned.extend(handle.outstanding.values())
+                    handle.outstanding.clear()
+                    self._restarts += 1
+                    self._handles[worker_id] = self._spawn(worker_id)
+                if orphaned or self._restarts:
+                    self._worker_available.notify_all()
+            for request in orphaned:
+                self._redispatched += 1
+                self._dispatch(request)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def stats(self) -> dict[str, Any]:
+        """Pool counters for ``/metrics``: per-worker, restarts, shared cache."""
+        with self._lock:
+            per_worker = {
+                str(worker_id): {
+                    "pid": handle.process.pid,
+                    "alive": handle.process.is_alive(),
+                    "ready": handle.ready,
+                    "dispatched": handle.dispatched,
+                    "completed": handle.completed,
+                    "errors": handle.errors,
+                    "outstanding": len(handle.outstanding),
+                }
+                for worker_id, handle in sorted(self._handles.items())
+            }
+            restarts = self._restarts
+            redispatched = self._redispatched
+        alive = sum(1 for entry in per_worker.values() if entry["alive"])
+        return {
+            "workers": self._num_workers,
+            "alive": alive,
+            "worker_restarts": restarts,
+            "redispatched": redispatched,
+            "shared_cache": (
+                self.shared_cache.stats() if self.shared_cache is not None else None
+            ),
+            "per_worker": per_worker,
+        }

@@ -1,0 +1,325 @@
+"""Tests for process-worker execution: identity, crashes, the shared cache.
+
+The spawn-based tests reuse the module-scoped ``index_dir`` lake fixture so
+each :class:`WorkerPool` pays the worker spawn + mmap-load cost against a
+small index; the :class:`SharedResultCache` unit tests run the real cache
+logic over a plain dict/Lock with a fake clock, no processes involved.
+"""
+
+import json
+import threading
+import time
+import urllib.request
+
+import pytest
+
+from repro.exceptions import ServingError, WorkerCrashError
+from repro.serving import (
+    DiscoveryService,
+    ServiceConfig,
+    SharedResultCache,
+    WorkerPool,
+    query_fingerprint,
+    result_to_dict,
+    serve,
+)
+from repro.serving.workers import _picklable_error, _PoolRequest
+
+from tests.serving.conftest import make_query
+
+
+def wait_until(predicate, timeout=30.0, interval=0.05):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+def result_payload(results):
+    return json.dumps(
+        [result_to_dict(result) for result in results], sort_keys=True
+    )
+
+
+# --------------------------------------------------------------------- #
+# SharedResultCache over plain (non-manager) state: pure logic tests
+# --------------------------------------------------------------------- #
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def make_cache(max_entries=4, ttl_seconds=10.0):
+    clock = FakeClock()
+    cache = SharedResultCache(
+        {},
+        {"hits": 0, "misses": 0},
+        threading.Lock(),
+        max_entries=max_entries,
+        ttl_seconds=ttl_seconds,
+        clock=clock,
+    )
+    return cache, clock
+
+
+class TestSharedResultCache:
+    def test_miss_then_hit_counts(self):
+        cache, _ = make_cache()
+        assert cache.get("fp") is None
+        cache.put("fp", ["result"])
+        assert cache.get("fp") == ["result"]
+        stats = cache.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["entries"] == 1
+
+    def test_entries_expire_after_ttl(self):
+        cache, clock = make_cache(ttl_seconds=10.0)
+        cache.put("fp", ["result"])
+        clock.now = 9.9
+        assert cache.get("fp") == ["result"]
+        clock.now = 20.0
+        assert cache.get("fp") is None
+        assert cache.stats()["entries"] == 0  # expiry also evicts
+
+    def test_oldest_entries_evicted_over_capacity(self):
+        cache, clock = make_cache(max_entries=2, ttl_seconds=None)
+        for position, key in enumerate(["a", "b", "c"]):
+            clock.now = float(position)
+            cache.put(key, [key])
+        assert cache.get("a") is None  # the oldest went first
+        assert cache.get("b") == ["b"]
+        assert cache.get("c") == ["c"]
+        assert cache.stats()["entries"] == 2
+
+    def test_zero_capacity_disables_writes(self):
+        cache, _ = make_cache(max_entries=0)
+        cache.put("fp", ["result"])
+        assert cache.get("fp") is None
+        assert cache.stats()["entries"] == 0
+
+    def test_handle_round_trip_shares_state(self):
+        # No TTL: the reconstructed cache uses the real clock, not the fake.
+        cache, _ = make_cache(ttl_seconds=None)
+        cache.put("fp", ["result"])
+        other = SharedResultCache.from_handle(cache.handle())
+        assert other.get("fp") == ["result"]
+        # Counter state is shared too: the hit above is visible on both.
+        assert cache.stats()["hits"] == 1
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ServingError, match="max_entries"):
+            make_cache(max_entries=-1)
+        with pytest.raises(ServingError, match="ttl_seconds"):
+            make_cache(ttl_seconds=0)
+
+
+class TestPicklableError:
+    def test_plain_errors_pass_through(self):
+        error = ValueError("boom")
+        assert _picklable_error(error) is error
+
+    def test_unpicklable_errors_become_serving_errors(self):
+        class Unpicklable(Exception):
+            def __reduce__(self):
+                raise TypeError("nope")
+
+        stand_in = _picklable_error(Unpicklable("boom"))
+        assert isinstance(stand_in, ServingError)
+        assert "Unpicklable" in str(stand_in)
+
+
+# --------------------------------------------------------------------- #
+# Configuration and guard rails (no processes spawned)
+# --------------------------------------------------------------------- #
+class TestConfigValidation:
+    def test_execution_knob_validated(self):
+        with pytest.raises(ServingError, match="thread.*process"):
+            ServiceConfig(execution="fork")
+
+    def test_process_execution_requires_a_directory(self, lake):
+        _, index = lake
+        with pytest.raises(ServingError, match="index directory"):
+            DiscoveryService(index, ServiceConfig(execution="process"))
+
+    def test_register_table_refused_under_process_execution(self, index_dir):
+        service = DiscoveryService(index_dir, ServiceConfig(execution="process"))
+        with pytest.raises(ServingError, match="not supported under process"):
+            service.register_table(object(), ["key"])
+        service.close()
+
+    def test_start_workers_is_a_no_op_in_thread_mode(self, index_dir):
+        with DiscoveryService(index_dir) as service:
+            assert service.start_workers() is None
+
+    def test_pool_rejects_zero_workers(self, tmp_path):
+        with pytest.raises(ServingError, match="workers"):
+            WorkerPool(tmp_path, workers=0)
+
+    def test_dispatch_attempts_bound_fails_with_worker_crash_error(self, tmp_path):
+        pool = WorkerPool(tmp_path, workers=1, max_dispatch_attempts=2)
+        request = _PoolRequest("r1", "fp", None)
+        request.attempts = 2  # already survived max_dispatch_attempts
+        pool._dispatch(request)
+        with pytest.raises(WorkerCrashError, match="dispatch attempts"):
+            request.future.result(timeout=1)
+
+
+# --------------------------------------------------------------------- #
+# Process execution end-to-end (spawns real workers)
+# --------------------------------------------------------------------- #
+class TestProcessExecution:
+    def test_answers_byte_identical_to_thread_execution(self, lake, index_dir):
+        base, _ = lake
+        query = make_query(base)
+        with DiscoveryService(index_dir, ServiceConfig(workers=2)) as threaded:
+            expected = threaded.query(query)
+        with DiscoveryService(
+            index_dir, ServiceConfig(workers=2, execution="process")
+        ) as service:
+            served = service.query(query)
+            stats = service.stats()
+        assert result_payload(served.results) == result_payload(expected.results)
+        assert served.plan_stats == expected.plan_stats
+        assert stats["execution"] == "process"
+        pool_stats = stats["worker_pool"]
+        assert pool_stats["workers"] == 2
+        assert pool_stats["alive"] == 2
+        assert pool_stats["worker_restarts"] == 0
+        assert sum(
+            entry["completed"] for entry in pool_stats["per_worker"].values()
+        ) == 1
+        assert pool_stats["shared_cache"]["entries"] == 1
+
+    def test_parent_probes_the_shared_cache_after_l1_miss(self, lake, index_dir):
+        base, _ = lake
+        # No parent L1 (cache_entries=0): the only place the first answer
+        # survives is the cross-worker shared cache, written by the worker
+        # that computed it — so the second query must be served from there.
+        with DiscoveryService(
+            index_dir,
+            ServiceConfig(workers=2, execution="process", cache_entries=0),
+        ) as service:
+            cold = service.query(make_query(base))
+            warm = service.query(make_query(base))
+            counters = service.stats()["counters"]
+        assert not cold.cache_hit
+        assert warm.cache_hit
+        assert result_payload(warm.results) == result_payload(cold.results)
+        assert counters["shared_cache_hits"] == 1
+
+    def test_concurrent_identical_queries_stay_consistent(self, lake, index_dir):
+        base, _ = lake
+        query = make_query(base)
+        with DiscoveryService(
+            index_dir, ServiceConfig(workers=2, execution="process")
+        ) as service:
+            payloads = [None] * 4
+
+            def run(slot):
+                payloads[slot] = result_payload(service.query(query).results)
+
+            threads = [
+                threading.Thread(target=run, args=(slot,))
+                for slot in range(len(payloads))
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=120)
+            counters = service.stats()["counters"]
+            shared = service.stats()["worker_pool"]["shared_cache"]
+        assert len(set(payloads)) == 1  # identical answers for everyone
+        # Coalescing + caching mean exactly one computation reached a worker,
+        # so the shared cache holds exactly the one fingerprint and its
+        # counters reflect at most that one computed miss.
+        assert counters["computed"] == 1
+        assert shared["entries"] == 1
+        assert shared["misses"] == 1
+
+    def test_crashed_worker_request_is_redispatched(self, lake, index_dir):
+        base, index = lake
+        query = make_query(base)
+        fingerprint = query_fingerprint(index.config, query, index_token="crash")
+        with WorkerPool(index_dir, workers=1) as pool:
+            # Queue a poison pill, then a real query behind it on the same
+            # (only) worker: the worker dies mid-request, the monitor
+            # respawns it and the orphaned query must be re-dispatched and
+            # still answered correctly.
+            pool.inject_crash(0)
+            results, plan_stats, source = pool.execute(fingerprint, query)
+            assert wait_until(lambda: pool.stats()["worker_restarts"] >= 1)
+            stats = pool.stats()
+        assert source == "computed"
+        assert plan_stats["total_candidates"] == len(index)
+        assert results
+        assert stats["worker_restarts"] >= 1
+        assert stats["redispatched"] >= 1
+        assert stats["alive"] == 1
+
+    def test_killed_idle_worker_is_replaced_without_5xx(self, lake, index_dir):
+        base, _ = lake
+        service = DiscoveryService(
+            index_dir, ServiceConfig(workers=2, execution="process")
+        )
+        http_server = serve(service, port=0)
+        thread = threading.Thread(target=http_server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            pool = service.start_workers()
+            assert wait_until(lambda: pool.stats()["alive"] == 2)
+            # Kill one worker outright (as the OOM killer would).
+            pool._handles[0].process.terminate()
+            assert wait_until(
+                lambda: pool.stats()["worker_restarts"] >= 1
+                and pool.stats()["alive"] == 2
+            )
+            document = {
+                "table": {"name": base.name, "columns": base.to_dict()},
+                "key_column": "key",
+                "target_column": "target",
+                "top_k": 5,
+                "min_containment": 0.1,
+                "min_join_size": 8,
+            }
+            request = urllib.request.Request(
+                http_server.url + "/query",
+                data=json.dumps(document).encode("utf-8"),
+                headers={"Content-Type": "application/json"},
+                method="POST",
+            )
+            with urllib.request.urlopen(request, timeout=120) as response:
+                assert response.status == 200
+                answer = json.load(response)
+            assert answer["results"]
+            with urllib.request.urlopen(
+                http_server.url + "/metrics", timeout=30
+            ) as response:
+                metrics = json.load(response)
+            assert metrics["service"]["worker_pool"]["worker_restarts"] >= 1
+            with urllib.request.urlopen(
+                http_server.url + "/healthz", timeout=30
+            ) as response:
+                health = json.load(response)
+            assert health["execution"] == "process"
+        finally:
+            http_server.shutdown()
+            http_server.server_close()
+            service.close()
+            thread.join(timeout=10)
+
+    def test_closed_pool_fails_new_requests(self, lake, index_dir):
+        base, index = lake
+        query = make_query(base)
+        pool = WorkerPool(index_dir, workers=1)
+        pool.start()
+        pool.close()
+        with pytest.raises(ServingError, match="closed"):
+            pool.execute(
+                query_fingerprint(index.config, query, index_token="closed"), query
+            )

@@ -56,6 +56,12 @@ def write_report(directory: Path, name: str, *, speedup: float, throughput: floa
             "memory": {"peak_fraction": 1.0 / max(speedup, 0.1)},
             "ingest": {"columns_per_second": throughput},
         }
+    elif name == "mp_serving.json":
+        document = {
+            "scaling_ratio": speedup,
+            "identical_results": 1.0,
+            "process": {"qps": throughput},
+        }
     else:
         document = {
             "speedup": speedup,
@@ -213,6 +219,27 @@ class TestPostingsGate:
         results, baselines = dirs
         write_report(results, "postings.json", speedup=0.5, throughput=1000.0)
         assert run_gate(results, baselines) == 1
+
+
+class TestMpServingGate:
+    def test_scaling_regression_fails(self, dirs):
+        results, baselines = dirs
+        # Baseline 3.0, current 1.4: below the 25%-tolerance floor of 2.25.
+        write_report(results, "mp_serving.json", speedup=1.4, throughput=1000.0)
+        assert run_gate(results, baselines) == 1
+
+    def test_identity_flag_has_zero_tolerance(self, dirs, capsys):
+        results, baselines = dirs
+        document = {
+            "scaling_ratio": 3.0,
+            "identical_results": 0.0,  # answers diverged: hard failure
+            "process": {"qps": 1000.0},
+        }
+        (results / "mp_serving.json").write_text(
+            json.dumps(document), encoding="utf-8"
+        )
+        assert run_gate(results, baselines) == 1
+        assert "identical_results" in capsys.readouterr().err
 
 
 class TestIngestGate:

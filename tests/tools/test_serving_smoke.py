@@ -1,0 +1,139 @@
+"""Unit tests for the extracted CI serving smoke script (tools/serving_smoke.py)."""
+
+from __future__ import annotations
+
+import csv
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+SMOKE_PATH = Path(__file__).parent.parent.parent / "tools" / "serving_smoke.py"
+
+spec = importlib.util.spec_from_file_location("serving_smoke", SMOKE_PATH)
+smoke = importlib.util.module_from_spec(spec)
+sys.modules["serving_smoke"] = smoke
+spec.loader.exec_module(smoke)
+
+
+class TestFixture:
+    def test_fixture_is_deterministic(self, tmp_path):
+        first = smoke.write_fixture(tmp_path / "a", num_keys=20, seed=7)
+        second = smoke.write_fixture(tmp_path / "b", num_keys=20, seed=7)
+        for name in ("base.csv", "lake0.csv", "lake1.csv"):
+            assert (first / name).read_text() == (second / name).read_text()
+
+    def test_fixture_shape(self, tmp_path):
+        fixture = smoke.write_fixture(tmp_path / "f", num_keys=15)
+        with open(fixture / "base.csv", newline="") as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 15
+        assert set(rows[0]) == {"key", "target"}
+        with open(fixture / "lake0.csv", newline="") as handle:
+            rows = list(csv.DictReader(handle))
+        assert set(rows[0]) == {"key", "signal", "noise"}
+
+    def test_query_document_round_trips_the_base_table(self, tmp_path):
+        fixture = smoke.write_fixture(tmp_path / "f", num_keys=10)
+        document = smoke.build_query_document(fixture / "base.csv")
+        assert document["key_column"] == "key"
+        assert document["target_column"] == "target"
+        columns = document["table"]["columns"]
+        assert len(columns["key"]) == 10
+        assert all(isinstance(value, float) for value in columns["target"])
+
+
+GOOD_POOL = {
+    "alive": 2,
+    "worker_restarts": 0,
+    "per_worker": {"0": {"completed": 1}, "1": {"completed": 0}},
+    "shared_cache": {"hits": 0, "misses": 1},
+}
+
+
+def metrics_document(queries=1, pool=GOOD_POOL):
+    service = {"counters": {"queries": queries}}
+    if pool is not None:
+        service["worker_pool"] = pool
+    return {"service": service}
+
+
+class TestChecks:
+    def test_healthz_accepts_matching_execution(self):
+        smoke.check_healthz({"status": "ok", "execution": "process"}, "process")
+
+    def test_healthz_rejects_bad_status_or_mode(self):
+        with pytest.raises(smoke.SmokeFailure, match="status"):
+            smoke.check_healthz({"status": "sad", "execution": "thread"}, "thread")
+        with pytest.raises(smoke.SmokeFailure, match="execution"):
+            smoke.check_healthz({"status": "ok", "execution": "thread"}, "process")
+
+    def test_query_response_requires_results(self):
+        with pytest.raises(smoke.SmokeFailure, match="no results"):
+            smoke.check_query_response({"results": []})
+        top = smoke.check_query_response(
+            {"results": [{"candidate_id": "c", "mi_estimate": 0.5}]}
+        )
+        assert top["candidate_id"] == "c"
+
+    def test_metrics_requires_a_recorded_query(self):
+        with pytest.raises(smoke.SmokeFailure, match="no queries"):
+            smoke.check_metrics(metrics_document(queries=0), "thread", 2)
+        smoke.check_metrics(metrics_document(), "thread", 2)
+
+    def test_metrics_process_mode_requires_a_live_pool(self):
+        with pytest.raises(smoke.SmokeFailure, match="worker_pool"):
+            smoke.check_metrics(metrics_document(pool=None), "process", 2)
+        with pytest.raises(smoke.SmokeFailure, match="live workers"):
+            smoke.check_metrics(
+                metrics_document(pool={**GOOD_POOL, "alive": 1}), "process", 2
+            )
+        with pytest.raises(smoke.SmokeFailure, match="completed"):
+            smoke.check_metrics(
+                metrics_document(
+                    pool={**GOOD_POOL, "per_worker": {"0": {"completed": 0}}}
+                ),
+                "process",
+                2,
+            )
+        smoke.check_metrics(metrics_document(), "process", 2)
+
+    def test_thread_mode_ignores_pool_shape(self):
+        smoke.check_metrics(metrics_document(pool=None), "thread", 2)
+
+
+class TestServerBanner:
+    class FakeProcess:
+        def __init__(self, lines, returncode=None):
+            self._lines = iter(lines)
+            self.returncode = returncode
+            self.stdout = self
+
+        def readline(self):
+            return next(self._lines, "")
+
+        def poll(self):
+            return self.returncode
+
+    def test_parses_the_bound_address(self):
+        process = self.FakeProcess(
+            [
+                "some startup noise\n",
+                "serving lake.index (4 candidates, process execution) "
+                "on http://127.0.0.1:45671 — POST /query\n",
+            ]
+        )
+        assert smoke.wait_for_server(process) == "http://127.0.0.1:45671"
+
+    def test_dead_server_fails_fast(self):
+        process = self.FakeProcess(["boom\n"], returncode=1)
+        with pytest.raises(smoke.SmokeFailure, match="exited with code 1"):
+            smoke.wait_for_server(process)
+
+
+class TestEndToEnd:
+    def test_run_smoke_thread_mode(self):
+        # The real thing, exactly as CI runs it (just a smaller fixture is
+        # not worth plumbing: the default one serves 4 candidates).
+        smoke.run_smoke("thread", 2)

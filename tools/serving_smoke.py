@@ -1,0 +1,274 @@
+#!/usr/bin/env python
+"""CI serving smoke test: build a tiny index, serve it, query it end-to-end.
+
+This is the CI ``serving-smoke`` job's inline heredocs extracted into one
+unit-testable script.  It exercises the *real* serving stack the way a
+client would:
+
+1. write a small CSV fixture lake (deterministic, seeded),
+2. ``repro index build`` it into an index directory via the CLI,
+3. start ``repro serve`` as a subprocess (ephemeral port, thread or
+   process execution),
+4. hit ``/healthz``, ``POST /query`` and ``/metrics`` over HTTP and check
+   the responses — including, under ``--execution process``, that the
+   worker pool is live and reporting per-worker counters.
+
+Stdlib-only so CI can run it before any project dependency is importable
+(the *server* subprocess needs the project's requirements; this script
+does not).
+
+Usage::
+
+    python tools/serving_smoke.py                       # thread execution
+    python tools/serving_smoke.py --execution process --workers 2
+
+Exit codes: 0 smoke passed, 1 a check failed or the server died, 2 bad
+invocation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import json
+import os
+import random
+import re
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.request
+from pathlib import Path
+from typing import Optional
+
+#: "serving <dir> (N candidates, <mode> execution) on http://host:port — ..."
+_SERVING_LINE = re.compile(r"on http://([^:\s]+):(\d+)")
+
+NUM_KEYS = 120
+
+
+class SmokeFailure(AssertionError):
+    """A smoke check failed; the message says which one and why."""
+
+
+# --------------------------------------------------------------------- #
+# Fixture lake + query document (pure functions, unit-tested directly)
+# --------------------------------------------------------------------- #
+def write_fixture(directory: Path, *, num_keys: int = NUM_KEYS, seed: int = 7) -> Path:
+    """Write base.csv + two correlated lake tables; returns the directory."""
+    rng = random.Random(seed)
+    directory.mkdir(parents=True, exist_ok=True)
+    keys = [f"k{i:03d}" for i in range(num_keys)]
+    target = {key: rng.gauss(0, 1) for key in keys}
+    with open(directory / "base.csv", "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["key", "target"])
+        for key in keys:
+            writer.writerow([key, f"{target[key]:.6f}"])
+    for name in ("lake0", "lake1"):
+        with open(directory / f"{name}.csv", "w", newline="", encoding="utf-8") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["key", "signal", "noise"])
+            for key in keys:
+                writer.writerow(
+                    [
+                        key,
+                        f"{target[key] + 0.3 * rng.gauss(0, 1):.6f}",
+                        f"{rng.gauss(0, 1):.6f}",
+                    ]
+                )
+    return directory
+
+
+def build_query_document(base_csv: Path) -> dict:
+    """The ``POST /query`` body for the fixture's base table."""
+    with open(base_csv, newline="", encoding="utf-8") as handle:
+        rows = list(csv.DictReader(handle))
+    return {
+        "table": {
+            "name": "base",
+            "columns": {
+                "key": [row["key"] for row in rows],
+                "target": [float(row["target"]) for row in rows],
+            },
+        },
+        "key_column": "key",
+        "target_column": "target",
+        "min_join_size": 8,
+    }
+
+
+# --------------------------------------------------------------------- #
+# Response checks (pure functions, unit-tested directly)
+# --------------------------------------------------------------------- #
+def check_healthz(document: dict, execution: str) -> None:
+    if document.get("status") != "ok":
+        raise SmokeFailure(f"healthz status is not ok: {document}")
+    if document.get("execution") != execution:
+        raise SmokeFailure(
+            f"healthz reports execution={document.get('execution')!r}, "
+            f"expected {execution!r}: {document}"
+        )
+
+
+def check_query_response(document: dict) -> dict:
+    """Validate the query response; returns the top result."""
+    results = document.get("results")
+    if not results:
+        raise SmokeFailure(f"query returned no results: {document}")
+    top = results[0]
+    for field in ("candidate_id", "mi_estimate"):
+        if field not in top:
+            raise SmokeFailure(f"top result is missing {field!r}: {top}")
+    return top
+
+
+def check_metrics(document: dict, execution: str, workers: int) -> None:
+    service = document.get("service", {})
+    counters = service.get("counters", {})
+    if counters.get("queries", 0) < 1:
+        raise SmokeFailure(f"metrics recorded no queries: {document}")
+    if execution != "process":
+        return
+    pool = service.get("worker_pool")
+    if not pool:
+        raise SmokeFailure(f"process execution but no worker_pool stats: {service}")
+    if pool.get("alive", 0) != workers:
+        raise SmokeFailure(
+            f"expected {workers} live workers, got {pool.get('alive')}: {pool}"
+        )
+    completed = sum(
+        entry.get("completed", 0) for entry in pool.get("per_worker", {}).values()
+    )
+    if completed < 1:
+        raise SmokeFailure(f"no worker completed a request: {pool}")
+    if pool.get("shared_cache") is not None and "hits" not in pool["shared_cache"]:
+        raise SmokeFailure(f"shared cache stats are malformed: {pool}")
+
+
+# --------------------------------------------------------------------- #
+# Orchestration
+# --------------------------------------------------------------------- #
+def _http_json(url: str, body: Optional[dict] = None, timeout: float = 120.0) -> dict:
+    data = json.dumps(body).encode("utf-8") if body is not None else None
+    request = urllib.request.Request(
+        url,
+        data=data,
+        headers={"Content-Type": "application/json"} if body is not None else {},
+        method="POST" if body is not None else "GET",
+    )
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        return json.load(response)
+
+
+def wait_for_server(process: subprocess.Popen, timeout: float = 60.0) -> str:
+    """Parse the serve banner for the bound address; returns the base URL."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        line = process.stdout.readline()
+        if not line:
+            if process.poll() is not None:
+                raise SmokeFailure(
+                    f"server exited with code {process.returncode} before "
+                    f"binding a port"
+                )
+            time.sleep(0.05)
+            continue
+        print(f"[server] {line.rstrip()}")
+        match = _SERVING_LINE.search(line)
+        if match:
+            return f"http://{match.group(1)}:{match.group(2)}"
+    raise SmokeFailure(f"server did not report a bound port within {timeout}s")
+
+
+def run_smoke(
+    execution: str = "thread",
+    workers: int = 2,
+    *,
+    capacity: int = 64,
+    python: str = sys.executable,
+    repo_root: Optional[Path] = None,
+) -> None:
+    """Build, serve and query the fixture lake; raises SmokeFailure on error."""
+    root = repo_root or Path(__file__).parent.parent
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, [str(root / "src"), env.get("PYTHONPATH")])
+    )
+    env["PYTHONUNBUFFERED"] = "1"
+    with tempfile.TemporaryDirectory(prefix="serving-smoke-") as scratch:
+        fixture = write_fixture(Path(scratch) / "fixture")
+        index_dir = Path(scratch) / "fixture.index"
+        subprocess.run(
+            [
+                python, "-m", "repro.cli", "index", "build",
+                str(fixture / "lake0.csv"), str(fixture / "lake1.csv"),
+                "--key", "key", "--capacity", str(capacity),
+                "-o", str(index_dir),
+            ],
+            check=True,
+            env=env,
+        )
+        server = subprocess.Popen(
+            [
+                python, "-m", "repro.cli", "serve",
+                "--index", str(index_dir),
+                "--port", "0",
+                "--workers", str(workers),
+                "--execution", execution,
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            url = wait_for_server(server)
+            health = _http_json(url + "/healthz")
+            check_healthz(health, execution)
+            print(f"healthz: {health}")
+            top = check_query_response(
+                _http_json(url + "/query", build_query_document(fixture / "base.csv"))
+            )
+            print(f"top result: {top['candidate_id']} {top['mi_estimate']}")
+            check_metrics(_http_json(url + "/metrics"), execution, workers)
+            print("metrics ok")
+        finally:
+            server.terminate()
+            try:
+                server.wait(timeout=15)
+            except subprocess.TimeoutExpired:
+                server.kill()
+                server.wait(timeout=15)
+    print(f"serving smoke passed ({execution} execution, {workers} workers)")
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--execution",
+        choices=("thread", "process"),
+        default="thread",
+        help="query execution mode to smoke-test (default thread)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2, help="server worker count (default 2)"
+    )
+    parser.add_argument(
+        "--capacity", type=int, default=64, help="sketch capacity (default 64)"
+    )
+    args = parser.parse_args(argv)
+    try:
+        run_smoke(args.execution, args.workers, capacity=args.capacity)
+    except SmokeFailure as failure:
+        print(f"SMOKE FAILURE: {failure}", file=sys.stderr)
+        return 1
+    except subprocess.CalledProcessError as failure:
+        print(f"SMOKE FAILURE: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
