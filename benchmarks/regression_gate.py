@@ -112,6 +112,16 @@ GATED_REPORTS: dict[str, tuple[MetricSpec, ...]] = {
         MetricSpec("memory.peak_fraction", "lower"),
         MetricSpec("ingest.columns_per_second", "higher", THROUGHPUT_TOLERANCE),
     ),
+    "maintenance.json": (
+        # Hard flags (zero tolerance): generation reloads must never fail a
+        # query, and the generation count (bootstrap + one per registration)
+        # is deterministic — any drift is a real behavior change.  The
+        # latency ratio (churn p50 over quiet p50) is a same-process ratio
+        # robust to runner speed, gated loosely against scheduler noise.
+        MetricSpec("success_fraction", "higher", 0.0),
+        MetricSpec("generations_published", "higher", 0.0),
+        MetricSpec("reload_p50_ratio", "lower", THROUGHPUT_TOLERANCE),
+    ),
     "mp_serving.json": (
         # Primary gate: process-over-thread qps, a same-machine ratio that
         # cancels out runner speed.  The 2.0 baseline with the default 25%

@@ -1,0 +1,215 @@
+"""Benchmark — maintained serving under live registration churn.
+
+A process-mode service over a maintained index directory must keep
+answering while tables are registered live: every registration is durably
+appended to the write-ahead log, folded into a new published generation by
+the background compactor, and picked up by each worker through an in-place
+re-mmap (see docs/durability.md). This benchmark drives a continuous query
+load through several live registrations and reports:
+
+* **success_fraction** — the fraction of churn-phase queries answered
+  without error. Gated as a hard flag: generation reloads must never fail
+  a query.
+* **generations_published** — bootstrap plus one generation per
+  registration, a deterministic count; any drift is a real behavior
+  change.
+* **reload_p50_ratio** — churn-phase p50 latency over quiet-phase p50, a
+  same-process ratio that cancels out runner speed. Reloading mid-stream
+  is allowed to cost something, but not to wreck latency.
+
+Runs on any core count: the assertions are about correctness under churn,
+not scaling (contrast benchmarks/test_bench_mp_serving.py). The JSON
+report feeds the CI benchmark-regression gate.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import threading
+import time
+
+import numpy as np
+
+from repro.discovery import SketchIndex, save_index
+from repro.discovery.query import AugmentationQuery
+from repro.engine import EngineConfig, SketchEngine
+from repro.maintenance import WriteAheadLog
+from repro.relational.table import Table
+from repro.serving import DiscoveryService, ServiceConfig
+
+CPU_COUNT = os.cpu_count() or 1
+
+NUM_TABLES = 5
+COLUMNS_PER_TABLE = 3
+ROWS_PER_TABLE = 240
+NUM_KEYS = 240
+CAPACITY = 64
+WORKERS = 2
+REGISTRATIONS = 3
+QUIET_QUERIES = 12
+TARGET_POOL = 8
+
+
+def build_lake(seed: int = 41):
+    rng = np.random.default_rng(seed)
+    keys = [f"k{i:05d}" for i in range(NUM_KEYS)]
+    signal = rng.normal(size=NUM_KEYS)
+    base_columns: dict = {"key": keys}
+    for position in range(TARGET_POOL):
+        mix = rng.uniform(0.2, 0.8)
+        base_columns[f"t{position:02d}"] = (
+            (1.0 - mix) * signal + mix * rng.normal(size=NUM_KEYS)
+        ).tolist()
+    base = Table.from_dict(base_columns, name="base")
+
+    def lake_table(name, table_seed):
+        table_rng = np.random.default_rng(table_seed)
+        row_keys = [
+            keys[i] for i in table_rng.integers(0, NUM_KEYS, size=ROWS_PER_TABLE)
+        ]
+        aligned = np.array([signal[int(key[1:])] for key in row_keys])
+        data: dict = {"key": row_keys}
+        for column in range(COLUMNS_PER_TABLE):
+            mix = table_rng.uniform(0.0, 1.0)
+            data[f"v{column:02d}"] = (
+                (1.0 - mix) * aligned + mix * table_rng.normal(size=ROWS_PER_TABLE)
+            ).tolist()
+        return Table.from_dict(data, name=name)
+
+    tables = [lake_table(f"lake{position:03d}", 100 + position) for position in range(NUM_TABLES)]
+    fresh = [lake_table(f"fresh{position:03d}", 500 + position) for position in range(REGISTRATIONS)]
+    return base, tables, fresh
+
+
+def make_query(base, target):
+    return AugmentationQuery(
+        table=base,
+        key_column="key",
+        target_column=target,
+        top_k=30,
+        min_containment=0.0,
+        min_join_size=8,
+    )
+
+
+def test_bench_maintenance(benchmark, results_dir, tmp_path):
+    config = EngineConfig(method="TUPSK", capacity=CAPACITY, seed=0)
+    base, tables, fresh = build_lake()
+
+    index = SketchIndex(SketchEngine(config))
+    for table in tables:
+        index.add_table(table, ["key"])
+    index_dir = tmp_path / "lake.index"
+    save_index(index, index_dir)
+    WriteAheadLog.attach(index_dir, create=True).close()
+
+    # Every cache off: each query must pay the full dispatch so reloads are
+    # actually exercised instead of answered from a stale cache entry.
+    service = DiscoveryService(
+        index_dir,
+        ServiceConfig(
+            execution="process",
+            workers=WORKERS,
+            cache_entries=0,
+            shared_cache_entries=0,
+        ),
+    )
+    try:
+        service.start_maintenance()  # bootstraps generation 1 synchronously
+        assert service.published_generation() == 1
+        service.start_workers()
+
+        # -- quiet phase: steady-state latency, no maintenance churn ------ #
+        quiet_latencies = []
+        for position in range(QUIET_QUERIES):
+            query = make_query(base, f"t{position % TARGET_POOL:02d}")
+            started = time.perf_counter()
+            service.query(query)
+            quiet_latencies.append(time.perf_counter() - started)
+
+        # -- churn phase: continuous load across live registrations ------- #
+        stop = threading.Event()
+        latencies: list[float] = []
+        failures: list[BaseException] = []
+
+        def client() -> None:
+            position = 0
+            while not stop.is_set():
+                query = make_query(base, f"t{position % TARGET_POOL:02d}")
+                position += 1
+                started = time.perf_counter()
+                try:
+                    service.query(query)
+                except BaseException as exc:  # noqa: BLE001 - counted, reported
+                    failures.append(exc)
+                else:
+                    latencies.append(time.perf_counter() - started)
+
+        def churn() -> float:
+            thread = threading.Thread(target=client, name="churn-client")
+            started = time.perf_counter()
+            thread.start()
+            try:
+                for position, table in enumerate(fresh):
+                    service.register_table(table, ["key"])
+                    deadline = time.time() + 300.0
+                    while time.time() < deadline:
+                        if (service.published_generation() or 0) >= 2 + position:
+                            break
+                        time.sleep(0.02)
+                # Observe the final generation from the query path before
+                # stopping: the last answers must come from a reloaded view.
+                served = service.query(make_query(base, "t00")).results
+                names = {result.table_name for result in served}
+                assert {table.name for table in fresh} <= names, names
+            finally:
+                stop.set()
+                thread.join(timeout=120)
+            return time.perf_counter() - started
+
+        churn_seconds = benchmark.pedantic(churn, rounds=1, iterations=1)
+        stats = service.stats()
+    finally:
+        service.close()
+
+    generations = stats["maintenance"]["generation"]
+    reloads = stats["worker_pool"]["worker_reloads"]
+    total = len(latencies) + len(failures)
+    success_fraction = (len(latencies) / total) if total else 0.0
+    quiet_p50 = statistics.median(quiet_latencies)
+    churn_p50 = statistics.median(latencies) if latencies else float("inf")
+
+    report = {
+        "benchmark": "maintenance",
+        "cpu_count": CPU_COUNT,
+        "workers": WORKERS,
+        "registrations": REGISTRATIONS,
+        "candidates": NUM_TABLES * COLUMNS_PER_TABLE,
+        "quiet": {
+            "queries": len(quiet_latencies),
+            "p50_ms": quiet_p50 * 1000.0,
+        },
+        "churn": {
+            "queries": total,
+            "failed": len(failures),
+            "seconds": churn_seconds,
+            "p50_ms": churn_p50 * 1000.0,
+        },
+        "generations_published": generations,
+        "worker_reloads": reloads,
+        "pending_deltas": stats["maintenance"]["pending_deltas"],
+        "success_fraction": success_fraction,
+        "reload_p50_ratio": churn_p50 / quiet_p50,
+    }
+    path = results_dir / "maintenance.json"
+    path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print()
+    print(json.dumps(report, indent=2))
+    print(f"[report saved to {path}]")
+
+    assert not failures, f"{len(failures)} queries failed across reloads: {failures[:3]}"
+    assert generations == 1 + REGISTRATIONS
+    assert reloads >= 1, "no worker ever re-mmapped a published generation"
+    assert stats["maintenance"]["pending_deltas"] == 0

@@ -35,7 +35,10 @@ pipeline plus the reproduction harness:
     the ranked results as JSON (``--no-postings`` forces a full candidate
     scan); ``index postings build``/``index postings info`` rebuild and
     inspect the ``postings.npz`` sidecar that drives sublinear candidate
-    generation (:mod:`repro.postings`).
+    generation (:mod:`repro.postings`); ``index log``/``index compact``/
+    ``index jobs`` initialize and drive durable maintenance — the
+    write-ahead delta log, generation compaction and job records of
+    :mod:`repro.maintenance` (see ``docs/durability.md``).
 
 ``repro serve``
     Run the :mod:`repro.serving` HTTP query service over an index directory
@@ -273,6 +276,42 @@ def build_parser() -> argparse.ArgumentParser:
         "info", help="print a JSON summary of an index's posting sidecar"
     )
     postings_info.add_argument("index", help="index directory")
+
+    index_log = index_commands.add_parser(
+        "log",
+        help="inspect (or initialize) an index's write-ahead delta log "
+        "(durable maintenance; see docs/durability.md)",
+    )
+    index_log.add_argument("index", help="index directory")
+    index_log.add_argument(
+        "--init", action="store_true",
+        help="turn the directory into a maintained one by creating its "
+        "write-ahead log (idempotent)",
+    )
+    index_log.add_argument(
+        "--records", action="store_true",
+        help="also list every intact delta record (sequence, op, table, "
+        "candidate count)",
+    )
+
+    index_compact = index_commands.add_parser(
+        "compact",
+        help="fold pending write-ahead-log deltas into a new atomically "
+        "published index generation",
+    )
+    index_compact.add_argument("index", help="maintained index directory")
+    index_compact.add_argument(
+        "--force", action="store_true",
+        help="publish a new generation even when no deltas are pending",
+    )
+
+    index_jobs = index_commands.add_parser(
+        "jobs", help="list an index's maintenance job records as JSON"
+    )
+    index_jobs.add_argument("index", help="maintained index directory")
+    index_jobs.add_argument(
+        "--last", action="store_true", help="print only the most recent job"
+    )
 
     index_query = index_commands.add_parser(
         "query", help="evaluate an augmentation query against an index directory"
@@ -571,6 +610,9 @@ def _command_index_info(args: argparse.Namespace) -> int:
 
     from repro.discovery.persistence import load_index
 
+    from repro.discovery.persistence import resolve_index_root
+    from repro.maintenance import maintenance_summary
+
     index = load_index(args.index, mmap=True)
     tables = Counter(
         candidate.profile.table_name for candidate in index.candidates
@@ -581,10 +623,90 @@ def _command_index_info(args: argparse.Namespace) -> int:
                 "candidates": len(index),
                 "tables": dict(sorted(tables.items())),
                 "engine_config": index.config.to_dict(),
-                "postings": _postings_summary(args.index),
+                # The postings sidecar lives next to the *published* index
+                # files (inside the generation directory, for maintained
+                # directories), not at the top level.
+                "postings": _postings_summary(resolve_index_root(args.index)),
+                "maintenance": maintenance_summary(args.index),
             },
             indent=2,
             sort_keys=True,
+        )
+    )
+    return 0
+
+
+def _command_index_log(args: argparse.Namespace) -> int:
+    from repro.discovery.persistence import read_publication
+    from repro.maintenance import WriteAheadLog
+
+    if args.init:
+        wal = WriteAheadLog.attach(args.index, create=True)
+        wal.close()
+        print(f"write-ahead log ready under {args.index}/wal")
+        return 0
+    publication = read_publication(args.index)
+    applied = publication["applied_sequence"] if publication else 0
+    with WriteAheadLog.attach(args.index, readonly=True) as wal:
+        document = dict(wal.stats(applied))
+        document["applied_sequence"] = applied
+        if args.records:
+            document["records"] = [
+                {
+                    "sequence": record.sequence,
+                    "op": record.op,
+                    "table": record.name,
+                    "candidates": len(record.candidates),
+                }
+                for record in wal.replay()
+            ]
+    print(json.dumps(document, indent=2, sort_keys=True))
+    return 0
+
+
+def _command_index_compact(args: argparse.Namespace) -> int:
+    from repro.maintenance import Compactor, JobTracker, WriteAheadLog
+
+    with WriteAheadLog.attach(args.index) as wal:
+        tracker = JobTracker.attach(args.index)
+        record = tracker.create("compaction")
+        tracker.start(record)
+        try:
+            detail = Compactor(args.index, wal=wal).compact(force=args.force)
+        except Exception as exc:
+            tracker.fail(record, exc)
+            raise
+        tracker.complete(record, detail)
+    if detail.get("skipped"):
+        print(
+            f"nothing to compact: generation {detail['generation']} already "
+            f"covers sequence {detail['applied_sequence']}"
+        )
+    else:
+        print(
+            f"published generation {detail['generation']} "
+            f"({detail['deltas_folded']} deltas folded, "
+            f"{detail['candidates']} candidates, "
+            f"applied sequence {detail['applied_sequence']})"
+        )
+    return 0
+
+
+def _command_index_jobs(args: argparse.Namespace) -> int:
+    from repro.maintenance import JobTracker
+
+    tracker = JobTracker.attach(args.index)
+    if args.last:
+        record = tracker.last()
+        print(json.dumps(record.to_document() if record else None, indent=2))
+        return 0
+    print(
+        json.dumps(
+            {
+                "counts": tracker.counts(),
+                "jobs": [record.to_document() for record in tracker.list()],
+            },
+            indent=2,
         )
     )
     return 0
@@ -654,6 +776,10 @@ def _command_serve(args: argparse.Namespace) -> int:
             use_postings=not args.no_postings,
         ),
     )
+    # A WAL-backed directory recovers first: deltas a crashed predecessor
+    # durably logged are folded into a fresh published generation, and the
+    # background compactor keeps folding live registrations from here on.
+    maintainer = service.start_maintenance()
     # Fail fast on a missing/corrupt index instead of 500-ing every query.
     index = service.ensure_ready()
     # Under process execution, pay worker spawn + mmap cost up front too, so
@@ -661,9 +787,14 @@ def _command_serve(args: argparse.Namespace) -> int:
     service.start_workers()
     server = serve(service, host=args.host, port=args.port, verbose=args.verbose)
     host, port = server.server_address[:2]
+    maintained = (
+        f", maintained (generation {service.published_generation()})"
+        if maintainer is not None
+        else ""
+    )
     print(
         f"serving {args.index} ({len(index)} candidates, "
-        f"{args.execution} execution) "
+        f"{args.execution} execution{maintained}) "
         f"on http://{host}:{port} — POST /query, GET /healthz, GET /metrics",
         flush=True,
     )
@@ -684,6 +815,9 @@ def _command_index(args: argparse.Namespace) -> int:
         "add": _command_index_add,
         "ingest": _command_index_ingest,
         "info": _command_index_info,
+        "log": _command_index_log,
+        "compact": _command_index_compact,
+        "jobs": _command_index_jobs,
         "postings": _command_index_postings,
         "query": _command_index_query,
     }

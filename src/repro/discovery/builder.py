@@ -195,6 +195,9 @@ class IndexBuilder:
         # so removing a table cannot make a later anonymous registration
         # collide with (and silently replace) a surviving one.
         self._anonymous = 0
+        # When a write-ahead log is attached the builder stops being a batch
+        # accumulator: every registration/removal becomes a durable delta.
+        self._wal = None
 
     # ------------------------------------------------------------------ #
     # Registration
@@ -213,6 +216,34 @@ class IndexBuilder:
     def table_names(self) -> list[str]:
         """Registered table names (batch-registered first, then streamed)."""
         return list(self._tables) + list(self._streamed)
+
+    def attach_wal(self, wal) -> None:
+        """Turn the builder into a write-ahead-delta appender.
+
+        With a :class:`~repro.maintenance.wal.WriteAheadLog` attached,
+        :meth:`add_table` / :meth:`add_table_stream` / :meth:`remove_table`
+        durably append register/remove deltas (the candidates are still
+        built right here, eagerly) instead of accumulating state for
+        :meth:`build` — materializing the index becomes the compactor's
+        job.  Must be attached before any table is registered.
+        """
+        if self._tables or self._streamed:
+            raise DiscoveryError(
+                "attach_wal must be called on an empty builder; this one "
+                "already holds registered tables"
+            )
+        self._wal = wal
+
+    def _append_register_delta(
+        self, name: str, built: list[tuple[int, IndexedCandidate]]
+    ) -> None:
+        from repro.maintenance.deltas import candidate_to_document
+
+        self._wal.append(
+            "register_table",
+            name,
+            [candidate_to_document(candidate) for _, candidate in built],
+        )
 
     def __len__(self) -> int:
         """Number of registered candidate (key, value) column specs."""
@@ -280,6 +311,13 @@ class IndexBuilder:
             raise DiscoveryError(
                 f"table {name!r} has no candidate (key, value) column pairs"
             )
+        if self._wal is not None:
+            # Durable-delta mode: sketch the table now (same shared-key-work
+            # path as a batch build) and append it to the log instead of
+            # accumulating builder state.
+            built = _build_shard(self.config.to_dict(), [entry])
+            self._append_register_delta(name, built)
+            return name
         self._streamed.pop(name, None)
         self._tables[name] = entry
         self._dirty.add(self.shard_of(name))
@@ -338,6 +376,9 @@ class IndexBuilder:
         for candidate in candidates:
             entries.append((self._sequence, candidate))
             self._sequence += 1
+        if self._wal is not None:
+            self._append_register_delta(name, entries)
+            return name
         if name in self._tables:
             del self._tables[name]
             self._dirty.add(self.shard_of(name))
@@ -345,7 +386,15 @@ class IndexBuilder:
         return name
 
     def remove_table(self, name: str) -> None:
-        """Unregister a table, invalidating its shard for the next build."""
+        """Unregister a table, invalidating its shard for the next build.
+
+        With an attached write-ahead log this appends a durable
+        ``remove_table`` delta instead (the next compaction drops the
+        table's candidates from the published generation).
+        """
+        if self._wal is not None:
+            self._wal.append("remove_table", name)
+            return
         if name in self._streamed:
             del self._streamed[name]
             return
@@ -388,6 +437,12 @@ class IndexBuilder:
         at finalize (an ``into`` index that already has one is maintained
         incrementally as candidates are merged in).
         """
+        if self._wal is not None:
+            raise DiscoveryError(
+                "this builder appends durable deltas to a write-ahead log; "
+                "materialize the index by compacting the log (`repro index "
+                "compact`, or repro.maintenance.Compactor) instead of build()"
+            )
         workers = self.max_workers if max_workers is None else int(max_workers)
         shard_entries: dict[int, list[_TableEntry]] = {}
         for entry in self._tables.values():

@@ -262,6 +262,40 @@ class SketchIndex:
         self._install_candidate(candidate)
         return candidate
 
+    def remove_candidate(self, candidate_id: str) -> IndexedCandidate:
+        """Remove one candidate; returns the removed entry.
+
+        The candidate map is updated *before* the postings — the mirror
+        image of :meth:`_install_candidate` — so a concurrent query may see
+        a leftover posting entry for an already-removed candidate (harmless:
+        probes are matched against the caller's candidate snapshot) but
+        never a visible candidate missing from the postings.
+        """
+        try:
+            candidate = self._candidates.pop(candidate_id)
+        except KeyError:
+            raise DiscoveryError(f"unknown candidate {candidate_id!r}") from None
+        if self._postings is not None:
+            self._postings.discard(candidate_id)
+        self._generation += 1
+        return candidate
+
+    def remove_table(self, name: str, *, missing_ok: bool = False) -> list[IndexedCandidate]:
+        """Remove every candidate whose profile names ``name``.
+
+        Raises :class:`DiscoveryError` when no candidate matches, unless
+        ``missing_ok`` (the replace-semantics path of WAL replay, where a
+        register delta first clears any previous version of the table).
+        """
+        matching = [
+            candidate_id
+            for candidate_id, candidate in self._candidates.items()
+            if candidate.profile.table_name == name
+        ]
+        if not matching and not missing_ok:
+            raise DiscoveryError(f"no indexed candidates for table {name!r}")
+        return [self.remove_candidate(candidate_id) for candidate_id in matching]
+
     def add_table(
         self,
         table: Table,

@@ -48,15 +48,32 @@ from repro.sketches.kmv import KMVSketch
 from repro.sketches.serialization import HASH_ENCODING_VERSION, load_sketch
 from repro.store import load_npz, pack_value_lists, save_npz, unpack_value_lists
 
-__all__ = ["save_index", "load_index"]
+__all__ = [
+    "save_index",
+    "load_index",
+    "profile_to_dict",
+    "profile_from_dict",
+    "read_publication",
+    "write_publication",
+    "publication_token",
+    "resolve_index_root",
+]
 
 _FORMAT_VERSION = 2
 _STORE_FILE = "sketches.npz"
 _POSTINGS_FILE = "postings.npz"
+
+#: Generation-publication layout of a maintained index directory: numbered
+#: generation subdirectories (each a complete flat index layout) plus a
+#: ``CURRENT`` pointer file naming the published one.  Directories without a
+#: ``CURRENT`` file are plain flat indexes; every reader handles both.
+CURRENT_FILE = "CURRENT"
+GENERATIONS_DIR = "generations"
+
 PathLike = Union[str, os.PathLike]
 
 
-def _profile_to_dict(profile: ColumnPairProfile) -> dict:
+def profile_to_dict(profile: ColumnPairProfile) -> dict:
     return {
         "table_name": profile.table_name,
         "key_column": profile.key_column,
@@ -70,7 +87,7 @@ def _profile_to_dict(profile: ColumnPairProfile) -> dict:
     }
 
 
-def _profile_from_dict(document: dict) -> ColumnPairProfile:
+def profile_from_dict(document: dict) -> ColumnPairProfile:
     return ColumnPairProfile(
         table_name=document["table_name"],
         key_column=document["key_column"],
@@ -123,7 +140,7 @@ def save_index(index: SketchIndex, directory: PathLike) -> None:
             {
                 "candidate_id": candidate.candidate_id,
                 "aggregate": candidate.aggregate,
-                "profile": _profile_to_dict(candidate.profile),
+                "profile": profile_to_dict(candidate.profile),
                 "metadata": dict(candidate.metadata),
             }
         )
@@ -176,7 +193,7 @@ def _load_index_v1(root: Path, document: dict) -> SketchIndex:
         index.add_prebuilt(
             IndexedCandidate(
                 candidate_id=entry["candidate_id"],
-                profile=_profile_from_dict(entry["profile"]),
+                profile=profile_from_dict(entry["profile"]),
                 aggregate=entry["aggregate"],
                 sketch=load_sketch(root / "sketches" / entry["sketch_file"]),
                 key_kmv=_kmv_from_dict(entry["key_kmv"]),
@@ -216,7 +233,7 @@ def _load_index_v2(root: Path, document: dict, *, mmap: bool) -> SketchIndex:
         index.add_prebuilt(
             IndexedCandidate(
                 candidate_id=entry["candidate_id"],
-                profile=_profile_from_dict(entry["profile"]),
+                profile=profile_from_dict(entry["profile"]),
                 aggregate=entry["aggregate"],
                 sketch=store[position],
                 key_kmv=KMVSketch.from_values(
@@ -241,6 +258,93 @@ _KMV_ARRAYS = (
 )
 
 
+def read_publication(directory: PathLike) -> "dict | None":
+    """Read a maintained directory's ``CURRENT`` pointer, or ``None``.
+
+    The pointer is a small JSON document naming the published generation::
+
+        {"generation": 3, "name": "00000003", "applied_sequence": 17}
+
+    ``applied_sequence`` is the highest write-ahead-log sequence folded into
+    that generation; everything after it is pending compaction.  Plain flat
+    index directories have no pointer and return ``None``.
+    """
+    path = Path(directory) / CURRENT_FILE
+    try:
+        raw = path.read_text(encoding="utf-8")
+    except FileNotFoundError:
+        return None
+    except OSError as exc:
+        raise DiscoveryError(f"could not read publication pointer {path}: {exc}") from exc
+    try:
+        document = json.loads(raw)
+        return {
+            "generation": int(document["generation"]),
+            "name": str(document["name"]),
+            "applied_sequence": int(document["applied_sequence"]),
+        }
+    except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+        raise DiscoveryError(f"malformed publication pointer {path}: {exc}") from exc
+
+
+def write_publication(
+    directory: PathLike, *, generation: int, name: str, applied_sequence: int
+) -> None:
+    """Atomically (re)point ``CURRENT`` at a generation subdirectory.
+
+    Written to a temporary file, fsync'd, then ``os.replace``d over the
+    pointer, so a crash leaves either the old pointer or the new one —
+    never a torn file.  Readers that loaded the previous generation keep
+    serving it; its files are not touched here.
+    """
+    root = Path(directory)
+    payload = json.dumps(
+        {"generation": int(generation), "name": name, "applied_sequence": int(applied_sequence)}
+    )
+    temp_path = root / (CURRENT_FILE + ".tmp")
+    with open(temp_path, "w", encoding="utf-8") as handle:
+        handle.write(payload)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(temp_path, root / CURRENT_FILE)
+
+
+def publication_token(directory: PathLike) -> "str | None":
+    """Raw ``CURRENT`` content, used as an opaque change-detection token.
+
+    Serving workers compare this cheap small-file read between requests to
+    notice generation swaps; ``None`` means the directory is a plain flat
+    index (or the pointer vanished mid-read) and nothing to reload against.
+    """
+    try:
+        return (Path(directory) / CURRENT_FILE).read_text(encoding="utf-8")
+    except OSError:
+        return None
+
+
+def resolve_index_root(directory: PathLike) -> Path:
+    """The directory the *published* index files actually live in.
+
+    A maintained directory resolves through its ``CURRENT`` pointer to
+    ``generations/<name>/``; a plain flat directory resolves to itself.
+    In-progress compactions (temporary ``generations/.incoming-*`` trees)
+    are never resolved to — only an atomically published generation is.
+    """
+    root = Path(directory)
+    publication = read_publication(root)
+    if publication is None:
+        return root
+    generation_root = root / GENERATIONS_DIR / publication["name"]
+    if not (generation_root / "index.json").exists():
+        raise DiscoveryError(
+            f"publication pointer of {root} names generation "
+            f"{publication['name']!r} but {generation_root} holds no index; "
+            f"the directory is damaged — re-run compaction (`repro index "
+            f"compact`) or restore the generation"
+        )
+    return generation_root
+
+
 def load_index(directory: PathLike, *, mmap: bool = False) -> SketchIndex:
     """Load an index previously written by :func:`save_index`.
 
@@ -248,8 +352,14 @@ def load_index(directory: PathLike, *, mmap: bool = False) -> SketchIndex:
     legacy per-sketch-JSON layout (format version 1).  ``mmap=True``
     memory-maps the columnar store's arrays instead of reading them
     eagerly (version 2 only).
+
+    Maintained directories (those carrying a ``CURRENT`` publication
+    pointer; see :mod:`repro.maintenance`) are resolved to their published
+    generation first, so loading is oblivious to any compaction in
+    progress: temporary ``.incoming`` trees and half-written future
+    generations are never read.
     """
-    root = Path(directory)
+    root = resolve_index_root(directory)
     index_path = root / "index.json"
     if not index_path.exists():
         raise DiscoveryError(

@@ -28,6 +28,8 @@ __all__ = [
     "WorkerCrashError",
     "IngestError",
     "PostingsError",
+    "MaintenanceError",
+    "WALError",
 ]
 
 
@@ -124,3 +126,11 @@ class IngestError(ReproError):
 
 class PostingsError(ReproError):
     """A posting index is malformed, incompatible or was misused."""
+
+
+class MaintenanceError(ReproError):
+    """An index-maintenance operation (compaction, job tracking) failed."""
+
+
+class WALError(MaintenanceError):
+    """A write-ahead delta log is malformed, incompatible or was misused."""

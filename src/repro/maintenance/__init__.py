@@ -1,0 +1,43 @@
+"""Durable index maintenance: write-ahead log, compaction, job tracking.
+
+A *maintained* index directory accepts live mutations without ever losing
+one or blocking a reader:
+
+* every register/replace/remove delta is durably appended to a
+  :class:`~repro.maintenance.wal.WriteAheadLog` before anything else
+  happens (``wal/`` — see :mod:`repro.maintenance.wal` for the format);
+* a :class:`~repro.maintenance.compact.Compactor` periodically folds the
+  pending deltas into a brand-new complete index layout under
+  ``generations/<n>/`` and atomically swaps the ``CURRENT`` pointer;
+* every run is recorded by the :class:`~repro.maintenance.jobs.JobTracker`
+  (``jobs/``), so failures are durable and inspectable;
+* serving workers watch the publication token and re-mmap the published
+  generation in place, so process-mode serving picks mutations up without
+  a restart.
+
+:class:`~repro.maintenance.compact.IndexMaintainer` ties the pieces
+together behind one background thread; ``docs/durability.md`` walks
+through the lifecycle and the failure matrix.
+"""
+
+from repro.maintenance.compact import Compactor, IndexMaintainer, maintenance_summary
+from repro.maintenance.deltas import (
+    apply_delta,
+    candidate_from_document,
+    candidate_to_document,
+)
+from repro.maintenance.jobs import JobRecord, JobTracker
+from repro.maintenance.wal import DeltaRecord, WriteAheadLog
+
+__all__ = [
+    "WriteAheadLog",
+    "DeltaRecord",
+    "Compactor",
+    "IndexMaintainer",
+    "maintenance_summary",
+    "JobRecord",
+    "JobTracker",
+    "apply_delta",
+    "candidate_to_document",
+    "candidate_from_document",
+]

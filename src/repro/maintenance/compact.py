@@ -1,0 +1,348 @@
+"""Folding write-ahead-log deltas into atomically-published generations.
+
+A maintained index directory grows by appending deltas to its log; the
+*compactor* periodically folds everything pending into a brand-new,
+complete index layout and publishes it in one atomic step::
+
+    generations/.incoming-00000004/   # staged: written file by file
+    generations/00000004/             # renamed when complete
+    CURRENT                           # swapped last (atomic os.replace)
+
+The published generation is immutable once the pointer swaps: readers that
+resolved an older generation keep serving it untouched (files of the two
+most recent generations are retained), and a crash at *any* point leaves
+either the old pointer or the new one — half-written ``.incoming`` trees
+are invisible to :func:`~repro.discovery.persistence.load_index` and swept
+on the next compaction.
+
+:class:`IndexMaintainer` drives the compactor from a background thread
+inside the serving process, recording every run in the
+:class:`~repro.maintenance.jobs.JobTracker`.  Its ``start()`` first runs a
+*synchronous* recovery compaction when the log holds pending deltas — the
+crash-recovery path: whatever a killed predecessor had durably logged but
+not yet compacted is folded in before any worker serves a query.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import threading
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.discovery.persistence import (
+    GENERATIONS_DIR,
+    load_index,
+    read_publication,
+    save_index,
+    write_publication,
+)
+from repro.exceptions import MaintenanceError, ReproError
+from repro.maintenance.deltas import apply_delta
+from repro.maintenance.jobs import JobRecord, JobTracker
+from repro.maintenance.wal import WriteAheadLog
+
+__all__ = ["Compactor", "IndexMaintainer", "maintenance_summary"]
+
+PathLike = Union[str, os.PathLike]
+
+#: How many published generations to retain (the current one included), so
+#: readers that resolved the previous pointer finish their loads safely.
+_RETAIN_GENERATIONS = 2
+
+
+def _fsync_directory(path: Path) -> None:
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-dependent
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
+    finally:
+        os.close(fd)
+
+
+class Compactor:
+    """Folds pending WAL deltas into a new published generation.
+
+    Parameters
+    ----------
+    directory:
+        The maintained index directory (holding ``wal/``, ``CURRENT`` and
+        ``generations/`` once the first compaction ran).
+    wal:
+        An open :class:`WriteAheadLog` to share with other writers in the
+        process (the serving path); opened on demand when omitted.
+    """
+
+    def __init__(self, directory: PathLike, *, wal: Optional[WriteAheadLog] = None):
+        self.directory = Path(directory)
+        self._wal = wal
+
+    def _log(self) -> WriteAheadLog:
+        if self._wal is None:
+            self._wal = WriteAheadLog.attach(self.directory)
+        return self._wal
+
+    def compact(self, *, force: bool = False) -> dict:
+        """Run one compaction pass; returns a result-detail document.
+
+        No-ops (``{"skipped": true}``) when nothing is pending and a
+        generation is already published, unless ``force`` re-publishes
+        anyway.  The very first compaction of a directory *bootstraps* the
+        generation layout from the flat index files even with an empty log,
+        so maintained serving always has a publication pointer to watch.
+        """
+        wal = self._log()
+        publication = read_publication(self.directory)
+        applied = publication["applied_sequence"] if publication else 0
+        records = list(wal.replay(after=applied))
+        if not records and publication is not None and not force:
+            return {
+                "skipped": True,
+                "generation": publication["generation"],
+                "applied_sequence": applied,
+            }
+
+        # Load the published base (never the flat files once a generation
+        # exists — the flat layout goes stale after the first publication).
+        index = load_index(self.directory)
+        gained = 0
+        for record in records:
+            gained += apply_delta(index, record)
+        applied_sequence = records[-1].sequence if records else applied
+
+        generation = (publication["generation"] if publication else 0) + 1
+        name = f"{generation:08d}"
+        generations_root = self.directory / GENERATIONS_DIR
+        generations_root.mkdir(exist_ok=True)
+        incoming = generations_root / f".incoming-{name}"
+        published = generations_root / name
+        # Sweep leftovers of a compaction that crashed before publishing.
+        for stale in (incoming, published):
+            if stale.exists():
+                shutil.rmtree(stale)
+        try:
+            save_index(index, incoming)
+            incoming.rename(published)
+            _fsync_directory(generations_root)
+            write_publication(
+                self.directory,
+                generation=generation,
+                name=name,
+                applied_sequence=applied_sequence,
+            )
+        except BaseException:
+            # The old generation is still published; stage area is garbage.
+            shutil.rmtree(incoming, ignore_errors=True)
+            if not read_publication(self.directory):
+                shutil.rmtree(published, ignore_errors=True)
+            raise
+        wal.prune(applied_sequence)
+        self._retire_old_generations(generation)
+        return {
+            "skipped": False,
+            "generation": generation,
+            "applied_sequence": applied_sequence,
+            "deltas_folded": len(records),
+            "candidates_delta": gained,
+            "candidates": len(index),
+        }
+
+    def _retire_old_generations(self, current: int) -> None:
+        """Delete generations older than the retention window (best-effort)."""
+        generations_root = self.directory / GENERATIONS_DIR
+        for path in generations_root.iterdir():
+            if not path.is_dir():
+                continue
+            if path.name.startswith(".incoming-"):
+                continue  # possibly a concurrent forced compaction's stage
+            try:
+                generation = int(path.name)
+            except ValueError:
+                continue
+            if generation <= current - _RETAIN_GENERATIONS:
+                shutil.rmtree(path, ignore_errors=True)
+
+
+class IndexMaintainer:
+    """Background maintenance driver for one index directory.
+
+    Owns the job tracker and a compaction thread.  ``start()`` runs a
+    synchronous *recovery* compaction when deltas are pending (so a process
+    restarted after a crash serves the fully-recovered index from its first
+    query), then keeps folding new deltas in the background; ``notify()``
+    wakes the thread promptly after an append instead of waiting out the
+    poll interval.
+    """
+
+    def __init__(
+        self,
+        directory: PathLike,
+        *,
+        wal: Optional[WriteAheadLog] = None,
+        interval: float = 0.5,
+    ):
+        self.directory = Path(directory)
+        self._wal = wal if wal is not None else WriteAheadLog.attach(self.directory)
+        self._compactor = Compactor(self.directory, wal=self._wal)
+        self._tracker = JobTracker.attach(self.directory)
+        self._interval = float(interval)
+        self._wake = threading.Event()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._lock = threading.Lock()
+        self._compactions = 0
+        self._failures = 0
+
+    @property
+    def wal(self) -> WriteAheadLog:
+        """The shared write-ahead log (appends go through this instance)."""
+        return self._wal
+
+    @property
+    def tracker(self) -> JobTracker:
+        return self._tracker
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> None:
+        """Recover synchronously, then start the background thread."""
+        if self._thread is not None:
+            return
+        publication = read_publication(self.directory)
+        applied = publication["applied_sequence"] if publication else 0
+        if publication is None or self._wal.last_sequence > applied:
+            # Bootstrap or crash recovery: fold before serving anything.
+            self._run_job("recovery-compaction", force=True)
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-index-maintainer", daemon=True
+        )
+        self._thread.start()
+
+    def notify(self) -> None:
+        """Wake the maintenance thread (called after a WAL append)."""
+        self._wake.set()
+
+    def close(self) -> None:
+        """Stop the thread; the write-ahead log stays open for its owner."""
+        self._stop.set()
+        self._wake.set()
+        thread, self._thread = self._thread, None
+        if thread is not None:
+            thread.join(timeout=30.0)
+
+    def __enter__(self) -> "IndexMaintainer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Compaction driving
+    # ------------------------------------------------------------------ #
+    def _loop(self) -> None:
+        while not self._stop.is_set():
+            self._wake.wait(self._interval)
+            self._wake.clear()
+            if self._stop.is_set():
+                break
+            try:
+                pending = self._pending()
+            except ReproError:
+                pending = 0  # directory damaged: surfaced by the next job
+            if pending:
+                self._run_job("compaction")
+
+    def _pending(self) -> int:
+        publication = read_publication(self.directory)
+        applied = publication["applied_sequence"] if publication else 0
+        return max(0, self._wal.last_sequence - applied)
+
+    def _run_job(self, kind: str, *, force: bool = False) -> JobRecord:
+        """Execute one tracked compaction; failures never escape the thread."""
+        record = self._tracker.create(kind)
+        self._tracker.start(record)
+        try:
+            detail = self._compactor.compact(force=force)
+        except BaseException as exc:  # noqa: BLE001 - recorded, not rethrown
+            with self._lock:
+                self._failures += 1
+            self._tracker.fail(record, exc)
+            if kind == "recovery-compaction":
+                # Recovery failures are fatal for start(): serving an index
+                # known to be behind its durable log would lose writes.
+                raise MaintenanceError(
+                    f"recovery compaction of {self.directory} failed: {exc}"
+                ) from exc
+            return record
+        with self._lock:
+            self._compactions += 1
+        return self._tracker.complete(record, detail)
+
+    def compact_now(self) -> JobRecord:
+        """Run one tracked compaction synchronously (the CLI entry point)."""
+        return self._run_job("compaction", force=False)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def stats(self) -> dict:
+        publication = read_publication(self.directory)
+        applied = publication["applied_sequence"] if publication else 0
+        with self._lock:
+            compactions, failures = self._compactions, self._failures
+        return {
+            "generation": publication["generation"] if publication else 0,
+            "applied_sequence": applied,
+            "pending_deltas": max(0, self._wal.last_sequence - applied),
+            "compactions": compactions,
+            "failed_compactions": failures,
+        }
+
+
+def maintenance_summary(directory: PathLike) -> dict:
+    """The ``maintenance`` block of ``repro index info`` and ``/metrics``.
+
+    Gracefully reports ``{"present": false}`` on plain (pre-WAL) index
+    directories, mirroring the postings block.
+    """
+    root = Path(directory)
+    if not WriteAheadLog.present(root):
+        return {"present": False}
+    publication = read_publication(root)
+    applied = publication["applied_sequence"] if publication else 0
+    with WriteAheadLog.attach(root, readonly=True) as wal:
+        wal_stats = wal.stats(applied)
+        pending = wal.pending(applied)
+    summary = {
+        "present": True,
+        "generation": publication["generation"] if publication else 0,
+        "applied_sequence": applied,
+        "pending_deltas": pending,
+        "wal": {
+            "segments": wal_stats["segments"],
+            "bytes": wal_stats["bytes"],
+            "records": wal_stats["records"],
+            "last_sequence": wal_stats["last_sequence"],
+        },
+    }
+    last_job = JobTracker.attach(root).last()
+    summary["last_job"] = (
+        {
+            "job_id": last_job.job_id,
+            "kind": last_job.kind,
+            "status": last_job.status,
+            "error": last_job.error,
+            "detail": last_job.detail,
+        }
+        if last_job is not None
+        else None
+    )
+    return summary

@@ -1,0 +1,81 @@
+"""Serializing index deltas: fully-built candidates as JSON documents.
+
+A ``register_table`` delta in the write-ahead log carries everything needed
+to reconstruct the table's :class:`~repro.discovery.index.IndexedCandidate`
+entries without the source data: the column-pair profile, the MI sketch
+(:func:`~repro.sketches.serialization.sketch_to_dict`, an exact round-trip)
+and the KMV key sketch's retained values.  Replaying a delta therefore
+yields candidates byte-identical to the ones the original writer held,
+which is what makes log replay equivalent to having never crashed.
+
+Application uses replace semantics: a register delta first drops any
+previously indexed candidates of the same table, then inserts the logged
+ones — so re-registering a table is an atomic upsert and replay is
+idempotent per table name.
+"""
+
+from __future__ import annotations
+
+from repro.discovery.index import IndexedCandidate, SketchIndex
+from repro.discovery.persistence import profile_from_dict, profile_to_dict
+from repro.exceptions import WALError
+from repro.maintenance.wal import OP_REGISTER, OP_REMOVE, DeltaRecord
+from repro.sketches.kmv import KMVSketch
+from repro.sketches.serialization import sketch_from_dict, sketch_to_dict
+
+__all__ = ["candidate_to_document", "candidate_from_document", "apply_delta"]
+
+
+def candidate_to_document(candidate: IndexedCandidate) -> dict:
+    """Serialize one indexed candidate into a JSON-compatible document."""
+    return {
+        "candidate_id": candidate.candidate_id,
+        "aggregate": candidate.aggregate,
+        "profile": profile_to_dict(candidate.profile),
+        "metadata": dict(candidate.metadata),
+        "sketch": sketch_to_dict(candidate.sketch),
+        "key_kmv": {
+            "capacity": candidate.key_kmv.capacity,
+            "seed": candidate.key_kmv.seed,
+            # Deterministic order so identical states serialize identically.
+            "values": sorted(candidate.key_kmv.values, key=lambda value: str(value)),
+        },
+    }
+
+
+def candidate_from_document(document: dict) -> IndexedCandidate:
+    """Rebuild an indexed candidate from :func:`candidate_to_document` output."""
+    try:
+        kmv_entry = document["key_kmv"]
+        return IndexedCandidate(
+            candidate_id=document["candidate_id"],
+            profile=profile_from_dict(document["profile"]),
+            aggregate=document["aggregate"],
+            sketch=sketch_from_dict(document["sketch"]),
+            key_kmv=KMVSketch.from_values(
+                kmv_entry["values"],
+                capacity=int(kmv_entry["capacity"]),
+                seed=int(kmv_entry["seed"]),
+            ),
+            metadata=dict(document.get("metadata", {})),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise WALError(f"malformed candidate document in delta: {exc}") from exc
+
+
+def apply_delta(index: SketchIndex, record: DeltaRecord) -> int:
+    """Fold one replayed delta into an in-memory index.
+
+    Returns the number of candidates the index gained (negative for
+    removals).  Register deltas replace: any candidates previously indexed
+    under the delta's table name are dropped first, so applying the same
+    log twice converges to the same state.
+    """
+    if record.op == OP_REGISTER:
+        removed = index.remove_table(record.name, missing_ok=True)
+        for document in record.candidates:
+            index.add_prebuilt(candidate_from_document(document))
+        return len(record.candidates) - len(removed)
+    if record.op == OP_REMOVE:
+        return -len(index.remove_table(record.name, missing_ok=True))
+    raise WALError(f"unknown delta operation {record.op!r}")

@@ -1,0 +1,198 @@
+"""Persistent maintenance-job records: queued → running → completed/failed.
+
+Every compaction (and any future maintenance operation) runs as a *job*
+whose lifecycle is recorded on disk, one JSON file per job under
+``<index dir>/jobs/``.  Records survive crashes and restarts, so operators
+can always answer "what did maintenance last do, and did it work?" —
+``repro index jobs`` lists them and ``/metrics`` exposes the counters.
+
+Records are updated by atomic temp-write-then-rename, so a reader never
+sees a torn document; a job left in ``running`` state after a crash is
+evidence of the crash itself (the next maintainer start records a fresh
+recovery job rather than resurrecting the orphan).
+
+Failure capture keeps both the exception message and the formatted
+traceback: compactions run on a background thread where a swallowed
+stack trace would otherwise be gone forever.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import traceback
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.exceptions import MaintenanceError
+
+__all__ = ["JobRecord", "JobTracker", "JOBS_DIR_NAME"]
+
+PathLike = Union[str, os.PathLike]
+
+#: Name of the job-record directory inside a maintained index directory.
+JOBS_DIR_NAME = "jobs"
+
+#: Legal lifecycle states, in order.
+STATUS_QUEUED = "queued"
+STATUS_RUNNING = "running"
+STATUS_COMPLETED = "completed"
+STATUS_FAILED = "failed"
+_STATUSES = (STATUS_QUEUED, STATUS_RUNNING, STATUS_COMPLETED, STATUS_FAILED)
+
+
+@dataclass
+class JobRecord:
+    """One maintenance job's durable state."""
+
+    job_id: int
+    kind: str
+    status: str = STATUS_QUEUED
+    created_at: float = 0.0
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    #: Free-form result details (e.g. the published generation and how many
+    #: deltas were folded) for completed jobs.
+    detail: dict = field(default_factory=dict)
+    error: Optional[str] = None
+    traceback: Optional[str] = None
+
+    def to_document(self) -> dict:
+        return {
+            "job_id": self.job_id,
+            "kind": self.kind,
+            "status": self.status,
+            "created_at": self.created_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "detail": self.detail,
+            "error": self.error,
+            "traceback": self.traceback,
+        }
+
+    @classmethod
+    def from_document(cls, document: dict) -> "JobRecord":
+        try:
+            status = document["status"]
+            if status not in _STATUSES:
+                raise MaintenanceError(f"unknown job status {status!r}")
+            return cls(
+                job_id=int(document["job_id"]),
+                kind=str(document["kind"]),
+                status=status,
+                created_at=float(document.get("created_at") or 0.0),
+                started_at=document.get("started_at"),
+                finished_at=document.get("finished_at"),
+                detail=dict(document.get("detail") or {}),
+                error=document.get("error"),
+                traceback=document.get("traceback"),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise MaintenanceError(f"malformed job record: {exc}") from exc
+
+
+class JobTracker:
+    """Durable registry of maintenance jobs for one index directory.
+
+    Single-writer like the write-ahead log (the maintainer owns it); any
+    number of processes may read the records concurrently.
+    """
+
+    def __init__(self, directory: PathLike):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    @classmethod
+    def attach(cls, index_directory: PathLike) -> "JobTracker":
+        """Open (creating if needed) the job registry of an index directory."""
+        return cls(Path(index_directory) / JOBS_DIR_NAME)
+
+    # ------------------------------------------------------------------ #
+    # Writing
+    # ------------------------------------------------------------------ #
+    def _path(self, job_id: int) -> Path:
+        return self.directory / f"job-{job_id:08d}.json"
+
+    def _write(self, record: JobRecord) -> None:
+        path = self._path(record.job_id)
+        temp_path = path.with_suffix(".json.tmp")
+        with open(temp_path, "w", encoding="utf-8") as handle:
+            json.dump(record.to_document(), handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_path, path)
+
+    def create(self, kind: str, detail: Optional[dict] = None) -> JobRecord:
+        """Record a new queued job and return it."""
+        existing = sorted(self.directory.glob("job-*.json"))
+        job_id = 1
+        if existing:
+            try:
+                job_id = int(existing[-1].stem.split("-", 1)[1]) + 1
+            except (IndexError, ValueError):
+                job_id = len(existing) + 1
+        record = JobRecord(
+            job_id=job_id, kind=kind, created_at=time.time(), detail=dict(detail or {})
+        )
+        self._write(record)
+        return record
+
+    def start(self, record: JobRecord) -> JobRecord:
+        record.status = STATUS_RUNNING
+        record.started_at = time.time()
+        self._write(record)
+        return record
+
+    def complete(self, record: JobRecord, detail: Optional[dict] = None) -> JobRecord:
+        record.status = STATUS_COMPLETED
+        record.finished_at = time.time()
+        if detail:
+            record.detail.update(detail)
+        self._write(record)
+        return record
+
+    def fail(self, record: JobRecord, exc: BaseException) -> JobRecord:
+        record.status = STATUS_FAILED
+        record.finished_at = time.time()
+        record.error = f"{type(exc).__name__}: {exc}"
+        record.traceback = "".join(
+            traceback.format_exception(type(exc), exc, exc.__traceback__)
+        )
+        self._write(record)
+        return record
+
+    # ------------------------------------------------------------------ #
+    # Reading
+    # ------------------------------------------------------------------ #
+    def list(self) -> list[JobRecord]:
+        """All readable job records, oldest first.
+
+        Unreadable files (a crash before the very first atomic rename can
+        leave a stray temp file, an operator may truncate one by hand) are
+        skipped rather than failing the listing.
+        """
+        records = []
+        for path in sorted(self.directory.glob("job-*.json")):
+            try:
+                document = json.loads(path.read_text(encoding="utf-8"))
+                records.append(JobRecord.from_document(document))
+            except (OSError, json.JSONDecodeError, MaintenanceError):
+                continue
+        return records
+
+    def last(self, kind: Optional[str] = None) -> Optional[JobRecord]:
+        """The most recent job (optionally restricted to one kind)."""
+        records = self.list()
+        if kind is not None:
+            records = [record for record in records if record.kind == kind]
+        return records[-1] if records else None
+
+    def counts(self) -> dict:
+        """Status → count map for ``/metrics`` and ``index info``."""
+        counts = {status: 0 for status in _STATUSES}
+        for record in self.list():
+            counts[record.status] += 1
+        counts["total"] = sum(counts[status] for status in _STATUSES)
+        return counts

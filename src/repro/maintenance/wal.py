@@ -1,0 +1,499 @@
+"""Write-ahead delta log for durable index maintenance.
+
+Every mutation of a maintained index directory — registering, replacing or
+removing a table — is appended to the log *before* it is applied anywhere
+else.  A delta carries the table's fully-built candidates (profiles, MI
+sketches and KMV key sketches serialized through
+:mod:`repro.maintenance.deltas`), so replaying the log against the last
+published generation reconstructs the exact index state the writer saw:
+nothing needs to be re-sketched, and a crash between the append and the
+in-memory apply loses no data.
+
+On-disk layout (``<index dir>/wal/``)::
+
+    wal/
+      segment-0000000000000001.wal    # sealed by an earlier compaction
+      segment-0000000000000042.wal    # active (highest first-sequence)
+
+Each segment starts with a 12-byte header (magic, format version, hash
+encoding) and then holds length-prefixed, CRC32-checksummed JSON records::
+
+    <u32 payload length> <u32 crc32(payload)> <payload bytes>
+
+Appends are atomic at the record level: the frame is written in one
+``write`` call and fsync'd (``sync=True``, the default) before the append
+returns, so a record either replays completely or is a *torn tail* —
+recognized on open by a short or checksum-failing final frame and truncated
+away, exactly like the tail scan of a database WAL.  Damage anywhere before
+the tail (a flipped bit on disk) also truncates from the damaged record on,
+dropping any later segments — a delta gap must never be replayed over.
+
+Sequencing and truncation
+-------------------------
+Records carry a monotonically increasing ``sequence``.  The published
+``CURRENT`` pointer of the index directory records the highest sequence
+folded into the published generation (``applied_sequence``); everything
+after it is *pending*.  After a successful compaction the compactor calls
+:meth:`WriteAheadLog.prune`, which deletes segments whose records are all
+applied and seals the active segment so the next append starts a fresh one.
+
+The log is **single-writer**: one process (the serving process or the CLI)
+appends and prunes; any number of readers may replay.  Serving workers never
+touch the WAL — they only read published generations.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import threading
+import warnings
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, Optional, Union
+
+from repro.exceptions import WALError
+from repro.sketches.serialization import HASH_ENCODING_VERSION
+
+__all__ = ["WriteAheadLog", "DeltaRecord", "WAL_DIR_NAME"]
+
+PathLike = Union[str, os.PathLike]
+
+#: Name of the log directory inside a maintained index directory.
+WAL_DIR_NAME = "wal"
+
+#: Segment header: magic, one format-version byte, one hash-encoding byte.
+_MAGIC = b"repro-wal\x00"
+_FORMAT_VERSION = 1
+_HEADER = struct.Struct("<10sBB")
+_FRAME = struct.Struct("<II")
+
+#: Rotate the active segment once it grows past this many bytes.
+_DEFAULT_SEGMENT_BYTES = 8 * 1024 * 1024
+
+#: Operations a delta record may carry.
+OP_REGISTER = "register_table"
+OP_REMOVE = "remove_table"
+_KNOWN_OPS = (OP_REGISTER, OP_REMOVE)
+
+
+@dataclass(frozen=True)
+class DeltaRecord:
+    """One replayable mutation of the index: an upsert or removal of a table."""
+
+    sequence: int
+    op: str
+    name: str
+    #: Serialized candidates (see :mod:`repro.maintenance.deltas`) for
+    #: ``register_table`` deltas; empty for removals.
+    candidates: list = field(default_factory=list)
+
+    def to_document(self) -> dict:
+        document = {"sequence": self.sequence, "op": self.op, "name": self.name}
+        if self.op == OP_REGISTER:
+            document["candidates"] = self.candidates
+        return document
+
+    @classmethod
+    def from_document(cls, document: dict) -> "DeltaRecord":
+        try:
+            op = document["op"]
+            if op not in _KNOWN_OPS:
+                raise WALError(f"unknown delta operation {op!r}")
+            return cls(
+                sequence=int(document["sequence"]),
+                op=op,
+                name=str(document["name"]),
+                candidates=list(document.get("candidates", [])),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise WALError(f"malformed delta record: {exc}") from exc
+
+
+@dataclass
+class _Segment:
+    """Parsed state of one on-disk segment file."""
+
+    path: Path
+    first_sequence: int
+    last_sequence: int = 0  # 0 while the segment holds no complete record
+    records: int = 0
+    size: int = 0
+
+
+def _fsync_directory(path: Path) -> None:
+    """Flush a directory entry table (best-effort on non-POSIX systems)."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-dependent
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
+    finally:
+        os.close(fd)
+
+
+class WriteAheadLog:
+    """Append-only, checksummed, replayable delta log of one index directory.
+
+    Parameters
+    ----------
+    directory:
+        The log directory itself (usually ``<index dir>/wal``; see
+        :meth:`attach` for the index-directory entry point).  Created when
+        missing.
+    sync:
+        fsync every append before returning (the durability contract);
+        ``False`` trades crash-durability for speed in tests/benchmarks.
+    segment_bytes:
+        Size threshold after which the active segment is rotated.
+    readonly:
+        Open for inspection only: torn tails are skipped instead of
+        truncated and no file is modified or created, so a reader (e.g.
+        ``repro index info`` against a live service) can never damage the
+        appender's in-flight tail.  Appending and pruning raise.
+    """
+
+    def __init__(
+        self,
+        directory: PathLike,
+        *,
+        sync: bool = True,
+        segment_bytes: int = _DEFAULT_SEGMENT_BYTES,
+        readonly: bool = False,
+    ):
+        self.directory = Path(directory)
+        self._readonly = bool(readonly)
+        if not self._readonly:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        self._sync = bool(sync)
+        self._segment_bytes = int(segment_bytes)
+        self._lock = threading.RLock()
+        self._handle = None  # lazily-opened append handle for the active segment
+        self._segments: list[_Segment] = []
+        self._last_sequence = 0
+        self._recover()
+
+    # ------------------------------------------------------------------ #
+    # Attachment
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def attach(
+        cls,
+        index_directory: PathLike,
+        *,
+        create: bool = False,
+        sync: bool = True,
+        readonly: bool = False,
+    ) -> "WriteAheadLog":
+        """Open the log of an index directory (``<dir>/wal``).
+
+        With ``create=False`` the directory must already be WAL-backed
+        (see :meth:`present`); ``create=True`` initializes the log,
+        turning the directory into a maintained one.
+        """
+        root = Path(index_directory)
+        wal_dir = root / WAL_DIR_NAME
+        if create and readonly:
+            raise WALError("cannot create a write-ahead log in readonly mode")
+        if not create and not wal_dir.is_dir():
+            raise WALError(
+                f"{root} has no write-ahead log; initialize maintenance with "
+                f"`repro index log {root} --init` (or WriteAheadLog.attach("
+                f"..., create=True))"
+            )
+        return cls(wal_dir, sync=sync, readonly=readonly)
+
+    @staticmethod
+    def present(index_directory: PathLike) -> bool:
+        """Whether an index directory is WAL-backed (has a ``wal/`` log)."""
+        return (Path(index_directory) / WAL_DIR_NAME).is_dir()
+
+    # ------------------------------------------------------------------ #
+    # Recovery
+    # ------------------------------------------------------------------ #
+    def _segment_paths(self) -> list[Path]:
+        return sorted(self.directory.glob("segment-*.wal"))
+
+    def _recover(self) -> None:
+        """Scan the segments, truncating torn/corrupt tails (open-time).
+
+        In readonly mode nothing is modified: damaged data is skipped in
+        this instance's view but left on disk for the owning writer.
+        """
+        segments: list[_Segment] = []
+        damaged_at: Optional[Path] = None
+        if self._readonly and not self.directory.is_dir():
+            return
+        for path in self._segment_paths():
+            if damaged_at is not None:
+                # A gap before this segment: its deltas must not be
+                # replayed over missing predecessors.
+                if not self._readonly:
+                    path.unlink()
+                continue
+            segment, clean = self._scan_segment(path)
+            if segment is None:
+                # Unreadable header: drop the file (and everything after).
+                damaged_at = path
+                if not self._readonly:
+                    path.unlink()
+                continue
+            if segment.records:
+                segments.append(segment)
+                self._last_sequence = max(self._last_sequence, segment.last_sequence)
+            else:
+                # Empty segments (freshly rotated, post-prune seal, or a
+                # torn tail truncated down to its header) stay: their name
+                # encodes the next sequence to hand out, so sequences never
+                # regress below already-compacted (pruned) history.
+                segments.append(segment)
+                self._last_sequence = max(self._last_sequence, segment.first_sequence - 1)
+            if not clean:
+                damaged_at = path  # truncated in place; later segments must go
+        if damaged_at is not None and not self._readonly:
+            warnings.warn(
+                f"write-ahead log {self.directory} had a torn or corrupt tail "
+                f"at {damaged_at.name}; truncated to the last intact record "
+                f"(sequence {self._last_sequence})",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            _fsync_directory(self.directory)
+        self._segments = segments
+
+    def _scan_segment(self, path: Path) -> tuple[Optional[_Segment], bool]:
+        """Validate one segment; returns ``(segment, clean)``.
+
+        A torn or checksum-failing frame truncates the file to the last
+        good offset; ``clean`` is ``False`` when truncation happened.
+        ``(None, False)`` means even the header was unusable.
+        """
+        try:
+            first_sequence = int(path.stem.split("-", 1)[1])
+        except (IndexError, ValueError):
+            return None, False
+        with open(path, "rb" if self._readonly else "r+b") as handle:
+            header = handle.read(_HEADER.size)
+            if len(header) < _HEADER.size:
+                return None, False
+            magic, version, encoding = _HEADER.unpack(header)
+            if magic != _MAGIC or version != _FORMAT_VERSION:
+                return None, False
+            if encoding != HASH_ENCODING_VERSION:
+                raise WALError(
+                    f"write-ahead log segment {path} was written under "
+                    f"hash-encoding version {encoding} (current: "
+                    f"{HASH_ENCODING_VERSION}); rebuild the index and its log "
+                    f"from the source tables"
+                )
+            segment = _Segment(path=path, first_sequence=first_sequence)
+            good_end = _HEADER.size
+            clean = True
+            while True:
+                frame = handle.read(_FRAME.size)
+                if not frame:
+                    break  # exactly at end: clean
+                if len(frame) < _FRAME.size:
+                    clean = False
+                    break
+                length, checksum = _FRAME.unpack(frame)
+                payload = handle.read(length)
+                if len(payload) < length or zlib.crc32(payload) != checksum:
+                    clean = False
+                    break
+                try:
+                    document = json.loads(payload.decode("utf-8"))
+                    sequence = int(document["sequence"])
+                except (ValueError, KeyError, TypeError, UnicodeDecodeError):
+                    clean = False
+                    break
+                segment.records += 1
+                segment.last_sequence = sequence
+                good_end = handle.tell()
+            if not clean and not self._readonly:
+                handle.truncate(good_end)
+                handle.flush()
+                os.fsync(handle.fileno())
+            segment.size = good_end
+        return segment, clean
+
+    # ------------------------------------------------------------------ #
+    # Appending
+    # ------------------------------------------------------------------ #
+    def _active_segment(self) -> _Segment:
+        """The segment new records go to, creating/rotating as needed."""
+        if self._segments and self._segments[-1].size < self._segment_bytes:
+            return self._segments[-1]
+        return self._start_segment(self._last_sequence + 1)
+
+    def _start_segment(self, first_sequence: int) -> _Segment:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+        path = self.directory / f"segment-{first_sequence:016d}.wal"
+        with open(path, "xb") as handle:
+            handle.write(_HEADER.pack(_MAGIC, _FORMAT_VERSION, HASH_ENCODING_VERSION))
+            handle.flush()
+            os.fsync(handle.fileno())
+        _fsync_directory(self.directory)
+        segment = _Segment(path=path, first_sequence=first_sequence, size=_HEADER.size)
+        self._segments.append(segment)
+        return segment
+
+    def append(
+        self, op: str, name: str, candidates: Optional[list] = None
+    ) -> int:
+        """Durably append one delta; returns its sequence number.
+
+        The record is on disk (fsync'd, under ``sync=True``) when this
+        returns — the write-ahead contract callers rely on before touching
+        any in-memory or published state.
+        """
+        if self._readonly:
+            raise WALError("this write-ahead log was opened readonly")
+        if op not in _KNOWN_OPS:
+            raise WALError(f"unknown delta operation {op!r}")
+        if op == OP_REGISTER and not candidates:
+            raise WALError("a register_table delta needs at least one candidate")
+        with self._lock:
+            sequence = self._last_sequence + 1
+            record = DeltaRecord(
+                sequence=sequence, op=op, name=name, candidates=list(candidates or [])
+            )
+            payload = json.dumps(record.to_document()).encode("utf-8")
+            frame = _FRAME.pack(len(payload), zlib.crc32(payload)) + payload
+            segment = self._active_segment()
+            if self._handle is None or self._handle.name != str(segment.path):
+                if self._handle is not None:
+                    self._handle.close()
+                self._handle = open(segment.path, "ab")
+            self._handle.write(frame)
+            self._handle.flush()
+            if self._sync:
+                os.fsync(self._handle.fileno())
+            segment.size += len(frame)
+            segment.records += 1
+            segment.last_sequence = sequence
+            if not segment.records - 1:
+                segment.first_sequence = min(segment.first_sequence, sequence)
+            self._last_sequence = sequence
+            return sequence
+
+    # ------------------------------------------------------------------ #
+    # Replay
+    # ------------------------------------------------------------------ #
+    def replay(self, after: int = 0) -> Iterator[DeltaRecord]:
+        """Yield every intact delta with ``sequence > after``, in order."""
+        with self._lock:
+            paths = [segment.path for segment in self._segments]
+        for path in paths:
+            yield from self._replay_segment(path, after)
+
+    def _replay_segment(self, path: Path, after: int) -> Iterator[DeltaRecord]:
+        try:
+            handle = open(path, "rb")
+        except FileNotFoundError:
+            return  # pruned concurrently
+        with handle:
+            header = handle.read(_HEADER.size)
+            if len(header) < _HEADER.size:
+                return
+            while True:
+                frame = handle.read(_FRAME.size)
+                if len(frame) < _FRAME.size:
+                    return
+                length, checksum = _FRAME.unpack(frame)
+                payload = handle.read(length)
+                if len(payload) < length or zlib.crc32(payload) != checksum:
+                    return  # torn/corrupt tail: recovery truncates on next open
+                record = DeltaRecord.from_document(json.loads(payload.decode("utf-8")))
+                if record.sequence > after:
+                    yield record
+
+    def pending(self, applied: int) -> int:
+        """Number of intact records with ``sequence > applied``."""
+        return sum(1 for _ in self.replay(after=applied))
+
+    # ------------------------------------------------------------------ #
+    # Truncation
+    # ------------------------------------------------------------------ #
+    def prune(self, applied: int) -> int:
+        """Drop fully-applied segments; returns how many files were deleted.
+
+        Called by the compactor after a generation carrying every record up
+        to ``applied`` was atomically published.  The active segment is
+        sealed when fully applied, so the next append starts a fresh
+        segment and the log never re-grows over folded history.
+        """
+        if self._readonly:
+            raise WALError("this write-ahead log was opened readonly")
+        deleted = 0
+        with self._lock:
+            survivors: list[_Segment] = []
+            for segment in self._segments:
+                if segment.records and segment.last_sequence <= applied:
+                    if self._handle is not None and self._handle.name == str(segment.path):
+                        self._handle.close()
+                        self._handle = None
+                    segment.path.unlink(missing_ok=True)
+                    deleted += 1
+                elif not segment.records and segment.first_sequence <= applied:
+                    if self._handle is not None and self._handle.name == str(segment.path):
+                        self._handle.close()
+                        self._handle = None
+                    segment.path.unlink(missing_ok=True)
+                    deleted += 1
+                else:
+                    survivors.append(segment)
+            self._segments = survivors
+            self._last_sequence = max(self._last_sequence, applied)
+            if not survivors:
+                # Seal the log: a fresh empty segment whose name records the
+                # sequence floor, so a later reopen never reuses a pruned
+                # (already-compacted) sequence number.
+                self._start_segment(self._last_sequence + 1)
+            if deleted:
+                _fsync_directory(self.directory)
+        return deleted
+
+    # ------------------------------------------------------------------ #
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------ #
+    def stats(self, applied: int = 0) -> dict:
+        """Segment count/bytes and record counters for ``index info``/metrics."""
+        with self._lock:
+            segments = list(self._segments)
+            last_sequence = self._last_sequence
+        return {
+            "segments": len(segments),
+            "bytes": sum(segment.size for segment in segments),
+            "records": sum(segment.records for segment in segments),
+            "last_sequence": last_sequence,
+            "pending_deltas": sum(
+                segment.records for segment in segments
+                if segment.last_sequence > applied
+            ) if applied else sum(segment.records for segment in segments),
+        }
+
+    @property
+    def last_sequence(self) -> int:
+        """Sequence of the most recently appended delta (0 when empty)."""
+        with self._lock:
+            return self._last_sequence
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

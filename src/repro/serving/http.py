@@ -165,12 +165,18 @@ class _DiscoveryRequestHandler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------ #
     def _handle_healthz(self) -> tuple[int, dict[str, Any]]:
         service = self.server.service
-        return 200, {
+        document = {
             "status": "ok",
             "index_loaded": service.index_loaded,
             "workers": service.config.workers,
             "execution": service.config.execution,
         }
+        # Maintained directories carry a publication pointer; reporting it
+        # here stays cheap (one tiny file read, never an index load).
+        generation = service.published_generation()
+        if generation is not None:
+            document["generation"] = generation
+        return 200, document
 
     def _handle_metrics(self) -> tuple[int, dict[str, Any]]:
         return 200, {

@@ -36,15 +36,20 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Any, Optional, Union
 
 from repro.discovery.index import SketchIndex
-from repro.discovery.persistence import load_index
+from repro.discovery.persistence import (
+    load_index,
+    publication_token,
+    read_publication,
+)
 from repro.discovery.query import AugmentationQuery, AugmentationResult
-from repro.exceptions import ServingError
+from repro.exceptions import DiscoveryError, ServingError
 from repro.serving.cache import ResultCache
 from repro.serving.fingerprint import query_fingerprint
 from repro.serving.metrics import MetricsRegistry
 from repro.serving.planner import QueryPlanner
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.maintenance import IndexMaintainer
     from repro.serving.workers import WorkerPool
 
 __all__ = ["DiscoveryService", "ServiceConfig", "ServedResult"]
@@ -188,6 +193,9 @@ class DiscoveryService:
         self._planner: Optional[QueryPlanner] = None
         self._pool: Optional["WorkerPool"] = None
         self._pool_lock = threading.Lock()
+        self._maintainer: Optional["IndexMaintainer"] = None
+        self._maintenance_lock = threading.RLock()
+        self._wal = None  # lazily-opened writer log (see _writer_wal)
         self._closed = False
 
     # ------------------------------------------------------------------ #
@@ -199,17 +207,50 @@ class DiscoveryService:
         return self._index is not None
 
     def ensure_ready(self) -> SketchIndex:
-        """Load the index if needed and return it (idempotent, thread-safe)."""
+        """Load the index if needed and return it (idempotent, thread-safe).
+
+        Thread-mode services over a WAL-backed directory also replay any
+        deltas logged after the published generation into the loaded index,
+        so durably registered tables survive a crash-and-restart without
+        waiting for a compaction to fold them in.
+        """
         index = self._index
         if index is not None:
             return index
         with self._load_lock:
             if self._index is None:
                 started = time.perf_counter()
-                self._index = load_index(self._index_dir, mmap=self.config.mmap)
+                index = load_index(self._index_dir, mmap=self.config.mmap)
+                if self.config.execution == "thread" and self._wal_backed:
+                    self._replay_pending(index)
+                self._index = index
                 self.metrics.observe("index_load", time.perf_counter() - started)
                 self.metrics.increment("index_loads")
             return self._index
+
+    @property
+    def _wal_backed(self) -> bool:
+        """Whether the served directory carries a write-ahead delta log."""
+        if self._index_dir is None:
+            return False
+        from repro.maintenance import WriteAheadLog
+
+        return WriteAheadLog.present(self._index_dir)
+
+    def _replay_pending(self, index: SketchIndex) -> int:
+        """Fold not-yet-compacted WAL deltas into a freshly loaded index."""
+        from repro.maintenance import WriteAheadLog, apply_delta
+
+        publication = read_publication(self._index_dir)
+        applied = publication["applied_sequence"] if publication else 0
+        replayed = 0
+        with WriteAheadLog.attach(self._index_dir, readonly=True) as wal:
+            for record in wal.replay(after=applied):
+                apply_delta(index, record)
+                replayed += 1
+        if replayed:
+            self.metrics.increment("deltas_replayed", replayed)
+        return replayed
 
     @property
     def _index_token(self) -> str:
@@ -217,10 +258,34 @@ class DiscoveryService:
 
         The index's mutation counter is part of the token, so growing or
         overwriting candidates in a live index invalidates every previously
-        cached fingerprint instead of serving stale results.
+        cached fingerprint instead of serving stale results.  Under process
+        execution over a maintained directory the *published generation*
+        token is folded in instead of the parent's in-memory counter: the
+        workers answer from whatever generation is published, so cached
+        entries must be keyed by it — the parent's lazily-loaded copy can
+        be generations behind the pool.
         """
         index = self.ensure_ready()
+        if self.config.execution == "process" and self._index_dir is not None:
+            token = publication_token(self._index_dir)
+            if token is not None:
+                return f"{self._index_dir}#pub={token.strip()}"
         return f"{self._index_dir or ''}#{index.generation}#{len(index)}"
+
+    def published_generation(self) -> Optional[int]:
+        """The served directory's published generation number, or ``None``.
+
+        One small-file read — never loads the index — so ``/healthz`` can
+        report it for free.  ``None`` means the service holds a live index
+        or a plain (unmaintained) directory.
+        """
+        if self._index_dir is None:
+            return None
+        try:
+            publication = read_publication(self._index_dir)
+        except DiscoveryError:
+            return None  # damaged pointer: liveness must not 500 over it
+        return publication["generation"] if publication else None
 
     def planner(self) -> QueryPlanner:
         """The planner bound to the index's engine (created on first use)."""
@@ -258,6 +323,41 @@ class DiscoveryService:
                 ).start()
             return self._pool
 
+    def start_maintenance(self) -> Optional["IndexMaintainer"]:
+        """Start background maintenance over a WAL-backed index directory.
+
+        Idempotent; ``None`` when the service holds a live in-memory index
+        or the directory carries no write-ahead log (``repro index log
+        --init`` turns a directory into a maintained one).  Starting runs a
+        synchronous recovery compaction first — any deltas a crashed
+        predecessor durably logged are folded into a fresh published
+        generation before this process serves a single query — then keeps
+        compacting in the background; live registrations call
+        ``maintainer.notify()`` so appended deltas are folded promptly.
+        """
+        if not self._wal_backed:
+            return None
+        from repro.maintenance import IndexMaintainer
+
+        with self._maintenance_lock:
+            if self._maintainer is None:
+                if self._closed:
+                    raise ServingError("the service is closed")
+                self._maintainer = IndexMaintainer(
+                    self._index_dir, wal=self._writer_wal()
+                )
+                self._maintainer.start()
+            return self._maintainer
+
+    def _writer_wal(self):
+        """The single writer :class:`WriteAheadLog` of this process (lazy)."""
+        from repro.maintenance import WriteAheadLog
+
+        with self._maintenance_lock:
+            if self._wal is None:
+                self._wal = WriteAheadLog.attach(self._index_dir)
+            return self._wal
+
     def register_table(
         self,
         source: Any,
@@ -284,15 +384,30 @@ class DiscoveryService:
         a pre-registration cache entry, and the answers are identical to a
         cold index built with the table included.  Returns the new
         candidate identifiers.
+
+        Over a WAL-backed index directory the registration is *durable*:
+        the built candidates are appended to the write-ahead log before
+        anything else, so the table survives a crash at any later point.
+        This is also what makes live registration legal under process
+        execution — the workers pick the table up when the background
+        compaction publishes the next generation (eventually consistent),
+        whereas the thread path additionally applies it to the in-memory
+        index immediately (read-your-write).  Process execution *without*
+        a WAL still refuses: there would be no channel through which the
+        workers' memory-mapped views could ever learn about the table.
         """
         if self._closed:
             raise ServingError("the service is closed")
-        if self.config.execution == "process":
+        wal_backed = self._wal_backed
+        if self.config.execution == "process" and not wal_backed:
             raise ServingError(
-                "register_table is not supported under process execution: "
-                "each worker holds its own memory-mapped view of the index "
-                "directory; rebuild the index (repro index add/ingest) and "
-                "restart the service instead"
+                "register_table is not supported under process execution "
+                "without a write-ahead log: each worker holds its own "
+                "memory-mapped view of the index directory; initialize "
+                "maintenance (`repro index log --init`) so registrations "
+                "are durably logged and compacted into new generations, or "
+                "rebuild the index (repro index add/ingest) and restart "
+                "the service instead"
             )
         index = self.ensure_ready()
         with self._register_lock:
@@ -304,8 +419,22 @@ class DiscoveryService:
                 agg=agg,
                 metadata=metadata,
             )
-            for candidate in candidates:
-                index.add_prebuilt(candidate)
+            if wal_backed:
+                from repro.maintenance import candidate_to_document
+
+                registered_name = candidates[0].profile.table_name if candidates else name
+                self._writer_wal().append(
+                    "register_table",
+                    registered_name or "",
+                    [candidate_to_document(candidate) for candidate in candidates],
+                )
+                self.metrics.increment("deltas_logged")
+            if self.config.execution != "process":
+                for candidate in candidates:
+                    index.add_prebuilt(candidate)
+        maintainer = self._maintainer
+        if wal_backed and maintainer is not None:
+            maintainer.notify()
         self.metrics.increment("tables_registered")
         self.metrics.increment("candidates_registered", len(candidates))
         return [candidate.candidate_id for candidate in candidates]
@@ -485,6 +614,18 @@ class DiscoveryService:
             pool = self._pool
         if pool is not None:
             document["worker_pool"] = pool.stats()
+        with self._maintenance_lock:
+            maintainer = self._maintainer
+        if maintainer is not None:
+            document["maintenance"] = maintainer.stats()
+        elif self._wal_backed:
+            publication = read_publication(self._index_dir)
+            document["maintenance"] = {
+                "generation": publication["generation"] if publication else 0,
+                "applied_sequence": (
+                    publication["applied_sequence"] if publication else 0
+                ),
+            }
         return document
 
     def close(self) -> None:
@@ -495,6 +636,13 @@ class DiscoveryService:
             pool, self._pool = self._pool, None
         if pool is not None:
             pool.close()
+        with self._maintenance_lock:
+            maintainer, self._maintainer = self._maintainer, None
+            wal, self._wal = self._wal, None
+        if maintainer is not None:
+            maintainer.close()
+        if wal is not None:
+            wal.close()
 
     def __enter__(self) -> "DiscoveryService":
         return self

@@ -240,21 +240,26 @@ def _worker_main(
     payload)``; a ``None`` request is the shutdown sentinel.
     """
     try:
-        from repro.discovery.persistence import load_index
+        from repro.discovery.persistence import load_index, publication_token
         from repro.serving.planner import QueryPlanner
 
         index = load_index(index_dir, mmap=options.get("mmap", True))
         planner = QueryPlanner(index.engine)
+        served_token = publication_token(index_dir)
     except BaseException as exc:  # noqa: BLE001 - shipped to the parent
         response_queue.put(("fatal", worker_id, None, _picklable_error(exc)))
         return
-    caches = _WorkerCacheStack(
-        ResultCache(
-            max_entries=options.get("l1_entries", 256),
-            ttl_seconds=options.get("ttl_seconds"),
-        ),
-        SharedResultCache.from_handle(cache_handle) if cache_handle else None,
-    )
+
+    def fresh_caches() -> _WorkerCacheStack:
+        return _WorkerCacheStack(
+            ResultCache(
+                max_entries=options.get("l1_entries", 256),
+                ttl_seconds=options.get("ttl_seconds"),
+            ),
+            SharedResultCache.from_handle(cache_handle) if cache_handle else None,
+        )
+
+    caches = fresh_caches()
     use_postings = options.get("use_postings", True)
     estimate_workers = options.get("estimate_workers")
     response_queue.put(("ready", worker_id, None, os.getpid()))
@@ -267,6 +272,22 @@ def _worker_main(
             # Fault injection for tests/benchmarks: die like a segfault,
             # with a request on the wire, skipping all cleanup.
             os._exit(3)
+        # Maintained directories (repro.maintenance) publish new index
+        # generations by atomically swapping a small pointer file; checking
+        # it per request is one tiny read, and a change re-mmaps the new
+        # generation in place — the request below already sees it.  The L1
+        # cache is replaced wholesale: its entries were keyed against the
+        # superseded generation's fingerprints.
+        try:
+            current_token = publication_token(index_dir)
+            if current_token != served_token and current_token is not None:
+                index = load_index(index_dir, mmap=options.get("mmap", True))
+                planner = QueryPlanner(index.engine)
+                caches = fresh_caches()
+                served_token = current_token
+                response_queue.put(("reloaded", worker_id, None, current_token))
+        except BaseException:  # noqa: BLE001 - a torn swap: retry next request
+            pass
         try:
             cached, source = caches.get(fingerprint)
             if cached is not None:
@@ -311,7 +332,7 @@ class _WorkerHandle:
 
     __slots__ = (
         "worker_id", "process", "request_queue", "outstanding",
-        "ready", "dispatched", "completed", "errors",
+        "ready", "dispatched", "completed", "errors", "reloads",
     )
 
     def __init__(self, worker_id: int, process, request_queue):
@@ -323,6 +344,7 @@ class _WorkerHandle:
         self.dispatched = 0
         self.completed = 0
         self.errors = 0
+        self.reloads = 0
 
 
 class WorkerPool:
@@ -385,6 +407,7 @@ class WorkerPool:
         self._closed = False
         self._restarts = 0
         self._redispatched = 0
+        self._reloads = 0
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -581,6 +604,14 @@ class WorkerPool:
                     if handle is not None:
                         handle.ready = True
                 continue
+            if kind == "reloaded":
+                # A worker re-mmapped a newly published index generation.
+                with self._lock:
+                    self._reloads += 1
+                    handle = self._handles.get(worker_id)
+                    if handle is not None:
+                        handle.reloads += 1
+                continue
             if kind == "fatal":
                 # The worker could not even load the index; it already
                 # exited and the monitor will replace it.  Nothing was
@@ -641,17 +672,20 @@ class WorkerPool:
                     "completed": handle.completed,
                     "errors": handle.errors,
                     "outstanding": len(handle.outstanding),
+                    "reloads": handle.reloads,
                 }
                 for worker_id, handle in sorted(self._handles.items())
             }
             restarts = self._restarts
             redispatched = self._redispatched
+            reloads = self._reloads
         alive = sum(1 for entry in per_worker.values() if entry["alive"])
         return {
             "workers": self._num_workers,
             "alive": alive,
             "worker_restarts": restarts,
             "redispatched": redispatched,
+            "worker_reloads": reloads,
             "shared_cache": (
                 self.shared_cache.stats() if self.shared_cache is not None else None
             ),

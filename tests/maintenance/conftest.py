@@ -1,0 +1,80 @@
+"""Shared fixtures for the maintenance tests: tiny lakes and maintained dirs.
+
+Every helper is deterministic (seeded) so two independently constructed
+copies of a table — or of a whole index — are byte-identical, which is what
+the crash-recovery tests compare against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.discovery import SketchIndex, save_index
+from repro.discovery.query import AugmentationQuery
+from repro.engine import EngineConfig, SketchEngine
+from repro.maintenance import WriteAheadLog
+from repro.relational.table import Table
+
+NUM_KEYS = 120
+CAPACITY = 48
+ENGINE_SEED = 11
+
+
+def make_keys() -> list[str]:
+    return [f"k{i:04d}" for i in range(NUM_KEYS)]
+
+
+def make_table(name: str, seed: int) -> Table:
+    """A deterministic candidate table sharing the lake's key universe."""
+    rng = np.random.default_rng(seed)
+    return Table.from_dict(
+        {
+            "key": make_keys(),
+            "value": rng.normal(size=NUM_KEYS).tolist(),
+            "extra": rng.normal(size=NUM_KEYS).tolist(),
+        },
+        name=name,
+    )
+
+
+def make_base(seed: int = 7) -> Table:
+    rng = np.random.default_rng(seed)
+    return Table.from_dict(
+        {"key": make_keys(), "target": rng.normal(size=NUM_KEYS).tolist()},
+        name="base",
+    )
+
+
+def make_query(base: Table, **overrides) -> AugmentationQuery:
+    defaults = dict(
+        table=base,
+        key_column="key",
+        target_column="target",
+        top_k=50,
+        min_containment=0.0,
+        min_join_size=8,
+    )
+    defaults.update(overrides)
+    return AugmentationQuery(**defaults)
+
+
+def fresh_index() -> SketchIndex:
+    return SketchIndex(SketchEngine(EngineConfig(capacity=CAPACITY, seed=ENGINE_SEED)))
+
+
+def built_candidates(table: Table) -> list:
+    """The table's fully-built candidates, as a clean engine would build them."""
+    return fresh_index().engine.ingest_table(table, ["key"])
+
+
+@pytest.fixture()
+def maintained_dir(tmp_path):
+    """A flat two-table index directory with an initialized (empty) WAL."""
+    index = fresh_index()
+    for position in range(2):
+        index.add_table(make_table(f"lake{position}", seed=20 + position), ["key"])
+    directory = tmp_path / "lake.index"
+    save_index(index, directory)
+    WriteAheadLog.attach(directory, create=True).close()
+    return directory

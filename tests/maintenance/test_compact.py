@@ -1,0 +1,246 @@
+"""Compaction: atomic generation publishing, crash safety, the maintainer."""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+import repro.maintenance.compact as compact_module
+from repro.discovery import load_index
+from repro.discovery.persistence import (
+    read_publication,
+    resolve_index_root,
+    save_index,
+)
+from repro.exceptions import MaintenanceError
+from repro.maintenance import (
+    Compactor,
+    IndexMaintainer,
+    WriteAheadLog,
+    candidate_to_document,
+    maintenance_summary,
+)
+from repro.store import load_npz
+from tests.maintenance.conftest import built_candidates, fresh_index, make_table
+
+
+def table_names(directory) -> set[str]:
+    index = load_index(directory)
+    return {candidate.profile.table_name for candidate in index.candidates}
+
+
+def register_delta(wal: WriteAheadLog, table) -> int:
+    documents = [candidate_to_document(c) for c in built_candidates(table)]
+    return wal.append("register_table", table.name, documents)
+
+
+class TestCompactor:
+    def test_bootstrap_publishes_the_flat_layout(self, maintained_dir):
+        detail = Compactor(maintained_dir).compact()
+        assert detail["skipped"] is False
+        assert detail["generation"] == 1
+        assert detail["applied_sequence"] == 0
+        assert detail["deltas_folded"] == 0
+        publication = read_publication(maintained_dir)
+        assert publication["generation"] == 1
+        assert publication["name"] == "00000001"
+        assert resolve_index_root(maintained_dir).name == "00000001"
+        assert table_names(maintained_dir) == {"lake0", "lake1"}
+
+    def test_fold_register_and_remove(self, maintained_dir):
+        with WriteAheadLog.attach(maintained_dir) as wal:
+            compactor = Compactor(maintained_dir, wal=wal)
+            compactor.compact()  # bootstrap: generation 1
+            register_delta(wal, make_table("lake9", seed=91))
+            wal.append("remove_table", "lake0")
+
+            detail = compactor.compact()
+            assert detail["generation"] == 2
+            assert detail["applied_sequence"] == 2
+            assert detail["deltas_folded"] == 2
+            assert table_names(maintained_dir) == {"lake1", "lake9"}
+            assert wal.pending(2) == 0  # the folded segments were pruned
+
+            # Nothing pending: the next pass is a no-op, not a new generation.
+            assert compactor.compact()["skipped"] is True
+            assert read_publication(maintained_dir)["generation"] == 2
+
+    def test_replayed_log_matches_clean_build_byte_for_byte(self, tmp_path):
+        """Crash recovery's core claim: base generation + logged deltas
+        compacts to the exact index a never-crashed build would have written
+        (the ``.npz`` container embeds zip timestamps, so the comparison is
+        the parsed index document plus every stored array's bytes)."""
+        tables = [make_table(f"lake{i}", seed=30 + i) for i in range(3)]
+
+        clean = fresh_index()
+        for table in tables:
+            clean.add_table(table, ["key"])
+        clean_dir = tmp_path / "clean.index"
+        save_index(clean, clean_dir)
+
+        maintained = tmp_path / "maintained.index"
+        seeded = fresh_index()
+        seeded.add_table(tables[0], ["key"])
+        save_index(seeded, maintained)
+        with WriteAheadLog.attach(maintained, create=True) as wal:
+            for table in tables[1:]:
+                register_delta(wal, table)
+            Compactor(maintained, wal=wal).compact()
+
+        generation_dir = resolve_index_root(maintained)
+        clean_document = json.loads((clean_dir / "index.json").read_text())
+        folded_document = json.loads((generation_dir / "index.json").read_text())
+        assert folded_document == clean_document
+
+        clean_store = load_npz(clean_dir / "sketches.npz")
+        folded_store = load_npz(generation_dir / "sketches.npz")
+        assert clean_store._manifest == folded_store._manifest
+        assert set(clean_store._arrays) == set(folded_store._arrays)
+        for name in clean_store._arrays:
+            left, right = clean_store.array(name), folded_store.array(name)
+            assert left.dtype == right.dtype, name
+            assert left.tobytes() == right.tobytes(), name
+
+    def test_failed_compaction_leaves_the_old_generation_serving(
+        self, maintained_dir, monkeypatch
+    ):
+        with WriteAheadLog.attach(maintained_dir) as wal:
+            compactor = Compactor(maintained_dir, wal=wal)
+            compactor.compact()
+            wal.append("remove_table", "lake0")
+
+            def explode(*args, **kwargs):
+                raise OSError("disk full")
+
+            monkeypatch.setattr(compact_module, "save_index", explode)
+            with pytest.raises(OSError, match="disk full"):
+                compactor.compact()
+
+            # The pointer never moved and the old generation still loads.
+            assert read_publication(maintained_dir)["generation"] == 1
+            assert table_names(maintained_dir) == {"lake0", "lake1"}
+            # No half-written stage left behind to confuse anyone.
+            assert not list((maintained_dir / "generations").glob(".incoming-*"))
+            # The delta is still pending, so the retry folds it.
+            assert wal.pending(0) == 1
+            monkeypatch.undo()
+            detail = compactor.compact()
+            assert detail["generation"] == 2
+            assert table_names(maintained_dir) == {"lake1"}
+
+    def test_load_index_ignores_an_in_progress_stage(self, maintained_dir):
+        """A snapshot (backup, crashed compactor) can contain a half-written
+        ``.incoming`` tree; loading must resolve the published generation."""
+        Compactor(maintained_dir).compact()
+        stage = maintained_dir / "generations" / ".incoming-00000002"
+        stage.mkdir()
+        (stage / "index.json").write_text("{half written", encoding="utf-8")
+        assert resolve_index_root(maintained_dir).name == "00000001"
+        assert table_names(maintained_dir) == {"lake0", "lake1"}
+        # The next compaction sweeps the stale stage and publishes over it.
+        with WriteAheadLog.attach(maintained_dir) as wal:
+            wal.append("remove_table", "lake0")
+            Compactor(maintained_dir, wal=wal).compact()
+        assert not stage.exists()
+        assert table_names(maintained_dir) == {"lake1"}
+
+    def test_only_recent_generations_are_retained(self, maintained_dir):
+        with WriteAheadLog.attach(maintained_dir) as wal:
+            compactor = Compactor(maintained_dir, wal=wal)
+            for _ in range(3):
+                compactor.compact(force=True)
+        names = sorted(
+            path.name for path in (maintained_dir / "generations").iterdir()
+        )
+        assert names == ["00000002", "00000003"]
+
+
+class TestMaintainer:
+    def test_start_recovers_pending_deltas_synchronously(self, maintained_dir):
+        with WriteAheadLog.attach(maintained_dir) as wal:
+            register_delta(wal, make_table("lake9", seed=91))
+        maintainer = IndexMaintainer(maintained_dir)
+        maintainer.start()
+        try:
+            # Recovery already ran by the time start() returned.
+            publication = read_publication(maintained_dir)
+            assert publication["generation"] == 1
+            assert publication["applied_sequence"] == 1
+            assert "lake9" in table_names(maintained_dir)
+            job = maintainer.tracker.last("recovery-compaction")
+            assert job.status == "completed"
+            assert job.detail["deltas_folded"] == 1
+        finally:
+            maintainer.close()
+            maintainer.wal.close()
+
+    def test_background_compaction_folds_live_appends(self, maintained_dir):
+        maintainer = IndexMaintainer(maintained_dir, interval=0.05)
+        maintainer.start()  # bootstraps generation 1
+        try:
+            maintainer.wal.append("remove_table", "lake0")
+            maintainer.notify()
+            deadline = time.time() + 60.0
+            while time.time() < deadline:
+                publication = read_publication(maintained_dir)
+                if publication and publication["applied_sequence"] >= 1:
+                    break
+                time.sleep(0.02)
+            assert publication["generation"] == 2
+            assert table_names(maintained_dir) == {"lake1"}
+            stats = maintainer.stats()
+            assert stats["pending_deltas"] == 0
+            assert stats["compactions"] >= 1
+            assert stats["failed_compactions"] == 0
+        finally:
+            maintainer.close()
+            maintainer.wal.close()
+
+    def test_failed_recovery_is_fatal_and_recorded(self, maintained_dir, monkeypatch):
+        with WriteAheadLog.attach(maintained_dir) as wal:
+            wal.append("remove_table", "lake0")
+
+        def explode(*args, **kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(compact_module, "save_index", explode)
+        maintainer = IndexMaintainer(maintained_dir)
+        try:
+            with pytest.raises(MaintenanceError, match="recovery compaction"):
+                maintainer.start()
+            job = maintainer.tracker.last("recovery-compaction")
+            assert job.status == "failed"
+            assert job.error == "OSError: disk full"
+            assert "disk full" in job.traceback
+        finally:
+            maintainer.close()
+            maintainer.wal.close()
+
+
+class TestSummary:
+    def test_plain_directory_reports_absence(self, tmp_path):
+        assert maintenance_summary(tmp_path) == {"present": False}
+
+    def test_maintained_directory_reports_state(self, maintained_dir):
+        before = maintenance_summary(maintained_dir)
+        assert before["present"] is True
+        assert before["generation"] == 0  # nothing published yet
+        assert before["last_job"] is None
+
+        with WriteAheadLog.attach(maintained_dir) as wal:
+            compactor = Compactor(maintained_dir, wal=wal)
+            compactor.compact()
+            wal.append("remove_table", "lake0")
+
+            summary = maintenance_summary(maintained_dir)
+        assert summary["generation"] == 1
+        assert summary["applied_sequence"] == 0
+        assert summary["pending_deltas"] == 1
+        assert summary["wal"]["segments"] >= 1
+        assert summary["wal"]["last_sequence"] == 1
+        assert summary["wal"]["bytes"] > 0
+        # The summary's readonly scan never moves the appender's state.
+        with WriteAheadLog.attach(maintained_dir) as wal:
+            assert wal.last_sequence == 1

@@ -1,0 +1,87 @@
+"""Persistent maintenance-job records: lifecycle, failure capture, listing."""
+
+from __future__ import annotations
+
+import json
+
+from repro.maintenance import JobTracker
+from repro.maintenance.jobs import (
+    STATUS_COMPLETED,
+    STATUS_FAILED,
+    STATUS_QUEUED,
+    STATUS_RUNNING,
+)
+
+
+class TestLifecycle:
+    def test_queued_running_completed_persists(self, tmp_path):
+        tracker = JobTracker.attach(tmp_path)
+        record = tracker.create("compaction", {"requested_by": "test"})
+        assert record.status == STATUS_QUEUED
+        assert record.job_id == 1
+        tracker.start(record)
+        assert record.status == STATUS_RUNNING
+        tracker.complete(record, {"generation": 2, "deltas_folded": 3})
+
+        # A fresh attachment (another process) reads the same durable state.
+        reloaded = JobTracker.attach(tmp_path).last()
+        assert reloaded.job_id == 1
+        assert reloaded.status == STATUS_COMPLETED
+        assert reloaded.detail == {
+            "requested_by": "test",
+            "generation": 2,
+            "deltas_folded": 3,
+        }
+        assert reloaded.finished_at >= reloaded.started_at >= reloaded.created_at
+
+    def test_failure_captures_error_and_traceback(self, tmp_path):
+        tracker = JobTracker.attach(tmp_path)
+        record = tracker.start(tracker.create("compaction"))
+        try:
+            raise OSError("disk full")
+        except OSError as exc:
+            tracker.fail(record, exc)
+        reloaded = JobTracker.attach(tmp_path).last()
+        assert reloaded.status == STATUS_FAILED
+        assert reloaded.error == "OSError: disk full"
+        assert "OSError: disk full" in reloaded.traceback
+        assert "Traceback" in reloaded.traceback
+
+    def test_job_ids_are_monotonic_across_reattach(self, tmp_path):
+        first = JobTracker.attach(tmp_path).create("compaction")
+        second = JobTracker.attach(tmp_path).create("recovery-compaction")
+        assert (first.job_id, second.job_id) == (1, 2)
+
+
+class TestListing:
+    def test_counts_and_last_by_kind(self, tmp_path):
+        tracker = JobTracker.attach(tmp_path)
+        recovery = tracker.start(tracker.create("recovery-compaction"))
+        tracker.complete(recovery)
+        failed = tracker.start(tracker.create("compaction"))
+        tracker.fail(failed, ValueError("boom"))
+        tracker.create("compaction")  # still queued
+
+        counts = tracker.counts()
+        assert counts == {
+            "queued": 1,
+            "running": 0,
+            "completed": 1,
+            "failed": 1,
+            "total": 3,
+        }
+        assert tracker.last().job_id == 3
+        assert tracker.last("recovery-compaction").job_id == 1
+        assert tracker.last("nothing-of-the-kind") is None
+
+    def test_unreadable_records_are_skipped(self, tmp_path):
+        tracker = JobTracker.attach(tmp_path)
+        tracker.create("compaction")
+        tracker.create("compaction")
+        path = tracker.directory / "job-00000001.json"
+        path.write_text("{torn", encoding="utf-8")
+        records = tracker.list()
+        assert [record.job_id for record in records] == [2]
+        # Valid records still round-trip through plain JSON.
+        document = json.loads((tracker.directory / "job-00000002.json").read_text())
+        assert document["kind"] == "compaction"

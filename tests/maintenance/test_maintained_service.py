@@ -1,0 +1,288 @@
+"""End-to-end durability of the maintained serving path.
+
+Covers the three service contracts the maintenance subsystem adds:
+
+* **thread + WAL** — registrations are durable *and* read-your-write: a
+  restarted service replays pending deltas before its first answer, even
+  when no compaction ever ran;
+* **process + WAL** — registrations are durable and eventually consistent:
+  the background compaction publishes a new generation and every worker
+  re-mmaps it in place, with answers byte-identical to a clean build;
+* **process without WAL** — still refused, with the error naming the WAL
+  requirement (``repro index log --init``).
+
+The crash test SIGKILLs a registering service process and asserts the
+restarted service recovers the registration and answers byte-identically
+to an index that never crashed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.discovery import save_index
+from repro.exceptions import ServingError
+from repro.serving import DiscoveryService, ServiceConfig, result_to_dict, serve
+from tests.maintenance.conftest import (
+    fresh_index,
+    make_base,
+    make_query,
+    make_table,
+)
+
+
+def dump(results) -> str:
+    return json.dumps([result_to_dict(r) for r in results], sort_keys=True)
+
+
+def result_tables(results) -> set[str]:
+    return {result.table_name for result in results}
+
+
+class TestThreadMode:
+    def test_registration_survives_restart_without_compaction(self, maintained_dir):
+        """The delta only ever lives in the WAL here — no compaction runs —
+        yet the restarted service replays it before its first answer."""
+        base = make_base()
+        with DiscoveryService(maintained_dir, ServiceConfig(workers=2)) as service:
+            ids = service.register_table(make_table("fresh", seed=77), ["key"])
+            assert len(ids) == 2
+            before = dump(service.query(make_query(base)).results)
+            assert "fresh" in result_tables(service.query(make_query(base)).results)
+            assert service.metrics.snapshot()["counters"]["deltas_logged"] == 1
+
+        with DiscoveryService(maintained_dir, ServiceConfig(workers=2)) as restarted:
+            names = {
+                candidate.profile.table_name
+                for candidate in restarted.ensure_ready().candidates
+            }
+            assert "fresh" in names
+            assert dump(restarted.query(make_query(base)).results) == before
+            replayed = restarted.metrics.snapshot()["counters"]["deltas_replayed"]
+            assert replayed == 1
+
+    def test_plain_directory_keeps_todays_volatile_behavior(self, tmp_path):
+        """Thread mode without a WAL still registers — in memory only."""
+        index = fresh_index()
+        index.add_table(make_table("lake0", seed=20), ["key"])
+        plain = tmp_path / "plain.index"
+        save_index(index, plain)
+        base = make_base()
+        with DiscoveryService(plain, ServiceConfig(workers=2)) as service:
+            service.register_table(make_table("fresh", seed=77), ["key"])
+            assert "fresh" in result_tables(service.query(make_query(base)).results)
+        with DiscoveryService(plain, ServiceConfig(workers=2)) as restarted:
+            served = result_tables(restarted.query(make_query(base)).results)
+            assert "fresh" not in served  # volatile: lost on restart
+
+
+class TestProcessMode:
+    def test_without_wal_registration_refused_naming_the_requirement(self, tmp_path):
+        index = fresh_index()
+        index.add_table(make_table("lake0", seed=20), ["key"])
+        plain = tmp_path / "plain.index"
+        save_index(index, plain)
+        with DiscoveryService(
+            plain, ServiceConfig(execution="process", workers=1)
+        ) as service:
+            with pytest.raises(ServingError, match="repro index log"):
+                service.register_table(make_table("fresh", seed=77), ["key"])
+
+    def test_live_registration_reloads_the_workers(self, maintained_dir):
+        base = make_base()
+        service = DiscoveryService(
+            maintained_dir,
+            ServiceConfig(
+                execution="process",
+                workers=1,
+                cache_entries=0,
+                shared_cache_entries=0,
+            ),
+        )
+        try:
+            maintainer = service.start_maintenance()
+            assert maintainer is not None  # bootstrap published generation 1
+            assert service.published_generation() == 1
+            service.start_workers()
+            first = service.query(make_query(base)).results
+            assert "fresh" not in result_tables(first)
+
+            service.register_table(make_table("fresh", seed=77), ["key"])
+            deadline = time.time() + 120.0
+            while time.time() < deadline:
+                if (service.published_generation() or 0) >= 2:
+                    break
+                time.sleep(0.05)
+            assert service.published_generation() == 2
+
+            # The very next computed query must see the new generation: the
+            # worker re-mmaps in place before answering.
+            served = service.query(make_query(base)).results
+            assert "fresh" in result_tables(served)
+
+            stats = service.stats()
+            assert stats["worker_pool"]["worker_reloads"] >= 1
+            assert stats["maintenance"]["pending_deltas"] == 0
+            assert stats["maintenance"]["compactions"] >= 1
+        finally:
+            service.close()
+
+    def test_process_answers_match_a_clean_build(self, maintained_dir):
+        """Folded generations answer byte-identically to an index built with
+        every table from the start."""
+        base = make_base()
+        clean = fresh_index()
+        for position in range(2):
+            clean.add_table(make_table(f"lake{position}", seed=20 + position), ["key"])
+        clean.add_table(make_table("fresh", seed=77), ["key"])
+        expected = dump(clean.query(make_query(base)))
+
+        service = DiscoveryService(
+            maintained_dir,
+            ServiceConfig(
+                execution="process",
+                workers=1,
+                cache_entries=0,
+                shared_cache_entries=0,
+            ),
+        )
+        try:
+            service.start_maintenance()
+            service.register_table(make_table("fresh", seed=77), ["key"])
+            deadline = time.time() + 120.0
+            while time.time() < deadline:
+                if (service.published_generation() or 0) >= 2:
+                    break
+                time.sleep(0.05)
+            assert dump(service.query(make_query(base)).results) == expected
+        finally:
+            service.close()
+
+
+#: Registers one table durably through a process-mode service, acknowledges,
+#: then hangs until the parent SIGKILLs it.  No workers and no maintainer are
+#: started: the delta must survive in the WAL alone.
+_REGISTRAR = """
+import json, sys, time
+from repro.relational.table import Table
+from repro.serving import DiscoveryService, ServiceConfig
+
+index_dir, table_path, ack_path = sys.argv[1], sys.argv[2], sys.argv[3]
+document = json.load(open(table_path))
+table = Table.from_dict(document["columns"], name=document["name"])
+service = DiscoveryService(index_dir, ServiceConfig(execution="process", workers=1))
+service.register_table(table, ["key"])
+with open(ack_path, "w") as handle:
+    handle.write("registered")
+time.sleep(600)
+"""
+
+
+class TestCrashRecovery:
+    def test_sigkilled_registration_survives_restart_byte_identically(
+        self, maintained_dir, tmp_path
+    ):
+        fresh = make_table("fresh", seed=77)
+        table_path = tmp_path / "fresh.json"
+        table_path.write_text(
+            json.dumps({"name": fresh.name, "columns": fresh.to_dict()}),
+            encoding="utf-8",
+        )
+        ack = tmp_path / "ack"
+        env = dict(os.environ)
+        src = str(Path(repro.__file__).resolve().parents[1])
+        env["PYTHONPATH"] = os.pathsep.join(
+            [src] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+        )
+        child = subprocess.Popen(
+            [
+                sys.executable,
+                "-c",
+                _REGISTRAR,
+                str(maintained_dir),
+                str(table_path),
+                str(ack),
+            ],
+            env=env,
+        )
+        try:
+            deadline = time.time() + 120.0
+            while time.time() < deadline and not ack.exists():
+                assert child.poll() is None, "the registrar child died early"
+                time.sleep(0.02)
+            assert ack.exists(), "the registrar child never acknowledged"
+        finally:
+            child.send_signal(signal.SIGKILL)
+            child.wait(timeout=60)
+
+        # A clean build that never crashed is the reference answer.
+        base = make_base()
+        clean = fresh_index()
+        for position in range(2):
+            clean.add_table(make_table(f"lake{position}", seed=20 + position), ["key"])
+        clean.add_table(make_table("fresh", seed=77), ["key"])
+        expected = dump(clean.query(make_query(base)))
+
+        restarted = DiscoveryService(
+            maintained_dir,
+            ServiceConfig(
+                execution="process",
+                workers=1,
+                cache_entries=0,
+                shared_cache_entries=0,
+            ),
+        )
+        try:
+            maintainer = restarted.start_maintenance()
+            # start() ran the recovery compaction synchronously: the killed
+            # process's durable registration is already folded and published.
+            assert restarted.published_generation() == 1
+            job = maintainer.tracker.last("recovery-compaction")
+            assert job.status == "completed"
+            assert job.detail["deltas_folded"] == 1
+            assert dump(restarted.query(make_query(base)).results) == expected
+        finally:
+            restarted.close()
+
+
+class TestHTTPSurface:
+    def test_healthz_and_metrics_report_maintenance(self, maintained_dir):
+        service = DiscoveryService(maintained_dir, ServiceConfig(workers=2))
+        maintainer = service.start_maintenance()
+        assert maintainer is not None
+        http_server = serve(service, port=0)
+        thread = threading.Thread(target=http_server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            with urllib.request.urlopen(
+                http_server.url + "/healthz", timeout=30
+            ) as response:
+                health = json.load(response)
+            assert health["status"] == "ok"
+            assert health["generation"] == 1
+            assert health["index_loaded"] is False  # still cheap, still lazy
+
+            with urllib.request.urlopen(
+                http_server.url + "/metrics", timeout=30
+            ) as response:
+                metrics = json.load(response)
+            maintenance = metrics["service"]["maintenance"]
+            assert maintenance["generation"] == 1
+            assert maintenance["pending_deltas"] == 0
+            assert maintenance["failed_compactions"] == 0
+        finally:
+            http_server.shutdown()
+            http_server.server_close()
+            service.close()
+            thread.join(timeout=10)

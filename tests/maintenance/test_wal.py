@@ -1,0 +1,245 @@
+"""Crash-recovery and durability tests of the write-ahead delta log.
+
+The contract under test: every acknowledged append survives any later
+crash; a torn or corrupt tail is truncated (never replayed) on the next
+writer open; readonly opens never modify the log; and sequence numbers
+never regress below already-pruned (compacted) history.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import time
+import warnings
+import zlib
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.exceptions import WALError
+from repro.maintenance import WriteAheadLog
+from repro.maintenance.wal import _FRAME, _HEADER
+
+
+def segment_paths(root) -> list[Path]:
+    return sorted((Path(root) / "wal").glob("segment-*.wal"))
+
+
+class TestRoundTrip:
+    def test_append_replay_round_trip(self, tmp_path):
+        with WriteAheadLog.attach(tmp_path, create=True) as wal:
+            first = wal.append("register_table", "lake0", [{"candidate_id": "lake0.v"}])
+            second = wal.append("remove_table", "lake0")
+            assert (first, second) == (1, 2)
+        with WriteAheadLog.attach(tmp_path) as wal:
+            records = list(wal.replay())
+            assert wal.last_sequence == 2
+        assert [record.sequence for record in records] == [1, 2]
+        assert records[0].op == "register_table"
+        assert records[0].name == "lake0"
+        assert records[0].candidates == [{"candidate_id": "lake0.v"}]
+        assert records[1].op == "remove_table"
+        assert records[1].candidates == []
+
+    def test_replay_after_skips_applied_records(self, tmp_path):
+        with WriteAheadLog.attach(tmp_path, create=True) as wal:
+            for position in range(5):
+                wal.append("remove_table", f"t{position}")
+            assert [r.sequence for r in wal.replay(after=3)] == [4, 5]
+            assert wal.pending(3) == 2
+            assert wal.pending(5) == 0
+
+    def test_bad_appends_refused(self, tmp_path):
+        with WriteAheadLog.attach(tmp_path, create=True) as wal:
+            with pytest.raises(WALError, match="unknown delta operation"):
+                wal.append("truncate_table", "t0")
+            with pytest.raises(WALError, match="at least one candidate"):
+                wal.append("register_table", "t0", [])
+
+    def test_attach_requires_existing_log(self, tmp_path):
+        with pytest.raises(WALError, match="repro index log"):
+            WriteAheadLog.attach(tmp_path / "plain")
+        assert WriteAheadLog.present(tmp_path / "plain") is False
+
+    def test_stats_reports_segments_and_pending(self, tmp_path):
+        with WriteAheadLog.attach(tmp_path, create=True) as wal:
+            for position in range(3):
+                wal.append("remove_table", f"t{position}")
+            stats = wal.stats(applied=1)
+            assert stats["segments"] == 1
+            assert stats["records"] == 3
+            assert stats["last_sequence"] == 3
+            assert stats["bytes"] > _HEADER.size
+
+
+class TestRecovery:
+    def test_torn_tail_truncated_on_reopen(self, tmp_path):
+        with WriteAheadLog.attach(tmp_path, create=True) as wal:
+            for position in range(3):
+                wal.append("register_table", f"t{position}", [{"i": position}])
+        [segment] = segment_paths(tmp_path)
+        intact = segment.stat().st_size
+        with open(segment, "ab") as handle:
+            handle.write(b"\x2a\x00\x00\x00\x99")  # half a frame: a torn append
+        with pytest.warns(RuntimeWarning, match="torn or corrupt tail"):
+            wal = WriteAheadLog.attach(tmp_path)
+        try:
+            assert [record.sequence for record in wal.replay()] == [1, 2, 3]
+            assert segment.stat().st_size == intact
+            assert wal.append("register_table", "t3", [{"i": 3}]) == 4
+        finally:
+            wal.close()
+
+    def test_corrupt_record_truncates_from_the_damage_on(self, tmp_path):
+        """A flipped bit before the tail drops that record and all later ones:
+        a delta gap must never be replayed over."""
+        with WriteAheadLog.attach(tmp_path, create=True) as wal:
+            for position in range(3):
+                wal.append("register_table", f"t{position}", [{"i": position}])
+        [segment] = segment_paths(tmp_path)
+        raw = bytearray(segment.read_bytes())
+        # Walk to the second record's payload and flip one byte in it.
+        offset = _HEADER.size
+        length, _ = _FRAME.unpack_from(raw, offset)
+        offset += _FRAME.size + length  # past record 1
+        length, checksum = _FRAME.unpack_from(raw, offset)
+        payload_at = offset + _FRAME.size
+        raw[payload_at] ^= 0xFF
+        assert zlib.crc32(bytes(raw[payload_at : payload_at + length])) != checksum
+        segment.write_bytes(bytes(raw))
+
+        with pytest.warns(RuntimeWarning, match="torn or corrupt tail"):
+            wal = WriteAheadLog.attach(tmp_path)
+        try:
+            assert [record.sequence for record in wal.replay()] == [1]
+            assert wal.last_sequence == 1
+            assert wal.append("remove_table", "t9") == 2
+        finally:
+            wal.close()
+
+    def test_prune_seals_a_sequence_floor(self, tmp_path):
+        """Deleting fully-applied segments must never let a reopened log
+        reuse already-compacted sequence numbers."""
+        with WriteAheadLog.attach(tmp_path, create=True) as wal:
+            for position in range(3):
+                wal.append("remove_table", f"t{position}")
+            assert wal.prune(3) == 1
+            assert wal.last_sequence == 3
+        with WriteAheadLog.attach(tmp_path) as wal:
+            assert wal.last_sequence == 3
+            assert list(wal.replay()) == []
+            assert wal.append("remove_table", "t9") == 4
+
+    def test_torn_only_record_keeps_the_pruned_floor(self, tmp_path):
+        """A segment truncated down to its header still anchors the floor:
+        the lost record's sequence may be reused, the pruned ones may not."""
+        with WriteAheadLog.attach(tmp_path, create=True) as wal:
+            wal.append("remove_table", "a")
+            wal.append("remove_table", "b")
+            wal.prune(2)
+            assert wal.append("remove_table", "c") == 3
+        [segment] = segment_paths(tmp_path)
+        os.truncate(segment, segment.stat().st_size - 2)  # tear record 3
+        with pytest.warns(RuntimeWarning, match="torn or corrupt tail"):
+            wal = WriteAheadLog.attach(tmp_path)
+        try:
+            assert list(wal.replay()) == []
+            assert wal.last_sequence == 2  # the pruned history's floor
+            assert wal.append("remove_table", "c") == 3
+        finally:
+            wal.close()
+
+
+class TestReadonly:
+    def test_readonly_never_mutates_a_damaged_log(self, tmp_path):
+        with WriteAheadLog.attach(tmp_path, create=True) as wal:
+            wal.append("register_table", "t0", [{"i": 0}])
+            wal.append("register_table", "t1", [{"i": 1}])
+        [segment] = segment_paths(tmp_path)
+        with open(segment, "ab") as handle:
+            handle.write(b"\xff" * 7)  # an in-flight (torn) append
+        before = segment.read_bytes()
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # a readonly open must not warn
+            wal = WriteAheadLog.attach(tmp_path, readonly=True)
+        try:
+            assert [record.sequence for record in wal.replay()] == [1, 2]
+            assert segment.read_bytes() == before  # nothing truncated
+            with pytest.raises(WALError, match="readonly"):
+                wal.append("remove_table", "t0")
+            with pytest.raises(WALError, match="readonly"):
+                wal.prune(2)
+        finally:
+            wal.close()
+
+        # The owning writer truncates the same damage on its next open.
+        with pytest.warns(RuntimeWarning, match="torn or corrupt tail"):
+            WriteAheadLog.attach(tmp_path).close()
+        assert segment.read_bytes() == before[:-7]
+
+    def test_readonly_create_is_contradictory(self, tmp_path):
+        with pytest.raises(WALError, match="readonly"):
+            WriteAheadLog.attach(tmp_path, create=True, readonly=True)
+
+
+#: Appends deltas forever, acknowledging each durable append through a file;
+#: the parent SIGKILLs it mid-run.  Everything acknowledged must replay.
+_APPENDER = """
+import sys
+from repro.maintenance import WriteAheadLog
+
+root, ack_path = sys.argv[1], sys.argv[2]
+wal = WriteAheadLog.attach(root, create=True)
+for sequence in range(1, 100_000):
+    wal.append("register_table", f"table{sequence}", [{"sequence": sequence}])
+    with open(ack_path, "w") as handle:
+        handle.write(str(sequence))
+"""
+
+
+class TestKilledAppender:
+    def test_sigkilled_appender_loses_nothing_acknowledged(self, tmp_path):
+        ack = tmp_path / "ack"
+        env = dict(os.environ)
+        src = str(Path(repro.__file__).resolve().parents[1])
+        env["PYTHONPATH"] = os.pathsep.join(
+            [src] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+        )
+        child = subprocess.Popen(
+            [sys.executable, "-c", _APPENDER, str(tmp_path), str(ack)], env=env
+        )
+        try:
+            deadline = time.time() + 60.0
+            acked = 0
+            while time.time() < deadline:
+                try:
+                    acked = int(ack.read_text())
+                except (OSError, ValueError):
+                    acked = 0
+                if acked >= 25:
+                    break
+                time.sleep(0.01)
+        finally:
+            child.kill()
+            child.wait(timeout=60)
+        assert acked >= 25, "the appender child never got going"
+
+        with warnings.catch_warnings():
+            # A torn tail is expected sometimes: the kill can land mid-write.
+            warnings.simplefilter("ignore", RuntimeWarning)
+            wal = WriteAheadLog.attach(tmp_path)
+        try:
+            records = list(wal.replay())
+        finally:
+            wal.close()
+        sequences = [record.sequence for record in records]
+        # A gap-free prefix covering at least every acknowledged append.
+        assert sequences == list(range(1, len(sequences) + 1))
+        assert len(sequences) >= acked
+        for record in records:
+            assert record.name == f"table{record.sequence}"
+            assert record.candidates == [{"sequence": record.sequence}]

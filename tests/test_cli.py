@@ -449,6 +449,103 @@ class TestIndexErrorHygiene:
         assert "error:" in capsys.readouterr().err
 
 
+class TestIndexMaintenanceCommands:
+    """`repro index log|compact|jobs` drive the durable-maintenance loop."""
+
+    def test_log_requires_init_first(self, built_index, capsys):
+        code = main(["index", "log", str(built_index)])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "repro index log" in err  # the fix is named in the message
+        assert len(err.strip().splitlines()) == 1
+
+    def test_log_init_then_stats(self, built_index, capsys):
+        assert main(["index", "log", str(built_index), "--init"]) == 0
+        assert "write-ahead log ready under" in capsys.readouterr().out
+        assert main(["index", "log", str(built_index)]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["last_sequence"] == 0
+        assert document["applied_sequence"] == 0
+        assert document["pending_deltas"] == 0
+
+    def test_compact_bootstraps_then_skips(self, built_index, capsys):
+        main(["index", "log", str(built_index), "--init"])
+        capsys.readouterr()
+        assert main(["index", "compact", str(built_index)]) == 0
+        assert (
+            "published generation 1 (0 deltas folded, 6 candidates, "
+            "applied sequence 0)" in capsys.readouterr().out
+        )
+        assert main(["index", "compact", str(built_index)]) == 0
+        assert (
+            "nothing to compact: generation 1 already covers sequence 0"
+            in capsys.readouterr().out
+        )
+
+    def test_records_listing_and_delta_compaction(self, built_index, capsys):
+        from repro.maintenance import WriteAheadLog
+
+        main(["index", "log", str(built_index), "--init"])
+        main(["index", "compact", str(built_index)])
+        with WriteAheadLog.attach(built_index) as wal:
+            wal.append("remove_table", "lake2", [])
+        capsys.readouterr()
+
+        assert main(["index", "log", str(built_index), "--records"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["pending_deltas"] == 1
+        assert document["records"] == [
+            {"sequence": 1, "op": "remove_table", "table": "lake2", "candidates": 0}
+        ]
+
+        assert main(["index", "compact", str(built_index)]) == 0
+        assert (
+            "published generation 2 (1 deltas folded, 4 candidates, "
+            "applied sequence 1)" in capsys.readouterr().out
+        )
+        assert main(["index", "info", str(built_index)]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["candidates"] == 4
+        assert "lake2" not in summary["tables"]
+
+    def test_jobs_listing_and_last(self, built_index, capsys):
+        main(["index", "log", str(built_index), "--init"])
+        main(["index", "compact", str(built_index)])
+        main(["index", "compact", str(built_index)])  # no-op, still a job
+        capsys.readouterr()
+
+        assert main(["index", "jobs", str(built_index)]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["counts"]["completed"] == 2
+        assert document["counts"]["total"] == 2
+        assert [job["kind"] for job in document["jobs"]] == ["compaction"] * 2
+
+        assert main(["index", "jobs", str(built_index), "--last"]) == 0
+        last = json.loads(capsys.readouterr().out)
+        assert last["job_id"] == 2
+        assert last["status"] == "completed"
+        assert last["detail"]["skipped"] is True
+
+    def test_info_reports_maintenance_block(self, built_index, capsys):
+        main(["index", "log", str(built_index), "--init"])
+        main(["index", "compact", str(built_index)])
+        capsys.readouterr()
+        assert main(["index", "info", str(built_index)]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        block = summary["maintenance"]
+        assert block["present"] is True
+        assert block["generation"] == 1
+        assert block["pending_deltas"] == 0
+        assert block["wal"]["segments"] >= 1
+        assert block["last_job"]["kind"] == "compaction"
+
+    def test_info_on_plain_directory_reports_absence(self, built_index, capsys):
+        assert main(["index", "info", str(built_index)]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["maintenance"] == {"present": False}
+
+
 class TestIndexQueryCommand:
     def test_prints_ranked_results_as_json(self, built_index, base_csv, capsys):
         code = main(

@@ -62,6 +62,12 @@ def write_report(directory: Path, name: str, *, speedup: float, throughput: floa
             "identical_results": 1.0,
             "process": {"qps": throughput},
         }
+    elif name == "maintenance.json":
+        document = {
+            "success_fraction": 1.0,
+            "generations_published": 4.0,
+            "reload_p50_ratio": 10.0 / max(speedup, 0.1),
+        }
     else:
         document = {
             "speedup": speedup,
@@ -240,6 +246,28 @@ class TestMpServingGate:
         )
         assert run_gate(results, baselines) == 1
         assert "identical_results" in capsys.readouterr().err
+
+
+class TestMaintenanceGate:
+    def test_failed_query_has_zero_tolerance(self, dirs, capsys):
+        results, baselines = dirs
+        document = {
+            "success_fraction": 0.99,  # one dropped query: hard failure
+            "generations_published": 4.0,
+            "reload_p50_ratio": 3.0,
+        }
+        (results / "maintenance.json").write_text(
+            json.dumps(document), encoding="utf-8"
+        )
+        assert run_gate(results, baselines) == 1
+        assert "success_fraction" in capsys.readouterr().err
+
+    def test_reload_latency_regression_fails(self, dirs):
+        results, baselines = dirs
+        # Baseline ratio 10/3; a 0.2x "speedup" puts the churn/quiet ratio
+        # at 50, far past the 75%-tolerance ceiling.
+        write_report(results, "maintenance.json", speedup=0.2, throughput=1000.0)
+        assert run_gate(results, baselines) == 1
 
 
 class TestIngestGate:
