@@ -1,0 +1,255 @@
+#!/usr/bin/env python
+"""CI accuracy-regression gate for the scenario suite.
+
+The accuracy sibling of :mod:`regression_gate`: compares a fresh
+``scenario_accuracy.json`` report (produced by ``repro eval scenarios
+--json ...``) against the committed baseline in
+``benchmarks/results/baselines/`` and exits non-zero on a statistically
+significant accuracy regression.  Stdlib-only, like the perf gate.
+
+Where the perf gate compares scalar throughputs with a bare tolerance,
+accuracy metrics carry sampling noise, so this gate layers a z-test on
+top of the shared :class:`regression_gate.MetricSpec` tolerance check: a
+per-cell metric fails only when it moved beyond the relative tolerance
+*and* the move exceeds ``Z_THRESHOLD`` combined standard errors (both
+runs' SEs are stored in the report).  Hard flags (``behavior_correct``,
+ranking quality) keep zero-noise semantics.
+
+The gate refuses to compare reports whose ``run.run_id`` differ — a
+changed suite configuration (families, methods, capacities, sizes or
+seed) needs a deliberate baseline refresh, not a silent pass::
+
+    python benchmarks/accuracy_gate.py                   # compare
+    python benchmarks/accuracy_gate.py --update-baseline # refresh
+
+Exit codes: 0 within tolerance, 1 regression or missing report/baseline
+metric, 2 bad invocation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import os
+import shutil
+import sys
+from pathlib import Path
+from typing import Any, Optional
+
+_HERE = Path(__file__).parent
+
+
+def _load_regression_gate():
+    """Import the sibling perf gate by path (benchmarks/ is not a package)."""
+    if "regression_gate" in sys.modules:
+        return sys.modules["regression_gate"]
+    spec = importlib.util.spec_from_file_location(
+        "regression_gate", _HERE / "regression_gate.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules["regression_gate"] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+_gate = _load_regression_gate()
+MetricSpec = _gate.MetricSpec
+extract_metric = _gate.extract_metric
+load_report = _gate.load_report
+
+REPORT_NAME = "scenario_accuracy.json"
+
+#: Relative tolerance for noisy per-cell accuracy metrics.
+ACCURACY_TOLERANCE = 0.25
+
+#: Combined-SE multiples a tolerance breach must additionally exceed.
+Z_THRESHOLD = 3.0
+
+#: Ranking quality may drop at most this much absolutely.
+RANKING_DROP = 0.15
+
+#: Per-cell metrics gated with the statistical (tolerance + z-test) check;
+#: values name the companion standard-error field.
+CELL_METRICS: dict[str, str] = {"rmse": "rmse_se", "bias": "bias_se"}
+
+
+def _significant(
+    current: float, baseline: float, current_se: float, baseline_se: float
+) -> bool:
+    """Whether a metric delta exceeds ``Z_THRESHOLD`` combined SEs."""
+    combined = (current_se**2 + baseline_se**2) ** 0.5
+    if combined <= 0.0:
+        return True  # no recorded noise: any tolerance breach is real
+    return abs(current - baseline) > Z_THRESHOLD * combined
+
+
+def _check_cell_metric(
+    cell_key: str,
+    metric: str,
+    se_field: str,
+    current: dict[str, Any],
+    baseline: dict[str, Any],
+) -> tuple[Optional[str], str]:
+    """Gate one noisy cell metric; returns (failure or None, summary line)."""
+    current_value = abs(float(current[metric]))
+    baseline_value = abs(float(baseline[metric]))
+    current_se = float(current.get(se_field) or 0.0)
+    baseline_se = float(baseline.get(se_field) or 0.0)
+    # Reuse the shared tolerance check: accuracy error is lower-is-better.
+    spec = MetricSpec(f"{cell_key}.{metric}", "lower", ACCURACY_TOLERANCE)
+    # Tiny baselines make relative tolerance meaningless; the z-test alone
+    # decides there (MetricSpec already skips baseline <= 0).
+    message = spec.check(current_value, max(baseline_value, 1e-9))
+    failed = message is not None and _significant(
+        current_value, baseline_value, current_se, baseline_se
+    )
+    status = "REGRESSION" if failed else ("noise" if message else "ok")
+    summary = (
+        f"{cell_key} :: {metric}: {current_value:.4g} "
+        f"(baseline {baseline_value:.4g} ± {baseline_se:.2g}) {status}"
+    )
+    return (f"{cell_key}: {message}" if failed else None), summary
+
+
+def compare_accuracy(
+    current: dict[str, Any], baseline: dict[str, Any]
+) -> tuple[list[str], list[str]]:
+    """Gate a fresh accuracy report against the baseline document."""
+    failures: list[str] = []
+    summary: list[str] = []
+
+    current_id = current.get("run", {}).get("run_id")
+    baseline_id = baseline.get("run", {}).get("run_id")
+    if current_id != baseline_id:
+        return [
+            f"run_id mismatch: current {current_id!r} vs baseline {baseline_id!r} "
+            "— the suite configuration changed; rerun with the baseline's "
+            "parameters or refresh the baseline deliberately "
+            "(--update-baseline)"
+        ], summary
+
+    baseline_cells = baseline.get("cells", {})
+    current_cells = current.get("cells", {})
+    for cell_key, baseline_cell in baseline_cells.items():
+        current_cell = current_cells.get(cell_key)
+        if current_cell is None:
+            failures.append(f"{cell_key}: cell missing from current report")
+            continue
+        for metric, se_field in CELL_METRICS.items():
+            failure, line = _check_cell_metric(
+                cell_key, metric, se_field, current_cell, baseline_cell
+            )
+            summary.append(line)
+            if failure:
+                failures.append(failure)
+        # Hard flag: refusal behavior is deterministic given the run_id, so
+        # any drop is a real behavior change, not noise.
+        spec = MetricSpec(f"{cell_key}.behavior_correct", "higher", 0.0)
+        message = spec.check(
+            float(current_cell["behavior_correct"]),
+            float(baseline_cell["behavior_correct"]),
+        )
+        summary.append(
+            f"{cell_key} :: behavior_correct: "
+            f"{current_cell['behavior_correct']:.4g} "
+            f"{'REGRESSION' if message else 'ok'}"
+        )
+        if message:
+            failures.append(f"{cell_key}: {message}")
+
+    for grid_key, baseline_rank in baseline.get("ranking", {}).items():
+        current_rank = current.get("ranking", {}).get(grid_key)
+        if current_rank is None:
+            failures.append(f"ranking {grid_key}: missing from current report")
+            continue
+        for metric in ("spearman", "top_k_overlap"):
+            baseline_value = baseline_rank.get(metric)
+            current_value = current_rank.get(metric)
+            if baseline_value is None:
+                continue
+            if current_value is None:
+                failures.append(f"ranking {grid_key}: {metric} became unavailable")
+                continue
+            floor = float(baseline_value) - RANKING_DROP
+            failed = float(current_value) < floor
+            summary.append(
+                f"ranking {grid_key} :: {metric}: {current_value:.4g} "
+                f"(baseline {baseline_value:.4g}, floor {floor:.4g}) "
+                f"{'REGRESSION' if failed else 'ok'}"
+            )
+            if failed:
+                failures.append(
+                    f"ranking {grid_key}: {metric} {current_value:.4g} fell "
+                    f"below {floor:.4g} (baseline {baseline_value:.4g})"
+                )
+    return failures, summary
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--results-dir",
+        default=_HERE / "results",
+        type=Path,
+        help="directory holding the fresh scenario_accuracy.json",
+    )
+    parser.add_argument(
+        "--baselines-dir",
+        default=None,
+        type=Path,
+        help="directory holding committed baselines (default: <results>/baselines)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="copy the current report over the baseline instead of comparing",
+    )
+    args = parser.parse_args(argv)
+    results_dir = args.results_dir
+    baselines_dir = (
+        args.baselines_dir if args.baselines_dir is not None else results_dir / "baselines"
+    )
+    result_path = results_dir / REPORT_NAME
+    baseline_path = baselines_dir / REPORT_NAME
+
+    if args.update_baseline:
+        if not result_path.exists():
+            print(f"no result to promote at {result_path}", file=sys.stderr)
+            return 1
+        baselines_dir.mkdir(parents=True, exist_ok=True)
+        shutil.copyfile(result_path, baseline_path)
+        print(f"baseline updated: {baseline_path}")
+        return 0
+
+    if not result_path.exists():
+        print(f"FAIL: no accuracy report at {result_path}", file=sys.stderr)
+        return 1
+    if not baseline_path.exists():
+        print(f"FAIL: no committed baseline at {baseline_path}", file=sys.stderr)
+        return 1
+    try:
+        current = load_report(result_path)
+        baseline = load_report(baseline_path)
+    except ValueError as exc:
+        print(f"FAIL: {exc}", file=sys.stderr)
+        return 1
+
+    failures, summary = compare_accuracy(current, baseline)
+    for line in summary:
+        print(line)
+    step_summary = os.environ.get("GITHUB_STEP_SUMMARY")
+    if step_summary:
+        with open(step_summary, "a", encoding="utf-8") as handle:
+            handle.write("## Scenario accuracy gate\n\n```\n")
+            handle.write("\n".join(summary + failures) + "\n```\n")
+    if failures:
+        print()
+        for line in failures:
+            print(f"FAIL: {line}", file=sys.stderr)
+        return 1
+    print("accuracy gate: all metrics within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -71,6 +71,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 from typing import Callable, Optional, Sequence
 
 from repro.engine.config import EngineConfig
@@ -190,6 +191,59 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("name", choices=sorted(_experiment_runners()))
     experiment.add_argument("--scale", choices=sorted(_EXPERIMENT_SCALES), default="small")
     experiment.add_argument("--seed", type=int, default=0)
+
+    evaluate = subparsers.add_parser(
+        "eval", help="accuracy and robustness evaluation suites"
+    )
+    eval_commands = evaluate.add_subparsers(dest="eval_command", required=True)
+    scenarios = eval_commands.add_parser(
+        "scenarios",
+        help="run the scenario accuracy suite (methods × capacities × "
+        "scenario families) and print a markdown report",
+    )
+    scenarios.add_argument(
+        "--methods", default=None,
+        help="comma-separated sketch methods (default: all five)",
+    )
+    scenarios.add_argument(
+        "--capacities", default="64,256",
+        help="comma-separated sketch capacities to sweep (default 64,256)",
+    )
+    scenarios.add_argument(
+        "--families", default=None,
+        help="comma-separated scenario families (default: all; see "
+        "docs/evaluation.md for the catalog)",
+    )
+    scenarios.add_argument(
+        "--replicates", type=int, default=3,
+        help="replicates per scenario variant (default 3)",
+    )
+    scenarios.add_argument(
+        "--sample-size", type=int, default=2000,
+        help="rows per synthetic dataset (default 2000)",
+    )
+    scenarios.add_argument("--seed", type=int, default=0)
+    scenarios.add_argument(
+        "--ci-replicates", type=int, default=12,
+        help="subsampling replicates per confidence interval; 0 disables "
+        "CI computation (default 12)",
+    )
+    scenarios.add_argument(
+        "--json", dest="json_out", default=None, metavar="PATH",
+        help="write the gateable JSON report here",
+    )
+    scenarios.add_argument(
+        "--markdown", dest="markdown_out", default=None, metavar="PATH",
+        help="write the markdown report here (also printed to stdout)",
+    )
+    scenarios.add_argument(
+        "--run-log", default=None, metavar="PATH",
+        help="append one JSONL run-tracking line here",
+    )
+    scenarios.add_argument(
+        "--quiet", action="store_true",
+        help="suppress the markdown report on stdout (files still written)",
+    )
 
     index = subparsers.add_parser(
         "index", help="build, grow and inspect a persisted discovery index"
@@ -833,6 +887,45 @@ def _command_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_eval(args: argparse.Namespace) -> int:
+    from repro.scenarios import (
+        append_run_log,
+        build_report,
+        render_markdown,
+        run_scenario_suite,
+        write_report,
+    )
+
+    def split(option: Optional[str]) -> Optional[list[str]]:
+        if option is None:
+            return None
+        return [item.strip() for item in option.split(",") if item.strip()]
+
+    capacities = [int(item) for item in split(args.capacities) or []]
+    result = run_scenario_suite(
+        methods=split(args.methods),
+        capacities=capacities,
+        families=split(args.families),
+        replicates=args.replicates,
+        sample_size=args.sample_size,
+        seed=args.seed,
+        ci_replicates=args.ci_replicates,
+    )
+    report = build_report(result)
+    if args.json_out or args.markdown_out:
+        written = write_report(
+            report,
+            args.json_out or Path(args.markdown_out).with_suffix(".json"),
+            args.markdown_out,
+        )
+        print(f"wrote {written}", file=sys.stderr)
+    if args.run_log:
+        append_run_log(report, args.run_log)
+    if not args.quiet:
+        print(render_markdown(report))
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -842,6 +935,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "estimate": _command_estimate,
         "config": _command_config,
         "experiment": _command_experiment,
+        "eval": _command_eval,
         "index": _command_index,
         "serve": _command_serve,
     }

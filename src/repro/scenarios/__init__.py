@@ -1,0 +1,74 @@
+"""Scenario-suite accuracy & robustness harness.
+
+The paper's core claim is that sketch-based estimators recover join/MI
+structure accurately enough to rank discovery candidates.  The benchmark
+suite gates *performance*; this package is the *accuracy* counterpart: a
+scenario-suite generator, an experiment runner and a statistical report
+layer that continuously verify estimator accuracy under messy, drifting,
+adversarial lakes.
+
+* :mod:`repro.scenarios.generators` — parameterized lake scenarios with
+  *known ground truth*.  Every perturbation (Zipf/heavy-hitter key skew,
+  dirty nulls/NaN/unicode, schema drift through the chunked ingest path,
+  correlated vs independent join keys, low-containment/disjoint keys) is
+  constructed to provably preserve the analytic MI of the recovered join,
+  so estimator error remains exactly measurable after the mess is added.
+* :mod:`repro.scenarios.runner` — sweeps all five sketch methods across a
+  capacity grid over every scenario and records per-measurement estimates,
+  errors, confidence intervals and refusals.
+* :mod:`repro.scenarios.stats` — aggregates records into per-(family,
+  method, capacity) cells (bias, RMSE, CI coverage, ranking quality) with
+  standard errors, and derives the per-method win matrix.
+* :mod:`repro.scenarios.report` — JSON + markdown reports with run
+  tracking; the JSON feeds ``benchmarks/accuracy_gate.py``, the accuracy
+  sibling of the CI benchmark-regression gate.
+
+Entry points: ``repro eval scenarios`` on the command line, or
+:func:`~repro.scenarios.runner.run_scenario_suite` from code.  See
+``docs/evaluation.md`` for the scenario catalog and the baseline-update
+workflow.
+"""
+
+from repro.scenarios.generators import (
+    SCENARIO_FAMILIES,
+    Scenario,
+    available_families,
+    describe_families,
+    generate_family,
+    generate_suite,
+)
+from repro.scenarios.report import (
+    append_run_log,
+    build_report,
+    render_markdown,
+    write_report,
+)
+from repro.scenarios.runner import (
+    ScenarioRecord,
+    ScenarioSuiteResult,
+    run_scenario_suite,
+)
+from repro.scenarios.stats import (
+    perturb_records,
+    summarize_records,
+    win_matrix,
+)
+
+__all__ = [
+    "SCENARIO_FAMILIES",
+    "Scenario",
+    "available_families",
+    "describe_families",
+    "generate_family",
+    "generate_suite",
+    "ScenarioRecord",
+    "ScenarioSuiteResult",
+    "run_scenario_suite",
+    "summarize_records",
+    "win_matrix",
+    "perturb_records",
+    "build_report",
+    "render_markdown",
+    "write_report",
+    "append_run_log",
+]

@@ -1,0 +1,635 @@
+"""Parameterized lake scenarios with known ground truth.
+
+Every scenario starts from a :class:`~repro.synthetic.benchmark.
+SyntheticDataset` — a decomposed ``(X, Y)`` sample whose post-join MI is
+analytic — and applies a perturbation that provably does *not* change the
+MI of the recoverable join:
+
+* **baseline** — the clean decomposition, one variant per distribution.
+* **key_skew** — rows are duplicated with Zipf/heavy-hitter multiplicities
+  drawn independently of the values.  A pair's duplication factor is
+  independent of ``(X, Y)``, so the duplicated population has the same
+  joint distribution in expectation; estimators see the reweighted sample
+  a real lake with popular join keys would produce.
+* **dirty_values** — NULL-key rows, NaN-valued noise rows under
+  out-of-domain keys, unicode key renaming (a bijection) and, in the
+  ``mixed-dtype`` variant, feature values relabeled to non-numeric strings
+  (an injection, so MI is preserved).  None of the noise can join: NULL
+  keys are dropped by sketching and shadow keys never occur in the base.
+* **schema_drift** — the candidate table arrives in chunks through the
+  :mod:`repro.ingest` streaming path, with *benign* drift mid-stream
+  (integer values becoming floats, NULL keys appearing only in late
+  chunks).  Values are numerically identical to the batch table, so the
+  ground truth is untouched; hostile drift (numeric→string) is rejected by
+  the ingest layer and exercised in the test suite.
+* **key_dependence** — the paired KeyInd/KeyDep decompositions of one
+  sample (correlated vs independent join keys): both variants share the
+  exact post-join sample and true MI, so any accuracy difference is
+  attributable to the join-key distribution alone.
+* **low_containment** — only a fraction of the base keys exist in the
+  candidate.  Under KeyInd the surviving pairs are a uniform subsample of
+  the iid ``(X, Y)`` draw, so the joint distribution (and the MI) of the
+  recoverable join is unchanged; the ``disjoint`` variant shares no keys
+  at all and the correct behaviour is *refusal*, not a number.
+
+Scenario generation is fully deterministic given a seed, which is what
+lets ``benchmarks/accuracy_gate.py`` compare runs against committed
+baselines.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Optional
+
+import numpy as np
+
+from repro.exceptions import SyntheticDataError
+from repro.opendata.domains import zipf_weights
+from repro.relational.column import Column
+from repro.relational.dtypes import DType
+from repro.relational.table import Table
+from repro.synthetic.benchmark import SyntheticDataset, generate_dataset, redecompose
+from repro.synthetic.decompose import KeyGeneration
+from repro.util.rng import RandomState, ensure_rng, spawn_rng
+
+__all__ = [
+    "Scenario",
+    "SCENARIO_FAMILIES",
+    "available_families",
+    "describe_families",
+    "generate_family",
+    "generate_suite",
+    "skew_tables",
+    "dirty_candidate",
+    "drop_candidate_keys",
+    "drift_chunks",
+]
+
+
+@dataclass
+class Scenario:
+    """One perturbed lake scenario with an analytically known join MI.
+
+    Attributes
+    ----------
+    family / variant / replicate:
+        Position in the suite; ``name`` joins them into a stable id.
+    dataset:
+        The perturbed dataset: ``train_table``/``cand_table`` carry the
+        mess, ``true_mi`` stays the analytic reference (every perturbation
+        is MI-preserving by construction, see the module docstring).
+    candidate_chunks:
+        When set, the candidate side must be sketched through the chunked
+        streaming path (:meth:`~repro.engine.session.SketchEngine.
+        sketch_stream`) over exactly these chunks, in order.
+    expect_refusal:
+        The correct outcome is an
+        :class:`~repro.exceptions.InsufficientSamplesError` (e.g. disjoint
+        keys); producing a number instead counts as a robustness failure.
+    params:
+        Perturbation parameters, for reports.
+    """
+
+    family: str
+    variant: str
+    replicate: int
+    dataset: SyntheticDataset
+    candidate_chunks: Optional[list[Table]] = None
+    expect_refusal: bool = False
+    params: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        """Stable scenario identifier (``family/variant#replicate``)."""
+        return f"{self.family}/{self.variant}#{self.replicate}"
+
+    @property
+    def true_mi(self) -> float:
+        """Analytic MI of the recoverable join (the accuracy reference)."""
+        return self.dataset.true_mi
+
+
+# --------------------------------------------------------------------- #
+# MI-preserving table perturbations
+# --------------------------------------------------------------------- #
+def _zipf_multiplicities(
+    keys: Iterable[Any],
+    *,
+    exponent: float,
+    max_multiplicity: int,
+    rng: np.random.Generator,
+) -> dict[Any, int]:
+    """Per-key duplication factors with a Zipf profile, independent of values.
+
+    The heaviest key is duplicated ``max_multiplicity`` times; which key is
+    heavy is a uniform permutation, so multiplicity is independent of the
+    values attached to the key.
+    """
+    distinct = list(dict.fromkeys(key for key in keys if key is not None))
+    if not distinct:
+        return {}
+    weights = zipf_weights(len(distinct), exponent=exponent)
+    permutation = rng.permutation(len(distinct))
+    heaviest = float(weights[0])
+    return {
+        key: max(1, int(round(max_multiplicity * float(weights[int(rank)]) / heaviest)))
+        for key, rank in zip(distinct, permutation)
+    }
+
+
+def _duplicate_rows(table: Table, multiplicity: dict[Any, int], key_column: str) -> Table:
+    """Duplicate each row ``multiplicity[key]`` times, preserving dtypes."""
+    keys = table.column(key_column).values
+    rows: list[int] = []
+    for position, key in enumerate(keys):
+        rows.extend([position] * multiplicity.get(key, 1))
+    return Table([column.take(rows) for column in table.columns], name=table.name)
+
+
+def skew_tables(
+    dataset: SyntheticDataset,
+    *,
+    exponent: float = 1.1,
+    max_multiplicity: int = 24,
+    random_state: RandomState = None,
+) -> SyntheticDataset:
+    """Duplicate rows of both tables with heavy-hitter key multiplicities.
+
+    One multiplicity map drives both sides, so the join stays consistent;
+    because multiplicities are independent of the values, the duplicated
+    population keeps the dataset's joint distribution (and ``true_mi``).
+    """
+    rng = ensure_rng(random_state)
+    multiplicity = _zipf_multiplicities(
+        dataset.train_table.column("key").values,
+        exponent=exponent,
+        max_multiplicity=max_multiplicity,
+        rng=rng,
+    )
+    return SyntheticDataset(
+        distribution=dataset.distribution,
+        m=dataset.m,
+        true_mi=dataset.true_mi,
+        key_generation=dataset.key_generation,
+        train_table=_duplicate_rows(dataset.train_table, multiplicity, "key"),
+        cand_table=_duplicate_rows(dataset.cand_table, multiplicity, "key"),
+        x=dataset.x,
+        y=dataset.y,
+        params=dict(dataset.params),
+    )
+
+
+def _unicode_key(key: Any) -> str:
+    """Bijective unicode renaming of a join key (both sides get it)."""
+    return f"ключ—{key}·键"
+
+
+def dirty_candidate(
+    dataset: SyntheticDataset,
+    *,
+    null_fraction: float = 0.1,
+    noise_fraction: float = 0.15,
+    unicode_keys: bool = True,
+    stringify_features: bool = False,
+    random_state: RandomState = None,
+) -> SyntheticDataset:
+    """Inject NULL keys, NaN noise rows and unicode renames into a dataset.
+
+    All injected rows are unjoinable (NULL keys are dropped by sketching;
+    shadow keys never occur in the base table), the key renaming is a
+    bijection applied to both sides, and ``stringify_features`` relabels
+    feature values injectively — so the MI of the recoverable join is the
+    dataset's analytic MI, untouched.
+    """
+    rng = ensure_rng(random_state)
+    cand_keys = list(dataset.cand_table.column("key").values)
+    features = list(dataset.cand_table.column("feature").values)
+    num_rows = len(cand_keys)
+
+    if stringify_features:
+        # Injective relabeling to non-numeric strings: "level-3" stays a
+        # STRING column (numeric-looking strings would re-infer as INT).
+        features = [None if value is None else f"level-{value}" for value in features]
+
+    rename = _unicode_key if unicode_keys else (lambda key: key)
+    cand_keys = [None if key is None else rename(key) for key in cand_keys]
+    train_keys = [
+        None if key is None else rename(key)
+        for key in dataset.train_table.column("key").values
+    ]
+
+    # NULL-key rows: real values under a missing join key.
+    num_null = int(round(null_fraction * num_rows))
+    for _ in range(num_null):
+        cand_keys.append(None)
+        features.append(features[int(rng.integers(0, num_rows))])
+    # Noise rows: out-of-domain ("shadow") keys carrying NaN/NULL values.
+    num_noise = int(round(noise_fraction * num_rows))
+    for position in range(num_noise):
+        cand_keys.append(f"shadow-∅-{position:06d}")
+        features.append(float("nan") if position % 2 else None)
+
+    order = [int(i) for i in rng.permutation(len(cand_keys))]
+    cand_table = Table(
+        [
+            Column("key", [cand_keys[i] for i in order], dtype=DType.STRING),
+            Column("feature", [features[i] for i in order]),
+        ],
+        name=dataset.cand_table.name,
+    )
+    train_table = Table(
+        [
+            Column("key", train_keys, dtype=DType.STRING),
+            dataset.train_table.column("target"),
+        ],
+        name=dataset.train_table.name,
+    )
+    return SyntheticDataset(
+        distribution=dataset.distribution,
+        m=dataset.m,
+        true_mi=dataset.true_mi,
+        key_generation=dataset.key_generation,
+        train_table=train_table,
+        cand_table=cand_table,
+        x=dataset.x,
+        y=dataset.y,
+        params=dict(dataset.params),
+    )
+
+
+def drop_candidate_keys(
+    dataset: SyntheticDataset,
+    *,
+    keep_fraction: float,
+    random_state: RandomState = None,
+) -> SyntheticDataset:
+    """Keep only a uniform fraction of the candidate's keys (low containment).
+
+    ``keep_fraction=0`` remaps every candidate key out of the base's key
+    space instead (fully disjoint: containment exactly zero).
+    """
+    if not 0.0 <= keep_fraction <= 1.0:
+        raise SyntheticDataError("keep_fraction must lie in [0, 1]")
+    rng = ensure_rng(random_state)
+    cand = dataset.cand_table
+    if keep_fraction == 0.0:
+        cand_table = Table(
+            [
+                Column(
+                    "key",
+                    [f"elsewhere-{key}" for key in cand.column("key").values],
+                    dtype=DType.STRING,
+                ),
+                cand.column("feature"),
+            ],
+            name=cand.name,
+        )
+    else:
+        keys = cand.column("key").values
+        distinct = list(dict.fromkeys(key for key in keys if key is not None))
+        kept_count = max(1, int(round(keep_fraction * len(distinct))))
+        kept_positions = rng.choice(len(distinct), size=kept_count, replace=False)
+        kept = {distinct[int(i)] for i in kept_positions}
+        rows = [row for row, key in enumerate(keys) if key in kept]
+        cand_table = Table([column.take(rows) for column in cand.columns], name=cand.name)
+    return SyntheticDataset(
+        distribution=dataset.distribution,
+        m=dataset.m,
+        true_mi=dataset.true_mi,
+        key_generation=dataset.key_generation,
+        train_table=dataset.train_table,
+        cand_table=cand_table,
+        x=dataset.x,
+        y=dataset.y,
+        params=dict(dataset.params),
+    )
+
+
+def drift_chunks(
+    dataset: SyntheticDataset,
+    *,
+    num_chunks: int = 4,
+    late_nulls: bool = False,
+    hostile: bool = False,
+    random_state: RandomState = None,
+) -> list[Table]:
+    """Chunk the candidate table with schema drift appearing mid-stream.
+
+    Benign drift: the first chunk carries the feature values unchanged,
+    later chunks carry them as floats (numerically identical), and —
+    when ``late_nulls`` is set — NULL-key noise rows appear only in the
+    final chunk.  The concatenation recovers the same joinable content as
+    the batch table, so the ground truth is untouched.
+
+    ``hostile=True`` turns the final chunk's features into non-numeric
+    strings — a categorical-vs-numeric flip the :mod:`repro.ingest` layer
+    must *reject* (used by the tests; never silently estimated).
+    """
+    if num_chunks < 2:
+        raise SyntheticDataError("schema drift needs at least two chunks")
+    rng = ensure_rng(random_state)
+    cand = dataset.cand_table
+    keys = cand.column("key").values
+    features = cand.column("feature").values
+    num_rows = len(keys)
+    boundaries = np.linspace(0, num_rows, num_chunks + 1).astype(int)
+    chunks: list[Table] = []
+    for index in range(num_chunks):
+        start, stop = int(boundaries[index]), int(boundaries[index + 1])
+        chunk_keys = list(keys[start:stop])
+        chunk_features = list(features[start:stop])
+        if hostile and index == num_chunks - 1:
+            chunk_features = [
+                None if value is None else f"label-{value}" for value in chunk_features
+            ]
+        elif index > 0:
+            # Mid-stream dtype drift: the same numbers, now floats.
+            chunk_features = [
+                None if value is None else float(value) for value in chunk_features
+            ]
+        if late_nulls and index == num_chunks - 1:
+            extra = max(1, (stop - start) // 4)
+            chunk_keys.extend([None] * extra)
+            chunk_features.extend(
+                float(features[int(rng.integers(0, num_rows))]) for _ in range(extra)
+            )
+        chunks.append(
+            Table(
+                [Column("key", chunk_keys), Column("feature", chunk_features)],
+                name=cand.name,
+            )
+        )
+    return chunks
+
+
+# --------------------------------------------------------------------- #
+# Family generators
+# --------------------------------------------------------------------- #
+def _base_dataset(
+    replicate: int, sample_size: int, rng: np.random.Generator, *, distribution: str
+) -> SyntheticDataset:
+    """A fresh dataset for one replicate; ``m`` cycles through small sizes.
+
+    Retried (deterministically — the child stream just advances) because a
+    drawn target MI occasionally falls outside the range the trinomial
+    parameter search can satisfy.
+    """
+    m = (4, 8, 16)[replicate % 3]
+    last_error: Optional[SyntheticDataError] = None
+    for _ in range(8):
+        try:
+            return generate_dataset(distribution, m, sample_size, random_state=rng)
+        except SyntheticDataError as error:
+            last_error = error
+    raise SyntheticDataError(
+        f"could not generate a {distribution} dataset after 8 attempts"
+    ) from last_error
+
+
+def _gen_baseline(replicates: int, sample_size: int, rng) -> list[Scenario]:
+    scenarios = []
+    children = spawn_rng(rng, 2 * replicates)
+    for variant_index, distribution in enumerate(("trinomial", "cdunif")):
+        for replicate in range(replicates):
+            child = children[variant_index * replicates + replicate]
+            dataset = _base_dataset(replicate, sample_size, child, distribution=distribution)
+            scenarios.append(
+                Scenario("baseline", distribution, replicate, dataset)
+            )
+    return scenarios
+
+
+def _gen_key_skew(replicates: int, sample_size: int, rng) -> list[Scenario]:
+    exponents = (0.8, 1.4)
+    scenarios = []
+    children = spawn_rng(rng, len(exponents) * replicates)
+    for variant_index, exponent in enumerate(exponents):
+        for replicate in range(replicates):
+            child = children[variant_index * replicates + replicate]
+            dataset = _base_dataset(replicate, sample_size, child, distribution="trinomial")
+            skewed = skew_tables(
+                dataset, exponent=exponent, max_multiplicity=24, random_state=child
+            )
+            scenarios.append(
+                Scenario(
+                    "key_skew",
+                    f"zipf-{exponent}",
+                    replicate,
+                    skewed,
+                    params={"exponent": exponent, "max_multiplicity": 24},
+                )
+            )
+    return scenarios
+
+
+def _gen_dirty_values(replicates: int, sample_size: int, rng) -> list[Scenario]:
+    variants = (
+        ("null-noise", dict(stringify_features=False)),
+        ("mixed-dtype", dict(stringify_features=True)),
+    )
+    scenarios = []
+    children = spawn_rng(rng, len(variants) * replicates)
+    for variant_index, (variant, options) in enumerate(variants):
+        for replicate in range(replicates):
+            child = children[variant_index * replicates + replicate]
+            dataset = _base_dataset(replicate, sample_size, child, distribution="trinomial")
+            dirty = dirty_candidate(dataset, random_state=child, **options)
+            scenarios.append(
+                Scenario(
+                    "dirty_values",
+                    variant,
+                    replicate,
+                    dirty,
+                    params={"null_fraction": 0.1, "noise_fraction": 0.15, **options},
+                )
+            )
+    return scenarios
+
+
+def _gen_schema_drift(replicates: int, sample_size: int, rng) -> list[Scenario]:
+    variants = (
+        ("int-to-float", dict(late_nulls=False)),
+        ("late-nulls", dict(late_nulls=True)),
+    )
+    scenarios = []
+    children = spawn_rng(rng, len(variants) * replicates)
+    for variant_index, (variant, options) in enumerate(variants):
+        for replicate in range(replicates):
+            child = children[variant_index * replicates + replicate]
+            dataset = _base_dataset(replicate, sample_size, child, distribution="trinomial")
+            chunks = drift_chunks(dataset, num_chunks=4, random_state=child, **options)
+            scenarios.append(
+                Scenario(
+                    "schema_drift",
+                    variant,
+                    replicate,
+                    dataset,
+                    candidate_chunks=chunks,
+                    params={"num_chunks": 4, **options},
+                )
+            )
+    return scenarios
+
+
+def _gen_key_dependence(replicates: int, sample_size: int, rng) -> list[Scenario]:
+    scenarios = []
+    children = spawn_rng(rng, replicates)
+    for replicate in range(replicates):
+        child = children[replicate]
+        dataset = _base_dataset(replicate, sample_size, child, distribution="trinomial")
+        correlated = redecompose(dataset, KeyGeneration.KEY_DEP)
+        # Both variants share one (X, Y) sample and one true MI: any
+        # accuracy gap is attributable to the join-key distribution alone.
+        scenarios.append(Scenario("key_dependence", "keyind", replicate, dataset))
+        scenarios.append(Scenario("key_dependence", "keydep", replicate, correlated))
+    return scenarios
+
+
+def _gen_low_containment(replicates: int, sample_size: int, rng) -> list[Scenario]:
+    variants = (("keep-0.3", 0.3), ("keep-0.1", 0.1), ("disjoint", 0.0))
+    scenarios = []
+    children = spawn_rng(rng, len(variants) * replicates)
+    for variant_index, (variant, keep_fraction) in enumerate(variants):
+        for replicate in range(replicates):
+            child = children[variant_index * replicates + replicate]
+            dataset = _base_dataset(replicate, sample_size, child, distribution="trinomial")
+            reduced = drop_candidate_keys(
+                dataset, keep_fraction=keep_fraction, random_state=child
+            )
+            scenarios.append(
+                Scenario(
+                    "low_containment",
+                    variant,
+                    replicate,
+                    reduced,
+                    expect_refusal=keep_fraction == 0.0,
+                    params={"keep_fraction": keep_fraction},
+                )
+            )
+    return scenarios
+
+
+@dataclass(frozen=True)
+class FamilySpec:
+    """Registry entry: the generator plus catalog metadata."""
+
+    generator: Callable[[int, int, Any], list[Scenario]]
+    description: str
+    variants: tuple[str, ...]
+
+
+#: The scenario families of the suite, in report order.
+SCENARIO_FAMILIES: dict[str, FamilySpec] = {
+    "baseline": FamilySpec(
+        _gen_baseline,
+        "Clean KeyInd decompositions of both synthetic distributions.",
+        ("trinomial", "cdunif"),
+    ),
+    "key_skew": FamilySpec(
+        _gen_key_skew,
+        "Zipf/heavy-hitter key multiplicities, independent of the values.",
+        ("zipf-0.8", "zipf-1.4"),
+    ),
+    "dirty_values": FamilySpec(
+        _gen_dirty_values,
+        "NULL keys, NaN noise rows, unicode key renames, mixed-dtype values.",
+        ("null-noise", "mixed-dtype"),
+    ),
+    "schema_drift": FamilySpec(
+        _gen_schema_drift,
+        "Benign dtype drift mid-stream through the chunked ingest path.",
+        ("int-to-float", "late-nulls"),
+    ),
+    "key_dependence": FamilySpec(
+        _gen_key_dependence,
+        "Correlated (KeyDep) vs independent (KeyInd) join keys, paired.",
+        ("keyind", "keydep"),
+    ),
+    "low_containment": FamilySpec(
+        _gen_low_containment,
+        "Partial and fully disjoint key overlap between base and candidate.",
+        ("keep-0.3", "keep-0.1", "disjoint"),
+    ),
+}
+
+
+def available_families() -> tuple[str, ...]:
+    """The scenario family names, in report order."""
+    return tuple(SCENARIO_FAMILIES)
+
+
+def describe_families() -> dict[str, dict[str, Any]]:
+    """Catalog metadata for reports: description and variants per family."""
+    return {
+        name: {"description": spec.description, "variants": list(spec.variants)}
+        for name, spec in SCENARIO_FAMILIES.items()
+    }
+
+
+def generate_family(
+    family: str,
+    *,
+    replicates: int = 3,
+    sample_size: int = 2000,
+    random_state: RandomState = None,
+) -> list[Scenario]:
+    """Generate one family's scenarios, deterministically given the seed."""
+    try:
+        spec = SCENARIO_FAMILIES[family]
+    except KeyError:
+        raise SyntheticDataError(
+            f"unknown scenario family {family!r}; "
+            f"available: {', '.join(available_families())}"
+        ) from None
+    if replicates < 1:
+        raise SyntheticDataError("replicates must be a positive integer")
+    if sample_size < 100:
+        raise SyntheticDataError("sample_size must be at least 100")
+    rng = ensure_rng(random_state)
+    scenarios = spec.generator(replicates, sample_size, rng)
+    for scenario in scenarios:
+        if not math.isfinite(scenario.true_mi):
+            raise SyntheticDataError(
+                f"scenario {scenario.name} generated a non-finite true MI"
+            )
+    return scenarios
+
+
+def generate_suite(
+    families: Optional[Iterable[str]] = None,
+    *,
+    replicates: int = 3,
+    sample_size: int = 2000,
+    random_state: RandomState = None,
+) -> list[Scenario]:
+    """Generate the scenario suite across the given (default: all) families.
+
+    Each family gets its own child RNG spawned in registry order, so adding
+    a family — or restricting the run to a subset — never changes the
+    scenarios another family generates for the same seed.
+    """
+    rng = ensure_rng(random_state)
+    selected = list(families) if families is not None else list(available_families())
+    for family in selected:
+        if family not in SCENARIO_FAMILIES:
+            raise SyntheticDataError(
+                f"unknown scenario family {family!r}; "
+                f"available: {', '.join(available_families())}"
+            )
+    children = spawn_rng(rng, len(SCENARIO_FAMILIES))
+    by_family = dict(zip(SCENARIO_FAMILIES, children))
+    scenarios: list[Scenario] = []
+    for family in available_families():
+        if family not in selected:
+            continue
+        scenarios.extend(
+            generate_family(
+                family,
+                replicates=replicates,
+                sample_size=sample_size,
+                random_state=by_family[family],
+            )
+        )
+    return scenarios

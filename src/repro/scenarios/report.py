@@ -1,0 +1,228 @@
+"""Report layer: JSON documents, markdown rendering, run tracking.
+
+The JSON document is the machine interface: ``benchmarks/accuracy_gate.py``
+compares its ``cells``/``ranking`` sections against a committed baseline
+and CI fails on statistically significant regressions.  ``run.run_id`` is
+a content hash of the suite parameters, so the gate can refuse to compare
+runs produced by different suite configurations.  The markdown rendering
+is the human interface (uploaded as a CI artifact), and
+:func:`append_run_log` maintains a JSONL history of runs for tracking.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from pathlib import Path
+from typing import Any, Optional, Union
+
+from repro.scenarios.generators import describe_families
+from repro.scenarios.runner import ScenarioSuiteResult
+from repro.scenarios.stats import summarize_records, win_matrix
+
+__all__ = ["build_report", "render_markdown", "write_report", "append_run_log"]
+
+REPORT_NAME = "scenario_accuracy"
+FORMAT_VERSION = 1
+
+
+def run_id_for(parameters: dict[str, Any]) -> str:
+    """Deterministic 12-hex id of a suite configuration.
+
+    Two runs are comparable by the gate only when their parameters hash to
+    the same id (same families, methods, capacities, replicates, sizes and
+    seed).
+    """
+    canonical = json.dumps(parameters, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:12]
+
+
+def _overall(summary: dict[str, Any]) -> dict[str, Any]:
+    """Suite-wide headline numbers (unweighted means over cells)."""
+    cells = summary["cells"].values()
+    rmses = [c["rmse"] for c in cells if c["n_scored"] > 0]
+    coverages = [c["ci_coverage"] for c in cells if c["ci_coverage"] is not None]
+    behavior = [c["behavior_correct"] for c in cells]
+    return {
+        "mean_rmse": sum(rmses) / len(rmses) if rmses else 0.0,
+        "mean_ci_coverage": sum(coverages) / len(coverages) if coverages else None,
+        "behavior_correct": sum(behavior) / len(behavior) if behavior else 1.0,
+        "cell_count": len(summary["cells"]),
+    }
+
+
+def build_report(result: ScenarioSuiteResult) -> dict[str, Any]:
+    """Aggregate a suite run into the gateable JSON document."""
+    summary = summarize_records(result.records)
+    catalog = {
+        family: spec
+        for family, spec in describe_families().items()
+        if family in set(result.families())
+    }
+    return {
+        "report": REPORT_NAME,
+        "format_version": FORMAT_VERSION,
+        "run": {
+            "run_id": run_id_for(result.parameters),
+            "created_unix": int(time.time()),
+            "seconds": result.seconds,
+            "records": len(result.records),
+            "scenarios": result.scenario_count,
+        },
+        "parameters": dict(result.parameters),
+        "catalog": catalog,
+        "cells": summary["cells"],
+        "ranking": summary["ranking"],
+        "win_matrix": win_matrix(summary["cells"]),
+        "overall": _overall(summary),
+    }
+
+
+def _fmt(value: Any, precision: int = 4) -> str:
+    if value is None:
+        return "—"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def _md_table(columns: list[str], rows: list[list[Any]]) -> str:
+    lines = [
+        "| " + " | ".join(columns) + " |",
+        "| " + " | ".join("---" for _ in columns) + " |",
+    ]
+    for row in rows:
+        lines.append(
+            "| " + " | ".join(_fmt(cell).replace("|", "∕") for cell in row) + " |"
+        )
+    return "\n".join(lines)
+
+
+def render_markdown(report: dict[str, Any]) -> str:
+    """Human-readable markdown report (the CI artifact)."""
+    run = report["run"]
+    params = report["parameters"]
+    overall = report["overall"]
+    parts = [
+        "# Scenario-suite accuracy report",
+        "",
+        f"Run `{run['run_id']}` — {run['records']} measurements over "
+        f"{run['scenarios']} scenarios in {run['seconds']:.1f}s.",
+        "",
+        f"- methods: {', '.join(params['methods'])}",
+        f"- capacities: {', '.join(str(c) for c in params['capacities'])}",
+        f"- families: {', '.join(params['families'])}",
+        f"- replicates per variant: {params['replicates']}, "
+        f"sample size: {params['sample_size']}, seed: {params['seed']}",
+        "",
+        "## Overall",
+        "",
+        f"- mean RMSE across cells: {_fmt(overall['mean_rmse'])}",
+        f"- mean CI coverage: {_fmt(overall['mean_ci_coverage'])}",
+        f"- behavior correctness (refusal matches expectation): "
+        f"{_fmt(overall['behavior_correct'])}",
+        "",
+        "## Win matrix",
+        "",
+        "Lowest RMSE per (family, capacity):",
+        "",
+        _md_table(
+            ["method", "wins"],
+            [[m, w] for m, w in report["win_matrix"]["wins"].items()],
+        ),
+        "",
+        _md_table(
+            ["family / capacity", "winner"],
+            [[g, w] for g, w in report["win_matrix"]["by_group"].items()],
+        ),
+        "",
+        "## Ranking quality (suite-wide, per method × capacity)",
+        "",
+        _md_table(
+            ["method", "capacity", "spearman", "top-k overlap", "ranked"],
+            [
+                [*key.split("|"), r["spearman"], r["top_k_overlap"], r["n_ranked"]]
+                for key, r in report["ranking"].items()
+            ],
+        ),
+        "",
+        "## Cells",
+        "",
+        _md_table(
+            [
+                "family",
+                "method",
+                "capacity",
+                "n",
+                "bias",
+                "rmse",
+                "rmse se",
+                "CI cov",
+                "refusals",
+                "behavior",
+            ],
+            [
+                [
+                    *key.split("|"),
+                    c["n"],
+                    c["bias"],
+                    c["rmse"],
+                    c["rmse_se"],
+                    c["ci_coverage"],
+                    c["refusal_rate"],
+                    c["behavior_correct"],
+                ]
+                for key, c in report["cells"].items()
+            ],
+        ),
+        "",
+        "## Scenario catalog",
+        "",
+    ]
+    for family, spec in report["catalog"].items():
+        parts.append(f"- **{family}** — {spec['description']} "
+                     f"(variants: {', '.join(spec['variants'])})")
+    parts.append("")
+    return "\n".join(parts)
+
+
+def write_report(
+    report: dict[str, Any],
+    json_path: Union[str, Path],
+    markdown_path: Union[str, Path, None] = None,
+) -> Path:
+    """Write the JSON document (and optionally the markdown rendering)."""
+    json_path = Path(json_path)
+    json_path.parent.mkdir(parents=True, exist_ok=True)
+    json_path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    if markdown_path is not None:
+        markdown_path = Path(markdown_path)
+        markdown_path.parent.mkdir(parents=True, exist_ok=True)
+        markdown_path.write_text(render_markdown(report))
+    return json_path
+
+
+def append_run_log(report: dict[str, Any], path: Union[str, Path]) -> Path:
+    """Append one JSONL line of run-tracking history for this report."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    line = {
+        "run_id": report["run"]["run_id"],
+        "created_unix": report["run"]["created_unix"],
+        "seconds": report["run"]["seconds"],
+        "records": report["run"]["records"],
+        "mean_rmse": report["overall"]["mean_rmse"],
+        "mean_ci_coverage": report["overall"]["mean_ci_coverage"],
+        "behavior_correct": report["overall"]["behavior_correct"],
+    }
+    with path.open("a", encoding="utf-8") as handle:
+        handle.write(json.dumps(line, sort_keys=True) + "\n")
+    return path
+
+
+def load_report(path: Union[str, Path]) -> dict[str, Any]:
+    """Load a previously written report document."""
+    return json.loads(Path(path).read_text())

@@ -1,0 +1,240 @@
+"""Experiment runner: scenario suite × sketch methods × capacity grid.
+
+For every (scenario, method, capacity) combination the runner builds both
+sketches through the production paths — the candidate side through the
+chunked :meth:`~repro.engine.session.SketchEngine.sketch_stream` ingest
+path whenever the scenario ships chunks — joins them, estimates MI and
+records the outcome as one flat :class:`ScenarioRecord`.  Refusals
+(:class:`~repro.exceptions.InsufficientSamplesError`) are recorded, not
+swallowed: for disjoint-key scenarios a refusal is the *correct* answer
+and producing a number instead counts against the method.
+
+Confidence intervals use the subsampling machinery of
+:mod:`repro.estimators.confidence` over the recovered join sample, so the
+reported CI coverage measures exactly what a user of the library would
+observe.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Iterable, Optional, Sequence
+
+from repro.engine.config import EngineConfig
+from repro.engine.session import SketchEngine
+from repro.estimators.confidence import estimate_mi_with_confidence
+from repro.exceptions import InsufficientSamplesError, SyntheticDataError
+from repro.scenarios.generators import Scenario, generate_suite
+from repro.sketches.base import available_methods
+from repro.sketches.estimate import estimate_mi_from_join
+from repro.sketches.join import join_sketches
+
+__all__ = ["ScenarioRecord", "ScenarioSuiteResult", "run_scenario_suite"]
+
+#: Minimum recovered-join size for the subsampling CI to be attempted.
+MIN_CI_JOIN_SIZE = 8
+
+
+@dataclass
+class ScenarioRecord:
+    """One measurement: a scenario estimated by one method at one capacity."""
+
+    family: str
+    scenario: str
+    variant: str
+    replicate: int
+    method: str
+    capacity: int
+    true_mi: float
+    expect_refusal: bool
+    refused: bool
+    estimate: Optional[float] = None
+    error: Optional[float] = None
+    join_size: int = 0
+    ci_lower: Optional[float] = None
+    ci_upper: Optional[float] = None
+    ci_covered: Optional[bool] = None
+    seconds: float = 0.0
+
+    def as_row(self) -> dict[str, Any]:
+        """Flat dict form used by reports and JSON serialization."""
+        return {
+            "family": self.family,
+            "scenario": self.scenario,
+            "variant": self.variant,
+            "replicate": self.replicate,
+            "method": self.method,
+            "capacity": self.capacity,
+            "true_mi": self.true_mi,
+            "expect_refusal": self.expect_refusal,
+            "refused": self.refused,
+            "estimate": self.estimate,
+            "error": self.error,
+            "join_size": self.join_size,
+            "ci_lower": self.ci_lower,
+            "ci_upper": self.ci_upper,
+            "ci_covered": self.ci_covered,
+            "seconds": self.seconds,
+        }
+
+
+@dataclass
+class ScenarioSuiteResult:
+    """All records of one suite run plus the parameters that produced them."""
+
+    records: list[ScenarioRecord]
+    parameters: dict[str, Any]
+    seconds: float = 0.0
+    scenario_count: int = 0
+
+    def methods(self) -> tuple[str, ...]:
+        return tuple(self.parameters.get("methods", ()))
+
+    def families(self) -> tuple[str, ...]:
+        return tuple(self.parameters.get("families", ()))
+
+
+def _measure(
+    scenario: Scenario, engine: SketchEngine, *, ci_replicates: int, ci_seed: int
+) -> ScenarioRecord:
+    """Run one scenario through one configured engine."""
+    dataset = scenario.dataset
+    started = time.perf_counter()
+    record = ScenarioRecord(
+        family=scenario.family,
+        scenario=scenario.name,
+        variant=scenario.variant,
+        replicate=scenario.replicate,
+        method=engine.config.method,
+        capacity=engine.config.capacity,
+        true_mi=scenario.true_mi,
+        expect_refusal=scenario.expect_refusal,
+        refused=False,
+    )
+    base = engine.sketch_base(dataset.train_table, "key", "target")
+    if scenario.candidate_chunks is not None:
+        candidate = engine.sketch_stream(
+            iter(scenario.candidate_chunks), "key", "feature", side="candidate"
+        )
+    else:
+        candidate = engine.sketch_candidate(dataset.cand_table, "key", "feature")
+    join = join_sketches(base, candidate)
+    record.join_size = join.join_size
+    try:
+        estimate = estimate_mi_from_join(
+            join,
+            k=engine.config.estimator_k,
+            min_join_size=engine.config.min_join_size,
+        )
+    except InsufficientSamplesError:
+        record.refused = True
+        record.seconds = time.perf_counter() - started
+        return record
+    record.estimate = float(estimate.mi)
+    record.error = record.estimate - record.true_mi
+    if ci_replicates > 0 and join.join_size >= MIN_CI_JOIN_SIZE:
+        try:
+            interval = estimate_mi_with_confidence(
+                join.x_values,
+                join.y_values,
+                replicates=ci_replicates,
+                random_state=ci_seed,
+            )
+        except InsufficientSamplesError:
+            pass
+        else:
+            record.ci_lower = float(interval.lower)
+            record.ci_upper = float(interval.upper)
+            record.ci_covered = interval.contains(record.true_mi)
+    record.seconds = time.perf_counter() - started
+    return record
+
+
+def run_scenario_suite(
+    *,
+    methods: Optional[Sequence[str]] = None,
+    capacities: Sequence[int] = (64, 256),
+    families: Optional[Iterable[str]] = None,
+    replicates: int = 3,
+    sample_size: int = 2000,
+    seed: int = 0,
+    ci_replicates: int = 12,
+    scenarios: Optional[list[Scenario]] = None,
+    progress: Optional[Any] = None,
+) -> ScenarioSuiteResult:
+    """Run the scenario suite over a method × capacity grid.
+
+    Parameters
+    ----------
+    methods:
+        Sketch method names (default: every registered method).
+    capacities:
+        Sketch capacities to sweep.
+    families / replicates / sample_size / seed:
+        Forwarded to :func:`~repro.scenarios.generators.generate_suite`;
+        ``seed`` also derives the engine hash seed and the CI subsampling
+        seeds, making the whole run deterministic.
+    ci_replicates:
+        Subsampling replicates per confidence interval (``0`` disables CIs).
+    scenarios:
+        Pre-generated scenarios to run instead of generating a fresh suite
+        (used by tests; the generation parameters are still recorded).
+    progress:
+        Optional callable receiving ``(done, total)`` after each record.
+    """
+    method_list = [m.upper() for m in (methods or available_methods())]
+    known = set(available_methods())
+    for method in method_list:
+        if method not in known:
+            raise SyntheticDataError(
+                f"unknown sketch method {method!r}; available: {', '.join(sorted(known))}"
+            )
+    capacity_list = sorted({int(c) for c in capacities})
+    if not capacity_list or capacity_list[0] < 4:
+        raise SyntheticDataError("capacities must contain integers >= 4")
+
+    started = time.perf_counter()
+    if scenarios is None:
+        scenarios = generate_suite(
+            families,
+            replicates=replicates,
+            sample_size=sample_size,
+            random_state=seed,
+        )
+    family_order = list(dict.fromkeys(s.family for s in scenarios))
+    parameters = {
+        "methods": method_list,
+        "capacities": capacity_list,
+        "families": family_order,
+        "replicates": replicates,
+        "sample_size": sample_size,
+        "seed": seed,
+        "ci_replicates": ci_replicates,
+    }
+    records: list[ScenarioRecord] = []
+    total = len(scenarios) * len(method_list) * len(capacity_list)
+    for method in method_list:
+        for capacity in capacity_list:
+            engine = SketchEngine(
+                EngineConfig(method=method, capacity=capacity, seed=seed)
+            )
+            for index, scenario in enumerate(scenarios):
+                records.append(
+                    _measure(
+                        scenario,
+                        engine,
+                        ci_replicates=ci_replicates,
+                        # Stable per-measurement CI seed: independent of the
+                        # method/capacity loop order.
+                        ci_seed=seed * 1_000_003 + index,
+                    )
+                )
+                if progress is not None:
+                    progress(len(records), total)
+    return ScenarioSuiteResult(
+        records=records,
+        parameters=parameters,
+        seconds=time.perf_counter() - started,
+        scenario_count=len(scenarios),
+    )

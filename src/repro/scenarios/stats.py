@@ -1,0 +1,175 @@
+"""Statistical aggregation of scenario records into gateable cells.
+
+Records are grouped into one *cell* per ``(family, method, capacity)``.
+Each cell carries point metrics (bias, MAE, RMSE, CI coverage, refusal
+correctness, ranking quality) **and their standard errors**, because the
+accuracy gate does a z-test, not a bare threshold comparison: a metric
+only fails the gate when it moved beyond tolerance *and* the move is
+statistically significant given both runs' standard errors.  The RMSE
+standard error uses the delta method (``Var(√m) ≈ Var(m) / 4m`` for the
+mean squared error ``m``).
+
+Ranking quality is computed per (method, capacity) across the *whole*
+suite — Spearman correlation and top-k overlap between the estimated and
+true MI rankings of all scored scenarios — because candidate ranking, not
+any single estimate, is what the paper's discovery workflow consumes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterable, Optional
+
+from repro.evaluation.metrics import spearman_correlation
+from repro.scenarios.runner import ScenarioRecord
+
+__all__ = ["summarize_records", "win_matrix", "perturb_records", "top_k_overlap"]
+
+
+def _mean(values: list[float]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+def _std(values: list[float]) -> float:
+    """Population standard deviation (what the SE formulas below expect)."""
+    if len(values) < 2:
+        return 0.0
+    mu = _mean(values)
+    return math.sqrt(sum((v - mu) ** 2 for v in values) / len(values))
+
+
+def top_k_overlap(
+    estimated: list[float], truth: list[float], k: Optional[int] = None
+) -> float:
+    """Fraction of the true top-k items recovered by the estimated top-k.
+
+    Items are identified by position; ``k`` defaults to a third of the
+    list (at least 1).  Returns 1.0 for empty input (nothing to miss).
+    """
+    if len(estimated) != len(truth):
+        raise ValueError("estimated and truth rankings must align")
+    if not truth:
+        return 1.0
+    if k is None:
+        k = max(1, len(truth) // 3)
+    k = min(k, len(truth))
+    top_estimated = set(sorted(range(len(truth)), key=lambda i: -estimated[i])[:k])
+    top_true = set(sorted(range(len(truth)), key=lambda i: -truth[i])[:k])
+    return len(top_estimated & top_true) / k
+
+
+def _cell_metrics(records: list[ScenarioRecord]) -> dict[str, Any]:
+    """Point metrics + standard errors for one (family, method, capacity)."""
+    scored = [r for r in records if r.estimate is not None and not r.expect_refusal]
+    errors = [r.error for r in scored]
+    n = len(errors)
+    bias = _mean(errors)
+    error_std = _std(errors)
+    sq_errors = [e * e for e in errors]
+    mse = _mean(sq_errors)
+    rmse = math.sqrt(mse)
+    # Delta method: Var(rmse) = Var(mse) / (4 * mse).
+    rmse_se = (
+        _std(sq_errors) / (2.0 * rmse * math.sqrt(n)) if n > 1 and rmse > 0 else 0.0
+    )
+    covered = [r.ci_covered for r in scored if r.ci_covered is not None]
+    # A record behaves correctly when refusal matches expectation.
+    correct = [r.refused == r.expect_refusal for r in records]
+    return {
+        "n": len(records),
+        "n_scored": n,
+        "bias": bias,
+        "bias_se": error_std / math.sqrt(n) if n > 1 else 0.0,
+        "mae": _mean([abs(e) for e in errors]),
+        "rmse": rmse,
+        "rmse_se": rmse_se,
+        "error_std": error_std,
+        "ci_coverage": _mean([1.0 if c else 0.0 for c in covered]) if covered else None,
+        "ci_count": len(covered),
+        "refusal_rate": _mean([1.0 if r.refused else 0.0 for r in records]),
+        "behavior_correct": _mean([1.0 if c else 0.0 for c in correct]),
+        "mean_join_size": _mean([float(r.join_size) for r in records]),
+    }
+
+
+def _ranking_metrics(records: list[ScenarioRecord]) -> dict[str, Any]:
+    """Suite-wide ranking quality for one (method, capacity)."""
+    scored = [r for r in records if r.estimate is not None and not r.expect_refusal]
+    if len(scored) < 3:
+        return {"spearman": None, "top_k_overlap": None, "n_ranked": len(scored)}
+    estimates = [r.estimate for r in scored]
+    truths = [r.true_mi for r in scored]
+    return {
+        "spearman": spearman_correlation(estimates, truths),
+        "top_k_overlap": top_k_overlap(estimates, truths),
+        "n_ranked": len(scored),
+    }
+
+
+def summarize_records(records: Iterable[ScenarioRecord]) -> dict[str, Any]:
+    """Aggregate flat records into gateable cells and ranking summaries.
+
+    Returns ``{"cells": {...}, "ranking": {...}}`` where ``cells`` maps
+    ``"family|method|capacity"`` to the cell's metrics and ``ranking`` maps
+    ``"method|capacity"`` to suite-wide ranking quality.  The pipe-joined
+    keys are what :mod:`benchmarks.accuracy_gate` iterates.
+    """
+    records = list(records)
+    by_cell: dict[tuple[str, str, int], list[ScenarioRecord]] = {}
+    by_grid: dict[tuple[str, int], list[ScenarioRecord]] = {}
+    for record in records:
+        by_cell.setdefault((record.family, record.method, record.capacity), []).append(
+            record
+        )
+        by_grid.setdefault((record.method, record.capacity), []).append(record)
+    cells = {
+        f"{family}|{method}|{capacity}": _cell_metrics(group)
+        for (family, method, capacity), group in sorted(by_cell.items())
+    }
+    ranking = {
+        f"{method}|{capacity}": _ranking_metrics(group)
+        for (method, capacity), group in sorted(by_grid.items())
+    }
+    return {"cells": cells, "ranking": ranking}
+
+
+def win_matrix(cells: dict[str, Any]) -> dict[str, Any]:
+    """Per-method win counts: which method has the lowest RMSE per cell.
+
+    For every ``(family, capacity)`` group the method with the smallest
+    RMSE (among cells with at least one scored record) takes the win.
+    Returns ``{"wins": {method: count}, "by_group": {"family|capacity":
+    winner}}``.
+    """
+    groups: dict[tuple[str, int], list[tuple[str, float]]] = {}
+    for key, metrics in cells.items():
+        family, method, capacity = key.split("|")
+        if metrics.get("n_scored", 0) > 0:
+            groups.setdefault((family, int(capacity)), []).append(
+                (method, metrics["rmse"])
+            )
+    wins: dict[str, int] = {}
+    by_group: dict[str, str] = {}
+    for (family, capacity), entries in sorted(groups.items()):
+        winner = min(entries, key=lambda item: (item[1], item[0]))[0]
+        by_group[f"{family}|{capacity}"] = winner
+        wins[winner] = wins.get(winner, 0) + 1
+    return {"wins": dict(sorted(wins.items())), "by_group": by_group}
+
+
+def perturb_records(
+    records: Iterable[ScenarioRecord], bias: float
+) -> list[ScenarioRecord]:
+    """Copies of ``records`` with every estimate shifted by ``bias``.
+
+    Simulates a systematically biased estimator; used by the tests to
+    demonstrate that an injected accuracy regression trips the gate.
+    """
+    perturbed = []
+    for record in records:
+        clone = ScenarioRecord(**{**record.as_row()})
+        if clone.estimate is not None:
+            clone.estimate += bias
+            clone.error = clone.estimate - clone.true_mi
+        perturbed.append(clone)
+    return perturbed

@@ -1,0 +1,155 @@
+"""Planner stats invariant under live mutation + postings + generations.
+
+The planner's accounting identity —
+
+    total_candidates ==
+        pruned_containment + pruned_join_floor + skipped_by_postings
+        + survivors
+
+— has per-feature tests (``tests/serving/test_planner.py``), but the three
+features that each bend the candidate set (live ``register_table``
+mutation, the posting-index skip path, and maintained-directory
+generations across compaction and restart) had no combined test.  This
+regression test drives one maintained service through all three at once
+and asserts the identity on every served answer, plus that the service's
+aggregated ``plan_*`` metrics equal the sum of the per-query stats.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.maintenance import Compactor, WriteAheadLog
+from repro.serving import DiscoveryService, ServiceConfig
+from repro.relational.table import Table
+from tests.maintenance.conftest import (
+    NUM_KEYS,
+    make_base,
+    make_keys,
+    make_query,
+    make_table,
+)
+
+pytestmark = pytest.mark.usefixtures("maintained_dir")
+
+
+def make_partial_table(name: str, *, keep: int, seed: int) -> Table:
+    """A candidate sharing only the first ``keep`` keys of the lake."""
+    rng = np.random.default_rng(seed)
+    keys = make_keys()[:keep]
+    return Table.from_dict(
+        {
+            "key": keys,
+            "value": rng.normal(size=keep).tolist(),
+            "extra": rng.normal(size=keep).tolist(),
+        },
+        name=name,
+    )
+
+
+def make_disjoint_table(name: str, *, rows: int, seed: int) -> Table:
+    """A candidate keyed entirely outside the lake's key universe."""
+    rng = np.random.default_rng(seed)
+    return Table.from_dict(
+        {
+            "key": [f"alien{i:04d}" for i in range(rows)],
+            "value": rng.normal(size=rows).tolist(),
+            "extra": rng.normal(size=rows).tolist(),
+        },
+        name=name,
+    )
+
+
+def assert_accounted(plan_stats: dict) -> None:
+    """The identity under test: every candidate counted exactly once."""
+    assert plan_stats["total_candidates"] == (
+        plan_stats["pruned_containment"]
+        + plan_stats["pruned_join_floor"]
+        + plan_stats["skipped_by_postings"]
+        + plan_stats["survivors"]
+    )
+
+
+def test_invariant_under_mutation_postings_and_generations(maintained_dir):
+    base = make_base()
+    # min_containment > 0 turns the posting-probe path on; the join floor
+    # stays above the sparse table's overlap so both prune counters can fire.
+    probing = make_query(base, min_containment=0.6, min_join_size=8)
+    permissive = make_query(base, min_containment=0.01, min_join_size=8)
+
+    served: list[dict] = []
+
+    def ask(service, query):
+        result = service.query(query)
+        assert_accounted(result.plan_stats)
+        served.append(result.plan_stats)
+        return result
+
+    with DiscoveryService(maintained_dir, ServiceConfig(workers=2)) as service:
+        # Round 1 — the persisted two-table lake, postings sidecar active.
+        first = ask(service, probing)
+        assert first.plan_stats["total_candidates"] == 4
+        assert first.plan_stats["survivors"] == 4
+        assert first.plan_stats["postings_probed"] > 0
+
+        # Round 2 — live mutation: a full-overlap table, a half-overlap
+        # table (containment 0.5 < 0.6), a 4-key table (overlap below the
+        # join floor) and a fully disjoint table (invisible to the probe).
+        service.register_table(make_table("fresh", seed=77), ["key"])
+        service.register_table(
+            make_partial_table("halfkeys", keep=NUM_KEYS // 2, seed=78), ["key"]
+        )
+        service.register_table(make_partial_table("sparse", keep=4, seed=79), ["key"])
+        service.register_table(make_disjoint_table("alien", rows=30, seed=80), ["key"])
+
+        second = ask(service, probing)
+        stats = second.plan_stats
+        assert stats["total_candidates"] == 12
+        assert stats["survivors"] == 6  # lake0/lake1/fresh candidates
+        assert stats["pruned_containment"] >= 2  # halfkeys (and maybe sparse)
+        assert stats["skipped_by_postings"] == 2  # the alien candidates
+
+        third = ask(service, permissive)
+        # At containment 0.01 the half-overlap table survives; the 4-key
+        # table passes containment but falls below the join-size floor.
+        assert third.plan_stats["pruned_join_floor"] >= 2
+        assert third.plan_stats["survivors"] >= 8
+
+        # The aggregated /metrics counters are exactly the per-query sums.
+        counters = service.stats()["counters"]
+        for counter in (
+            "total_candidates",
+            "survivors",
+            "pruned_containment",
+            "pruned_join_floor",
+            "skipped_by_postings",
+        ):
+            assert counters[f"plan_{counter}"] == sum(s[counter] for s in served)
+
+        # Not via ask(): a repeat of `probing` is served from the result
+        # cache, which (correctly) neither re-plans nor increments the
+        # plan_* metrics — its plan_stats document is empty.
+        repeat = service.query(probing)
+        if repeat.plan_stats:
+            assert_accounted(repeat.plan_stats)
+        before_restart = [
+            (r.candidate_id, r.mi_estimate) for r in repeat.results
+        ]
+
+    # Round 3 — maintenance: compact the WAL into a published generation,
+    # then serve from the new generation (fresh postings sidecar included).
+    with WriteAheadLog.attach(maintained_dir) as wal:
+        detail = Compactor(maintained_dir, wal=wal).compact()
+    assert detail["generation"] >= 1
+
+    with DiscoveryService(maintained_dir, ServiceConfig(workers=2)) as reopened:
+        fourth = ask(reopened, probing)
+        stats = fourth.plan_stats
+        assert_accounted(stats)
+        assert stats["total_candidates"] == 12
+        assert stats["skipped_by_postings"] == 2
+        after_restart = [
+            (r.candidate_id, r.mi_estimate) for r in fourth.results
+        ]
+    assert after_restart == before_restart

@@ -1,0 +1,1 @@
+"""Tests for the scenario-suite accuracy harness."""

@@ -1,0 +1,171 @@
+"""Tests for the CI accuracy gate, including the gate-trip demonstration.
+
+The acceptance rule this file pins down: a deliberately injected estimator
+perturbation (a systematic bias added to every estimate via
+:func:`~repro.scenarios.stats.perturb_records`) must trip the gate, while
+an identical re-run — and one with only statistically insignificant
+wiggle — must pass.
+"""
+
+from __future__ import annotations
+
+import copy
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.scenarios.report import build_report, write_report
+from repro.scenarios.runner import ScenarioSuiteResult, run_scenario_suite
+from repro.scenarios.stats import perturb_records
+
+GATE_PATH = Path(__file__).parent.parent.parent / "benchmarks" / "accuracy_gate.py"
+
+spec = importlib.util.spec_from_file_location("accuracy_gate", GATE_PATH)
+gate = importlib.util.module_from_spec(spec)
+# Registered before exec: the script resolves its own module via sys.modules
+# (and pulls in the sibling regression_gate the same way).
+sys.modules["accuracy_gate"] = gate
+spec.loader.exec_module(gate)
+
+
+@pytest.fixture(scope="module")
+def result() -> ScenarioSuiteResult:
+    return run_scenario_suite(
+        methods=["TUPSK", "CSK"],
+        capacities=[64],
+        families=["baseline", "key_skew", "low_containment"],
+        replicates=2,
+        sample_size=400,
+        seed=0,
+        ci_replicates=0,
+    )
+
+
+@pytest.fixture(scope="module")
+def report(result):
+    return build_report(result)
+
+
+class TestCompare:
+    def test_identical_reports_pass(self, report):
+        failures, summary = gate.compare_accuracy(report, report)
+        assert failures == []
+        assert summary  # every gated metric shows up in the summary
+
+    def test_injected_bias_trips_the_gate(self, result, report):
+        """The acceptance-criteria demonstration: a biased estimator fails CI."""
+        biased = ScenarioSuiteResult(
+            records=perturb_records(result.records, 1.5),
+            parameters=result.parameters,
+            seconds=result.seconds,
+            scenario_count=result.scenario_count,
+        )
+        failures, _ = gate.compare_accuracy(build_report(biased), report)
+        assert failures
+        assert any("rmse" in failure for failure in failures)
+
+    def test_insignificant_wiggle_passes(self, report):
+        """Beyond tolerance but within noise: the z-test keeps the gate green."""
+        wiggled = copy.deepcopy(report)
+        noisy_baseline = copy.deepcopy(report)
+        for cell in wiggled["cells"].values():
+            if cell["n_scored"] == 0:
+                continue
+            # A large SE makes any tolerance breach statistically invisible.
+            cell["rmse"] = cell["rmse"] * 1.5 + 0.05
+            cell["rmse_se"] = cell["bias_se"] = 10.0
+        for cell in noisy_baseline["cells"].values():
+            cell["rmse_se"] = cell["bias_se"] = 10.0
+        failures, summary = gate.compare_accuracy(wiggled, noisy_baseline)
+        assert failures == []
+        assert any("noise" in line for line in summary)
+
+    def test_run_id_mismatch_refuses_comparison(self, report):
+        other = copy.deepcopy(report)
+        other["run"]["run_id"] = "deadbeef0000"
+        failures, _ = gate.compare_accuracy(other, report)
+        assert len(failures) == 1
+        assert "run_id mismatch" in failures[0]
+
+    def test_missing_cell_fails(self, report):
+        incomplete = copy.deepcopy(report)
+        incomplete["cells"].pop(next(iter(incomplete["cells"])))
+        failures, _ = gate.compare_accuracy(incomplete, report)
+        assert any("missing from current report" in f for f in failures)
+
+    def test_behavior_regression_is_hard_flag(self, report):
+        broken = copy.deepcopy(report)
+        key = next(iter(broken["cells"]))
+        broken["cells"][key]["behavior_correct"] = (
+            report["cells"][key]["behavior_correct"] * 0.5
+        )
+        failures, _ = gate.compare_accuracy(broken, report)
+        assert any("behavior_correct" in f for f in failures)
+
+    def test_ranking_drop_fails(self, report):
+        worse = copy.deepcopy(report)
+        for ranking in worse["ranking"].values():
+            if ranking["spearman"] is not None:
+                ranking["spearman"] -= 2 * gate.RANKING_DROP
+        failures, _ = gate.compare_accuracy(worse, report)
+        assert any("spearman" in f for f in failures)
+
+
+class TestCli:
+    def write_pair(self, tmp_path, report, current=None):
+        results_dir = tmp_path / "results"
+        baselines_dir = results_dir / "baselines"
+        write_report(report, baselines_dir / gate.REPORT_NAME)
+        write_report(current or report, results_dir / gate.REPORT_NAME)
+        return results_dir
+
+    def test_main_passes_on_identical(self, report, tmp_path, capsys):
+        results_dir = self.write_pair(tmp_path, report)
+        assert gate.main(["--results-dir", str(results_dir)]) == 0
+        assert "all metrics within tolerance" in capsys.readouterr().out
+
+    def test_main_fails_on_biased_report(self, result, report, tmp_path, capsys):
+        biased = build_report(
+            ScenarioSuiteResult(
+                records=perturb_records(result.records, 1.5),
+                parameters=result.parameters,
+                scenario_count=result.scenario_count,
+            )
+        )
+        results_dir = self.write_pair(tmp_path, report, current=biased)
+        assert gate.main(["--results-dir", str(results_dir)]) == 1
+        assert "FAIL" in capsys.readouterr().err
+
+    def test_main_fails_without_baseline(self, report, tmp_path, capsys):
+        results_dir = tmp_path / "results"
+        write_report(report, results_dir / gate.REPORT_NAME)
+        assert gate.main(["--results-dir", str(results_dir)]) == 1
+        assert "no committed baseline" in capsys.readouterr().err
+
+    def test_update_baseline(self, report, tmp_path):
+        results_dir = tmp_path / "results"
+        write_report(report, results_dir / gate.REPORT_NAME)
+        assert gate.main(["--results-dir", str(results_dir), "--update-baseline"]) == 0
+        promoted = json.loads(
+            (results_dir / "baselines" / gate.REPORT_NAME).read_text()
+        )
+        assert promoted["run"]["run_id"] == report["run"]["run_id"]
+
+    def test_committed_baseline_matches_current_code(self):
+        """The committed baseline must be reproducible by the committed code.
+
+        Guards against a stale baseline after suite-configuration changes:
+        the run_id derives from the generation parameters, so this fails
+        whenever the default CI suite drifts without a baseline refresh.
+        """
+        baseline_path = (
+            GATE_PATH.parent / "results" / "baselines" / gate.REPORT_NAME
+        )
+        baseline = json.loads(baseline_path.read_text())
+        from repro.scenarios.report import run_id_for
+
+        expected_parameters = baseline["parameters"]
+        assert baseline["run"]["run_id"] == run_id_for(expected_parameters)

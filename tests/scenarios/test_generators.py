@@ -1,0 +1,225 @@
+"""Tests for the scenario generators: determinism and MI preservation.
+
+Every perturbation is designed so the recoverable join keeps the
+dataset's analytic MI; these tests pin the mechanical invariants behind
+those arguments (bijective renames, unjoinable noise, iid subsampling,
+value-independent duplication, numerically identical drift chunks).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.engine.config import EngineConfig
+from repro.engine.session import SketchEngine
+from repro.exceptions import IngestError, SyntheticDataError
+from repro.relational.dtypes import DType
+from repro.scenarios.generators import (
+    SCENARIO_FAMILIES,
+    available_families,
+    describe_families,
+    dirty_candidate,
+    drift_chunks,
+    drop_candidate_keys,
+    generate_family,
+    generate_suite,
+    skew_tables,
+)
+from repro.synthetic.benchmark import generate_dataset
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_dataset("trinomial", 8, 400, random_state=7)
+
+
+def scenario_names(scenarios):
+    return [scenario.name for scenario in scenarios]
+
+
+class TestSuiteGeneration:
+    def test_all_families_present(self):
+        suite = generate_suite(replicates=1, sample_size=200, random_state=0)
+        assert {s.family for s in suite} == set(available_families())
+
+    def test_deterministic_given_seed(self):
+        first = generate_suite(replicates=2, sample_size=200, random_state=3)
+        second = generate_suite(replicates=2, sample_size=200, random_state=3)
+        assert scenario_names(first) == scenario_names(second)
+        for a, b in zip(first, second):
+            assert a.true_mi == b.true_mi
+            assert a.dataset.cand_table.column("key").values == (
+                b.dataset.cand_table.column("key").values
+            )
+
+    def test_family_subset_is_stable(self):
+        """Restricting the run to a subset must not reshuffle a family's RNG."""
+        full = generate_suite(replicates=1, sample_size=200, random_state=5)
+        only = generate_suite(
+            ["dirty_values"], replicates=1, sample_size=200, random_state=5
+        )
+        full_dirty = [s for s in full if s.family == "dirty_values"]
+        assert scenario_names(only) == scenario_names(full_dirty)
+        assert [s.true_mi for s in only] == [s.true_mi for s in full_dirty]
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(SyntheticDataError, match="unknown scenario family"):
+            generate_suite(["no_such_family"], random_state=0)
+        with pytest.raises(SyntheticDataError, match="unknown scenario family"):
+            generate_family("no_such_family", random_state=0)
+
+    def test_parameter_validation(self):
+        with pytest.raises(SyntheticDataError, match="replicates"):
+            generate_family("baseline", replicates=0, random_state=0)
+        with pytest.raises(SyntheticDataError, match="sample_size"):
+            generate_family("baseline", sample_size=10, random_state=0)
+
+    def test_catalog_matches_registry(self):
+        catalog = describe_families()
+        assert set(catalog) == set(SCENARIO_FAMILIES)
+        for family, spec in SCENARIO_FAMILIES.items():
+            assert catalog[family]["variants"] == list(spec.variants)
+            assert catalog[family]["description"]
+
+    def test_variants_match_catalog(self):
+        suite = generate_suite(replicates=1, sample_size=200, random_state=1)
+        for scenario in suite:
+            assert scenario.variant in SCENARIO_FAMILIES[scenario.family].variants
+
+
+class TestSkew:
+    def test_multiplicities_preserve_true_mi_and_keys(self, dataset):
+        skewed = skew_tables(dataset, exponent=1.4, random_state=0)
+        assert skewed.true_mi == dataset.true_mi
+        # Duplication only: the distinct key sets are unchanged on both sides.
+        for side in ("train_table", "cand_table"):
+            original = set(getattr(dataset, side).column("key").values)
+            perturbed = set(getattr(skewed, side).column("key").values)
+            assert perturbed == original
+        assert skewed.train_table.num_rows > dataset.train_table.num_rows
+
+    def test_skew_is_heavy_hittered(self, dataset):
+        skewed = skew_tables(
+            dataset, exponent=1.4, max_multiplicity=24, random_state=0
+        )
+        keys = skewed.cand_table.column("key").values
+        counts = sorted(
+            (keys.count(key) for key in set(keys)), reverse=True
+        )
+        assert counts[0] >= 8 * counts[-1]
+
+
+class TestDirty:
+    def test_noise_rows_cannot_join(self, dataset):
+        dirty = dirty_candidate(dataset, random_state=0)
+        base_keys = set(dirty.train_table.column("key").values)
+        cand_keys = dirty.cand_table.column("key").values
+        joinable = [k for k in cand_keys if k in base_keys]
+        # Injected NULL keys and shadow keys never appear in the base.
+        assert None not in base_keys
+        assert not any(k for k in joinable if str(k).startswith("shadow-"))
+        assert any(k is None for k in cand_keys)
+        assert any(str(k).startswith("shadow-") for k in cand_keys if k is not None)
+
+    def test_unicode_rename_is_bijective(self, dataset):
+        dirty = dirty_candidate(dataset, random_state=0)
+        original = dataset.train_table.column("key").values
+        renamed = dirty.train_table.column("key").values
+        assert len(set(renamed)) == len(set(original))
+        assert all("—" in key for key in renamed)
+
+    def test_mixed_dtype_variant_is_categorical(self, dataset):
+        dirty = dirty_candidate(dataset, stringify_features=True, random_state=0)
+        assert dirty.cand_table.column("feature").dtype is DType.STRING
+
+    def test_estimate_matches_clean_dataset(self, dataset):
+        """The recoverable join is the clean one: estimates stay close."""
+        engine = SketchEngine(EngineConfig(capacity=256, seed=0))
+        dirty = dirty_candidate(dataset, random_state=0)
+
+        def estimate(ds):
+            base = engine.sketch_base(ds.train_table, "key", "target")
+            cand = engine.sketch_candidate(ds.cand_table, "key", "feature")
+            return engine.estimate(base, cand).mi
+
+        assert estimate(dirty) == pytest.approx(estimate(dataset), abs=0.15)
+
+
+class TestLowContainment:
+    def test_keep_fraction_validation(self, dataset):
+        with pytest.raises(SyntheticDataError, match="keep_fraction"):
+            drop_candidate_keys(dataset, keep_fraction=1.5)
+
+    def test_partial_overlap(self, dataset):
+        reduced = drop_candidate_keys(dataset, keep_fraction=0.3, random_state=0)
+        base_keys = set(dataset.cand_table.column("key").values)
+        kept_keys = set(reduced.cand_table.column("key").values)
+        assert kept_keys < base_keys
+        ratio = len(kept_keys) / len(base_keys)
+        assert 0.2 <= ratio <= 0.4
+        assert reduced.true_mi == dataset.true_mi
+
+    def test_disjoint_shares_no_keys(self, dataset):
+        disjoint = drop_candidate_keys(dataset, keep_fraction=0.0, random_state=0)
+        base_keys = set(disjoint.train_table.column("key").values)
+        cand_keys = set(disjoint.cand_table.column("key").values)
+        assert not base_keys & cand_keys
+
+    def test_disjoint_scenarios_expect_refusal(self):
+        suite = generate_family("low_containment", replicates=1, random_state=0)
+        refusals = [s for s in suite if s.expect_refusal]
+        assert [s.variant for s in refusals] == ["disjoint"]
+
+
+class TestSchemaDrift:
+    def test_chunks_recover_batch_content(self, dataset):
+        chunks = drift_chunks(dataset, num_chunks=4, random_state=0)
+        keys = [k for chunk in chunks for k in chunk.column("key").values]
+        values = [v for chunk in chunks for v in chunk.column("feature").values]
+        assert keys == dataset.cand_table.column("key").values
+        batch_values = dataset.cand_table.column("feature").values
+        assert all(
+            float(got) == float(want) for got, want in zip(values, batch_values)
+        )
+
+    def test_late_null_chunks_add_unjoinable_rows(self, dataset):
+        chunks = drift_chunks(dataset, late_nulls=True, random_state=0)
+        assert None not in chunks[0].column("key").values
+        assert None in chunks[-1].column("key").values
+
+    def test_benign_drift_streams_to_same_estimate(self, dataset):
+        engine = SketchEngine(EngineConfig(capacity=128, seed=0))
+        base = engine.sketch_base(dataset.train_table, "key", "target")
+        batch = engine.sketch_candidate(dataset.cand_table, "key", "feature")
+        chunks = drift_chunks(dataset, num_chunks=4, random_state=0)
+        streamed = engine.sketch_stream(
+            iter(chunks), "key", "feature", side="candidate"
+        )
+        batch_mi = engine.estimate(base, batch).mi
+        streamed_mi = engine.estimate(base, streamed).mi
+        assert math.isfinite(streamed_mi)
+        # int→float drift is numerically benign: the estimate barely moves.
+        assert streamed_mi == pytest.approx(batch_mi, abs=0.2)
+
+    def test_hostile_drift_is_rejected_by_ingest(self, dataset):
+        engine = SketchEngine(EngineConfig(capacity=128, seed=0))
+        chunks = drift_chunks(dataset, hostile=True, random_state=0)
+        with pytest.raises(IngestError, match="drifted"):
+            engine.sketch_stream(iter(chunks), "key", "feature", side="candidate")
+
+    def test_too_few_chunks_rejected(self, dataset):
+        with pytest.raises(SyntheticDataError, match="two chunks"):
+            drift_chunks(dataset, num_chunks=1)
+
+
+class TestKeyDependence:
+    def test_paired_variants_share_ground_truth(self):
+        suite = generate_family("key_dependence", replicates=2, random_state=0)
+        by_replicate = {}
+        for scenario in suite:
+            by_replicate.setdefault(scenario.replicate, {})[scenario.variant] = scenario
+        for pair in by_replicate.values():
+            assert set(pair) == {"keyind", "keydep"}
+            assert pair["keyind"].true_mi == pair["keydep"].true_mi

@@ -1,0 +1,123 @@
+"""Tests for the report layer: JSON documents, markdown, run tracking."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.scenarios.report import (
+    append_run_log,
+    build_report,
+    load_report,
+    render_markdown,
+    run_id_for,
+    write_report,
+)
+from repro.scenarios.runner import run_scenario_suite
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_scenario_suite(
+        methods=["TUPSK", "LV2SK"],
+        capacities=[64],
+        families=["baseline", "low_containment"],
+        replicates=1,
+        sample_size=300,
+        seed=0,
+        ci_replicates=4,
+    )
+
+
+@pytest.fixture(scope="module")
+def report(result):
+    return build_report(result)
+
+
+class TestDocument:
+    def test_structure(self, report, result):
+        assert report["report"] == "scenario_accuracy"
+        assert report["format_version"] == 1
+        assert report["run"]["records"] == len(result.records)
+        assert report["run"]["scenarios"] == result.scenario_count
+        assert set(report["catalog"]) == {"baseline", "low_containment"}
+        assert report["cells"] and report["ranking"] and report["win_matrix"]
+
+    def test_cell_keys_cover_grid(self, report):
+        families = {key.split("|")[0] for key in report["cells"]}
+        methods = {key.split("|")[1] for key in report["cells"]}
+        assert families == {"baseline", "low_containment"}
+        assert methods == {"TUPSK", "LV2SK"}
+
+    def test_json_serializable(self, report):
+        json.dumps(report)
+
+    def test_overall_summary(self, report):
+        overall = report["overall"]
+        assert overall["cell_count"] == len(report["cells"])
+        assert overall["mean_rmse"] >= 0.0
+        assert 0.0 <= overall["behavior_correct"] <= 1.0
+
+
+class TestRunId:
+    def test_stable_for_same_parameters(self, result):
+        assert run_id_for(result.parameters) == run_id_for(dict(result.parameters))
+
+    def test_sensitive_to_any_parameter(self, result):
+        baseline = run_id_for(result.parameters)
+        for key, value in {
+            "seed": 1,
+            "sample_size": 999,
+            "capacities": [128],
+            "methods": ["CSK"],
+        }.items():
+            assert run_id_for({**result.parameters, key: value}) != baseline
+
+    def test_report_carries_it(self, report, result):
+        assert report["run"]["run_id"] == run_id_for(result.parameters)
+
+
+class TestMarkdown:
+    def test_sections_present(self, report):
+        text = render_markdown(report)
+        for heading in (
+            "# Scenario-suite accuracy report",
+            "## Overall",
+            "## Win matrix",
+            "## Ranking quality",
+            "## Cells",
+            "## Scenario catalog",
+        ):
+            assert heading in text
+
+    def test_tables_are_well_formed(self, report):
+        """Every row of a pipe table has the header's column count."""
+        text = render_markdown(report)
+        width = None
+        for line in text.splitlines():
+            if line.startswith("|"):
+                if width is None:
+                    width = line.count("|")
+                assert line.count("|") == width
+            else:
+                width = None
+
+
+class TestFiles:
+    def test_write_and_load_round_trip(self, report, tmp_path):
+        json_path = tmp_path / "out" / "scenario_accuracy.json"
+        md_path = tmp_path / "out" / "scenario_accuracy.md"
+        written = write_report(report, json_path, md_path)
+        assert written == json_path
+        assert load_report(json_path) == json.loads(json.dumps(report))
+        assert md_path.read_text().startswith("# Scenario-suite accuracy report")
+
+    def test_run_log_appends(self, report, tmp_path):
+        log_path = tmp_path / "runs.jsonl"
+        append_run_log(report, log_path)
+        append_run_log(report, log_path)
+        lines = [json.loads(line) for line in log_path.read_text().splitlines()]
+        assert len(lines) == 2
+        assert lines[0]["run_id"] == report["run"]["run_id"]
+        assert lines[0]["mean_rmse"] == report["overall"]["mean_rmse"]

@@ -1,0 +1,120 @@
+"""Tests for the scenario-suite experiment runner."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.exceptions import SyntheticDataError
+from repro.scenarios.generators import generate_suite
+from repro.scenarios.runner import ScenarioRecord, run_scenario_suite
+from repro.sketches.base import available_methods
+
+
+@pytest.fixture(scope="module")
+def tiny_suite():
+    return generate_suite(replicates=1, sample_size=300, random_state=0)
+
+
+@pytest.fixture(scope="module")
+def tiny_result(tiny_suite):
+    return run_scenario_suite(
+        methods=["TUPSK", "CSK"],
+        capacities=[64],
+        replicates=1,
+        sample_size=300,
+        seed=0,
+        ci_replicates=4,
+        scenarios=tiny_suite,
+    )
+
+
+class TestRunner:
+    def test_grid_coverage(self, tiny_suite, tiny_result):
+        assert len(tiny_result.records) == 2 * len(tiny_suite)
+        assert {r.method for r in tiny_result.records} == {"TUPSK", "CSK"}
+        assert {r.capacity for r in tiny_result.records} == {64}
+        assert tiny_result.scenario_count == len(tiny_suite)
+
+    def test_record_fields(self, tiny_result):
+        for record in tiny_result.records:
+            assert record.scenario.startswith(f"{record.family}/")
+            assert math.isfinite(record.true_mi)
+            if record.refused:
+                assert record.estimate is None and record.error is None
+            else:
+                assert record.error == pytest.approx(
+                    record.estimate - record.true_mi
+                )
+            if record.ci_covered is not None:
+                assert record.ci_lower is not None and record.ci_upper is not None
+                assert record.ci_covered == (
+                    record.ci_lower <= record.true_mi <= record.ci_upper
+                )
+
+    def test_disjoint_scenarios_refuse(self, tiny_result):
+        disjoint = [
+            r for r in tiny_result.records if r.variant == "disjoint"
+        ]
+        assert disjoint
+        assert all(r.expect_refusal and r.refused for r in disjoint)
+
+    def test_deterministic(self, tiny_suite, tiny_result):
+        again = run_scenario_suite(
+            methods=["TUPSK", "CSK"],
+            capacities=[64],
+            replicates=1,
+            sample_size=300,
+            seed=0,
+            ci_replicates=4,
+            scenarios=tiny_suite,
+        )
+        assert [r.as_row() for r in again.records] == [
+            {**r.as_row(), "seconds": a.seconds}
+            for r, a in zip(tiny_result.records, again.records)
+        ]
+
+    def test_default_methods_are_all_registered(self):
+        result = run_scenario_suite(
+            capacities=[32],
+            families=["baseline"],
+            replicates=1,
+            sample_size=300,
+            seed=0,
+            ci_replicates=0,
+        )
+        assert {r.method for r in result.records} == set(available_methods())
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(SyntheticDataError, match="unknown sketch method"):
+            run_scenario_suite(methods=["NOPE"], capacities=[32], seed=0)
+
+    def test_capacity_validation(self):
+        with pytest.raises(SyntheticDataError, match="capacities"):
+            run_scenario_suite(methods=["TUPSK"], capacities=[2], seed=0)
+        with pytest.raises(SyntheticDataError, match="capacities"):
+            run_scenario_suite(methods=["TUPSK"], capacities=[], seed=0)
+
+    def test_progress_callback(self, tiny_suite):
+        seen = []
+        run_scenario_suite(
+            methods=["TUPSK"],
+            capacities=[64],
+            ci_replicates=0,
+            scenarios=tiny_suite[:2],
+            progress=lambda done, total: seen.append((done, total)),
+        )
+        assert seen == [(1, 2), (2, 2)]
+
+    def test_as_row_round_trips(self, tiny_result):
+        record = tiny_result.records[0]
+        assert ScenarioRecord(**record.as_row()) == record
+
+    def test_parameters_recorded(self, tiny_result):
+        params = tiny_result.parameters
+        assert params["methods"] == ["TUPSK", "CSK"]
+        assert params["capacities"] == [64]
+        assert "baseline" in params["families"]
+        assert tiny_result.methods() == ("TUPSK", "CSK")
+        assert tiny_result.families()[0] == "baseline"

@@ -1,0 +1,160 @@
+"""Tests for the statistical aggregation layer (cells, win matrix)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.scenarios.runner import ScenarioRecord
+from repro.scenarios.stats import (
+    perturb_records,
+    summarize_records,
+    top_k_overlap,
+    win_matrix,
+)
+
+
+def make_record(
+    *,
+    family="baseline",
+    method="TUPSK",
+    capacity=64,
+    replicate=0,
+    true_mi=1.0,
+    estimate=1.0,
+    refused=False,
+    expect_refusal=False,
+    ci=None,
+):
+    return ScenarioRecord(
+        family=family,
+        scenario=f"{family}/v#{replicate}",
+        variant="v",
+        replicate=replicate,
+        method=method,
+        capacity=capacity,
+        true_mi=true_mi,
+        expect_refusal=expect_refusal,
+        refused=refused,
+        estimate=None if refused else estimate,
+        error=None if refused else estimate - true_mi,
+        join_size=0 if refused else 50,
+        ci_lower=None if ci is None else ci[0],
+        ci_upper=None if ci is None else ci[1],
+        ci_covered=None if ci is None else ci[0] <= true_mi <= ci[1],
+    )
+
+
+class TestCells:
+    def test_known_bias_and_rmse(self):
+        records = [
+            make_record(replicate=i, true_mi=1.0, estimate=1.0 + e)
+            for i, e in enumerate((0.1, -0.1, 0.3, -0.3))
+        ]
+        summary = summarize_records(records)
+        cell = summary["cells"]["baseline|TUPSK|64"]
+        assert cell["n"] == 4 and cell["n_scored"] == 4
+        assert cell["bias"] == pytest.approx(0.0)
+        assert cell["mae"] == pytest.approx(0.2)
+        assert cell["rmse"] == pytest.approx(math.sqrt(0.05))
+        assert cell["bias_se"] == pytest.approx(cell["error_std"] / 2.0)
+        assert cell["rmse_se"] > 0.0
+
+    def test_refusals_and_behavior(self):
+        records = [
+            make_record(replicate=0),
+            make_record(replicate=1, refused=True),
+            make_record(replicate=2, refused=True, expect_refusal=True),
+        ]
+        cell = summarize_records(records)["cells"]["baseline|TUPSK|64"]
+        assert cell["refusal_rate"] == pytest.approx(2 / 3)
+        # Unexpected refusal counts against behavior; the expected one does not.
+        assert cell["behavior_correct"] == pytest.approx(2 / 3)
+
+    def test_ci_coverage(self):
+        records = [
+            make_record(replicate=0, ci=(0.8, 1.2)),
+            make_record(replicate=1, ci=(1.5, 2.0)),
+            make_record(replicate=2),
+        ]
+        cell = summarize_records(records)["cells"]["baseline|TUPSK|64"]
+        assert cell["ci_count"] == 2
+        assert cell["ci_coverage"] == pytest.approx(0.5)
+
+    def test_expected_refusals_not_scored(self):
+        records = [
+            make_record(replicate=0, estimate=5.0, expect_refusal=True),
+            make_record(replicate=1, estimate=1.0),
+        ]
+        cell = summarize_records(records)["cells"]["baseline|TUPSK|64"]
+        # The wrongly-produced estimate hurts behavior, not the error stats.
+        assert cell["n_scored"] == 1
+        assert cell["rmse"] == pytest.approx(0.0)
+        assert cell["behavior_correct"] == pytest.approx(0.5)
+
+
+class TestRanking:
+    def test_top_k_overlap(self):
+        assert top_k_overlap([1.0, 2.0, 3.0], [1.0, 2.0, 3.0], k=1) == 1.0
+        assert top_k_overlap([3.0, 2.0, 1.0], [1.0, 2.0, 3.0], k=1) == 0.0
+        assert top_k_overlap([], []) == 1.0
+        with pytest.raises(ValueError):
+            top_k_overlap([1.0], [1.0, 2.0])
+
+    def test_ranking_needs_three_scored(self):
+        records = [make_record(replicate=i) for i in range(2)]
+        ranking = summarize_records(records)["ranking"]["TUPSK|64"]
+        assert ranking["spearman"] is None
+
+    def test_perfect_ranking(self):
+        records = [
+            make_record(replicate=i, true_mi=float(i), estimate=float(i) + 0.1)
+            for i in range(6)
+        ]
+        ranking = summarize_records(records)["ranking"]["TUPSK|64"]
+        assert ranking["spearman"] == pytest.approx(1.0)
+        assert ranking["top_k_overlap"] == pytest.approx(1.0)
+        assert ranking["n_ranked"] == 6
+
+
+class TestWinMatrix:
+    def test_lowest_rmse_wins(self):
+        records = [
+            make_record(method="TUPSK", replicate=i, estimate=1.0 + 0.05 * i)
+            for i in range(3)
+        ] + [
+            make_record(method="CSK", replicate=i, estimate=1.0 + 0.5 * i)
+            for i in range(3)
+        ]
+        matrix = win_matrix(summarize_records(records)["cells"])
+        assert matrix["wins"] == {"TUPSK": 1}
+        assert matrix["by_group"] == {"baseline|64": "TUPSK"}
+
+    def test_ties_break_by_method_name(self):
+        records = [
+            make_record(method=m, replicate=i, estimate=1.1)
+            for m in ("TUPSK", "CSK")
+            for i in range(2)
+        ]
+        matrix = win_matrix(summarize_records(records)["cells"])
+        assert matrix["by_group"] == {"baseline|64": "CSK"}
+
+    def test_unscored_cells_do_not_win(self):
+        records = [
+            make_record(method="TUPSK", replicate=0, refused=True),
+            make_record(method="CSK", replicate=0, estimate=2.0),
+        ]
+        matrix = win_matrix(summarize_records(records)["cells"])
+        assert matrix["wins"] == {"CSK": 1}
+
+
+class TestPerturb:
+    def test_shifts_estimates_only(self):
+        records = [make_record(replicate=0), make_record(replicate=1, refused=True)]
+        shifted = perturb_records(records, 0.5)
+        assert shifted[0].estimate == pytest.approx(1.5)
+        assert shifted[0].error == pytest.approx(0.5)
+        assert shifted[1].estimate is None
+        # Originals untouched.
+        assert records[0].estimate == pytest.approx(1.0)
