@@ -213,3 +213,124 @@ def test_bench_ingest(benchmark, results_dir):
         f"{peak_fraction:.0%} of the materialized build's "
         f"{materialized_peak_mb:.1f} MiB (allowed: {MAX_PEAK_FRACTION:.0%})"
     )
+
+
+# ---------------------------------------------------------------------------
+# Parquet vs CSV file ingest (gated on the optional pyarrow dependency).
+# ---------------------------------------------------------------------------
+
+#: Parquet ingest must at least match CSV throughput: CSV pays a whole-file
+#: inference pass plus text parsing, Parquet reads dtypes from the footer
+#: and decodes binary columns.
+MIN_PARQUET_SPEEDUP = 1.0
+
+
+def test_bench_parquet_vs_csv_ingest(benchmark, results_dir, tmp_path):
+    """File-source arms of the same build: Parquet must not trail CSV.
+
+    Both arms resolve through ``open_source`` and build the same index from
+    the same logical rows, so the ratio isolates the per-format read path
+    (schema resolution + value decoding).  The persisted stores must stay
+    byte-identical — format choice is not allowed to leak into artifacts.
+    """
+    import pytest
+
+    pa = pytest.importorskip("pyarrow")
+    pq = pytest.importorskip("pyarrow.parquet")
+
+    from repro.discovery.persistence import save_index
+    from repro.ingest.sources import open_source
+    from repro.relational.csvio import write_csv
+    from repro.store import load_npz
+
+    tables = build_lake()
+    csv_paths, parquet_paths = [], []
+    for table in tables:
+        csv_path = tmp_path / f"{table.name}.csv"
+        write_csv(table, csv_path)
+        csv_paths.append(csv_path)
+        parquet_path = tmp_path / f"{table.name}.parquet"
+        pq.write_table(
+            pa.table(
+                {
+                    column.name: pa.array(
+                        column.values,
+                        type=pa.string() if column.name == "key" else pa.float64(),
+                    )
+                    for column in table.columns
+                }
+            ),
+            parquet_path,
+            row_group_size=CHUNK_ROWS,
+        )
+        parquet_paths.append(parquet_path)
+
+    def build_from(paths):
+        builder = IndexBuilder(CONFIG, max_workers=0)
+        for path in paths:
+            builder.add_table_stream(
+                open_source(path, chunk_size=CHUNK_ROWS), ["key"]
+            )
+        return builder.build()
+
+    def best_of(operation, rounds=3):
+        result, best = None, float("inf")
+        for _ in range(rounds):
+            start = time.perf_counter()
+            result = operation()
+            best = min(best, time.perf_counter() - start)
+        return result, best
+
+    build_from(csv_paths)
+    build_from(parquet_paths)
+    csv_index, csv_seconds = best_of(lambda: build_from(csv_paths))
+
+    def timed_parquet():
+        return best_of(lambda: build_from(parquet_paths))
+
+    parquet_index, parquet_seconds = benchmark.pedantic(
+        timed_parquet, rounds=1, iterations=1
+    )
+
+    csv_dir, parquet_dir = tmp_path / "csv.index", tmp_path / "parquet.index"
+    save_index(csv_index, csv_dir)
+    save_index(parquet_index, parquet_dir)
+    assert (csv_dir / "index.json").read_text() == (
+        parquet_dir / "index.json"
+    ).read_text()
+    csv_store = load_npz(csv_dir / "sketches.npz")
+    parquet_store = load_npz(parquet_dir / "sketches.npz")
+    assert csv_store._manifest == parquet_store._manifest
+    byte_identical = True
+    for name in csv_store._arrays:
+        assert csv_store.array(name).tobytes() == parquet_store.array(name).tobytes(), name
+
+    speedup = csv_seconds / parquet_seconds
+    total_columns = NUM_TABLES * COLUMNS_PER_TABLE
+    report = {
+        "benchmark": "parquet_vs_csv_ingest",
+        "columns": total_columns,
+        "tables": NUM_TABLES,
+        "rows_per_table": ROWS_PER_TABLE,
+        "chunk_rows": CHUNK_ROWS,
+        "csv": {
+            "seconds": csv_seconds,
+            "columns_per_second": total_columns / csv_seconds,
+        },
+        "parquet": {
+            "seconds": parquet_seconds,
+            "columns_per_second": total_columns / parquet_seconds,
+        },
+        "parquet_speedup": speedup,
+        "byte_identical_store": byte_identical,
+    }
+    path = results_dir / "parquet_ingest.json"
+    path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print()
+    print(json.dumps(report, indent=2))
+    print(f"[report saved to {path}]")
+
+    assert speedup >= MIN_PARQUET_SPEEDUP, (
+        f"Parquet ingest is {1.0 / speedup:.2f}x slower than CSV "
+        f"(required: at least {MIN_PARQUET_SPEEDUP}x CSV throughput)"
+    )

@@ -27,9 +27,12 @@ pipeline plus the reproduction harness:
     :class:`~repro.discovery.builder.IndexBuilder` (``--workers N`` worker
     processes over ``--shards K`` shards) and writes the index with its
     columnar sketch store; ``index add`` sketches additional tables into an
-    existing index directory; ``index ingest`` streams CSV tables into a
-    new or existing index in bounded-memory chunks (``--chunk-size N``),
-    producing byte-identical indexes to ``build``/``add``; ``index info``
+    existing index directory; ``index ingest`` streams CSV/Parquet tables —
+    or a whole lake directory (``--lake DIR``), one logical table per file —
+    into a new or existing index in bounded-memory chunks
+    (``--chunk-size N``), resolving each file through the pluggable source
+    registry (``--format {auto,csv,parquet}``, auto-detection by extension)
+    and producing byte-identical indexes to ``build``/``add``; ``index info``
     summarizes one (including its posting-index sidecar, when present);
     ``index query`` evaluates one augmentation query against one and prints
     the ranked results as JSON (``--no-postings`` forces a full candidate
@@ -59,6 +62,8 @@ Examples
     repro index build lake/*.csv --key date --output lake.index --workers 4 --shards 16
     repro index add late_arrival.csv --index lake.index --key date
     repro index ingest huge_table.csv --index lake.index --key date --chunk-size 20000
+    repro index ingest staged.parquet --index lake.index --key date
+    repro index ingest --lake staging/ --key date -o lake.index
     repro index info lake.index
     repro index postings build lake.index
     repro index query lake.index --csv taxi.csv --key date --target num_trips --top-k 5
@@ -284,11 +289,30 @@ def build_parser() -> argparse.ArgumentParser:
     add_table_options(index_add)
     index_add.add_argument("--index", required=True, help="existing index directory")
 
+    from repro.ingest.sources import source_formats
+
     index_ingest = index_commands.add_parser(
         "ingest",
-        help="stream CSV tables into an index in bounded-memory chunks",
+        help="stream CSV/Parquet tables (or a whole lake directory) into an "
+        "index in bounded-memory chunks",
     )
-    index_ingest.add_argument("csvs", nargs="+", help="candidate CSV tables")
+    index_ingest.add_argument(
+        "tables", nargs="*", metavar="TABLE",
+        help="candidate table files (CSV/Parquet; format auto-detected "
+        "from the extension unless --format is given)",
+    )
+    index_ingest.add_argument(
+        "--lake", metavar="DIR",
+        help="ingest every recognized table file of a lake/staging "
+        "directory, one logical table per file (combinable with "
+        "positional TABLE files)",
+    )
+    index_ingest.add_argument(
+        "--format",
+        choices=["auto"] + [spec.name for spec in source_formats()],
+        default="auto",
+        help="table file format (default: auto-detect from the extension)",
+    )
     index_ingest.add_argument("--key", required=True, help="join-key column name")
     index_ingest.add_argument(
         "--values",
@@ -593,12 +617,16 @@ def _command_index_add(args: argparse.Namespace) -> int:
 def _command_index_ingest(args: argparse.Namespace) -> int:
     from repro.discovery.index import SketchIndex
     from repro.discovery.persistence import load_index, save_index
-    from repro.ingest.reader import CSVReader
+    from repro.ingest.sources import open_lake, open_source
 
     if bool(args.index) == bool(args.output):
         raise ReproError(
             "index ingest writes either into an existing index (--index DIR) "
             "or a new one (--output DIR); pass exactly one of the two"
+        )
+    if not args.tables and not args.lake:
+        raise ReproError(
+            "index ingest needs at least one TABLE file or a --lake DIR"
         )
     if args.index:
         if any(
@@ -616,23 +644,44 @@ def _command_index_ingest(args: argparse.Namespace) -> int:
         target = args.output
     value_columns = _value_columns_from_args(args)
     # Restricting --values projects at read time too: non-candidate columns
-    # are never parsed or coerced.
+    # are never parsed or decoded.
     projection = None
     if value_columns is not None:
         projection = [args.key] + [
             column for column in value_columns if column != args.key
         ]
-    before = len(index)
-    for csv_path in args.csvs:
-        reader = CSVReader(
-            csv_path, chunk_size=args.chunk_size, columns=projection
+    # Resolve every input through the source registry up front, so a bad
+    # extension / unknown format / missing optional dependency fails before
+    # any sketching work starts.
+    readers = [
+        open_source(
+            path,
+            format=args.format,
+            chunk_size=args.chunk_size,
+            columns=projection,
         )
+        for path in args.tables
+    ]
+    skipped = 0
+    if args.lake:
+        lake = open_lake(
+            args.lake,
+            format=args.format,
+            chunk_size=args.chunk_size,
+            columns=projection,
+        )
+        skipped = len(lake.skipped)
+        readers.extend(lake.sources())
+    before = len(index)
+    for reader in readers:
         for candidate in index.engine.ingest_table(reader, [args.key], value_columns):
             index.add_prebuilt(candidate)
     save_index(index, target)
+    note = f" ({skipped} unrecognized lake files skipped)" if skipped else ""
     print(
-        f"ingested {len(index) - before} candidates from {len(args.csvs)} tables "
-        f"(chunks of {args.chunk_size} rows) into {target} ({len(index)} total)"
+        f"ingested {len(index) - before} candidates from {len(readers)} tables "
+        f"(chunks of {args.chunk_size} rows) into {target} "
+        f"({len(index)} total){note}"
     )
     return 0
 

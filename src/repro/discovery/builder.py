@@ -335,9 +335,12 @@ class IndexBuilder:
     ) -> str:
         """Register and sketch a table from a chunked source, in one pass.
 
-        ``source`` is a :class:`~repro.ingest.reader.TableReader`, a plain
-        :class:`Table` (chunked internally) or an iterable of ``Table``
-        chunks sharing one schema.  The source is consumed *now* — its
+        ``source`` is anything the pluggable source registry resolves
+        (:func:`~repro.ingest.sources.open_source`): a
+        :class:`~repro.ingest.reader.TableReader`, a plain :class:`Table`
+        (chunked internally), a path to a CSV/Parquet table file or an
+        iterable of ``Table`` chunks sharing one schema.  The source is
+        consumed *now* — its
         candidates are profiled, KMV-sketched and MI-sketched chunk by
         chunk through :class:`~repro.ingest.ingestor.TableIngestor`, never
         materializing the table — and merged by :meth:`build` in

@@ -342,9 +342,12 @@ class SketchEngine:
     ) -> Sketch:
         """Build one sketch from a chunked source, in bounded memory.
 
-        ``source`` is a :class:`~repro.ingest.reader.TableReader`, a plain
-        :class:`Table` (chunked internally) or any iterable of ``Table``
-        chunks sharing one schema.  Each chunk is consumed through the
+        ``source`` is anything the pluggable source registry resolves
+        (:func:`~repro.ingest.sources.open_source`): a
+        :class:`~repro.ingest.reader.TableReader`, a plain :class:`Table`
+        (chunked internally), a path to a table file in a registered format
+        (CSV, Parquet, ...; auto-detected by extension) or any iterable of
+        ``Table`` chunks sharing one schema.  Each chunk is consumed through the
         sketcher's chunk path, which batches the hashing work when the
         config's ``vectorized`` flag is set; the finalized sketch is
         bit-identical to batch-building over the concatenated chunks.
@@ -419,9 +422,11 @@ class SketchEngine:
         """Ingest a chunked table into discovery-index candidates.
 
         The streaming twin of :meth:`~repro.discovery.index.SketchIndex.
-        add_table`'s sketching work: every (key column, value column) pair
-        of the source is profiled, KMV-sketched and MI-sketched in one pass
-        over the chunks, and the returned
+        add_table`'s sketching work: ``source`` — a reader, a ``Table``, a
+        table-file path resolved through
+        :func:`~repro.ingest.sources.open_source`, or a chunk iterable —
+        has every (key column, value column) pair profiled, KMV-sketched
+        and MI-sketched in one pass over the chunks, and the returned
         :class:`~repro.discovery.index.IndexedCandidate` objects are
         bit-identical to batch-building over the materialized table.  Feed
         them to ``SketchIndex.add_prebuilt`` (or use the higher-level

@@ -1,13 +1,25 @@
-"""Streaming (one-pass) ingestion: chunked sources, sketchers and ingestors.
+"""Streaming (one-pass) ingestion: pluggable sources, sketchers, ingestors.
 
 Section IV-A of the paper notes that sketch construction "can be done in a
 single pass" over the table.  This package generalizes that claim from the
 original TUPSK-only streamers to **every** sketching method and wires it
 through the whole pipeline, so tables never have to fit in memory:
 
-* :mod:`repro.ingest.reader` — chunked table sources: an in-memory slicer
-  and a two-pass stdlib-CSV reader, both yielding consistently typed
-  :class:`~repro.relational.table.Table` chunks in ``O(chunk)`` memory;
+* :mod:`repro.ingest.reader` — the chunk-source contract
+  (:class:`~repro.ingest.reader.TableReader` +
+  :class:`~repro.ingest.reader.SchemaProvider`) and the stdlib sources: an
+  in-memory slicer and a two-pass CSV reader, both yielding consistently
+  typed :class:`~repro.relational.table.Table` chunks in ``O(chunk)``
+  memory;
+* :mod:`repro.ingest.parquet` — the Arrow/Parquet-native source (optional
+  ``pyarrow`` dependency): dtypes from file metadata with no data pass,
+  row-group-aligned chunking, identical value coercion to the CSV path;
+* :mod:`repro.ingest.sources` — the pluggable format registry every
+  consumer resolves through: :func:`~repro.ingest.sources.open_source`
+  (extension auto-detection, ``format=`` override),
+  :func:`~repro.ingest.sources.register_source`, and lake directories via
+  :class:`~repro.ingest.sources.DirectorySource` /
+  :func:`~repro.ingest.sources.open_lake`;
 * :mod:`repro.ingest.sketchers` — streaming sketchers per method (base and
   candidate side) plus a streaming KMV path, all **bit-identical** to batch
   construction on the same rows, with mergeable partial states where the
@@ -18,11 +30,19 @@ through the whole pipeline, so tables never have to fit in memory:
 
 Entry points higher up the stack: ``SketchEngine.sketch_stream`` /
 ``SketchEngine.ingest_table``, ``IndexBuilder.add_table_stream``,
-``DiscoveryService.register_table`` and the ``repro index ingest`` CLI.
-See ``docs/ingestion.md`` for the memory model per method.
+``DiscoveryService.register_table`` and the ``repro index ingest`` CLI —
+each accepts a reader, a ``Table``, a chunk iterable or a plain file path.
+See ``docs/ingestion.md`` for the source registry and the memory model per
+method.
 """
 
-from repro.ingest.reader import CSVReader, InMemoryReader, TableReader, iter_chunks
+from repro.ingest.reader import (
+    CSVReader,
+    InMemoryReader,
+    SchemaProvider,
+    TableReader,
+    iter_chunks,
+)
 from repro.ingest.sketchers import (
     CandidateFamilyState,
     StreamingBaseSketcher,
@@ -33,12 +53,30 @@ from repro.ingest.sketchers import (
     streaming_base_sketcher,
     streaming_candidate_sketcher,
 )
+from repro.ingest.sources import (
+    DirectorySource,
+    SourceFormat,
+    detect_format,
+    open_lake,
+    open_source,
+    register_source,
+    source_formats,
+)
 
 __all__ = [
+    "SchemaProvider",
     "TableReader",
     "InMemoryReader",
     "CSVReader",
+    "ParquetReader",
     "iter_chunks",
+    "SourceFormat",
+    "register_source",
+    "source_formats",
+    "detect_format",
+    "open_source",
+    "open_lake",
+    "DirectorySource",
     "CandidateFamilyState",
     "StreamingBaseSketcher",
     "StreamingCandidateSketcher",
@@ -53,10 +91,14 @@ __all__ = [
 
 def __getattr__(name: str):
     # Resolved lazily (PEP 562): the ingestor builds discovery-index
-    # candidates, and the discovery/engine layers are heavyweight imports
-    # this package's sketchers and readers do not need.
+    # candidates (heavyweight discovery/engine imports), and ParquetReader
+    # lives in the optional-dependency module.
     if name == "TableIngestor":
         from repro.ingest.ingestor import TableIngestor
 
         return TableIngestor
+    if name == "ParquetReader":
+        from repro.ingest.parquet import ParquetReader
+
+        return ParquetReader
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,194 @@
+"""Arrow/Parquet-native chunked table source.
+
+:class:`ParquetReader` is the columnar twin of
+:class:`~repro.ingest.reader.CSVReader`: it yields a Parquet file as
+consistently-typed :class:`~repro.relational.table.Table` chunks.  Unlike
+CSV — untyped text that needs a whole-file inference pass — Parquet is
+self-describing, so :meth:`ParquetReader.schema` resolves column dtypes
+from the file footer's Arrow schema with **zero** data passes, and
+:meth:`ParquetReader.chunks` performs the single data pass, reading
+row-group-aligned record batches through
+:meth:`pyarrow.parquet.ParquetFile.iter_batches` (a batch never spans a
+row-group boundary, so I/O stays sequential per column chunk).
+
+Arrow values are converted to the relational layer's Python representation
+through the same :class:`~repro.relational.column.Column` coercion the CSV
+path applies — Arrow nulls and float NaN both normalize to ``None``,
+integers stay exact Python ints — so the same logical rows produce
+bit-identical sketches regardless of which on-disk format carried them.
+
+``pyarrow`` is an **optional** dependency: this module imports without it,
+and constructing a :class:`ParquetReader` raises
+:class:`~repro.exceptions.IngestError` with install instructions when it is
+missing.  Everything here talks to pyarrow through a narrow surface
+(``ParquetFile``, ``schema_arrow``, ``iter_batches``, ``pyarrow.types``
+predicates, ``Array.to_pylist``) so tests can substitute a counting stub.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Iterator, Optional, Sequence
+
+from repro.exceptions import IngestError, SchemaError
+from repro.ingest.reader import DEFAULT_CHUNK_SIZE, PathLike, TableReader
+from repro.relational.column import Column
+from repro.relational.dtypes import DType
+from repro.relational.table import Table
+
+__all__ = ["ParquetReader", "PYARROW_INSTALL_HINT"]
+
+#: One-line remedy surfaced whenever pyarrow is needed but absent.
+PYARROW_INSTALL_HINT = (
+    "reading Parquet requires the optional pyarrow dependency; "
+    "install it with `pip install pyarrow`"
+)
+
+
+def load_pyarrow() -> Any:
+    """Import and return the ``pyarrow`` module, or raise :class:`IngestError`.
+
+    Centralizing the import keeps the optional-dependency failure mode in
+    one place (a typed error with the install hint, exit code 2 at the
+    CLI) and gives tests a single seam to stub.
+    """
+    try:
+        import pyarrow
+        import pyarrow.parquet  # noqa: F401  (attaches the .parquet submodule)
+    except ImportError:
+        raise IngestError(PYARROW_INSTALL_HINT) from None
+    return pyarrow
+
+
+def _dtype_from_arrow(arrow_type: Any, types: Any, column: str) -> DType:
+    """Map an Arrow type to the relational layer's logical :class:`DType`.
+
+    The mapping mirrors what CSV inference would conclude for the textual
+    rendering of the same values: integers are INT, floating point and
+    decimals are FLOAT, strings are STRING, booleans and temporals are
+    categorical STRING (matching ``infer_dtype``'s treatment of ``bool``
+    and of date-like text), and all-null columns are MISSING.  Dictionary
+    encodings resolve to their value type.
+    """
+    if types.is_dictionary(arrow_type):
+        arrow_type = arrow_type.value_type
+    if types.is_null(arrow_type):
+        return DType.MISSING
+    if types.is_boolean(arrow_type):
+        return DType.STRING
+    if types.is_integer(arrow_type):
+        return DType.INT
+    if types.is_floating(arrow_type) or types.is_decimal(arrow_type):
+        return DType.FLOAT
+    if types.is_string(arrow_type) or types.is_large_string(arrow_type):
+        return DType.STRING
+    if types.is_temporal(arrow_type):
+        return DType.STRING
+    raise IngestError(
+        f"Parquet column {column!r} has unsupported Arrow type {arrow_type}; "
+        f"supported: integer, floating, decimal, string, boolean, temporal "
+        f"and null columns"
+    )
+
+
+class ParquetReader(TableReader):
+    """Chunked Parquet source with metadata-only schema resolution.
+
+    Parameters
+    ----------
+    path:
+        Parquet file path.
+    chunk_size:
+        Upper bound on rows per yielded chunk (batches are additionally
+        bounded by row-group size — a chunk never spans row groups).
+    name:
+        Table name; defaults to the file's base name, like ``CSVReader``.
+    columns:
+        Optional subset of columns to keep (projection pushed down to the
+        Parquet column reader — unprojected columns are never decoded).
+    """
+
+    def __init__(
+        self,
+        path: PathLike,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        *,
+        name: str = "",
+        columns: Optional[Sequence[str]] = None,
+    ):
+        table_name = name or os.path.splitext(os.path.basename(os.fspath(path)))[0]
+        super().__init__(table_name, chunk_size)
+        # Fail fast: a reader that cannot possibly yield data should not
+        # get as far as an engine/builder entry point before erroring.
+        self._pyarrow = load_pyarrow()
+        self.path = os.fspath(path)
+        self._projection = list(columns) if columns is not None else None
+        self._schema: Optional[dict[str, DType]] = None
+        self._file: Optional[Any] = None
+
+    def _parquet_file(self) -> Any:
+        if self._file is None:
+            try:
+                self._file = self._pyarrow.parquet.ParquetFile(self.path)
+            except FileNotFoundError:
+                raise
+            except Exception as exc:
+                raise IngestError(
+                    f"could not open Parquet file {self.path!r}: {exc}"
+                ) from exc
+        return self._file
+
+    def schema(self) -> dict[str, DType]:
+        """Column dtypes, resolved from file metadata — **no** data pass.
+
+        Only the footer (Arrow schema) is consulted; no row group is read
+        and no values are decoded, so resolving the schema of an arbitrarily
+        large file is O(footer).
+        """
+        if self._schema is None:
+            parquet_file = self._parquet_file()
+            types = self._pyarrow.types
+            schema = {
+                field.name: _dtype_from_arrow(field.type, types, field.name)
+                for field in parquet_file.schema_arrow
+            }
+            if self._projection is not None:
+                missing = [name for name in self._projection if name not in schema]
+                if missing:
+                    raise SchemaError(
+                        f"Parquet {self.path} has no column(s): "
+                        f"{', '.join(missing)}"
+                    )
+                schema = {name: schema[name] for name in self._projection}
+            self._schema = schema
+        return dict(self._schema)
+
+    @property
+    def num_rows(self) -> int:
+        """Total row count, from file metadata (no data pass)."""
+        return int(self._parquet_file().metadata.num_rows)
+
+    def chunks(self) -> Iterator[Table]:
+        """Yield row-group-aligned chunks of at most ``chunk_size`` rows.
+
+        Each Arrow record batch converts to a ``Table`` whose columns carry
+        the metadata-declared dtype; values go through the same ``Column``
+        coercion as every other source, so nulls/NaN normalize to ``None``
+        and numeric representations match the CSV path exactly.
+        """
+        schema = self.schema()
+        names = list(schema)
+        parquet_file = self._parquet_file()
+        for batch in parquet_file.iter_batches(
+            batch_size=self.chunk_size, columns=names, use_threads=False
+        ):
+            if batch.num_rows == 0:
+                continue
+            by_name = dict(zip(batch.schema.names, batch.columns))
+            yield Table(
+                [
+                    Column(name, by_name[name].to_pylist(), dtype=schema[name])
+                    for name in names
+                ],
+                name=self.name,
+            )

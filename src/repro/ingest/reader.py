@@ -6,33 +6,61 @@ chunk's columns carry the dtype the *whole* table would infer, so values are
 coerced exactly as a one-shot load would coerce them and sketches built from
 the chunks are bit-identical to sketches built from the materialized table.
 
-Two sources are provided:
+The two halves of that contract are separable:
+
+* :class:`SchemaProvider` — the schema-resolution protocol.  How a source
+  learns its column dtypes is format-specific: CSV needs a whole-file
+  inference pass (:class:`CSVReader` streams the file once through the
+  shared :class:`~repro.relational.dtypes.DtypeFolder` rule), Parquet reads
+  dtypes straight from file metadata with **no** data pass
+  (:class:`~repro.ingest.parquet.ParquetReader`), and in-memory tables
+  already carry theirs (:class:`InMemoryReader`).
+* :class:`TableReader` — the chunk-iteration contract every consumer
+  (engine, builder, serving, CLI) relies on.
+
+Concrete readers are registered with, and resolved through, the pluggable
+source registry in :mod:`repro.ingest.sources` (``open_source`` /
+``open_lake``) — consumers never hard-wire a format.  This module provides
+the two stdlib-only sources:
 
 * :class:`InMemoryReader` — slices an existing ``Table`` (chunk columns
   inherit the parent column dtypes); useful for tests, for retrofitting
   chunked APIs onto in-memory data, and as the reference behaviour.
 * :class:`CSVReader` — reads a CSV file through the stdlib ``csv`` module in
   two passes: a type-inference pass that folds each column's dtype with the
-  same join rule :func:`~repro.relational.dtypes.infer_column_dtype`
-  applies (``O(columns)`` state), then a chunking pass that yields typed
-  chunks.  Peak memory is ``O(chunk)`` regardless of file size, and the
-  resulting chunks coerce identically to
-  :func:`~repro.relational.csvio.read_csv` loading the whole file.
+  same rule :func:`~repro.relational.dtypes.infer_column_dtype` applies
+  (``O(columns)`` state), then a chunking pass that yields typed chunks.
+  Peak memory is ``O(chunk)`` regardless of file size, and the resulting
+  chunks coerce identically to :func:`~repro.relational.csvio.read_csv`
+  loading the whole file.
 """
 
 from __future__ import annotations
 
 import csv
 import os
-from typing import Iterable, Iterator, Optional, Sequence, Union
+from typing import (
+    Iterable,
+    Iterator,
+    Optional,
+    Protocol,
+    Sequence,
+    Union,
+    runtime_checkable,
+)
 
 from repro.exceptions import IngestError, SchemaError
-from repro.ingest.sketchers import _DtypeTracker
 from repro.relational.column import Column
-from repro.relational.dtypes import DType
+from repro.relational.dtypes import DType, DtypeFolder
 from repro.relational.table import Table
 
-__all__ = ["TableReader", "InMemoryReader", "CSVReader", "iter_chunks"]
+__all__ = [
+    "SchemaProvider",
+    "TableReader",
+    "InMemoryReader",
+    "CSVReader",
+    "iter_chunks",
+]
 
 #: Default number of rows per chunk.
 DEFAULT_CHUNK_SIZE = 8192
@@ -40,12 +68,34 @@ DEFAULT_CHUNK_SIZE = 8192
 PathLike = Union[str, os.PathLike]
 
 
+@runtime_checkable
+class SchemaProvider(Protocol):
+    """Anything that can declare a table's column-name → dtype mapping.
+
+    The schema must describe *every* chunk the provider will yield (one
+    consistent mapping for the whole table), and resolving it should be as
+    cheap as the format allows: metadata-only for self-describing formats
+    (Parquet), one inference pass for untyped text (CSV), free for
+    in-memory tables.
+    """
+
+    def schema(self) -> dict[str, DType]:
+        """Column name to dtype mapping every yielded chunk adheres to."""
+        ...  # pragma: no cover - protocol
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        """Column names in declaration order."""
+        ...  # pragma: no cover - protocol
+
+
 class TableReader:
     """Iterable of consistently-typed :class:`Table` chunks of one table.
 
-    Subclasses implement :meth:`chunks`; iteration, the table ``name`` and
-    the declared ``schema`` (column name to :class:`DType`) are the shared
-    contract the ingestion layer relies on.
+    Subclasses implement :meth:`chunks` and the :class:`SchemaProvider`
+    protocol; iteration, the table ``name`` and the declared ``schema``
+    (column name to :class:`DType`) are the shared contract the ingestion
+    layer relies on.
     """
 
     def __init__(self, name: str, chunk_size: int):
@@ -105,6 +155,7 @@ class CSVReader(TableReader):
     """Two-pass chunked CSV source with whole-file type inference.
 
     The first pass streams the file once to fold each column's dtype
+    through the shared :class:`~repro.relational.dtypes.DtypeFolder`
     (constant memory); :meth:`chunks` then streams it again, yielding typed
     chunks whose values coerce exactly as a whole-file
     :func:`~repro.relational.csvio.read_csv` would coerce them.  Join keys
@@ -152,12 +203,12 @@ class CSVReader(TableReader):
         if self._schema is None:
             rows = self._rows()
             header = next(rows)
-            trackers = [_DtypeTracker() for _ in header]
+            folders = [DtypeFolder() for _ in header]
             for row in rows:
-                for tracker, value in zip(trackers, row):
-                    tracker.observe(value)
+                for folder, value in zip(folders, row):
+                    folder.observe(value)
             schema = {
-                column: tracker.dtype for column, tracker in zip(header, trackers)
+                column: folder.dtype for column, folder in zip(header, folders)
             }
             if self._projection is not None:
                 missing = [name for name in self._projection if name not in schema]
@@ -205,31 +256,47 @@ class CSVReader(TableReader):
 
 
 def iter_chunks(
-    source: "TableReader | Table | Iterable[Table]",
+    source: "TableReader | Table | PathLike | Iterable[Table]",
     *,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
 ) -> tuple[str, Iterator[Table]]:
     """Normalize a chunk source into ``(table name, chunk iterator)``.
 
     Accepts a :class:`TableReader`, a plain :class:`Table` (wrapped in an
-    :class:`InMemoryReader`) or any iterable of ``Table`` chunks (the name
-    is then taken from the first chunk).  This is the coercion every
+    :class:`InMemoryReader`), a path to a table file (resolved through the
+    :func:`~repro.ingest.sources.open_source` registry, with format
+    auto-detection by extension) or any iterable of ``Table`` chunks (the
+    name is then taken from the first chunk).  This is the coercion every
     streaming entry point (engine, builder, service) applies to its
-    ``chunks`` argument.
+    ``source`` argument.  Anything else raises :class:`IngestError` naming
+    the supported source kinds.
     """
-    if isinstance(source, TableReader):
-        return source.name, source.chunks()
-    if isinstance(source, Table):
-        reader = InMemoryReader(source, chunk_size)
+    if isinstance(source, (TableReader, Table, str, os.PathLike)):
+        # Paths, tables and readers all resolve through the pluggable
+        # source registry, so every entry point honors the same formats.
+        from repro.ingest.sources import open_source
+
+        reader = open_source(source, chunk_size=chunk_size)
         return reader.name, reader.chunks()
-    iterator = iter(source)
+    try:
+        iterator = iter(source)
+    except TypeError:
+        from repro.ingest.sources import supported_source_kinds
+
+        raise IngestError(
+            f"cannot ingest {type(source).__name__!r}: expected "
+            f"{supported_source_kinds()}"
+        ) from None
     try:
         first = next(iterator)
     except StopIteration:
         raise IngestError("cannot ingest an empty chunk stream") from None
     if not isinstance(first, Table):
+        from repro.ingest.sources import supported_source_kinds
+
         raise IngestError(
-            f"chunk sources must yield Table chunks, got {type(first).__name__}"
+            f"chunk sources must yield Table chunks, got "
+            f"{type(first).__name__}; expected {supported_source_kinds()}"
         )
 
     def _chain() -> Iterator[Table]:

@@ -68,7 +68,12 @@ from repro.relational.aggregate import (
     aggregate_values,
     get_aggregate,
 )
-from repro.relational.dtypes import DType, coerce_value, infer_dtype, is_missing_value
+from repro.relational.dtypes import (
+    DType,
+    DtypeFolder,
+    coerce_value,
+    is_missing_value,
+)
 from repro.sketches.base import Sketch, SketchSide, available_methods, get_builder
 from repro.sketches.sampling import uniform_sample_without_replacement
 
@@ -84,59 +89,10 @@ __all__ = [
 ]
 
 
-class _DtypeTracker:
-    """Incremental :func:`~repro.relational.dtypes.infer_column_dtype`.
-
-    The batch path infers a column's logical dtype over *all* its values
-    (including rows whose join key is missing) before coercing them; this
-    tracker applies the same join rule one value at a time so a streaming
-    sketcher can coerce at finalize time without revisiting the stream.
-    """
-
-    __slots__ = ("saw_int", "saw_float", "saw_string")
-
-    def __init__(self) -> None:
-        self.saw_int = False
-        self.saw_float = False
-        self.saw_string = False
-
-    def observe(self, value: Any) -> None:
-        dtype = infer_dtype(value)
-        if dtype is DType.STRING:
-            self.saw_string = True
-        elif dtype is DType.FLOAT:
-            self.saw_float = True
-        elif dtype is DType.INT:
-            self.saw_int = True
-
-    def observe_dtype(self, dtype: DType) -> None:
-        """Fold a whole column's declared dtype in one step.
-
-        Equivalent to observing every value of a column that carries
-        ``dtype`` — the trusted chunk path uses this instead of per-value
-        inference, since a coerced column's dtype subsumes its values'.
-        """
-        if dtype is DType.STRING:
-            self.saw_string = True
-        elif dtype is DType.FLOAT:
-            self.saw_float = True
-        elif dtype is DType.INT:
-            self.saw_int = True
-
-    def combine(self, other: "_DtypeTracker") -> None:
-        self.saw_int = self.saw_int or other.saw_int
-        self.saw_float = self.saw_float or other.saw_float
-        self.saw_string = self.saw_string or other.saw_string
-
-    @property
-    def dtype(self) -> DType:
-        if self.saw_string:
-            return DType.STRING
-        if self.saw_float:
-            return DType.FLOAT
-        if self.saw_int:
-            return DType.INT
-        return DType.MISSING
+# The streaming sketchers fold value dtypes through the relational layer's
+# shared incremental-inference helper, so a streamed column always infers
+# the same dtype a batch `Column` (or the CSV schema pass) would infer.
+_DtypeTracker = DtypeFolder
 
 
 def _numeric(value: Any) -> Any:

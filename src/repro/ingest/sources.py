@@ -1,0 +1,349 @@
+"""Pluggable table-source registry: formats, ``open_source`` and lakes.
+
+Every consumer of tabular input — ``SketchEngine.ingest_table`` /
+``sketch_stream``, ``IndexBuilder.add_table_stream``,
+``DiscoveryService.register_table`` and the ``repro index ingest`` CLI —
+resolves its source through this module instead of instantiating a concrete
+reader.  The seam has three pieces:
+
+* :class:`SourceFormat` — a registered on-disk table format: its name, the
+  file extensions it claims, a factory producing a
+  :class:`~repro.ingest.reader.TableReader`, how it resolves schemas (the
+  :class:`~repro.ingest.reader.SchemaProvider` cost class) and its optional
+  dependency, if any.  :func:`register_source` adds new formats;
+  the built-ins are ``csv`` (stdlib, two-pass inference) and ``parquet``
+  (pyarrow, metadata-only schema — see :mod:`repro.ingest.parquet`).
+* :func:`open_source` — the one factory everything funnels through: give
+  it a path (format auto-detected by extension, or forced), a ``Table``
+  (wrapped in an :class:`~repro.ingest.reader.InMemoryReader`) or an
+  already-open reader, get a ``TableReader`` back.  Unknown extensions,
+  missing files, directories and unsupported inputs all raise a typed
+  :class:`~repro.exceptions.IngestError` naming the supported formats.
+* :class:`DirectorySource` / :func:`open_lake` — a staging/lake directory
+  of data files, one logical table per file (named after the file stem):
+  the unit ``repro index ingest --lake DIR`` and live registration consume.
+  Hidden files, ``_``-prefixed markers (``_SUCCESS``) and unrecognized
+  extensions are skipped (and reported via :attr:`DirectorySource.skipped`).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Optional, Sequence, Union
+
+from repro.exceptions import IngestError
+from repro.ingest.reader import (
+    DEFAULT_CHUNK_SIZE,
+    CSVReader,
+    InMemoryReader,
+    PathLike,
+    TableReader,
+)
+from repro.relational.table import Table
+
+__all__ = [
+    "SourceFormat",
+    "register_source",
+    "source_formats",
+    "get_format",
+    "detect_format",
+    "supported_source_kinds",
+    "open_source",
+    "open_lake",
+    "DirectorySource",
+]
+
+
+@dataclass(frozen=True)
+class SourceFormat:
+    """A registered on-disk table format.
+
+    Parameters
+    ----------
+    name:
+        Registry key (``"csv"``, ``"parquet"``, ...), also the value the
+        CLI's ``--format`` accepts.
+    extensions:
+        Lower-case file extensions (with the dot) auto-detection claims.
+    factory:
+        ``factory(path, chunk_size=..., name=..., columns=...)`` returning
+        a :class:`~repro.ingest.reader.TableReader` for one file.
+    schema_inference:
+        Human-readable schema-resolution cost (surfaced in docs/errors),
+        e.g. ``"two-pass (whole-file dtype fold)"`` or
+        ``"metadata-only (no data pass)"``.
+    requires:
+        Optional dependency the factory needs at open time (``None`` for
+        stdlib-only formats).  Registration never imports it — the factory
+        raises a typed error with install instructions when it is missing.
+    """
+
+    name: str
+    extensions: tuple[str, ...]
+    factory: Callable[..., TableReader] = field(repr=False)
+    schema_inference: str = ""
+    requires: Optional[str] = None
+
+
+_REGISTRY: dict[str, SourceFormat] = {}
+
+
+def register_source(format_spec: SourceFormat) -> None:
+    """Register (or replace) a table format in the source registry.
+
+    Extensions must be unambiguous: claiming an extension another format
+    already owns raises :class:`IngestError`.
+    """
+    for extension in format_spec.extensions:
+        if not extension.startswith("."):
+            raise IngestError(
+                f"format {format_spec.name!r} extension {extension!r} must "
+                f"start with a dot"
+            )
+        owner = _REGISTRY.get(_extension_owner(extension) or "")
+        if owner is not None and owner.name != format_spec.name:
+            raise IngestError(
+                f"extension {extension!r} is already registered to format "
+                f"{owner.name!r}"
+            )
+    _REGISTRY[format_spec.name] = format_spec
+
+
+def _extension_owner(extension: str) -> Optional[str]:
+    for format_spec in _REGISTRY.values():
+        if extension.lower() in format_spec.extensions:
+            return format_spec.name
+    return None
+
+
+def source_formats() -> tuple[SourceFormat, ...]:
+    """Registered formats, in registration order."""
+    return tuple(_REGISTRY.values())
+
+
+def supported_extensions() -> dict[str, str]:
+    """Mapping of registered file extension to format name."""
+    return {
+        extension: format_spec.name
+        for format_spec in _REGISTRY.values()
+        for extension in format_spec.extensions
+    }
+
+
+def get_format(name: str) -> SourceFormat:
+    """Look up a registered format by name, with a naming error."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise IngestError(
+            f"unknown table format {name!r}; registered formats: "
+            f"{', '.join(sorted(_REGISTRY))}"
+        ) from None
+
+
+def detect_format(path: PathLike) -> SourceFormat:
+    """Resolve a file path's format from its extension.
+
+    Raises :class:`IngestError` naming the supported extensions when the
+    extension is unknown (pass an explicit ``format=`` to override).
+    """
+    text = os.fspath(path)
+    extension = os.path.splitext(text)[1].lower()
+    owner = _extension_owner(extension) if extension else None
+    if owner is None:
+        known = ", ".join(
+            f"{ext} ({name})" for ext, name in sorted(supported_extensions().items())
+        )
+        raise IngestError(
+            f"cannot detect the table format of {text!r} from its extension "
+            f"{extension or '(none)'!r}; supported extensions: {known} — "
+            f"or pass the format explicitly"
+        )
+    return _REGISTRY[owner]
+
+
+def supported_source_kinds() -> str:
+    """One-line description of every accepted source kind (for errors)."""
+    formats = ", ".join(
+        f"{spec.name} ({'/'.join(spec.extensions)})" for spec in source_formats()
+    )
+    return (
+        f"a Table, a TableReader, an iterable of Table chunks, or a path "
+        f"to a table file in a registered format: {formats}"
+    )
+
+
+def open_source(
+    source: Union[TableReader, Table, PathLike],
+    *,
+    format: str = "auto",
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    name: Optional[str] = None,
+    columns: Optional[Sequence[str]] = None,
+) -> TableReader:
+    """Resolve any supported table input into a :class:`TableReader`.
+
+    * an existing ``TableReader`` passes through unchanged;
+    * a ``Table`` wraps in an :class:`InMemoryReader` (``columns`` projects
+      it first);
+    * a ``str``/``os.PathLike`` resolves through the format registry —
+      auto-detected from the extension, or forced via ``format=``.
+
+    Everything else — and unknown extensions, unknown format names, missing
+    files, directories — raises :class:`IngestError` with the supported
+    alternatives spelled out.
+    """
+    if isinstance(source, TableReader):
+        if format != "auto":
+            raise IngestError(
+                "format= applies to path sources; got an already-open "
+                f"{type(source).__name__}"
+            )
+        return source
+    if isinstance(source, Table):
+        if format != "auto":
+            raise IngestError(
+                "format= applies to path sources; got an in-memory Table"
+            )
+        table = source.select(columns) if columns is not None else source
+        return InMemoryReader(table, chunk_size, name=name)
+    if isinstance(source, (str, os.PathLike)):
+        path = os.fspath(source)
+        if os.path.isdir(path):
+            raise IngestError(
+                f"{path!r} is a directory; open lake directories with "
+                f"open_lake()/DirectorySource (CLI: repro index ingest "
+                f"--lake {path})"
+            )
+        format_spec = detect_format(path) if format == "auto" else get_format(format)
+        if not os.path.exists(path):
+            raise IngestError(f"no such table file: {path!r}")
+        kwargs: dict = {"chunk_size": chunk_size}
+        if name is not None:
+            kwargs["name"] = name
+        if columns is not None:
+            kwargs["columns"] = columns
+        return format_spec.factory(path, **kwargs)
+    raise IngestError(
+        f"cannot open {type(source).__name__!r} as a table source: "
+        f"expected {supported_source_kinds()}"
+    )
+
+
+class DirectorySource:
+    """A staging/lake directory of table files — one logical table each.
+
+    Files are discovered non-recursively, sorted by name for deterministic
+    registration order, and each resolves through :func:`open_source` under
+    this source's ``format``/``chunk_size``/``columns`` settings.  Hidden
+    (``.``-prefixed) and marker (``_``-prefixed, e.g. ``_SUCCESS``) files
+    are ignored; files with unrecognized extensions are skipped and listed
+    in :attr:`skipped` rather than failing the whole lake.  Two files that
+    would produce the same table name (``a.csv`` + ``a.parquet``) are
+    ambiguous and raise :class:`IngestError`.
+    """
+
+    def __init__(
+        self,
+        directory: PathLike,
+        *,
+        format: str = "auto",
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        columns: Optional[Sequence[str]] = None,
+    ):
+        self.directory = os.fspath(directory)
+        if not os.path.isdir(self.directory):
+            raise IngestError(f"lake directory not found: {self.directory!r}")
+        self.format = format
+        self.chunk_size = int(chunk_size)
+        self._columns = list(columns) if columns is not None else None
+        if format == "auto":
+            accepted = set(supported_extensions())
+        else:
+            accepted = set(get_format(format).extensions)
+        paths: list[str] = []
+        skipped: list[str] = []
+        for entry in sorted(os.listdir(self.directory)):
+            full = os.path.join(self.directory, entry)
+            if not os.path.isfile(full) or entry.startswith((".", "_")):
+                continue
+            if os.path.splitext(entry)[1].lower() in accepted:
+                paths.append(full)
+            else:
+                skipped.append(full)
+        self.paths: tuple[str, ...] = tuple(paths)
+        self.skipped: tuple[str, ...] = tuple(skipped)
+        if not self.paths:
+            known = ", ".join(sorted(accepted))
+            raise IngestError(
+                f"lake directory {self.directory!r} contains no recognized "
+                f"table files (looked for: {known})"
+            )
+        stems: dict[str, str] = {}
+        for path in self.paths:
+            stem = os.path.splitext(os.path.basename(path))[0]
+            if stem in stems:
+                raise IngestError(
+                    f"lake directory {self.directory!r} has two files for "
+                    f"table {stem!r}: {stems[stem]!r} and "
+                    f"{os.path.basename(path)!r}"
+                )
+            stems[stem] = os.path.basename(path)
+
+    def __len__(self) -> int:
+        return len(self.paths)
+
+    def sources(self) -> Iterator[TableReader]:
+        """Yield one :class:`TableReader` per data file, in name order."""
+        for path in self.paths:
+            yield open_source(
+                path,
+                format=self.format,
+                chunk_size=self.chunk_size,
+                columns=self._columns,
+            )
+
+    def __iter__(self) -> Iterator[TableReader]:
+        return self.sources()
+
+
+def open_lake(
+    directory: PathLike,
+    *,
+    format: str = "auto",
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    columns: Optional[Sequence[str]] = None,
+) -> DirectorySource:
+    """Open a lake/staging directory as a :class:`DirectorySource`."""
+    return DirectorySource(
+        directory, format=format, chunk_size=chunk_size, columns=columns
+    )
+
+
+def _parquet_factory(path: PathLike, **kwargs) -> TableReader:
+    # Imported lazily so registering the format never touches pyarrow; the
+    # reader's constructor raises the install-hint IngestError if absent.
+    from repro.ingest.parquet import ParquetReader
+
+    return ParquetReader(path, **kwargs)
+
+
+register_source(
+    SourceFormat(
+        name="csv",
+        extensions=(".csv",),
+        factory=CSVReader,
+        schema_inference="two-pass (whole-file dtype-inference pass, then chunking)",
+        requires=None,
+    )
+)
+register_source(
+    SourceFormat(
+        name="parquet",
+        extensions=(".parquet", ".pq"),
+        factory=_parquet_factory,
+        schema_inference="metadata-only (dtypes from the file footer, no data pass)",
+        requires="pyarrow",
+    )
+)

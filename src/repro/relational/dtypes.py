@@ -22,6 +22,7 @@ from repro.exceptions import TypeInferenceError
 
 __all__ = [
     "DType",
+    "DtypeFolder",
     "MISSING_TOKENS",
     "infer_dtype",
     "infer_column_dtype",
@@ -123,6 +124,63 @@ def infer_dtype(value: Any) -> DType:
     return DType.FLOAT
 
 
+class DtypeFolder:
+    """Incremental :func:`infer_column_dtype`: fold values (or whole declared
+    dtypes) one at a time and read the column dtype off at any point.
+
+    This is the *one* implementation of the whole-column inference rule —
+    batch column construction, the two-pass CSV reader's schema pass and the
+    streaming sketchers all fold through it, so a column always infers the
+    same dtype no matter which path observed its values.
+    """
+
+    __slots__ = ("saw_int", "saw_float", "saw_string")
+
+    def __init__(self) -> None:
+        self.saw_int = False
+        self.saw_float = False
+        self.saw_string = False
+
+    def observe(self, value: Any) -> None:
+        dtype = infer_dtype(value)
+        if dtype is DType.STRING:
+            self.saw_string = True
+        elif dtype is DType.FLOAT:
+            self.saw_float = True
+        elif dtype is DType.INT:
+            self.saw_int = True
+
+    def observe_dtype(self, dtype: DType) -> None:
+        """Fold a whole column's declared dtype in one step.
+
+        Equivalent to observing every value of a column that carries
+        ``dtype`` — trusted (already-coerced) chunk paths use this instead
+        of per-value inference, since a coerced column's dtype subsumes its
+        values'.
+        """
+        if dtype is DType.STRING:
+            self.saw_string = True
+        elif dtype is DType.FLOAT:
+            self.saw_float = True
+        elif dtype is DType.INT:
+            self.saw_int = True
+
+    def combine(self, other: "DtypeFolder") -> None:
+        self.saw_int = self.saw_int or other.saw_int
+        self.saw_float = self.saw_float or other.saw_float
+        self.saw_string = self.saw_string or other.saw_string
+
+    @property
+    def dtype(self) -> DType:
+        if self.saw_string:
+            return DType.STRING
+        if self.saw_float:
+            return DType.FLOAT
+        if self.saw_int:
+            return DType.INT
+        return DType.MISSING
+
+
 def infer_column_dtype(values: Iterable[Any]) -> DType:
     """Infer the :class:`DType` of a whole column of raw values.
 
@@ -133,28 +191,12 @@ def infer_column_dtype(values: Iterable[Any]) -> DType:
     * otherwise any INT value makes the column INT,
     * a column with only missing values is MISSING.
     """
-    saw_int = saw_float = saw_string = saw_any = False
+    folder = DtypeFolder()
     for value in values:
-        dtype = infer_dtype(value)
-        if dtype is DType.MISSING:
-            continue
-        saw_any = True
-        if dtype is DType.STRING:
-            saw_string = True
+        folder.observe(value)
+        if folder.saw_string:
             break  # STRING dominates; no need to look further
-        if dtype is DType.FLOAT:
-            saw_float = True
-        elif dtype is DType.INT:
-            saw_int = True
-    if saw_string:
-        return DType.STRING
-    if saw_float:
-        return DType.FLOAT
-    if saw_int:
-        return DType.INT
-    if saw_any:  # pragma: no cover - defensive, unreachable
-        return DType.STRING
-    return DType.MISSING
+    return folder.dtype
 
 
 def join_dtypes(left: DType, right: DType) -> DType:

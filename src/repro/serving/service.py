@@ -370,9 +370,12 @@ class DiscoveryService:
     ) -> list[str]:
         """Stream a new table into the live index, without downtime.
 
-        ``source`` is a :class:`~repro.ingest.reader.TableReader`, a plain
-        :class:`~repro.relational.table.Table` or an iterable of ``Table``
-        chunks; its candidates are built in one bounded-memory pass through
+        ``source`` is anything the pluggable source registry resolves
+        (:func:`~repro.ingest.sources.open_source`): a
+        :class:`~repro.ingest.reader.TableReader`, a plain
+        :class:`~repro.relational.table.Table`, a path to a CSV/Parquet
+        table file or an iterable of ``Table`` chunks; its candidates are
+        built in one bounded-memory pass through
         the index engine's :meth:`~repro.engine.session.SketchEngine.
         ingest_table` and added under the registration lock (which
         serializes registrations; queries never block — each plans over a

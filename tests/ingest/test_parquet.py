@@ -1,0 +1,424 @@
+"""Tests for the Arrow/Parquet table source (repro.ingest.parquet).
+
+pyarrow is optional and absent in the default test environment, so most of
+this suite drives :class:`ParquetReader` through a **counting stub** that
+implements the narrow pyarrow surface the reader touches (``ParquetFile``,
+``schema_arrow``, ``iter_batches``, ``pyarrow.types`` predicates,
+``to_pylist``).  The stub counts metadata reads and data reads separately,
+which is what lets the suite *prove* the headline property: schema
+resolution performs zero data passes.  A final class exercises the same
+reader against real pyarrow when it is installed.
+"""
+
+from __future__ import annotations
+
+import builtins
+import sys
+import types as module_types
+
+import pytest
+
+from repro.exceptions import IngestError, SchemaError
+from repro.relational.dtypes import DType
+
+
+# ---------------------------------------------------------------------------
+# The counting pyarrow stub.
+# ---------------------------------------------------------------------------
+
+
+class FakeArrowType:
+    def __init__(self, kind, value_type=None):
+        self.kind = kind
+        self.value_type = value_type
+
+    def __str__(self):
+        return self.kind
+
+
+class FakeField:
+    def __init__(self, name, arrow_type):
+        self.name = name
+        self.type = arrow_type
+
+
+class FakeArray:
+    def __init__(self, values, counters):
+        self._values = values
+        self._counters = counters
+
+    def to_pylist(self):
+        self._counters["data_reads"] += 1
+        return list(self._values)
+
+
+class FakeBatch:
+    def __init__(self, names, columns_by_name, counters):
+        self.schema = module_types.SimpleNamespace(names=list(names))
+        self.columns = [FakeArray(columns_by_name[n], counters) for n in names]
+        self.num_rows = len(next(iter(columns_by_name.values()), []))
+
+
+class FakeMetadata:
+    def __init__(self, num_rows, counters):
+        self._num_rows = num_rows
+        self._counters = counters
+
+    @property
+    def num_rows(self):
+        self._counters["metadata_reads"] += 1
+        return self._num_rows
+
+
+class FakeParquetFileSpec:
+    """On-'disk' content of one fake Parquet file."""
+
+    def __init__(self, fields, data, row_group_size=None):
+        self.fields = fields
+        self.data = data  # column name -> list of values
+        self.num_rows = len(next(iter(data.values()), []))
+        self.row_group_size = row_group_size or max(self.num_rows, 1)
+
+
+class StubArrow:
+    """A sys.modules-injectable pyarrow with read accounting."""
+
+    def __init__(self):
+        self.files: dict[str, FakeParquetFileSpec] = {}
+        self.counters = {"metadata_reads": 0, "data_passes": 0, "data_reads": 0}
+        stub = self
+
+        class FakeParquetFile:
+            def __init__(self, path):
+                path = str(path)
+                if path not in stub.files:
+                    raise FileNotFoundError(path)
+                self._spec = stub.files[path]
+
+            @property
+            def schema_arrow(self):
+                stub.counters["metadata_reads"] += 1
+                return list(self._spec.fields)
+
+            @property
+            def metadata(self):
+                return FakeMetadata(self._spec.num_rows, stub.counters)
+
+            def iter_batches(self, batch_size, columns, use_threads):
+                assert use_threads is False
+                stub.counters["data_passes"] += 1
+                spec = self._spec
+                start = 0
+                while start < spec.num_rows:
+                    group_end = min(start + spec.row_group_size, spec.num_rows)
+                    while start < group_end:
+                        end = min(start + batch_size, group_end)
+                        yield FakeBatch(
+                            columns,
+                            {n: spec.data[n][start:end] for n in columns},
+                            stub.counters,
+                        )
+                        start = end
+
+        def predicate(kind):
+            return lambda arrow_type: arrow_type.kind == kind
+
+        types_module = module_types.ModuleType("pyarrow.types")
+        for kind in (
+            "dictionary",
+            "null",
+            "boolean",
+            "integer",
+            "floating",
+            "decimal",
+            "string",
+            "large_string",
+            "temporal",
+        ):
+            setattr(types_module, f"is_{kind}", predicate(kind))
+
+        parquet_module = module_types.ModuleType("pyarrow.parquet")
+        parquet_module.ParquetFile = FakeParquetFile
+
+        pyarrow_module = module_types.ModuleType("pyarrow")
+        pyarrow_module.parquet = parquet_module
+        pyarrow_module.types = types_module
+
+        self.module = pyarrow_module
+        self.parquet_module = parquet_module
+
+    def add_file(self, path, fields, data, row_group_size=None):
+        self.files[str(path)] = FakeParquetFileSpec(fields, data, row_group_size)
+
+
+@pytest.fixture
+def stub_arrow(monkeypatch):
+    stub = StubArrow()
+    monkeypatch.setitem(sys.modules, "pyarrow", stub.module)
+    monkeypatch.setitem(sys.modules, "pyarrow.parquet", stub.parquet_module)
+    return stub
+
+
+def typed(kind, value_type=None):
+    return FakeArrowType(kind, value_type)
+
+
+# ---------------------------------------------------------------------------
+# Optional-dependency gating.
+# ---------------------------------------------------------------------------
+
+
+class TestMissingPyarrow:
+    def test_reader_raises_typed_error_with_install_hint(self, tmp_path, monkeypatch):
+        from repro.ingest.parquet import PYARROW_INSTALL_HINT, ParquetReader
+
+        real_import = builtins.__import__
+
+        def block(name, *args, **kwargs):
+            if name.startswith("pyarrow"):
+                raise ImportError(name)
+            return real_import(name, *args, **kwargs)
+
+        monkeypatch.delitem(sys.modules, "pyarrow", raising=False)
+        monkeypatch.delitem(sys.modules, "pyarrow.parquet", raising=False)
+        monkeypatch.setattr(builtins, "__import__", block)
+        with pytest.raises(IngestError, match="pip install pyarrow"):
+            ParquetReader(tmp_path / "t.parquet")
+        assert "pyarrow" in PYARROW_INSTALL_HINT
+
+
+# ---------------------------------------------------------------------------
+# Schema resolution from metadata.
+# ---------------------------------------------------------------------------
+
+
+class TestSchemaFromMetadata:
+    def make_reader(self, stub_arrow, tmp_path, fields, data, **kwargs):
+        from repro.ingest.parquet import ParquetReader
+
+        path = tmp_path / "t.parquet"
+        stub_arrow.add_file(path, fields, data)
+        return ParquetReader(path, **kwargs)
+
+    def test_arrow_type_mapping(self, stub_arrow, tmp_path):
+        fields = [
+            FakeField("i", typed("integer")),
+            FakeField("f", typed("floating")),
+            FakeField("d", typed("decimal")),
+            FakeField("s", typed("string")),
+            FakeField("ls", typed("large_string")),
+            FakeField("b", typed("boolean")),
+            FakeField("t", typed("temporal")),
+            FakeField("n", typed("null")),
+            FakeField("dc", typed("dictionary", value_type=typed("string"))),
+        ]
+        data = {field.name: [] for field in fields}
+        reader = self.make_reader(stub_arrow, tmp_path, fields, data)
+        assert reader.schema() == {
+            "i": DType.INT,
+            "f": DType.FLOAT,
+            "d": DType.FLOAT,
+            "s": DType.STRING,
+            "ls": DType.STRING,
+            "b": DType.STRING,
+            "t": DType.STRING,
+            "n": DType.MISSING,
+            "dc": DType.STRING,
+        }
+
+    def test_unsupported_arrow_type_raises(self, stub_arrow, tmp_path):
+        reader = self.make_reader(
+            stub_arrow, tmp_path, [FakeField("x", typed("binary"))], {"x": []}
+        )
+        with pytest.raises(IngestError, match="unsupported Arrow type"):
+            reader.schema()
+
+    def test_schema_performs_zero_data_passes(self, stub_arrow, tmp_path):
+        # The headline Parquet property: dtypes come from the footer alone.
+        reader = self.make_reader(
+            stub_arrow,
+            tmp_path,
+            [FakeField("k", typed("string")), FakeField("v", typed("floating"))],
+            {"k": ["a"] * 1000, "v": [1.0] * 1000},
+        )
+        schema = reader.schema()
+        rows = reader.num_rows
+        assert schema == {"k": DType.STRING, "v": DType.FLOAT}
+        assert rows == 1000
+        assert stub_arrow.counters["metadata_reads"] > 0
+        assert stub_arrow.counters["data_passes"] == 0
+        assert stub_arrow.counters["data_reads"] == 0
+
+    def test_projection_filters_and_orders(self, stub_arrow, tmp_path):
+        reader = self.make_reader(
+            stub_arrow,
+            tmp_path,
+            [
+                FakeField("a", typed("integer")),
+                FakeField("b", typed("string")),
+                FakeField("c", typed("floating")),
+            ],
+            {"a": [1], "b": ["x"], "c": [0.5]},
+            columns=["c", "a"],
+        )
+        assert list(reader.schema()) == ["c", "a"]
+        assert reader.column_names == ("c", "a")
+
+    def test_missing_projection_column_raises(self, stub_arrow, tmp_path):
+        reader = self.make_reader(
+            stub_arrow,
+            tmp_path,
+            [FakeField("a", typed("integer"))],
+            {"a": [1]},
+            columns=["nope"],
+        )
+        with pytest.raises(SchemaError, match="nope"):
+            reader.schema()
+
+    def test_missing_file_raises_file_not_found(self, stub_arrow, tmp_path):
+        from repro.ingest.parquet import ParquetReader
+
+        reader = ParquetReader(tmp_path / "absent.parquet")
+        with pytest.raises(FileNotFoundError):
+            reader.schema()
+
+
+# ---------------------------------------------------------------------------
+# Chunked conversion.
+# ---------------------------------------------------------------------------
+
+
+class TestChunks:
+    FIELDS = [
+        FakeField("key", FakeArrowType("string")),
+        FakeField("value", FakeArrowType("floating")),
+        FakeField("count", FakeArrowType("integer")),
+    ]
+
+    def make_reader(self, stub_arrow, tmp_path, data, **kwargs):
+        from repro.ingest.parquet import ParquetReader
+
+        path = tmp_path / "chunks.parquet"
+        fields = [f for f in self.FIELDS if f.name in data]
+        stub_arrow.add_file(
+            path, fields, data, row_group_size=kwargs.pop("row_group_size", None)
+        )
+        return ParquetReader(path, **kwargs)
+
+    def test_values_coerce_like_csv(self, stub_arrow, tmp_path):
+        # Arrow nulls and NaN -> None; ints stay exact Python ints.
+        reader = self.make_reader(
+            stub_arrow,
+            tmp_path,
+            {
+                "key": ["a", None, "c"],
+                "value": [1.5, float("nan"), 3.0],
+                "count": [10**15, None, 3],
+            },
+        )
+        (chunk,) = list(reader.chunks())
+        assert chunk.column("key").values == ["a", None, "c"]
+        assert chunk.column("value").values == [1.5, None, 3.0]
+        assert chunk.column("count").values == [10**15, None, 3]
+        assert chunk.column("count").dtype == DType.INT
+        assert chunk.name == "chunks"
+
+    def test_chunks_respect_chunk_size_and_row_groups(self, stub_arrow, tmp_path):
+        reader = self.make_reader(
+            stub_arrow,
+            tmp_path,
+            {
+                "key": [f"k{i}" for i in range(10)],
+                "value": [float(i) for i in range(10)],
+                "count": list(range(10)),
+            },
+            chunk_size=4,
+            row_group_size=5,
+        )
+        sizes = [chunk.num_rows for chunk in reader.chunks()]
+        # Row groups of 5 split by batch_size 4: [4, 1] per group.
+        assert sizes == [4, 1, 4, 1]
+        assert sum(sizes) == 10
+
+    def test_exactly_one_data_pass(self, stub_arrow, tmp_path):
+        reader = self.make_reader(
+            stub_arrow,
+            tmp_path,
+            {"key": ["a", "b"], "value": [1.0, 2.0], "count": [1, 2]},
+        )
+        list(reader.chunks())
+        assert stub_arrow.counters["data_passes"] == 1
+
+    def test_projection_pushed_down(self, stub_arrow, tmp_path):
+        reader = self.make_reader(
+            stub_arrow,
+            tmp_path,
+            {"key": ["a", "b"], "value": [1.0, 2.0], "count": [1, 2]},
+            columns=["value"],
+        )
+        (chunk,) = list(reader.chunks())
+        assert chunk.column_names == ("value",)
+        # Only the projected column was ever materialized from Arrow.
+        assert stub_arrow.counters["data_reads"] == 1
+
+
+# ---------------------------------------------------------------------------
+# Real pyarrow (skipped when the optional dependency is absent).
+# ---------------------------------------------------------------------------
+
+
+class TestRealPyarrow:
+    def write(self, tmp_path):
+        pa = pytest.importorskip("pyarrow")
+        pq = pytest.importorskip("pyarrow.parquet")
+        table = pa.table(
+            {
+                "key": pa.array(["a", None, "c", "d"], type=pa.string()),
+                "value": pa.array([1.5, float("nan"), None, -2.0], type=pa.float64()),
+                "count": pa.array([10**15, 2, None, 4], type=pa.int64()),
+            }
+        )
+        path = tmp_path / "real.parquet"
+        pq.write_table(table, path, row_group_size=2)
+        return path
+
+    def test_schema_and_chunks(self, tmp_path):
+        from repro.ingest.parquet import ParquetReader
+
+        path = self.write(tmp_path)
+        reader = ParquetReader(path, chunk_size=3)
+        assert reader.schema() == {
+            "key": DType.STRING,
+            "value": DType.FLOAT,
+            "count": DType.INT,
+        }
+        assert reader.num_rows == 4
+        data: dict = {}
+        for chunk in reader.chunks():
+            for column in chunk.columns:
+                data.setdefault(column.name, []).extend(column.values)
+        assert data == {
+            "key": ["a", None, "c", "d"],
+            "value": [1.5, None, None, -2.0],
+            "count": [10**15, 2, None, 4],
+        }
+
+    def test_matches_csv_reader_output(self, tmp_path):
+        from repro.ingest.parquet import ParquetReader
+        from repro.ingest.reader import CSVReader
+
+        path = self.write(tmp_path)
+        csv_path = tmp_path / "real.csv"
+        csv_path.write_text(
+            "key,value,count\na,1.5,1000000000000000\n,,2\nc,,\nd,-2.0,4\n",
+            encoding="utf-8",
+        )
+        parquet_data: dict = {}
+        for chunk in ParquetReader(path, chunk_size=2).chunks():
+            for column in chunk.columns:
+                parquet_data.setdefault(column.name, []).extend(column.values)
+        csv_data: dict = {}
+        for chunk in CSVReader(csv_path, chunk_size=2):
+            for column in chunk.columns:
+                csv_data.setdefault(column.name, []).extend(column.values)
+        assert parquet_data == csv_data

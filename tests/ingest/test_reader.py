@@ -136,3 +136,35 @@ class TestIterChunks:
         _, chunks = iter_chunks(iter([table, "nope"]))
         with pytest.raises(IngestError):
             list(chunks)
+
+    def test_path_routes_through_source_registry(self, tmp_path):
+        path = tmp_path / "routed.csv"
+        path.write_text("k,v\na,1\nb,2\n", encoding="utf-8")
+        for source in (str(path), path):
+            name, chunks = iter_chunks(source)
+            assert name == "routed"
+            assert concat_chunks(chunks) == {"k": ["a", "b"], "v": [1, 2]}
+
+    def test_unknown_extension_path_raises_typed_error(self, tmp_path):
+        path = tmp_path / "table.xlsx"
+        path.write_text("k\n1\n", encoding="utf-8")
+        with pytest.raises(IngestError, match="cannot detect the table format"):
+            iter_chunks(str(path))
+
+    def test_non_iterable_input_raises_typed_error_naming_formats(self):
+        # Regression: ints/None/objects used to surface as a bare TypeError
+        # from iter(); they must raise IngestError naming every supported
+        # source kind instead.
+        for bad in (42, None, 3.14, object()):
+            with pytest.raises(IngestError, match="csv") as excinfo:
+                iter_chunks(bad)
+            message = str(excinfo.value)
+            assert type(bad).__name__ in message
+            assert "TableReader" in message
+            assert "parquet" in message
+
+    def test_dict_input_rejected_with_supported_kinds(self):
+        # A column dict is a plausible mistake (iterable of keys): the first
+        # "chunk" is a string, so the typed error must fire, not a crash.
+        with pytest.raises(IngestError, match="expected"):
+            iter_chunks({"k": [1, 2]})

@@ -1,0 +1,233 @@
+"""Tests for the pluggable source registry (repro.ingest.sources)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import IngestError
+from repro.ingest.reader import CSVReader, InMemoryReader, TableReader
+from repro.ingest.sources import (
+    DirectorySource,
+    SourceFormat,
+    detect_format,
+    get_format,
+    open_lake,
+    open_source,
+    register_source,
+    source_formats,
+    supported_extensions,
+    supported_source_kinds,
+)
+from repro.relational.table import Table
+
+
+def write_csv(path, text="key,value\na,1.5\nb,2.5\n"):
+    path.write_text(text, encoding="utf-8")
+    return path
+
+
+class TestRegistry:
+    def test_builtin_formats(self):
+        names = [spec.name for spec in source_formats()]
+        assert "csv" in names and "parquet" in names
+        assert supported_extensions()[".csv"] == "csv"
+        assert supported_extensions()[".parquet"] == "parquet"
+        assert supported_extensions()[".pq"] == "parquet"
+
+    def test_parquet_format_declares_its_optional_dependency(self):
+        assert get_format("parquet").requires == "pyarrow"
+        assert get_format("csv").requires is None
+
+    def test_schema_inference_cost_is_documented(self):
+        assert "two-pass" in get_format("csv").schema_inference
+        assert "no data pass" in get_format("parquet").schema_inference
+
+    def test_get_format_unknown_name(self):
+        with pytest.raises(IngestError, match="registered formats"):
+            get_format("orc")
+
+    def test_detect_format_by_extension(self):
+        assert detect_format("t.csv").name == "csv"
+        assert detect_format("dir/T.PARQUET").name == "parquet"
+        assert detect_format("x.pq").name == "parquet"
+
+    def test_detect_format_unknown_extension(self):
+        with pytest.raises(IngestError, match=r"\.csv"):
+            detect_format("table.xlsx")
+        with pytest.raises(IngestError, match="pass the format explicitly"):
+            detect_format("no_extension")
+
+    def test_register_rejects_dotless_extension(self):
+        spec = SourceFormat(name="bad", extensions=("tsv",), factory=CSVReader)
+        with pytest.raises(IngestError, match="must start with a dot"):
+            register_source(spec)
+
+    def test_register_rejects_claimed_extension(self):
+        spec = SourceFormat(name="csv2", extensions=(".csv",), factory=CSVReader)
+        with pytest.raises(IngestError, match="already registered"):
+            register_source(spec)
+
+    def test_register_and_resolve_custom_format(self, tmp_path, monkeypatch):
+        from repro.ingest import sources
+
+        monkeypatch.setattr(sources, "_REGISTRY", dict(sources._REGISTRY))
+
+        def tsv_factory(path, chunk_size, name=None, columns=None):
+            return CSVReader(path, chunk_size, name=name or "", columns=columns)
+
+        register_source(
+            SourceFormat(name="tsv", extensions=(".tsv",), factory=tsv_factory)
+        )
+        path = tmp_path / "t.tsv"
+        write_csv(path)
+        reader = open_source(path)
+        assert isinstance(reader, CSVReader)
+
+    def test_supported_source_kinds_names_everything(self):
+        kinds = supported_source_kinds()
+        assert "Table" in kinds
+        assert "csv" in kinds and "parquet" in kinds
+
+
+class TestOpenSource:
+    def test_reader_passes_through(self, tmp_path):
+        reader = CSVReader(write_csv(tmp_path / "t.csv"))
+        assert open_source(reader) is reader
+
+    def test_reader_with_explicit_format_rejected(self, tmp_path):
+        reader = CSVReader(write_csv(tmp_path / "t.csv"))
+        with pytest.raises(IngestError, match="already-open"):
+            open_source(reader, format="csv")
+
+    def test_table_wraps_in_memory(self):
+        table = Table.from_dict({"k": ["a", "b"], "v": [1, 2]}, name="mem")
+        reader = open_source(table, chunk_size=1)
+        assert isinstance(reader, InMemoryReader)
+        assert reader.name == "mem"
+        assert len(list(reader)) == 2
+
+    def test_table_with_projection(self):
+        table = Table.from_dict({"k": ["a"], "v": [1], "w": [2.0]})
+        reader = open_source(table, columns=["w", "k"])
+        assert reader.column_names == ("w", "k")
+
+    def test_table_with_explicit_format_rejected(self):
+        with pytest.raises(IngestError, match="in-memory Table"):
+            open_source(Table.from_dict({"k": [1]}), format="csv")
+
+    def test_csv_path_auto_detected(self, tmp_path):
+        reader = open_source(write_csv(tmp_path / "t.csv"), chunk_size=1)
+        assert isinstance(reader, CSVReader)
+        assert reader.chunk_size == 1
+        assert reader.name == "t"
+
+    def test_explicit_format_overrides_extension(self, tmp_path):
+        path = write_csv(tmp_path / "t.dat")
+        reader = open_source(path, format="csv")
+        assert isinstance(reader, CSVReader)
+
+    def test_unknown_extension_raises(self, tmp_path):
+        path = write_csv(tmp_path / "t.xlsx")
+        with pytest.raises(IngestError, match="cannot detect the table format"):
+            open_source(path)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(IngestError, match="no such table file"):
+            open_source(tmp_path / "absent.csv")
+
+    def test_directory_points_at_lake(self, tmp_path):
+        with pytest.raises(IngestError, match="--lake"):
+            open_source(tmp_path)
+
+    def test_unsupported_object_raises_with_alternatives(self):
+        with pytest.raises(IngestError, match="TableReader"):
+            open_source(42)
+
+    def test_parquet_path_routes_to_parquet_factory(self, tmp_path, monkeypatch):
+        # Without pyarrow the factory must fail with the install hint —
+        # proving the path routed through the parquet format.
+        import builtins
+        import sys
+
+        real_import = builtins.__import__
+
+        def block(name, *args, **kwargs):
+            if name.startswith("pyarrow"):
+                raise ImportError(name)
+            return real_import(name, *args, **kwargs)
+
+        monkeypatch.delitem(sys.modules, "pyarrow", raising=False)
+        monkeypatch.delitem(sys.modules, "pyarrow.parquet", raising=False)
+        monkeypatch.setattr(builtins, "__import__", block)
+        path = tmp_path / "t.parquet"
+        path.write_bytes(b"")
+        with pytest.raises(IngestError, match="pip install pyarrow"):
+            open_source(path)
+
+
+class TestDirectorySource:
+    def make_lake(self, tmp_path, names):
+        lake = tmp_path / "lake"
+        lake.mkdir()
+        for name in names:
+            write_csv(lake / name) if name.endswith(".csv") else (
+                lake / name
+            ).write_text("", encoding="utf-8")
+        return lake
+
+    def test_discovers_sorted_data_files(self, tmp_path):
+        lake = self.make_lake(tmp_path, ["b.csv", "a.csv"])
+        source = DirectorySource(lake)
+        assert [reader.name for reader in source] == ["a", "b"]
+        assert len(source) == 2
+
+    def test_skips_markers_and_hidden_files(self, tmp_path):
+        lake = self.make_lake(tmp_path, ["a.csv", "_SUCCESS", ".hidden.csv"])
+        source = DirectorySource(lake)
+        assert len(source) == 1
+        assert source.skipped == ()
+
+    def test_unrecognized_extensions_recorded_not_fatal(self, tmp_path):
+        lake = self.make_lake(tmp_path, ["a.csv", "notes.txt"])
+        source = DirectorySource(lake)
+        assert len(source) == 1
+        assert [p.endswith("notes.txt") for p in source.skipped] == [True]
+
+    def test_subdirectories_ignored(self, tmp_path):
+        lake = self.make_lake(tmp_path, ["a.csv"])
+        (lake / "nested").mkdir()
+        write_csv(lake / "nested" / "b.csv")
+        assert len(DirectorySource(lake)) == 1
+
+    def test_empty_lake_raises(self, tmp_path):
+        lake = self.make_lake(tmp_path, ["_SUCCESS"])
+        with pytest.raises(IngestError, match="no recognized table files"):
+            DirectorySource(lake)
+
+    def test_missing_directory_raises(self, tmp_path):
+        with pytest.raises(IngestError, match="lake directory not found"):
+            DirectorySource(tmp_path / "nope")
+
+    def test_duplicate_table_stems_raise(self, tmp_path):
+        lake = self.make_lake(tmp_path, ["a.csv", "a.parquet"])
+        with pytest.raises(IngestError, match="two files for"):
+            DirectorySource(lake)
+
+    def test_forced_format_narrows_accepted_extensions(self, tmp_path):
+        lake = self.make_lake(tmp_path, ["a.csv", "b.parquet"])
+        source = DirectorySource(lake, format="csv")
+        assert len(source) == 1
+        assert [p.endswith("b.parquet") for p in source.skipped] == [True]
+
+    def test_sources_yield_working_readers(self, tmp_path):
+        lake = self.make_lake(tmp_path, ["a.csv", "b.csv"])
+        readers = list(open_lake(lake, chunk_size=1).sources())
+        assert all(isinstance(reader, TableReader) for reader in readers)
+        for reader in readers:
+            (first, second) = list(reader)
+            assert first.num_rows == second.num_rows == 1
+
+    def test_projection_applies_to_every_table(self, tmp_path):
+        lake = self.make_lake(tmp_path, ["a.csv", "b.csv"])
+        for reader in open_lake(lake, columns=["value"]):
+            assert reader.column_names == ("value",)

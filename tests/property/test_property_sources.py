@@ -1,0 +1,263 @@
+"""Cross-source byte-identity of persisted indexes (the tentpole invariant).
+
+The pluggable source layer promises that the *same logical rows* produce
+**byte-identical** persisted artifacts — ``index.json``, ``sketches.npz``
+and the ``postings.npz`` sidecar — no matter which source format carried
+them: in-memory ``Table``, CSV text, or typed Parquet.  This suite builds
+an index from each representation of adversarial tables (nulls, NaN,
+bigints, unicode keys, int→float dtype drift) and compares the persisted
+stores array by array.  The Parquet legs skip when the optional pyarrow
+dependency is absent; the CSV/in-memory legs always run.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.discovery.builder import IndexBuilder
+from repro.discovery.persistence import save_index
+from repro.engine import EngineConfig
+from repro.ingest.sources import open_source
+from repro.relational.table import Table
+from repro.store import load_npz
+
+# ---------------------------------------------------------------------------
+# Helpers: build an index directory from a list of sources, compare stores.
+# ---------------------------------------------------------------------------
+
+INT64_MAX = 2**63 - 1
+
+
+def build_index_dir(sources, directory, *, chunk_size=7):
+    builder = IndexBuilder(EngineConfig(capacity=32, seed=9), num_shards=2)
+    for source in sources:
+        builder.add_table_stream(
+            open_source(source, chunk_size=chunk_size), ["key"]
+        )
+    save_index(builder.build(), directory)
+    return directory
+
+
+def assert_index_dirs_byte_identical(left_dir, right_dir):
+    left_document = json.loads((left_dir / "index.json").read_text())
+    right_document = json.loads((right_dir / "index.json").read_text())
+    # Table names come from file stems / Table names and are made equal by
+    # the callers; everything else must match structurally too.
+    assert left_document == right_document
+    left_store = load_npz(left_dir / "sketches.npz")
+    right_store = load_npz(right_dir / "sketches.npz")
+    assert left_store._manifest == right_store._manifest
+    assert set(left_store._arrays) == set(right_store._arrays)
+    for name in left_store._arrays:
+        left, right = left_store.array(name), right_store.array(name)
+        assert left.dtype == right.dtype, name
+        assert left.tobytes() == right.tobytes(), name
+    # The postings sidecar is a plain .npz (not a sketch store): compare the
+    # raw arrays — the zip container itself embeds timestamps.
+    with np.load(left_dir / "postings.npz", allow_pickle=False) as left_npz, \
+            np.load(right_dir / "postings.npz", allow_pickle=False) as right_npz:
+        assert set(left_npz.files) == set(right_npz.files)
+        for name in left_npz.files:
+            left, right = left_npz[name], right_npz[name]
+            assert left.dtype == right.dtype, name
+            assert left.tobytes() == right.tobytes(), name
+
+
+def write_csv_file(path, data):
+    """Write a column dict as CSV: missing (None/NaN) becomes an empty field."""
+    names = list(data)
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(names)
+        for row in zip(*(data[name] for name in names)):
+            writer.writerow(
+                [
+                    ""
+                    if value is None
+                    or (isinstance(value, float) and math.isnan(value))
+                    else value
+                    for value in row
+                ]
+            )
+    return path
+
+
+def write_parquet_file(path, data, arrow_types):
+    pa = pytest.importorskip("pyarrow")
+    pq = pytest.importorskip("pyarrow.parquet")
+    type_for = {"string": pa.string(), "float": pa.float64(), "int": pa.int64()}
+    table = pa.table(
+        {
+            name: pa.array(
+                [
+                    None
+                    if isinstance(value, float) and math.isnan(value)
+                    and arrow_types[name] != "float"
+                    else value
+                    for value in values
+                ],
+                type=type_for[arrow_types[name]],
+            )
+            for name, values in data.items()
+        }
+    )
+    pq.write_table(table, path, row_group_size=3)
+    return path
+
+
+# ---------------------------------------------------------------------------
+# Adversarial fixed cases.  Each is (column dict, arrow type per column);
+# values are chosen so CSV text inference, Python value inference and the
+# declared Parquet types all agree on the logical schema.
+# ---------------------------------------------------------------------------
+
+NAN = float("nan")
+
+ADVERSARIAL_TABLES = {
+    "nulls_everywhere": (
+        {
+            "key": ["a", None, "c", None, "e", "a"],
+            "value": [1.5, None, None, 4.5, None, 1.5],
+        },
+        {"key": "string", "value": "float"},
+    ),
+    "nan_is_missing": (
+        {
+            "key": ["x", "y", "z", "x", "y"],
+            "value": [NAN, 2.5, NAN, -0.5, 3.5],
+        },
+        {"key": "string", "value": "float"},
+    ),
+    "bigints": (
+        {
+            "key": ["k1", "k2", "k3", "k4"],
+            "value": [INT64_MAX, -INT64_MAX, 123456789012345, 7],
+        },
+        {"key": "string", "value": "int"},
+    ),
+    "unicode_keys": (
+        {
+            "key": ["café", "naïve", "日本語", "emoji🎉", "Ωμέγα", "café"],
+            "value": [1.25, 2.25, 3.25, 4.25, 5.25, 1.25],
+        },
+        {"key": "string", "value": "float"},
+    ),
+    "int_to_float_drift": (
+        # Whole-file inference must make the early ints FLOAT: 1 -> 1.0.
+        {
+            "key": ["a", "b", "c", "d", "e"],
+            "value": [1, 2, 3, 4, 5.5],
+        },
+        {"key": "string", "value": "float"},
+    ),
+}
+
+
+class TestCsvMatchesInMemory:
+    @pytest.mark.parametrize("case", sorted(ADVERSARIAL_TABLES))
+    def test_persisted_stores_byte_identical(self, case, tmp_path):
+        data, _ = ADVERSARIAL_TABLES[case]
+        csv_path = write_csv_file(tmp_path / "t.csv", data)
+        table = Table.from_dict(data, name="t")
+        csv_dir = build_index_dir([csv_path], tmp_path / "from_csv")
+        memory_dir = build_index_dir([table], tmp_path / "from_memory")
+        assert_index_dirs_byte_identical(csv_dir, memory_dir)
+
+    def test_chunk_size_never_leaks_into_artifacts(self, tmp_path):
+        data, _ = ADVERSARIAL_TABLES["int_to_float_drift"]
+        csv_path = write_csv_file(tmp_path / "t.csv", data)
+        small = build_index_dir([csv_path], tmp_path / "small", chunk_size=1)
+        large = build_index_dir([csv_path], tmp_path / "large", chunk_size=100)
+        assert_index_dirs_byte_identical(small, large)
+
+
+class TestParquetMatchesCsvAndMemory:
+    @pytest.mark.parametrize("case", sorted(ADVERSARIAL_TABLES))
+    def test_persisted_stores_byte_identical(self, case, tmp_path):
+        data, arrow_types = ADVERSARIAL_TABLES[case]
+        parquet_path = write_parquet_file(tmp_path / "t.parquet", data, arrow_types)
+        csv_path = write_csv_file(tmp_path / "t.csv", data)
+        table = Table.from_dict(data, name="t")
+        parquet_dir = build_index_dir([parquet_path], tmp_path / "from_parquet")
+        csv_dir = build_index_dir([csv_path], tmp_path / "from_csv")
+        memory_dir = build_index_dir([table], tmp_path / "from_memory")
+        assert_index_dirs_byte_identical(parquet_dir, csv_dir)
+        assert_index_dirs_byte_identical(parquet_dir, memory_dir)
+
+    def test_mixed_format_lake_matches_uniform_lake(self, tmp_path):
+        """A lake half in CSV, half in Parquet == the same lake all-CSV."""
+        pytest.importorskip("pyarrow")
+        tables = {
+            "t0": ADVERSARIAL_TABLES["nulls_everywhere"],
+            "t1": ADVERSARIAL_TABLES["unicode_keys"],
+        }
+        all_csv, mixed = [], []
+        for position, (name, (data, arrow_types)) in enumerate(
+            sorted(tables.items())
+        ):
+            all_csv.append(write_csv_file(tmp_path / f"csv_{name}.csv", data))
+            if position % 2 == 0:
+                mixed.append(write_csv_file(tmp_path / f"mix_{name}.csv", data))
+            else:
+                mixed.append(
+                    write_parquet_file(
+                        tmp_path / f"mix_{name}.parquet", data, arrow_types
+                    )
+                )
+        csv_dir = build_index_dir(
+            [open_source(path, name=f"t{i}") for i, path in enumerate(all_csv)],
+            tmp_path / "all_csv",
+        )
+        mixed_dir = build_index_dir(
+            [open_source(path, name=f"t{i}") for i, path in enumerate(mixed)],
+            tmp_path / "mixed",
+        )
+        assert_index_dirs_byte_identical(csv_dir, mixed_dir)
+
+
+# Hypothesis leg: arbitrary unicode/None keys and numeric/None values must
+# round-trip through CSV to the same persisted bytes as the in-memory table.
+printable_keys = st.one_of(
+    st.none(),
+    st.text(
+        alphabet=st.characters(
+            min_codepoint=33, max_codepoint=0x2FFF, blacklist_characters=",\r\n\""
+        ),
+        min_size=1,
+        max_size=8,
+    ),
+)
+float_values = st.one_of(
+    st.none(),
+    st.integers(-(2**40), 2**40).map(float),
+    st.floats(allow_nan=False, allow_infinity=False, width=16),
+)
+
+
+class TestHypothesisCsvRoundTrip:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        keys=st.lists(printable_keys, min_size=2, max_size=20),
+        seed_values=st.lists(float_values, min_size=1, max_size=20),
+    )
+    def test_csv_and_memory_agree(self, keys, seed_values, tmp_path_factory):
+        if all(key is None for key in keys):
+            keys = keys + ["anchor"]
+        values = [
+            seed_values[index % len(seed_values)] for index in range(len(keys))
+        ]
+        data = {"key": keys, "value": values}
+        root = tmp_path_factory.mktemp("case")
+        csv_path = write_csv_file(root / "t.csv", data)
+        csv_dir = build_index_dir([csv_path], root / "from_csv", chunk_size=3)
+        memory_dir = build_index_dir(
+            [Table.from_dict(data, name="t")], root / "from_memory", chunk_size=3
+        )
+        assert_index_dirs_byte_identical(csv_dir, memory_dir)

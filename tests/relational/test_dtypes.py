@@ -7,6 +7,7 @@ import pytest
 from repro.exceptions import TypeInferenceError
 from repro.relational.dtypes import (
     DType,
+    DtypeFolder,
     coerce_value,
     infer_column_dtype,
     infer_dtype,
@@ -116,3 +117,64 @@ class TestDTypeProperties:
         assert DType.STRING.is_categorical
         assert not DType.INT.is_categorical
         assert not DType.FLOAT.is_categorical
+
+
+class TestDtypeFolder:
+    """The one incremental inference shared by every schema path."""
+
+    COLUMNS = [
+        [1, 2, 3],
+        [1, 2.5, None],
+        ["x", 1, 2.5],
+        [None, "", "NA"],
+        ["1", "2.5", "3"],
+        [True, False],
+    ]
+
+    @pytest.mark.parametrize("values", COLUMNS)
+    def test_incremental_fold_matches_batch_inference(self, values):
+        folder = DtypeFolder()
+        for value in values:
+            folder.observe(value)
+        assert folder.dtype is infer_column_dtype(values)
+
+    @pytest.mark.parametrize("values", COLUMNS)
+    def test_split_fold_combines_to_the_same_dtype(self, values):
+        for split in range(len(values) + 1):
+            left, right = DtypeFolder(), DtypeFolder()
+            for value in values[:split]:
+                left.observe(value)
+            for value in values[split:]:
+                right.observe(value)
+            left.combine(right)
+            assert left.dtype is infer_column_dtype(values), split
+
+    def test_observe_dtype_folds_chunk_schemas(self):
+        folder = DtypeFolder()
+        folder.observe_dtype(DType.INT)
+        assert folder.dtype is DType.INT
+        folder.observe_dtype(DType.FLOAT)
+        assert folder.dtype is DType.FLOAT
+        folder.observe_dtype(DType.MISSING)
+        assert folder.dtype is DType.FLOAT
+        folder.observe_dtype(DType.STRING)
+        assert folder.dtype is DType.STRING
+
+    def test_every_schema_path_shares_the_folder(self, tmp_path):
+        """Regression for the dedup: CSVReader.schema, read_csv and the
+        streaming sketchers must all answer through the same inference (so a
+        rule change cannot skew one path)."""
+        from repro.ingest import sketchers
+        from repro.ingest.reader import CSVReader
+        from repro.relational.csvio import read_csv
+
+        assert sketchers._DtypeTracker is DtypeFolder
+
+        path = tmp_path / "drift.csv"
+        path.write_text("key,value\na,1\nb,2\nc,3.5\n", encoding="utf-8")
+        reader_schema = CSVReader(path).schema()
+        batch_schema = read_csv(path).schema()
+        assert reader_schema == batch_schema == {
+            "key": DType.STRING,
+            "value": DType.FLOAT,
+        }

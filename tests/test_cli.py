@@ -795,3 +795,156 @@ class TestIndexIngestCommand:
         )
         assert code == 2
         assert "nope.csv" in capsys.readouterr().err
+
+
+class TestIndexIngestSources:
+    """--format / --lake routing through the pluggable source registry."""
+
+    def test_format_flag_registered_with_registry_choices(self):
+        args = build_parser().parse_args(
+            ["index", "ingest", "t.parquet", "--key", "k", "--format", "parquet",
+             "-o", "out"]
+        )
+        assert args.format == "parquet"
+        assert args.lake is None
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["index", "ingest", "t.xlsx", "--key", "k", "--format", "xlsx",
+                 "-o", "out"]
+            )
+
+    def test_lake_ingest_matches_positional_ingest(self, lake_csvs, tmp_path, capsys):
+        lake_dir = tmp_path / "staging"
+        lake_dir.mkdir()
+        for path in lake_csvs:
+            (lake_dir / path.name).write_bytes(path.read_bytes())
+        (lake_dir / "_SUCCESS").write_text("", encoding="utf-8")
+        (lake_dir / "notes.txt").write_text("not a table", encoding="utf-8")
+        lake_out = tmp_path / "lake.index"
+        positional_out = tmp_path / "positional.index"
+        code = main(
+            ["index", "ingest", "--lake", str(lake_dir), "--key", "key",
+             "-o", str(lake_out)]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "ingested 6 candidates from 3 tables" in output
+        assert "1 unrecognized lake files skipped" in output
+        assert (
+            main(
+                ["index", "ingest", *map(str, lake_csvs), "--key", "key",
+                 "-o", str(positional_out)]
+            )
+            == 0
+        )
+        assert json.loads((lake_out / "index.json").read_text()) == json.loads(
+            (positional_out / "index.json").read_text()
+        )
+
+    def test_lake_combines_with_positional_tables(self, lake_csvs, tmp_path, capsys):
+        lake_dir = tmp_path / "staging"
+        lake_dir.mkdir()
+        (lake_dir / lake_csvs[0].name).write_bytes(lake_csvs[0].read_bytes())
+        code = main(
+            ["index", "ingest", str(lake_csvs[1]), "--lake", str(lake_dir),
+             "--key", "key", "-o", str(tmp_path / "out.index")]
+        )
+        assert code == 0
+        assert "from 2 tables" in capsys.readouterr().out
+
+    def test_no_tables_and_no_lake_is_an_error(self, tmp_path, capsys):
+        code = main(
+            ["index", "ingest", "--key", "key", "-o", str(tmp_path / "out")]
+        )
+        assert code == 2
+        assert "--lake" in capsys.readouterr().err
+
+    def test_missing_lake_directory_exits_2(self, tmp_path, capsys):
+        code = main(
+            ["index", "ingest", "--lake", str(tmp_path / "absent"), "--key", "key",
+             "-o", str(tmp_path / "out")]
+        )
+        assert code == 2
+        assert "lake directory not found" in capsys.readouterr().err
+
+    def test_forced_format_overrides_extension(self, lake_csvs, tmp_path, capsys):
+        renamed = tmp_path / "table.dat"
+        renamed.write_bytes(lake_csvs[0].read_bytes())
+        code = main(
+            ["index", "ingest", str(renamed), "--format", "csv", "--key", "key",
+             "-o", str(tmp_path / "out.index")]
+        )
+        assert code == 0
+        assert "ingested 2 candidates" in capsys.readouterr().out
+
+    def test_unknown_extension_exits_2_naming_formats(self, tmp_path, capsys):
+        bad = tmp_path / "table.xlsx"
+        bad.write_text("key,a\nx,1\n", encoding="utf-8")
+        code = main(
+            ["index", "ingest", str(bad), "--key", "key",
+             "-o", str(tmp_path / "out")]
+        )
+        assert code == 2
+        error = capsys.readouterr().err
+        assert "cannot detect the table format" in error
+        assert ".csv" in error and ".parquet" in error
+
+    def test_missing_pyarrow_exits_2_with_install_hint(self, tmp_path, capsys, monkeypatch):
+        import builtins
+        import sys
+
+        real_import = builtins.__import__
+
+        def block(name, *args, **kwargs):
+            if name.startswith("pyarrow"):
+                raise ImportError(name)
+            return real_import(name, *args, **kwargs)
+
+        monkeypatch.delitem(sys.modules, "pyarrow", raising=False)
+        monkeypatch.delitem(sys.modules, "pyarrow.parquet", raising=False)
+        monkeypatch.setattr(builtins, "__import__", block)
+        parquet = tmp_path / "table.parquet"
+        parquet.write_bytes(b"")
+        code = main(
+            ["index", "ingest", str(parquet), "--key", "key",
+             "-o", str(tmp_path / "out")]
+        )
+        assert code == 2
+        assert "pip install pyarrow" in capsys.readouterr().err
+
+    def test_parquet_lake_end_to_end(self, lake_csvs, tmp_path, capsys):
+        """Mixed CSV+Parquet lake builds the same index as the all-CSV lake."""
+        pa = pytest.importorskip("pyarrow")
+        pq = pytest.importorskip("pyarrow.parquet")
+        from repro.relational.csvio import read_csv
+
+        mixed_dir = tmp_path / "mixed"
+        csv_dir = tmp_path / "all_csv"
+        mixed_dir.mkdir()
+        csv_dir.mkdir()
+        for position, path in enumerate(lake_csvs):
+            (csv_dir / path.name).write_bytes(path.read_bytes())
+            if position % 2 == 0:
+                (mixed_dir / path.name).write_bytes(path.read_bytes())
+            else:
+                table = read_csv(path)
+                pq.write_table(
+                    pa.table(
+                        {c.name: c.values for c in table.columns}
+                    ),
+                    mixed_dir / f"{path.stem}.parquet",
+                    row_group_size=64,
+                )
+        mixed_out = tmp_path / "mixed.index"
+        csv_out = tmp_path / "csv.index"
+        for lake, out in ((mixed_dir, mixed_out), (csv_dir, csv_out)):
+            assert (
+                main(
+                    ["index", "ingest", "--lake", str(lake), "--key", "key",
+                     "-o", str(out)]
+                )
+                == 0
+            )
+        assert json.loads((mixed_out / "index.json").read_text()) == json.loads(
+            (csv_out / "index.json").read_text()
+        )

@@ -1,0 +1,155 @@
+"""Unit tests for the lake fixture generator (tools/make_lake_fixture.py)."""
+
+from __future__ import annotations
+
+import csv
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+FIXTURE_PATH = Path(__file__).parent.parent.parent / "tools" / "make_lake_fixture.py"
+
+spec = importlib.util.spec_from_file_location("make_lake_fixture", FIXTURE_PATH)
+lake_fixture = importlib.util.module_from_spec(spec)
+sys.modules["make_lake_fixture"] = lake_fixture
+spec.loader.exec_module(lake_fixture)
+
+
+class TestMakeTable:
+    def test_deterministic_for_a_seed(self):
+        import random
+
+        first = lake_fixture.make_table(
+            random.Random(3), rows=50, keys=10, table_index=1
+        )
+        second = lake_fixture.make_table(
+            random.Random(3), rows=50, keys=10, table_index=1
+        )
+        assert first == second
+
+    def test_shape_and_types(self):
+        import random
+
+        data = lake_fixture.make_table(random.Random(0), rows=40, keys=8, table_index=2)
+        assert set(data) == {"key", "v02_0", "v02_1", "v02_2", "count"}
+        assert all(len(values) == 40 for values in data.values())
+        assert all(key.startswith("k") for key in data["key"])
+        assert all(isinstance(value, float) for value in data["v02_0"])
+        assert all(value is None or isinstance(value, int) for value in data["count"])
+
+
+class TestCsvLake:
+    def test_csv_only_lake_layout(self, tmp_path):
+        summary = lake_fixture.build_lake(
+            tmp_path / "lake", tables=3, rows=20, keys=5, formats=["csv"]
+        )
+        assert summary["tables"] == ["lake000.csv", "lake001.csv", "lake002.csv"]
+        assert (tmp_path / "lake" / "_SUCCESS").exists()
+        with open(tmp_path / "lake" / "lake001.csv", newline="") as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 20
+        assert "key" in rows[0] and "count" in rows[0]
+
+    def test_null_counts_become_empty_csv_fields(self, tmp_path):
+        lake_fixture.build_lake(
+            tmp_path / "lake", tables=1, rows=200, keys=5, formats=["csv"]
+        )
+        with open(tmp_path / "lake" / "lake000.csv", newline="") as handle:
+            rows = list(csv.DictReader(handle))
+        assert any(row["count"] == "" for row in rows)
+
+    def test_deterministic_across_runs(self, tmp_path):
+        for name in ("a", "b"):
+            lake_fixture.build_lake(
+                tmp_path / name, tables=2, rows=30, keys=6, seed=11, formats=["csv"]
+            )
+        for table in ("lake000.csv", "lake001.csv"):
+            assert (tmp_path / "a" / table).read_text() == (
+                tmp_path / "b" / table
+            ).read_text()
+
+    def test_unknown_format_raises(self, tmp_path):
+        with pytest.raises(lake_fixture.FixtureError, match="unknown format"):
+            lake_fixture.build_lake(tmp_path / "lake", formats=["orc"])
+
+    def test_empty_formats_raises(self, tmp_path):
+        with pytest.raises(lake_fixture.FixtureError, match="at least one format"):
+            lake_fixture.build_lake(tmp_path / "lake", formats=[])
+
+
+class TestBaseCsv:
+    def test_base_csv_one_row_per_key(self, tmp_path):
+        lake_fixture.write_base_csv(tmp_path / "base.csv", keys=12, seed=1)
+        with open(tmp_path / "base.csv", newline="") as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 12
+        assert set(rows[0]) == {"key", "target"}
+        assert rows[0]["key"] == "k0000"
+
+
+class TestMain:
+    def test_main_csv_only(self, tmp_path, capsys):
+        code = lake_fixture.main(
+            [
+                str(tmp_path / "lake"),
+                "--formats",
+                "csv",
+                "--tables",
+                "2",
+                "--rows",
+                "25",
+                "--keys",
+                "5",
+                "--base-csv",
+                str(tmp_path / "base.csv"),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "wrote 2 lake tables" in out
+        assert (tmp_path / "base.csv").exists()
+
+    def test_main_bad_format_exits_2(self, tmp_path, capsys):
+        code = lake_fixture.main([str(tmp_path / "lake"), "--formats", "avro"])
+        assert code == 2
+        assert "unknown format" in capsys.readouterr().err
+
+    def test_main_parquet_without_pyarrow_exits_2(self, tmp_path, capsys, monkeypatch):
+        import builtins
+
+        real_import = builtins.__import__
+
+        def block_pyarrow(name, *args, **kwargs):
+            if name.startswith("pyarrow"):
+                raise ImportError(name)
+            return real_import(name, *args, **kwargs)
+
+        monkeypatch.setattr(builtins, "__import__", block_pyarrow)
+        code = lake_fixture.main([str(tmp_path / "lake"), "--formats", "parquet"])
+        assert code == 2
+        assert "pyarrow" in capsys.readouterr().err
+
+
+class TestParquetLake:
+    def test_mixed_lake_round_robins_formats(self, tmp_path):
+        pytest.importorskip("pyarrow")
+        summary = lake_fixture.build_lake(
+            tmp_path / "lake", tables=4, rows=30, keys=6
+        )
+        assert summary["tables"] == [
+            "lake000.csv",
+            "lake001.parquet",
+            "lake002.csv",
+            "lake003.parquet",
+        ]
+
+    def test_parquet_table_has_multiple_row_groups(self, tmp_path):
+        pq = pytest.importorskip("pyarrow.parquet")
+        lake_fixture.build_lake(
+            tmp_path / "lake", tables=1, rows=90, keys=6, formats=["parquet"]
+        )
+        metadata = pq.ParquetFile(tmp_path / "lake" / "lake000.parquet").metadata
+        assert metadata.num_row_groups > 1
+        assert metadata.num_rows == 90

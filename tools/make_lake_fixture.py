@@ -1,0 +1,212 @@
+#!/usr/bin/env python
+"""Write a small mixed CSV+Parquet lake fixture (plus a base query table).
+
+The CI ``lake-smoke`` job (and anyone reproducing it locally) needs a
+realistic staging/lake directory to drive ``repro index ingest --lake``
+end-to-end: several correlated tables split across **both** registered
+on-disk formats, a ``_SUCCESS`` marker file that ingestion must skip, and a
+separate base-table CSV to query the resulting index with.
+
+Tables are deterministic (seeded stdlib ``random``), and the *same logical
+rows* land in whichever format a table is assigned — keys are non-numeric
+strings and values are genuine floats/ints with occasional nulls, so CSV
+type inference agrees with the Parquet file metadata and sketches built
+from either format are byte-identical.
+
+CSV needs only the stdlib; writing Parquet tables needs the optional
+``pyarrow`` dependency — when it is missing and ``parquet`` is among the
+requested formats, the script exits 2 with one line naming the install
+remedy (``--formats csv`` sidesteps the requirement).
+
+Usage::
+
+    python tools/make_lake_fixture.py LAKE_DIR [--base-csv PATH]
+        [--tables N] [--rows R] [--keys K] [--seed S] [--formats csv,parquet]
+
+Exit codes: 0 fixture written, 2 bad invocation or missing pyarrow.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import random
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+PYARROW_HINT = (
+    "writing Parquet lake fixtures requires the optional pyarrow "
+    "dependency; install it with `pip install pyarrow` or pass "
+    "--formats csv"
+)
+
+#: Value columns per lake table.
+VALUE_COLUMNS = 3
+
+
+class FixtureError(RuntimeError):
+    """The fixture could not be written; the message says why."""
+
+
+def make_table(
+    rng: random.Random, *, rows: int, keys: int, table_index: int
+) -> dict[str, list]:
+    """One lake table as a column dict: string keys, float/int values, nulls.
+
+    Every value column correlates with the hidden per-key signal so the
+    resulting index has genuinely rankable candidates, and each dtype is
+    unambiguous in *both* formats: keys contain a letter (STRING either
+    way), ``v*`` columns are floats, ``count`` is an int column with a few
+    nulls (None in Parquet, empty field in CSV — both coerce to None).
+    """
+    signal = [rng.gauss(0.0, 1.0) for _ in range(keys)]
+    row_keys = [rng.randrange(keys) for _ in range(rows)]
+    data: dict[str, list] = {"key": [f"k{key:04d}" for key in row_keys]}
+    for column in range(VALUE_COLUMNS):
+        mix = rng.uniform(0.2, 0.8)
+        data[f"v{table_index:02d}_{column}"] = [
+            round((1.0 - mix) * signal[key] + mix * rng.gauss(0.0, 1.0), 6)
+            for key in row_keys
+        ]
+    data["count"] = [
+        None if rng.random() < 0.05 else rng.randrange(100) for _ in range(rows)
+    ]
+    return data
+
+
+def write_csv_table(path: Path, data: dict[str, list]) -> None:
+    """Write a column dict as CSV (missing values become empty fields)."""
+    names = list(data)
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(names)
+        for row in zip(*(data[name] for name in names)):
+            writer.writerow(["" if value is None else value for value in row])
+
+
+def write_parquet_table(path: Path, data: dict[str, list]) -> None:
+    """Write a column dict as Parquet with several row groups.
+
+    A small ``row_group_size`` forces multiple row groups so the reader's
+    row-group-aligned chunking actually gets exercised by the fixture.
+    """
+    try:
+        import pyarrow as pa
+        import pyarrow.parquet as pq
+    except ImportError:
+        raise FixtureError(PYARROW_HINT) from None
+    rows = len(next(iter(data.values())))
+    table = pa.table(
+        {
+            name: pa.array(
+                values,
+                type=pa.float64()
+                if name.startswith("v")
+                else (pa.int64() if name == "count" else pa.string()),
+            )
+            for name, values in data.items()
+        }
+    )
+    pq.write_table(table, path, row_group_size=max(1, rows // 3))
+
+
+def write_base_csv(path: Path, *, keys: int, seed: int) -> None:
+    """Write the base query table (one row per key, numeric target)."""
+    rng = random.Random(seed)
+    data = {
+        "key": [f"k{key:04d}" for key in range(keys)],
+        "target": [round(rng.gauss(0.0, 1.0), 6) for _ in range(keys)],
+    }
+    write_csv_table(path, data)
+
+
+def build_lake(
+    directory: Path,
+    *,
+    tables: int = 4,
+    rows: int = 300,
+    keys: int = 60,
+    seed: int = 0,
+    formats: Sequence[str] = ("csv", "parquet"),
+) -> dict:
+    """Write the lake fixture; returns a summary of what was written.
+
+    Tables round-robin over ``formats`` (``lake000.csv``,
+    ``lake001.parquet``, ...), and a ``_SUCCESS`` marker lands next to
+    them — ingestion must skip it.
+    """
+    known = {"csv", "parquet"}
+    unknown = [name for name in formats if name not in known]
+    if unknown:
+        raise FixtureError(
+            f"unknown format(s) {', '.join(unknown)}; supported: csv, parquet"
+        )
+    if not formats:
+        raise FixtureError("at least one format is required")
+    directory.mkdir(parents=True, exist_ok=True)
+    rng = random.Random(seed)
+    writers = {"csv": write_csv_table, "parquet": write_parquet_table}
+    written: list[str] = []
+    for table_index in range(tables):
+        format_name = formats[table_index % len(formats)]
+        path = directory / f"lake{table_index:03d}.{format_name}"
+        data = make_table(rng, rows=rows, keys=keys, table_index=table_index)
+        writers[format_name](path, data)
+        written.append(path.name)
+    (directory / "_SUCCESS").write_text("", encoding="utf-8")
+    return {
+        "directory": str(directory),
+        "tables": written,
+        "rows_per_table": rows,
+        "keys": keys,
+        "value_columns_per_table": VALUE_COLUMNS,
+        "formats": list(formats),
+    }
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Write a small mixed CSV+Parquet lake fixture."
+    )
+    parser.add_argument("lake_dir", type=Path, help="lake directory to create")
+    parser.add_argument(
+        "--base-csv", type=Path, default=None,
+        help="also write a base query table (key + target) to this path",
+    )
+    parser.add_argument("--tables", type=int, default=4)
+    parser.add_argument("--rows", type=int, default=300)
+    parser.add_argument("--keys", type=int, default=60)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--formats", default="csv,parquet",
+        help="comma-separated formats to round-robin over (default both)",
+    )
+    args = parser.parse_args(argv)
+    formats = [name.strip() for name in args.formats.split(",") if name.strip()]
+    try:
+        summary = build_lake(
+            args.lake_dir,
+            tables=args.tables,
+            rows=args.rows,
+            keys=args.keys,
+            seed=args.seed,
+            formats=formats,
+        )
+    except FixtureError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.base_csv is not None:
+        args.base_csv.parent.mkdir(parents=True, exist_ok=True)
+        write_base_csv(args.base_csv, keys=args.keys, seed=args.seed + 1)
+        summary["base_csv"] = str(args.base_csv)
+    print(
+        f"wrote {len(summary['tables'])} lake tables "
+        f"({', '.join(summary['tables'])}) under {summary['directory']}"
+        + (f" and base table {summary['base_csv']}" if args.base_csv else "")
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())
